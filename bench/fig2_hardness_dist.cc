@@ -1,0 +1,80 @@
+// Reproduces Fig. 2: how the distribution of classification hardness
+// reacts to the imbalance ratio on a non-overlapped vs an overlapped
+// dataset, measured w.r.t. two models of very different capacity (KNN
+// and AdaBoost).
+//
+// Output: one CSV-style series per (dataset, model, IR) giving the
+// population of each hardness decile, plus the fraction of "hard"
+// samples (hardness > 0.5). Expected shape (paper §IV): on the
+// non-overlapped data the hard fraction stays flat as IR grows; on the
+// overlapped data it rises sharply — and the two models disagree on
+// *which* samples are hard.
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "spe/classifiers/adaboost.h"
+#include "spe/classifiers/knn.h"
+#include "spe/core/hardness.h"
+#include "spe/data/synthetic.h"
+#include "spe/metrics/metrics.h"
+
+namespace {
+
+void Analyze(const char* dataset_name, bool overlapped, double ir,
+             const char* model_name, spe::Classifier& model) {
+  spe::TwoGaussiansConfig config;
+  config.num_minority = 300;
+  config.imbalance_ratio = ir;
+  config.overlapped = overlapped;
+  spe::Rng rng(static_cast<std::uint64_t>(ir) * 31 + overlapped);
+  const spe::Dataset data = spe::MakeTwoGaussians(config, rng);
+
+  model.Fit(data);
+  const std::vector<double> probs = model.PredictProba(data);
+  const std::vector<double> hardness = spe::ComputeHardness(
+      spe::MakeHardness(spe::HardnessKind::kAbsoluteError), probs,
+      data.labels());
+  const spe::HardnessBins bins = spe::ComputeHardnessBins(hardness, 10);
+
+  // The paper's claim is about the *quantity* of hard samples growing
+  // with IR under overlap, so report the absolute count.
+  std::size_t hard = 0;
+  for (std::size_t i = 0; i < hardness.size(); ++i) hard += hardness[i] > 0.5;
+  std::printf("%s,%s,IR=%.0f,hard_count=%zu,bins=", dataset_name, model_name,
+              ir, hard);
+  for (std::size_t b = 0; b < bins.population.size(); ++b) {
+    std::printf("%zu%s", bins.population[b],
+                b + 1 < bins.population.size() ? "|" : "\n");
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "Fig. 2 reproduction: hardness distribution vs IR, overlap, model\n"
+      "dataset,model,IR,hard sample count,per-decile population\n");
+  for (const bool overlapped : {false, true}) {
+    const char* dataset = overlapped ? "overlapped" : "non-overlapped";
+    for (const double ir : {10.0, 50.0, 100.0}) {
+      {
+        spe::Knn knn;
+        Analyze(dataset, overlapped, ir, "KNN", knn);
+      }
+      {
+        spe::AdaBoostConfig config;
+        config.n_estimators = 10;
+        spe::AdaBoost boost(config);
+        Analyze(dataset, overlapped, ir, "AdaBoost", boost);
+      }
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "expected shape: hard_count roughly flat with IR on non-overlapped "
+      "data,\nrising sharply with IR on overlapped data; KNN and AdaBoost "
+      "place hardness\non different samples (different decile profiles).\n");
+  return 0;
+}

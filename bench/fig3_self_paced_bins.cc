@@ -1,0 +1,99 @@
+// Reproduces Fig. 3: how the self-paced factor alpha reshapes the
+// under-sampled majority subset, on the (simulated) Payment dataset.
+//
+// For each subfigure we print, per hardness bin (k = 20): the population
+// and the total hardness contribution — for (a) the original majority
+// set and (b)-(d) subsets selected with alpha = 0, alpha = 0.1 and
+// alpha -> inf. Counts span orders of magnitude (the paper's log-scale
+// y-axis), so read ratios, not differences.
+
+#include <cstdio>
+#include <limits>
+#include <vector>
+
+#include "spe/classifiers/gbdt/gbdt.h"
+#include "spe/core/hardness.h"
+#include "spe/core/self_paced_sampler.h"
+#include "spe/data/simulated.h"
+#include "spe/data/split.h"
+#include "spe/eval/experiment.h"
+
+namespace {
+
+constexpr std::size_t kBins = 20;
+
+void PrintBins(const char* title, std::span<const double> hardness) {
+  const spe::HardnessBins bins = spe::ComputeHardnessBins(hardness, kBins);
+  std::printf("%s\n  population  :", title);
+  for (std::size_t b = 0; b < kBins; ++b) std::printf(" %6zu", bins.population[b]);
+  std::printf("\n  contribution:");
+  for (std::size_t b = 0; b < kBins; ++b) {
+    std::printf(" %6.1f", bins.contribution[b]);
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Fig. 3 reproduction: self-paced under-sampling bins "
+              "(simulated Payment, GBDT ensemble, k=20)\n\n");
+  spe::Rng rng(7);
+  const spe::Dataset data = spe::MakePaymentSim(rng, 0.5 * spe::BenchScale());
+  const spe::TrainTest split = spe::StratifiedSplit2(data, 0.8, rng);
+
+  // A partially trained ensemble supplies the hardness estimates, like
+  // the mid-training snapshots in the paper.
+  spe::GbdtConfig config;
+  config.boost_rounds = 10;
+  spe::Gbdt model(config);
+  spe::Rng subset_rng(8);
+  {
+    // Train on a balanced subset as SPE's bootstrap iteration does.
+    const auto pos = split.train.PositiveIndices();
+    const auto neg = split.train.NegativeIndices();
+    std::vector<std::size_t> rows = pos;
+    for (std::size_t i :
+         subset_rng.SampleWithoutReplacement(neg.size(), pos.size())) {
+      rows.push_back(neg[i]);
+    }
+    model.Fit(split.train.Subset(rows));
+  }
+
+  const auto neg = split.train.NegativeIndices();
+  const spe::Dataset majority = split.train.Subset(neg);
+  const std::vector<double> probs = model.PredictProba(majority);
+  const spe::HardnessFn fn = spe::MakeHardness(spe::HardnessKind::kAbsoluteError);
+  std::vector<double> hardness(probs.size());
+  for (std::size_t i = 0; i < probs.size(); ++i) hardness[i] = fn(probs[i], 0);
+
+  PrintBins("(a) original majority set N", hardness);
+
+  const std::size_t target = split.train.CountPositives();
+  const struct {
+    const char* title;
+    double alpha;
+  } settings[] = {
+      {"(b) alpha = 0 (pure hardness harmonize)", 0.0},
+      {"(c) alpha = 0.1", 0.1},
+      {"(d) alpha -> inf (uniform over bins)",
+       std::numeric_limits<double>::infinity()},
+  };
+  for (const auto& s : settings) {
+    spe::Rng pick_rng(9);
+    const std::vector<std::size_t> pick =
+        spe::SelfPacedUnderSample(hardness, s.alpha, kBins, target, pick_rng);
+    std::vector<double> subset_hardness;
+    subset_hardness.reserve(pick.size());
+    for (std::size_t i : pick) subset_hardness.push_back(hardness[i]);
+    PrintBins(s.title, subset_hardness);
+  }
+
+  std::printf(
+      "\nexpected shape (paper Fig. 3): (a) population collapses toward "
+      "the trivial\nbins while contribution is spread; (b) contribution "
+      "roughly equal per bin;\n(c) trivial-bin population shrinks; (d) "
+      "population near-uniform across\nnon-empty bins with a surviving "
+      "skeleton of trivial samples.\n");
+  return 0;
+}

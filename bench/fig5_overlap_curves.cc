@@ -1,0 +1,81 @@
+// Reproduces Fig. 5: SPE vs BalanceCascade training curves (test AUCPRC
+// after each of the 10 iterations) on checkerboards with covariance
+// 0.05 / 0.10 / 0.15.
+//
+// Expected shape: more overlap lowers every curve; Cascade's curve bends
+// downward in late iterations as it overfits the remaining outliers,
+// while SPE keeps improving or plateaus.
+
+#include <cstdio>
+#include <vector>
+
+#include "spe/core/self_paced_ensemble.h"
+#include "spe/data/synthetic.h"
+#include "spe/eval/experiment.h"
+#include "spe/imbalance/balance_cascade.h"
+#include "spe/metrics/metrics.h"
+
+namespace {
+
+constexpr std::size_t kIterations = 10;
+
+// Mean AUCPRC-per-iteration curves over `runs` seeds.
+template <typename Model>
+std::vector<double> Curve(Model& model, const spe::Dataset& train,
+                          const spe::Dataset& test) {
+  std::vector<double> curve(kIterations, 0.0);
+  model.set_iteration_callback([&](const spe::IterationInfo& info) {
+    curve[info.iteration - 1] =
+        spe::AucPrc(test.labels(), info.ensemble.PredictProba(test));
+  });
+  model.Fit(train);
+  return curve;
+}
+
+}  // namespace
+
+int main() {
+  const std::size_t runs = std::min<std::size_t>(spe::BenchRuns(), 3);
+  std::printf("Fig. 5 reproduction: training curves under class overlap "
+              "(%zu runs)\ncov,method,iter1..iter10\n",
+              runs);
+
+  for (const double cov : {0.05, 0.10, 0.15}) {
+    std::vector<double> spe_curve(kIterations, 0.0);
+    std::vector<double> cascade_curve(kIterations, 0.0);
+    for (std::size_t r = 0; r < runs; ++r) {
+      spe::Rng rng(40 + r);
+      spe::CheckerboardConfig config;
+      config.covariance = cov;
+      const spe::Dataset train = spe::MakeCheckerboard(config, rng);
+      const spe::Dataset test = spe::MakeCheckerboard(config, rng);
+
+      spe::SelfPacedEnsembleConfig spe_config;
+      spe_config.n_estimators = kIterations;
+      spe_config.seed = r;
+      spe::SelfPacedEnsemble spe_model(spe_config);
+      const std::vector<double> s = Curve(spe_model, train, test);
+
+      spe::BalanceCascadeConfig cascade_config;
+      cascade_config.n_estimators = kIterations;
+      cascade_config.seed = r;
+      spe::BalanceCascade cascade_model(cascade_config);
+      const std::vector<double> c = Curve(cascade_model, train, test);
+
+      for (std::size_t i = 0; i < kIterations; ++i) {
+        spe_curve[i] += s[i] / static_cast<double>(runs);
+        cascade_curve[i] += c[i] / static_cast<double>(runs);
+      }
+    }
+    std::printf("cov=%.2f,SPE", cov);
+    for (double v : spe_curve) std::printf(",%.3f", v);
+    std::printf("\ncov=%.2f,Cascade", cov);
+    for (double v : cascade_curve) std::printf(",%.3f", v);
+    std::printf("\n");
+    std::fflush(stdout);
+  }
+  std::printf(
+      "expected shape: higher cov -> lower curves; Cascade declines in "
+      "late\niterations at high overlap while SPE holds.\n");
+  return 0;
+}

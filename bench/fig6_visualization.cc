@@ -1,0 +1,198 @@
+// Reproduces Fig. 6: what each imbalance-learning method actually trains
+// on, and what its final model predicts, on the checkerboard dataset.
+//
+// For Clean and SMOTE we render the (single) re-sampled training set;
+// for the ensembles (Easy, Cascade, SPE) the training subsets of their
+// 5th and 10th members. Below each training set we render the fitted
+// model's predicted positive probability over the plane.
+//
+// Rendering: coarse ASCII grids on stdout, plus real grayscale PGM
+// images written to $SPE_FIG_DIR (default: <tmp>/spe_fig6) for direct
+// visual comparison against the paper's panels.
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "spe/io/image.h"
+
+#include "spe/classifiers/decision_tree.h"
+#include "spe/core/self_paced_ensemble.h"
+#include "spe/data/synthetic.h"
+#include "spe/imbalance/balance_cascade.h"
+#include "spe/imbalance/under_bagging.h"
+#include "spe/metrics/metrics.h"
+#include "spe/sampling/ncr.h"
+#include "spe/sampling/smote.h"
+
+namespace {
+
+constexpr int kGrid = 30;
+constexpr double kLo = -1.0;
+constexpr double kHi = 4.0;
+
+// Directory the PGM panels go to; created on first use.
+const std::string& FigureDir() {
+  static const std::string dir = [] {
+    std::string d;
+    if (const char* env = std::getenv("SPE_FIG_DIR")) {
+      d = env;
+    } else {
+      d = (std::filesystem::temp_directory_path() / "spe_fig6").string();
+    }
+    std::filesystem::create_directories(d);
+    return d;
+  }();
+  return dir;
+}
+
+std::string Slugify(const std::string& title) {
+  std::string slug;
+  for (char c : title) {
+    if (std::isalnum(static_cast<unsigned char>(c))) {
+      slug += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    } else if (!slug.empty() && slug.back() != '_') {
+      slug += '_';
+    }
+  }
+  return slug;
+}
+
+// ASCII density map of a training set: majority '#', minority '+',
+// both 'o'.
+void RenderTrainingSet(const std::string& title, const spe::Dataset& data) {
+  std::vector<int> majority(kGrid * kGrid, 0);
+  std::vector<int> minority(kGrid * kGrid, 0);
+  for (std::size_t i = 0; i < data.num_rows(); ++i) {
+    const int gx = static_cast<int>((data.At(i, 0) - kLo) / (kHi - kLo) * kGrid);
+    const int gy = static_cast<int>((data.At(i, 1) - kLo) / (kHi - kLo) * kGrid);
+    if (gx < 0 || gx >= kGrid || gy < 0 || gy >= kGrid) continue;
+    (data.Label(i) == 1 ? minority : majority)[gy * kGrid + gx] += 1;
+  }
+  const std::string pgm =
+      FigureDir() + "/train_" + Slugify(title) + ".pgm";
+  spe::RenderScatter(data, spe::ViewPort{kLo, kHi, kLo, kHi}, 240).SavePgm(pgm);
+  std::printf("--- training set: %s (%zu rows, %zu minority) [%s]\n",
+              title.c_str(), data.num_rows(), data.CountPositives(),
+              pgm.c_str());
+  for (int y = kGrid - 1; y >= 0; --y) {
+    for (int x = 0; x < kGrid; ++x) {
+      const bool has_majority = majority[y * kGrid + x] > 0;
+      const bool has_minority = minority[y * kGrid + x] > 0;
+      std::putchar(has_majority && has_minority ? 'o'
+                   : has_minority              ? '+'
+                   : has_majority              ? '#'
+                                               : ' ');
+    }
+    std::putchar('\n');
+  }
+}
+
+void RenderPrediction(const std::string& title, const spe::Classifier& model) {
+  static const char kShades[] = " .:-=+*#%@";
+  const std::string pgm =
+      FigureDir() + "/surface_" + Slugify(title) + ".pgm";
+  spe::RenderPredictionSurface(model, spe::ViewPort{kLo, kHi, kLo, kHi}, 240)
+      .SavePgm(pgm);
+  std::printf("--- prediction surface: %s (darker = more positive) [%s]\n",
+              title.c_str(), pgm.c_str());
+  for (int y = kGrid - 1; y >= 0; --y) {
+    for (int x = 0; x < kGrid; ++x) {
+      const double fx = kLo + (x + 0.5) / kGrid * (kHi - kLo);
+      const double fy = kLo + (y + 0.5) / kGrid * (kHi - kLo);
+      const double p = model.PredictRow(std::vector<double>{fx, fy});
+      std::putchar(kShades[static_cast<int>(p * 9.999)]);
+    }
+    std::putchar('\n');
+  }
+}
+
+std::unique_ptr<spe::Classifier> Tree() {
+  spe::DecisionTreeConfig config;
+  config.max_depth = 10;
+  return std::make_unique<spe::DecisionTree>(config);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Fig. 6 reproduction: training sets and prediction surfaces on "
+              "the checkerboard\n\n");
+  spe::Rng rng(6);
+  spe::CheckerboardConfig config;
+  const spe::Dataset train = spe::MakeCheckerboard(config, rng);
+  const spe::Dataset test = spe::MakeCheckerboard(config, rng);
+
+  // ---- Clean (NCR): one cleaned-but-imbalanced training set.
+  {
+    spe::Rng sampler_rng(1);
+    const spe::Dataset cleaned = spe::NcrSampler().Resample(train, sampler_rng);
+    RenderTrainingSet("Clean (NCR)", cleaned);
+    auto tree = Tree();
+    tree->Fit(cleaned);
+    RenderPrediction("Clean + DT", *tree);
+    std::printf("AUCPRC on fresh test: %.3f\n\n",
+                spe::AucPrc(test.labels(), tree->PredictProba(test)));
+  }
+
+  // ---- SMOTE: over-generalized minority under overlap.
+  {
+    spe::Rng sampler_rng(2);
+    const spe::Dataset oversampled =
+        spe::SmoteSampler().Resample(train, sampler_rng);
+    RenderTrainingSet("SMOTE", oversampled);
+    auto tree = Tree();
+    tree->Fit(oversampled);
+    RenderPrediction("SMOTE + DT", *tree);
+    std::printf("AUCPRC on fresh test: %.3f\n\n",
+                spe::AucPrc(test.labels(), tree->PredictProba(test)));
+  }
+
+  // ---- Ensembles: show the 5th and 10th member's training subset.
+  const auto run_ensemble = [&](const std::string& name, auto& model) {
+    model.set_iteration_callback([&](const spe::IterationInfo& info) {
+      if (info.iteration == 5 || info.iteration == 10) {
+        RenderTrainingSet(name + ", member " + std::to_string(info.iteration),
+                          info.training_subset);
+      }
+    });
+    model.Fit(train);
+    RenderPrediction(name + " (final ensemble)", model);
+    std::printf("AUCPRC on fresh test: %.3f\n\n",
+                spe::AucPrc(test.labels(), model.PredictProba(test)));
+  };
+
+  {
+    spe::UnderBaggingConfig easy_config;
+    easy_config.n_estimators = 10;
+    easy_config.seed = 3;
+    spe::UnderBagging easy(easy_config, Tree());
+    run_ensemble("Easy (RandUnder bags)", easy);
+  }
+  {
+    spe::BalanceCascadeConfig cascade_config;
+    cascade_config.n_estimators = 10;
+    cascade_config.seed = 4;
+    spe::BalanceCascade cascade(cascade_config, Tree());
+    run_ensemble("Cascade", cascade);
+  }
+  {
+    spe::SelfPacedEnsembleConfig spe_config;
+    spe_config.n_estimators = 10;
+    spe_config.seed = 5;
+    spe::SelfPacedEnsemble spe_model(spe_config, Tree());
+    run_ensemble("SPE", spe_model);
+  }
+
+  std::printf(
+      "expected shape (paper Fig. 6): Clean keeps all trivial majority; "
+      "SMOTE\nsmears the minority clusters; Cascade's member-10 subset is "
+      "dominated by\noutliers; SPE's member-10 subset keeps borderline "
+      "points plus a skeleton of\neasy majority, and its prediction surface "
+      "recovers the checkerboard best.\n");
+  return 0;
+}

@@ -1,0 +1,178 @@
+// Reproduces Fig. 7: test AUCPRC as a function of the number of base
+// classifiers n for the six ensemble methods, on simulated Credit Fraud
+// and Payment (SMOTE-based methods are absent on Payment — categorical
+// features — exactly as in the paper).
+//
+// Tracing strategy: boosting methods (RUSBoost, SMOTEBoost) expose
+// staged prediction, bagging-style methods (UnderBagging, SMOTEBagging,
+// Cascade) are evaluated through the iteration callback, so each needs
+// one fit per run. SPE's alpha schedule depends on its total n, so SPE
+// is re-trained per checkpoint (it is also by far the cheapest to fit).
+
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "spe/classifiers/factory.h"
+#include "spe/core/self_paced_ensemble.h"
+#include "spe/data/simulated.h"
+#include "spe/data/split.h"
+#include "spe/eval/experiment.h"
+#include "spe/imbalance/balance_cascade.h"
+#include "spe/imbalance/rus_boost.h"
+#include "spe/imbalance/smote_bagging.h"
+#include "spe/imbalance/smote_boost.h"
+#include "spe/imbalance/under_bagging.h"
+#include "spe/metrics/metrics.h"
+
+namespace {
+
+const std::vector<std::size_t> kCheckpoints = {1, 2, 5, 10, 20, 50};
+constexpr std::size_t kMaxN = 50;
+
+using Curves = std::map<std::string, std::vector<double>>;
+
+std::unique_ptr<spe::Classifier> Tree(std::uint64_t seed) {
+  return spe::MakeClassifier("DT", seed);
+}
+
+// Accumulates AUCPRC at each checkpoint into curves[method].
+void Accumulate(Curves& curves, const std::string& method,
+                const std::vector<double>& values, std::size_t runs) {
+  auto& slot = curves[method];
+  if (slot.empty()) slot.assign(values.size(), 0.0);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    slot[i] += values[i] / static_cast<double>(runs);
+  }
+}
+
+// Evaluation through the iteration callback (bagging-family methods).
+template <typename Model>
+std::vector<double> CallbackCurve(Model& model, const spe::Dataset& train,
+                                  const spe::Dataset& test) {
+  std::vector<double> values;
+  std::size_t next = 0;
+  model.set_iteration_callback([&](const spe::IterationInfo& info) {
+    if (next < kCheckpoints.size() && info.iteration == kCheckpoints[next]) {
+      values.push_back(
+          spe::AucPrc(test.labels(), info.ensemble.PredictProba(test)));
+      ++next;
+    }
+  });
+  model.Fit(train);
+  return values;
+}
+
+void RunDataset(const char* name, const spe::Dataset& full, bool smote_ok,
+                std::size_t runs) {
+  Curves curves;
+  for (std::size_t r = 0; r < runs; ++r) {
+    spe::Rng rng(700 + r);
+    const spe::TrainValTest parts = spe::StratifiedSplit(full, 0.6, 0.2, 0.2, rng);
+    const spe::Dataset& train = parts.train;
+    const spe::Dataset& test = parts.test;
+
+    {  // SPE: retrain per checkpoint (alpha schedule depends on n).
+      std::vector<double> values;
+      for (std::size_t n : kCheckpoints) {
+        spe::SelfPacedEnsembleConfig config;
+        config.n_estimators = n;
+        config.seed = r;
+        spe::SelfPacedEnsemble model(config, Tree(r));
+        model.Fit(train);
+        values.push_back(spe::AucPrc(test.labels(), model.PredictProba(test)));
+      }
+      Accumulate(curves, "SPE", values, runs);
+    }
+    {
+      spe::BalanceCascadeConfig config;
+      config.n_estimators = kMaxN;
+      config.seed = r;
+      spe::BalanceCascade model(config, Tree(r));
+      Accumulate(curves, "Cascade", CallbackCurve(model, train, test), runs);
+    }
+    {
+      spe::UnderBaggingConfig config;
+      config.n_estimators = kMaxN;
+      config.seed = r;
+      spe::UnderBagging model(config, Tree(r));
+      Accumulate(curves, "UnderBagging", CallbackCurve(model, train, test),
+                 runs);
+    }
+    {
+      spe::RusBoostConfig config;
+      config.n_estimators = kMaxN;
+      config.seed = r;
+      spe::RusBoost model(config, Tree(r));
+      model.Fit(train);
+      std::vector<double> values;
+      for (std::size_t n : kCheckpoints) {
+        values.push_back(
+            spe::AucPrc(test.labels(), model.PredictProbaStaged(test, n)));
+      }
+      Accumulate(curves, "RUSBoost", values, runs);
+    }
+    if (smote_ok) {
+      {
+        spe::SmoteBaggingConfig config;
+        config.n_estimators = kMaxN;
+        config.seed = r;
+        spe::SmoteBagging model(config, Tree(r));
+        Accumulate(curves, "SMOTEBagging", CallbackCurve(model, train, test),
+                   runs);
+      }
+      {
+        spe::SmoteBoostConfig config;
+        config.n_estimators = kMaxN;
+        config.seed = r;
+        spe::SmoteBoost model(config, Tree(r));
+        model.Fit(train);
+        std::vector<double> values;
+        for (std::size_t n : kCheckpoints) {
+          values.push_back(
+              spe::AucPrc(test.labels(), model.PredictProbaStaged(test, n)));
+        }
+        Accumulate(curves, "SMOTEBoost", values, runs);
+      }
+    }
+  }
+
+  std::printf("dataset=%s (n checkpoints:", name);
+  for (std::size_t n : kCheckpoints) std::printf(" %zu", n);
+  std::printf(")\n");
+  for (const auto& [method, values] : curves) {
+    std::printf("%-14s", method.c_str());
+    for (double v : values) std::printf(" %.3f", v);
+    std::printf("\n");
+  }
+  std::printf("\n");
+  std::fflush(stdout);
+}
+
+}  // namespace
+
+int main() {
+  const std::size_t runs = std::min<std::size_t>(spe::BenchRuns(), 3);
+  std::printf("Fig. 7 reproduction: AUCPRC vs ensemble size (%zu runs)\n\n",
+              runs);
+  {
+    spe::Rng rng(71);
+    const spe::Dataset credit =
+        spe::MakeCreditFraudSim(rng, 0.6 * spe::BenchScale());
+    RunDataset("CreditFraud-sim", credit, /*smote_ok=*/true, runs);
+  }
+  {
+    spe::Rng rng(72);
+    const spe::Dataset payment =
+        spe::MakePaymentSim(rng, 0.6 * spe::BenchScale());
+    RunDataset("Payment-sim", payment, /*smote_ok=*/false, runs);
+  }
+  std::printf(
+      "expected shape (paper Fig. 7): SPE dominates at every n and "
+      "converges\nfastest; RUSBoost / UnderBagging need large n to catch "
+      "up; SMOTE-based\nmethods are competitive on Credit Fraud but "
+      "inapplicable on Payment.\n");
+  return 0;
+}

@@ -1,0 +1,136 @@
+// Reproduces Table IV: 6 imbalance-learning methods x designated
+// classifiers on the five (simulated) real-world datasets, scored with
+// AUCPRC / F1 / G-mean / MCC on a held-out test set (60/20/20 split).
+//
+// The real datasets are proprietary / impractically large; the
+// generators in spe/data/simulated.h preserve the relevant regimes (see
+// DESIGN.md §3). Distance-based methods print "- -" on datasets with
+// categorical features, exactly as the paper does.
+
+#include <cstdio>
+#include <functional>
+#include <iostream>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "spe/data/simulated.h"
+#include "spe/data/split.h"
+#include "spe/eval/experiment.h"
+#include "spe/eval/table.h"
+
+namespace {
+
+using spe::bench::RunMethodOnce;
+
+struct Task {
+  std::string dataset;
+  std::string classifier;
+  std::function<spe::Dataset(spe::Rng&, double)> make;
+  // Paper's AUCPRC row (RandUnder, Clean, SMOTE, Easy10, Cascade10,
+  // SPE10); -1 marks the paper's "- -" cells.
+  std::vector<double> paper_aucprc;
+};
+
+const char* Cell(const std::optional<spe::MeanStd>& value, double paper) {
+  static thread_local std::string buffer;
+  if (!value.has_value()) {
+    buffer = "- -";
+  } else {
+    buffer = spe::FormatMeanStd(*value);
+  }
+  if (paper >= 0.0) {
+    buffer += " (paper=" + spe::FormatNumber(paper) + ")";
+  }
+  return buffer.c_str();
+}
+
+}  // namespace
+
+int main() {
+  const std::vector<std::string> methods = {"RandUnder", "Clean",   "SMOTE",
+                                            "Easy",      "Cascade", "SPE"};
+  const std::vector<Task> tasks = {
+      {"CreditFraud", "KNN", [](spe::Rng& r, double s) { return spe::MakeCreditFraudSim(r, s); },
+       {0.052, 0.677, 0.352, 0.162, 0.676, 0.752}},
+      {"CreditFraud", "DT", [](spe::Rng& r, double s) { return spe::MakeCreditFraudSim(r, s); },
+       {0.014, 0.598, 0.088, 0.339, 0.592, 0.783}},
+      {"CreditFraud", "MLP", [](spe::Rng& r, double s) { return spe::MakeCreditFraudSim(r, s); },
+       {0.225, 0.001, 0.527, 0.605, 0.738, 0.747}},
+      {"KDD-PRB", "AdaBoost10",
+       [](spe::Rng& r, double s) { return spe::MakeKddSim(spe::KddTask::kDosVsPrb, r, s); },
+       {0.930, -1.0, -1.0, 0.995, 1.000, 1.000}},
+      {"KDD-R2L", "AdaBoost10",
+       [](spe::Rng& r, double s) { return spe::MakeKddSim(spe::KddTask::kDosVsR2l, r, s); },
+       {0.034, -1.0, -1.0, 0.108, 0.945, 0.999}},
+      {"RecordLinkage", "GBDT10",
+       [](spe::Rng& r, double s) { return spe::MakeRecordLinkageSim(r, s); },
+       {0.988, -1.0, -1.0, 0.999, 1.000, 1.000}},
+      {"Payment", "GBDT10",
+       [](spe::Rng& r, double s) { return spe::MakePaymentSim(r, s); },
+       {0.278, -1.0, -1.0, 0.676, 0.776, 0.944}},
+  };
+  // Record Linkage is numeric in the original too, but the paper only
+  // reports RandUnder / Easy / Cascade / SPE there; we still run the
+  // distance-based methods when the simulated features allow it.
+
+  const std::size_t runs = std::min<std::size_t>(spe::BenchRuns(), 3);
+  const double scale = 0.6 * spe::BenchScale();
+  std::printf(
+      "Table IV reproduction: simulated real-world datasets, %zu runs, "
+      "scale %.2f\n",
+      runs, scale);
+
+  spe::TextTable table({"Dataset", "Model", "Metric", "RandUnder", "Clean",
+                        "SMOTE", "Easy10", "Cascade10", "SPE10"});
+
+  for (const Task& task : tasks) {
+    // One aggregate per (method, metric).
+    std::vector<std::optional<spe::AggregateScores>> per_method(methods.size());
+    for (std::size_t m = 0; m < methods.size(); ++m) {
+      bool applicable = true;
+      const spe::AggregateScores agg = spe::Repeat(
+          [&](std::uint64_t seed) {
+            spe::Rng rng(seed * 7919 + 17);
+            const spe::Dataset data = task.make(rng, scale);
+            const spe::TrainValTest parts =
+                spe::StratifiedSplit(data, 0.6, 0.2, 0.2, rng);
+            const auto result = RunMethodOnce(methods[m], task.classifier,
+                                              parts.train, parts.test,
+                                              /*n=*/10, seed);
+            if (!result.has_value()) {
+              applicable = false;
+              return spe::ScoreSummary{};
+            }
+            return *result;
+          },
+          runs, /*base_seed=*/1);
+      if (applicable) per_method[m] = agg;
+    }
+
+    const auto add_metric_row = [&](const std::string& metric,
+                                    auto extract, bool with_paper) {
+      std::vector<std::string> row = {task.dataset, task.classifier, metric};
+      for (std::size_t m = 0; m < methods.size(); ++m) {
+        std::optional<spe::MeanStd> cell;
+        if (per_method[m].has_value()) cell = extract(*per_method[m]);
+        row.push_back(
+            Cell(cell, with_paper ? task.paper_aucprc[m] : -1.0));
+      }
+      table.AddRow(std::move(row));
+    };
+    add_metric_row("AUCPRC", [](const spe::AggregateScores& a) { return a.aucprc; },
+                   true);
+    add_metric_row("F1", [](const spe::AggregateScores& a) { return a.f1; },
+                   false);
+    add_metric_row("GM", [](const spe::AggregateScores& a) { return a.gmean; },
+                   false);
+    add_metric_row("MCC", [](const spe::AggregateScores& a) { return a.mcc; },
+                   false);
+    std::fflush(stdout);
+  }
+  table.Print(std::cout);
+  return 0;
+}

@@ -1,0 +1,122 @@
+// Reproduces Table VII: AUCPRC of the 6 ensemble methods (n = 10, C4.5
+// base) on simulated Credit Fraud when 0 / 25 / 50 / 75 % of all feature
+// values — in train and test alike — are replaced by a meaningless 0.
+//
+// Expected shape: every method degrades with the missing ratio; SPE
+// degrades most gracefully because its hardness estimates keep tracking
+// whatever signal the surviving features carry, while distance-based
+// synthesis (SMOTE family) chases corrupted geometry.
+
+#include <cstdio>
+#include <iostream>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "spe/classifiers/factory.h"
+#include "spe/core/self_paced_ensemble.h"
+#include "spe/data/simulated.h"
+#include "spe/data/split.h"
+#include "spe/data/synthetic.h"
+#include "spe/eval/experiment.h"
+#include "spe/eval/table.h"
+#include "spe/imbalance/balance_cascade.h"
+#include "spe/imbalance/rus_boost.h"
+#include "spe/imbalance/smote_bagging.h"
+#include "spe/imbalance/smote_boost.h"
+#include "spe/imbalance/under_bagging.h"
+
+namespace {
+
+const std::map<std::string, std::vector<double>> kPaperAucprc = {
+    // ratios 0%, 25%, 50%, 75%
+    {"RUSBoost", {0.424, 0.277, 0.206, 0.084}},
+    {"SMOTEBoost", {0.762, 0.652, 0.529, 0.267}},
+    {"UnderBagging", {0.355, 0.258, 0.161, 0.046}},
+    {"SMOTEBagging", {0.782, 0.684, 0.503, 0.185}},
+    {"Cascade", {0.610, 0.513, 0.442, 0.234}},
+    {"SPE", {0.783, 0.699, 0.577, 0.374}},
+};
+
+std::unique_ptr<spe::Classifier> MakeMethod(const std::string& method,
+                                            std::uint64_t seed) {
+  const auto c45 = [&] { return spe::MakeClassifier("C4.5", seed); };
+  if (method == "RUSBoost") {
+    spe::RusBoostConfig config;
+    config.seed = seed;
+    return std::make_unique<spe::RusBoost>(config, c45());
+  }
+  if (method == "SMOTEBoost") {
+    spe::SmoteBoostConfig config;
+    config.seed = seed;
+    return std::make_unique<spe::SmoteBoost>(config, c45());
+  }
+  if (method == "UnderBagging") {
+    spe::UnderBaggingConfig config;
+    config.seed = seed;
+    return std::make_unique<spe::UnderBagging>(config, c45());
+  }
+  if (method == "SMOTEBagging") {
+    spe::SmoteBaggingConfig config;
+    config.seed = seed;
+    return std::make_unique<spe::SmoteBagging>(config, c45());
+  }
+  if (method == "Cascade") {
+    spe::BalanceCascadeConfig config;
+    config.seed = seed;
+    return std::make_unique<spe::BalanceCascade>(config, c45());
+  }
+  spe::SelfPacedEnsembleConfig config;
+  config.seed = seed;
+  return std::make_unique<spe::SelfPacedEnsemble>(config, c45());
+}
+
+}  // namespace
+
+int main() {
+  const std::vector<std::string> methods = {"RUSBoost",     "SMOTEBoost",
+                                            "UnderBagging", "SMOTEBagging",
+                                            "Cascade",      "SPE"};
+  const std::vector<double> ratios = {0.0, 0.25, 0.5, 0.75};
+  const std::size_t runs = std::min<std::size_t>(spe::BenchRuns(), 3);
+  const double scale = 0.6 * spe::BenchScale();
+  std::printf(
+      "Table VII reproduction: missing values on simulated Credit Fraud "
+      "(n=10, C4.5 base), %zu runs, scale %.2f\n",
+      runs, scale);
+
+  spe::TextTable table({"Missing", "RUSBoost10", "SMOTEBoost10",
+                        "UnderBagging10", "SMOTEBagging10", "Cascade10",
+                        "SPE10"});
+
+  for (std::size_t ratio_index = 0; ratio_index < ratios.size(); ++ratio_index) {
+    const double ratio = ratios[ratio_index];
+    std::vector<std::string> row = {
+        spe::FormatNumber(100.0 * ratio, 0) + "%"};
+    for (const std::string& method : methods) {
+      const spe::AggregateScores agg = spe::Repeat(
+          [&](std::uint64_t seed) {
+            spe::Rng rng(900 + seed);
+            spe::Dataset data = spe::MakeCreditFraudSim(rng, scale);
+            // Paper protocol: corrupt before splitting so train and test
+            // share the missing pattern distribution.
+            spe::InjectMissingValues(data, ratio, rng);
+            const spe::TrainValTest parts =
+                spe::StratifiedSplit(data, 0.6, 0.2, 0.2, rng);
+            auto model = MakeMethod(method, seed);
+            model->Fit(parts.train);
+            return spe::Evaluate(parts.test.labels(),
+                                 model->PredictProba(parts.test));
+          },
+          runs, /*base_seed=*/1);
+      row.push_back(spe::FormatMeanStd(agg.aucprc) + " (paper=" +
+                    spe::FormatNumber(kPaperAucprc.at(method)[ratio_index]) +
+                    ")");
+      std::fflush(stdout);
+    }
+    table.AddRow(std::move(row));
+  }
+  table.Print(std::cout);
+  return 0;
+}

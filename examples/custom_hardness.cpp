@@ -1,0 +1,66 @@
+// Extending the framework: plug a custom hardness function and a custom
+// base classifier into the Self-paced Ensemble.
+//
+// §IV defines hardness as *any* decomposable error H(F(x), y); this
+// example uses a focal-style hardness that amplifies confident mistakes
+// (gamma = 2), and wraps the library's logistic-regression classifier —
+// showing that SPE needs nothing from its base model beyond
+// Fit / PredictProba / Clone.
+//
+//   $ ./build/examples/custom_hardness
+
+#include <cmath>
+#include <cstdio>
+#include <memory>
+
+#include "spe/classifiers/logistic_regression.h"
+#include "spe/core/self_paced_ensemble.h"
+#include "spe/data/split.h"
+#include "spe/data/synthetic.h"
+#include "spe/metrics/metrics.h"
+
+int main() {
+  spe::Rng rng(10);
+  spe::TwoGaussiansConfig data_config;
+  data_config.num_minority = 400;
+  data_config.imbalance_ratio = 20.0;
+  data_config.overlapped = true;
+  const spe::Dataset data = spe::MakeTwoGaussians(data_config, rng);
+  std::printf("overlapped two-Gaussian data: %s\n\n", data.Summary().c_str());
+
+  const spe::TrainTest split = spe::StratifiedSplit2(data, 0.7, rng);
+
+  // Focal-style hardness: |p - y|^gamma with gamma = 2 — the squared
+  // error, but written out the long way to show the extension point.
+  const spe::HardnessFn focal = [](double prob, int label) {
+    const double error = std::abs(prob - static_cast<double>(label));
+    return std::pow(error, 2.0);
+  };
+
+  const auto run = [&](const char* name, spe::HardnessFn hardness,
+                       bool logistic_base) {
+    spe::SelfPacedEnsembleConfig config;
+    config.n_estimators = 10;
+    config.seed = 11;
+    if (hardness) config.custom_hardness = std::move(hardness);
+    auto model =
+        logistic_base
+            ? spe::SelfPacedEnsemble(
+                  config, std::make_unique<spe::LogisticRegression>())
+            : spe::SelfPacedEnsemble(config);  // default: depth-10 tree
+    model.Fit(split.train);
+    const spe::ScoreSummary s =
+        spe::Evaluate(split.test.labels(), model.PredictProba(split.test));
+    std::printf("%-34s AUCPRC %.3f  F1 %.3f  MCC %.3f\n", name, s.aucprc, s.f1,
+                s.mcc);
+  };
+
+  // Custom *base model*: the minority here is non-linearly embedded in
+  // the majority mixture, so a linear model struggles — exactly the
+  // model-capacity dependence Fig. 2 illustrates.
+  run("SPE + logistic regression", nullptr, /*logistic_base=*/true);
+  // Custom *hardness function* on the default tree base.
+  run("SPE + tree, default hardness", nullptr, false);
+  run("SPE + tree, focal hardness", focal, false);
+  return 0;
+}

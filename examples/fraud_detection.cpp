@@ -1,0 +1,93 @@
+// Fraud detection: the paper's motivating scenario (§I). Compares SPE
+// against the strongest baseline family (ensemble imbalance methods) on
+// a simulated credit-card-fraud dataset with a GBDT base model — the
+// Table IV protocol at example scale.
+//
+//   $ ./build/examples/fraud_detection
+
+#include <cstdio>
+#include <memory>
+
+#include "spe/classifiers/gbdt/gbdt.h"
+#include "spe/core/self_paced_ensemble.h"
+#include "spe/data/simulated.h"
+#include "spe/data/split.h"
+#include "spe/eval/stopwatch.h"
+#include "spe/imbalance/balance_cascade.h"
+#include "spe/imbalance/easy_ensemble.h"
+#include "spe/imbalance/under_bagging.h"
+#include "spe/metrics/metrics.h"
+
+namespace {
+
+std::unique_ptr<spe::Classifier> Gbdt5() {
+  spe::GbdtConfig config;
+  config.boost_rounds = 5;
+  return std::make_unique<spe::Gbdt>(config);
+}
+
+void Report(const char* name, const spe::ScoreSummary& s, double seconds) {
+  std::printf("%-18s %8.3f %8.3f %8.3f %8.3f %9.2fs\n", name, s.aucprc, s.f1,
+              s.gmean, s.mcc, seconds);
+}
+
+}  // namespace
+
+int main() {
+  spe::Rng rng(1);
+  const spe::Dataset data = spe::MakeCreditFraudSim(rng);
+  std::printf("simulated credit fraud: %s\n\n", data.Summary().c_str());
+
+  // Paper protocol: 60/20/20; the validation part is unused here (no
+  // early stopping at 5 rounds) but kept to mirror the pipeline.
+  const spe::TrainValTest parts = spe::StratifiedSplit(data, 0.6, 0.2, 0.2, rng);
+
+  std::printf("%-18s %8s %8s %8s %8s %10s\n", "method", "AUCPRC", "F1",
+              "G-mean", "MCC", "fit time");
+
+  {
+    spe::SelfPacedEnsembleConfig config;
+    config.n_estimators = 10;
+    config.seed = 2;
+    spe::SelfPacedEnsemble model(config, Gbdt5());
+    spe::Stopwatch watch;
+    model.Fit(parts.train);
+    const double t = watch.Seconds();
+    Report("SPE10 + GBDT", spe::Evaluate(parts.test.labels(),
+                                         model.PredictProba(parts.test)), t);
+  }
+  {
+    spe::BalanceCascadeConfig config;
+    config.n_estimators = 10;
+    config.seed = 2;
+    spe::BalanceCascade model(config, Gbdt5());
+    spe::Stopwatch watch;
+    model.Fit(parts.train);
+    const double t = watch.Seconds();
+    Report("Cascade10 + GBDT", spe::Evaluate(parts.test.labels(),
+                                             model.PredictProba(parts.test)), t);
+  }
+  {
+    spe::UnderBaggingConfig config;
+    config.n_estimators = 10;
+    config.seed = 2;
+    spe::UnderBagging model(config, Gbdt5());
+    spe::Stopwatch watch;
+    model.Fit(parts.train);
+    const double t = watch.Seconds();
+    Report("UnderBag10 + GBDT", spe::Evaluate(parts.test.labels(),
+                                              model.PredictProba(parts.test)), t);
+  }
+  {
+    spe::UnderBaggingConfig config;
+    config.n_estimators = 10;
+    config.seed = 2;
+    spe::EasyEnsemble model(config);  // classic Easy: AdaBoost inside
+    spe::Stopwatch watch;
+    model.Fit(parts.train);
+    const double t = watch.Seconds();
+    Report("Easy10 (AdaBoost)", spe::Evaluate(parts.test.labels(),
+                                              model.PredictProba(parts.test)), t);
+  }
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Network intrusion detection on a simulated KDDCUP-99-style task with
+// categorical features and an extreme imbalance ratio (DOS vs R2L).
+//
+// Demonstrates the applicability argument of §III/§VII: distance-based
+// re-samplers cannot run at all on this data (no meaningful metric over
+// categorical codes), while SPE — whose hardness needs no distances —
+// works with any base model.
+//
+//   $ ./build/examples/intrusion_detection
+
+#include <cstdio>
+
+#include "spe/classifiers/adaboost.h"
+#include "spe/core/self_paced_ensemble.h"
+#include "spe/data/simulated.h"
+#include "spe/data/split.h"
+#include "spe/metrics/metrics.h"
+#include "spe/sampling/sampler_factory.h"
+
+int main() {
+  spe::Rng rng(3);
+  const spe::Dataset data = spe::MakeKddSim(spe::KddTask::kDosVsR2l, rng);
+  std::printf("simulated KDDCUP (DOS vs R2L): %s\n", data.Summary().c_str());
+  std::printf("categorical features present: %s\n\n",
+              data.HasCategoricalFeatures() ? "yes" : "no");
+
+  // Distance-based methods bail out up front — the paper's "- -" cells.
+  for (const char* name : {"SMOTE", "Clean", "NearMiss"}) {
+    const auto sampler = spe::MakeSampler(name);
+    if (sampler->RequiresNumericalFeatures() && data.HasCategoricalFeatures()) {
+      std::printf("%-10s -> inapplicable (needs a numeric distance metric)\n",
+                  name);
+    }
+  }
+
+  const spe::TrainTest split = spe::StratifiedSplit2(data, 0.8, rng);
+
+  // SPE over AdaBoost10, the combination Table IV uses for the KDD tasks.
+  spe::AdaBoostConfig boost_config;
+  boost_config.n_estimators = 10;
+  spe::SelfPacedEnsembleConfig config;
+  config.n_estimators = 10;
+  config.seed = 4;
+  spe::SelfPacedEnsemble model(
+      config, std::make_unique<spe::AdaBoost>(boost_config));
+  model.Fit(split.train);
+
+  const spe::ScoreSummary scores =
+      spe::Evaluate(split.test.labels(), model.PredictProba(split.test));
+  std::printf("\nSPE10 + AdaBoost10:\n");
+  std::printf("  AUCPRC %.3f  F1 %.3f  G-mean %.3f  MCC %.3f\n", scores.aucprc,
+              scores.f1, scores.gmean, scores.mcc);
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Quickstart: train a Self-paced Ensemble on a highly imbalanced
+// synthetic task and compare it against a naive random-under-sampling
+// baseline.
+//
+//   $ ./build/examples/quickstart
+//
+// Walks through the full public API: generate data, split it, fit SPE
+// with a decision-tree base, evaluate with imbalance-aware metrics.
+
+#include <cstdio>
+
+#include "spe/classifiers/decision_tree.h"
+#include "spe/core/self_paced_ensemble.h"
+#include "spe/data/split.h"
+#include "spe/data/synthetic.h"
+#include "spe/metrics/metrics.h"
+#include "spe/sampling/random_under.h"
+
+int main() {
+  // 1. An imbalanced dataset: the paper's 4x4 checkerboard with 1,000
+  //    minority and 10,000 majority samples (IR = 10:1).
+  spe::Rng rng(/*seed=*/42);
+  spe::CheckerboardConfig data_config;
+  const spe::Dataset data = spe::MakeCheckerboard(data_config, rng);
+  std::printf("dataset: %s\n", data.Summary().c_str());
+
+  // 2. Stratified split so both parts keep the imbalance ratio.
+  const spe::TrainTest split = spe::StratifiedSplit2(data, /*train=*/0.7, rng);
+
+  // 3. Self-paced Ensemble: 10 depth-10 decision trees, each trained on
+  //    a balanced subset selected by self-paced hardness harmonization.
+  spe::SelfPacedEnsembleConfig config;
+  config.n_estimators = 10;
+  config.num_bins = 20;
+  config.seed = 7;
+  spe::SelfPacedEnsemble ensemble(config);
+  ensemble.Fit(split.train);
+
+  const spe::ScoreSummary spe_scores =
+      spe::Evaluate(split.test.labels(), ensemble.PredictProba(split.test));
+
+  // 4. Baseline: one tree on one random balanced subset.
+  spe::Rng baseline_rng(7);
+  const spe::Dataset balanced =
+      spe::RandomUnderSampler().Resample(split.train, baseline_rng);
+  spe::DecisionTreeConfig tree_config;
+  tree_config.max_depth = 10;
+  spe::DecisionTree tree(tree_config);
+  tree.Fit(balanced);
+  const spe::ScoreSummary baseline_scores =
+      spe::Evaluate(split.test.labels(), tree.PredictProba(split.test));
+
+  std::printf("\n%-22s %8s %8s %8s %8s\n", "model", "AUCPRC", "F1", "G-mean",
+              "MCC");
+  std::printf("%-22s %8.3f %8.3f %8.3f %8.3f\n", "SPE10 (tree base)",
+              spe_scores.aucprc, spe_scores.f1, spe_scores.gmean,
+              spe_scores.mcc);
+  std::printf("%-22s %8.3f %8.3f %8.3f %8.3f\n", "RandUnder + tree",
+              baseline_scores.aucprc, baseline_scores.f1,
+              baseline_scores.gmean, baseline_scores.mcc);
+  return 0;
+}

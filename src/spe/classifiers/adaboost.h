@@ -1,0 +1,61 @@
+#ifndef SPE_CLASSIFIERS_ADABOOST_H_
+#define SPE_CLASSIFIERS_ADABOOST_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "spe/classifiers/classifier.h"
+
+namespace spe {
+
+struct AdaBoostConfig {
+  std::size_t n_estimators = 10;  // the paper's AdaBoost10
+  double learning_rate = 1.0;
+  /// Depth of the default decision-tree base (ignored when a custom base
+  /// prototype is supplied).
+  int base_max_depth = 3;
+  std::uint64_t seed = 0;
+};
+
+/// Real AdaBoost (binary SAMME.R): each stage fits a weight-supporting
+/// base learner on re-weighted data and contributes the half-log-odds of
+/// its probability estimate. PredictRow returns
+/// sigmoid(2 * learning_rate * sum_m h_m(x)), the additive-logistic
+/// probability, so AdaBoost composes cleanly with AUCPRC-style metrics
+/// and with SPE's hardness functions.
+class AdaBoost final : public Classifier {
+ public:
+  explicit AdaBoost(const AdaBoostConfig& config = {});
+  /// Boosts clones of `base_prototype` (must support sample weights).
+  AdaBoost(const AdaBoostConfig& config, std::unique_ptr<Classifier> base_prototype);
+
+  void Fit(const Dataset& train) override;
+  void FitWeighted(const Dataset& train, const std::vector<double>& weights) override;
+  bool SupportsSampleWeights() const override { return true; }
+  double PredictRow(std::span<const double> x) const override;
+  std::vector<double> PredictProba(const Dataset& data) const override;
+  std::unique_ptr<Classifier> Clone() const override;
+  void Reseed(std::uint64_t seed) override { config_.seed = seed; }
+  std::string Name() const override;
+
+  std::size_t NumStages() const { return stages_.size(); }
+  const Classifier& stage(std::size_t i) const { return *stages_[i]; }
+  double learning_rate() const { return config_.learning_rate; }
+
+  /// Reassembles a trained booster from previously trained stages
+  /// (model persistence; the stages must all be fitted).
+  static std::unique_ptr<AdaBoost> FromTrainedStages(
+      const AdaBoostConfig& config,
+      std::vector<std::unique_ptr<Classifier>> stages);
+
+ private:
+  AdaBoostConfig config_;
+  std::unique_ptr<Classifier> base_prototype_;  // null => default tree
+  std::vector<std::unique_ptr<Classifier>> stages_;
+};
+
+}  // namespace spe
+
+#endif  // SPE_CLASSIFIERS_ADABOOST_H_

@@ -1,0 +1,66 @@
+#include "spe/classifiers/bagging.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "spe/classifiers/decision_tree.h"
+#include "spe/common/check.h"
+#include "spe/common/rng.h"
+
+namespace spe {
+
+Bagging::Bagging(const BaggingConfig& config) : config_(config) {
+  SPE_CHECK_GT(config.n_estimators, 0u);
+}
+
+Bagging::Bagging(const BaggingConfig& config,
+                 std::unique_ptr<Classifier> base_prototype)
+    : config_(config), base_prototype_(std::move(base_prototype)) {
+  SPE_CHECK_GT(config.n_estimators, 0u);
+}
+
+void Bagging::Fit(const Dataset& train) {
+  SPE_CHECK_GT(train.num_rows(), 0u);
+  ensemble_ = VotingEnsemble();
+  Rng rng(config_.seed);
+  const auto bag_size = std::max<std::size_t>(
+      1, static_cast<std::size_t>(config_.max_samples *
+                                  static_cast<double>(train.num_rows())));
+  for (std::size_t m = 0; m < config_.n_estimators; ++m) {
+    const std::vector<std::size_t> bag =
+        rng.SampleWithReplacement(train.num_rows(), bag_size);
+    std::unique_ptr<Classifier> member;
+    if (base_prototype_ != nullptr) {
+      member = base_prototype_->Clone();
+    } else {
+      DecisionTreeConfig tree_config;
+      tree_config.max_depth = 10;
+      member = std::make_unique<DecisionTree>(tree_config);
+    }
+    member->Reseed(config_.seed + 1000003 * (m + 1));
+    member->Fit(train.Subset(bag));
+    ensemble_.Add(std::move(member));
+  }
+}
+
+double Bagging::PredictRow(std::span<const double> x) const {
+  return ensemble_.PredictRow(x);
+}
+
+std::vector<double> Bagging::PredictProba(const Dataset& data) const {
+  return ensemble_.PredictProba(data);
+}
+
+std::unique_ptr<Classifier> Bagging::Clone() const {
+  return base_prototype_ != nullptr
+             ? std::make_unique<Bagging>(config_, base_prototype_->Clone())
+             : std::make_unique<Bagging>(config_);
+}
+
+std::string Bagging::Name() const {
+  std::ostringstream os;
+  os << "Bagging" << config_.n_estimators;
+  return os.str();
+}
+
+}  // namespace spe

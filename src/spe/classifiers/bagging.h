@@ -1,0 +1,48 @@
+#ifndef SPE_CLASSIFIERS_BAGGING_H_
+#define SPE_CLASSIFIERS_BAGGING_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "spe/classifiers/classifier.h"
+
+namespace spe {
+
+struct BaggingConfig {
+  std::size_t n_estimators = 10;
+  /// Bootstrap sample size as a fraction of the training set.
+  double max_samples = 1.0;
+  std::uint64_t seed = 0;
+};
+
+/// Bootstrap aggregating (Breiman, 1996): each member trains on a
+/// bootstrap resample and predictions are averaged probabilities.
+class Bagging final : public Classifier {
+ public:
+  explicit Bagging(const BaggingConfig& config = {});
+  /// Bags clones of `base_prototype` (default: depth-10 decision tree).
+  Bagging(const BaggingConfig& config, std::unique_ptr<Classifier> base_prototype);
+
+  void Fit(const Dataset& train) override;
+  double PredictRow(std::span<const double> x) const override;
+  std::vector<double> PredictProba(const Dataset& data) const override;
+  std::unique_ptr<Classifier> Clone() const override;
+  void Reseed(std::uint64_t seed) override { config_.seed = seed; }
+  std::string Name() const override;
+
+  std::size_t NumMembers() const { return ensemble_.size(); }
+
+  /// The trained members (model persistence / inspection).
+  const VotingEnsemble& members() const { return ensemble_; }
+
+ private:
+  BaggingConfig config_;
+  std::unique_ptr<Classifier> base_prototype_;  // null => default tree
+  VotingEnsemble ensemble_;
+};
+
+}  // namespace spe
+
+#endif  // SPE_CLASSIFIERS_BAGGING_H_

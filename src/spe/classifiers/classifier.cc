@@ -1,0 +1,48 @@
+#include "spe/classifiers/classifier.h"
+
+#include "spe/common/check.h"
+
+namespace spe {
+
+Classifier::~Classifier() = default;
+
+void Classifier::FitWeighted(const Dataset& /*train*/,
+                             const std::vector<double>& /*weights*/) {
+  SPE_CHECK(false) << Name() << " does not support sample weights";
+}
+
+std::vector<double> Classifier::PredictProba(const Dataset& data) const {
+  std::vector<double> out(data.num_rows());
+  for (std::size_t i = 0; i < data.num_rows(); ++i) out[i] = PredictRow(data.Row(i));
+  return out;
+}
+
+void VotingEnsemble::Add(std::unique_ptr<Classifier> member) {
+  SPE_CHECK(member != nullptr);
+  members_.push_back(std::move(member));
+}
+
+void VotingEnsemble::Truncate(std::size_t size) {
+  if (size < members_.size()) members_.resize(size);
+}
+
+std::vector<double> VotingEnsemble::PredictProba(const Dataset& data) const {
+  SPE_CHECK(!members_.empty());
+  std::vector<double> sum(data.num_rows(), 0.0);
+  for (const auto& m : members_) {
+    const std::vector<double> p = m->PredictProba(data);
+    for (std::size_t i = 0; i < sum.size(); ++i) sum[i] += p[i];
+  }
+  const double inv = 1.0 / static_cast<double>(members_.size());
+  for (double& v : sum) v *= inv;
+  return sum;
+}
+
+double VotingEnsemble::PredictRow(std::span<const double> x) const {
+  SPE_CHECK(!members_.empty());
+  double sum = 0.0;
+  for (const auto& m : members_) sum += m->PredictRow(x);
+  return sum / static_cast<double>(members_.size());
+}
+
+}  // namespace spe

@@ -1,0 +1,85 @@
+#ifndef SPE_CLASSIFIERS_CLASSIFIER_H_
+#define SPE_CLASSIFIERS_CLASSIFIER_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "spe/data/dataset.h"
+
+namespace spe {
+
+/// Abstract binary probabilistic classifier.
+///
+/// This is the "canonical classifier" abstraction of the paper: anything
+/// with Fit / PredictProba can be wrapped by SPE and by every baseline
+/// imbalance method (§I: "our methods can be easily adapted to most of
+/// existing learning methods"). Implementations are value-like objects
+/// configured at construction; Clone() produces a fresh *untrained* copy
+/// with the same configuration, which is how ensemble trainers stamp out
+/// their base models.
+class Classifier {
+ public:
+  virtual ~Classifier();
+
+  /// Trains on `train`, replacing any previous model.
+  virtual void Fit(const Dataset& train) = 0;
+
+  /// Trains with per-example weights (same length as `train`). Only
+  /// meaningful for implementations where SupportsSampleWeights() is
+  /// true; the default aborts, because silently ignoring the weights
+  /// would corrupt boosting algorithms built on top.
+  virtual void FitWeighted(const Dataset& train, const std::vector<double>& weights);
+  virtual bool SupportsSampleWeights() const { return false; }
+
+  /// Probability that `x` belongs to the positive (minority) class.
+  /// Must be in [0, 1]. Only valid after Fit.
+  virtual double PredictRow(std::span<const double> x) const = 0;
+
+  /// Batched prediction; the default loops over PredictRow, classifiers
+  /// with cheaper batch paths override it.
+  virtual std::vector<double> PredictProba(const Dataset& data) const;
+
+  /// Fresh untrained copy with identical configuration.
+  virtual std::unique_ptr<Classifier> Clone() const = 0;
+
+  /// Re-seeds any internal randomness (weight init, shuffling, feature
+  /// subsampling). Ensemble trainers call this on cloned members so the
+  /// ensemble is diverse even when every member sees similar data.
+  /// No-op for deterministic models.
+  virtual void Reseed(std::uint64_t /*seed*/) {}
+
+  /// Short name for tables/logs, e.g. "DT", "GBDT10".
+  virtual std::string Name() const = 0;
+};
+
+/// Averages the probability outputs of an arbitrary set of trained
+/// classifiers: F(x) = (1/n) * sum f_m(x) — the combination rule used by
+/// SPE (Algorithm 1 line 12) and the bagging-style baselines.
+class VotingEnsemble {
+ public:
+  VotingEnsemble() = default;
+
+  void Add(std::unique_ptr<Classifier> member);
+  /// Drops members past the first `size` (prefix selection, e.g. after
+  /// validation-monitored training). No-op when size >= size().
+  void Truncate(std::size_t size);
+  std::size_t size() const { return members_.size(); }
+  bool empty() const { return members_.empty(); }
+  const Classifier& member(std::size_t i) const { return *members_[i]; }
+
+  /// Mean member probability for each row. Requires at least one member.
+  std::vector<double> PredictProba(const Dataset& data) const;
+
+  /// Mean member probability for a single row.
+  double PredictRow(std::span<const double> x) const;
+
+ private:
+  std::vector<std::unique_ptr<Classifier>> members_;
+};
+
+}  // namespace spe
+
+#endif  // SPE_CLASSIFIERS_CLASSIFIER_H_

@@ -1,0 +1,244 @@
+#include "spe/classifiers/decision_tree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <istream>
+#include <limits>
+#include <numeric>
+#include <ostream>
+
+#include "spe/common/check.h"
+
+namespace spe {
+namespace {
+
+// Impurity of a (weight_total, weight_positive) node.
+double Impurity(DecisionTreeConfig::Criterion criterion, double total,
+                double positive) {
+  if (total <= 0.0) return 0.0;
+  const double p = positive / total;
+  if (criterion == DecisionTreeConfig::Criterion::kGini) {
+    return 2.0 * p * (1.0 - p);
+  }
+  double h = 0.0;
+  if (p > 0.0) h -= p * std::log2(p);
+  if (p < 1.0) h -= (1.0 - p) * std::log2(1.0 - p);
+  return h;
+}
+
+struct SplitCandidate {
+  int feature = -1;
+  double threshold = 0.0;
+  double score = std::numeric_limits<double>::infinity();  // weighted child impurity
+};
+
+}  // namespace
+
+DecisionTree::DecisionTree(const DecisionTreeConfig& config) : config_(config) {}
+
+void DecisionTree::Fit(const Dataset& train) { FitWeighted(train, {}); }
+
+void DecisionTree::FitWeighted(const Dataset& train,
+                               const std::vector<double>& weights) {
+  SPE_CHECK_GT(train.num_rows(), 0u);
+  std::vector<double> w = weights;
+  if (w.empty()) {
+    w.assign(train.num_rows(), 1.0);
+  } else {
+    SPE_CHECK_EQ(w.size(), train.num_rows());
+  }
+
+  nodes_.clear();
+  importances_.assign(train.num_features(), 0.0);
+  std::vector<std::size_t> indices(train.num_rows());
+  std::iota(indices.begin(), indices.end(), std::size_t{0});
+  Rng rng(config_.seed);
+  Build(train, w, indices, 0, indices.size(), /*depth=*/0, rng);
+}
+
+std::int32_t DecisionTree::Build(const Dataset& train,
+                                 const std::vector<double>& weights,
+                                 std::vector<std::size_t>& indices,
+                                 std::size_t begin, std::size_t end, int depth,
+                                 Rng& rng) {
+  double total = 0.0;
+  double positive = 0.0;
+  for (std::size_t i = begin; i < end; ++i) {
+    total += weights[indices[i]];
+    positive += weights[indices[i]] * static_cast<double>(train.Label(indices[i]));
+  }
+
+  auto make_leaf = [&]() -> std::int32_t {
+    Node leaf;
+    leaf.value = total > 0.0 ? positive / total : 0.0;
+    nodes_.push_back(leaf);
+    return static_cast<std::int32_t>(nodes_.size() - 1);
+  };
+
+  const std::size_t count = end - begin;
+  const double node_impurity = Impurity(config_.criterion, total, positive);
+  if (count < config_.min_samples_split || depth >= config_.max_depth ||
+      node_impurity == 0.0 || total <= 0.0) {
+    return make_leaf();
+  }
+
+  // Choose which features to evaluate at this node.
+  std::vector<int> features;
+  const int d = static_cast<int>(train.num_features());
+  if (config_.max_features == 0 ||
+      config_.max_features >= static_cast<std::size_t>(d)) {
+    features.resize(d);
+    std::iota(features.begin(), features.end(), 0);
+  } else {
+    for (std::size_t idx :
+         rng.SampleWithoutReplacement(static_cast<std::size_t>(d),
+                                      config_.max_features)) {
+      features.push_back(static_cast<int>(idx));
+    }
+  }
+
+  // Scratch: (value, weight, label) triples sorted per feature.
+  struct Entry {
+    double value;
+    double weight;
+    int label;
+  };
+  std::vector<Entry> entries(count);
+
+  SplitCandidate best;
+  for (int feature : features) {
+    for (std::size_t i = 0; i < count; ++i) {
+      const std::size_t row = indices[begin + i];
+      entries[i] = Entry{train.At(row, static_cast<std::size_t>(feature)),
+                         weights[row], train.Label(row)};
+    }
+    std::sort(entries.begin(), entries.end(),
+              [](const Entry& a, const Entry& b) { return a.value < b.value; });
+
+    double left_total = 0.0;
+    double left_positive = 0.0;
+    std::size_t left_count = 0;
+    for (std::size_t i = 0; i + 1 < count; ++i) {
+      left_total += entries[i].weight;
+      left_positive += entries[i].weight * static_cast<double>(entries[i].label);
+      ++left_count;
+      // Can only split between distinct feature values.
+      if (entries[i].value == entries[i + 1].value) continue;
+      if (left_count < config_.min_samples_leaf ||
+          count - left_count < config_.min_samples_leaf) {
+        continue;
+      }
+      const double right_total = total - left_total;
+      const double right_positive = positive - left_positive;
+      const double score =
+          left_total * Impurity(config_.criterion, left_total, left_positive) +
+          right_total * Impurity(config_.criterion, right_total, right_positive);
+      if (score < best.score) {
+        best.score = score;
+        best.feature = feature;
+        best.threshold = (entries[i].value + entries[i + 1].value) / 2.0;
+      }
+    }
+  }
+
+  // No usable split (all candidate features constant) or no impurity
+  // reduction: stop here.
+  if (best.feature < 0 || best.score >= total * node_impurity - 1e-12) {
+    return make_leaf();
+  }
+
+  // Partition indices in place around the chosen split.
+  const auto split_feature = static_cast<std::size_t>(best.feature);
+  auto middle = std::partition(
+      indices.begin() + static_cast<std::ptrdiff_t>(begin),
+      indices.begin() + static_cast<std::ptrdiff_t>(end),
+      [&](std::size_t row) { return train.At(row, split_feature) <= best.threshold; });
+  const auto mid =
+      static_cast<std::size_t>(middle - indices.begin());
+  // The threshold is a midpoint between two distinct sorted values, so
+  // both sides are guaranteed non-empty; defensive check regardless.
+  if (mid == begin || mid == end) return make_leaf();
+
+  importances_[split_feature] += total * node_impurity - best.score;
+
+  // Reserve our slot before recursing (children get later indices).
+  nodes_.emplace_back();
+  const auto self = static_cast<std::int32_t>(nodes_.size() - 1);
+  const std::int32_t left = Build(train, weights, indices, begin, mid, depth + 1, rng);
+  const std::int32_t right = Build(train, weights, indices, mid, end, depth + 1, rng);
+  nodes_[self].feature = best.feature;
+  nodes_[self].threshold = best.threshold;
+  nodes_[self].left = left;
+  nodes_[self].right = right;
+  nodes_[self].value = positive / total;
+  return self;
+}
+
+double DecisionTree::PredictRow(std::span<const double> x) const {
+  SPE_CHECK(!nodes_.empty()) << "predict before fit";
+  std::int32_t node = 0;
+  while (nodes_[static_cast<std::size_t>(node)].feature >= 0) {
+    const Node& n = nodes_[static_cast<std::size_t>(node)];
+    node = x[static_cast<std::size_t>(n.feature)] <= n.threshold ? n.left : n.right;
+  }
+  return nodes_[static_cast<std::size_t>(node)].value;
+}
+
+int DecisionTree::Depth() const {
+  SPE_CHECK(!nodes_.empty());
+  // Iterative depth computation over the node array.
+  std::vector<std::pair<std::int32_t, int>> stack = {{0, 0}};
+  int depth = 0;
+  while (!stack.empty()) {
+    auto [node, d] = stack.back();
+    stack.pop_back();
+    depth = std::max(depth, d);
+    const Node& n = nodes_[static_cast<std::size_t>(node)];
+    if (n.feature >= 0) {
+      stack.push_back({n.left, d + 1});
+      stack.push_back({n.right, d + 1});
+    }
+  }
+  return depth;
+}
+
+std::unique_ptr<Classifier> DecisionTree::Clone() const {
+  return std::make_unique<DecisionTree>(config_);
+}
+
+std::vector<double> DecisionTree::FeatureImportances() const {
+  SPE_CHECK(!nodes_.empty()) << "importances before fit";
+  std::vector<double> normalized = importances_;
+  double sum = 0.0;
+  for (double v : normalized) sum += v;
+  if (sum > 0.0) {
+    for (double& v : normalized) v /= sum;
+  }
+  return normalized;
+}
+
+void DecisionTree::SaveModel(std::ostream& os) const {
+  SPE_CHECK(!nodes_.empty()) << "cannot save an unfitted tree";
+  os.precision(std::numeric_limits<double>::max_digits10);
+  os << "nodes " << nodes_.size() << "\n";
+  for (const Node& n : nodes_) {
+    os << n.feature << " " << n.threshold << " " << n.left << " " << n.right
+       << " " << n.value << "\n";
+  }
+}
+
+DecisionTree DecisionTree::LoadModel(std::istream& is) {
+  std::string keyword;
+  std::size_t count = 0;
+  is >> keyword >> count;
+  SPE_CHECK(is.good() && keyword == "nodes") << "malformed tree model";
+  DecisionTree tree;
+  tree.nodes_.resize(count);
+  for (Node& n : tree.nodes_) {
+    is >> n.feature >> n.threshold >> n.left >> n.right >> n.value;
+  }
+  SPE_CHECK(!is.fail()) << "truncated tree model";
+  return tree;
+}
+
+}  // namespace spe

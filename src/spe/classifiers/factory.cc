@@ -1,0 +1,120 @@
+#include "spe/classifiers/factory.h"
+
+#include <cctype>
+
+#include "spe/classifiers/adaboost.h"
+#include "spe/classifiers/bagging.h"
+#include "spe/classifiers/decision_tree.h"
+#include "spe/classifiers/gbdt/gbdt.h"
+#include "spe/classifiers/knn.h"
+#include "spe/classifiers/lda.h"
+#include "spe/classifiers/linear_svm.h"
+#include "spe/classifiers/logistic_regression.h"
+#include "spe/classifiers/mlp.h"
+#include "spe/classifiers/naive_bayes.h"
+#include "spe/classifiers/random_forest.h"
+#include "spe/common/check.h"
+
+namespace spe {
+namespace {
+
+// Splits "AdaBoost10" into ("AdaBoost", 10); count is 0 when the name has
+// no trailing digits.
+std::pair<std::string, std::size_t> SplitTrailingCount(const std::string& name) {
+  std::size_t pos = name.size();
+  while (pos > 0 && std::isdigit(static_cast<unsigned char>(name[pos - 1]))) {
+    --pos;
+  }
+  const std::string head = name.substr(0, pos);
+  const std::size_t count =
+      pos == name.size() ? 0 : static_cast<std::size_t>(std::stoul(name.substr(pos)));
+  return {head, count};
+}
+
+}  // namespace
+
+std::unique_ptr<Classifier> MakeClassifier(const std::string& name,
+                                           std::uint64_t seed) {
+  // "C4.5" would confuse the trailing-count parser; match it verbatim.
+  if (name == "C4.5") {
+    DecisionTreeConfig config;
+    config.criterion = DecisionTreeConfig::Criterion::kEntropy;
+    config.max_depth = 10;
+    config.seed = seed;
+    return std::make_unique<DecisionTree>(config);
+  }
+
+  const auto [head, count] = SplitTrailingCount(name);
+  const std::size_t n = count == 0 ? 10 : count;
+
+  if (head == "KNN") {
+    return std::make_unique<Knn>(KnnConfig{.k = 5});
+  }
+  if (head == "DT") {
+    DecisionTreeConfig config;
+    config.max_depth = 10;
+    config.seed = seed;
+    return std::make_unique<DecisionTree>(config);
+  }
+  if (head == "MLP") {
+    MlpConfig config;
+    config.hidden_units = 128;
+    // The multi-cluster benchmark tasks need more passes than the class
+    // default to converge from a cold start on balanced subsets.
+    config.epochs = 60;
+    config.seed = seed;
+    return std::make_unique<Mlp>(config);
+  }
+  if (head == "SVM") {
+    SvmConfig config;
+    config.kernel = SvmConfig::Kernel::kRbfApprox;
+    config.c = 1000.0;
+    config.seed = seed;
+    return std::make_unique<LinearSvm>(config);
+  }
+  if (head == "LR") {
+    LogisticRegressionConfig config;
+    config.seed = seed;
+    return std::make_unique<LogisticRegression>(config);
+  }
+  if (head == "GNB") {
+    return std::make_unique<GaussianNaiveBayes>();
+  }
+  if (head == "LDA") {
+    return std::make_unique<LinearDiscriminant>();
+  }
+  if (head == "AdaBoost") {
+    AdaBoostConfig config;
+    config.n_estimators = n;
+    config.seed = seed;
+    return std::make_unique<AdaBoost>(config);
+  }
+  if (head == "Bagging") {
+    BaggingConfig config;
+    config.n_estimators = n;
+    config.seed = seed;
+    return std::make_unique<Bagging>(config);
+  }
+  if (head == "RandForest") {
+    RandomForestConfig config;
+    config.n_estimators = n;
+    config.seed = seed;
+    return std::make_unique<RandomForest>(config);
+  }
+  if (head == "GBDT") {
+    GbdtConfig config;
+    config.boost_rounds = n;
+    return std::make_unique<Gbdt>(config);
+  }
+  SPE_CHECK(false) << "unknown classifier name: " << name;
+  return nullptr;  // unreachable
+}
+
+std::vector<std::string> KnownClassifierNames() {
+  return {"KNN",        "DT",        "MLP",          "SVM",    "LR",
+          "AdaBoost10", "Bagging10", "RandForest10", "GBDT10", "C4.5",
+          // Extensions beyond the paper's model zoo:
+          "GNB", "LDA"};
+}
+
+}  // namespace spe

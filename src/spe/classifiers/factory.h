@@ -1,0 +1,40 @@
+#ifndef SPE_CLASSIFIERS_FACTORY_H_
+#define SPE_CLASSIFIERS_FACTORY_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "spe/classifiers/classifier.h"
+
+namespace spe {
+
+/// Builds a canonical classifier by name, with the hyper-parameters the
+/// paper lists in Table II:
+///
+///   "KNN"          k = 5 nearest neighbours
+///   "DT"           decision tree, max_depth = 10
+///   "MLP"          1 hidden layer of 128 units
+///   "SVM"          RBF-approximate SVM, C = 1000
+///   "LR"           logistic regression (Table V)
+///   "AdaBoostN"    AdaBoost with N stages (e.g. "AdaBoost10")
+///   "BaggingN"     Bagging with N members
+///   "RandForestN"  random forest with N trees
+///   "GBDTN"        gradient boosting with N rounds
+///   "C4.5"         entropy decision tree (Table VI base model)
+///   "GNB"          Gaussian naive Bayes (extension)
+///   "LDA"          linear discriminant analysis (extension)
+///
+/// `seed` drives all internal randomness; experiments vary it per run.
+/// Aborts on an unknown name.
+std::unique_ptr<Classifier> MakeClassifier(const std::string& name,
+                                           std::uint64_t seed = 0);
+
+/// Names accepted by MakeClassifier (with N = 10 for ensembles) — the
+/// eight base models of Table II plus LR and C4.5.
+std::vector<std::string> KnownClassifierNames();
+
+}  // namespace spe
+
+#endif  // SPE_CLASSIFIERS_FACTORY_H_

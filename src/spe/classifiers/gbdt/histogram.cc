@@ -1,0 +1,42 @@
+#include "spe/classifiers/gbdt/histogram.h"
+
+#include <algorithm>
+
+#include "spe/common/check.h"
+
+namespace spe {
+namespace gbdt {
+
+Histograms::Histograms(const std::vector<int>& bins_per_feature)
+    : bins_per_feature_(bins_per_feature) {
+  offsets_.resize(bins_per_feature_.size());
+  std::size_t total = 0;
+  for (std::size_t f = 0; f < bins_per_feature_.size(); ++f) {
+    offsets_[f] = total;
+    total += static_cast<std::size_t>(bins_per_feature_[f]);
+  }
+  cells_.resize(total);
+}
+
+void Histograms::Build(const BinnedMatrix& binned,
+                       std::span<const std::size_t> rows,
+                       std::span<const double> grads,
+                       std::span<const double> hess) {
+  SPE_CHECK_EQ(binned.num_features, bins_per_feature_.size());
+  std::fill(cells_.begin(), cells_.end(), BinStats{});
+  const std::size_t d = binned.num_features;
+  for (std::size_t row : rows) {
+    const std::uint8_t* row_bins = binned.bins.data() + row * d;
+    const double g = grads[row];
+    const double h = hess[row];
+    for (std::size_t f = 0; f < d; ++f) {
+      BinStats& cell = cells_[offsets_[f] + row_bins[f]];
+      cell.grad += g;
+      cell.hess += h;
+      ++cell.count;
+    }
+  }
+}
+
+}  // namespace gbdt
+}  // namespace spe

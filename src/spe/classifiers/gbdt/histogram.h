@@ -1,0 +1,50 @@
+#ifndef SPE_CLASSIFIERS_GBDT_HISTOGRAM_H_
+#define SPE_CLASSIFIERS_GBDT_HISTOGRAM_H_
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "spe/classifiers/gbdt/binning.h"
+
+namespace spe {
+namespace gbdt {
+
+/// Accumulated gradient statistics of one (feature, bin) cell.
+struct BinStats {
+  double grad = 0.0;
+  double hess = 0.0;
+  std::size_t count = 0;
+};
+
+/// Gradient/hessian histograms for every feature over a set of rows.
+/// All features share one contiguous buffer indexed by a per-feature
+/// offset (features can use different bin counts).
+class Histograms {
+ public:
+  /// Allocates space for the given per-feature bin counts.
+  explicit Histograms(const std::vector<int>& bins_per_feature);
+
+  /// Accumulates statistics for `rows` in a single pass over the binned
+  /// matrix. Clears previous contents.
+  void Build(const BinnedMatrix& binned, std::span<const std::size_t> rows,
+             std::span<const double> grads, std::span<const double> hess);
+
+  /// Stats of (feature, bin).
+  const BinStats& At(std::size_t feature, int bin) const {
+    return cells_[offsets_[feature] + static_cast<std::size_t>(bin)];
+  }
+
+  int NumBins(std::size_t feature) const { return bins_per_feature_[feature]; }
+  std::size_t num_features() const { return bins_per_feature_.size(); }
+
+ private:
+  std::vector<int> bins_per_feature_;
+  std::vector<std::size_t> offsets_;
+  std::vector<BinStats> cells_;
+};
+
+}  // namespace gbdt
+}  // namespace spe
+
+#endif  // SPE_CLASSIFIERS_GBDT_HISTOGRAM_H_

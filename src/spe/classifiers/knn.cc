@@ -1,0 +1,91 @@
+#include "spe/classifiers/knn.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "spe/common/check.h"
+#include "spe/common/parallel.h"
+
+namespace spe {
+
+Knn::Knn(const KnnConfig& config) : config_(config) {
+  SPE_CHECK_GT(config.k, 0u);
+}
+
+void Knn::Fit(const Dataset& train) {
+  SPE_CHECK_GT(train.num_rows(), 0u);
+  if (config_.standardize) {
+    scaler_.Fit(train);
+    train_ = scaler_.Transform(train);
+  } else {
+    train_ = train;
+  }
+}
+
+double Knn::PredictScaledRow(std::span<const double> x) const {
+  const std::size_t n = train_.num_rows();
+  const std::size_t k = std::min(config_.k, n);
+
+  // Keep the k smallest distances with a max-heap over (distance, label).
+  std::vector<std::pair<double, int>> heap;
+  heap.reserve(k + 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    auto row = train_.Row(i);
+    double dist = 0.0;
+    for (std::size_t j = 0; j < row.size(); ++j) {
+      const double d = row[j] - x[j];
+      dist += d * d;
+    }
+    if (heap.size() < k) {
+      heap.emplace_back(dist, train_.Label(i));
+      std::push_heap(heap.begin(), heap.end());
+    } else if (dist < heap.front().first) {
+      std::pop_heap(heap.begin(), heap.end());
+      heap.back() = {dist, train_.Label(i)};
+      std::push_heap(heap.begin(), heap.end());
+    }
+  }
+
+  if (!config_.distance_weighted) {
+    double positives = 0.0;
+    for (const auto& [dist, label] : heap) {
+      positives += static_cast<double>(label);
+    }
+    return positives / static_cast<double>(heap.size());
+  }
+  // Inverse-distance weighting (epsilon guards exact duplicates).
+  constexpr double kEps = 1e-9;
+  double weighted_positives = 0.0;
+  double weight_total = 0.0;
+  for (const auto& [squared_dist, label] : heap) {
+    const double weight = 1.0 / (std::sqrt(squared_dist) + kEps);
+    weighted_positives += weight * static_cast<double>(label);
+    weight_total += weight;
+  }
+  return weighted_positives / weight_total;
+}
+
+double Knn::PredictRow(std::span<const double> x) const {
+  SPE_CHECK(!train_.empty()) << "predict before fit";
+  if (!config_.standardize) return PredictScaledRow(x);
+  std::vector<double> scaled(x.size());
+  scaler_.TransformRow(x, scaled);
+  return PredictScaledRow(scaled);
+}
+
+std::vector<double> Knn::PredictProba(const Dataset& data) const {
+  SPE_CHECK(!train_.empty()) << "predict before fit";
+  const Dataset queries =
+      config_.standardize ? scaler_.Transform(data) : data;
+  std::vector<double> out(queries.num_rows());
+  ParallelFor(0, queries.num_rows(),
+              [&](std::size_t i) { out[i] = PredictScaledRow(queries.Row(i)); });
+  return out;
+}
+
+std::unique_ptr<Classifier> Knn::Clone() const {
+  return std::make_unique<Knn>(config_);
+}
+
+}  // namespace spe

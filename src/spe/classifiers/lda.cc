@@ -1,0 +1,125 @@
+#include "spe/classifiers/lda.h"
+
+#include <cmath>
+#include <vector>
+
+#include "spe/common/check.h"
+#include "spe/common/math.h"
+
+namespace spe {
+namespace {
+
+// Solves A x = b in place by Gaussian elimination with partial pivoting.
+// A is row-major d x d. Aborts on a (numerically) singular system —
+// the ridge added by the caller makes that unreachable in practice.
+std::vector<double> SolveLinearSystem(std::vector<double> a,
+                                      std::vector<double> b, std::size_t d) {
+  for (std::size_t col = 0; col < d; ++col) {
+    // Pivot: largest |a| in this column at or below the diagonal.
+    std::size_t pivot = col;
+    for (std::size_t r = col + 1; r < d; ++r) {
+      if (std::abs(a[r * d + col]) > std::abs(a[pivot * d + col])) pivot = r;
+    }
+    SPE_CHECK_GT(std::abs(a[pivot * d + col]), 1e-12) << "singular system";
+    if (pivot != col) {
+      for (std::size_t j = 0; j < d; ++j) std::swap(a[col * d + j], a[pivot * d + j]);
+      std::swap(b[col], b[pivot]);
+    }
+    const double inv = 1.0 / a[col * d + col];
+    for (std::size_t r = col + 1; r < d; ++r) {
+      const double factor = a[r * d + col] * inv;
+      if (factor == 0.0) continue;
+      for (std::size_t j = col; j < d; ++j) a[r * d + j] -= factor * a[col * d + j];
+      b[r] -= factor * b[col];
+    }
+  }
+  std::vector<double> x(d);
+  for (std::size_t row = d; row-- > 0;) {
+    double sum = b[row];
+    for (std::size_t j = row + 1; j < d; ++j) sum -= a[row * d + j] * x[j];
+    x[row] = sum / a[row * d + row];
+  }
+  return x;
+}
+
+}  // namespace
+
+LinearDiscriminant::LinearDiscriminant(const LdaConfig& config)
+    : config_(config) {
+  SPE_CHECK_GE(config.shrinkage, 0.0);
+}
+
+void LinearDiscriminant::Fit(const Dataset& train) {
+  const std::size_t n = train.num_rows();
+  const std::size_t d = train.num_features();
+  SPE_CHECK_GT(n, 1u);
+  const std::size_t n_pos = train.CountPositives();
+  const std::size_t n_neg = n - n_pos;
+  SPE_CHECK_GT(n_pos, 0u) << "LDA needs both classes";
+  SPE_CHECK_GT(n_neg, 0u) << "LDA needs both classes";
+
+  // Class means.
+  std::vector<double> mean[2] = {std::vector<double>(d, 0.0),
+                                 std::vector<double>(d, 0.0)};
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto row = train.Row(i);
+    auto& m = mean[train.Label(i)];
+    for (std::size_t j = 0; j < d; ++j) m[j] += row[j];
+  }
+  for (std::size_t j = 0; j < d; ++j) {
+    mean[0][j] /= static_cast<double>(n_neg);
+    mean[1][j] /= static_cast<double>(n_pos);
+  }
+
+  // Pooled within-class covariance.
+  std::vector<double> cov(d * d, 0.0);
+  std::vector<double> centered(d);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto row = train.Row(i);
+    const auto& m = mean[train.Label(i)];
+    for (std::size_t j = 0; j < d; ++j) centered[j] = row[j] - m[j];
+    for (std::size_t j = 0; j < d; ++j) {
+      for (std::size_t k = j; k < d; ++k) {
+        cov[j * d + k] += centered[j] * centered[k];
+      }
+    }
+  }
+  double trace = 0.0;
+  for (std::size_t j = 0; j < d; ++j) trace += cov[j * d + j];
+  const double ridge =
+      std::max(config_.shrinkage * trace / static_cast<double>(d), 1e-9);
+  const double inv_dof = 1.0 / static_cast<double>(n);
+  for (std::size_t j = 0; j < d; ++j) {
+    for (std::size_t k = j; k < d; ++k) {
+      cov[j * d + k] *= inv_dof;
+      cov[k * d + j] = cov[j * d + k];
+    }
+    cov[j * d + j] += ridge;
+  }
+
+  // w = Sigma^-1 (mu1 - mu0); b from the midpoint plus the log prior.
+  std::vector<double> delta(d);
+  for (std::size_t j = 0; j < d; ++j) delta[j] = mean[1][j] - mean[0][j];
+  w_ = SolveLinearSystem(std::move(cov), std::move(delta), d);
+
+  double midpoint_term = 0.0;
+  for (std::size_t j = 0; j < d; ++j) {
+    midpoint_term += w_[j] * (mean[1][j] + mean[0][j]) / 2.0;
+  }
+  bias_ = -midpoint_term + std::log(static_cast<double>(n_pos) /
+                                    static_cast<double>(n_neg));
+}
+
+double LinearDiscriminant::PredictRow(std::span<const double> x) const {
+  SPE_CHECK(!w_.empty()) << "predict before fit";
+  SPE_CHECK_EQ(x.size(), w_.size());
+  double z = bias_;
+  for (std::size_t j = 0; j < x.size(); ++j) z += w_[j] * x[j];
+  return Sigmoid(z);
+}
+
+std::unique_ptr<Classifier> LinearDiscriminant::Clone() const {
+  return std::make_unique<LinearDiscriminant>(config_);
+}
+
+}  // namespace spe

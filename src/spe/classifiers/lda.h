@@ -1,0 +1,43 @@
+#ifndef SPE_CLASSIFIERS_LDA_H_
+#define SPE_CLASSIFIERS_LDA_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "spe/classifiers/classifier.h"
+
+namespace spe {
+
+struct LdaConfig {
+  /// Ridge added to the pooled covariance diagonal (relative to its
+  /// trace mean) so the solve stays stable on collinear features.
+  double shrinkage = 1e-4;
+};
+
+/// Fisher's linear discriminant analysis for binary classification:
+/// class-conditional Gaussians with a pooled covariance estimate give a
+/// linear log-odds w.x + b, solved by Gaussian elimination on
+/// (Sigma + ridge) w = mu1 - mu0. A strong classical baseline whose
+/// closed-form fit is deterministic — no SGD, no seeds.
+class LinearDiscriminant final : public Classifier {
+ public:
+  explicit LinearDiscriminant(const LdaConfig& config = {});
+
+  void Fit(const Dataset& train) override;
+  double PredictRow(std::span<const double> x) const override;
+  std::unique_ptr<Classifier> Clone() const override;
+  std::string Name() const override { return "LDA"; }
+
+  const std::vector<double>& weights() const { return w_; }
+  double bias() const { return bias_; }
+
+ private:
+  LdaConfig config_;
+  std::vector<double> w_;
+  double bias_ = 0.0;
+};
+
+}  // namespace spe
+
+#endif  // SPE_CLASSIFIERS_LDA_H_

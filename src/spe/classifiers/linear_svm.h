@@ -1,0 +1,63 @@
+#ifndef SPE_CLASSIFIERS_LINEAR_SVM_H_
+#define SPE_CLASSIFIERS_LINEAR_SVM_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "spe/classifiers/classifier.h"
+#include "spe/classifiers/rff.h"
+#include "spe/data/dataset.h"
+
+namespace spe {
+
+struct SvmConfig {
+  /// kLinear trains directly on (standardized) inputs; kRbfApprox first
+  /// maps them through random Fourier features, approximating the
+  /// RBF-kernel SVC the paper uses in Table II (see DESIGN.md §3).
+  enum class Kernel { kLinear, kRbfApprox };
+
+  Kernel kernel = Kernel::kLinear;
+  /// Soft-margin C as in sklearn's SVC; Pegasos' lambda is 1/(C*n).
+  double c = 1.0;
+  std::size_t epochs = 30;
+  std::size_t rff_dim = 256;   // Fourier features for kRbfApprox
+  double gamma = 0.0;          // 0 = 1/d heuristic
+  std::uint64_t seed = 0;
+};
+
+/// Support vector machine trained with the Pegasos stochastic sub-gradient
+/// solver on hinge loss. Probabilities come from Platt scaling: a 1-D
+/// logistic model sigmoid(A * margin + B) fitted on the training margins.
+/// Sample weights scale each example's hinge sub-gradient.
+class LinearSvm final : public Classifier {
+ public:
+  explicit LinearSvm(const SvmConfig& config = {});
+
+  void Fit(const Dataset& train) override;
+  void FitWeighted(const Dataset& train, const std::vector<double>& weights) override;
+  bool SupportsSampleWeights() const override { return true; }
+  double PredictRow(std::span<const double> x) const override;
+  std::unique_ptr<Classifier> Clone() const override;
+  void Reseed(std::uint64_t seed) override { config_.seed = seed; }
+  std::string Name() const override { return "SVM"; }
+
+  /// Raw decision value w.x + b in the (possibly Fourier) feature space.
+  double Margin(std::span<const double> x) const;
+
+ private:
+  std::vector<double> MapRow(std::span<const double> x) const;
+
+  SvmConfig config_;
+  FeatureScaler scaler_;
+  RandomFourierFeatures rff_;
+  std::vector<double> w_;
+  double bias_ = 0.0;
+  double platt_a_ = -1.0;
+  double platt_b_ = 0.0;
+};
+
+}  // namespace spe
+
+#endif  // SPE_CLASSIFIERS_LINEAR_SVM_H_

@@ -1,0 +1,54 @@
+#ifndef SPE_CLASSIFIERS_MLP_H_
+#define SPE_CLASSIFIERS_MLP_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "spe/classifiers/classifier.h"
+#include "spe/data/dataset.h"
+
+namespace spe {
+
+struct MlpConfig {
+  std::size_t hidden_units = 128;  // paper's Table II setting
+  std::size_t epochs = 30;
+  std::size_t batch_size = 64;
+  double learning_rate = 1e-3;  // Adam step size
+  double l2 = 1e-5;
+  std::uint64_t seed = 0;
+};
+
+/// Single-hidden-layer perceptron: ReLU hidden layer, sigmoid output,
+/// binary cross-entropy loss, Adam optimizer, He initialization, inputs
+/// standardized internally. This is the batch-trained neural model whose
+/// failure mode on skewed batches (§III, "the model still soon stuck into
+/// local minima") the experiments exercise.
+class Mlp final : public Classifier {
+ public:
+  explicit Mlp(const MlpConfig& config = {});
+
+  void Fit(const Dataset& train) override;
+  double PredictRow(std::span<const double> x) const override;
+  std::unique_ptr<Classifier> Clone() const override;
+  void Reseed(std::uint64_t seed) override { config_.seed = seed; }
+  std::string Name() const override { return "MLP"; }
+
+ private:
+  double Forward(std::span<const double> scaled, std::vector<double>& hidden) const;
+
+  MlpConfig config_;
+  FeatureScaler scaler_;
+  std::size_t input_dim_ = 0;
+  // Layer 1: hidden_units x input_dim weights + hidden_units biases.
+  std::vector<double> w1_;
+  std::vector<double> b1_;
+  // Layer 2: hidden_units weights + 1 bias.
+  std::vector<double> w2_;
+  double b2_ = 0.0;
+};
+
+}  // namespace spe
+
+#endif  // SPE_CLASSIFIERS_MLP_H_

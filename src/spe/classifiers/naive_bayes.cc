@@ -1,0 +1,95 @@
+#include "spe/classifiers/naive_bayes.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "spe/common/check.h"
+#include "spe/common/math.h"
+
+namespace spe {
+
+GaussianNaiveBayes::GaussianNaiveBayes(const NaiveBayesConfig& config)
+    : config_(config) {
+  SPE_CHECK_GE(config.var_smoothing, 0.0);
+}
+
+void GaussianNaiveBayes::Fit(const Dataset& train) { FitWeighted(train, {}); }
+
+void GaussianNaiveBayes::FitWeighted(const Dataset& train,
+                                     const std::vector<double>& weights) {
+  SPE_CHECK_GT(train.num_rows(), 0u);
+  std::vector<double> w = weights;
+  if (w.empty()) {
+    w.assign(train.num_rows(), 1.0);
+  } else {
+    SPE_CHECK_EQ(w.size(), train.num_rows());
+  }
+
+  const std::size_t d = train.num_features();
+  double class_weight[2] = {0.0, 0.0};
+  for (int c = 0; c < 2; ++c) {
+    mean_[c].assign(d, 0.0);
+    var_[c].assign(d, 0.0);
+  }
+
+  for (std::size_t i = 0; i < train.num_rows(); ++i) {
+    const int c = train.Label(i);
+    class_weight[c] += w[i];
+    const auto row = train.Row(i);
+    for (std::size_t j = 0; j < d; ++j) mean_[c][j] += w[i] * row[j];
+  }
+  SPE_CHECK_GT(class_weight[0] + class_weight[1], 0.0);
+  // A single-class training set still yields a valid (degenerate) model:
+  // the missing class gets a -inf log-prior via the epsilon below.
+  for (int c = 0; c < 2; ++c) {
+    if (class_weight[c] <= 0.0) continue;
+    for (std::size_t j = 0; j < d; ++j) mean_[c][j] /= class_weight[c];
+  }
+  for (std::size_t i = 0; i < train.num_rows(); ++i) {
+    const int c = train.Label(i);
+    const auto row = train.Row(i);
+    for (std::size_t j = 0; j < d; ++j) {
+      const double delta = row[j] - mean_[c][j];
+      var_[c][j] += w[i] * delta * delta;
+    }
+  }
+  double max_var = 0.0;
+  for (int c = 0; c < 2; ++c) {
+    if (class_weight[c] <= 0.0) continue;
+    for (std::size_t j = 0; j < d; ++j) {
+      var_[c][j] /= class_weight[c];
+      max_var = std::max(max_var, var_[c][j]);
+    }
+  }
+  const double floor = std::max(config_.var_smoothing * max_var, 1e-12);
+  for (int c = 0; c < 2; ++c) {
+    for (std::size_t j = 0; j < d; ++j) var_[c][j] += floor;
+  }
+
+  const double total = class_weight[0] + class_weight[1];
+  constexpr double kEps = 1e-12;
+  log_prior_negative_ = std::log(std::max(class_weight[0] / total, kEps));
+  log_prior_positive_ = std::log(std::max(class_weight[1] / total, kEps));
+}
+
+double GaussianNaiveBayes::PredictRow(std::span<const double> x) const {
+  SPE_CHECK(!mean_[0].empty()) << "predict before fit";
+  SPE_CHECK_EQ(x.size(), mean_[0].size());
+  double log_like[2] = {log_prior_negative_, log_prior_positive_};
+  for (int c = 0; c < 2; ++c) {
+    for (std::size_t j = 0; j < x.size(); ++j) {
+      const double delta = x[j] - mean_[c][j];
+      log_like[c] -= 0.5 * (std::log(2.0 * std::numbers::pi * var_[c][j]) +
+                            delta * delta / var_[c][j]);
+    }
+  }
+  // P(y=1|x) via the log-odds, numerically stable.
+  return Sigmoid(log_like[1] - log_like[0]);
+}
+
+std::unique_ptr<Classifier> GaussianNaiveBayes::Clone() const {
+  return std::make_unique<GaussianNaiveBayes>(config_);
+}
+
+}  // namespace spe

@@ -1,0 +1,45 @@
+#ifndef SPE_CLASSIFIERS_NAIVE_BAYES_H_
+#define SPE_CLASSIFIERS_NAIVE_BAYES_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "spe/classifiers/classifier.h"
+
+namespace spe {
+
+struct NaiveBayesConfig {
+  /// Variance floor added to every per-class feature variance, relative
+  /// to the largest feature variance (sklearn's var_smoothing).
+  double var_smoothing = 1e-9;
+};
+
+/// Gaussian Naive Bayes: per-class, per-feature normal likelihoods with
+/// a shared prior. The cheapest canonical probabilistic classifier —
+/// a single pass to fit — which makes it an attractive SPE base when
+/// training cost dominates. Supports sample weights (weighted moments),
+/// so it can also serve as a boosting base.
+class GaussianNaiveBayes final : public Classifier {
+ public:
+  explicit GaussianNaiveBayes(const NaiveBayesConfig& config = {});
+
+  void Fit(const Dataset& train) override;
+  void FitWeighted(const Dataset& train, const std::vector<double>& weights) override;
+  bool SupportsSampleWeights() const override { return true; }
+  double PredictRow(std::span<const double> x) const override;
+  std::unique_ptr<Classifier> Clone() const override;
+  std::string Name() const override { return "GNB"; }
+
+ private:
+  NaiveBayesConfig config_;
+  double log_prior_positive_ = 0.0;
+  double log_prior_negative_ = 0.0;
+  // Per-feature Gaussian parameters for each class.
+  std::vector<double> mean_[2];
+  std::vector<double> var_[2];
+};
+
+}  // namespace spe
+
+#endif  // SPE_CLASSIFIERS_NAIVE_BAYES_H_

@@ -1,0 +1,58 @@
+#include "spe/classifiers/random_forest.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "spe/classifiers/decision_tree.h"
+#include "spe/common/check.h"
+#include "spe/common/rng.h"
+
+namespace spe {
+
+RandomForest::RandomForest(const RandomForestConfig& config) : config_(config) {
+  SPE_CHECK_GT(config.n_estimators, 0u);
+}
+
+void RandomForest::Fit(const Dataset& train) {
+  SPE_CHECK_GT(train.num_rows(), 0u);
+  ensemble_ = VotingEnsemble();
+  Rng rng(config_.seed);
+
+  DecisionTreeConfig tree_config;
+  tree_config.max_depth = config_.max_depth;
+  tree_config.min_samples_leaf = config_.min_samples_leaf;
+  tree_config.max_features =
+      config_.max_features > 0
+          ? config_.max_features
+          : static_cast<std::size_t>(
+                std::floor(std::sqrt(static_cast<double>(train.num_features()))));
+
+  for (std::size_t m = 0; m < config_.n_estimators; ++m) {
+    const std::vector<std::size_t> bag =
+        rng.SampleWithReplacement(train.num_rows(), train.num_rows());
+    tree_config.seed = config_.seed + 7919 * (m + 1);
+    auto tree = std::make_unique<DecisionTree>(tree_config);
+    tree->Fit(train.Subset(bag));
+    ensemble_.Add(std::move(tree));
+  }
+}
+
+double RandomForest::PredictRow(std::span<const double> x) const {
+  return ensemble_.PredictRow(x);
+}
+
+std::vector<double> RandomForest::PredictProba(const Dataset& data) const {
+  return ensemble_.PredictProba(data);
+}
+
+std::unique_ptr<Classifier> RandomForest::Clone() const {
+  return std::make_unique<RandomForest>(config_);
+}
+
+std::string RandomForest::Name() const {
+  std::ostringstream os;
+  os << "RandForest" << config_.n_estimators;
+  return os.str();
+}
+
+}  // namespace spe

@@ -1,0 +1,51 @@
+#include "spe/classifiers/rff.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "spe/common/check.h"
+#include "spe/common/rng.h"
+
+namespace spe {
+
+void RandomFourierFeatures::Init(std::size_t input_dim, std::size_t output_dim,
+                                 double gamma, std::uint64_t seed) {
+  SPE_CHECK_GT(input_dim, 0u);
+  SPE_CHECK_GT(output_dim, 0u);
+  if (gamma <= 0.0) gamma = 1.0 / static_cast<double>(input_dim);
+
+  input_dim_ = input_dim;
+  projection_.resize(output_dim * input_dim);
+  biases_.resize(output_dim);
+
+  Rng rng(seed);
+  const double stddev = std::sqrt(2.0 * gamma);
+  for (double& v : projection_) v = rng.Gaussian(0.0, stddev);
+  for (double& b : biases_) b = rng.Uniform(0.0, 2.0 * std::numbers::pi);
+}
+
+std::vector<double> RandomFourierFeatures::TransformRow(
+    std::span<const double> x) const {
+  SPE_CHECK_EQ(x.size(), input_dim_);
+  const std::size_t d_out = biases_.size();
+  std::vector<double> z(d_out);
+  const double scale = std::sqrt(2.0 / static_cast<double>(d_out));
+  for (std::size_t r = 0; r < d_out; ++r) {
+    const double* w = projection_.data() + r * input_dim_;
+    double dot = biases_[r];
+    for (std::size_t j = 0; j < input_dim_; ++j) dot += w[j] * x[j];
+    z[r] = scale * std::cos(dot);
+  }
+  return z;
+}
+
+Dataset RandomFourierFeatures::Transform(const Dataset& data) const {
+  Dataset out(output_dim());
+  out.Reserve(data.num_rows());
+  for (std::size_t i = 0; i < data.num_rows(); ++i) {
+    out.AddRow(TransformRow(data.Row(i)), data.Label(i));
+  }
+  return out;
+}
+
+}  // namespace spe

@@ -1,0 +1,44 @@
+#ifndef SPE_CLASSIFIERS_RFF_H_
+#define SPE_CLASSIFIERS_RFF_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "spe/data/dataset.h"
+
+namespace spe {
+
+/// Random Fourier feature map approximating an RBF kernel
+/// k(x, x') = exp(-gamma * ||x - x'||^2) (Rahimi & Recht, 2007).
+///
+/// z(x) = sqrt(2 / D) * cos(W x + b), with rows of W drawn from
+/// N(0, 2 * gamma * I) and b ~ U[0, 2*pi). A linear model on z(x)
+/// approximates a kernel machine — this is how the library stands in for
+/// the paper's RBF-kernel SVC without the O(n^2) kernel matrix
+/// (substitution documented in DESIGN.md §3).
+class RandomFourierFeatures {
+ public:
+  /// Samples the projection for `input_dim` inputs. `gamma <= 0` selects
+  /// 1 / input_dim (the scale heuristic on standardized features).
+  void Init(std::size_t input_dim, std::size_t output_dim, double gamma,
+            std::uint64_t seed);
+
+  std::size_t output_dim() const { return biases_.size(); }
+  bool initialized() const { return !biases_.empty(); }
+
+  /// Maps one input row to the Fourier feature space.
+  std::vector<double> TransformRow(std::span<const double> x) const;
+
+  /// Maps a whole dataset (labels preserved).
+  Dataset Transform(const Dataset& data) const;
+
+ private:
+  std::size_t input_dim_ = 0;
+  std::vector<double> projection_;  // row-major, output_dim x input_dim
+  std::vector<double> biases_;
+};
+
+}  // namespace spe
+
+#endif  // SPE_CLASSIFIERS_RFF_H_

@@ -1,0 +1,29 @@
+#ifndef SPE_CLASSIFIERS_TRAINING_OBSERVER_H_
+#define SPE_CLASSIFIERS_TRAINING_OBSERVER_H_
+
+#include <cstddef>
+#include <functional>
+
+#include "spe/classifiers/classifier.h"
+#include "spe/data/dataset.h"
+
+namespace spe {
+
+/// Snapshot passed to an iteration observer after an ensemble trainer
+/// finishes one base model. Used by the figure benches to record
+/// training curves (Fig. 5, Fig. 7) and per-iteration training subsets
+/// (Fig. 6) without re-training per point.
+struct IterationInfo {
+  /// 1-based index of the member just trained.
+  std::size_t iteration = 0;
+  /// The members that would participate in the final prediction so far.
+  const VotingEnsemble& ensemble;
+  /// The re-sampled subset the newest member was fitted on.
+  const Dataset& training_subset;
+};
+
+using IterationCallback = std::function<void(const IterationInfo&)>;
+
+}  // namespace spe
+
+#endif  // SPE_CLASSIFIERS_TRAINING_OBSERVER_H_

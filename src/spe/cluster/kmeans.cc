@@ -1,0 +1,140 @@
+#include "spe/cluster/kmeans.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "spe/common/check.h"
+
+namespace spe {
+namespace {
+
+double SquaredDistance(std::span<const double> a, std::span<const double> b) {
+  double sum = 0.0;
+  for (std::size_t j = 0; j < a.size(); ++j) {
+    const double d = a[j] - b[j];
+    sum += d * d;
+  }
+  return sum;
+}
+
+}  // namespace
+
+KMeans::KMeans(const KMeansConfig& config) : config_(config) {
+  SPE_CHECK_GT(config.num_clusters, 0u);
+  SPE_CHECK_GT(config.max_iterations, 0u);
+}
+
+void KMeans::Fit(const Dataset& data) {
+  SPE_CHECK(!data.HasCategoricalFeatures())
+      << "k-means needs a numeric feature space";
+  SPE_CHECK_GT(data.num_rows(), 0u);
+  const std::size_t k = std::min(config_.num_clusters, data.num_rows());
+  const std::size_t d = data.num_features();
+
+  scaler_.Fit(data);
+  const Dataset x = scaler_.Transform(data);
+  Rng rng(config_.seed);
+
+  // k-means++ seeding: first centroid uniform, then proportional to the
+  // squared distance to the nearest chosen centroid.
+  standardized_centroids_.clear();
+  standardized_centroids_.reserve(k);
+  {
+    const std::size_t first = rng.Index(x.num_rows());
+    standardized_centroids_.emplace_back(x.Row(first).begin(),
+                                         x.Row(first).end());
+    std::vector<double> nearest(x.num_rows(),
+                                std::numeric_limits<double>::infinity());
+    while (standardized_centroids_.size() < k) {
+      double total = 0.0;
+      for (std::size_t i = 0; i < x.num_rows(); ++i) {
+        nearest[i] = std::min(
+            nearest[i], SquaredDistance(x.Row(i), standardized_centroids_.back()));
+        total += nearest[i];
+      }
+      std::size_t chosen = 0;
+      if (total > 0.0) {
+        double u = rng.Uniform() * total;
+        for (std::size_t i = 0; i < x.num_rows(); ++i) {
+          u -= nearest[i];
+          if (u <= 0.0) {
+            chosen = i;
+            break;
+          }
+        }
+      } else {
+        chosen = rng.Index(x.num_rows());  // all points coincide
+      }
+      standardized_centroids_.emplace_back(x.Row(chosen).begin(),
+                                           x.Row(chosen).end());
+    }
+  }
+
+  // Lloyd iterations.
+  assignments_.assign(x.num_rows(), 0);
+  for (std::size_t iter = 0; iter < config_.max_iterations; ++iter) {
+    bool changed = false;
+    for (std::size_t i = 0; i < x.num_rows(); ++i) {
+      double best = std::numeric_limits<double>::infinity();
+      std::size_t best_cluster = 0;
+      for (std::size_t c = 0; c < standardized_centroids_.size(); ++c) {
+        const double dist = SquaredDistance(x.Row(i), standardized_centroids_[c]);
+        if (dist < best) {
+          best = dist;
+          best_cluster = c;
+        }
+      }
+      if (assignments_[i] != best_cluster) {
+        assignments_[i] = best_cluster;
+        changed = true;
+      }
+    }
+    if (!changed && iter > 0) break;
+
+    // Recompute centroids; empty clusters keep their previous position.
+    std::vector<std::vector<double>> sums(standardized_centroids_.size(),
+                                          std::vector<double>(d, 0.0));
+    std::vector<std::size_t> counts(standardized_centroids_.size(), 0);
+    for (std::size_t i = 0; i < x.num_rows(); ++i) {
+      const auto row = x.Row(i);
+      auto& sum = sums[assignments_[i]];
+      for (std::size_t j = 0; j < d; ++j) sum[j] += row[j];
+      ++counts[assignments_[i]];
+    }
+    for (std::size_t c = 0; c < standardized_centroids_.size(); ++c) {
+      if (counts[c] == 0) continue;
+      for (std::size_t j = 0; j < d; ++j) {
+        standardized_centroids_[c][j] =
+            sums[c][j] / static_cast<double>(counts[c]);
+      }
+    }
+  }
+
+  // Map centroids back to the raw feature space.
+  centroids_.assign(standardized_centroids_.size(), std::vector<double>(d));
+  const auto& means = scaler_.means();
+  const auto& stds = scaler_.stds();
+  for (std::size_t c = 0; c < centroids_.size(); ++c) {
+    for (std::size_t j = 0; j < d; ++j) {
+      centroids_[c][j] = standardized_centroids_[c][j] * stds[j] + means[j];
+    }
+  }
+}
+
+std::size_t KMeans::AssignRow(std::span<const double> x) const {
+  SPE_CHECK(fitted()) << "assign before fit";
+  std::vector<double> scaled(x.size());
+  scaler_.TransformRow(x, scaled);
+  double best = std::numeric_limits<double>::infinity();
+  std::size_t best_cluster = 0;
+  for (std::size_t c = 0; c < standardized_centroids_.size(); ++c) {
+    const double dist = SquaredDistance(scaled, standardized_centroids_[c]);
+    if (dist < best) {
+      best = dist;
+      best_cluster = c;
+    }
+  }
+  return best_cluster;
+}
+
+}  // namespace spe

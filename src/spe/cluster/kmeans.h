@@ -1,0 +1,57 @@
+#ifndef SPE_CLUSTER_KMEANS_H_
+#define SPE_CLUSTER_KMEANS_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "spe/common/rng.h"
+#include "spe/data/dataset.h"
+
+namespace spe {
+
+struct KMeansConfig {
+  std::size_t num_clusters = 8;
+  std::size_t max_iterations = 50;
+  /// Converged when no assignment changes in an iteration.
+  std::uint64_t seed = 0;
+};
+
+/// Lloyd's k-means with k-means++ seeding on (standardized) features.
+/// The clustering substrate behind the cluster-aware samplers
+/// (ClusterCentroids, KMeansSMOTE). Labels are ignored.
+class KMeans {
+ public:
+  explicit KMeans(const KMeansConfig& config = {});
+
+  /// Clusters the rows of `data`. Aborts on categorical features (the
+  /// same no-valid-distance argument as NeighborIndex). If data has
+  /// fewer rows than clusters, the cluster count collapses to the row
+  /// count.
+  void Fit(const Dataset& data);
+
+  std::size_t num_clusters() const { return centroids_.size(); }
+  bool fitted() const { return !centroids_.empty(); }
+
+  /// Centroids in the *original* (unstandardized) feature space.
+  const std::vector<std::vector<double>>& centroids() const {
+    return centroids_;
+  }
+
+  /// Cluster assignment of every training row (aligned with Fit input).
+  const std::vector<std::size_t>& assignments() const { return assignments_; }
+
+  /// Nearest centroid of an arbitrary raw feature row.
+  std::size_t AssignRow(std::span<const double> x) const;
+
+ private:
+  KMeansConfig config_;
+  FeatureScaler scaler_;
+  std::vector<std::vector<double>> centroids_;             // raw space
+  std::vector<std::vector<double>> standardized_centroids_;
+  std::vector<std::size_t> assignments_;
+};
+
+}  // namespace spe
+
+#endif  // SPE_CLUSTER_KMEANS_H_

@@ -1,0 +1,16 @@
+#include "spe/common/check.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace spe {
+namespace internal_check {
+
+void CheckFailed(const char* file, int line, const std::string& msg) {
+  std::fprintf(stderr, "[spe] %s:%d: %s\n", file, line, msg.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace internal_check
+}  // namespace spe

@@ -1,0 +1,59 @@
+#ifndef SPE_COMMON_CHECK_H_
+#define SPE_COMMON_CHECK_H_
+
+#include <sstream>
+#include <string>
+
+namespace spe {
+namespace internal_check {
+
+/// Aborts the process after printing `msg` (with file/line context).
+/// Used by the CHECK family below; never returns.
+[[noreturn]] void CheckFailed(const char* file, int line, const std::string& msg);
+
+/// Stream-based message builder so call sites can write
+/// `CHECK(x > 0) << "x was " << x;`.
+class CheckMessage {
+ public:
+  CheckMessage(const char* file, int line, const char* condition)
+      : file_(file), line_(line) {
+    stream_ << "CHECK failed: " << condition << " ";
+  }
+
+  CheckMessage(const CheckMessage&) = delete;
+  CheckMessage& operator=(const CheckMessage&) = delete;
+
+  [[noreturn]] ~CheckMessage() { CheckFailed(file_, line_, stream_.str()); }
+
+  template <typename T>
+  CheckMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_check
+}  // namespace spe
+
+/// Contract-violation assertions. These stay enabled in release builds:
+/// a classifier trained on an empty dataset or a probability outside
+/// [0, 1] is a programming error we want to fail loudly on, not a
+/// recoverable condition.
+#define SPE_CHECK(condition)                                            \
+  if (condition) {                                                      \
+  } else /* NOLINT */                                                   \
+    ::spe::internal_check::CheckMessage(__FILE__, __LINE__, #condition)
+
+#define SPE_CHECK_EQ(a, b) SPE_CHECK((a) == (b)) << "(" << (a) << " vs " << (b) << ") "
+#define SPE_CHECK_NE(a, b) SPE_CHECK((a) != (b)) << "(" << (a) << " vs " << (b) << ") "
+#define SPE_CHECK_LT(a, b) SPE_CHECK((a) < (b)) << "(" << (a) << " vs " << (b) << ") "
+#define SPE_CHECK_LE(a, b) SPE_CHECK((a) <= (b)) << "(" << (a) << " vs " << (b) << ") "
+#define SPE_CHECK_GT(a, b) SPE_CHECK((a) > (b)) << "(" << (a) << " vs " << (b) << ") "
+#define SPE_CHECK_GE(a, b) SPE_CHECK((a) >= (b)) << "(" << (a) << " vs " << (b) << ") "
+
+#endif  // SPE_COMMON_CHECK_H_

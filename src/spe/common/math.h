@@ -1,0 +1,29 @@
+#ifndef SPE_COMMON_MATH_H_
+#define SPE_COMMON_MATH_H_
+
+#include <algorithm>
+#include <cmath>
+
+namespace spe {
+
+/// Numerically stable logistic function.
+inline double Sigmoid(double z) {
+  if (z >= 0.0) {
+    const double e = std::exp(-z);
+    return 1.0 / (1.0 + e);
+  }
+  const double e = std::exp(z);
+  return e / (1.0 + e);
+}
+
+/// Half log-odds of a probability, clamped away from 0/1 — the real-
+/// boosting stage contribution used by AdaBoost-family learners.
+inline double HalfLogOdds(double p) {
+  constexpr double kClamp = 1e-6;
+  p = std::clamp(p, kClamp, 1.0 - kClamp);
+  return 0.5 * std::log(p / (1.0 - p));
+}
+
+}  // namespace spe
+
+#endif  // SPE_COMMON_MATH_H_

@@ -1,0 +1,45 @@
+#include "spe/common/parallel.h"
+
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+namespace spe {
+
+std::size_t NumThreads() {
+  static const std::size_t n = [] {
+    if (const char* env = std::getenv("SPE_THREADS")) {
+      long v = std::strtol(env, nullptr, 10);
+      if (v >= 1) return static_cast<std::size_t>(v);
+    }
+    std::size_t hw = std::thread::hardware_concurrency();
+    return hw == 0 ? std::size_t{1} : hw;
+  }();
+  return n;
+}
+
+void ParallelFor(std::size_t begin, std::size_t end,
+                 const std::function<void(std::size_t)>& fn) {
+  if (end <= begin) return;
+  const std::size_t count = end - begin;
+  const std::size_t threads = NumThreads();
+  // Thread spawn overhead dominates on tiny ranges; run serially.
+  if (threads <= 1 || count < 2 * threads) {
+    for (std::size_t i = begin; i < end; ++i) fn(i);
+    return;
+  }
+  const std::size_t chunk = (count + threads - 1) / threads;
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+  for (std::size_t t = 0; t < threads; ++t) {
+    const std::size_t lo = begin + t * chunk;
+    if (lo >= end) break;
+    const std::size_t hi = lo + chunk < end ? lo + chunk : end;
+    workers.emplace_back([lo, hi, &fn] {
+      for (std::size_t i = lo; i < hi; ++i) fn(i);
+    });
+  }
+  for (auto& w : workers) w.join();
+}
+
+}  // namespace spe

@@ -1,0 +1,23 @@
+#ifndef SPE_COMMON_PARALLEL_H_
+#define SPE_COMMON_PARALLEL_H_
+
+#include <cstddef>
+#include <functional>
+
+namespace spe {
+
+/// Number of worker threads used by ParallelFor. Defaults to the hardware
+/// concurrency; the SPE_THREADS environment variable overrides it.
+std::size_t NumThreads();
+
+/// Runs fn(i) for every i in [begin, end), splitting the range into
+/// contiguous chunks across NumThreads() workers. Falls back to a plain
+/// serial loop when the range is small or only one thread is available,
+/// so callers can use it unconditionally. fn must be thread-safe across
+/// distinct indices.
+void ParallelFor(std::size_t begin, std::size_t end,
+                 const std::function<void(std::size_t)>& fn);
+
+}  // namespace spe
+
+#endif  // SPE_COMMON_PARALLEL_H_

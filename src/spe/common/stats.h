@@ -1,0 +1,41 @@
+#ifndef SPE_COMMON_STATS_H_
+#define SPE_COMMON_STATS_H_
+
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include "spe/common/check.h"
+
+namespace spe {
+
+/// Arithmetic mean. Requires a non-empty input.
+inline double Mean(const std::vector<double>& values) {
+  SPE_CHECK(!values.empty());
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+
+/// Population standard deviation (divides by N, matching how the paper
+/// reports the spread of 10 independent runs).
+inline double StdDev(const std::vector<double>& values) {
+  double mean = Mean(values);
+  double sq = 0.0;
+  for (double v : values) sq += (v - mean) * (v - mean);
+  return std::sqrt(sq / static_cast<double>(values.size()));
+}
+
+/// Mean ± std pair for aggregated experiment results.
+struct MeanStd {
+  double mean = 0.0;
+  double std = 0.0;
+};
+
+inline MeanStd Aggregate(const std::vector<double>& values) {
+  return MeanStd{Mean(values), StdDev(values)};
+}
+
+}  // namespace spe
+
+#endif  // SPE_COMMON_STATS_H_

@@ -1,0 +1,51 @@
+#ifndef SPE_CORE_HARDNESS_H_
+#define SPE_CORE_HARDNESS_H_
+
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace spe {
+
+/// The "classification hardness" functions of §IV: any decomposable error
+/// of a probabilistic prediction. H(x, y, F) is evaluated as
+/// fn(F(x), y) where F(x) is the predicted positive probability.
+enum class HardnessKind {
+  kAbsoluteError,  // |F(x) - y|         — the paper's default
+  kSquaredError,   // (F(x) - y)^2       — Brier score
+  kCrossEntropy,   // -y log F - (1-y) log(1-F), unbounded above
+};
+
+/// A hardness function: (predicted probability, label) -> hardness >= 0.
+using HardnessFn = std::function<double(double prob, int label)>;
+
+/// Builds the hardness function for `kind`.
+HardnessFn MakeHardness(HardnessKind kind);
+
+/// Short name used in Fig. 8's legend: "AE", "SE", "CE".
+std::string HardnessName(HardnessKind kind);
+
+/// Evaluates hardness for every (probability, label) pair.
+std::vector<double> ComputeHardness(const HardnessFn& fn,
+                                    std::span<const double> probs,
+                                    std::span<const int> labels);
+
+/// Population and contribution per hardness bin — the statistics shown in
+/// Fig. 3. The k bins split the *observed* hardness range [min, max]
+/// evenly (matching the authors' released implementation and realizing
+/// the paper's "w.l.o.g. H in [0,1]" normalization); the last bin is
+/// closed above. Constant hardness degenerates to a single occupied bin.
+struct HardnessBins {
+  std::vector<std::size_t> population;    ///< samples per bin
+  std::vector<double> contribution;       ///< total hardness per bin
+  std::vector<double> mean_hardness;      ///< average hardness per bin (0 if empty)
+  std::vector<std::size_t> bin_of_sample; ///< bin index of each input sample
+};
+
+HardnessBins ComputeHardnessBins(std::span<const double> hardness,
+                                 std::size_t num_bins);
+
+}  // namespace spe
+
+#endif  // SPE_CORE_HARDNESS_H_

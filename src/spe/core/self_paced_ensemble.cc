@@ -1,0 +1,194 @@
+#include "spe/core/self_paced_ensemble.h"
+
+#include <cmath>
+#include <limits>
+#include <numbers>
+#include <sstream>
+#include <utility>
+
+#include "spe/classifiers/decision_tree.h"
+#include "spe/common/check.h"
+#include "spe/common/rng.h"
+#include "spe/core/self_paced_sampler.h"
+#include "spe/metrics/metrics.h"
+
+namespace spe {
+
+SelfPacedEnsemble::SelfPacedEnsemble(const SelfPacedEnsembleConfig& config)
+    : config_(config) {
+  SPE_CHECK_GT(config.n_estimators, 0u);
+  SPE_CHECK_GT(config.num_bins, 0u);
+  DecisionTreeConfig tree_config;
+  tree_config.max_depth = 10;
+  base_prototype_ = std::make_unique<DecisionTree>(tree_config);
+}
+
+SelfPacedEnsemble::SelfPacedEnsemble(const SelfPacedEnsembleConfig& config,
+                                     std::unique_ptr<Classifier> base_prototype)
+    : config_(config), base_prototype_(std::move(base_prototype)) {
+  SPE_CHECK_GT(config.n_estimators, 0u);
+  SPE_CHECK_GT(config.num_bins, 0u);
+  SPE_CHECK(base_prototype_ != nullptr);
+}
+
+double SelfPacedEnsemble::AlphaAt(AlphaSchedule schedule, std::size_t i,
+                                  std::size_t n) {
+  SPE_CHECK_GE(i, 1u);
+  SPE_CHECK_LE(i, n);
+  // Progress in [0, 1] across the self-paced iterations. Algorithm 1
+  // writes alpha = tan(i*pi/2n), but the surrounding text (and the
+  // authors' released implementation) require alpha = 0 at the first
+  // iteration and alpha -> inf at the last, so the schedule is evaluated
+  // on (i-1)/(n-1).
+  const double progress =
+      n <= 1 ? 1.0
+             : static_cast<double>(i - 1) / static_cast<double>(n - 1);
+  switch (schedule) {
+    case AlphaSchedule::kTan:
+      if (progress >= 1.0) return std::numeric_limits<double>::infinity();
+      return std::tan(progress * std::numbers::pi / 2.0);
+    case AlphaSchedule::kZero:
+      return 0.0;
+    case AlphaSchedule::kInfinity:
+      return std::numeric_limits<double>::infinity();
+    case AlphaSchedule::kLinear:
+      return 10.0 * progress;
+  }
+  SPE_CHECK(false) << "unhandled schedule";
+  return 0.0;
+}
+
+void SelfPacedEnsemble::Fit(const Dataset& train) {
+  const std::vector<std::size_t> pos = train.PositiveIndices();
+  const std::vector<std::size_t> neg = train.NegativeIndices();
+  SPE_CHECK(!pos.empty()) << "SPE needs at least one minority sample";
+  SPE_CHECK(!neg.empty()) << "SPE needs at least one majority sample";
+
+  ensemble_ = VotingEnsemble();
+  Rng rng(config_.seed);
+  const Dataset minority = train.Subset(pos);
+  const Dataset majority = train.Subset(neg);
+  const HardnessFn hardness_fn = config_.custom_hardness
+                                     ? config_.custom_hardness
+                                     : MakeHardness(config_.hardness);
+
+  auto make_member = [&](std::size_t index) {
+    std::unique_ptr<Classifier> member = base_prototype_->Clone();
+    member->Reseed(config_.seed + 7919 * (index + 1));
+    return member;
+  };
+  auto balanced_subset = [&](const std::vector<std::size_t>& majority_pick) {
+    Dataset subset = minority;
+    subset.Reserve(minority.num_rows() + majority_pick.size());
+    for (std::size_t i : majority_pick) subset.AddRow(majority.Row(i), 0);
+    return subset;
+  };
+
+  // Line 2: bootstrap model f0 on a random balanced subset. It seeds the
+  // hardness estimates; whether it votes in the final ensemble is the
+  // include_bootstrap_model ablation.
+  std::vector<std::size_t> initial_pick(neg.size());
+  if (neg.size() > pos.size()) {
+    initial_pick = rng.SampleWithoutReplacement(neg.size(), pos.size());
+  } else {
+    for (std::size_t i = 0; i < neg.size(); ++i) initial_pick[i] = i;
+  }
+  std::unique_ptr<Classifier> bootstrap = make_member(0);
+  {
+    const Dataset subset = balanced_subset(initial_pick);
+    bootstrap->Fit(subset);
+  }
+
+  // Running sum of member probabilities over the majority set: F_i is the
+  // average of f_0 .. f_{i-1} (Algorithm 1 line 4).
+  std::vector<double> prob_sum = bootstrap->PredictProba(majority);
+  std::size_t prob_count = 1;
+  std::vector<double> hardness(majority.num_rows());
+
+  if (config_.include_bootstrap_model) ensemble_.Add(std::move(bootstrap));
+
+  const std::size_t n = config_.n_estimators;
+  for (std::size_t i = 1; i <= n; ++i) {
+    // Lines 4-6: hardness of each majority sample w.r.t. the ensemble.
+    for (std::size_t m = 0; m < majority.num_rows(); ++m) {
+      hardness[m] =
+          hardness_fn(prob_sum[m] / static_cast<double>(prob_count), 0);
+    }
+    // Lines 7-9: self-paced under-sampling with alpha_i.
+    const double alpha = AlphaAt(config_.schedule, i, n);
+    const std::vector<std::size_t> pick = SelfPacedUnderSample(
+        hardness, alpha, config_.num_bins, minority.num_rows(), rng);
+
+    // Line 10: train f_i on the balanced subset.
+    std::unique_ptr<Classifier> member = make_member(i);
+    const Dataset subset = balanced_subset(pick);
+    member->Fit(subset);
+
+    const std::vector<double> member_probs = member->PredictProba(majority);
+    for (std::size_t m = 0; m < prob_sum.size(); ++m) {
+      prob_sum[m] += member_probs[m];
+    }
+    ++prob_count;
+
+    ensemble_.Add(std::move(member));
+    if (callback_) {
+      callback_(IterationInfo{i, ensemble_, subset});
+    }
+  }
+}
+
+std::size_t SelfPacedEnsemble::FitWithValidation(const Dataset& train,
+                                                 const Dataset& validation) {
+  SPE_CHECK_GT(validation.CountPositives(), 0u)
+      << "validation set needs positives to score AUCPRC";
+
+  // Track the running validation score incrementally: each new member
+  // contributes its probabilities once.
+  std::vector<double> prob_sum(validation.num_rows(), 0.0);
+  double best_auc = -1.0;
+  std::size_t best_size = 0;
+  const IterationCallback user_callback = callback_;
+  callback_ = [&](const IterationInfo& info) {
+    const Classifier& newest = info.ensemble.member(info.ensemble.size() - 1);
+    const std::vector<double> p = newest.PredictProba(validation);
+    for (std::size_t i = 0; i < prob_sum.size(); ++i) prob_sum[i] += p[i];
+    std::vector<double> average(prob_sum);
+    const double inv = 1.0 / static_cast<double>(info.ensemble.size());
+    for (double& v : average) v *= inv;
+    const double auc = AucPrc(validation.labels(), average);
+    if (auc > best_auc) {
+      best_auc = auc;
+      best_size = info.ensemble.size();
+    }
+    if (user_callback) user_callback(info);
+  };
+  Fit(train);
+  callback_ = user_callback;
+
+  // NOTE: with include_bootstrap_model the bootstrap member joins before
+  // the first callback, so prob_sum would miss it; rebuild defensively.
+  if (config_.include_bootstrap_model) return ensemble_.size();
+  SPE_CHECK_GT(best_size, 0u);
+  ensemble_.Truncate(best_size);
+  return best_size;
+}
+
+double SelfPacedEnsemble::PredictRow(std::span<const double> x) const {
+  return ensemble_.PredictRow(x);
+}
+
+std::vector<double> SelfPacedEnsemble::PredictProba(const Dataset& data) const {
+  return ensemble_.PredictProba(data);
+}
+
+std::unique_ptr<Classifier> SelfPacedEnsemble::Clone() const {
+  return std::make_unique<SelfPacedEnsemble>(config_, base_prototype_->Clone());
+}
+
+std::string SelfPacedEnsemble::Name() const {
+  std::ostringstream os;
+  os << "SPE" << config_.n_estimators;
+  return os.str();
+}
+
+}  // namespace spe

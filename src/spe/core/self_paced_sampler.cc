@@ -1,0 +1,104 @@
+#include "spe/core/self_paced_sampler.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "spe/common/check.h"
+
+namespace spe {
+
+std::vector<std::size_t> SelfPacedUnderSample(
+    std::span<const double> majority_hardness, double alpha,
+    std::size_t num_bins, std::size_t target_count, Rng& rng) {
+  SPE_CHECK_GE(alpha, 0.0);
+  const std::size_t n = majority_hardness.size();
+  SPE_CHECK_GT(n, 0u);
+  if (target_count >= n) {
+    // Fewer majority samples than requested: take everything.
+    std::vector<std::size_t> all(n);
+    for (std::size_t i = 0; i < n; ++i) all[i] = i;
+    return all;
+  }
+
+  const HardnessBins bins = ComputeHardnessBins(majority_hardness, num_bins);
+
+  // Membership lists per bin.
+  std::vector<std::vector<std::size_t>> members(num_bins);
+  for (std::size_t b = 0; b < num_bins; ++b) {
+    members[b].reserve(bins.population[b]);
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    members[bins.bin_of_sample[i]].push_back(i);
+  }
+
+  // Unnormalized bin weights p_l = 1 / (h_l + alpha); empty bins get 0.
+  // alpha = inf (allowed by the tan schedule's final iteration) makes all
+  // non-empty bins equally weighted.
+  std::vector<double> weight(num_bins, 0.0);
+  double weight_sum = 0.0;
+  for (std::size_t b = 0; b < num_bins; ++b) {
+    if (bins.population[b] == 0) continue;
+    if (std::isinf(alpha)) {
+      weight[b] = 1.0;
+    } else if (bins.mean_hardness[b] + alpha > 0.0) {
+      weight[b] = 1.0 / (bins.mean_hardness[b] + alpha);
+    }
+    // else: an all-trivial bin at alpha = 0 would get infinite weight;
+    // following the authors' released implementation such bins get
+    // weight 0 — harmonizing a zero contribution needs zero samples.
+    // (Tree bases routinely emit hardness exactly 0.)
+    weight_sum += weight[b];
+  }
+  if (weight_sum <= 0.0) {
+    // Every non-empty bin is perfectly classified: plain random
+    // under-sampling is the only sensible degenerate behaviour.
+    return rng.SampleWithoutReplacement(n, target_count);
+  }
+
+  // Apportion the target across bins by largest remainder so that the
+  // realized quotas stay proportional to p_l even when the per-bin
+  // shares are fractional (small |P|, many bins). Flooring instead would
+  // leave most of the subset to an unweighted top-up, silently turning
+  // SPE into random under-sampling on small-minority data.
+  std::vector<std::size_t> quota(num_bins, 0);
+  std::vector<std::pair<double, std::size_t>> remainder;  // (frac, bin)
+  std::size_t assigned = 0;
+  for (std::size_t b = 0; b < num_bins; ++b) {
+    if (bins.population[b] == 0) continue;
+    const double share =
+        weight[b] / weight_sum * static_cast<double>(target_count);
+    quota[b] = std::min(static_cast<std::size_t>(share), members[b].size());
+    assigned += quota[b];
+    if (quota[b] < members[b].size()) {
+      remainder.emplace_back(share - std::floor(share), b);
+    }
+  }
+  // Hand out the remaining slots by descending fractional share, looping
+  // (with whole extra units) while saturated bins drop out.
+  std::sort(remainder.begin(), remainder.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  while (assigned < target_count) {
+    bool progressed = false;
+    for (auto& [frac, b] : remainder) {
+      if (assigned >= target_count) break;
+      if (quota[b] >= members[b].size()) continue;
+      ++quota[b];
+      ++assigned;
+      progressed = true;
+    }
+    SPE_CHECK(progressed) << "apportionment stuck";  // implies target > n
+  }
+
+  std::vector<std::size_t> selected;
+  selected.reserve(target_count);
+  for (std::size_t b = 0; b < num_bins; ++b) {
+    for (std::size_t pick :
+         rng.SampleWithoutReplacement(members[b].size(), quota[b])) {
+      selected.push_back(members[b][pick]);
+    }
+  }
+  return selected;
+}
+
+}  // namespace spe

@@ -1,0 +1,37 @@
+#ifndef SPE_CORE_SELF_PACED_SAMPLER_H_
+#define SPE_CORE_SELF_PACED_SAMPLER_H_
+
+#include <span>
+#include <vector>
+
+#include "spe/common/rng.h"
+#include "spe/core/hardness.h"
+
+namespace spe {
+
+/// One self-paced harmonized under-sampling step (§V-A, lines 5-9 of
+/// Algorithm 1): given the hardness of every majority sample w.r.t. the
+/// current ensemble, selects `target_count` of them.
+///
+/// Mechanics: samples are cut into `num_bins` hardness bins; bin l gets
+/// unnormalized weight p_l = 1 / (h_l + alpha) where h_l is its average
+/// hardness; bin quotas are p_l / sum(p) * target_count, drawn without
+/// replacement.
+///   alpha = 0   — pure hardness harmonize: every bin contributes equal
+///                 total hardness (Fig. 3b);
+///   alpha -> inf — quotas approach uniform-over-bins, concentrating the
+///                 pick on the sparse hard tail while a small skeleton of
+///                 easy samples survives (Fig. 3d).
+/// When a bin's quota exceeds its population the whole bin is taken and
+/// the deficit is re-drawn uniformly from the remaining majority pool, so
+/// exactly target_count indices come back (matching the reference
+/// implementation's behaviour of always returning |P| samples).
+///
+/// Returns indices into `majority_hardness`.
+std::vector<std::size_t> SelfPacedUnderSample(
+    std::span<const double> majority_hardness, double alpha,
+    std::size_t num_bins, std::size_t target_count, Rng& rng);
+
+}  // namespace spe
+
+#endif  // SPE_CORE_SELF_PACED_SAMPLER_H_

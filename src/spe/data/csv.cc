@@ -1,0 +1,77 @@
+#include "spe/data/csv.h"
+
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <vector>
+
+#include "spe/common/check.h"
+
+namespace spe {
+namespace {
+
+std::vector<std::string> SplitLine(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string field;
+  std::istringstream is(line);
+  while (std::getline(is, field, ',')) fields.push_back(field);
+  // A trailing comma means a final empty field.
+  if (!line.empty() && line.back() == ',') fields.emplace_back();
+  return fields;
+}
+
+}  // namespace
+
+Dataset LoadCsv(const std::string& path, std::size_t label_column, bool has_header) {
+  std::ifstream in(path);
+  SPE_CHECK(in.good()) << "cannot open " << path;
+
+  std::string line;
+  if (has_header) std::getline(in, line);
+
+  Dataset data;
+  bool first_row = true;
+  std::size_t line_number = has_header ? 1 : 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.empty()) continue;
+    const std::vector<std::string> fields = SplitLine(line);
+    SPE_CHECK_GT(fields.size(), label_column)
+        << path << ":" << line_number << ": missing label column";
+    if (first_row) {
+      data = Dataset(fields.size() - 1);
+      first_row = false;
+    }
+    SPE_CHECK_EQ(fields.size(), data.num_features() + 1)
+        << path << ":" << line_number << ": inconsistent column count";
+
+    std::vector<double> features;
+    features.reserve(data.num_features());
+    int label = -1;
+    for (std::size_t j = 0; j < fields.size(); ++j) {
+      if (j == label_column) {
+        label = std::stoi(fields[j]);
+      } else {
+        features.push_back(std::stod(fields[j]));
+      }
+    }
+    data.AddRow(features, label);
+  }
+  return data;
+}
+
+void SaveCsv(const Dataset& data, const std::string& path) {
+  std::ofstream out(path);
+  SPE_CHECK(out.good()) << "cannot write " << path;
+  // max_digits10 guarantees doubles survive a save/load round trip.
+  out.precision(std::numeric_limits<double>::max_digits10);
+  for (std::size_t j = 0; j < data.num_features(); ++j) out << "f" << j << ",";
+  out << "label\n";
+  for (std::size_t i = 0; i < data.num_rows(); ++i) {
+    auto row = data.Row(i);
+    for (double v : row) out << v << ",";
+    out << data.Label(i) << "\n";
+  }
+}
+
+}  // namespace spe

@@ -1,0 +1,25 @@
+#ifndef SPE_DATA_CSV_H_
+#define SPE_DATA_CSV_H_
+
+#include <string>
+
+#include "spe/data/dataset.h"
+
+namespace spe {
+
+/// Loads a binary-classification dataset from a CSV file.
+///
+/// Every column except `label_column` becomes a numerical feature; the
+/// label column must contain 0/1 values. `has_header` skips the first
+/// line. Aborts (CHECK) on malformed rows — a silently truncated dataset
+/// would invalidate every downstream experiment.
+Dataset LoadCsv(const std::string& path, std::size_t label_column,
+                bool has_header = true);
+
+/// Writes `data` as CSV with columns f0..f{d-1},label. Used by the figure
+/// benches to dump series/grids that plotting scripts can pick up.
+void SaveCsv(const Dataset& data, const std::string& path);
+
+}  // namespace spe
+
+#endif  // SPE_DATA_CSV_H_

@@ -1,0 +1,171 @@
+#include "spe/data/dataset.h"
+
+#include <cmath>
+#include <istream>
+#include <limits>
+#include <ostream>
+#include <sstream>
+
+#include "spe/common/check.h"
+
+namespace spe {
+
+Dataset::Dataset(std::size_t num_features)
+    : num_features_(num_features), kinds_(num_features, FeatureKind::kNumerical) {}
+
+bool Dataset::HasCategoricalFeatures() const {
+  for (FeatureKind k : kinds_) {
+    if (k == FeatureKind::kCategorical) return true;
+  }
+  return false;
+}
+
+void Dataset::Reserve(std::size_t rows) {
+  x_.reserve(rows * num_features_);
+  labels_.reserve(rows);
+}
+
+void Dataset::AddRow(std::span<const double> features, int label) {
+  SPE_CHECK_EQ(features.size(), num_features_);
+  SPE_CHECK(label == 0 || label == 1) << "labels must be binary, got " << label;
+  x_.insert(x_.end(), features.begin(), features.end());
+  labels_.push_back(label);
+}
+
+void Dataset::Append(const Dataset& other) {
+  SPE_CHECK_EQ(other.num_features(), num_features_);
+  x_.insert(x_.end(), other.x_.begin(), other.x_.end());
+  labels_.insert(labels_.end(), other.labels_.begin(), other.labels_.end());
+}
+
+Dataset Dataset::Subset(std::span<const std::size_t> indices) const {
+  Dataset out(num_features_);
+  out.kinds_ = kinds_;
+  out.Reserve(indices.size());
+  for (std::size_t idx : indices) {
+    SPE_CHECK_LT(idx, num_rows());
+    out.AddRow(Row(idx), Label(idx));
+  }
+  return out;
+}
+
+std::vector<std::size_t> Dataset::PositiveIndices() const {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < num_rows(); ++i) {
+    if (labels_[i] == 1) out.push_back(i);
+  }
+  return out;
+}
+
+std::vector<std::size_t> Dataset::NegativeIndices() const {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < num_rows(); ++i) {
+    if (labels_[i] == 0) out.push_back(i);
+  }
+  return out;
+}
+
+std::size_t Dataset::CountPositives() const {
+  std::size_t count = 0;
+  for (int y : labels_) count += static_cast<std::size_t>(y);
+  return count;
+}
+
+double Dataset::ImbalanceRatio() const {
+  const std::size_t pos = CountPositives();
+  SPE_CHECK_GT(pos, 0u) << "imbalance ratio undefined without positives";
+  return static_cast<double>(num_rows() - pos) / static_cast<double>(pos);
+}
+
+std::string Dataset::Summary() const {
+  std::ostringstream os;
+  os << num_rows() << " rows x " << num_features_ << " features, "
+     << CountPositives() << " positives";
+  if (CountPositives() > 0 && CountPositives() < num_rows()) {
+    os << " (IR " << ImbalanceRatio() << ":1)";
+  }
+  return os.str();
+}
+
+void FeatureScaler::Fit(const Dataset& data) {
+  SPE_CHECK_GT(data.num_rows(), 0u);
+  const std::size_t d = data.num_features();
+  means_.assign(d, 0.0);
+  stds_.assign(d, 0.0);
+  kinds_.resize(d);
+  for (std::size_t j = 0; j < d; ++j) kinds_[j] = data.feature_kind(j);
+
+  const double n = static_cast<double>(data.num_rows());
+  for (std::size_t i = 0; i < data.num_rows(); ++i) {
+    auto row = data.Row(i);
+    for (std::size_t j = 0; j < d; ++j) means_[j] += row[j];
+  }
+  for (std::size_t j = 0; j < d; ++j) means_[j] /= n;
+  for (std::size_t i = 0; i < data.num_rows(); ++i) {
+    auto row = data.Row(i);
+    for (std::size_t j = 0; j < d; ++j) {
+      const double delta = row[j] - means_[j];
+      stds_[j] += delta * delta;
+    }
+  }
+  for (std::size_t j = 0; j < d; ++j) {
+    stds_[j] = std::sqrt(stds_[j] / n);
+    // Constant columns carry no information; map them to 0 rather than
+    // dividing by zero.
+    if (stds_[j] < 1e-12) stds_[j] = 1.0;
+  }
+}
+
+void FeatureScaler::TransformRow(std::span<const double> in,
+                                 std::span<double> out) const {
+  SPE_CHECK_EQ(in.size(), means_.size());
+  SPE_CHECK_EQ(out.size(), means_.size());
+  for (std::size_t j = 0; j < in.size(); ++j) {
+    out[j] = kinds_[j] == FeatureKind::kCategorical
+                 ? in[j]
+                 : (in[j] - means_[j]) / stds_[j];
+  }
+}
+
+void FeatureScaler::Save(std::ostream& os) const {
+  os.precision(std::numeric_limits<double>::max_digits10);
+  os << "scaler " << means_.size() << "\n";
+  for (std::size_t j = 0; j < means_.size(); ++j) {
+    os << means_[j] << " " << stds_[j] << " "
+       << (kinds_[j] == FeatureKind::kCategorical ? 1 : 0) << "\n";
+  }
+}
+
+FeatureScaler FeatureScaler::Load(std::istream& is) {
+  std::string keyword;
+  std::size_t dim = 0;
+  is >> keyword >> dim;
+  SPE_CHECK(is.good() && keyword == "scaler") << "malformed scaler";
+  FeatureScaler scaler;
+  scaler.means_.resize(dim);
+  scaler.stds_.resize(dim);
+  scaler.kinds_.resize(dim);
+  for (std::size_t j = 0; j < dim; ++j) {
+    int categorical = 0;
+    is >> scaler.means_[j] >> scaler.stds_[j] >> categorical;
+    scaler.kinds_[j] =
+        categorical != 0 ? FeatureKind::kCategorical : FeatureKind::kNumerical;
+  }
+  SPE_CHECK(!is.fail()) << "truncated scaler";
+  return scaler;
+}
+
+Dataset FeatureScaler::Transform(const Dataset& data) const {
+  SPE_CHECK_EQ(data.num_features(), means_.size());
+  Dataset out = data;
+  for (std::size_t i = 0; i < out.num_rows(); ++i) {
+    auto row = out.MutableRow(i);
+    for (std::size_t j = 0; j < row.size(); ++j) {
+      if (kinds_[j] == FeatureKind::kCategorical) continue;
+      row[j] = (row[j] - means_[j]) / stds_[j];
+    }
+  }
+  return out;
+}
+
+}  // namespace spe

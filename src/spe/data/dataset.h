@@ -1,0 +1,136 @@
+#ifndef SPE_DATA_DATASET_H_
+#define SPE_DATA_DATASET_H_
+
+#include <cstddef>
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace spe {
+
+/// How a feature column should be interpreted by distance computations
+/// and split finding. Categorical features are stored as small integer
+/// codes; the library never assumes an ordering carries meaning for them
+/// (distance-based re-samplers refuse categorical data, mirroring the
+/// paper's point that k-NN methods are inapplicable there).
+enum class FeatureKind { kNumerical, kCategorical };
+
+/// Binary-classification dataset: a dense row-major feature matrix plus
+/// 0/1 labels. Follows the paper's convention that the minority class is
+/// the positive class (label 1) and the majority class is negative
+/// (label 0).
+///
+/// The container is intentionally simple — value-semantic, contiguous
+/// storage — because the algorithms in this library are defined in terms
+/// of whole-dataset passes (hardness evaluation, re-sampling) rather
+/// than point updates.
+class Dataset {
+ public:
+  Dataset() = default;
+
+  /// Creates an empty dataset with `num_features` columns, all numerical.
+  explicit Dataset(std::size_t num_features);
+
+  Dataset(const Dataset&) = default;
+  Dataset& operator=(const Dataset&) = default;
+  Dataset(Dataset&&) = default;
+  Dataset& operator=(Dataset&&) = default;
+
+  std::size_t num_rows() const { return labels_.size(); }
+  std::size_t num_features() const { return num_features_; }
+  bool empty() const { return labels_.empty(); }
+
+  /// Feature value of row `row`, column `col`.
+  double At(std::size_t row, std::size_t col) const {
+    return x_[row * num_features_ + col];
+  }
+  void Set(std::size_t row, std::size_t col, double value) {
+    x_[row * num_features_ + col] = value;
+  }
+
+  /// Contiguous view over the features of one row.
+  std::span<const double> Row(std::size_t row) const {
+    return {x_.data() + row * num_features_, num_features_};
+  }
+  std::span<double> MutableRow(std::size_t row) {
+    return {x_.data() + row * num_features_, num_features_};
+  }
+
+  int Label(std::size_t row) const { return labels_[row]; }
+  void SetLabel(std::size_t row, int label) { labels_[row] = label; }
+  const std::vector<int>& labels() const { return labels_; }
+
+  FeatureKind feature_kind(std::size_t col) const { return kinds_[col]; }
+  void set_feature_kind(std::size_t col, FeatureKind kind) { kinds_[col] = kind; }
+  /// True if any column is categorical; distance-based samplers use this
+  /// to reject datasets they are not defined on.
+  bool HasCategoricalFeatures() const;
+
+  void Reserve(std::size_t rows);
+
+  /// Appends one example. `features.size()` must equal num_features(),
+  /// and `label` must be 0 or 1.
+  void AddRow(std::span<const double> features, int label);
+
+  /// Appends every row of `other` (same schema required).
+  void Append(const Dataset& other);
+
+  /// New dataset holding rows at `indices`, in order (duplicates allowed,
+  /// which is how bootstrap sampling is expressed).
+  Dataset Subset(std::span<const std::size_t> indices) const;
+
+  /// Indices of positive- (minority-) and negative- (majority-) class rows.
+  std::vector<std::size_t> PositiveIndices() const;
+  std::vector<std::size_t> NegativeIndices() const;
+
+  std::size_t CountPositives() const;
+  std::size_t CountNegatives() const { return num_rows() - CountPositives(); }
+
+  /// |N| / |P| as defined in §II of the paper. Requires at least one
+  /// positive example.
+  double ImbalanceRatio() const;
+
+  /// Human-readable one-line summary (rows, features, IR) for logging.
+  std::string Summary() const;
+
+ private:
+  std::size_t num_features_ = 0;
+  std::vector<double> x_;  // row-major, num_rows x num_features
+  std::vector<int> labels_;
+  std::vector<FeatureKind> kinds_;
+};
+
+/// Per-feature standardization (zero mean, unit variance) fitted on one
+/// dataset and applied to others. Used by distance-based samplers and by
+/// gradient-trained models (LR, SVM, MLP) whose optimization is scale
+/// sensitive. Categorical columns are passed through untouched.
+class FeatureScaler {
+ public:
+  /// Computes per-column mean and standard deviation from `data`.
+  void Fit(const Dataset& data);
+
+  /// Returns a standardized copy. The scaler must be fitted first and the
+  /// schema must match the fitting dataset.
+  Dataset Transform(const Dataset& data) const;
+
+  /// Standardizes a single feature row into `out` (same length as the
+  /// fitted schema). Categorical columns are copied through unchanged.
+  void TransformRow(std::span<const double> in, std::span<double> out) const;
+
+  const std::vector<double>& means() const { return means_; }
+  const std::vector<double>& stds() const { return stds_; }
+
+  /// Text serialization (used by the model persistence layer).
+  void Save(std::ostream& os) const;
+  static FeatureScaler Load(std::istream& is);
+
+ private:
+  std::vector<double> means_;
+  std::vector<double> stds_;
+  std::vector<FeatureKind> kinds_;
+};
+
+}  // namespace spe
+
+#endif  // SPE_DATA_DATASET_H_

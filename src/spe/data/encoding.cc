@@ -1,0 +1,64 @@
+#include "spe/data/encoding.h"
+
+#include <algorithm>
+
+#include "spe/common/check.h"
+
+namespace spe {
+
+void OneHotEncoder::Fit(const Dataset& data) {
+  SPE_CHECK_GT(data.num_rows(), 0u);
+  layout_.assign(data.num_features(), Column{});
+
+  std::size_t offset = 0;
+  for (std::size_t j = 0; j < data.num_features(); ++j) {
+    Column& column = layout_[j];
+    column.output_offset = offset;
+    if (data.feature_kind(j) != FeatureKind::kCategorical) {
+      offset += 1;
+      continue;
+    }
+    column.categorical = true;
+    std::vector<double> codes;
+    codes.reserve(data.num_rows());
+    for (std::size_t i = 0; i < data.num_rows(); ++i) {
+      codes.push_back(data.At(i, j));
+    }
+    std::sort(codes.begin(), codes.end());
+    codes.erase(std::unique(codes.begin(), codes.end()), codes.end());
+    column.categories = std::move(codes);
+    offset += column.categories.size();
+  }
+  num_output_features_ = offset;
+}
+
+Dataset OneHotEncoder::Transform(const Dataset& data) const {
+  SPE_CHECK(fitted()) << "transform before fit";
+  SPE_CHECK_EQ(data.num_features(), layout_.size());
+
+  Dataset out(num_output_features_);
+  out.Reserve(data.num_rows());
+  std::vector<double> row(num_output_features_);
+  for (std::size_t i = 0; i < data.num_rows(); ++i) {
+    std::fill(row.begin(), row.end(), 0.0);
+    const auto in = data.Row(i);
+    for (std::size_t j = 0; j < layout_.size(); ++j) {
+      const Column& column = layout_[j];
+      if (!column.categorical) {
+        row[column.output_offset] = in[j];
+        continue;
+      }
+      const auto it = std::lower_bound(column.categories.begin(),
+                                       column.categories.end(), in[j]);
+      // Codes unseen during Fit stay all-zero (the "other" bucket).
+      if (it != column.categories.end() && *it == in[j]) {
+        row[column.output_offset +
+            static_cast<std::size_t>(it - column.categories.begin())] = 1.0;
+      }
+    }
+    out.AddRow(row, data.Label(i));
+  }
+  return out;
+}
+
+}  // namespace spe

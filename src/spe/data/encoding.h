@@ -1,0 +1,49 @@
+#ifndef SPE_DATA_ENCODING_H_
+#define SPE_DATA_ENCODING_H_
+
+#include <vector>
+
+#include "spe/data/dataset.h"
+
+namespace spe {
+
+/// One-hot encoder for categorical columns.
+///
+/// Distance-based methods and linear / neural models are undefined over
+/// integer category codes (the inapplicability the paper leans on for
+/// its "- -" cells). One-hot expansion is the standard escape hatch:
+/// after Fit + Transform every column is numerical, so KNN / LR / SVM /
+/// MLP — and the SMOTE family — run on datasets like Payment Simulation.
+/// Tree models don't need it (they split codes ordinally).
+///
+/// Categories are the distinct codes seen during Fit, one output column
+/// each, in ascending code order; codes unseen at Fit map to all-zeros.
+/// Numerical columns pass through unchanged, in their original order
+/// followed by the expanded categorical blocks.
+class OneHotEncoder {
+ public:
+  /// Learns the category vocabulary of every categorical column.
+  void Fit(const Dataset& data);
+
+  bool fitted() const { return !layout_.empty(); }
+
+  /// Width of the encoded feature space.
+  std::size_t num_output_features() const { return num_output_features_; }
+
+  /// Returns the encoded dataset (labels preserved, schema all-numeric).
+  Dataset Transform(const Dataset& data) const;
+
+ private:
+  struct Column {
+    bool categorical = false;
+    std::size_t output_offset = 0;          // first output column
+    std::vector<double> categories;         // ascending codes (categorical)
+  };
+
+  std::vector<Column> layout_;
+  std::size_t num_output_features_ = 0;
+};
+
+}  // namespace spe
+
+#endif  // SPE_DATA_ENCODING_H_

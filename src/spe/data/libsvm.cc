@@ -1,0 +1,113 @@
+#include "spe/data/libsvm.h"
+
+#include <algorithm>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <vector>
+
+#include "spe/common/check.h"
+
+namespace spe {
+namespace {
+
+struct SparseRow {
+  int raw_label = 0;
+  std::vector<std::pair<std::size_t, double>> entries;  // 0-based index
+};
+
+SparseRow ParseLine(const std::string& line, const std::string& path,
+                    std::size_t line_number) {
+  SparseRow row;
+  std::istringstream is(line);
+  SPE_CHECK(static_cast<bool>(is >> row.raw_label))
+      << path << ":" << line_number << ": missing label";
+  std::string token;
+  while (is >> token) {
+    if (!token.empty() && token[0] == '#') break;  // trailing comment
+    const std::size_t colon = token.find(':');
+    SPE_CHECK_NE(colon, std::string::npos)
+        << path << ":" << line_number << ": bad feature token '" << token << "'";
+    const long index = std::stol(token.substr(0, colon));
+    SPE_CHECK_GE(index, 1) << path << ":" << line_number
+                           << ": LIBSVM indices are 1-based";
+    const double value = std::stod(token.substr(colon + 1));
+    row.entries.emplace_back(static_cast<std::size_t>(index - 1), value);
+  }
+  return row;
+}
+
+int MapLabel(int raw, const std::string& path) {
+  switch (raw) {
+    case 0:
+    case -1:
+      return 0;
+    case 1:
+      return 1;
+    case 2:
+      return 1;  // the {1, 2} convention: 2 is the positive class
+    default:
+      SPE_CHECK(false) << path << ": unsupported label " << raw;
+      return 0;  // unreachable
+  }
+}
+
+}  // namespace
+
+Dataset LoadLibsvm(const std::string& path, std::size_t num_features) {
+  std::ifstream in(path);
+  SPE_CHECK(in.good()) << "cannot open " << path;
+
+  std::vector<SparseRow> rows;
+  std::size_t max_index = 0;
+  bool saw_label_one = false;
+  bool saw_label_two = false;
+  std::string line;
+  std::size_t line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.empty() || line[0] == '#') continue;
+    rows.push_back(ParseLine(line, path, line_number));
+    for (const auto& [index, value] : rows.back().entries) {
+      max_index = std::max(max_index, index + 1);
+    }
+    saw_label_one |= rows.back().raw_label == 1;
+    saw_label_two |= rows.back().raw_label == 2;
+  }
+  SPE_CHECK(!rows.empty()) << path << ": no data rows";
+
+  const std::size_t width = num_features > 0 ? num_features : max_index;
+  SPE_CHECK_GE(width, max_index)
+      << path << ": num_features smaller than the largest feature index";
+
+  Dataset data(width);
+  data.Reserve(rows.size());
+  std::vector<double> dense(width);
+  for (const SparseRow& row : rows) {
+    std::fill(dense.begin(), dense.end(), 0.0);
+    for (const auto& [index, value] : row.entries) dense[index] = value;
+    // {1, 2}-encoded files use 1 as the negative class; plain {0/-1, 1}
+    // files use 1 as positive. Disambiguate by whether a 2 ever appears.
+    const int label = (saw_label_two && row.raw_label == 1)
+                          ? 0
+                          : MapLabel(row.raw_label, path);
+    data.AddRow(dense, label);
+  }
+  return data;
+}
+
+void SaveLibsvm(const Dataset& data, const std::string& path) {
+  std::ofstream out(path);
+  SPE_CHECK(out.good()) << "cannot write " << path;
+  out.precision(std::numeric_limits<double>::max_digits10);
+  for (std::size_t i = 0; i < data.num_rows(); ++i) {
+    out << data.Label(i);
+    const auto row = data.Row(i);
+    for (std::size_t j = 0; j < row.size(); ++j) {
+      if (row[j] != 0.0) out << " " << (j + 1) << ":" << row[j];
+    }
+    out << "\n";
+  }
+}
+
+}  // namespace spe

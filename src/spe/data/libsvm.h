@@ -1,0 +1,27 @@
+#ifndef SPE_DATA_LIBSVM_H_
+#define SPE_DATA_LIBSVM_H_
+
+#include <string>
+
+#include "spe/data/dataset.h"
+
+namespace spe {
+
+/// Loads a dataset in LIBSVM/SVMlight sparse text format:
+///
+///   <label> <index>:<value> <index>:<value> ...
+///
+/// Indices are 1-based and may be sparse; unlisted features are 0 (the
+/// format's convention). Labels may be {0, 1}, {-1, +1} (mapped to
+/// {0, 1}) or {1, 2} (mapped to {0, 1}, another common encoding).
+/// `num_features` forces the width; 0 infers it from the largest index
+/// seen. Aborts on malformed rows.
+Dataset LoadLibsvm(const std::string& path, std::size_t num_features = 0);
+
+/// Writes `data` in LIBSVM format (zero values are omitted, per the
+/// format's sparse convention).
+void SaveLibsvm(const Dataset& data, const std::string& path);
+
+}  // namespace spe
+
+#endif  // SPE_DATA_LIBSVM_H_

@@ -1,0 +1,63 @@
+#include "spe/data/split.h"
+
+#include <vector>
+
+#include "spe/common/check.h"
+
+namespace spe {
+namespace {
+
+// Splits `indices` (already shuffled) into three consecutive slices with
+// the given fractions and appends each slice to the matching output.
+void SliceInto(const std::vector<std::size_t>& indices, double f_train,
+               double f_val, double f_test, std::vector<std::size_t>& train,
+               std::vector<std::size_t>& val, std::vector<std::size_t>& test) {
+  const std::size_t n = indices.size();
+  const auto n_train = static_cast<std::size_t>(f_train * static_cast<double>(n));
+  const auto n_val = static_cast<std::size_t>(f_val * static_cast<double>(n));
+  auto n_test = static_cast<std::size_t>(f_test * static_cast<double>(n));
+  if (n_train + n_val + n_test > n) n_test = n - n_train - n_val;
+  for (std::size_t i = 0; i < n_train; ++i) train.push_back(indices[i]);
+  for (std::size_t i = n_train; i < n_train + n_val; ++i) val.push_back(indices[i]);
+  for (std::size_t i = n_train + n_val; i < n_train + n_val + n_test; ++i) {
+    test.push_back(indices[i]);
+  }
+}
+
+}  // namespace
+
+TrainValTest StratifiedSplit(const Dataset& data, double train_fraction,
+                             double validation_fraction, double test_fraction,
+                             Rng& rng) {
+  SPE_CHECK_GT(train_fraction, 0.0);
+  SPE_CHECK_GE(validation_fraction, 0.0);
+  SPE_CHECK_GE(test_fraction, 0.0);
+  SPE_CHECK_LE(train_fraction + validation_fraction + test_fraction, 1.0 + 1e-9);
+
+  std::vector<std::size_t> pos = data.PositiveIndices();
+  std::vector<std::size_t> neg = data.NegativeIndices();
+  rng.Shuffle(pos);
+  rng.Shuffle(neg);
+
+  std::vector<std::size_t> train_idx;
+  std::vector<std::size_t> val_idx;
+  std::vector<std::size_t> test_idx;
+  SliceInto(pos, train_fraction, validation_fraction, test_fraction, train_idx,
+            val_idx, test_idx);
+  SliceInto(neg, train_fraction, validation_fraction, test_fraction, train_idx,
+            val_idx, test_idx);
+  rng.Shuffle(train_idx);
+  rng.Shuffle(val_idx);
+  rng.Shuffle(test_idx);
+
+  return TrainValTest{data.Subset(train_idx), data.Subset(val_idx),
+                      data.Subset(test_idx)};
+}
+
+TrainTest StratifiedSplit2(const Dataset& data, double train_fraction, Rng& rng) {
+  TrainValTest parts =
+      StratifiedSplit(data, train_fraction, 0.0, 1.0 - train_fraction, rng);
+  return TrainTest{std::move(parts.train), std::move(parts.test)};
+}
+
+}  // namespace spe

@@ -1,0 +1,35 @@
+#ifndef SPE_DATA_SPLIT_H_
+#define SPE_DATA_SPLIT_H_
+
+#include "spe/common/rng.h"
+#include "spe/data/dataset.h"
+
+namespace spe {
+
+/// Train / validation / test partition. The paper's real-world protocol
+/// (§VI-B.1) uses 60 / 20 / 20 with the validation set kept at the
+/// original imbalanced distribution (no re-sampling); GBDT consumes it
+/// for early stopping.
+struct TrainValTest {
+  Dataset train;
+  Dataset validation;
+  Dataset test;
+};
+
+/// Stratified split: positives and negatives are partitioned separately
+/// so each part preserves the imbalance ratio. Fractions must be positive
+/// and sum to at most 1 (any remainder is dropped).
+TrainValTest StratifiedSplit(const Dataset& data, double train_fraction,
+                             double validation_fraction, double test_fraction,
+                             Rng& rng);
+
+/// Two-way stratified split (train_fraction / 1 - train_fraction).
+struct TrainTest {
+  Dataset train;
+  Dataset test;
+};
+TrainTest StratifiedSplit2(const Dataset& data, double train_fraction, Rng& rng);
+
+}  // namespace spe
+
+#endif  // SPE_DATA_SPLIT_H_

@@ -1,0 +1,128 @@
+#include "spe/data/synthetic.h"
+
+#include <array>
+#include <cmath>
+#include <vector>
+
+#include "spe/common/check.h"
+
+namespace spe {
+namespace {
+
+struct Component {
+  double cx;
+  double cy;
+};
+
+// Appends `count` draws from N((cx, cy), cov * I2) with the given label.
+void SampleComponent(Dataset& data, const Component& c, double covariance,
+                     std::size_t count, int label, Rng& rng) {
+  const double stddev = std::sqrt(covariance);
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::array<double, 2> xy = {rng.Gaussian(c.cx, stddev),
+                                      rng.Gaussian(c.cy, stddev)};
+    data.AddRow(xy, label);
+  }
+}
+
+// Splits `total` into `parts` near-equal chunks (first chunks get the
+// remainder), so every Gaussian component receives its share.
+std::vector<std::size_t> EvenSplit(std::size_t total, std::size_t parts) {
+  std::vector<std::size_t> out(parts, total / parts);
+  for (std::size_t i = 0; i < total % parts; ++i) ++out[i];
+  return out;
+}
+
+}  // namespace
+
+Dataset MakeCheckerboard(const CheckerboardConfig& config, Rng& rng) {
+  SPE_CHECK_GT(config.grid_size, 0);
+  SPE_CHECK_GT(config.covariance, 0.0);
+
+  std::vector<Component> minority_cells;
+  std::vector<Component> majority_cells;
+  for (int gx = 0; gx < config.grid_size; ++gx) {
+    for (int gy = 0; gy < config.grid_size; ++gy) {
+      const Component c{gx * config.spacing, gy * config.spacing};
+      if ((gx + gy) % 2 == 1) {
+        minority_cells.push_back(c);
+      } else {
+        majority_cells.push_back(c);
+      }
+    }
+  }
+
+  Dataset data(2);
+  data.Reserve(config.num_minority + config.num_majority);
+  const auto min_counts = EvenSplit(config.num_minority, minority_cells.size());
+  const auto maj_counts = EvenSplit(config.num_majority, majority_cells.size());
+  for (std::size_t i = 0; i < minority_cells.size(); ++i) {
+    SampleComponent(data, minority_cells[i], config.covariance, min_counts[i],
+                    /*label=*/1, rng);
+  }
+  for (std::size_t i = 0; i < majority_cells.size(); ++i) {
+    SampleComponent(data, majority_cells[i], config.covariance, maj_counts[i],
+                    /*label=*/0, rng);
+  }
+  return data;
+}
+
+Dataset MakeTwoGaussians(const TwoGaussiansConfig& config, Rng& rng) {
+  SPE_CHECK_GT(config.num_minority, 0u);
+  SPE_CHECK_GE(config.imbalance_ratio, 1.0);
+
+  const auto num_majority = static_cast<std::size_t>(
+      config.imbalance_ratio * static_cast<double>(config.num_minority));
+  Dataset data(2);
+  data.Reserve(config.num_minority + num_majority);
+
+  if (!config.overlapped) {
+    // Two well-separated blobs: hardness stays flat as IR grows (Fig 2a-c).
+    SampleComponent(data, {0.0, 0.0}, config.covariance, num_majority, 0, rng);
+    SampleComponent(data, {4.0, 4.0}, config.covariance, config.num_minority, 1,
+                    rng);
+    return data;
+  }
+
+  // Overlapped regime (Fig 2d-f): the minority mass sits on the fringe
+  // of the majority mixture — recoverable at low IR, but progressively
+  // drowned as the majority tail thickens, so the hard-sample count
+  // grows with IR (the paper's Fig. 2e/2f).
+  const std::vector<Component> majority_centers = {
+      {0.0, 0.0}, {1.2, 0.4}, {0.4, 1.2}, {1.4, 1.4}};
+  const std::vector<Component> minority_centers = {{2.1, 2.1}, {2.4, 1.3}};
+  const auto maj_counts = EvenSplit(num_majority, majority_centers.size());
+  const auto min_counts = EvenSplit(config.num_minority, minority_centers.size());
+  for (std::size_t i = 0; i < majority_centers.size(); ++i) {
+    SampleComponent(data, majority_centers[i], config.covariance, maj_counts[i],
+                    0, rng);
+  }
+  for (std::size_t i = 0; i < minority_centers.size(); ++i) {
+    SampleComponent(data, minority_centers[i], config.covariance, min_counts[i],
+                    1, rng);
+  }
+  return data;
+}
+
+void InjectMissingValues(Dataset& data, double missing_fraction, Rng& rng) {
+  SPE_CHECK_GE(missing_fraction, 0.0);
+  SPE_CHECK_LE(missing_fraction, 1.0);
+  const std::size_t total = data.num_rows() * data.num_features();
+  const auto count =
+      static_cast<std::size_t>(missing_fraction * static_cast<double>(total));
+  for (std::size_t flat : rng.SampleWithoutReplacement(total, count)) {
+    data.Set(flat / data.num_features(), flat % data.num_features(), 0.0);
+  }
+}
+
+void InjectLabelNoise(Dataset& data, double noise_fraction, Rng& rng) {
+  SPE_CHECK_GE(noise_fraction, 0.0);
+  SPE_CHECK_LE(noise_fraction, 1.0);
+  const auto count = static_cast<std::size_t>(
+      noise_fraction * static_cast<double>(data.num_rows()));
+  for (std::size_t row : rng.SampleWithoutReplacement(data.num_rows(), count)) {
+    data.SetLabel(row, 1 - data.Label(row));
+  }
+}
+
+}  // namespace spe

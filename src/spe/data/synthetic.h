@@ -1,0 +1,50 @@
+#ifndef SPE_DATA_SYNTHETIC_H_
+#define SPE_DATA_SYNTHETIC_H_
+
+#include "spe/common/rng.h"
+#include "spe/data/dataset.h"
+
+namespace spe {
+
+/// Parameters for the paper's 4x4 checkerboard benchmark (§VI-A, Fig. 4):
+/// 16 Gaussian components on a grid, alternating minority / majority,
+/// all sharing covariance `covariance * I2`.
+struct CheckerboardConfig {
+  std::size_t num_minority = 1000;   // |P|
+  std::size_t num_majority = 10000;  // |N|
+  double covariance = 0.1;           // 0.05 / 0.10 / 0.15 in Fig. 5
+  int grid_size = 4;                 // 4x4 grid
+  double spacing = 1.0;              // distance between adjacent centers
+};
+
+/// Samples a checkerboard dataset. Minority components sit on cells where
+/// (cell_x + cell_y) is odd, majority on even cells; samples are spread
+/// evenly across a class's components (remainders on the first ones).
+Dataset MakeCheckerboard(const CheckerboardConfig& config, Rng& rng);
+
+/// Parameters for the two-regime illustration of Fig. 2: a dataset whose
+/// classes either occupy disjoint Gaussian blobs (easy at any imbalance
+/// ratio) or heavily overlapping mixtures (hardness explodes with IR).
+struct TwoGaussiansConfig {
+  std::size_t num_minority = 500;
+  double imbalance_ratio = 10.0;  // |N| = IR * |P|
+  bool overlapped = false;
+  double covariance = 0.25;
+};
+
+Dataset MakeTwoGaussians(const TwoGaussiansConfig& config, Rng& rng);
+
+/// Replaces a uniformly random `missing_fraction` of all feature values
+/// with 0, reproducing the paper's Table VII protocol ("randomly select
+/// values from all features ... replace them with meaningless 0").
+/// Applied to train and test alike in that experiment.
+void InjectMissingValues(Dataset& data, double missing_fraction, Rng& rng);
+
+/// Flips the label of a uniformly random `noise_fraction` of rows.
+/// Not used by any paper table directly, but exercised by robustness
+/// tests: hardness-aware under-sampling should degrade gracefully here.
+void InjectLabelNoise(Dataset& data, double noise_fraction, Rng& rng);
+
+}  // namespace spe
+
+#endif  // SPE_DATA_SYNTHETIC_H_

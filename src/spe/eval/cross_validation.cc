@@ -1,0 +1,72 @@
+#include "spe/eval/cross_validation.h"
+
+#include "spe/common/check.h"
+
+namespace spe {
+namespace {
+
+// AggregateScores field extraction shared with experiment.cc's Repeat.
+AggregateScores AggregateSummaries(const std::vector<ScoreSummary>& summaries) {
+  std::vector<double> aucprc;
+  std::vector<double> f1;
+  std::vector<double> gmean;
+  std::vector<double> mcc;
+  for (const ScoreSummary& s : summaries) {
+    aucprc.push_back(s.aucprc);
+    f1.push_back(s.f1);
+    gmean.push_back(s.gmean);
+    mcc.push_back(s.mcc);
+  }
+  return AggregateScores{Aggregate(aucprc), Aggregate(f1), Aggregate(gmean),
+                         Aggregate(mcc)};
+}
+
+}  // namespace
+
+std::vector<std::size_t> StratifiedFolds(const Dataset& data, std::size_t k,
+                                         Rng& rng) {
+  SPE_CHECK_GE(k, 2u);
+  SPE_CHECK_GE(data.CountPositives(), k)
+      << "need at least one positive per fold";
+  SPE_CHECK_GE(data.CountNegatives(), k);
+
+  std::vector<std::size_t> fold_of(data.num_rows());
+  for (std::vector<std::size_t> group :
+       {data.PositiveIndices(), data.NegativeIndices()}) {
+    rng.Shuffle(group);
+    for (std::size_t i = 0; i < group.size(); ++i) {
+      fold_of[group[i]] = i % k;
+    }
+  }
+  return fold_of;
+}
+
+AggregateScores CrossValidationResult::aggregate() const {
+  SPE_CHECK(!folds.empty());
+  return AggregateSummaries(folds);
+}
+
+CrossValidationResult CrossValidate(const Classifier& prototype,
+                                    const Dataset& data, std::size_t k,
+                                    Rng& rng) {
+  const std::vector<std::size_t> fold_of = StratifiedFolds(data, k, rng);
+
+  CrossValidationResult result;
+  for (std::size_t fold = 0; fold < k; ++fold) {
+    std::vector<std::size_t> train_rows;
+    std::vector<std::size_t> test_rows;
+    for (std::size_t i = 0; i < data.num_rows(); ++i) {
+      (fold_of[i] == fold ? test_rows : train_rows).push_back(i);
+    }
+    const Dataset train = data.Subset(train_rows);
+    const Dataset test = data.Subset(test_rows);
+
+    std::unique_ptr<Classifier> model = prototype.Clone();
+    model->Reseed(rng.engine()());
+    model->Fit(train);
+    result.folds.push_back(Evaluate(test.labels(), model->PredictProba(test)));
+  }
+  return result;
+}
+
+}  // namespace spe

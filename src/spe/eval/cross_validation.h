@@ -1,0 +1,39 @@
+#ifndef SPE_EVAL_CROSS_VALIDATION_H_
+#define SPE_EVAL_CROSS_VALIDATION_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "spe/classifiers/classifier.h"
+#include "spe/common/rng.h"
+#include "spe/common/stats.h"
+#include "spe/data/dataset.h"
+#include "spe/eval/experiment.h"
+#include "spe/metrics/metrics.h"
+
+namespace spe {
+
+/// Stratified k-fold assignment: fold id per row, with positives and
+/// negatives distributed separately so every fold preserves the
+/// imbalance ratio (critical when |P| is tiny — plain k-fold can easily
+/// produce folds with zero positives, making AUCPRC undefined).
+std::vector<std::size_t> StratifiedFolds(const Dataset& data, std::size_t k,
+                                         Rng& rng);
+
+/// Result of one cross-validation: the per-fold summaries plus
+/// mean ± std aggregates of the four paper criteria.
+struct CrossValidationResult {
+  std::vector<ScoreSummary> folds;
+  AggregateScores aggregate() const;
+};
+
+/// Stratified k-fold cross-validation of `prototype`: for each fold a
+/// fresh clone (reseeded per fold) trains on the other k-1 folds and is
+/// scored on the held-out one. The prototype itself is not modified.
+CrossValidationResult CrossValidate(const Classifier& prototype,
+                                    const Dataset& data, std::size_t k,
+                                    Rng& rng);
+
+}  // namespace spe
+
+#endif  // SPE_EVAL_CROSS_VALIDATION_H_

@@ -1,0 +1,53 @@
+#include "spe/eval/experiment.h"
+
+#include <cstdlib>
+#include <vector>
+
+#include "spe/common/check.h"
+
+namespace spe {
+
+AggregateScores Repeat(const RunFn& fn, std::size_t runs, std::uint64_t base_seed) {
+  SPE_CHECK_GT(runs, 0u);
+  std::vector<double> aucprc;
+  std::vector<double> f1;
+  std::vector<double> gmean;
+  std::vector<double> mcc;
+  aucprc.reserve(runs);
+  f1.reserve(runs);
+  gmean.reserve(runs);
+  mcc.reserve(runs);
+  for (std::size_t r = 0; r < runs; ++r) {
+    const ScoreSummary s = fn(base_seed + r);
+    aucprc.push_back(s.aucprc);
+    f1.push_back(s.f1);
+    gmean.push_back(s.gmean);
+    mcc.push_back(s.mcc);
+  }
+  return AggregateScores{Aggregate(aucprc), Aggregate(f1), Aggregate(gmean),
+                         Aggregate(mcc)};
+}
+
+ScoreSummary TrainAndEvaluate(Classifier& model, const Dataset& train,
+                              const Dataset& test) {
+  model.Fit(train);
+  return Evaluate(test.labels(), model.PredictProba(test));
+}
+
+std::size_t BenchRuns() {
+  if (const char* env = std::getenv("SPE_RUNS")) {
+    const long v = std::strtol(env, nullptr, 10);
+    if (v >= 1) return static_cast<std::size_t>(v);
+  }
+  return 5;
+}
+
+double BenchScale() {
+  if (const char* env = std::getenv("SPE_BENCH_SCALE")) {
+    const double v = std::strtod(env, nullptr);
+    if (v > 0.0) return v;
+  }
+  return 1.0;
+}
+
+}  // namespace spe

@@ -1,0 +1,48 @@
+#ifndef SPE_EVAL_EXPERIMENT_H_
+#define SPE_EVAL_EXPERIMENT_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "spe/classifiers/classifier.h"
+#include "spe/common/stats.h"
+#include "spe/data/dataset.h"
+#include "spe/metrics/metrics.h"
+
+namespace spe {
+
+/// Mean ± std of the four paper criteria over repeated runs.
+struct AggregateScores {
+  MeanStd aucprc;
+  MeanStd f1;
+  MeanStd gmean;
+  MeanStd mcc;
+};
+
+/// One experiment repetition: everything stochastic must derive from
+/// `seed` so repetitions are independent and reproducible.
+using RunFn = std::function<ScoreSummary(std::uint64_t seed)>;
+
+/// Runs `fn` for seeds base_seed .. base_seed + runs - 1 and aggregates —
+/// the "mean and standard deviation of 10 independent runs" protocol the
+/// paper uses for every table.
+AggregateScores Repeat(const RunFn& fn, std::size_t runs,
+                       std::uint64_t base_seed = 0);
+
+/// Fits `model` on `train` and scores it on `test` with the fixed 0.5
+/// threshold for the threshold metrics.
+ScoreSummary TrainAndEvaluate(Classifier& model, const Dataset& train,
+                              const Dataset& test);
+
+/// Number of repetitions benches should run: SPE_RUNS env var, default 5.
+/// (The paper uses 10; 5 keeps the default single-machine suite fast and
+/// the spread estimates honest.)
+std::size_t BenchRuns();
+
+/// Dataset scale multiplier for benches: SPE_BENCH_SCALE env, default 1.
+double BenchScale();
+
+}  // namespace spe
+
+#endif  // SPE_EVAL_EXPERIMENT_H_

@@ -1,0 +1,52 @@
+#include "spe/eval/learning_curve.h"
+
+#include <algorithm>
+
+#include "spe/common/check.h"
+
+namespace spe {
+
+std::vector<LearningCurvePoint> LearningCurve(
+    const Classifier& prototype, const Dataset& train, const Dataset& test,
+    const std::vector<double>& fractions, Rng& rng) {
+  SPE_CHECK(!fractions.empty());
+  const std::vector<std::size_t> pos = train.PositiveIndices();
+  const std::vector<std::size_t> neg = train.NegativeIndices();
+  SPE_CHECK(!pos.empty());
+  SPE_CHECK(!neg.empty());
+
+  std::vector<LearningCurvePoint> curve;
+  curve.reserve(fractions.size());
+  for (double fraction : fractions) {
+    SPE_CHECK_GT(fraction, 0.0);
+    SPE_CHECK_LE(fraction, 1.0);
+    // Stratified subset: scale each class separately, at least one row
+    // of each so the subset stays trainable.
+    const auto take_pos = std::max<std::size_t>(
+        1, static_cast<std::size_t>(fraction * static_cast<double>(pos.size())));
+    const auto take_neg = std::max<std::size_t>(
+        1, static_cast<std::size_t>(fraction * static_cast<double>(neg.size())));
+    std::vector<std::size_t> rows;
+    rows.reserve(take_pos + take_neg);
+    for (std::size_t i : rng.SampleWithoutReplacement(pos.size(), take_pos)) {
+      rows.push_back(pos[i]);
+    }
+    for (std::size_t i : rng.SampleWithoutReplacement(neg.size(), take_neg)) {
+      rows.push_back(neg[i]);
+    }
+    const Dataset subset = train.Subset(rows);
+
+    std::unique_ptr<Classifier> model = prototype.Clone();
+    model->Reseed(rng.engine()());
+    model->Fit(subset);
+
+    LearningCurvePoint point;
+    point.train_fraction = fraction;
+    point.train_rows = subset.num_rows();
+    point.test_scores = Evaluate(test.labels(), model->PredictProba(test));
+    curve.push_back(point);
+  }
+  return curve;
+}
+
+}  // namespace spe

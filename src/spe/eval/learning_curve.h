@@ -1,0 +1,31 @@
+#ifndef SPE_EVAL_LEARNING_CURVE_H_
+#define SPE_EVAL_LEARNING_CURVE_H_
+
+#include <vector>
+
+#include "spe/classifiers/classifier.h"
+#include "spe/common/rng.h"
+#include "spe/data/dataset.h"
+#include "spe/metrics/metrics.h"
+
+namespace spe {
+
+/// One point of a learning curve.
+struct LearningCurvePoint {
+  double train_fraction = 0.0;
+  std::size_t train_rows = 0;
+  ScoreSummary test_scores;
+};
+
+/// Learning curve: clones of `prototype` train on growing stratified
+/// subsets of `train` (the given fractions, each a superset-free fresh
+/// draw) and are scored on `test`. Answers the practical question the
+/// paper's massive-data framing raises — how much data a method needs
+/// before its ranking quality saturates.
+std::vector<LearningCurvePoint> LearningCurve(
+    const Classifier& prototype, const Dataset& train, const Dataset& test,
+    const std::vector<double>& fractions, Rng& rng);
+
+}  // namespace spe
+
+#endif  // SPE_EVAL_LEARNING_CURVE_H_

@@ -1,0 +1,28 @@
+#ifndef SPE_EVAL_STOPWATCH_H_
+#define SPE_EVAL_STOPWATCH_H_
+
+#include <chrono>
+
+namespace spe {
+
+/// Wall-clock stopwatch for the timing columns (e.g. Table V's
+/// "Re-sampling Time(s)").
+class Stopwatch {
+ public:
+  Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+
+  void Restart() { start_ = std::chrono::steady_clock::now(); }
+
+  /// Seconds elapsed since construction / last Restart.
+  double Seconds() const {
+    const auto now = std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(now - start_).count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace spe
+
+#endif  // SPE_EVAL_STOPWATCH_H_

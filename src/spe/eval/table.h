@@ -1,0 +1,36 @@
+#ifndef SPE_EVAL_TABLE_H_
+#define SPE_EVAL_TABLE_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "spe/common/stats.h"
+
+namespace spe {
+
+/// Fixed-width console table used by the bench binaries to print
+/// paper-style result tables.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  /// Adds one row; must have as many cells as there are headers.
+  void AddRow(std::vector<std::string> cells);
+
+  void Print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// "0.783±0.015"-style cell, matching the paper's table formatting.
+std::string FormatMeanStd(const MeanStd& value, int precision = 3);
+
+/// Plain fixed-precision number.
+std::string FormatNumber(double value, int precision = 3);
+
+}  // namespace spe
+
+#endif  // SPE_EVAL_TABLE_H_

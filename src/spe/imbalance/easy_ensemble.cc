@@ -1,0 +1,27 @@
+#include "spe/imbalance/easy_ensemble.h"
+
+#include "spe/classifiers/adaboost.h"
+
+namespace spe {
+namespace {
+
+std::unique_ptr<Classifier> DefaultAdaBoost() {
+  AdaBoostConfig config;
+  config.n_estimators = 10;
+  return std::make_unique<AdaBoost>(config);
+}
+
+}  // namespace
+
+EasyEnsemble::EasyEnsemble(const UnderBaggingConfig& config)
+    : UnderBagging(config, DefaultAdaBoost()) {}
+
+EasyEnsemble::EasyEnsemble(const UnderBaggingConfig& config,
+                           std::unique_ptr<Classifier> base_prototype)
+    : UnderBagging(config, std::move(base_prototype)) {}
+
+std::unique_ptr<Classifier> EasyEnsemble::Clone() const {
+  return std::make_unique<EasyEnsemble>(config(), base_prototype().Clone());
+}
+
+}  // namespace spe

@@ -1,0 +1,111 @@
+#include "spe/imbalance/rus_boost.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "spe/classifiers/decision_tree.h"
+#include "spe/common/check.h"
+#include "spe/common/math.h"
+#include "spe/common/rng.h"
+
+namespace spe {
+
+RusBoost::RusBoost(const RusBoostConfig& config) : config_(config) {
+  SPE_CHECK_GT(config.n_estimators, 0u);
+  DecisionTreeConfig tree_config;
+  tree_config.max_depth = 10;
+  base_prototype_ = std::make_unique<DecisionTree>(tree_config);
+}
+
+RusBoost::RusBoost(const RusBoostConfig& config,
+                   std::unique_ptr<Classifier> base_prototype)
+    : config_(config), base_prototype_(std::move(base_prototype)) {
+  SPE_CHECK_GT(config.n_estimators, 0u);
+  SPE_CHECK(base_prototype_ != nullptr);
+  SPE_CHECK(base_prototype_->SupportsSampleWeights())
+      << "RUSBoost base learner must support sample weights";
+}
+
+void RusBoost::Fit(const Dataset& train) {
+  const std::vector<std::size_t> pos = train.PositiveIndices();
+  const std::vector<std::size_t> neg = train.NegativeIndices();
+  SPE_CHECK(!pos.empty());
+  SPE_CHECK(!neg.empty());
+
+  const std::size_t n = train.num_rows();
+  std::vector<double> weights(n, 1.0 / static_cast<double>(n));
+  stages_.clear();
+  Rng rng(config_.seed);
+
+  for (std::size_t m = 0; m < config_.n_estimators; ++m) {
+    // Random under-sampling: all minority + |P| uniform majority.
+    const std::size_t take = std::min(pos.size(), neg.size());
+    std::vector<std::size_t> subset_rows = pos;
+    for (std::size_t i : rng.SampleWithoutReplacement(neg.size(), take)) {
+      subset_rows.push_back(neg[i]);
+    }
+    const Dataset subset = train.Subset(subset_rows);
+    std::vector<double> subset_weights(subset_rows.size());
+    double weight_sum = 0.0;
+    for (std::size_t i = 0; i < subset_rows.size(); ++i) {
+      subset_weights[i] = weights[subset_rows[i]];
+      weight_sum += subset_weights[i];
+    }
+    SPE_CHECK_GT(weight_sum, 0.0);
+    for (double& w : subset_weights) w /= weight_sum;
+
+    std::unique_ptr<Classifier> stage = base_prototype_->Clone();
+    stage->Reseed(config_.seed + 104729 * (m + 1));
+    stage->FitWeighted(subset, subset_weights);
+
+    // Real-boosting update on the full training set.
+    const std::vector<double> probs = stage->PredictProba(train);
+    stages_.push_back(std::move(stage));
+    double sum = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double y = train.Label(i) == 1 ? 1.0 : -1.0;
+      weights[i] *=
+          std::exp(-y * config_.learning_rate * HalfLogOdds(probs[i]));
+      sum += weights[i];
+    }
+    if (sum <= 0.0 || !std::isfinite(sum)) break;
+    for (double& w : weights) w /= sum;
+  }
+}
+
+std::vector<double> RusBoost::PredictProbaStaged(const Dataset& data,
+                                                 std::size_t stages) const {
+  SPE_CHECK(!stages_.empty()) << "predict before fit";
+  const std::size_t use = std::min(stages, stages_.size());
+  SPE_CHECK_GT(use, 0u);
+  std::vector<double> score(data.num_rows(), 0.0);
+  for (std::size_t m = 0; m < use; ++m) {
+    const std::vector<double> p = stages_[m]->PredictProba(data);
+    for (std::size_t i = 0; i < score.size(); ++i) score[i] += HalfLogOdds(p[i]);
+  }
+  for (double& s : score) s = Sigmoid(2.0 * config_.learning_rate * s);
+  return score;
+}
+
+std::vector<double> RusBoost::PredictProba(const Dataset& data) const {
+  return PredictProbaStaged(data, stages_.size());
+}
+
+double RusBoost::PredictRow(std::span<const double> x) const {
+  SPE_CHECK(!stages_.empty()) << "predict before fit";
+  double score = 0.0;
+  for (const auto& stage : stages_) score += HalfLogOdds(stage->PredictRow(x));
+  return Sigmoid(2.0 * config_.learning_rate * score);
+}
+
+std::unique_ptr<Classifier> RusBoost::Clone() const {
+  return std::make_unique<RusBoost>(config_, base_prototype_->Clone());
+}
+
+std::string RusBoost::Name() const {
+  std::ostringstream os;
+  os << "RUSBoost" << config_.n_estimators;
+  return os.str();
+}
+
+}  // namespace spe

@@ -1,0 +1,57 @@
+#ifndef SPE_IMBALANCE_SMOTE_BOOST_H_
+#define SPE_IMBALANCE_SMOTE_BOOST_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "spe/classifiers/classifier.h"
+
+namespace spe {
+
+struct SmoteBoostConfig {
+  std::size_t n_estimators = 10;
+  double learning_rate = 1.0;
+  std::size_t smote_k = 5;
+  std::uint64_t seed = 0;
+};
+
+/// SMOTEBoost (Chawla et al., 2003): AdaBoost where every iteration
+/// first augments the training set with |P| fresh SMOTE-synthesized
+/// minority samples (the paper's §VI-C.2 description). Synthetic rows
+/// carry the mean minority weight during the stage fit and are discarded
+/// before the boosting weight update, which runs on the original rows.
+/// Distance-based, so it inherits SMOTE's restriction to numerical data.
+class SmoteBoost final : public Classifier {
+ public:
+  /// Default base model: a depth-10 decision tree.
+  explicit SmoteBoost(const SmoteBoostConfig& config = {});
+  SmoteBoost(const SmoteBoostConfig& config,
+             std::unique_ptr<Classifier> base_prototype);
+
+  void Fit(const Dataset& train) override;
+  double PredictRow(std::span<const double> x) const override;
+  std::vector<double> PredictProba(const Dataset& data) const override;
+  std::unique_ptr<Classifier> Clone() const override;
+  void Reseed(std::uint64_t seed) override { config_.seed = seed; }
+  std::string Name() const override;
+
+  /// Prediction with only the first `stages` stages (Fig. 7 tracing).
+  std::vector<double> PredictProbaStaged(const Dataset& data,
+                                         std::size_t stages) const;
+  std::size_t NumStages() const { return stages_.size(); }
+
+  /// Total rows used to fit all stages (the Table VI "#Sample" column).
+  std::size_t TotalTrainingRows() const { return total_training_rows_; }
+
+ private:
+  SmoteBoostConfig config_;
+  std::unique_ptr<Classifier> base_prototype_;
+  std::vector<std::unique_ptr<Classifier>> stages_;
+  std::size_t total_training_rows_ = 0;
+};
+
+}  // namespace spe
+
+#endif  // SPE_IMBALANCE_SMOTE_BOOST_H_

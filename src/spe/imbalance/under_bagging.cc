@@ -1,0 +1,68 @@
+#include "spe/imbalance/under_bagging.h"
+
+#include <sstream>
+
+#include "spe/classifiers/decision_tree.h"
+#include "spe/common/check.h"
+#include "spe/common/rng.h"
+
+namespace spe {
+
+UnderBagging::UnderBagging(const UnderBaggingConfig& config) : config_(config) {
+  SPE_CHECK_GT(config.n_estimators, 0u);
+  DecisionTreeConfig tree_config;
+  tree_config.max_depth = 10;
+  base_prototype_ = std::make_unique<DecisionTree>(tree_config);
+}
+
+UnderBagging::UnderBagging(const UnderBaggingConfig& config,
+                           std::unique_ptr<Classifier> base_prototype)
+    : config_(config), base_prototype_(std::move(base_prototype)) {
+  SPE_CHECK_GT(config.n_estimators, 0u);
+  SPE_CHECK(base_prototype_ != nullptr);
+}
+
+void UnderBagging::Fit(const Dataset& train) {
+  const std::vector<std::size_t> pos = train.PositiveIndices();
+  const std::vector<std::size_t> neg = train.NegativeIndices();
+  SPE_CHECK(!pos.empty());
+  SPE_CHECK(!neg.empty());
+
+  ensemble_ = VotingEnsemble();
+  Rng rng(config_.seed);
+  const Dataset minority = train.Subset(pos);
+  const std::size_t bag_majority = std::min(pos.size(), neg.size());
+
+  for (std::size_t m = 0; m < config_.n_estimators; ++m) {
+    Dataset subset = minority;
+    subset.Reserve(minority.num_rows() + bag_majority);
+    for (std::size_t i : rng.SampleWithoutReplacement(neg.size(), bag_majority)) {
+      subset.AddRow(train.Row(neg[i]), 0);
+    }
+    std::unique_ptr<Classifier> member = base_prototype_->Clone();
+    member->Reseed(config_.seed + 104729 * (m + 1));
+    member->Fit(subset);
+    ensemble_.Add(std::move(member));
+    if (callback_) callback_(IterationInfo{m + 1, ensemble_, subset});
+  }
+}
+
+double UnderBagging::PredictRow(std::span<const double> x) const {
+  return ensemble_.PredictRow(x);
+}
+
+std::vector<double> UnderBagging::PredictProba(const Dataset& data) const {
+  return ensemble_.PredictProba(data);
+}
+
+std::unique_ptr<Classifier> UnderBagging::Clone() const {
+  return std::make_unique<UnderBagging>(config_, base_prototype_->Clone());
+}
+
+std::string UnderBagging::Name() const {
+  std::ostringstream os;
+  os << Prefix() << config_.n_estimators;
+  return os.str();
+}
+
+}  // namespace spe

@@ -1,0 +1,89 @@
+#include "spe/io/image.h"
+
+#include <array>
+#include <fstream>
+
+#include "spe/common/check.h"
+
+namespace spe {
+
+GrayscaleImage::GrayscaleImage(std::size_t width, std::size_t height,
+                               std::uint8_t fill)
+    : width_(width), height_(height), pixels_(width * height, fill) {
+  SPE_CHECK_GT(width, 0u);
+  SPE_CHECK_GT(height, 0u);
+}
+
+void GrayscaleImage::SavePgm(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  SPE_CHECK(out.good()) << "cannot write " << path;
+  out << "P5\n" << width_ << " " << height_ << "\n255\n";
+  out.write(reinterpret_cast<const char*>(pixels_.data()),
+            static_cast<std::streamsize>(pixels_.size()));
+  SPE_CHECK(out.good()) << "write failed: " << path;
+}
+
+GrayscaleImage GrayscaleImage::LoadPgm(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  SPE_CHECK(in.good()) << "cannot open " << path;
+  std::string magic;
+  std::size_t width = 0;
+  std::size_t height = 0;
+  int max_value = 0;
+  in >> magic >> width >> height >> max_value;
+  SPE_CHECK(magic == "P5") << path << ": not a binary PGM";
+  SPE_CHECK_EQ(max_value, 255);
+  in.get();  // the single whitespace byte after the header
+  GrayscaleImage image(width, height);
+  in.read(reinterpret_cast<char*>(image.pixels_.data()),
+          static_cast<std::streamsize>(image.pixels_.size()));
+  SPE_CHECK(!in.fail()) << path << ": truncated PGM";
+  return image;
+}
+
+GrayscaleImage RenderPredictionSurface(const Classifier& model,
+                                       const ViewPort& view,
+                                       std::size_t resolution) {
+  SPE_CHECK_GT(resolution, 0u);
+  GrayscaleImage image(resolution, resolution);
+  for (std::size_t py = 0; py < resolution; ++py) {
+    // Image rows go top-down; feature y goes bottom-up.
+    const double fy = view.y_hi - (static_cast<double>(py) + 0.5) /
+                                      static_cast<double>(resolution) *
+                                      (view.y_hi - view.y_lo);
+    for (std::size_t px = 0; px < resolution; ++px) {
+      const double fx = view.x_lo + (static_cast<double>(px) + 0.5) /
+                                        static_cast<double>(resolution) *
+                                        (view.x_hi - view.x_lo);
+      const std::array<double, 2> point = {fx, fy};
+      const double p = model.PredictRow(point);
+      image.Set(px, py, static_cast<std::uint8_t>(255.0 * (1.0 - p)));
+    }
+  }
+  return image;
+}
+
+GrayscaleImage RenderScatter(const Dataset& data, const ViewPort& view,
+                             std::size_t resolution) {
+  SPE_CHECK_GT(resolution, 0u);
+  SPE_CHECK_EQ(data.num_features(), 2u);
+  GrayscaleImage image(resolution, resolution);
+  const double x_span = view.x_hi - view.x_lo;
+  const double y_span = view.y_hi - view.y_lo;
+  // Majority first so minority dots stay visible on top.
+  for (const int wanted_label : {0, 1}) {
+    const std::uint8_t shade = wanted_label == 1 ? 0 : 160;
+    for (std::size_t i = 0; i < data.num_rows(); ++i) {
+      if (data.Label(i) != wanted_label) continue;
+      const double fx = (data.At(i, 0) - view.x_lo) / x_span;
+      const double fy = (view.y_hi - data.At(i, 1)) / y_span;
+      if (fx < 0.0 || fx >= 1.0 || fy < 0.0 || fy >= 1.0) continue;
+      image.Set(static_cast<std::size_t>(fx * static_cast<double>(resolution)),
+                static_cast<std::size_t>(fy * static_cast<double>(resolution)),
+                shade);
+    }
+  }
+  return image;
+}
+
+}  // namespace spe

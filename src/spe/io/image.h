@@ -1,0 +1,64 @@
+#ifndef SPE_IO_IMAGE_H_
+#define SPE_IO_IMAGE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "spe/classifiers/classifier.h"
+#include "spe/data/dataset.h"
+
+namespace spe {
+
+/// Minimal 8-bit grayscale raster with binary PGM (P5) output — enough
+/// to turn prediction surfaces and training-set scatters into real
+/// figure files (Fig. 6) without an imaging dependency.
+class GrayscaleImage {
+ public:
+  GrayscaleImage(std::size_t width, std::size_t height,
+                 std::uint8_t fill = 255);
+
+  std::size_t width() const { return width_; }
+  std::size_t height() const { return height_; }
+
+  std::uint8_t At(std::size_t x, std::size_t y) const {
+    return pixels_[y * width_ + x];
+  }
+  void Set(std::size_t x, std::size_t y, std::uint8_t value) {
+    pixels_[y * width_ + x] = value;
+  }
+
+  /// Writes a binary PGM (P5). Aborts if the file cannot be written.
+  void SavePgm(const std::string& path) const;
+
+  /// Reads a binary PGM written by SavePgm.
+  static GrayscaleImage LoadPgm(const std::string& path);
+
+ private:
+  std::size_t width_;
+  std::size_t height_;
+  std::vector<std::uint8_t> pixels_;
+};
+
+/// Axis-aligned view rectangle in feature space (2-D models only).
+struct ViewPort {
+  double x_lo = -1.0;
+  double x_hi = 4.0;
+  double y_lo = -1.0;
+  double y_hi = 4.0;
+};
+
+/// Renders PredictRow over a 2-D grid: black = P(y=1) -> 1, white -> 0.
+/// The model must accept 2-feature rows.
+GrayscaleImage RenderPredictionSurface(const Classifier& model,
+                                       const ViewPort& view,
+                                       std::size_t resolution = 200);
+
+/// Renders a 2-feature dataset scatter: minority samples paint black
+/// (0), majority mid-gray (160), empty cells stay white.
+GrayscaleImage RenderScatter(const Dataset& data, const ViewPort& view,
+                             std::size_t resolution = 200);
+
+}  // namespace spe
+
+#endif  // SPE_IO_IMAGE_H_

@@ -1,0 +1,180 @@
+#include "spe/io/model_io.h"
+
+#include <fstream>
+#include <istream>
+#include <limits>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "spe/classifiers/adaboost.h"
+#include "spe/classifiers/bagging.h"
+#include "spe/classifiers/decision_tree.h"
+#include "spe/classifiers/gbdt/gbdt.h"
+#include "spe/classifiers/logistic_regression.h"
+#include "spe/classifiers/random_forest.h"
+#include "spe/common/check.h"
+#include "spe/core/self_paced_ensemble.h"
+#include "spe/imbalance/balance_cascade.h"
+#include "spe/imbalance/smote_bagging.h"
+#include "spe/imbalance/under_bagging.h"
+
+namespace spe {
+namespace {
+
+constexpr char kMagic[] = "spe-model";
+constexpr int kFormatVersion = 1;
+
+void SaveEnsembleMembers(const VotingEnsemble& members, std::ostream& os) {
+  os << "members " << members.size() << "\n";
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    SaveClassifier(members.member(i), os);
+  }
+}
+
+VotingEnsemble LoadEnsembleMembers(std::istream& is) {
+  std::string keyword;
+  std::size_t count = 0;
+  is >> keyword >> count;
+  SPE_CHECK(is.good() && keyword == "members") << "malformed ensemble model";
+  VotingEnsemble members;
+  for (std::size_t i = 0; i < count; ++i) {
+    members.Add(LoadClassifier(is));
+  }
+  return members;
+}
+
+}  // namespace
+
+VotingEnsembleModel::VotingEnsembleModel(VotingEnsemble members)
+    : members_(std::move(members)) {
+  SPE_CHECK(!members_.empty());
+}
+
+void VotingEnsembleModel::Fit(const Dataset& /*train*/) {
+  SPE_CHECK(false) << "VotingEnsembleModel is an inference-only artifact; "
+                      "retrain with the original ensemble trainer";
+}
+
+double VotingEnsembleModel::PredictRow(std::span<const double> x) const {
+  return members_.PredictRow(x);
+}
+
+std::vector<double> VotingEnsembleModel::PredictProba(const Dataset& data) const {
+  return members_.PredictProba(data);
+}
+
+std::unique_ptr<Classifier> VotingEnsembleModel::Clone() const {
+  SPE_CHECK(false) << "VotingEnsembleModel cannot be cloned untrained";
+  return nullptr;  // unreachable
+}
+
+void SaveClassifier(const Classifier& model, std::ostream& os) {
+  os << kMagic << " " << kFormatVersion << " ";
+  if (const auto* tree = dynamic_cast<const DecisionTree*>(&model)) {
+    os << "DecisionTree\n";
+    tree->SaveModel(os);
+    return;
+  }
+  if (const auto* gbdt = dynamic_cast<const Gbdt*>(&model)) {
+    os << "Gbdt\n";
+    gbdt->SaveModel(os);
+    return;
+  }
+  if (const auto* lr = dynamic_cast<const LogisticRegression*>(&model)) {
+    os << "LogisticRegression\n";
+    lr->SaveModel(os);
+    return;
+  }
+  if (const auto* boost = dynamic_cast<const AdaBoost*>(&model)) {
+    SPE_CHECK_GT(boost->NumStages(), 0u) << "cannot save an unfitted booster";
+    os.precision(std::numeric_limits<double>::max_digits10);
+    os << "AdaBoost\n";
+    os << "learning_rate " << boost->learning_rate() << "\n";
+    os << "stages " << boost->NumStages() << "\n";
+    for (std::size_t i = 0; i < boost->NumStages(); ++i) {
+      SaveClassifier(boost->stage(i), os);
+    }
+    return;
+  }
+
+  // Probability-averaging ensembles all persist as their member list.
+  const VotingEnsemble* members = nullptr;
+  if (const auto* m = dynamic_cast<const SelfPacedEnsemble*>(&model)) {
+    members = &m->members();
+  } else if (const auto* m = dynamic_cast<const UnderBagging*>(&model)) {
+    members = &m->members();
+  } else if (const auto* m = dynamic_cast<const BalanceCascade*>(&model)) {
+    members = &m->members();
+  } else if (const auto* m = dynamic_cast<const Bagging*>(&model)) {
+    members = &m->members();
+  } else if (const auto* m = dynamic_cast<const RandomForest*>(&model)) {
+    members = &m->members();
+  } else if (const auto* m = dynamic_cast<const SmoteBagging*>(&model)) {
+    members = &m->members();
+  } else if (const auto* m = dynamic_cast<const VotingEnsembleModel*>(&model)) {
+    members = &m->members();
+  }
+  SPE_CHECK(members != nullptr)
+      << model.Name() << " does not support persistence";
+  SPE_CHECK(!members->empty()) << "cannot save an unfitted ensemble";
+  os << "VotingEnsemble\n";
+  SaveEnsembleMembers(*members, os);
+}
+
+std::unique_ptr<Classifier> LoadClassifier(std::istream& is) {
+  std::string magic;
+  int version = 0;
+  std::string tag;
+  is >> magic >> version >> tag;
+  SPE_CHECK(is.good() && magic == kMagic) << "not an spe model stream";
+  SPE_CHECK_EQ(version, kFormatVersion);
+
+  if (tag == "DecisionTree") {
+    return std::make_unique<DecisionTree>(DecisionTree::LoadModel(is));
+  }
+  if (tag == "Gbdt") {
+    return std::make_unique<Gbdt>(Gbdt::LoadModel(is));
+  }
+  if (tag == "LogisticRegression") {
+    return std::make_unique<LogisticRegression>(
+        LogisticRegression::LoadModel(is));
+  }
+  if (tag == "AdaBoost") {
+    std::string keyword;
+    AdaBoostConfig config;
+    std::size_t stage_count = 0;
+    is >> keyword >> config.learning_rate;
+    SPE_CHECK(is.good() && keyword == "learning_rate") << "malformed AdaBoost";
+    is >> keyword >> stage_count;
+    SPE_CHECK(is.good() && keyword == "stages") << "malformed AdaBoost";
+    config.n_estimators = stage_count;
+    std::vector<std::unique_ptr<Classifier>> stages;
+    stages.reserve(stage_count);
+    for (std::size_t i = 0; i < stage_count; ++i) {
+      stages.push_back(LoadClassifier(is));
+    }
+    return AdaBoost::FromTrainedStages(config, std::move(stages));
+  }
+  if (tag == "VotingEnsemble") {
+    return std::make_unique<VotingEnsembleModel>(LoadEnsembleMembers(is));
+  }
+  SPE_CHECK(false) << "unknown model tag: " << tag;
+  return nullptr;  // unreachable
+}
+
+void SaveClassifierToFile(const Classifier& model, const std::string& path) {
+  std::ofstream os(path);
+  SPE_CHECK(os.good()) << "cannot write " << path;
+  SaveClassifier(model, os);
+  SPE_CHECK(os.good()) << "write failed: " << path;
+}
+
+std::unique_ptr<Classifier> LoadClassifierFromFile(const std::string& path) {
+  std::ifstream is(path);
+  SPE_CHECK(is.good()) << "cannot open " << path;
+  return LoadClassifier(is);
+}
+
+}  // namespace spe

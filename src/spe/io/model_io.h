@@ -1,0 +1,54 @@
+#ifndef SPE_IO_MODEL_IO_H_
+#define SPE_IO_MODEL_IO_H_
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+
+#include "spe/classifiers/classifier.h"
+
+namespace spe {
+
+/// Inference-only classifier reconstructed from persisted ensemble
+/// members: predicts the mean member probability (the combination rule
+/// of SPE and every bagging-style method in this library). Fit / Clone
+/// abort — retraining requires the original trainer, not the artifact.
+class VotingEnsembleModel final : public Classifier {
+ public:
+  explicit VotingEnsembleModel(VotingEnsemble members);
+
+  void Fit(const Dataset& train) override;
+  double PredictRow(std::span<const double> x) const override;
+  std::vector<double> PredictProba(const Dataset& data) const override;
+  std::unique_ptr<Classifier> Clone() const override;
+  std::string Name() const override { return "VotingEnsemble"; }
+
+  const VotingEnsemble& members() const { return members_; }
+
+ private:
+  VotingEnsemble members_;
+};
+
+/// Persists a *fitted* classifier as a self-describing text artifact.
+///
+/// Supported:
+///   - DecisionTree, Gbdt, LogisticRegression (full state);
+///   - AdaBoost (stages serialized recursively);
+///   - SelfPacedEnsemble, UnderBagging / EasyEnsemble, BalanceCascade,
+///     Bagging, RandomForest, SmoteBagging and VotingEnsembleModel —
+///     persisted as their member list; loading returns an inference-only
+///     VotingEnsembleModel, because a trained probability-averaging
+///     ensemble is exactly its members.
+/// Aborts (CHECK) on unsupported types (e.g. KNN, whose "model" is the
+/// training set itself) and on unfitted models.
+void SaveClassifier(const Classifier& model, std::ostream& os);
+void SaveClassifierToFile(const Classifier& model, const std::string& path);
+
+/// Restores a classifier persisted by SaveClassifier. The returned
+/// object predicts identically to the saved one.
+std::unique_ptr<Classifier> LoadClassifier(std::istream& is);
+std::unique_ptr<Classifier> LoadClassifierFromFile(const std::string& path);
+
+}  // namespace spe
+
+#endif  // SPE_IO_MODEL_IO_H_

@@ -1,0 +1,152 @@
+#include "spe/metrics/calibration.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "spe/common/check.h"
+#include "spe/common/math.h"
+
+namespace spe {
+
+void PlattCalibrator::Fit(const std::vector<int>& labels,
+                          const std::vector<double>& scores) {
+  SPE_CHECK_EQ(labels.size(), scores.size());
+  const auto positives = std::count(labels.begin(), labels.end(), 1);
+  SPE_CHECK_GT(positives, 0) << "Platt scaling needs both classes";
+  SPE_CHECK_LT(static_cast<std::size_t>(positives), labels.size())
+      << "Platt scaling needs both classes";
+
+  const double n = static_cast<double>(labels.size());
+  a_ = 1.0;
+  b_ = 0.0;
+  // Plain gradient descent on the log loss; the 2-parameter problem is
+  // convex, a few hundred steps converge comfortably.
+  for (int iter = 0; iter < 500; ++iter) {
+    double grad_a = 0.0;
+    double grad_b = 0.0;
+    for (std::size_t i = 0; i < labels.size(); ++i) {
+      const double err =
+          Sigmoid(a_ * scores[i] + b_) - static_cast<double>(labels[i]);
+      grad_a += err * scores[i];
+      grad_b += err;
+    }
+    a_ -= 2.0 * grad_a / n;
+    b_ -= 2.0 * grad_b / n;
+  }
+  fitted_ = true;
+}
+
+double PlattCalibrator::Transform(double score) const {
+  SPE_CHECK(fitted_) << "transform before fit";
+  return Sigmoid(a_ * score + b_);
+}
+
+std::vector<double> PlattCalibrator::Transform(
+    const std::vector<double>& scores) const {
+  std::vector<double> out(scores.size());
+  for (std::size_t i = 0; i < scores.size(); ++i) out[i] = Transform(scores[i]);
+  return out;
+}
+
+void IsotonicCalibrator::Fit(const std::vector<int>& labels,
+                             const std::vector<double>& scores) {
+  SPE_CHECK_EQ(labels.size(), scores.size());
+  SPE_CHECK(!labels.empty());
+
+  std::vector<std::size_t> order(scores.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t x, std::size_t y) {
+    return scores[x] < scores[y];
+  });
+
+  // Pool adjacent violators over the score-sorted labels.
+  struct Block {
+    double sum;     // sum of labels
+    double weight;  // number of samples
+    double score_sum;
+    double value() const { return sum / weight; }
+  };
+  std::vector<Block> blocks;
+  blocks.reserve(order.size());
+  for (std::size_t idx : order) {
+    blocks.push_back(Block{static_cast<double>(labels[idx]), 1.0, scores[idx]});
+    while (blocks.size() >= 2 &&
+           blocks[blocks.size() - 2].value() >= blocks.back().value()) {
+      // Merge the violating pair.
+      Block top = blocks.back();
+      blocks.pop_back();
+      blocks.back().sum += top.sum;
+      blocks.back().weight += top.weight;
+      blocks.back().score_sum += top.score_sum;
+    }
+  }
+
+  knot_scores_.clear();
+  knot_values_.clear();
+  for (const Block& b : blocks) {
+    knot_scores_.push_back(b.score_sum / b.weight);  // block score centroid
+    knot_values_.push_back(b.value());
+  }
+}
+
+double IsotonicCalibrator::Transform(double score) const {
+  SPE_CHECK(!knot_scores_.empty()) << "transform before fit";
+  if (score <= knot_scores_.front()) return knot_values_.front();
+  if (score >= knot_scores_.back()) return knot_values_.back();
+  const auto upper =
+      std::upper_bound(knot_scores_.begin(), knot_scores_.end(), score);
+  const auto hi = static_cast<std::size_t>(upper - knot_scores_.begin());
+  const std::size_t lo = hi - 1;
+  const double span = knot_scores_[hi] - knot_scores_[lo];
+  if (span <= 0.0) return knot_values_[lo];
+  const double t = (score - knot_scores_[lo]) / span;
+  return knot_values_[lo] + t * (knot_values_[hi] - knot_values_[lo]);
+}
+
+std::vector<double> IsotonicCalibrator::Transform(
+    const std::vector<double>& scores) const {
+  std::vector<double> out(scores.size());
+  for (std::size_t i = 0; i < scores.size(); ++i) out[i] = Transform(scores[i]);
+  return out;
+}
+
+std::vector<ReliabilityBucket> ReliabilityCurve(
+    const std::vector<int>& labels, const std::vector<double>& scores,
+    std::size_t num_buckets) {
+  SPE_CHECK_EQ(labels.size(), scores.size());
+  SPE_CHECK_GT(num_buckets, 0u);
+  std::vector<ReliabilityBucket> buckets(num_buckets);
+  for (std::size_t i = 0; i < scores.size(); ++i) {
+    SPE_CHECK_GE(scores[i], 0.0) << "reliability needs probabilities";
+    SPE_CHECK_LE(scores[i], 1.0) << "reliability needs probabilities";
+    auto b = static_cast<std::size_t>(scores[i] *
+                                      static_cast<double>(num_buckets));
+    if (b >= num_buckets) b = num_buckets - 1;  // score == 1
+    buckets[b].mean_score += scores[i];
+    buckets[b].fraction_positive += static_cast<double>(labels[i]);
+    ++buckets[b].count;
+  }
+  std::vector<ReliabilityBucket> out;
+  for (ReliabilityBucket& bucket : buckets) {
+    if (bucket.count == 0) continue;
+    bucket.mean_score /= static_cast<double>(bucket.count);
+    bucket.fraction_positive /= static_cast<double>(bucket.count);
+    out.push_back(bucket);
+  }
+  return out;
+}
+
+double ExpectedCalibrationError(const std::vector<int>& labels,
+                                const std::vector<double>& scores,
+                                std::size_t num_buckets) {
+  const auto curve = ReliabilityCurve(labels, scores, num_buckets);
+  double error = 0.0;
+  for (const ReliabilityBucket& bucket : curve) {
+    error += static_cast<double>(bucket.count) *
+             std::abs(bucket.mean_score - bucket.fraction_positive);
+  }
+  return error / static_cast<double>(labels.size());
+}
+
+}  // namespace spe

@@ -1,0 +1,83 @@
+#ifndef SPE_METRICS_CALIBRATION_H_
+#define SPE_METRICS_CALIBRATION_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace spe {
+
+/// Probability calibration for imbalanced ensembles.
+///
+/// Ensembles trained on *balanced* subsets (SPE, UnderBagging, ...)
+/// systematically over-estimate the positive probability on data with
+/// the original skew: their scores rank well (AUCPRC) but are not
+/// calibrated posteriors. Fitting one of these calibrators on a
+/// *held-out, naturally distributed* validation set (the paper's Ddev)
+/// maps scores back to usable probabilities. Both calibrators are
+/// monotone, so ranking metrics are unchanged.
+
+/// Platt scaling: p = sigmoid(a * score + b), fitted by gradient descent
+/// on the log loss.
+class PlattCalibrator {
+ public:
+  /// Fits a and b on (score, label) pairs. Requires both classes.
+  void Fit(const std::vector<int>& labels, const std::vector<double>& scores);
+
+  /// Calibrated probability for one raw score. Requires Fit.
+  double Transform(double score) const;
+  std::vector<double> Transform(const std::vector<double>& scores) const;
+
+  double a() const { return a_; }
+  double b() const { return b_; }
+
+ private:
+  bool fitted_ = false;
+  double a_ = 1.0;
+  double b_ = 0.0;
+};
+
+/// Isotonic regression via the pool-adjacent-violators algorithm: the
+/// best monotone non-decreasing fit of label on score. Nonparametric —
+/// stronger than Platt when the miscalibration is not sigmoidal, but
+/// needs more validation data. Transform interpolates linearly between
+/// the fitted block centers and clamps outside the observed range.
+class IsotonicCalibrator {
+ public:
+  void Fit(const std::vector<int>& labels, const std::vector<double>& scores);
+
+  double Transform(double score) const;
+  std::vector<double> Transform(const std::vector<double>& scores) const;
+
+  /// Fitted step-function knots (ascending score): exposed for tests.
+  const std::vector<double>& knot_scores() const { return knot_scores_; }
+  const std::vector<double>& knot_values() const { return knot_values_; }
+
+ private:
+  std::vector<double> knot_scores_;
+  std::vector<double> knot_values_;
+};
+
+/// One bucket of a reliability diagram.
+struct ReliabilityBucket {
+  double mean_score = 0.0;     ///< average predicted probability
+  double fraction_positive = 0.0;  ///< observed positive rate
+  std::size_t count = 0;       ///< samples in the bucket
+};
+
+/// Reliability-diagram data: scores bucketed into `num_buckets` equal
+/// [0, 1] slices; empty buckets are omitted. A calibrated model tracks
+/// the diagonal (mean_score ~= fraction_positive); balanced-subset
+/// ensembles on skewed data sit far above it.
+std::vector<ReliabilityBucket> ReliabilityCurve(
+    const std::vector<int>& labels, const std::vector<double>& scores,
+    std::size_t num_buckets = 10);
+
+/// Expected calibration error: the bucket-count-weighted mean absolute
+/// gap between predicted and observed positive rates.
+double ExpectedCalibrationError(const std::vector<int>& labels,
+                                const std::vector<double>& scores,
+                                std::size_t num_buckets = 10);
+
+}  // namespace spe
+
+#endif  // SPE_METRICS_CALIBRATION_H_

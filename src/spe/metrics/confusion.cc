@@ -1,0 +1,22 @@
+#include "spe/metrics/confusion.h"
+
+#include "spe/common/check.h"
+
+namespace spe {
+
+ConfusionMatrix ConfusionAt(const std::vector<int>& labels,
+                            const std::vector<double>& scores, double threshold) {
+  SPE_CHECK_EQ(labels.size(), scores.size());
+  ConfusionMatrix m;
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    const bool predicted_positive = scores[i] >= threshold;
+    if (labels[i] == 1) {
+      predicted_positive ? ++m.tp : ++m.fn;
+    } else {
+      predicted_positive ? ++m.fp : ++m.tn;
+    }
+  }
+  return m;
+}
+
+}  // namespace spe

@@ -1,0 +1,28 @@
+#ifndef SPE_METRICS_CONFUSION_H_
+#define SPE_METRICS_CONFUSION_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace spe {
+
+/// Binary confusion matrix (Table I of the paper).
+struct ConfusionMatrix {
+  std::size_t tp = 0;  ///< positives predicted positive
+  std::size_t fn = 0;  ///< positives predicted negative
+  std::size_t fp = 0;  ///< negatives predicted positive
+  std::size_t tn = 0;  ///< negatives predicted negative
+
+  std::size_t total() const { return tp + fn + fp + tn; }
+};
+
+/// Builds a confusion matrix by thresholding predicted probabilities:
+/// a row counts as predicted-positive when score >= threshold.
+/// `labels` and `scores` must have the same length.
+ConfusionMatrix ConfusionAt(const std::vector<int>& labels,
+                            const std::vector<double>& scores,
+                            double threshold = 0.5);
+
+}  // namespace spe
+
+#endif  // SPE_METRICS_CONFUSION_H_

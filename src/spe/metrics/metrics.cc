@@ -1,0 +1,235 @@
+#include "spe/metrics/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "spe/common/check.h"
+
+namespace spe {
+namespace {
+
+double SafeDiv(double num, double den) { return den == 0.0 ? 0.0 : num / den; }
+
+// Indices of `scores` sorted by score descending (stable so equal scores
+// keep input order; ties are then merged explicitly by the curve code).
+std::vector<std::size_t> DescendingOrder(const std::vector<double>& scores) {
+  std::vector<std::size_t> order(scores.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return scores[a] > scores[b];
+  });
+  return order;
+}
+
+}  // namespace
+
+double Recall(const ConfusionMatrix& m) {
+  return SafeDiv(static_cast<double>(m.tp), static_cast<double>(m.tp + m.fn));
+}
+
+double Precision(const ConfusionMatrix& m) {
+  return SafeDiv(static_cast<double>(m.tp), static_cast<double>(m.tp + m.fp));
+}
+
+double F1Score(const ConfusionMatrix& m) {
+  const double r = Recall(m);
+  const double p = Precision(m);
+  return SafeDiv(2.0 * r * p, r + p);
+}
+
+double GMean(const ConfusionMatrix& m) {
+  return std::sqrt(Recall(m) * Precision(m));
+}
+
+double GMeanTprTnr(const ConfusionMatrix& m) {
+  const double tpr = Recall(m);
+  const double tnr =
+      SafeDiv(static_cast<double>(m.tn), static_cast<double>(m.tn + m.fp));
+  return std::sqrt(tpr * tnr);
+}
+
+double Mcc(const ConfusionMatrix& m) {
+  const double tp = static_cast<double>(m.tp);
+  const double tn = static_cast<double>(m.tn);
+  const double fp = static_cast<double>(m.fp);
+  const double fn = static_cast<double>(m.fn);
+  const double denom =
+      std::sqrt((tp + fp) * (tp + fn) * (tn + fp) * (tn + fn));
+  return SafeDiv(tp * tn - fp * fn, denom);
+}
+
+std::vector<PrPoint> PrCurve(const std::vector<int>& labels,
+                             const std::vector<double>& scores) {
+  SPE_CHECK_EQ(labels.size(), scores.size());
+  const auto total_positives = static_cast<double>(
+      std::count(labels.begin(), labels.end(), 1));
+  SPE_CHECK_GT(total_positives, 0.0) << "PR curve undefined without positives";
+
+  const std::vector<std::size_t> order = DescendingOrder(scores);
+  std::vector<PrPoint> curve;
+  curve.reserve(labels.size() + 1);
+
+  double tp = 0.0;
+  double fp = 0.0;
+  std::size_t i = 0;
+  while (i < order.size()) {
+    // Consume the whole tie group at this score before emitting a point:
+    // examples sharing a score are indistinguishable to any threshold.
+    const double score = scores[order[i]];
+    while (i < order.size() && scores[order[i]] == score) {
+      if (labels[order[i]] == 1) {
+        tp += 1.0;
+      } else {
+        fp += 1.0;
+      }
+      ++i;
+    }
+    curve.push_back(PrPoint{tp / total_positives, tp / (tp + fp), score});
+  }
+  return curve;
+}
+
+double AucPrc(const std::vector<int>& labels, const std::vector<double>& scores) {
+  const std::vector<PrPoint> curve = PrCurve(labels, scores);
+  double auc = 0.0;
+  double prev_recall = 0.0;
+  for (const PrPoint& p : curve) {
+    auc += (p.recall - prev_recall) * p.precision;
+    prev_recall = p.recall;
+  }
+  return auc;
+}
+
+double AucRoc(const std::vector<int>& labels, const std::vector<double>& scores) {
+  SPE_CHECK_EQ(labels.size(), scores.size());
+  const auto positives = static_cast<double>(
+      std::count(labels.begin(), labels.end(), 1));
+  const auto negatives = static_cast<double>(labels.size()) - positives;
+  SPE_CHECK_GT(positives, 0.0);
+  SPE_CHECK_GT(negatives, 0.0);
+
+  // Rank-based (Mann-Whitney) formulation with midranks for ties.
+  const std::vector<std::size_t> order = DescendingOrder(scores);
+  double rank_sum_positive = 0.0;  // ranks 1..n, 1 = highest score
+  std::size_t i = 0;
+  while (i < order.size()) {
+    const double score = scores[order[i]];
+    std::size_t j = i;
+    std::size_t ties_positive = 0;
+    while (j < order.size() && scores[order[j]] == score) {
+      ties_positive += static_cast<std::size_t>(labels[order[j]] == 1);
+      ++j;
+    }
+    const double midrank = (static_cast<double>(i + 1) + static_cast<double>(j)) / 2.0;
+    rank_sum_positive += midrank * static_cast<double>(ties_positive);
+    i = j;
+  }
+  // rank 1 is the *best* score; convert to the standard ascending-rank sum.
+  const double n = static_cast<double>(labels.size());
+  const double ascending_rank_sum = positives * (n + 1.0) - rank_sum_positive;
+  const double u = ascending_rank_sum - positives * (positives + 1.0) / 2.0;
+  return u / (positives * negatives);
+}
+
+std::vector<RocPoint> RocCurve(const std::vector<int>& labels,
+                               const std::vector<double>& scores) {
+  SPE_CHECK_EQ(labels.size(), scores.size());
+  const auto positives = static_cast<double>(
+      std::count(labels.begin(), labels.end(), 1));
+  const auto negatives = static_cast<double>(labels.size()) - positives;
+  SPE_CHECK_GT(positives, 0.0);
+  SPE_CHECK_GT(negatives, 0.0);
+
+  const std::vector<std::size_t> order = DescendingOrder(scores);
+  std::vector<RocPoint> curve;
+  curve.push_back(RocPoint{0.0, 0.0, std::numeric_limits<double>::infinity()});
+  double tp = 0.0;
+  double fp = 0.0;
+  std::size_t i = 0;
+  while (i < order.size()) {
+    const double score = scores[order[i]];
+    while (i < order.size() && scores[order[i]] == score) {
+      if (labels[order[i]] == 1) {
+        tp += 1.0;
+      } else {
+        fp += 1.0;
+      }
+      ++i;
+    }
+    curve.push_back(RocPoint{fp / negatives, tp / positives, score});
+  }
+  return curve;
+}
+
+double BrierScore(const std::vector<int>& labels,
+                  const std::vector<double>& scores) {
+  SPE_CHECK_EQ(labels.size(), scores.size());
+  SPE_CHECK(!labels.empty());
+  double sum = 0.0;
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    const double d = scores[i] - static_cast<double>(labels[i]);
+    sum += d * d;
+  }
+  return sum / static_cast<double>(labels.size());
+}
+
+ThresholdSearchResult BestThreshold(
+    const std::vector<int>& labels, const std::vector<double>& scores,
+    const std::function<double(const ConfusionMatrix&)>& metric) {
+  SPE_CHECK_EQ(labels.size(), scores.size());
+  SPE_CHECK(!labels.empty());
+
+  // Sweep thresholds at the distinct scores, maintaining the confusion
+  // matrix incrementally: one O(n log n) sort instead of O(n) full
+  // evaluations.
+  const std::vector<std::size_t> order = DescendingOrder(scores);
+  ConfusionMatrix m;
+  for (int y : labels) {
+    if (y == 1) {
+      ++m.fn;
+    } else {
+      ++m.tn;
+    }
+  }
+
+  ThresholdSearchResult best;
+  best.threshold = std::numeric_limits<double>::infinity();
+  best.value = metric(m);  // predict-nothing baseline
+  std::size_t i = 0;
+  while (i < order.size()) {
+    const double score = scores[order[i]];
+    // Move every sample at this score to the predicted-positive side.
+    while (i < order.size() && scores[order[i]] == score) {
+      if (labels[order[i]] == 1) {
+        ++m.tp;
+        --m.fn;
+      } else {
+        ++m.fp;
+        --m.tn;
+      }
+      ++i;
+    }
+    const double value = metric(m);
+    if (value > best.value) {
+      best.value = value;
+      best.threshold = score;
+    }
+  }
+  return best;
+}
+
+ThresholdSearchResult BestF1Threshold(const std::vector<int>& labels,
+                                      const std::vector<double>& scores) {
+  return BestThreshold(labels, scores,
+                       [](const ConfusionMatrix& m) { return F1Score(m); });
+}
+
+ScoreSummary Evaluate(const std::vector<int>& labels,
+                      const std::vector<double>& scores, double threshold) {
+  const ConfusionMatrix m = ConfusionAt(labels, scores, threshold);
+  return ScoreSummary{AucPrc(labels, scores), F1Score(m), GMean(m), Mcc(m)};
+}
+
+}  // namespace spe

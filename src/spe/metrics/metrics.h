@@ -1,0 +1,96 @@
+#ifndef SPE_METRICS_METRICS_H_
+#define SPE_METRICS_METRICS_H_
+
+#include <functional>
+#include <vector>
+
+#include "spe/metrics/confusion.h"
+
+namespace spe {
+
+/// Threshold metrics, defined as in §II of the paper. Degenerate cases
+/// (zero denominators) return 0, matching common toolkit behaviour.
+double Recall(const ConfusionMatrix& m);
+double Precision(const ConfusionMatrix& m);
+double F1Score(const ConfusionMatrix& m);
+
+/// The paper's G-mean: sqrt(recall * precision) (§II). Note this differs
+/// from the classic imbalanced-learning G-mean sqrt(TPR * TNR), provided
+/// below as GMeanTprTnr; the benches report the paper's definition.
+double GMean(const ConfusionMatrix& m);
+double GMeanTprTnr(const ConfusionMatrix& m);
+
+/// Matthews correlation coefficient.
+double Mcc(const ConfusionMatrix& m);
+
+/// One point of a precision-recall curve.
+struct PrPoint {
+  double recall = 0.0;
+  double precision = 1.0;
+  double threshold = 1.0;
+};
+
+/// Full precision-recall curve, one point per distinct score, recall
+/// non-decreasing. Requires at least one positive label.
+std::vector<PrPoint> PrCurve(const std::vector<int>& labels,
+                             const std::vector<double>& scores);
+
+/// Area under the precision-recall curve computed as average precision
+/// (sum over thresholds of (R_i - R_{i-1}) * P_i), the estimator used by
+/// scikit-learn and therefore by the paper's reported AUCPRC numbers.
+double AucPrc(const std::vector<int>& labels, const std::vector<double>& scores);
+
+/// Area under the ROC curve (trapezoidal; ties handled exactly).
+/// Not reported in the paper's tables but widely used alongside AUCPRC.
+double AucRoc(const std::vector<int>& labels, const std::vector<double>& scores);
+
+/// One point of a ROC curve.
+struct RocPoint {
+  double fpr = 0.0;
+  double tpr = 0.0;
+  double threshold = 1.0;
+};
+
+/// Full ROC curve, one point per distinct score plus the (0,0) origin,
+/// FPR/TPR non-decreasing. Requires both classes present.
+std::vector<RocPoint> RocCurve(const std::vector<int>& labels,
+                               const std::vector<double>& scores);
+
+/// Brier score: mean squared error of the predicted probabilities —
+/// the calibration-sensitive companion to the ranking metrics.
+double BrierScore(const std::vector<int>& labels,
+                  const std::vector<double>& scores);
+
+/// The threshold (among distinct scores) maximizing `metric` over the
+/// induced confusion matrices, with the metric value achieved. Useful
+/// for deployment: ensembles trained on balanced subsets have a natural
+/// 0.5 cut, but a validation-tuned threshold often dominates it.
+struct ThresholdSearchResult {
+  double threshold = 0.5;
+  double value = 0.0;
+};
+ThresholdSearchResult BestThreshold(
+    const std::vector<int>& labels, const std::vector<double>& scores,
+    const std::function<double(const ConfusionMatrix&)>& metric);
+
+/// BestThreshold specialization for F1 (the common deployment choice).
+ThresholdSearchResult BestF1Threshold(const std::vector<int>& labels,
+                                      const std::vector<double>& scores);
+
+/// Bundle of the four criteria every paper table reports. Threshold
+/// metrics use the fixed 0.5 cut (ensemble votes are averaged
+/// probabilities, so 0.5 is the natural decision boundary).
+struct ScoreSummary {
+  double aucprc = 0.0;
+  double f1 = 0.0;
+  double gmean = 0.0;
+  double mcc = 0.0;
+};
+
+ScoreSummary Evaluate(const std::vector<int>& labels,
+                      const std::vector<double>& scores,
+                      double threshold = 0.5);
+
+}  // namespace spe
+
+#endif  // SPE_METRICS_METRICS_H_

@@ -1,0 +1,52 @@
+#include "spe/sampling/adasyn.h"
+
+#include <cmath>
+
+#include "spe/common/check.h"
+#include "spe/sampling/neighbors.h"
+#include "spe/sampling/smote.h"
+
+namespace spe {
+
+AdasynSampler::AdasynSampler(std::size_t k) : k_(k) { SPE_CHECK_GT(k, 0u); }
+
+Dataset AdasynSampler::Resample(const Dataset& data, Rng& rng) const {
+  const std::vector<std::size_t> pos = data.PositiveIndices();
+  const std::size_t num_neg = data.NegativeIndices().size();
+  if (pos.size() >= num_neg) return data;
+  const std::size_t needed = num_neg - pos.size();
+
+  // Hardness ratio r_i: majority fraction of each minority sample's
+  // neighbourhood in the full dataset.
+  const NeighborIndex index(data);
+  std::vector<double> ratio(pos.size());
+  double ratio_sum = 0.0;
+  for (std::size_t i = 0; i < pos.size(); ++i) {
+    const std::vector<std::size_t> neighbors = index.Nearest(pos[i], k_);
+    std::size_t majority = 0;
+    for (std::size_t j : neighbors) {
+      majority += static_cast<std::size_t>(index.LabelOf(j) == 0);
+    }
+    ratio[i] = neighbors.empty()
+                   ? 0.0
+                   : static_cast<double>(majority) /
+                         static_cast<double>(neighbors.size());
+    ratio_sum += ratio[i];
+  }
+
+  std::vector<std::size_t> counts(pos.size(), 0);
+  if (ratio_sum <= 0.0) {
+    // No minority point has majority neighbours (fully separated data):
+    // fall back to uniform seeding, as imbalanced-learn does.
+    for (std::size_t i = 0; i < pos.size(); ++i) counts[i] = needed / pos.size();
+    for (std::size_t i = 0; i < needed % pos.size(); ++i) ++counts[i];
+  } else {
+    for (std::size_t i = 0; i < pos.size(); ++i) {
+      counts[i] = static_cast<std::size_t>(
+          std::round(ratio[i] / ratio_sum * static_cast<double>(needed)));
+    }
+  }
+  return WithSyntheticMinority(data, pos, counts, k_, rng);
+}
+
+}  // namespace spe

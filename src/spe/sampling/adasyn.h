@@ -1,0 +1,28 @@
+#ifndef SPE_SAMPLING_ADASYN_H_
+#define SPE_SAMPLING_ADASYN_H_
+
+#include <string>
+
+#include "spe/sampling/sampler.h"
+
+namespace spe {
+
+/// ADASYN (He et al., 2008): like SMOTE, but the number of synthetic
+/// samples seeded at each minority point is proportional to the fraction
+/// of majority samples among its k nearest neighbours — synthesis
+/// concentrates where the minority class is hardest to learn.
+class AdasynSampler final : public Sampler {
+ public:
+  explicit AdasynSampler(std::size_t k = 5);
+
+  Dataset Resample(const Dataset& data, Rng& rng) const override;
+  bool RequiresNumericalFeatures() const override { return true; }
+  std::string Name() const override { return "ADASYN"; }
+
+ private:
+  std::size_t k_;
+};
+
+}  // namespace spe
+
+#endif  // SPE_SAMPLING_ADASYN_H_

@@ -1,0 +1,27 @@
+#include "spe/sampling/all_knn.h"
+
+#include "spe/common/check.h"
+#include "spe/sampling/enn.h"
+#include "spe/sampling/neighbors.h"
+
+namespace spe {
+
+AllKnnSampler::AllKnnSampler(std::size_t max_k) : max_k_(max_k) {
+  SPE_CHECK_GT(max_k, 0u);
+}
+
+Dataset AllKnnSampler::Resample(const Dataset& data, Rng& /*rng*/) const {
+  Dataset current = data;
+  for (std::size_t k = 1; k <= max_k_; ++k) {
+    const NeighborIndex index(current);
+    const std::vector<std::size_t> kept =
+        EnnKeptIndices(index, k, /*majority_only=*/true);
+    if (kept.size() == current.num_rows()) continue;  // nothing removed
+    current = current.Subset(kept);
+    // Stop if the majority class would vanish entirely.
+    if (current.CountNegatives() == 0) break;
+  }
+  return current;
+}
+
+}  // namespace spe

@@ -1,0 +1,42 @@
+#include "spe/sampling/borderline_smote.h"
+
+#include "spe/common/check.h"
+#include "spe/sampling/neighbors.h"
+#include "spe/sampling/smote.h"
+
+namespace spe {
+
+BorderlineSmoteSampler::BorderlineSmoteSampler(std::size_t k) : k_(k) {
+  SPE_CHECK_GT(k, 0u);
+}
+
+Dataset BorderlineSmoteSampler::Resample(const Dataset& data, Rng& rng) const {
+  const std::vector<std::size_t> pos = data.PositiveIndices();
+  const std::size_t num_neg = data.NegativeIndices().size();
+  if (pos.size() >= num_neg) return data;
+  const std::size_t needed = num_neg - pos.size();
+
+  const NeighborIndex index(data);
+  std::vector<std::size_t> danger;
+  for (std::size_t i : pos) {
+    const std::vector<std::size_t> neighbors = index.Nearest(i, k_);
+    std::size_t majority = 0;
+    for (std::size_t j : neighbors) {
+      majority += static_cast<std::size_t>(index.LabelOf(j) == 0);
+    }
+    // "Danger" band: half or more majority neighbours, but not all
+    // (all-majority marks the sample as noise and it seeds nothing).
+    if (2 * majority >= neighbors.size() && majority < neighbors.size()) {
+      danger.push_back(i);
+    }
+  }
+  // Degenerate geometry (no borderline region): fall back to plain SMOTE
+  // seeding, matching imbalanced-learn.
+  if (danger.empty()) danger = pos;
+
+  std::vector<std::size_t> counts(danger.size(), needed / danger.size());
+  for (std::size_t i = 0; i < needed % danger.size(); ++i) ++counts[i];
+  return WithSyntheticMinority(data, danger, counts, k_, rng);
+}
+
+}  // namespace spe

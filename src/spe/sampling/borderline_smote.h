@@ -1,0 +1,28 @@
+#ifndef SPE_SAMPLING_BORDERLINE_SMOTE_H_
+#define SPE_SAMPLING_BORDERLINE_SMOTE_H_
+
+#include <string>
+
+#include "spe/sampling/sampler.h"
+
+namespace spe {
+
+/// BorderSMOTE (Borderline-SMOTE-1, Han et al., 2005): only minority
+/// samples "in danger" — at least half but not all of their k neighbours
+/// are majority — seed the synthesis. Noise samples (all-majority
+/// neighbourhoods) and safe samples seed nothing.
+class BorderlineSmoteSampler final : public Sampler {
+ public:
+  explicit BorderlineSmoteSampler(std::size_t k = 5);
+
+  Dataset Resample(const Dataset& data, Rng& rng) const override;
+  bool RequiresNumericalFeatures() const override { return true; }
+  std::string Name() const override { return "BorderSMOTE"; }
+
+ private:
+  std::size_t k_;
+};
+
+}  // namespace spe
+
+#endif  // SPE_SAMPLING_BORDERLINE_SMOTE_H_

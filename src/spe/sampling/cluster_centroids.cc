@@ -1,0 +1,28 @@
+#include "spe/sampling/cluster_centroids.h"
+
+#include "spe/cluster/kmeans.h"
+#include "spe/common/check.h"
+
+namespace spe {
+
+Dataset ClusterCentroidsSampler::Resample(const Dataset& data, Rng& rng) const {
+  const std::vector<std::size_t> pos = data.PositiveIndices();
+  const std::vector<std::size_t> neg = data.NegativeIndices();
+  SPE_CHECK(!pos.empty());
+  if (neg.size() <= pos.size()) return data;
+
+  KMeansConfig config;
+  config.num_clusters = pos.size();
+  config.seed = rng.engine()();
+  KMeans kmeans(config);
+  kmeans.Fit(data.Subset(neg));
+
+  Dataset out = data.Subset(pos);
+  out.Reserve(pos.size() + kmeans.num_clusters());
+  for (const auto& centroid : kmeans.centroids()) {
+    out.AddRow(centroid, 0);
+  }
+  return out;
+}
+
+}  // namespace spe

@@ -1,0 +1,25 @@
+#ifndef SPE_SAMPLING_CLUSTER_CENTROIDS_H_
+#define SPE_SAMPLING_CLUSTER_CENTROIDS_H_
+
+#include <string>
+
+#include "spe/sampling/sampler.h"
+
+namespace spe {
+
+/// ClusterCentroids under-sampling: replaces the majority class with the
+/// |P| centroids of a k-means clustering over it — a prototype-based
+/// summary instead of a random subset, preserving the majority manifold
+/// with far fewer points. Synthetic rows (the centroids) carry label 0.
+class ClusterCentroidsSampler final : public Sampler {
+ public:
+  ClusterCentroidsSampler() = default;
+
+  Dataset Resample(const Dataset& data, Rng& rng) const override;
+  bool RequiresNumericalFeatures() const override { return true; }
+  std::string Name() const override { return "ClusterCentroids"; }
+};
+
+}  // namespace spe
+
+#endif  // SPE_SAMPLING_CLUSTER_CENTROIDS_H_

@@ -1,0 +1,85 @@
+#include "spe/sampling/kmeans_smote.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "spe/cluster/kmeans.h"
+#include "spe/common/check.h"
+#include "spe/sampling/smote.h"
+
+namespace spe {
+
+KMeansSmoteSampler::KMeansSmoteSampler(std::size_t clusters, std::size_t k)
+    : clusters_(clusters), k_(k) {
+  SPE_CHECK_GT(clusters, 0u);
+  SPE_CHECK_GT(k, 0u);
+}
+
+Dataset KMeansSmoteSampler::Resample(const Dataset& data, Rng& rng) const {
+  const std::vector<std::size_t> pos = data.PositiveIndices();
+  const std::size_t num_neg = data.NegativeIndices().size();
+  if (pos.size() >= num_neg || pos.size() < 2) return data;
+  const std::size_t needed = num_neg - pos.size();
+
+  // Cluster the minority class; keep clusters small enough that each
+  // still holds a SMOTE neighbourhood.
+  KMeansConfig config;
+  config.num_clusters =
+      std::min(clusters_, std::max<std::size_t>(1, pos.size() / (k_ + 1)));
+  config.seed = rng.engine()();
+  KMeans kmeans(config);
+  const Dataset minority = data.Subset(pos);
+  kmeans.Fit(minority);
+
+  // Minority membership per cluster.
+  std::vector<std::vector<std::size_t>> members(kmeans.num_clusters());
+  for (std::size_t m = 0; m < minority.num_rows(); ++m) {
+    members[kmeans.assignments()[m]].push_back(m);
+  }
+
+  // Synthetic quota proportional to cluster size; clusters of one sample
+  // cannot interpolate and are skipped (their quota flows to the others
+  // via the remainder loop).
+  std::vector<std::size_t> eligible;
+  std::size_t eligible_population = 0;
+  for (std::size_t c = 0; c < members.size(); ++c) {
+    if (members[c].size() >= 2) {
+      eligible.push_back(c);
+      eligible_population += members[c].size();
+    }
+  }
+  if (eligible.empty()) return data;  // every cluster degenerate
+
+  Dataset out = data;
+  out.Reserve(data.num_rows() + needed);
+  std::size_t produced = 0;
+  for (std::size_t e = 0; e < eligible.size(); ++e) {
+    const auto& cluster = members[eligible[e]];
+    const std::size_t quota =
+        e + 1 == eligible.size()
+            ? needed - produced  // last cluster absorbs rounding
+            : needed * cluster.size() / eligible_population;
+    if (quota == 0) continue;
+    produced += quota;
+
+    // Within-cluster SMOTE: the neighbourhood index sees only this
+    // cluster's samples.
+    const Dataset cluster_data = minority.Subset(cluster);
+    std::vector<std::size_t> seeds(cluster_data.num_rows());
+    std::vector<std::size_t> counts(cluster_data.num_rows(),
+                                    quota / cluster_data.num_rows());
+    for (std::size_t i = 0; i < seeds.size(); ++i) seeds[i] = i;
+    for (std::size_t i = 0; i < quota % cluster_data.num_rows(); ++i) {
+      ++counts[i];
+    }
+    const Dataset augmented = WithSyntheticMinority(
+        cluster_data, seeds, counts, std::min(k_, cluster.size() - 1), rng);
+    for (std::size_t i = cluster_data.num_rows(); i < augmented.num_rows();
+         ++i) {
+      out.AddRow(augmented.Row(i), 1);
+    }
+  }
+  return out;
+}
+
+}  // namespace spe

@@ -1,0 +1,97 @@
+#include "spe/sampling/neighbors.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "spe/common/check.h"
+#include "spe/common/parallel.h"
+
+namespace spe {
+namespace {
+
+double SquaredDistance(std::span<const double> a, std::span<const double> b) {
+  double sum = 0.0;
+  for (std::size_t j = 0; j < a.size(); ++j) {
+    const double d = a[j] - b[j];
+    sum += d * d;
+  }
+  return sum;
+}
+
+// Keeps the k smallest (distance, index) pairs seen so far (max-heap).
+class TopK {
+ public:
+  explicit TopK(std::size_t k) : k_(k) { heap_.reserve(k + 1); }
+
+  void Offer(double distance, std::size_t index) {
+    if (heap_.size() < k_) {
+      heap_.emplace_back(distance, index);
+      std::push_heap(heap_.begin(), heap_.end());
+    } else if (distance < heap_.front().first) {
+      std::pop_heap(heap_.begin(), heap_.end());
+      heap_.back() = {distance, index};
+      std::push_heap(heap_.begin(), heap_.end());
+    }
+  }
+
+  /// Indices ascending by distance.
+  std::vector<std::size_t> Sorted() {
+    std::sort_heap(heap_.begin(), heap_.end());
+    std::vector<std::size_t> out(heap_.size());
+    for (std::size_t i = 0; i < heap_.size(); ++i) out[i] = heap_[i].second;
+    return out;
+  }
+
+ private:
+  std::size_t k_;
+  std::vector<std::pair<double, std::size_t>> heap_;
+};
+
+}  // namespace
+
+NeighborIndex::NeighborIndex(const Dataset& data) {
+  SPE_CHECK(!data.HasCategoricalFeatures())
+      << "distance-based methods need a numeric feature space "
+         "(the paper's 'no appropriate distance metric' case)";
+  SPE_CHECK_GT(data.num_rows(), 0u);
+  FeatureScaler scaler;
+  scaler.Fit(data);
+  data_ = scaler.Transform(data);
+}
+
+double NeighborIndex::Distance(std::size_t a, std::size_t b) const {
+  return std::sqrt(SquaredDistance(data_.Row(a), data_.Row(b)));
+}
+
+std::vector<std::size_t> NeighborIndex::Nearest(std::size_t query,
+                                                std::size_t k) const {
+  TopK top(k);
+  const auto q = data_.Row(query);
+  for (std::size_t i = 0; i < data_.num_rows(); ++i) {
+    if (i == query) continue;
+    top.Offer(SquaredDistance(q, data_.Row(i)), i);
+  }
+  return top.Sorted();
+}
+
+std::vector<std::size_t> NeighborIndex::NearestAmong(
+    std::size_t query, std::span<const std::size_t> candidates,
+    std::size_t k) const {
+  TopK top(k);
+  const auto q = data_.Row(query);
+  for (std::size_t i : candidates) {
+    if (i == query) continue;
+    top.Offer(SquaredDistance(q, data_.Row(i)), i);
+  }
+  return top.Sorted();
+}
+
+std::vector<std::vector<std::size_t>> NeighborIndex::AllNearest(
+    std::size_t k) const {
+  std::vector<std::vector<std::size_t>> out(data_.num_rows());
+  ParallelFor(0, data_.num_rows(),
+              [&](std::size_t i) { out[i] = Nearest(i, k); });
+  return out;
+}
+
+}  // namespace spe

@@ -1,0 +1,52 @@
+#ifndef SPE_SAMPLING_NEIGHBORS_H_
+#define SPE_SAMPLING_NEIGHBORS_H_
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "spe/data/dataset.h"
+
+namespace spe {
+
+/// Brute-force Euclidean nearest-neighbour index over a standardized copy
+/// of a dataset. Shared by every distance-based re-sampler (NearMiss,
+/// ENN, Tomek links, SMOTE, ...).
+///
+/// Deliberately O(n^2): the library reproduces the paper's argument that
+/// distance-based re-sampling is computationally infeasible on massive
+/// data, and the Table V timing bench measures exactly this cost.
+class NeighborIndex {
+ public:
+  /// Builds the index. Aborts on categorical features — Euclidean
+  /// distance over category codes is meaningless, which is the paper's
+  /// "no appropriate distance metric" case.
+  explicit NeighborIndex(const Dataset& data);
+
+  std::size_t size() const { return data_.num_rows(); }
+  int LabelOf(std::size_t row) const { return data_.Label(row); }
+
+  /// Euclidean distance between two indexed rows (standardized space).
+  double Distance(std::size_t a, std::size_t b) const;
+
+  /// Indices of the k nearest rows to `query` (an indexed row), self
+  /// excluded, ascending by distance. Returns fewer when k >= size().
+  std::vector<std::size_t> Nearest(std::size_t query, std::size_t k) const;
+
+  /// k nearest to `query` restricted to `candidates` (self excluded if
+  /// present).
+  std::vector<std::size_t> NearestAmong(std::size_t query,
+                                        std::span<const std::size_t> candidates,
+                                        std::size_t k) const;
+
+  /// Nearest(k) for every row, computed in parallel. The workhorse of
+  /// ENN / AllKNN / NCR / SMOTE-family methods.
+  std::vector<std::vector<std::size_t>> AllNearest(std::size_t k) const;
+
+ private:
+  Dataset data_;  // standardized copy
+};
+
+}  // namespace spe
+
+#endif  // SPE_SAMPLING_NEIGHBORS_H_

@@ -1,0 +1,27 @@
+#include "spe/sampling/random_over.h"
+
+#include "spe/common/check.h"
+
+namespace spe {
+
+RandomOverSampler::RandomOverSampler(double ratio) : ratio_(ratio) {
+  SPE_CHECK_GT(ratio, 0.0);
+}
+
+Dataset RandomOverSampler::Resample(const Dataset& data, Rng& rng) const {
+  const std::vector<std::size_t> pos = data.PositiveIndices();
+  const std::vector<std::size_t> neg = data.NegativeIndices();
+  SPE_CHECK(!pos.empty());
+
+  const auto target =
+      static_cast<std::size_t>(ratio_ * static_cast<double>(neg.size()) + 0.5);
+  Dataset out = data;
+  out.Reserve(data.num_rows() + (target > pos.size() ? target - pos.size() : 0));
+  for (std::size_t extra = pos.size(); extra < target; ++extra) {
+    const std::size_t source = pos[rng.Index(pos.size())];
+    out.AddRow(data.Row(source), 1);
+  }
+  return out;
+}
+
+}  // namespace spe

@@ -1,0 +1,25 @@
+#ifndef SPE_SAMPLING_RANDOM_OVER_H_
+#define SPE_SAMPLING_RANDOM_OVER_H_
+
+#include <string>
+
+#include "spe/sampling/sampler.h"
+
+namespace spe {
+
+/// RandOver: duplicates uniformly chosen minority samples until
+/// |P'| = ratio * |N| (ratio 1 balances the classes).
+class RandomOverSampler final : public Sampler {
+ public:
+  explicit RandomOverSampler(double ratio = 1.0);
+
+  Dataset Resample(const Dataset& data, Rng& rng) const override;
+  std::string Name() const override { return "RandOver"; }
+
+ private:
+  double ratio_;
+};
+
+}  // namespace spe
+
+#endif  // SPE_SAMPLING_RANDOM_OVER_H_

@@ -1,0 +1,34 @@
+#ifndef SPE_SAMPLING_SAMPLER_H_
+#define SPE_SAMPLING_SAMPLER_H_
+
+#include <string>
+
+#include "spe/common/rng.h"
+#include "spe/data/dataset.h"
+
+namespace spe {
+
+/// A re-sampling method: consumes an imbalanced training set and returns
+/// the set a downstream classifier should be fitted on. This is the
+/// "data-level method" abstraction of §III; each concrete sampler
+/// reproduces one row of the paper's Table V.
+class Sampler {
+ public:
+  virtual ~Sampler();
+
+  /// Produces the re-sampled training set. Deterministic samplers ignore
+  /// `rng`. Distance-based samplers abort on categorical features — the
+  /// exact inapplicability the paper marks with "- -" in Table IV; use
+  /// RequiresNumericalFeatures() to pre-check.
+  virtual Dataset Resample(const Dataset& data, Rng& rng) const = 0;
+
+  /// True for k-NN-based methods that need a meaningful numeric distance.
+  virtual bool RequiresNumericalFeatures() const { return false; }
+
+  /// Name as used in the paper's tables, e.g. "SMOTE", "Clean".
+  virtual std::string Name() const = 0;
+};
+
+}  // namespace spe
+
+#endif  // SPE_SAMPLING_SAMPLER_H_

@@ -1,0 +1,23 @@
+#ifndef SPE_SAMPLING_SAMPLER_FACTORY_H_
+#define SPE_SAMPLING_SAMPLER_FACTORY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "spe/sampling/sampler.h"
+
+namespace spe {
+
+/// Builds a re-sampling method by its paper-table name: "RandUnder",
+/// "NearMiss", "Clean", "ENN", "TomekLink", "AllKNN", "OSS", "RandOver",
+/// "SMOTE", "ADASYN", "BorderSMOTE", "SMOTEENN", "SMOTETomek".
+/// Aborts on an unknown name.
+std::unique_ptr<Sampler> MakeSampler(const std::string& name);
+
+/// All names accepted by MakeSampler, in Table V's row order.
+std::vector<std::string> KnownSamplerNames();
+
+}  // namespace spe
+
+#endif  // SPE_SAMPLING_SAMPLER_FACTORY_H_

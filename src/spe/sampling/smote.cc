@@ -1,0 +1,64 @@
+#include "spe/sampling/smote.h"
+
+#include <unordered_map>
+
+#include "spe/common/check.h"
+#include "spe/sampling/neighbors.h"
+
+namespace spe {
+
+Dataset WithSyntheticMinority(const Dataset& data,
+                              std::span<const std::size_t> seeds,
+                              std::span<const std::size_t> counts, std::size_t k,
+                              Rng& rng) {
+  SPE_CHECK_EQ(seeds.size(), counts.size());
+  const std::vector<std::size_t> pos = data.PositiveIndices();
+  SPE_CHECK_GT(pos.size(), 1u) << "SMOTE needs at least two minority samples";
+
+  // Neighbour structure over the minority class only.
+  const Dataset minority = data.Subset(pos);
+  const NeighborIndex index(minority);
+  std::unordered_map<std::size_t, std::size_t> row_to_minority;
+  row_to_minority.reserve(pos.size());
+  for (std::size_t m = 0; m < pos.size(); ++m) row_to_minority[pos[m]] = m;
+
+  std::size_t total = 0;
+  for (std::size_t c : counts) total += c;
+  Dataset out = data;
+  out.Reserve(data.num_rows() + total);
+
+  std::vector<double> synthetic(data.num_features());
+  for (std::size_t s = 0; s < seeds.size(); ++s) {
+    const auto it = row_to_minority.find(seeds[s]);
+    SPE_CHECK(it != row_to_minority.end()) << "seed is not a minority row";
+    const std::size_t seed_m = it->second;
+    const std::vector<std::size_t> neighbors = index.Nearest(seed_m, k);
+    if (neighbors.empty()) continue;
+    const auto seed_row = minority.Row(seed_m);
+    for (std::size_t c = 0; c < counts[s]; ++c) {
+      const auto neighbor_row =
+          minority.Row(neighbors[rng.Index(neighbors.size())]);
+      const double u = rng.Uniform();
+      for (std::size_t j = 0; j < synthetic.size(); ++j) {
+        synthetic[j] = seed_row[j] + u * (neighbor_row[j] - seed_row[j]);
+      }
+      out.AddRow(synthetic, 1);
+    }
+  }
+  return out;
+}
+
+SmoteSampler::SmoteSampler(std::size_t k) : k_(k) { SPE_CHECK_GT(k, 0u); }
+
+Dataset SmoteSampler::Resample(const Dataset& data, Rng& rng) const {
+  const std::vector<std::size_t> pos = data.PositiveIndices();
+  const std::size_t num_neg = data.NegativeIndices().size();
+  if (pos.size() >= num_neg) return data;  // already balanced
+
+  const std::size_t needed = num_neg - pos.size();
+  std::vector<std::size_t> counts(pos.size(), needed / pos.size());
+  for (std::size_t i = 0; i < needed % pos.size(); ++i) ++counts[i];
+  return WithSyntheticMinority(data, pos, counts, k_, rng);
+}
+
+}  // namespace spe

@@ -1,0 +1,40 @@
+#ifndef SPE_SAMPLING_SMOTE_H_
+#define SPE_SAMPLING_SMOTE_H_
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "spe/sampling/sampler.h"
+
+namespace spe {
+
+/// Core SMOTE synthesis, shared by SMOTE / BorderSMOTE / ADASYN and the
+/// hybrid samplers. Appends, for each seeds[s], counts[s] synthetic
+/// minority rows obtained by interpolating the seed toward a uniformly
+/// chosen one of its `k` nearest minority neighbours:
+///   x_new = x_seed + u * (x_neighbor - x_seed),  u ~ U[0, 1).
+/// Neighbour search runs in standardized space; interpolation in raw
+/// feature space. Seeds are row indices into `data` and must be minority.
+Dataset WithSyntheticMinority(const Dataset& data,
+                              std::span<const std::size_t> seeds,
+                              std::span<const std::size_t> counts, std::size_t k,
+                              Rng& rng);
+
+/// SMOTE (Chawla et al., 2002): synthesizes |N| - |P| minority samples,
+/// spread evenly over all minority seeds, until the classes balance.
+class SmoteSampler final : public Sampler {
+ public:
+  explicit SmoteSampler(std::size_t k = 5);
+
+  Dataset Resample(const Dataset& data, Rng& rng) const override;
+  bool RequiresNumericalFeatures() const override { return true; }
+  std::string Name() const override { return "SMOTE"; }
+
+ private:
+  std::size_t k_;
+};
+
+}  // namespace spe
+
+#endif  // SPE_SAMPLING_SMOTE_H_

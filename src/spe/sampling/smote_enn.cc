@@ -1,0 +1,23 @@
+#include "spe/sampling/smote_enn.h"
+
+#include "spe/common/check.h"
+#include "spe/sampling/enn.h"
+#include "spe/sampling/smote.h"
+
+namespace spe {
+
+SmoteEnnSampler::SmoteEnnSampler(std::size_t smote_k, std::size_t enn_k)
+    : smote_k_(smote_k), enn_k_(enn_k) {
+  SPE_CHECK_GT(smote_k, 0u);
+  SPE_CHECK_GT(enn_k, 0u);
+}
+
+Dataset SmoteEnnSampler::Resample(const Dataset& data, Rng& rng) const {
+  const SmoteSampler smote(smote_k_);
+  const Dataset oversampled = smote.Resample(data, rng);
+  const NeighborIndex index(oversampled);
+  return oversampled.Subset(
+      EnnKeptIndices(index, enn_k_, /*majority_only=*/false));
+}
+
+}  // namespace spe

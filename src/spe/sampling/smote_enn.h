@@ -1,0 +1,28 @@
+#ifndef SPE_SAMPLING_SMOTE_ENN_H_
+#define SPE_SAMPLING_SMOTE_ENN_H_
+
+#include <string>
+
+#include "spe/sampling/sampler.h"
+
+namespace spe {
+
+/// SMOTEENN (Batista et al., 2004): SMOTE over-sampling followed by
+/// Wilson editing of *both* classes to clean the interpolation artifacts
+/// out of the overlap region.
+class SmoteEnnSampler final : public Sampler {
+ public:
+  explicit SmoteEnnSampler(std::size_t smote_k = 5, std::size_t enn_k = 3);
+
+  Dataset Resample(const Dataset& data, Rng& rng) const override;
+  bool RequiresNumericalFeatures() const override { return true; }
+  std::string Name() const override { return "SMOTEENN"; }
+
+ private:
+  std::size_t smote_k_;
+  std::size_t enn_k_;
+};
+
+}  // namespace spe
+
+#endif  // SPE_SAMPLING_SMOTE_ENN_H_

@@ -1,0 +1,29 @@
+#include "spe/sampling/smote_tomek.h"
+
+#include "spe/common/check.h"
+#include "spe/sampling/neighbors.h"
+#include "spe/sampling/smote.h"
+#include "spe/sampling/tomek_links.h"
+
+namespace spe {
+
+SmoteTomekSampler::SmoteTomekSampler(std::size_t smote_k) : smote_k_(smote_k) {
+  SPE_CHECK_GT(smote_k, 0u);
+}
+
+Dataset SmoteTomekSampler::Resample(const Dataset& data, Rng& rng) const {
+  const SmoteSampler smote(smote_k_);
+  const Dataset oversampled = smote.Resample(data, rng);
+  const NeighborIndex index(oversampled);
+  const std::vector<std::size_t> drop = TomekLinkMajorityMembers(index);
+  std::vector<char> dropped(oversampled.num_rows(), 0);
+  for (std::size_t i : drop) dropped[i] = 1;
+  std::vector<std::size_t> keep;
+  keep.reserve(oversampled.num_rows() - drop.size());
+  for (std::size_t i = 0; i < oversampled.num_rows(); ++i) {
+    if (!dropped[i]) keep.push_back(i);
+  }
+  return oversampled.Subset(keep);
+}
+
+}  // namespace spe

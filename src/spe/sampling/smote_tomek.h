@@ -1,0 +1,27 @@
+#ifndef SPE_SAMPLING_SMOTE_TOMEK_H_
+#define SPE_SAMPLING_SMOTE_TOMEK_H_
+
+#include <string>
+
+#include "spe/sampling/sampler.h"
+
+namespace spe {
+
+/// SMOTETomek (Batista et al., 2003): SMOTE over-sampling followed by
+/// removal of Tomek-link majority members, trimming the blurred class
+/// boundary SMOTE creates under overlap.
+class SmoteTomekSampler final : public Sampler {
+ public:
+  explicit SmoteTomekSampler(std::size_t smote_k = 5);
+
+  Dataset Resample(const Dataset& data, Rng& rng) const override;
+  bool RequiresNumericalFeatures() const override { return true; }
+  std::string Name() const override { return "SMOTETomek"; }
+
+ private:
+  std::size_t smote_k_;
+};
+
+}  // namespace spe
+
+#endif  // SPE_SAMPLING_SMOTE_TOMEK_H_

@@ -1,0 +1,137 @@
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "spe/common/rng.h"
+#include "spe/core/self_paced_ensemble.h"
+#include "spe/data/split.h"
+#include "spe/metrics/calibration.h"
+#include "spe/metrics/metrics.h"
+#include "tests/test_util.h"
+
+namespace spe {
+namespace {
+
+TEST(PlattCalibratorTest, RecoversASigmoidRelationship) {
+  // Labels drawn from sigmoid(3s - 1): the fitted (a, b) must land close.
+  Rng rng(1);
+  std::vector<int> labels;
+  std::vector<double> scores;
+  for (int i = 0; i < 4000; ++i) {
+    const double s = rng.Uniform(-2.0, 2.0);
+    scores.push_back(s);
+    labels.push_back(rng.Uniform() < 1.0 / (1.0 + std::exp(-(3.0 * s - 1.0))));
+  }
+  PlattCalibrator calibrator;
+  calibrator.Fit(labels, scores);
+  EXPECT_NEAR(calibrator.a(), 3.0, 0.5);
+  EXPECT_NEAR(calibrator.b(), -1.0, 0.3);
+}
+
+TEST(PlattCalibratorTest, TransformIsMonotone) {
+  const std::vector<int> labels = {0, 0, 1, 1};
+  const std::vector<double> scores = {0.1, 0.3, 0.6, 0.9};
+  PlattCalibrator calibrator;
+  calibrator.Fit(labels, scores);
+  double prev = -1.0;
+  for (double s = 0.0; s <= 1.0; s += 0.05) {
+    const double p = calibrator.Transform(s);
+    EXPECT_GE(p, prev);
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+    prev = p;
+  }
+}
+
+TEST(PlattCalibratorDeathTest, SingleClassAborts) {
+  PlattCalibrator calibrator;
+  EXPECT_DEATH(calibrator.Fit({1, 1}, {0.2, 0.4}), "both classes");
+}
+
+TEST(IsotonicCalibratorTest, HandComputedPava) {
+  // Score-sorted labels 0, 1, 0, 1: PAVA pools the middle violation
+  // (1 then 0) into one 0.5 block, leaving blocks {0}, {0.5}, {1}.
+  const std::vector<int> labels = {0, 1, 0, 1};
+  const std::vector<double> scores = {0.1, 0.4, 0.6, 0.9};
+  IsotonicCalibrator calibrator;
+  calibrator.Fit(labels, scores);
+  ASSERT_EQ(calibrator.knot_values().size(), 3u);
+  EXPECT_DOUBLE_EQ(calibrator.knot_values()[0], 0.0);
+  EXPECT_DOUBLE_EQ(calibrator.knot_values()[1], 0.5);
+  EXPECT_DOUBLE_EQ(calibrator.knot_values()[2], 1.0);
+  EXPECT_DOUBLE_EQ(calibrator.knot_scores()[1], 0.5);  // centroid of 0.4, 0.6
+}
+
+TEST(IsotonicCalibratorTest, PerfectlySortedDataIsUntouched) {
+  const std::vector<int> labels = {0, 0, 1, 1};
+  const std::vector<double> scores = {0.1, 0.2, 0.8, 0.9};
+  IsotonicCalibrator calibrator;
+  calibrator.Fit(labels, scores);
+  EXPECT_DOUBLE_EQ(calibrator.Transform(0.05), 0.0);
+  EXPECT_DOUBLE_EQ(calibrator.Transform(0.95), 1.0);
+}
+
+TEST(IsotonicCalibratorTest, TransformIsMonotoneAndClamped) {
+  Rng rng(2);
+  std::vector<int> labels;
+  std::vector<double> scores;
+  for (int i = 0; i < 500; ++i) {
+    const double s = rng.Uniform();
+    scores.push_back(s);
+    labels.push_back(rng.Uniform() < s * s);  // convex miscalibration
+  }
+  IsotonicCalibrator calibrator;
+  calibrator.Fit(labels, scores);
+  double prev = -1.0;
+  for (double s = -0.5; s <= 1.5; s += 0.01) {
+    const double p = calibrator.Transform(s);
+    EXPECT_GE(p, prev - 1e-12);
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+    prev = p;
+  }
+}
+
+TEST(IsotonicCalibratorTest, ReducesBrierScoreOfMiscalibratedScores) {
+  // Scores = sqrt(true probability): ranking is perfect, calibration is
+  // badly convex. Isotonic regression must cut the Brier score.
+  Rng rng(3);
+  std::vector<int> labels;
+  std::vector<double> scores;
+  for (int i = 0; i < 3000; ++i) {
+    const double p = rng.Uniform();
+    labels.push_back(rng.Uniform() < p);
+    scores.push_back(std::sqrt(p));
+  }
+  IsotonicCalibrator calibrator;
+  calibrator.Fit(labels, scores);
+  const std::vector<double> calibrated = calibrator.Transform(scores);
+  EXPECT_LT(BrierScore(labels, calibrated), BrierScore(labels, scores) - 0.01);
+  // Monotone map: ranking metrics unchanged (up to PAVA's flat ties).
+  EXPECT_NEAR(AucRoc(labels, calibrated), AucRoc(labels, scores), 0.02);
+}
+
+TEST(CalibrationIntegrationTest, CalibratingSpeScoresHelpsOnSkewedData) {
+  // SPE trains on balanced subsets, so raw scores over-estimate the
+  // positive rate on imbalanced data; Platt scaling on Ddev must lower
+  // the Brier score on the test split.
+  const Dataset data = testing::OverlappingBlobs(4000, 120, 4);
+  Rng rng(5);
+  const TrainValTest parts = StratifiedSplit(data, 0.6, 0.2, 0.2, rng);
+  SelfPacedEnsembleConfig config;
+  config.n_estimators = 10;
+  SelfPacedEnsemble model(config);
+  model.Fit(parts.train);
+
+  PlattCalibrator calibrator;
+  calibrator.Fit(parts.validation.labels(),
+                 model.PredictProba(parts.validation));
+  const std::vector<double> raw = model.PredictProba(parts.test);
+  const std::vector<double> calibrated = calibrator.Transform(raw);
+  EXPECT_LT(BrierScore(parts.test.labels(), calibrated),
+            BrierScore(parts.test.labels(), raw));
+}
+
+}  // namespace
+}  // namespace spe

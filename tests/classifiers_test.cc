@@ -1,0 +1,357 @@
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "spe/classifiers/factory.h"
+#include "spe/classifiers/knn.h"
+#include "spe/classifiers/lda.h"
+#include "spe/classifiers/linear_svm.h"
+#include "spe/classifiers/logistic_regression.h"
+#include "spe/classifiers/mlp.h"
+#include "spe/classifiers/naive_bayes.h"
+#include "spe/classifiers/rff.h"
+#include "spe/metrics/metrics.h"
+#include "tests/test_util.h"
+
+namespace spe {
+namespace {
+
+using ::spe::testing::SeparableBlobs;
+using ::spe::testing::XorClusters;
+
+// ----------------------------------------------------------------- KNN --
+
+TEST(KnnTest, ExactNeighborVote) {
+  Dataset train(1);
+  train.AddRow(std::vector<double>{0.0}, 0);
+  train.AddRow(std::vector<double>{1.0}, 0);
+  train.AddRow(std::vector<double>{10.0}, 1);
+  train.AddRow(std::vector<double>{11.0}, 1);
+  Knn knn(KnnConfig{.k = 2, .standardize = false});
+  knn.Fit(train);
+  EXPECT_DOUBLE_EQ(knn.PredictRow(std::vector<double>{0.5}), 0.0);
+  EXPECT_DOUBLE_EQ(knn.PredictRow(std::vector<double>{10.5}), 1.0);
+  // Midpoint: nearest two are one of each.
+  EXPECT_DOUBLE_EQ(knn.PredictRow(std::vector<double>{5.51}), 0.5);
+}
+
+TEST(KnnTest, BatchMatchesSingleRow) {
+  const Dataset train = SeparableBlobs(100, 50, 1);
+  const Dataset test = SeparableBlobs(20, 20, 2);
+  Knn knn;
+  knn.Fit(train);
+  const std::vector<double> batch = knn.PredictProba(test);
+  for (std::size_t i = 0; i < test.num_rows(); ++i) {
+    EXPECT_DOUBLE_EQ(batch[i], knn.PredictRow(test.Row(i)));
+  }
+}
+
+TEST(KnnTest, StandardizationMattersForSkewedScales) {
+  // Feature 1 carries the signal but has tiny scale; feature 0 is noise
+  // with huge scale. Standardized KNN must recover the signal.
+  Rng rng(3);
+  Dataset train(2);
+  Dataset test(2);
+  for (int i = 0; i < 300; ++i) {
+    const int label = i % 2;
+    const std::vector<double> row = {rng.Gaussian(0.0, 1000.0),
+                                     label == 1 ? 0.01 + 0.001 * rng.Gaussian()
+                                                : -0.01 + 0.001 * rng.Gaussian()};
+    (i < 200 ? train : test).AddRow(row, label);
+  }
+  Knn knn(KnnConfig{.k = 5, .standardize = true});
+  knn.Fit(train);
+  EXPECT_GT(AucPrc(test.labels(), knn.PredictProba(test)), 0.95);
+}
+
+TEST(KnnTest, DistanceWeightedVotesFavorTheCloserClass) {
+  Dataset train(1);
+  train.AddRow(std::vector<double>{0.0}, 0);
+  train.AddRow(std::vector<double>{10.0}, 1);
+  Knn knn(KnnConfig{.k = 2, .standardize = false, .distance_weighted = true});
+  knn.Fit(train);
+  // Uniform voting would say 0.5 everywhere; weighting must lean toward
+  // the nearer neighbour.
+  EXPECT_LT(knn.PredictRow(std::vector<double>{2.0}), 0.5);
+  EXPECT_GT(knn.PredictRow(std::vector<double>{8.0}), 0.5);
+}
+
+TEST(KnnTest, DistanceWeightingGivesContinuousScores) {
+  // Overlapping classes so neighbourhoods are mixed; weighting then
+  // produces a distinct score per query point.
+  const Dataset train = testing::OverlappingBlobs(100, 100, 30);
+  const Dataset test = testing::OverlappingBlobs(50, 50, 31);
+  Knn weighted(KnnConfig{.k = 5, .standardize = true, .distance_weighted = true});
+  weighted.Fit(train);
+  std::set<double> distinct;
+  for (double p : weighted.PredictProba(test)) distinct.insert(p);
+  // Uniform voting yields at most k + 1 = 6 distinct values.
+  EXPECT_GT(distinct.size(), 6u);
+}
+
+// ------------------------------------------------- Logistic regression --
+
+TEST(LogisticRegressionTest, LearnsLinearBoundary) {
+  const Dataset train = SeparableBlobs(300, 300, 4);
+  const Dataset test = SeparableBlobs(100, 100, 5);
+  LogisticRegression lr;
+  lr.Fit(train);
+  EXPECT_GT(AucPrc(test.labels(), lr.PredictProba(test)), 0.99);
+}
+
+TEST(LogisticRegressionTest, WeightsTiltTheBoundary) {
+  // Overlapping classes: upweighting positives must raise predicted
+  // probabilities at the overlap midpoint.
+  const Dataset train = testing::OverlappingBlobs(200, 200, 6);
+  LogisticRegression plain;
+  plain.Fit(train);
+  LogisticRegression tilted;
+  std::vector<double> w(train.num_rows(), 1.0);
+  for (std::size_t i = 0; i < train.num_rows(); ++i) {
+    if (train.Label(i) == 1) w[i] = 10.0;
+  }
+  tilted.FitWeighted(train, w);
+  const std::vector<double> mid = {0.75, 0.75};
+  EXPECT_GT(tilted.PredictRow(mid), plain.PredictRow(mid));
+}
+
+TEST(LogisticRegressionTest, DeterministicGivenSeed) {
+  const Dataset train = SeparableBlobs(100, 100, 7);
+  LogisticRegression a;
+  LogisticRegression b;
+  a.Fit(train);
+  b.Fit(train);
+  EXPECT_EQ(a.weights(), b.weights());
+  EXPECT_DOUBLE_EQ(a.bias(), b.bias());
+}
+
+// ----------------------------------------------------------------- SVM --
+
+TEST(LinearSvmTest, LearnsLinearBoundary) {
+  const Dataset train = SeparableBlobs(300, 300, 8);
+  const Dataset test = SeparableBlobs(100, 100, 9);
+  LinearSvm svm;
+  svm.Fit(train);
+  EXPECT_GT(AucPrc(test.labels(), svm.PredictProba(test)), 0.99);
+}
+
+TEST(LinearSvmTest, MarginSignSeparatesClasses) {
+  const Dataset train = SeparableBlobs(200, 200, 10);
+  LinearSvm svm;
+  svm.Fit(train);
+  EXPECT_LT(svm.Margin(std::vector<double>{0.0, 0.0}), 0.0);
+  EXPECT_GT(svm.Margin(std::vector<double>{4.0, 4.0}), 0.0);
+}
+
+TEST(LinearSvmTest, RbfApproxLearnsXor) {
+  // A linear SVM cannot solve XOR; the Fourier-feature kernel
+  // approximation must.
+  const Dataset train = XorClusters(150, 11);
+  const Dataset test = XorClusters(60, 12);
+  SvmConfig config;
+  config.kernel = SvmConfig::Kernel::kRbfApprox;
+  config.c = 1000.0;
+  config.rff_dim = 256;
+  config.gamma = 4.0;
+  LinearSvm rbf(config);
+  rbf.Fit(train);
+  EXPECT_GT(AucPrc(test.labels(), rbf.PredictProba(test)), 0.95);
+
+  LinearSvm linear;
+  linear.Fit(train);
+  EXPECT_LT(AucPrc(test.labels(), linear.PredictProba(test)), 0.8);
+}
+
+// ----------------------------------------------------------------- RFF --
+
+TEST(RffTest, ApproximatesRbfKernel) {
+  // z(x).z(y) should approximate exp(-gamma ||x-y||^2).
+  RandomFourierFeatures rff;
+  const double gamma = 0.5;
+  rff.Init(2, 4096, gamma, 1);
+  Rng rng(2);
+  for (int trial = 0; trial < 10; ++trial) {
+    const std::vector<double> x = {rng.Gaussian(), rng.Gaussian()};
+    const std::vector<double> y = {rng.Gaussian(), rng.Gaussian()};
+    const auto zx = rff.TransformRow(x);
+    const auto zy = rff.TransformRow(y);
+    double dot = 0.0;
+    for (std::size_t i = 0; i < zx.size(); ++i) dot += zx[i] * zy[i];
+    const double d2 = (x[0] - y[0]) * (x[0] - y[0]) + (x[1] - y[1]) * (x[1] - y[1]);
+    EXPECT_NEAR(dot, std::exp(-gamma * d2), 0.06);
+  }
+}
+
+TEST(RffTest, TransformPreservesLabelsAndDims) {
+  RandomFourierFeatures rff;
+  rff.Init(2, 32, 0.0, 3);
+  const Dataset data = SeparableBlobs(10, 5, 13);
+  const Dataset mapped = rff.Transform(data);
+  EXPECT_EQ(mapped.num_rows(), data.num_rows());
+  EXPECT_EQ(mapped.num_features(), 32u);
+  for (std::size_t i = 0; i < data.num_rows(); ++i) {
+    EXPECT_EQ(mapped.Label(i), data.Label(i));
+  }
+}
+
+// ----------------------------------------------------------------- MLP --
+
+TEST(MlpTest, LearnsXor) {
+  const Dataset train = XorClusters(150, 14);
+  const Dataset test = XorClusters(60, 15);
+  MlpConfig config;
+  config.hidden_units = 32;
+  config.epochs = 80;
+  Mlp mlp(config);
+  mlp.Fit(train);
+  EXPECT_GT(AucPrc(test.labels(), mlp.PredictProba(test)), 0.95);
+}
+
+TEST(MlpTest, DeterministicGivenSeed) {
+  const Dataset train = SeparableBlobs(100, 100, 16);
+  MlpConfig config;
+  config.epochs = 5;
+  Mlp a(config);
+  Mlp b(config);
+  a.Fit(train);
+  b.Fit(train);
+  const std::vector<double> x = {1.0, 2.0};
+  EXPECT_DOUBLE_EQ(a.PredictRow(x), b.PredictRow(x));
+}
+
+TEST(MlpTest, ReseedChangesInitialization) {
+  const Dataset train = SeparableBlobs(60, 60, 17);
+  MlpConfig config;
+  config.epochs = 2;
+  Mlp a(config);
+  Mlp b(config);
+  b.Reseed(999);
+  a.Fit(train);
+  b.Fit(train);
+  const std::vector<double> x = {2.0, 2.0};
+  EXPECT_NE(a.PredictRow(x), b.PredictRow(x));
+}
+
+// ----------------------------------------------------- Gaussian NB / LDA --
+
+TEST(GaussianNaiveBayesTest, RecoversClassMeansOnBlobs) {
+  const Dataset train = SeparableBlobs(400, 400, 20);
+  const Dataset test = SeparableBlobs(100, 100, 21);
+  GaussianNaiveBayes gnb;
+  gnb.Fit(train);
+  EXPECT_GT(AucPrc(test.labels(), gnb.PredictProba(test)), 0.99);
+  // Centres of the generator: majority (0,0), minority (4,4).
+  EXPECT_GT(gnb.PredictRow(std::vector<double>{4.0, 4.0}), 0.95);
+  EXPECT_LT(gnb.PredictRow(std::vector<double>{0.0, 0.0}), 0.05);
+}
+
+TEST(GaussianNaiveBayesTest, PriorFollowsClassBalance) {
+  // Identical feature distributions: the prediction must equal the
+  // class prior everywhere.
+  Rng rng(22);
+  Dataset train(1);
+  for (int i = 0; i < 1000; ++i) {
+    train.AddRow(std::vector<double>{rng.Gaussian()}, i < 250);
+  }
+  GaussianNaiveBayes gnb;
+  gnb.Fit(train);
+  EXPECT_NEAR(gnb.PredictRow(std::vector<double>{0.0}), 0.25, 0.05);
+}
+
+TEST(GaussianNaiveBayesTest, SampleWeightsShiftThePrior) {
+  Rng rng(23);
+  Dataset train(1);
+  for (int i = 0; i < 200; ++i) {
+    train.AddRow(std::vector<double>{rng.Gaussian()}, i < 100);
+  }
+  std::vector<double> w(200, 1.0);
+  for (int i = 0; i < 100; ++i) w[i] = 3.0;  // upweight positives
+  GaussianNaiveBayes gnb;
+  gnb.FitWeighted(train, w);
+  EXPECT_NEAR(gnb.PredictRow(std::vector<double>{0.0}), 0.75, 0.07);
+}
+
+TEST(LinearDiscriminantTest, LearnsLinearBoundary) {
+  const Dataset train = SeparableBlobs(300, 300, 24);
+  const Dataset test = SeparableBlobs(100, 100, 25);
+  LinearDiscriminant lda;
+  lda.Fit(train);
+  EXPECT_GT(AucPrc(test.labels(), lda.PredictProba(test)), 0.99);
+}
+
+TEST(LinearDiscriminantTest, HandlesCorrelatedFeatures) {
+  // Signal along x0 - x1 with strong positive correlation: a diagonal
+  // method (GNB) is confused by the shared variance, LDA's pooled
+  // covariance solve recovers the discriminative direction.
+  Rng rng(26);
+  Dataset train(2);
+  Dataset test(2);
+  for (int i = 0; i < 1200; ++i) {
+    const int label = i % 2;
+    const double common = rng.Gaussian(0.0, 3.0);
+    const double offset = label == 1 ? 0.8 : -0.8;
+    const std::vector<double> row = {common + offset + rng.Gaussian(0.0, 0.4),
+                                     common - offset + rng.Gaussian(0.0, 0.4)};
+    (i < 800 ? train : test).AddRow(row, label);
+  }
+  LinearDiscriminant lda;
+  lda.Fit(train);
+  GaussianNaiveBayes gnb;
+  gnb.Fit(train);
+  const double lda_auc = AucPrc(test.labels(), lda.PredictProba(test));
+  EXPECT_GT(lda_auc, 0.95);
+  EXPECT_GT(lda_auc, AucPrc(test.labels(), gnb.PredictProba(test)) + 0.02);
+}
+
+TEST(LinearDiscriminantTest, DeterministicClosedForm) {
+  const Dataset train = SeparableBlobs(100, 50, 27);
+  LinearDiscriminant a;
+  LinearDiscriminant b;
+  a.Fit(train);
+  b.Fit(train);
+  EXPECT_EQ(a.weights(), b.weights());
+  EXPECT_DOUBLE_EQ(a.bias(), b.bias());
+}
+
+TEST(LinearDiscriminantDeathTest, SingleClassAborts) {
+  Dataset train(1);
+  for (int i = 0; i < 10; ++i) train.AddRow(std::vector<double>{1.0 * i}, 0);
+  LinearDiscriminant lda;
+  EXPECT_DEATH(lda.Fit(train), "both classes");
+}
+
+// ------------------------------------------------------------- Factory --
+
+class FactoryLearnsTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(FactoryLearnsTest, EveryKnownClassifierLearnsSeparableBlobs) {
+  const Dataset train = SeparableBlobs(250, 120, 18);
+  const Dataset test = SeparableBlobs(80, 80, 19);
+  auto model = MakeClassifier(GetParam(), /*seed=*/1);
+  model->Fit(train);
+  const double auc = AucPrc(test.labels(), model->PredictProba(test));
+  EXPECT_GT(auc, 0.95) << GetParam() << " scored " << auc;
+}
+
+TEST_P(FactoryLearnsTest, CloneHasSameName) {
+  auto model = MakeClassifier(GetParam());
+  EXPECT_EQ(model->Clone()->Name(), model->Name());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllClassifiers, FactoryLearnsTest,
+                         ::testing::ValuesIn(KnownClassifierNames()));
+
+TEST(FactoryTest, TrailingCountParsed) {
+  EXPECT_EQ(MakeClassifier("GBDT25")->Name(), "GBDT25");
+  EXPECT_EQ(MakeClassifier("AdaBoost3")->Name(), "AdaBoost3");
+}
+
+TEST(FactoryDeathTest, UnknownNameAborts) {
+  EXPECT_DEATH(MakeClassifier("Oracle"), "unknown classifier");
+}
+
+}  // namespace
+}  // namespace spe

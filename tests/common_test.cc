@@ -1,0 +1,169 @@
+#include <algorithm>
+#include <atomic>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "spe/common/check.h"
+#include "spe/common/math.h"
+#include "spe/common/parallel.h"
+#include "spe/common/rng.h"
+#include "spe/common/stats.h"
+
+namespace spe {
+namespace {
+
+TEST(RngTest, DeterministicGivenSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.Uniform(), b.Uniform());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    equal += (a.Uniform() == b.Uniform());
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(RngTest, UniformInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.Uniform(-2.0, 3.0);
+    EXPECT_GE(v, -2.0);
+    EXPECT_LT(v, 3.0);
+  }
+}
+
+TEST(RngTest, IndexWithinBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.Index(17), 17u);
+  }
+}
+
+TEST(RngTest, SampleWithoutReplacementIsDistinctAndInRange) {
+  Rng rng(3);
+  const auto sample = rng.SampleWithoutReplacement(100, 40);
+  EXPECT_EQ(sample.size(), 40u);
+  std::set<std::size_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 40u);
+  for (std::size_t v : sample) EXPECT_LT(v, 100u);
+}
+
+TEST(RngTest, SampleWithoutReplacementFullRange) {
+  Rng rng(3);
+  const auto sample = rng.SampleWithoutReplacement(10, 10);
+  std::set<std::size_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 10u);
+}
+
+TEST(RngTest, SampleWithoutReplacementCoversUniformly) {
+  // Every index should be picked roughly count/n of the time.
+  Rng rng(11);
+  std::vector<int> hits(20, 0);
+  const int trials = 4000;
+  for (int t = 0; t < trials; ++t) {
+    for (std::size_t v : rng.SampleWithoutReplacement(20, 5)) ++hits[v];
+  }
+  for (int h : hits) {
+    EXPECT_GT(h, trials / 4 * 0.7);
+    EXPECT_LT(h, trials / 4 * 1.3);
+  }
+}
+
+TEST(RngTest, SampleWithReplacementSizeAndRange) {
+  Rng rng(5);
+  const auto sample = rng.SampleWithReplacement(3, 100);
+  EXPECT_EQ(sample.size(), 100u);
+  for (std::size_t v : sample) EXPECT_LT(v, 3u);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng parent(9);
+  Rng child = parent.Fork();
+  // The child stream should not replay the parent's next values.
+  Rng parent_copy(9);
+  (void)parent_copy.Fork();
+  EXPECT_DOUBLE_EQ(parent.Uniform(), parent_copy.Uniform());
+  double diff = 0.0;
+  for (int i = 0; i < 10; ++i) diff += std::abs(child.Uniform() - parent.Uniform());
+  EXPECT_GT(diff, 1e-9);
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(13);
+  std::vector<double> values(20000);
+  for (double& v : values) v = rng.Gaussian(2.0, 3.0);
+  EXPECT_NEAR(Mean(values), 2.0, 0.1);
+  EXPECT_NEAR(StdDev(values), 3.0, 0.1);
+}
+
+TEST(StatsTest, MeanAndStdDev) {
+  const std::vector<double> v = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(Mean(v), 2.5);
+  EXPECT_NEAR(StdDev(v), std::sqrt(1.25), 1e-12);
+}
+
+TEST(StatsTest, AggregateSingleValue) {
+  const MeanStd agg = Aggregate({7.0});
+  EXPECT_DOUBLE_EQ(agg.mean, 7.0);
+  EXPECT_DOUBLE_EQ(agg.std, 0.0);
+}
+
+TEST(MathTest, SigmoidBasics) {
+  EXPECT_DOUBLE_EQ(Sigmoid(0.0), 0.5);
+  EXPECT_NEAR(Sigmoid(100.0), 1.0, 1e-12);
+  EXPECT_NEAR(Sigmoid(-100.0), 0.0, 1e-12);
+  EXPECT_NEAR(Sigmoid(2.0) + Sigmoid(-2.0), 1.0, 1e-12);
+}
+
+TEST(MathTest, HalfLogOddsSymmetry) {
+  EXPECT_DOUBLE_EQ(HalfLogOdds(0.5), 0.0);
+  EXPECT_NEAR(HalfLogOdds(0.9), -HalfLogOdds(0.1), 1e-12);
+  // Clamped: extreme inputs stay finite.
+  EXPECT_TRUE(std::isfinite(HalfLogOdds(0.0)));
+  EXPECT_TRUE(std::isfinite(HalfLogOdds(1.0)));
+}
+
+TEST(ParallelTest, CoversEveryIndexExactlyOnce) {
+  std::vector<std::atomic<int>> hits(1000);
+  for (auto& h : hits) h = 0;
+  ParallelFor(0, hits.size(), [&](std::size_t i) { ++hits[i]; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelTest, EmptyRangeIsNoop) {
+  bool called = false;
+  ParallelFor(5, 5, [&](std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ParallelTest, OffsetRange) {
+  std::atomic<long> sum = 0;
+  ParallelFor(10, 20, [&](std::size_t i) { sum += static_cast<long>(i); });
+  EXPECT_EQ(sum.load(), 145);  // 10 + ... + 19
+}
+
+TEST(CheckDeathTest, FailedCheckAborts) {
+  EXPECT_DEATH({ SPE_CHECK(false) << "boom"; }, "boom");
+}
+
+TEST(CheckDeathTest, ComparisonMacroPrintsValues) {
+  EXPECT_DEATH({ SPE_CHECK_EQ(1, 2); }, "1 vs 2");
+}
+
+TEST(CheckTest, PassingCheckDoesNothing) {
+  SPE_CHECK(true);
+  SPE_CHECK_LE(1, 1);
+  SPE_CHECK_GT(2, 1);
+}
+
+}  // namespace
+}  // namespace spe

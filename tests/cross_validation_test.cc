@@ -1,0 +1,96 @@
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "spe/classifiers/decision_tree.h"
+#include "spe/core/self_paced_ensemble.h"
+#include "spe/eval/cross_validation.h"
+#include "tests/test_util.h"
+
+namespace spe {
+namespace {
+
+using ::spe::testing::OverlappingBlobs;
+using ::spe::testing::SeparableBlobs;
+
+TEST(StratifiedFoldsTest, EveryFoldPreservesClassCounts) {
+  const Dataset data = OverlappingBlobs(100, 20, 1);
+  Rng rng(2);
+  const auto fold_of = StratifiedFolds(data, 5, rng);
+  ASSERT_EQ(fold_of.size(), data.num_rows());
+  for (std::size_t fold = 0; fold < 5; ++fold) {
+    std::size_t positives = 0;
+    std::size_t total = 0;
+    for (std::size_t i = 0; i < data.num_rows(); ++i) {
+      if (fold_of[i] != fold) continue;
+      ++total;
+      positives += static_cast<std::size_t>(data.Label(i) == 1);
+    }
+    EXPECT_EQ(total, 24u);
+    EXPECT_EQ(positives, 4u);
+  }
+}
+
+TEST(StratifiedFoldsTest, FoldIdsAreInRange) {
+  const Dataset data = OverlappingBlobs(37, 11, 3);
+  Rng rng(4);
+  for (std::size_t f : StratifiedFolds(data, 3, rng)) EXPECT_LT(f, 3u);
+}
+
+TEST(StratifiedFoldsDeathTest, TooFewPositivesAborts) {
+  const Dataset data = OverlappingBlobs(50, 2, 5);
+  Rng rng(6);
+  EXPECT_DEATH(StratifiedFolds(data, 5, rng), "positive per fold");
+}
+
+TEST(CrossValidateTest, ProducesOneSummaryPerFold) {
+  const Dataset data = SeparableBlobs(200, 50, 7);
+  DecisionTree prototype;
+  Rng rng(8);
+  const CrossValidationResult result = CrossValidate(prototype, data, 4, rng);
+  EXPECT_EQ(result.folds.size(), 4u);
+  for (const ScoreSummary& s : result.folds) {
+    EXPECT_GT(s.aucprc, 0.9);  // separable data: every fold near-perfect
+  }
+  const AggregateScores agg = result.aggregate();
+  EXPECT_GT(agg.aucprc.mean, 0.9);
+  EXPECT_GE(agg.aucprc.std, 0.0);
+}
+
+TEST(CrossValidateTest, PrototypeIsNotMutated) {
+  const Dataset data = SeparableBlobs(100, 30, 9);
+  DecisionTree prototype;
+  Rng rng(10);
+  CrossValidate(prototype, data, 3, rng);
+  // Still unfitted: predicting must abort.
+  const std::vector<double> x = {0.0, 0.0};
+  EXPECT_DEATH(prototype.PredictRow(x), "predict before fit");
+}
+
+TEST(CrossValidateTest, WorksWithSpe) {
+  const Dataset data = OverlappingBlobs(600, 60, 11);
+  SelfPacedEnsembleConfig config;
+  config.n_estimators = 5;
+  const SelfPacedEnsemble prototype(config);
+  Rng rng(12);
+  const CrossValidationResult result = CrossValidate(prototype, data, 3, rng);
+  EXPECT_EQ(result.folds.size(), 3u);
+  // AUCPRC must clearly beat the ~0.09 prevalence baseline on average.
+  EXPECT_GT(result.aggregate().aucprc.mean, 0.15);
+}
+
+TEST(CrossValidateTest, DeterministicGivenRngSeed) {
+  const Dataset data = OverlappingBlobs(200, 40, 13);
+  DecisionTree prototype;
+  Rng rng_a(14);
+  Rng rng_b(14);
+  const auto a = CrossValidate(prototype, data, 3, rng_a);
+  const auto b = CrossValidate(prototype, data, 3, rng_b);
+  for (std::size_t i = 0; i < a.folds.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.folds[i].aucprc, b.folds[i].aucprc);
+  }
+}
+
+}  // namespace
+}  // namespace spe

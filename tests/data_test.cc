@@ -1,0 +1,242 @@
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <set>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "spe/common/rng.h"
+#include "spe/data/csv.h"
+#include "spe/data/dataset.h"
+#include "spe/data/simulated.h"
+#include "spe/data/split.h"
+#include "spe/data/synthetic.h"
+
+namespace spe {
+namespace {
+
+// ---------------------------------------------------------------- CSV --
+
+TEST(CsvTest, RoundTrip) {
+  Dataset data(3);
+  Rng rng(1);
+  for (int i = 0; i < 20; ++i) {
+    data.AddRow(std::vector<double>{rng.Uniform(), rng.Gaussian(), 3.25}, i % 2);
+  }
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "spe_csv_test.csv").string();
+  SaveCsv(data, path);
+  const Dataset loaded = LoadCsv(path, /*label_column=*/3);
+  ASSERT_EQ(loaded.num_rows(), data.num_rows());
+  ASSERT_EQ(loaded.num_features(), data.num_features());
+  for (std::size_t i = 0; i < data.num_rows(); ++i) {
+    EXPECT_EQ(loaded.Label(i), data.Label(i));
+    for (std::size_t j = 0; j < data.num_features(); ++j) {
+      EXPECT_NEAR(loaded.At(i, j), data.At(i, j), 1e-9);
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(CsvDeathTest, MissingFileAborts) {
+  EXPECT_DEATH(LoadCsv("/nonexistent/nope.csv", 0), "cannot open");
+}
+
+// -------------------------------------------------------------- Split --
+
+TEST(SplitTest, StratifiedThreeWayPreservesClassBalance) {
+  Rng data_rng(2);
+  Dataset data(1);
+  for (int i = 0; i < 1000; ++i) {
+    data.AddRow(std::vector<double>{data_rng.Uniform()}, i < 100 ? 1 : 0);
+  }
+  Rng rng(3);
+  const TrainValTest parts = StratifiedSplit(data, 0.6, 0.2, 0.2, rng);
+  EXPECT_EQ(parts.train.num_rows(), 600u);
+  EXPECT_EQ(parts.validation.num_rows(), 200u);
+  EXPECT_EQ(parts.test.num_rows(), 200u);
+  EXPECT_EQ(parts.train.CountPositives(), 60u);
+  EXPECT_EQ(parts.validation.CountPositives(), 20u);
+  EXPECT_EQ(parts.test.CountPositives(), 20u);
+}
+
+TEST(SplitTest, PartsAreDisjointByFeatureValue) {
+  // Unique feature values let us verify no row lands in two parts.
+  Dataset data(1);
+  for (int i = 0; i < 500; ++i) {
+    data.AddRow(std::vector<double>{static_cast<double>(i)}, i % 10 == 0 ? 1 : 0);
+  }
+  Rng rng(4);
+  const TrainValTest parts = StratifiedSplit(data, 0.6, 0.2, 0.2, rng);
+  std::set<double> seen;
+  for (const Dataset* part : {&parts.train, &parts.validation, &parts.test}) {
+    for (std::size_t i = 0; i < part->num_rows(); ++i) {
+      EXPECT_TRUE(seen.insert(part->At(i, 0)).second)
+          << "row duplicated across parts";
+    }
+  }
+}
+
+TEST(SplitTest, DeterministicGivenSeed) {
+  Dataset data(1);
+  for (int i = 0; i < 200; ++i) {
+    data.AddRow(std::vector<double>{static_cast<double>(i)}, i % 5 == 0 ? 1 : 0);
+  }
+  Rng rng_a(7);
+  Rng rng_b(7);
+  const TrainValTest a = StratifiedSplit(data, 0.5, 0.25, 0.25, rng_a);
+  const TrainValTest b = StratifiedSplit(data, 0.5, 0.25, 0.25, rng_b);
+  ASSERT_EQ(a.train.num_rows(), b.train.num_rows());
+  for (std::size_t i = 0; i < a.train.num_rows(); ++i) {
+    EXPECT_DOUBLE_EQ(a.train.At(i, 0), b.train.At(i, 0));
+  }
+}
+
+TEST(SplitTest, TwoWaySplit) {
+  Dataset data(1);
+  for (int i = 0; i < 100; ++i) {
+    data.AddRow(std::vector<double>{0.0}, i < 20 ? 1 : 0);
+  }
+  Rng rng(1);
+  const TrainTest parts = StratifiedSplit2(data, 0.75, rng);
+  EXPECT_EQ(parts.train.num_rows(), 75u);
+  EXPECT_EQ(parts.test.num_rows(), 25u);
+  EXPECT_EQ(parts.train.CountPositives(), 15u);
+}
+
+// ---------------------------------------------------------- Synthetic --
+
+TEST(CheckerboardTest, SizesAndImbalanceRatio) {
+  CheckerboardConfig config;
+  Rng rng(1);
+  const Dataset data = MakeCheckerboard(config, rng);
+  EXPECT_EQ(data.num_rows(), 11000u);
+  EXPECT_EQ(data.CountPositives(), 1000u);
+  EXPECT_NEAR(data.ImbalanceRatio(), 10.0, 1e-9);
+  EXPECT_EQ(data.num_features(), 2u);
+}
+
+TEST(CheckerboardTest, MinorityOnOddCells) {
+  CheckerboardConfig config;
+  config.covariance = 0.001;  // tight clusters so cell membership is clear
+  Rng rng(2);
+  const Dataset data = MakeCheckerboard(config, rng);
+  for (std::size_t i = 0; i < data.num_rows(); ++i) {
+    const int gx = static_cast<int>(std::lround(data.At(i, 0)));
+    const int gy = static_cast<int>(std::lround(data.At(i, 1)));
+    const int expected = (gx + gy) % 2 == 1 ? 1 : 0;
+    EXPECT_EQ(data.Label(i), expected);
+  }
+}
+
+TEST(TwoGaussiansTest, ImbalanceRatioRespected) {
+  TwoGaussiansConfig config;
+  config.num_minority = 100;
+  config.imbalance_ratio = 25.0;
+  Rng rng(3);
+  const Dataset data = MakeTwoGaussians(config, rng);
+  EXPECT_EQ(data.CountPositives(), 100u);
+  EXPECT_NEAR(data.ImbalanceRatio(), 25.0, 1e-9);
+}
+
+TEST(TwoGaussiansTest, NonOverlappedIsSeparated) {
+  TwoGaussiansConfig config;
+  config.overlapped = false;
+  config.covariance = 0.05;
+  Rng rng(4);
+  const Dataset data = MakeTwoGaussians(config, rng);
+  // Minority sits around (4, 4); majority around (0, 0). A midpoint
+  // threshold on x0 + x1 should separate perfectly at this covariance.
+  for (std::size_t i = 0; i < data.num_rows(); ++i) {
+    const double s = data.At(i, 0) + data.At(i, 1);
+    EXPECT_EQ(data.Label(i), s > 4.0 ? 1 : 0);
+  }
+}
+
+TEST(MissingInjectionTest, ExactFractionZeroed) {
+  Dataset data(4);
+  Rng rng(5);
+  for (int i = 0; i < 250; ++i) {
+    data.AddRow(std::vector<double>{1.0, 1.0, 1.0, 1.0}, 0);
+  }
+  InjectMissingValues(data, 0.25, rng);
+  std::size_t zeros = 0;
+  for (std::size_t i = 0; i < data.num_rows(); ++i) {
+    for (std::size_t j = 0; j < 4; ++j) zeros += (data.At(i, j) == 0.0);
+  }
+  EXPECT_EQ(zeros, 250u);  // 25% of 1000 values
+}
+
+TEST(LabelNoiseTest, FlipsExactFraction) {
+  Dataset data(1);
+  Rng rng(6);
+  for (int i = 0; i < 100; ++i) data.AddRow(std::vector<double>{0.0}, 0);
+  InjectLabelNoise(data, 0.1, rng);
+  EXPECT_EQ(data.CountPositives(), 10u);
+}
+
+// ---------------------------------------------------------- Simulated --
+
+TEST(SimulatedTest, CreditFraudShape) {
+  Rng rng(1);
+  const Dataset data = MakeCreditFraudSim(rng);
+  EXPECT_EQ(data.num_features(), 30u);
+  EXPECT_FALSE(data.HasCategoricalFeatures());
+  EXPECT_GT(data.ImbalanceRatio(), 100.0);
+  EXPECT_GT(data.num_rows(), 20000u);
+}
+
+TEST(SimulatedTest, PaymentSimShape) {
+  Rng rng(2);
+  const Dataset data = MakePaymentSim(rng, /*scale=*/0.2);
+  EXPECT_EQ(data.num_features(), 11u);
+  EXPECT_TRUE(data.HasCategoricalFeatures());
+  EXPECT_GT(data.ImbalanceRatio(), 100.0);
+}
+
+TEST(SimulatedTest, PaymentFraudOnlyInTransferAndCashout) {
+  Rng rng(3);
+  const Dataset data = MakePaymentSim(rng, 0.2);
+  for (std::size_t i = 0; i < data.num_rows(); ++i) {
+    if (data.Label(i) == 1) {
+      const int type = static_cast<int>(data.At(i, 0));
+      EXPECT_TRUE(type == 1 || type == 3) << "fraud with type " << type;
+    }
+  }
+}
+
+TEST(SimulatedTest, RecordLinkageFeaturesInUnitInterval) {
+  Rng rng(4);
+  const Dataset data = MakeRecordLinkageSim(rng, 0.1);
+  EXPECT_EQ(data.num_features(), 12u);
+  for (std::size_t i = 0; i < data.num_rows(); ++i) {
+    for (std::size_t j = 0; j < data.num_features(); ++j) {
+      EXPECT_GE(data.At(i, j), 0.0);
+      EXPECT_LE(data.At(i, j), 1.0);
+    }
+  }
+}
+
+TEST(SimulatedTest, KddTasksHaveContrastingImbalance) {
+  Rng rng(5);
+  const Dataset prb = MakeKddSim(KddTask::kDosVsPrb, rng, 0.2);
+  const Dataset r2l = MakeKddSim(KddTask::kDosVsR2l, rng, 0.2);
+  EXPECT_EQ(prb.num_features(), 20u);
+  EXPECT_TRUE(prb.HasCategoricalFeatures());
+  // R2L is the far more skewed task, as in the paper (94:1 vs 3449:1).
+  EXPECT_GT(r2l.ImbalanceRatio(), 3.0 * prb.ImbalanceRatio());
+}
+
+TEST(SimulatedTest, ScaleMultipliesSize) {
+  Rng rng_a(6);
+  Rng rng_b(6);
+  const Dataset small = MakeCreditFraudSim(rng_a, 0.25);
+  const Dataset full = MakeCreditFraudSim(rng_b, 1.0);
+  EXPECT_NEAR(static_cast<double>(full.num_rows()) /
+                  static_cast<double>(small.num_rows()),
+              4.0, 0.1);
+}
+
+}  // namespace
+}  // namespace spe

@@ -1,0 +1,198 @@
+// Edge-case robustness sweep: degenerate but reachable inputs that a
+// production deployment will eventually feed every component — tiny
+// minorities, single-member ensembles, duplicate rows, constant
+// features, extreme imbalance. Nothing here may crash or emit an
+// invalid probability.
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "spe/classifiers/factory.h"
+#include "spe/classifiers/gbdt/gbdt.h"
+#include "spe/core/self_paced_ensemble.h"
+#include "spe/imbalance/balance_cascade.h"
+#include "spe/imbalance/rus_boost.h"
+#include "spe/imbalance/under_bagging.h"
+#include "spe/metrics/metrics.h"
+#include "spe/sampling/random_under.h"
+#include "spe/sampling/smote.h"
+#include "tests/test_util.h"
+
+namespace spe {
+namespace {
+
+using ::spe::testing::OverlappingBlobs;
+
+void ExpectValidProbabilities(const std::vector<double>& probs) {
+  for (double p : probs) {
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+    EXPECT_FALSE(std::isnan(p));
+  }
+}
+
+TEST(EdgeCaseTest, SpeWithTwoMinoritySamples) {
+  Rng rng(1);
+  Dataset data(2);
+  for (int i = 0; i < 500; ++i) {
+    data.AddRow(std::vector<double>{rng.Gaussian(), rng.Gaussian()}, 0);
+  }
+  data.AddRow(std::vector<double>{5.0, 5.0}, 1);
+  data.AddRow(std::vector<double>{5.1, 5.1}, 1);
+
+  SelfPacedEnsembleConfig config;
+  config.n_estimators = 5;
+  SelfPacedEnsemble model(config);
+  model.Fit(data);
+  ExpectValidProbabilities(model.PredictProba(data));
+}
+
+TEST(EdgeCaseTest, SpeSingleEstimator) {
+  SelfPacedEnsembleConfig config;
+  config.n_estimators = 1;  // alpha = inf immediately
+  SelfPacedEnsemble model(config);
+  const Dataset data = OverlappingBlobs(200, 20, 2);
+  model.Fit(data);
+  EXPECT_EQ(model.NumMembers(), 1u);
+  ExpectValidProbabilities(model.PredictProba(data));
+}
+
+TEST(EdgeCaseTest, SpeMoreBinsThanMajoritySamples) {
+  SelfPacedEnsembleConfig config;
+  config.n_estimators = 3;
+  config.num_bins = 1000;
+  SelfPacedEnsemble model(config);
+  const Dataset data = OverlappingBlobs(50, 10, 3);
+  model.Fit(data);
+  ExpectValidProbabilities(model.PredictProba(data));
+}
+
+TEST(EdgeCaseTest, SpeOnBalancedDataStillWorks) {
+  // |N| == |P|: under-sampling degenerates to "take everything".
+  SelfPacedEnsembleConfig config;
+  config.n_estimators = 3;
+  SelfPacedEnsemble model(config);
+  const Dataset data = OverlappingBlobs(50, 50, 4);
+  model.Fit(data);
+  ExpectValidProbabilities(model.PredictProba(data));
+}
+
+TEST(EdgeCaseTest, SpeOnExtremeImbalance) {
+  // IR = 1000:1 with three positives.
+  Rng rng(5);
+  Dataset data(2);
+  for (int i = 0; i < 3000; ++i) {
+    data.AddRow(std::vector<double>{rng.Gaussian(), rng.Gaussian()}, 0);
+  }
+  for (int i = 0; i < 3; ++i) {
+    data.AddRow(std::vector<double>{rng.Gaussian(6.0, 0.2),
+                                    rng.Gaussian(6.0, 0.2)},
+                1);
+  }
+  SelfPacedEnsembleConfig config;
+  config.n_estimators = 5;
+  SelfPacedEnsemble model(config);
+  model.Fit(data);
+  ExpectValidProbabilities(model.PredictProba(data));
+}
+
+TEST(EdgeCaseTest, EnsemblesWithAllDuplicateMajorityRows) {
+  // A constant majority: splits are impossible on most features, SMOTE
+  // interpolates identical points, distances are all zero.
+  Dataset data(2);
+  Rng rng(6);
+  for (int i = 0; i < 300; ++i) {
+    data.AddRow(std::vector<double>{1.0, 1.0}, 0);
+  }
+  for (int i = 0; i < 30; ++i) {
+    data.AddRow(std::vector<double>{rng.Gaussian(3.0, 0.5),
+                                    rng.Gaussian(3.0, 0.5)},
+                1);
+  }
+  {
+    SelfPacedEnsembleConfig config;
+    config.n_estimators = 4;
+    SelfPacedEnsemble model(config);
+    model.Fit(data);
+    ExpectValidProbabilities(model.PredictProba(data));
+  }
+  {
+    UnderBagging model;
+    model.Fit(data);
+    ExpectValidProbabilities(model.PredictProba(data));
+  }
+  {
+    Rng sampler_rng(7);
+    const Dataset out = SmoteSampler().Resample(data, sampler_rng);
+    EXPECT_EQ(out.CountPositives(), out.CountNegatives());
+  }
+}
+
+TEST(EdgeCaseTest, CascadeWithMoreEstimatorsThanPoolAllows) {
+  // n so large the pool hits |P| long before the last iteration.
+  BalanceCascadeConfig config;
+  config.n_estimators = 30;
+  BalanceCascade model(config);
+  const Dataset data = OverlappingBlobs(100, 20, 8);
+  model.Fit(data);
+  EXPECT_EQ(model.NumMembers(), 30u);
+  ExpectValidProbabilities(model.PredictProba(data));
+}
+
+TEST(EdgeCaseTest, RusBoostSurvivesPerfectlySeparableData) {
+  // Perfect stages drive weights to the clamp; updates must stay finite.
+  RusBoost model;
+  const Dataset data = testing::SeparableBlobs(300, 30, 9);
+  model.Fit(data);
+  ExpectValidProbabilities(model.PredictProba(data));
+}
+
+TEST(EdgeCaseTest, GbdtOnConstantFeatures) {
+  Dataset data(3);
+  Rng rng(10);
+  for (int i = 0; i < 200; ++i) {
+    // Features 0 and 2 constant; only feature 1 informative.
+    data.AddRow(std::vector<double>{7.0, rng.Gaussian(i % 2 == 0 ? -1 : 1, 0.3),
+                                    -2.5},
+                i % 2);
+  }
+  Gbdt model;
+  model.Fit(data);
+  const double auc = AucPrc(data.labels(), model.PredictProba(data));
+  EXPECT_GT(auc, 0.95);
+}
+
+TEST(EdgeCaseTest, FactoryModelsSurviveSingleRowClasses) {
+  // 1 positive, many negatives: the harshest trainable input.
+  Dataset data(2);
+  Rng rng(11);
+  for (int i = 0; i < 100; ++i) {
+    data.AddRow(std::vector<double>{rng.Gaussian(), rng.Gaussian()}, 0);
+  }
+  data.AddRow(std::vector<double>{4.0, 4.0}, 1);
+  for (const char* name : {"DT", "GNB", "GBDT5", "LR"}) {
+    auto model = MakeClassifier(name, 1);
+    model->Fit(data);
+    ExpectValidProbabilities(model->PredictProba(data));
+  }
+}
+
+TEST(EdgeCaseTest, RandomUnderWithMinorityLargerThanMajority) {
+  const Dataset data = OverlappingBlobs(10, 50, 12);  // inverted balance
+  Rng rng(13);
+  const Dataset out = RandomUnderSampler().Resample(data, rng);
+  // Nothing to remove: the majority (label 0) side is already smaller.
+  EXPECT_EQ(out.CountNegatives(), 10u);
+  EXPECT_EQ(out.CountPositives(), 50u);
+}
+
+TEST(EdgeCaseTest, MetricsOnSingleElementVectors) {
+  EXPECT_DOUBLE_EQ(AucPrc({1}, {0.7}), 1.0);
+  const ConfusionMatrix m = ConfusionAt({1}, {0.7}, 0.5);
+  EXPECT_EQ(m.tp, 1u);
+  EXPECT_DOUBLE_EQ(F1Score(m), 1.0);
+}
+
+}  // namespace
+}  // namespace spe

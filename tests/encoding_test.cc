@@ -1,0 +1,117 @@
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "spe/classifiers/knn.h"
+#include "spe/data/encoding.h"
+#include "spe/data/simulated.h"
+#include "spe/data/split.h"
+#include "spe/metrics/metrics.h"
+#include "spe/sampling/smote.h"
+
+namespace spe {
+namespace {
+
+Dataset MixedData() {
+  Dataset data(3);
+  data.set_feature_kind(1, FeatureKind::kCategorical);
+  data.AddRow(std::vector<double>{1.5, 0.0, -2.0}, 0);
+  data.AddRow(std::vector<double>{2.5, 2.0, -3.0}, 1);
+  data.AddRow(std::vector<double>{3.5, 1.0, -4.0}, 0);
+  data.AddRow(std::vector<double>{4.5, 2.0, -5.0}, 1);
+  return data;
+}
+
+TEST(OneHotEncoderTest, ExpandsCategoricalColumns) {
+  const Dataset data = MixedData();
+  OneHotEncoder encoder;
+  encoder.Fit(data);
+  // 1 numeric + 3 categories + 1 numeric.
+  EXPECT_EQ(encoder.num_output_features(), 5u);
+
+  const Dataset out = encoder.Transform(data);
+  EXPECT_EQ(out.num_rows(), 4u);
+  EXPECT_FALSE(out.HasCategoricalFeatures());
+  // Row 0: category 0 -> one-hot slot 1.
+  EXPECT_DOUBLE_EQ(out.At(0, 0), 1.5);
+  EXPECT_DOUBLE_EQ(out.At(0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(out.At(0, 2), 0.0);
+  EXPECT_DOUBLE_EQ(out.At(0, 3), 0.0);
+  EXPECT_DOUBLE_EQ(out.At(0, 4), -2.0);
+  // Row 1: category 2 -> slot 3.
+  EXPECT_DOUBLE_EQ(out.At(1, 3), 1.0);
+  EXPECT_EQ(out.Label(1), 1);
+}
+
+TEST(OneHotEncoderTest, ExactlyOneHotPerCategoricalBlock) {
+  const Dataset data = MixedData();
+  OneHotEncoder encoder;
+  encoder.Fit(data);
+  const Dataset out = encoder.Transform(data);
+  for (std::size_t i = 0; i < out.num_rows(); ++i) {
+    double block_sum = 0.0;
+    for (std::size_t j = 1; j <= 3; ++j) block_sum += out.At(i, j);
+    EXPECT_DOUBLE_EQ(block_sum, 1.0);
+  }
+}
+
+TEST(OneHotEncoderTest, UnseenCategoryMapsToZeros) {
+  const Dataset data = MixedData();
+  OneHotEncoder encoder;
+  encoder.Fit(data);
+  Dataset fresh(3);
+  fresh.set_feature_kind(1, FeatureKind::kCategorical);
+  fresh.AddRow(std::vector<double>{0.0, 7.0, 0.0}, 0);  // code 7 never seen
+  const Dataset out = encoder.Transform(fresh);
+  for (std::size_t j = 1; j <= 3; ++j) EXPECT_DOUBLE_EQ(out.At(0, j), 0.0);
+}
+
+TEST(OneHotEncoderTest, AllNumericDataPassesThrough) {
+  Dataset data(2);
+  data.AddRow(std::vector<double>{1.0, 2.0}, 0);
+  data.AddRow(std::vector<double>{3.0, 4.0}, 1);
+  OneHotEncoder encoder;
+  encoder.Fit(data);
+  EXPECT_EQ(encoder.num_output_features(), 2u);
+  const Dataset out = encoder.Transform(data);
+  EXPECT_DOUBLE_EQ(out.At(1, 1), 4.0);
+}
+
+TEST(OneHotEncoderTest, UnlocksDistanceMethodsOnPaymentSim) {
+  // The headline use case: the categorical Payment data becomes
+  // SMOTE-able and KNN-able after encoding.
+  Rng rng(1);
+  const Dataset payment = MakePaymentSim(rng, 0.1);
+  ASSERT_TRUE(payment.HasCategoricalFeatures());
+
+  OneHotEncoder encoder;
+  encoder.Fit(payment);
+  const Dataset encoded = encoder.Transform(payment);
+  ASSERT_FALSE(encoded.HasCategoricalFeatures());
+
+  Rng sampler_rng(2);
+  const Dataset oversampled = SmoteSampler().Resample(encoded, sampler_rng);
+  EXPECT_EQ(oversampled.CountPositives(), oversampled.CountNegatives());
+
+  const TrainTest split = StratifiedSplit2(encoded, 0.7, rng);
+  Knn knn;
+  knn.Fit(split.train);
+  const double auc = AucPrc(split.test.labels(), knn.PredictProba(split.test));
+  EXPECT_GE(auc, 0.0);  // runs at all — inapplicable before encoding
+}
+
+TEST(OneHotEncoderDeathTest, TransformBeforeFitAborts) {
+  OneHotEncoder encoder;
+  EXPECT_DEATH(encoder.Transform(MixedData()), "before fit");
+}
+
+TEST(OneHotEncoderDeathTest, SchemaMismatchAborts) {
+  OneHotEncoder encoder;
+  encoder.Fit(MixedData());
+  Dataset other(2);
+  other.AddRow(std::vector<double>{1.0, 2.0}, 0);
+  EXPECT_DEATH(encoder.Transform(other), "CHECK");
+}
+
+}  // namespace
+}  // namespace spe

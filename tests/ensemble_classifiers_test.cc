@@ -1,0 +1,165 @@
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "spe/classifiers/adaboost.h"
+#include "spe/classifiers/bagging.h"
+#include "spe/classifiers/decision_tree.h"
+#include "spe/classifiers/knn.h"
+#include "spe/classifiers/random_forest.h"
+#include "spe/metrics/metrics.h"
+#include "tests/test_util.h"
+
+namespace spe {
+namespace {
+
+using ::spe::testing::OverlappingBlobs;
+using ::spe::testing::SeparableBlobs;
+using ::spe::testing::XorClusters;
+
+// ------------------------------------------------------------ AdaBoost --
+
+TEST(AdaBoostTest, BoostingStumpsSolvesXor) {
+  // A single depth-1 stump cannot represent XOR; boosted stumps (via
+  // reweighting) plus depth-2 interactions can.
+  const Dataset train = XorClusters(120, 1);
+  const Dataset test = XorClusters(50, 2);
+  AdaBoostConfig config;
+  config.n_estimators = 20;
+  config.base_max_depth = 2;
+  AdaBoost boost(config);
+  boost.Fit(train);
+  EXPECT_GT(AucPrc(test.labels(), boost.PredictProba(test)), 0.97);
+}
+
+TEST(AdaBoostTest, MoreStagesHelpOnHardData) {
+  const Dataset train = XorClusters(100, 3);
+  const Dataset test = XorClusters(50, 4);
+  AdaBoostConfig one;
+  one.n_estimators = 1;
+  one.base_max_depth = 1;
+  AdaBoostConfig many = one;
+  many.n_estimators = 25;
+  AdaBoost weak(one);
+  AdaBoost strong(many);
+  weak.Fit(train);
+  strong.Fit(train);
+  EXPECT_GT(AucPrc(test.labels(), strong.PredictProba(test)),
+            AucPrc(test.labels(), weak.PredictProba(test)) + 0.05);
+}
+
+TEST(AdaBoostTest, NumStagesMatchesConfig) {
+  AdaBoostConfig config;
+  config.n_estimators = 7;
+  AdaBoost boost(config);
+  boost.Fit(SeparableBlobs(60, 60, 5));
+  EXPECT_EQ(boost.NumStages(), 7u);
+}
+
+TEST(AdaBoostTest, BatchMatchesRowPrediction) {
+  AdaBoost boost;
+  boost.Fit(SeparableBlobs(80, 40, 6));
+  const Dataset test = SeparableBlobs(20, 20, 7);
+  const auto batch = boost.PredictProba(test);
+  for (std::size_t i = 0; i < test.num_rows(); ++i) {
+    EXPECT_NEAR(batch[i], boost.PredictRow(test.Row(i)), 1e-12);
+  }
+}
+
+TEST(AdaBoostTest, CustomBasePrototype) {
+  DecisionTreeConfig tree_config;
+  tree_config.max_depth = 1;
+  AdaBoostConfig config;
+  config.n_estimators = 15;
+  AdaBoost boost(config, std::make_unique<DecisionTree>(tree_config));
+  boost.Fit(SeparableBlobs(120, 120, 8));
+  const Dataset test = SeparableBlobs(40, 40, 9);
+  EXPECT_GT(AucPrc(test.labels(), boost.PredictProba(test)), 0.97);
+}
+
+TEST(AdaBoostDeathTest, RejectsWeightlessBase) {
+  AdaBoostConfig config;
+  EXPECT_DEATH(AdaBoost(config, std::make_unique<Knn>()), "sample weights");
+}
+
+// ------------------------------------------------------------- Bagging --
+
+TEST(BaggingTest, LearnsAndAverages) {
+  const Dataset train = OverlappingBlobs(300, 300, 10);
+  const Dataset test = OverlappingBlobs(100, 100, 11);
+  BaggingConfig config;
+  config.n_estimators = 10;
+  Bagging bagging(config);
+  bagging.Fit(train);
+  EXPECT_EQ(bagging.NumMembers(), 10u);
+  EXPECT_GT(AucPrc(test.labels(), bagging.PredictProba(test)), 0.8);
+}
+
+TEST(BaggingTest, MaxSamplesShrinksBags) {
+  BaggingConfig config;
+  config.n_estimators = 3;
+  config.max_samples = 0.1;
+  Bagging bagging(config);
+  bagging.Fit(SeparableBlobs(200, 200, 12));  // must not crash; members see 40 rows
+  const Dataset test = SeparableBlobs(30, 30, 13);
+  EXPECT_GT(AucPrc(test.labels(), bagging.PredictProba(test)), 0.9);
+}
+
+TEST(BaggingTest, DeterministicGivenSeed) {
+  const Dataset train = OverlappingBlobs(100, 100, 14);
+  const Dataset test = OverlappingBlobs(30, 30, 15);
+  BaggingConfig config;
+  config.seed = 5;
+  Bagging a(config);
+  Bagging b(config);
+  a.Fit(train);
+  b.Fit(train);
+  const auto pa = a.PredictProba(test);
+  const auto pb = b.PredictProba(test);
+  for (std::size_t i = 0; i < pa.size(); ++i) EXPECT_DOUBLE_EQ(pa[i], pb[i]);
+}
+
+// ------------------------------------------------------- Random forest --
+
+TEST(RandomForestTest, BeatsSingleTreeOnNoisyData) {
+  const Dataset train = OverlappingBlobs(400, 400, 16);
+  const Dataset test = OverlappingBlobs(150, 150, 17);
+  RandomForestConfig config;
+  config.n_estimators = 20;
+  RandomForest forest(config);
+  forest.Fit(train);
+  DecisionTreeConfig tree_config;
+  tree_config.max_depth = 12;
+  DecisionTree tree(tree_config);
+  tree.Fit(train);
+  EXPECT_GE(AucPrc(test.labels(), forest.PredictProba(test)),
+            AucPrc(test.labels(), tree.PredictProba(test)));
+}
+
+TEST(RandomForestTest, MembersDifferAcrossSeeds) {
+  RandomForestConfig a_config;
+  a_config.seed = 1;
+  RandomForestConfig b_config;
+  b_config.seed = 2;
+  RandomForest a(a_config);
+  RandomForest b(b_config);
+  const Dataset train = OverlappingBlobs(150, 150, 18);
+  a.Fit(train);
+  b.Fit(train);
+  const Dataset test = OverlappingBlobs(50, 50, 19);
+  const auto pa = a.PredictProba(test);
+  const auto pb = b.PredictProba(test);
+  double diff = 0.0;
+  for (std::size_t i = 0; i < pa.size(); ++i) diff += std::abs(pa[i] - pb[i]);
+  EXPECT_GT(diff, 1e-6);
+}
+
+TEST(RandomForestTest, NameCarriesSize) {
+  RandomForestConfig config;
+  config.n_estimators = 42;
+  EXPECT_EQ(RandomForest(config).Name(), "RandForest42");
+}
+
+}  // namespace
+}  // namespace spe

@@ -1,0 +1,92 @@
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "spe/classifiers/decision_tree.h"
+#include "spe/eval/experiment.h"
+#include "spe/eval/stopwatch.h"
+#include "spe/eval/table.h"
+#include "tests/test_util.h"
+
+namespace spe {
+namespace {
+
+TEST(RepeatTest, AggregatesOverSeeds) {
+  const AggregateScores agg = Repeat(
+      [](std::uint64_t seed) {
+        ScoreSummary s;
+        s.aucprc = static_cast<double>(seed);  // 0, 1, 2
+        s.f1 = 1.0;
+        return s;
+      },
+      3, /*base_seed=*/0);
+  EXPECT_DOUBLE_EQ(agg.aucprc.mean, 1.0);
+  EXPECT_NEAR(agg.aucprc.std, std::sqrt(2.0 / 3.0), 1e-12);
+  EXPECT_DOUBLE_EQ(agg.f1.mean, 1.0);
+  EXPECT_DOUBLE_EQ(agg.f1.std, 0.0);
+}
+
+TEST(RepeatTest, PassesDistinctSeeds) {
+  std::vector<std::uint64_t> seeds;
+  Repeat(
+      [&](std::uint64_t seed) {
+        seeds.push_back(seed);
+        return ScoreSummary{};
+      },
+      4, 100);
+  EXPECT_EQ(seeds, (std::vector<std::uint64_t>{100, 101, 102, 103}));
+}
+
+TEST(TrainAndEvaluateTest, EndToEnd) {
+  const Dataset train = testing::SeparableBlobs(100, 100, 1);
+  const Dataset test = testing::SeparableBlobs(50, 50, 2);
+  DecisionTree tree;
+  const ScoreSummary s = TrainAndEvaluate(tree, train, test);
+  EXPECT_GT(s.aucprc, 0.95);
+  EXPECT_GT(s.f1, 0.9);
+  EXPECT_GT(s.mcc, 0.8);
+}
+
+TEST(TextTableTest, AlignsColumns) {
+  TextTable table({"Method", "AUCPRC"});
+  table.AddRow({"SPE10", "0.783±0.015"});
+  table.AddRow({"Cascade10", "0.610"});
+  std::ostringstream os;
+  table.Print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("| Method    |"), std::string::npos);
+  EXPECT_NE(out.find("| SPE10     |"), std::string::npos);
+  EXPECT_NE(out.find("Cascade10"), std::string::npos);
+}
+
+TEST(TextTableDeathTest, RowWidthMustMatch) {
+  TextTable table({"A", "B"});
+  EXPECT_DEATH(table.AddRow({"only one"}), "CHECK");
+}
+
+TEST(FormatTest, MeanStdFormatting) {
+  EXPECT_EQ(FormatMeanStd({0.7834, 0.0151}), "0.783±0.015");
+  EXPECT_EQ(FormatMeanStd({1.0, 0.0}, 2), "1.00±0.00");
+  EXPECT_EQ(FormatNumber(3.14159, 2), "3.14");
+}
+
+TEST(StopwatchTest, MeasuresElapsedTime) {
+  Stopwatch watch;
+  // Burn a little CPU; elapsed must be positive and Restart must reset.
+  volatile double x = 0.0;
+  for (int i = 0; i < 100000; ++i) x = x + i;
+  const double t1 = watch.Seconds();
+  EXPECT_GT(t1, 0.0);
+  watch.Restart();
+  EXPECT_LT(watch.Seconds(), t1 + 1.0);
+}
+
+TEST(BenchKnobsTest, DefaultsWithoutEnv) {
+  // These read env vars; in the test environment they are unset.
+  EXPECT_GE(BenchRuns(), 1u);
+  EXPECT_GT(BenchScale(), 0.0);
+}
+
+}  // namespace
+}  // namespace spe

@@ -1,0 +1,80 @@
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "spe/classifiers/decision_tree.h"
+#include "spe/classifiers/gbdt/gbdt.h"
+#include "spe/common/rng.h"
+#include "tests/test_util.h"
+
+namespace spe {
+namespace {
+
+// Feature 0 carries all the signal; features 1 and 2 are pure noise.
+Dataset OneInformativeFeature(std::uint64_t seed) {
+  Rng rng(seed);
+  Dataset data(3);
+  for (int i = 0; i < 600; ++i) {
+    const int label = i % 3 == 0 ? 1 : 0;
+    const std::vector<double> row = {
+        label == 1 ? rng.Gaussian(3.0, 0.5) : rng.Gaussian(0.0, 0.5),
+        rng.Gaussian(), rng.Uniform()};
+    data.AddRow(row, label);
+  }
+  return data;
+}
+
+TEST(FeatureImportanceTest, TreeAttributesSignalToTheRightFeature) {
+  DecisionTree tree;
+  tree.Fit(OneInformativeFeature(1));
+  const std::vector<double> importance = tree.FeatureImportances();
+  ASSERT_EQ(importance.size(), 3u);
+  EXPECT_GT(importance[0], 0.8);
+  EXPECT_NEAR(std::accumulate(importance.begin(), importance.end(), 0.0), 1.0,
+              1e-9);
+}
+
+TEST(FeatureImportanceTest, SingleLeafTreeIsAllZero) {
+  Dataset data(2);
+  for (int i = 0; i < 20; ++i) {
+    data.AddRow(std::vector<double>{1.0, 2.0}, 0);
+  }
+  DecisionTree tree;
+  tree.Fit(data);
+  for (double v : tree.FeatureImportances()) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(FeatureImportanceTest, GbdtAttributesSignalToTheRightFeature) {
+  GbdtConfig config;
+  config.boost_rounds = 10;
+  Gbdt gbdt(config);
+  gbdt.Fit(OneInformativeFeature(2));
+  const std::vector<double> importance = gbdt.FeatureImportances();
+  ASSERT_EQ(importance.size(), 3u);
+  EXPECT_GT(importance[0], 0.8);
+  EXPECT_NEAR(std::accumulate(importance.begin(), importance.end(), 0.0), 1.0,
+              1e-9);
+}
+
+TEST(FeatureImportanceTest, GbdtXorSplitsAcrossBothFeatures) {
+  GbdtConfig config;
+  config.boost_rounds = 15;
+  Gbdt gbdt(config);
+  gbdt.Fit(testing::XorClusters(150, 3));
+  const std::vector<double> importance = gbdt.FeatureImportances();
+  ASSERT_EQ(importance.size(), 2u);
+  // XOR needs both coordinates; neither may dominate completely.
+  EXPECT_GT(importance[0], 0.2);
+  EXPECT_GT(importance[1], 0.2);
+}
+
+TEST(FeatureImportanceDeathTest, UnfittedModelsAbort) {
+  DecisionTree tree;
+  EXPECT_DEATH(tree.FeatureImportances(), "before fit");
+  Gbdt gbdt;
+  EXPECT_DEATH(gbdt.FeatureImportances(), "before fit");
+}
+
+}  // namespace
+}  // namespace spe

@@ -1,0 +1,293 @@
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "spe/classifiers/gbdt/binning.h"
+#include "spe/classifiers/gbdt/gbdt.h"
+#include "spe/classifiers/gbdt/histogram.h"
+#include "spe/classifiers/gbdt/tree.h"
+#include "spe/metrics/metrics.h"
+#include "tests/test_util.h"
+
+namespace spe {
+namespace {
+
+using ::spe::testing::OverlappingBlobs;
+using ::spe::testing::SeparableBlobs;
+using ::spe::testing::XorClusters;
+
+// -------------------------------------------------------------- Binning --
+
+TEST(BinningTest, BinsAreMonotoneInValue) {
+  Rng rng(1);
+  Dataset data(1);
+  for (int i = 0; i < 1000; ++i) {
+    data.AddRow(std::vector<double>{rng.Gaussian()}, 0);
+  }
+  gbdt::FeatureBinner binner;
+  binner.Fit(data, 16);
+  EXPECT_LE(binner.NumBins(0), 16);
+  double prev = -10.0;
+  std::uint8_t prev_bin = 0;
+  for (double v = -3.0; v <= 3.0; v += 0.01) {
+    const std::uint8_t bin = binner.BinOf(0, v);
+    EXPECT_GE(bin, prev_bin) << "bin decreased from " << prev << " to " << v;
+    prev_bin = bin;
+    prev = v;
+  }
+}
+
+TEST(BinningTest, UpperEdgeConsistentWithBinOf) {
+  Rng rng(2);
+  Dataset data(1);
+  for (int i = 0; i < 500; ++i) {
+    data.AddRow(std::vector<double>{rng.Uniform(0, 100)}, 0);
+  }
+  gbdt::FeatureBinner binner;
+  binner.Fit(data, 32);
+  for (int b = 0; b + 1 < binner.NumBins(0); ++b) {
+    const double edge = binner.UpperEdge(0, b);
+    EXPECT_LE(binner.BinOf(0, edge), b);
+    EXPECT_GT(binner.BinOf(0, edge + 1e-9), b);
+  }
+}
+
+TEST(BinningTest, ConstantFeatureGetsOneBin) {
+  Dataset data(1);
+  for (int i = 0; i < 50; ++i) data.AddRow(std::vector<double>{5.0}, 0);
+  gbdt::FeatureBinner binner;
+  binner.Fit(data, 64);
+  EXPECT_EQ(binner.NumBins(0), 1);
+}
+
+TEST(BinningTest, FewDistinctValuesFewBins) {
+  Dataset data(1);
+  for (int i = 0; i < 300; ++i) {
+    data.AddRow(std::vector<double>{static_cast<double>(i % 3)}, 0);
+  }
+  gbdt::FeatureBinner binner;
+  binner.Fit(data, 64);
+  EXPECT_EQ(binner.NumBins(0), 3);
+  EXPECT_EQ(binner.BinOf(0, 0.0), 0);
+  EXPECT_EQ(binner.BinOf(0, 1.0), 1);
+  EXPECT_EQ(binner.BinOf(0, 2.0), 2);
+}
+
+// ------------------------------------------------------------ Histogram --
+
+TEST(HistogramTest, TotalsMatchInputs) {
+  Rng rng(3);
+  Dataset data(2);
+  for (int i = 0; i < 400; ++i) {
+    data.AddRow(std::vector<double>{rng.Gaussian(), rng.Uniform()}, i % 4 == 0);
+  }
+  gbdt::FeatureBinner binner;
+  binner.Fit(data, 16);
+  const gbdt::BinnedMatrix binned = binner.Transform(data);
+
+  std::vector<double> grads(data.num_rows());
+  std::vector<double> hess(data.num_rows());
+  double grad_total = 0.0;
+  double hess_total = 0.0;
+  for (std::size_t i = 0; i < data.num_rows(); ++i) {
+    grads[i] = rng.Gaussian();
+    hess[i] = rng.Uniform(0.1, 1.0);
+    grad_total += grads[i];
+    hess_total += hess[i];
+  }
+  std::vector<std::size_t> rows(data.num_rows());
+  std::iota(rows.begin(), rows.end(), std::size_t{0});
+
+  std::vector<int> bins_per_feature = {binner.NumBins(0), binner.NumBins(1)};
+  gbdt::Histograms hist(bins_per_feature);
+  hist.Build(binned, rows, grads, hess);
+  for (std::size_t f = 0; f < 2; ++f) {
+    double g = 0.0;
+    double h = 0.0;
+    std::size_t count = 0;
+    for (int b = 0; b < hist.NumBins(f); ++b) {
+      g += hist.At(f, b).grad;
+      h += hist.At(f, b).hess;
+      count += hist.At(f, b).count;
+    }
+    EXPECT_NEAR(g, grad_total, 1e-9);
+    EXPECT_NEAR(h, hess_total, 1e-9);
+    EXPECT_EQ(count, data.num_rows());
+  }
+}
+
+// ----------------------------------------------------------------- Tree --
+
+TEST(RegressionTreeTest, FitsSignalAndWritesTrainScores) {
+  // Step-function gradients: rows with x < 0 want +1, others want -1.
+  Dataset data(1);
+  for (int i = -100; i < 100; ++i) {
+    data.AddRow(std::vector<double>{static_cast<double>(i)}, 0);
+  }
+  gbdt::FeatureBinner binner;
+  binner.Fit(data, 64);
+  const gbdt::BinnedMatrix binned = binner.Transform(data);
+  std::vector<double> grads(data.num_rows());
+  std::vector<double> hess(data.num_rows(), 1.0);
+  for (std::size_t i = 0; i < data.num_rows(); ++i) {
+    grads[i] = data.At(i, 0) < 0 ? -1.0 : 1.0;  // leaf value = -G/H
+  }
+  std::vector<std::size_t> rows(data.num_rows());
+  std::iota(rows.begin(), rows.end(), std::size_t{0});
+  std::vector<double> scores(data.num_rows(), 0.0);
+  gbdt::TreeParams params;
+  gbdt::RegressionTree tree;
+  tree.Fit(binned, binner, grads, hess, rows, params, scores);
+
+  for (std::size_t i = 0; i < data.num_rows(); ++i) {
+    const double expected = data.At(i, 0) < 0 ? 1.0 : -1.0;
+    EXPECT_NEAR(scores[i], expected, 0.1);
+    EXPECT_NEAR(tree.Predict(data.Row(i)), scores[i], 1e-12);
+  }
+}
+
+TEST(RegressionTreeTest, RespectsMaxLeaves) {
+  Rng rng(4);
+  Dataset data(1);
+  for (int i = 0; i < 500; ++i) {
+    data.AddRow(std::vector<double>{rng.Uniform()}, 0);
+  }
+  gbdt::FeatureBinner binner;
+  binner.Fit(data, 64);
+  const gbdt::BinnedMatrix binned = binner.Transform(data);
+  std::vector<double> grads(data.num_rows());
+  for (double& g : grads) g = rng.Gaussian();
+  std::vector<double> hess(data.num_rows(), 1.0);
+  std::vector<std::size_t> rows(data.num_rows());
+  std::iota(rows.begin(), rows.end(), std::size_t{0});
+  std::vector<double> scores(data.num_rows());
+  gbdt::TreeParams params;
+  params.max_leaves = 4;
+  params.min_gain = 0.0;
+  gbdt::RegressionTree tree;
+  tree.Fit(binned, binner, grads, hess, rows, params, scores);
+  EXPECT_LE(tree.NumLeaves(), 4u);
+}
+
+// ----------------------------------------------------------------- GBDT --
+
+TEST(GbdtTest, LearnsXor) {
+  const Dataset train = XorClusters(150, 5);
+  const Dataset test = XorClusters(60, 6);
+  GbdtConfig config;
+  config.boost_rounds = 20;
+  Gbdt gbdt(config);
+  gbdt.Fit(train);
+  EXPECT_GT(AucPrc(test.labels(), gbdt.PredictProba(test)), 0.98);
+}
+
+TEST(GbdtTest, MoreRoundsReduceTrainError) {
+  const Dataset train = OverlappingBlobs(400, 100, 7);
+  GbdtConfig few;
+  few.boost_rounds = 2;
+  GbdtConfig many;
+  many.boost_rounds = 40;
+  Gbdt a(few);
+  Gbdt b(many);
+  a.Fit(train);
+  b.Fit(train);
+  EXPECT_GT(AucPrc(train.labels(), b.PredictProba(train)),
+            AucPrc(train.labels(), a.PredictProba(train)));
+}
+
+TEST(GbdtTest, PriorMatchesBaseRateOnSingleRound) {
+  Dataset train(1);
+  Rng rng(8);
+  for (int i = 0; i < 1000; ++i) {
+    train.AddRow(std::vector<double>{rng.Uniform()}, i < 200);
+  }
+  Gbdt gbdt;
+  gbdt.Fit(train);
+  EXPECT_NEAR(gbdt.base_score(), std::log(0.2 / 0.8), 1e-9);
+}
+
+TEST(GbdtTest, EarlyStoppingTruncatesRounds) {
+  // Pure-noise labels: validation loss cannot improve, so training should
+  // stop after the patience window instead of running all rounds.
+  Rng rng(9);
+  Dataset train(2);
+  Dataset validation(2);
+  for (int i = 0; i < 600; ++i) {
+    const std::vector<double> row = {rng.Gaussian(), rng.Gaussian()};
+    (i < 400 ? train : validation).AddRow(row, rng.Uniform() < 0.5);
+  }
+  GbdtConfig config;
+  config.boost_rounds = 100;
+  config.early_stopping_rounds = 3;
+  Gbdt gbdt(config);
+  gbdt.FitWithValidation(train, validation);
+  EXPECT_LT(gbdt.NumTrees(), 100u);
+}
+
+TEST(GbdtTest, SampleWeightsShiftPrior) {
+  Dataset train(1);
+  Rng rng(10);
+  for (int i = 0; i < 100; ++i) {
+    train.AddRow(std::vector<double>{rng.Uniform()}, i < 50);
+  }
+  std::vector<double> w(100, 1.0);
+  for (int i = 0; i < 50; ++i) w[i] = 3.0;  // upweight positives
+  Gbdt gbdt;
+  gbdt.FitWeighted(train, w);
+  EXPECT_NEAR(gbdt.base_score(), std::log(0.75 / 0.25), 1e-9);
+}
+
+TEST(GbdtTest, DeterministicAcrossFits) {
+  const Dataset train = OverlappingBlobs(200, 100, 11);
+  const Dataset test = OverlappingBlobs(50, 50, 12);
+  Gbdt a;
+  Gbdt b;
+  a.Fit(train);
+  b.Fit(train);
+  const auto pa = a.PredictProba(test);
+  const auto pb = b.PredictProba(test);
+  for (std::size_t i = 0; i < pa.size(); ++i) EXPECT_DOUBLE_EQ(pa[i], pb[i]);
+}
+
+TEST(GbdtTest, StochasticSubsamplingStillLearns) {
+  const Dataset train = XorClusters(150, 20);
+  const Dataset test = XorClusters(60, 21);
+  GbdtConfig config;
+  config.boost_rounds = 30;
+  config.subsample = 0.5;
+  config.seed = 7;
+  Gbdt gbdt(config);
+  gbdt.Fit(train);
+  EXPECT_GT(AucPrc(test.labels(), gbdt.PredictProba(test)), 0.97);
+}
+
+TEST(GbdtTest, SubsamplingSeedChangesTheModel) {
+  const Dataset train = OverlappingBlobs(300, 100, 22);
+  const Dataset test = OverlappingBlobs(80, 30, 23);
+  GbdtConfig config;
+  config.subsample = 0.6;
+  Gbdt a(config);
+  Gbdt b(config);
+  b.Reseed(999);
+  a.Fit(train);
+  b.Fit(train);
+  const auto pa = a.PredictProba(test);
+  const auto pb = b.PredictProba(test);
+  double diff = 0.0;
+  for (std::size_t i = 0; i < pa.size(); ++i) diff += std::abs(pa[i] - pb[i]);
+  EXPECT_GT(diff, 1e-9);
+}
+
+TEST(GbdtTest, HandlesImbalancedDataWithoutCrashing) {
+  const Dataset train = OverlappingBlobs(2000, 20, 13);
+  Gbdt gbdt;
+  gbdt.Fit(train);
+  for (double p : gbdt.PredictProba(train)) {
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace spe

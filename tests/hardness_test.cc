@@ -1,0 +1,198 @@
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "spe/common/rng.h"
+#include "spe/core/hardness.h"
+#include "spe/core/self_paced_sampler.h"
+
+namespace spe {
+namespace {
+
+TEST(HardnessTest, AbsoluteError) {
+  const HardnessFn h = MakeHardness(HardnessKind::kAbsoluteError);
+  EXPECT_DOUBLE_EQ(h(0.8, 1), 0.2);
+  EXPECT_DOUBLE_EQ(h(0.8, 0), 0.8);
+  EXPECT_DOUBLE_EQ(h(0.0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(h(0.0, 1), 1.0);
+}
+
+TEST(HardnessTest, SquaredError) {
+  const HardnessFn h = MakeHardness(HardnessKind::kSquaredError);
+  EXPECT_DOUBLE_EQ(h(0.8, 1), 0.04);
+  EXPECT_NEAR(h(0.3, 0), 0.09, 1e-12);
+}
+
+TEST(HardnessTest, CrossEntropy) {
+  const HardnessFn h = MakeHardness(HardnessKind::kCrossEntropy);
+  EXPECT_NEAR(h(0.5, 1), std::log(2.0), 1e-12);
+  EXPECT_NEAR(h(0.9, 0), -std::log(0.1), 1e-9);
+  // Clamped: extreme probabilities do not produce infinities.
+  EXPECT_TRUE(std::isfinite(h(0.0, 1)));
+  EXPECT_TRUE(std::isfinite(h(1.0, 0)));
+}
+
+TEST(HardnessTest, Names) {
+  EXPECT_EQ(HardnessName(HardnessKind::kAbsoluteError), "AE");
+  EXPECT_EQ(HardnessName(HardnessKind::kSquaredError), "SE");
+  EXPECT_EQ(HardnessName(HardnessKind::kCrossEntropy), "CE");
+}
+
+TEST(HardnessTest, ComputeHardnessVectorized) {
+  const HardnessFn h = MakeHardness(HardnessKind::kAbsoluteError);
+  const std::vector<double> probs = {0.1, 0.9};
+  const std::vector<int> labels = {1, 0};
+  const std::vector<double> out = ComputeHardness(h, probs, labels);
+  EXPECT_DOUBLE_EQ(out[0], 0.9);
+  EXPECT_DOUBLE_EQ(out[1], 0.9);
+}
+
+TEST(HardnessBinsTest, PopulationSumsToSampleCount) {
+  Rng rng(1);
+  std::vector<double> hardness(500);
+  for (double& h : hardness) h = rng.Uniform();
+  const HardnessBins bins = ComputeHardnessBins(hardness, 20);
+  EXPECT_EQ(std::accumulate(bins.population.begin(), bins.population.end(),
+                            std::size_t{0}),
+            500u);
+  double total = 0.0;
+  for (double c : bins.contribution) total += c;
+  double expected = 0.0;
+  for (double h : hardness) expected += h;
+  EXPECT_NEAR(total, expected, 1e-9);
+}
+
+TEST(HardnessBinsTest, BinAssignmentSpansObservedRange) {
+  // Bins cover [min, max] = [0.0, 1.0] here, so assignments follow the
+  // normalized value directly.
+  const std::vector<double> hardness = {0.0, 0.15, 0.95, 1.0, 0.5};
+  const HardnessBins bins = ComputeHardnessBins(hardness, 10);
+  EXPECT_EQ(bins.bin_of_sample[0], 0u);
+  EXPECT_EQ(bins.bin_of_sample[1], 1u);
+  EXPECT_EQ(bins.bin_of_sample[2], 9u);
+  EXPECT_EQ(bins.bin_of_sample[3], 9u);  // h == max goes to the top bin
+  EXPECT_EQ(bins.bin_of_sample[4], 5u);
+}
+
+TEST(HardnessBinsTest, ConcentratedHardnessStillUsesAllBins) {
+  // Every value below 0.2: a fixed [0, 1] grid would collapse everything
+  // into two bins; range-based binning keeps the full resolution.
+  const std::vector<double> hardness = {0.00, 0.02, 0.04, 0.06, 0.08,
+                                        0.10, 0.12, 0.14, 0.16, 0.18};
+  const HardnessBins bins = ComputeHardnessBins(hardness, 10);
+  for (std::size_t i = 0; i < hardness.size(); ++i) {
+    EXPECT_EQ(bins.bin_of_sample[i], std::min<std::size_t>(i, 9));
+  }
+}
+
+TEST(HardnessBinsTest, ConstantHardnessLandsInOneBin) {
+  const std::vector<double> hardness = {0.3, 0.3, 0.3};
+  const HardnessBins bins = ComputeHardnessBins(hardness, 5);
+  EXPECT_EQ(bins.population[0], 3u);
+  for (std::size_t b = 1; b < 5; ++b) EXPECT_EQ(bins.population[b], 0u);
+}
+
+TEST(HardnessBinsTest, UnboundedHardnessIsNormalized) {
+  // Cross-entropy style values > 1: the grid must still cover them.
+  const std::vector<double> hardness = {0.0, 2.0, 8.0};
+  const HardnessBins bins = ComputeHardnessBins(hardness, 4);
+  EXPECT_EQ(bins.bin_of_sample[0], 0u);
+  EXPECT_EQ(bins.bin_of_sample[1], 1u);  // 2/8 = 0.25 -> bin 1
+  EXPECT_EQ(bins.bin_of_sample[2], 3u);
+}
+
+TEST(HardnessBinsTest, MeanHardnessPerBin) {
+  const std::vector<double> hardness = {0.1, 0.12, 0.9};
+  const HardnessBins bins = ComputeHardnessBins(hardness, 2);
+  EXPECT_NEAR(bins.mean_hardness[0], 0.11, 1e-12);
+  EXPECT_NEAR(bins.mean_hardness[1], 0.9, 1e-12);
+}
+
+// ------------------------------------------------ Self-paced sampling --
+
+TEST(SelfPacedSamplerTest, ReturnsExactTargetCount) {
+  Rng rng(2);
+  std::vector<double> hardness(1000);
+  for (double& h : hardness) h = rng.Uniform();
+  for (double alpha : {0.0, 0.1, 1.0, 100.0}) {
+    Rng local(3);
+    const auto pick = SelfPacedUnderSample(hardness, alpha, 20, 137, local);
+    EXPECT_EQ(pick.size(), 137u) << "alpha=" << alpha;
+  }
+}
+
+TEST(SelfPacedSamplerTest, IndicesAreUniqueAndValid) {
+  Rng rng(4);
+  std::vector<double> hardness(300);
+  for (double& h : hardness) h = rng.Uniform();
+  const auto pick = SelfPacedUnderSample(hardness, 0.5, 10, 100, rng);
+  std::set<std::size_t> unique(pick.begin(), pick.end());
+  EXPECT_EQ(unique.size(), pick.size());
+  for (std::size_t i : pick) EXPECT_LT(i, 300u);
+}
+
+TEST(SelfPacedSamplerTest, TargetLargerThanPoolTakesAll) {
+  std::vector<double> hardness = {0.1, 0.5, 0.9};
+  Rng rng(5);
+  const auto pick = SelfPacedUnderSample(hardness, 0.0, 5, 10, rng);
+  EXPECT_EQ(pick.size(), 3u);
+}
+
+TEST(SelfPacedSamplerTest, AlphaZeroHarmonizesContribution) {
+  // Two populations: 9000 easy samples (h=0.1) and 100 hard ones (h=0.9).
+  // With alpha=0, bin weights are 1/h, so quotas ~ (1/0.1) : (1/0.9) =
+  // 90% : 10% -> per-bin hardness contribution 0.1*q1 ≈ 0.9*q2.
+  std::vector<double> hardness;
+  hardness.insert(hardness.end(), 9000, 0.1);
+  hardness.insert(hardness.end(), 100, 0.9);
+  Rng rng(6);
+  const auto pick = SelfPacedUnderSample(hardness, 0.0, 10, 1000, rng);
+  double easy_contrib = 0.0;
+  double hard_contrib = 0.0;
+  for (std::size_t i : pick) {
+    (hardness[i] < 0.5 ? easy_contrib : hard_contrib) += hardness[i];
+  }
+  // Hard bin saturates at 100 samples -> 90 hardness; easy bin's quota
+  // gives ~900 * 0.1 = 90 hardness. Near-equal contributions.
+  EXPECT_NEAR(easy_contrib / hard_contrib, 1.0, 0.25);
+}
+
+TEST(SelfPacedSamplerTest, LargeAlphaPrefersHardSamples) {
+  // Same two populations; with alpha -> inf quotas are uniform over bins,
+  // so the tiny hard bin is fully taken and hard samples are heavily
+  // over-represented relative to their 1% share.
+  std::vector<double> hardness;
+  hardness.insert(hardness.end(), 9900, 0.05);
+  hardness.insert(hardness.end(), 100, 0.95);
+  Rng rng(7);
+  const auto pick = SelfPacedUnderSample(
+      hardness, std::numeric_limits<double>::infinity(), 10, 200, rng);
+  std::size_t hard = 0;
+  for (std::size_t i : pick) hard += (hardness[i] > 0.5);
+  EXPECT_EQ(hard, 100u);  // the whole hard bin survives
+}
+
+TEST(SelfPacedSamplerTest, AlphaControlsTrivialSampleShare) {
+  // Monotonicity: growing alpha shifts mass from the huge easy bin
+  // toward uniform-over-bins.
+  Rng gen(8);
+  std::vector<double> hardness;
+  for (int i = 0; i < 5000; ++i) hardness.push_back(gen.Uniform(0.0, 0.2));
+  for (int i = 0; i < 500; ++i) hardness.push_back(gen.Uniform(0.2, 1.0));
+  std::size_t prev_easy = hardness.size();
+  for (double alpha : {0.0, 0.3, 3.0, 1e9}) {
+    Rng rng(9);
+    const auto pick = SelfPacedUnderSample(hardness, alpha, 10, 500, rng);
+    std::size_t easy = 0;
+    for (std::size_t i : pick) easy += (hardness[i] <= 0.2);
+    EXPECT_LE(easy, prev_easy + 25) << "alpha=" << alpha;
+    prev_easy = easy;
+  }
+}
+
+}  // namespace
+}  // namespace spe

@@ -1,0 +1,66 @@
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "spe/classifiers/decision_tree.h"
+#include "spe/io/image.h"
+#include "tests/test_util.h"
+
+namespace spe {
+namespace {
+
+TEST(GrayscaleImageTest, PgmRoundTrip) {
+  GrayscaleImage image(7, 5, 200);
+  image.Set(0, 0, 0);
+  image.Set(6, 4, 123);
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "spe_image_test.pgm").string();
+  image.SavePgm(path);
+  const GrayscaleImage loaded = GrayscaleImage::LoadPgm(path);
+  ASSERT_EQ(loaded.width(), 7u);
+  ASSERT_EQ(loaded.height(), 5u);
+  EXPECT_EQ(loaded.At(0, 0), 0);
+  EXPECT_EQ(loaded.At(6, 4), 123);
+  EXPECT_EQ(loaded.At(3, 2), 200);
+  std::remove(path.c_str());
+}
+
+TEST(RenderPredictionSurfaceTest, DarkWhereModelIsPositive) {
+  DecisionTree tree;
+  tree.Fit(testing::SeparableBlobs(150, 150, 1));  // minority around (4,4)
+  const ViewPort view{-1.0, 5.0, -1.0, 5.0};
+  const GrayscaleImage image = RenderPredictionSurface(tree, view, 60);
+  // Pixel near (4,4): feature x=4 -> px ~ (4-(-1))/6*60 = 50; y=4 -> py ~ 10.
+  EXPECT_LT(image.At(50, 10), 30);   // positive region: dark
+  // Pixel near (0,0): px ~ 10, py ~ 50.
+  EXPECT_GT(image.At(10, 50), 220);  // negative region: light
+}
+
+TEST(RenderScatterTest, PaintsClassesWithDistinctShades) {
+  Dataset data(2);
+  data.AddRow(std::vector<double>{1.0, 1.0}, 0);
+  data.AddRow(std::vector<double>{3.0, 3.0}, 1);
+  const ViewPort view{0.0, 4.0, 0.0, 4.0};
+  const GrayscaleImage image = RenderScatter(data, view, 40);
+  // Majority at (1,1): px = 10, py = 30 (y flipped).
+  EXPECT_EQ(image.At(10, 30), 160);
+  // Minority at (3,3): px = 30, py = 10.
+  EXPECT_EQ(image.At(30, 10), 0);
+  // Empty corner stays white.
+  EXPECT_EQ(image.At(0, 0), 255);
+}
+
+TEST(RenderScatterTest, OutOfViewSamplesAreClipped) {
+  Dataset data(2);
+  data.AddRow(std::vector<double>{100.0, 100.0}, 1);
+  const ViewPort view{0.0, 1.0, 0.0, 1.0};
+  const GrayscaleImage image = RenderScatter(data, view, 10);
+  for (std::size_t y = 0; y < 10; ++y) {
+    for (std::size_t x = 0; x < 10; ++x) EXPECT_EQ(image.At(x, y), 255);
+  }
+}
+
+}  // namespace
+}  // namespace spe

@@ -1,0 +1,227 @@
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "spe/classifiers/decision_tree.h"
+#include "spe/classifiers/knn.h"
+#include "spe/imbalance/balance_cascade.h"
+#include "spe/imbalance/easy_ensemble.h"
+#include "spe/imbalance/rus_boost.h"
+#include "spe/imbalance/smote_bagging.h"
+#include "spe/imbalance/smote_boost.h"
+#include "spe/imbalance/under_bagging.h"
+#include "spe/metrics/metrics.h"
+#include "tests/test_util.h"
+
+namespace spe {
+namespace {
+
+using ::spe::testing::OverlappingBlobs;
+using ::spe::testing::SeparableBlobs;
+
+// --------------------------------------------------------- UnderBagging --
+
+TEST(UnderBaggingTest, TrainsBalancedBags) {
+  UnderBaggingConfig config;
+  config.n_estimators = 5;
+  UnderBagging model(config);
+  const Dataset train = OverlappingBlobs(600, 40, 1);
+  std::size_t calls = 0;
+  model.set_iteration_callback([&](const IterationInfo& info) {
+    ++calls;
+    EXPECT_EQ(info.training_subset.CountPositives(), 40u);
+    EXPECT_EQ(info.training_subset.CountNegatives(), 40u);
+  });
+  model.Fit(train);
+  EXPECT_EQ(calls, 5u);
+  EXPECT_EQ(model.NumMembers(), 5u);
+  EXPECT_EQ(model.Name(), "UnderBagging5");
+}
+
+TEST(UnderBaggingTest, LearnsSeparableImbalancedData) {
+  const Dataset train = SeparableBlobs(1000, 30, 2);
+  const Dataset test = SeparableBlobs(500, 15, 3);
+  UnderBagging model;
+  model.Fit(train);
+  EXPECT_GT(AucPrc(test.labels(), model.PredictProba(test)), 0.9);
+}
+
+// --------------------------------------------------------- EasyEnsemble --
+
+TEST(EasyEnsembleTest, DefaultBaseIsAdaBoostAndNameIsEasy) {
+  UnderBaggingConfig config;
+  config.n_estimators = 3;
+  EasyEnsemble easy(config);
+  EXPECT_EQ(easy.Name(), "Easy3");
+  easy.Fit(OverlappingBlobs(300, 30, 4));
+  EXPECT_EQ(easy.NumMembers(), 3u);
+}
+
+TEST(EasyEnsembleTest, CloneKeepsType) {
+  UnderBaggingConfig config;
+  config.n_estimators = 2;
+  EasyEnsemble easy(config);
+  EXPECT_EQ(easy.Clone()->Name(), "Easy2");
+}
+
+// ------------------------------------------------------- BalanceCascade --
+
+TEST(BalanceCascadeTest, PoolShrinksAcrossIterations) {
+  BalanceCascadeConfig config;
+  config.n_estimators = 5;
+  BalanceCascade cascade(config);
+  const Dataset train = OverlappingBlobs(1000, 50, 5);
+  std::size_t calls = 0;
+  cascade.set_iteration_callback([&](const IterationInfo& info) {
+    ++calls;
+    // Subsets stay balanced even as the pool contracts.
+    EXPECT_EQ(info.training_subset.CountPositives(), 50u);
+    EXPECT_EQ(info.training_subset.CountNegatives(), 50u);
+  });
+  cascade.Fit(train);
+  EXPECT_EQ(calls, 5u);
+  EXPECT_EQ(cascade.Name(), "Cascade5");
+}
+
+TEST(BalanceCascadeTest, LearnsImbalancedData) {
+  const Dataset train = SeparableBlobs(1500, 40, 6);
+  const Dataset test = SeparableBlobs(700, 20, 7);
+  BalanceCascade cascade;
+  cascade.Fit(train);
+  EXPECT_GT(AucPrc(test.labels(), cascade.PredictProba(test)), 0.95);
+}
+
+TEST(BalanceCascadeTest, SingleEstimatorWorks) {
+  BalanceCascadeConfig config;
+  config.n_estimators = 1;
+  BalanceCascade cascade(config);
+  cascade.Fit(OverlappingBlobs(200, 20, 8));
+  EXPECT_EQ(cascade.NumMembers(), 1u);
+}
+
+// ------------------------------------------------------------- RUSBoost --
+
+TEST(RusBoostTest, LearnsImbalancedData) {
+  const Dataset train = SeparableBlobs(1200, 40, 9);
+  const Dataset test = SeparableBlobs(600, 20, 10);
+  RusBoost model;
+  model.Fit(train);
+  EXPECT_GT(AucPrc(test.labels(), model.PredictProba(test)), 0.95);
+  EXPECT_EQ(model.NumStages(), 10u);
+}
+
+TEST(RusBoostTest, StagedPredictionIsPrefixConsistent) {
+  const Dataset train = OverlappingBlobs(500, 50, 11);
+  const Dataset test = OverlappingBlobs(100, 20, 12);
+  RusBoost model;
+  model.Fit(train);
+  const auto full = model.PredictProba(test);
+  const auto staged = model.PredictProbaStaged(test, model.NumStages());
+  for (std::size_t i = 0; i < full.size(); ++i) {
+    EXPECT_DOUBLE_EQ(full[i], staged[i]);
+  }
+  // A one-stage prefix differs from the full model (more stages matter).
+  const auto first = model.PredictProbaStaged(test, 1);
+  double diff = 0.0;
+  for (std::size_t i = 0; i < full.size(); ++i) diff += std::abs(full[i] - first[i]);
+  EXPECT_GT(diff, 1e-9);
+}
+
+TEST(RusBoostDeathTest, RejectsWeightlessBase) {
+  RusBoostConfig config;
+  EXPECT_DEATH(RusBoost(config, std::make_unique<Knn>()), "sample weights");
+}
+
+// ----------------------------------------------------------- SMOTEBoost --
+
+TEST(SmoteBoostTest, LearnsAndCountsTrainingRows) {
+  const Dataset train = OverlappingBlobs(400, 40, 13);
+  const Dataset test = OverlappingBlobs(200, 20, 14);
+  SmoteBoostConfig config;
+  config.n_estimators = 5;
+  SmoteBoost model(config);
+  model.Fit(train);
+  EXPECT_GT(AucPrc(test.labels(), model.PredictProba(test)), 0.5);
+  // Each stage trains on train + |P| synthetics.
+  EXPECT_EQ(model.TotalTrainingRows(), 5 * (440u + 40u));
+}
+
+TEST(SmoteBoostTest, StagedPrefixAvailable) {
+  SmoteBoostConfig config;
+  config.n_estimators = 4;
+  SmoteBoost model(config);
+  const Dataset train = OverlappingBlobs(300, 30, 15);
+  model.Fit(train);
+  EXPECT_EQ(model.NumStages(), 4u);
+  const auto staged = model.PredictProbaStaged(train, 2);
+  EXPECT_EQ(staged.size(), train.num_rows());
+}
+
+// --------------------------------------------------------- SMOTEBagging --
+
+TEST(SmoteBaggingTest, BagsAreBalancedAndLarge) {
+  SmoteBaggingConfig config;
+  config.n_estimators = 4;
+  SmoteBagging model(config);
+  const Dataset train = OverlappingBlobs(500, 40, 16);
+  std::size_t calls = 0;
+  model.set_iteration_callback([&](const IterationInfo& info) {
+    ++calls;
+    // Every bag has |N| majority and |N| (bootstrap + synthetic) minority.
+    EXPECT_EQ(info.training_subset.CountNegatives(), 500u);
+    EXPECT_EQ(info.training_subset.CountPositives(), 500u);
+  });
+  model.Fit(train);
+  EXPECT_EQ(calls, 4u);
+  // #Sample bookkeeping: 4 bags x 1000 rows.
+  EXPECT_EQ(model.TotalTrainingRows(), 4000u);
+}
+
+TEST(SmoteBaggingTest, LearnsImbalancedData) {
+  const Dataset train = SeparableBlobs(800, 40, 17);
+  const Dataset test = SeparableBlobs(400, 20, 18);
+  SmoteBagging model;
+  model.Fit(train);
+  EXPECT_GT(AucPrc(test.labels(), model.PredictProba(test)), 0.95);
+}
+
+// ------------------------------------------------- Cross-method sanity --
+
+TEST(ImbalanceMethodsTest, AllMethodsAreDeterministicGivenSeed) {
+  const Dataset train = OverlappingBlobs(400, 40, 19);
+  const Dataset test = OverlappingBlobs(100, 20, 20);
+  const auto run = [&](Classifier& model) {
+    model.Reseed(77);
+    model.Fit(train);
+    return model.PredictProba(test);
+  };
+  {
+    UnderBagging a;
+    UnderBagging b;
+    EXPECT_EQ(run(a), run(b));
+  }
+  {
+    BalanceCascade a;
+    BalanceCascade b;
+    EXPECT_EQ(run(a), run(b));
+  }
+  {
+    RusBoost a;
+    RusBoost b;
+    EXPECT_EQ(run(a), run(b));
+  }
+  {
+    SmoteBoost a;
+    SmoteBoost b;
+    EXPECT_EQ(run(a), run(b));
+  }
+  {
+    SmoteBagging a;
+    SmoteBagging b;
+    EXPECT_EQ(run(a), run(b));
+  }
+}
+
+}  // namespace
+}  // namespace spe

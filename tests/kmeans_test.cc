@@ -1,0 +1,174 @@
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "spe/cluster/kmeans.h"
+#include "spe/sampling/cluster_centroids.h"
+#include "spe/sampling/kmeans_smote.h"
+#include "tests/test_util.h"
+
+namespace spe {
+namespace {
+
+// Four tight, well-separated clusters around known centres.
+Dataset FourClusters(std::uint64_t seed, std::size_t per_cluster = 50) {
+  Rng rng(seed);
+  Dataset data(2);
+  const double centers[4][2] = {{0, 0}, {10, 0}, {0, 10}, {10, 10}};
+  for (const auto& c : centers) {
+    for (std::size_t i = 0; i < per_cluster; ++i) {
+      data.AddRow(std::vector<double>{rng.Gaussian(c[0], 0.3),
+                                      rng.Gaussian(c[1], 0.3)},
+                  0);
+    }
+  }
+  return data;
+}
+
+TEST(KMeansTest, RecoversWellSeparatedClusters) {
+  const Dataset data = FourClusters(1);
+  KMeansConfig config;
+  config.num_clusters = 4;
+  config.seed = 2;
+  KMeans kmeans(config);
+  kmeans.Fit(data);
+  ASSERT_EQ(kmeans.num_clusters(), 4u);
+
+  // Every centroid must sit near one of the true centres, and all four
+  // centres must be claimed.
+  std::set<std::pair<int, int>> claimed;
+  for (const auto& centroid : kmeans.centroids()) {
+    const int cx = centroid[0] > 5.0 ? 10 : 0;
+    const int cy = centroid[1] > 5.0 ? 10 : 0;
+    EXPECT_NEAR(centroid[0], cx, 0.5);
+    EXPECT_NEAR(centroid[1], cy, 0.5);
+    claimed.insert({cx, cy});
+  }
+  EXPECT_EQ(claimed.size(), 4u);
+}
+
+TEST(KMeansTest, AssignmentsAreConsistentWithAssignRow) {
+  const Dataset data = FourClusters(3);
+  KMeansConfig config;
+  config.num_clusters = 4;
+  KMeans kmeans(config);
+  kmeans.Fit(data);
+  for (std::size_t i = 0; i < data.num_rows(); ++i) {
+    EXPECT_EQ(kmeans.AssignRow(data.Row(i)), kmeans.assignments()[i]);
+  }
+}
+
+TEST(KMeansTest, MoreClustersThanRowsCollapses) {
+  Dataset data(1);
+  for (int i = 0; i < 3; ++i) {
+    data.AddRow(std::vector<double>{static_cast<double>(i)}, 0);
+  }
+  KMeansConfig config;
+  config.num_clusters = 10;
+  KMeans kmeans(config);
+  kmeans.Fit(data);
+  EXPECT_EQ(kmeans.num_clusters(), 3u);
+}
+
+TEST(KMeansTest, DeterministicGivenSeed) {
+  const Dataset data = FourClusters(4);
+  KMeansConfig config;
+  config.num_clusters = 4;
+  config.seed = 7;
+  KMeans a(config);
+  KMeans b(config);
+  a.Fit(data);
+  b.Fit(data);
+  EXPECT_EQ(a.assignments(), b.assignments());
+}
+
+TEST(KMeansDeathTest, CategoricalFeaturesAbort) {
+  Dataset data(1);
+  data.set_feature_kind(0, FeatureKind::kCategorical);
+  data.AddRow(std::vector<double>{1.0}, 0);
+  KMeans kmeans;
+  EXPECT_DEATH(kmeans.Fit(data), "numeric feature space");
+}
+
+// ------------------------------------------------------ ClusterCentroids --
+
+TEST(ClusterCentroidsTest, BalancesWithExactlyPCentroids) {
+  const Dataset data = testing::OverlappingBlobs(400, 40, 5);
+  Rng rng(6);
+  const Dataset out = ClusterCentroidsSampler().Resample(data, rng);
+  EXPECT_EQ(out.CountPositives(), 40u);
+  EXPECT_EQ(out.CountNegatives(), 40u);
+}
+
+TEST(ClusterCentroidsTest, CentroidsSummarizeTheMajorityManifold) {
+  // Majority = four clusters; with |P| = 4 the centroids must land on
+  // the four cluster centres.
+  Dataset data = FourClusters(7);
+  Rng gen(8);
+  for (int i = 0; i < 4; ++i) {
+    data.AddRow(std::vector<double>{gen.Gaussian(5.0, 0.1),
+                                    gen.Gaussian(5.0, 0.1)},
+                1);
+  }
+  Rng rng(9);
+  const Dataset out = ClusterCentroidsSampler().Resample(data, rng);
+  ASSERT_EQ(out.CountNegatives(), 4u);
+  std::set<std::pair<int, int>> claimed;
+  for (std::size_t i = 0; i < out.num_rows(); ++i) {
+    if (out.Label(i) != 0) continue;
+    claimed.insert({out.At(i, 0) > 5.0 ? 10 : 0, out.At(i, 1) > 5.0 ? 10 : 0});
+  }
+  EXPECT_EQ(claimed.size(), 4u);
+}
+
+// ---------------------------------------------------------- KMeansSMOTE --
+
+TEST(KMeansSmoteTest, BalancesTheClasses) {
+  const Dataset data = testing::OverlappingBlobs(300, 40, 10);
+  Rng rng(11);
+  const Dataset out = KMeansSmoteSampler().Resample(data, rng);
+  EXPECT_EQ(out.CountPositives(), 300u);
+  EXPECT_EQ(out.CountNegatives(), 300u);
+}
+
+TEST(KMeansSmoteTest, NeverInterpolatesAcrossMinorityClusters) {
+  // Minority mass at (0,0) and (10,10); plain SMOTE draws bridges
+  // through the middle, cluster-aware SMOTE must not.
+  Rng gen(12);
+  Dataset data(2);
+  for (int i = 0; i < 400; ++i) {
+    data.AddRow(std::vector<double>{gen.Gaussian(5.0, 0.5),
+                                    gen.Gaussian(5.0, 0.5)},
+                0);
+  }
+  for (int i = 0; i < 20; ++i) {
+    data.AddRow(std::vector<double>{gen.Gaussian(0.0, 0.2),
+                                    gen.Gaussian(0.0, 0.2)},
+                1);
+  }
+  for (int i = 0; i < 20; ++i) {
+    data.AddRow(std::vector<double>{gen.Gaussian(10.0, 0.2),
+                                    gen.Gaussian(10.0, 0.2)},
+                1);
+  }
+  Rng rng(13);
+  KMeansSmoteSampler sampler(/*clusters=*/2, /*k=*/5);
+  const Dataset out = sampler.Resample(data, rng);
+  for (std::size_t i = data.num_rows(); i < out.num_rows(); ++i) {
+    ASSERT_EQ(out.Label(i), 1);
+    const double x = out.At(i, 0);
+    // Synthetic points stay inside one blob; nothing lands mid-bridge.
+    EXPECT_TRUE(x < 2.0 || x > 8.0) << "bridge point at x=" << x;
+  }
+}
+
+TEST(KMeansSmoteTest, DegenerateMinorityIsReturnedUnchanged) {
+  Dataset data = testing::OverlappingBlobs(50, 1, 14);
+  Rng rng(15);
+  const Dataset out = KMeansSmoteSampler().Resample(data, rng);
+  EXPECT_EQ(out.num_rows(), data.num_rows());
+}
+
+}  // namespace
+}  // namespace spe

@@ -1,0 +1,96 @@
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "spe/classifiers/decision_tree.h"
+#include "spe/core/self_paced_ensemble.h"
+#include "spe/eval/learning_curve.h"
+#include "spe/metrics/calibration.h"
+#include "tests/test_util.h"
+
+namespace spe {
+namespace {
+
+TEST(LearningCurveTest, ProducesOnePointPerFraction) {
+  const Dataset train = testing::SeparableBlobs(400, 100, 1);
+  const Dataset test = testing::SeparableBlobs(100, 30, 2);
+  DecisionTree prototype;
+  Rng rng(3);
+  const auto curve =
+      LearningCurve(prototype, train, test, {0.1, 0.5, 1.0}, rng);
+  ASSERT_EQ(curve.size(), 3u);
+  EXPECT_LT(curve[0].train_rows, curve[1].train_rows);
+  EXPECT_LT(curve[1].train_rows, curve[2].train_rows);
+  EXPECT_EQ(curve[2].train_rows, train.num_rows());
+}
+
+TEST(LearningCurveTest, MoreDataHelpsOnNoisyTask) {
+  const Dataset train = testing::OverlappingBlobs(3000, 300, 4);
+  const Dataset test = testing::OverlappingBlobs(1000, 100, 5);
+  DecisionTreeConfig config;
+  config.max_depth = 6;
+  DecisionTree prototype(config);
+  Rng rng(6);
+  const auto curve =
+      LearningCurve(prototype, train, test, {0.02, 1.0}, rng);
+  EXPECT_GT(curve[1].test_scores.aucprc, curve[0].test_scores.aucprc);
+}
+
+TEST(LearningCurveTest, SubsetsAreStratified) {
+  const Dataset train = testing::OverlappingBlobs(900, 90, 7);
+  const Dataset test = testing::OverlappingBlobs(100, 10, 8);
+  // With 10% of a 10:1 dataset, the subset keeps ~9 positives — enough
+  // for SPE to train at all, which is the point of stratification.
+  SelfPacedEnsembleConfig config;
+  config.n_estimators = 3;
+  const SelfPacedEnsemble prototype(config);
+  Rng rng(9);
+  const auto curve = LearningCurve(prototype, train, test, {0.1}, rng);
+  EXPECT_EQ(curve.size(), 1u);
+  EXPECT_NEAR(static_cast<double>(curve[0].train_rows), 99.0, 2.0);
+}
+
+TEST(LearningCurveDeathTest, BadFractionAborts) {
+  const Dataset train = testing::SeparableBlobs(50, 10, 10);
+  DecisionTree prototype;
+  Rng rng(11);
+  EXPECT_DEATH(LearningCurve(prototype, train, train, {1.5}, rng), "CHECK");
+}
+
+// ---------------------------------------------------- Reliability curve --
+
+TEST(ReliabilityCurveTest, PerfectlyCalibratedScoresHugTheDiagonal) {
+  Rng rng(12);
+  std::vector<int> labels;
+  std::vector<double> scores;
+  for (int i = 0; i < 20000; ++i) {
+    const double p = rng.Uniform();
+    scores.push_back(p);
+    labels.push_back(rng.Uniform() < p);
+  }
+  for (const ReliabilityBucket& bucket : ReliabilityCurve(labels, scores, 10)) {
+    EXPECT_NEAR(bucket.fraction_positive, bucket.mean_score, 0.05);
+  }
+  EXPECT_LT(ExpectedCalibrationError(labels, scores, 10), 0.03);
+}
+
+TEST(ReliabilityCurveTest, OverconfidentScoresShowLargeEce) {
+  // Scores always 0.9 but only 30% positives: ECE ~= 0.6.
+  std::vector<int> labels;
+  std::vector<double> scores;
+  for (int i = 0; i < 1000; ++i) {
+    labels.push_back(i % 10 < 3);
+    scores.push_back(0.9);
+  }
+  EXPECT_NEAR(ExpectedCalibrationError(labels, scores, 10), 0.6, 1e-9);
+  const auto curve = ReliabilityCurve(labels, scores, 10);
+  ASSERT_EQ(curve.size(), 1u);  // single occupied bucket
+  EXPECT_EQ(curve[0].count, 1000u);
+}
+
+TEST(ReliabilityCurveDeathTest, NonProbabilityScoresAbort) {
+  EXPECT_DEATH(ReliabilityCurve({1}, {1.5}), "probabilities");
+}
+
+}  // namespace
+}  // namespace spe

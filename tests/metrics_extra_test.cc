@@ -1,0 +1,116 @@
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "spe/common/rng.h"
+#include "spe/metrics/metrics.h"
+
+namespace spe {
+namespace {
+
+TEST(RocCurveTest, StartsAtOriginEndsAtOneOne) {
+  const std::vector<int> labels = {1, 0, 1, 0, 0};
+  const std::vector<double> scores = {0.9, 0.8, 0.6, 0.4, 0.2};
+  const auto curve = RocCurve(labels, scores);
+  EXPECT_DOUBLE_EQ(curve.front().fpr, 0.0);
+  EXPECT_DOUBLE_EQ(curve.front().tpr, 0.0);
+  EXPECT_DOUBLE_EQ(curve.back().fpr, 1.0);
+  EXPECT_DOUBLE_EQ(curve.back().tpr, 1.0);
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_GE(curve[i].fpr, curve[i - 1].fpr);
+    EXPECT_GE(curve[i].tpr, curve[i - 1].tpr);
+  }
+}
+
+TEST(RocCurveTest, TrapezoidAreaMatchesAucRoc) {
+  Rng rng(1);
+  std::vector<int> labels(300);
+  std::vector<double> scores(300);
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    labels[i] = rng.Uniform() < 0.3 ? 1 : 0;
+    scores[i] = labels[i] == 1 ? rng.Uniform(0.3, 1.0) : rng.Uniform(0.0, 0.7);
+  }
+  labels[0] = 1;
+  labels[1] = 0;
+  const auto curve = RocCurve(labels, scores);
+  double area = 0.0;
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    area += (curve[i].fpr - curve[i - 1].fpr) *
+            (curve[i].tpr + curve[i - 1].tpr) / 2.0;
+  }
+  EXPECT_NEAR(area, AucRoc(labels, scores), 1e-9);
+}
+
+TEST(BrierScoreTest, HandComputed) {
+  const std::vector<int> labels = {1, 0};
+  const std::vector<double> scores = {0.8, 0.3};
+  EXPECT_NEAR(BrierScore(labels, scores), (0.04 + 0.09) / 2.0, 1e-12);
+}
+
+TEST(BrierScoreTest, PerfectAndWorst) {
+  EXPECT_DOUBLE_EQ(BrierScore({1, 0}, {1.0, 0.0}), 0.0);
+  EXPECT_DOUBLE_EQ(BrierScore({1, 0}, {0.0, 1.0}), 1.0);
+}
+
+TEST(BestThresholdTest, FindsTheSeparatingCut) {
+  // Scores separate perfectly at 0.5: best F1 threshold must land on a
+  // positive-side score and reach F1 = 1.
+  const std::vector<int> labels = {0, 0, 0, 1, 1};
+  const std::vector<double> scores = {0.1, 0.2, 0.3, 0.7, 0.9};
+  const ThresholdSearchResult best = BestF1Threshold(labels, scores);
+  EXPECT_DOUBLE_EQ(best.value, 1.0);
+  EXPECT_GT(best.threshold, 0.3);
+  EXPECT_LE(best.threshold, 0.9);
+}
+
+TEST(BestThresholdTest, BeatsTheFixedHalfCutOnShiftedScores) {
+  // All scores compressed below 0.5: thresholding at 0.5 predicts
+  // nothing, the tuned threshold recovers the positives.
+  const std::vector<int> labels = {0, 0, 1, 1};
+  const std::vector<double> scores = {0.10, 0.15, 0.30, 0.35};
+  EXPECT_DOUBLE_EQ(F1Score(ConfusionAt(labels, scores, 0.5)), 0.0);
+  const ThresholdSearchResult best = BestF1Threshold(labels, scores);
+  EXPECT_DOUBLE_EQ(best.value, 1.0);
+  EXPECT_DOUBLE_EQ(best.threshold, 0.30);
+}
+
+TEST(BestThresholdTest, CustomMetricMcc) {
+  const std::vector<int> labels = {0, 0, 0, 0, 1, 1};
+  const std::vector<double> scores = {0.1, 0.2, 0.3, 0.6, 0.7, 0.8};
+  const ThresholdSearchResult best = BestThreshold(
+      labels, scores, [](const ConfusionMatrix& m) { return Mcc(m); });
+  EXPECT_DOUBLE_EQ(best.value, 1.0);
+  EXPECT_DOUBLE_EQ(best.threshold, 0.7);
+}
+
+TEST(BestThresholdTest, ThresholdValueMatchesDirectEvaluation) {
+  Rng rng(2);
+  std::vector<int> labels(200);
+  std::vector<double> scores(200);
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    labels[i] = rng.Uniform() < 0.2 ? 1 : 0;
+    scores[i] = rng.Uniform();
+  }
+  labels[0] = 1;
+  const ThresholdSearchResult best = BestF1Threshold(labels, scores);
+  EXPECT_NEAR(F1Score(ConfusionAt(labels, scores, best.threshold)), best.value,
+              1e-12);
+  // No coarse grid threshold may beat it.
+  for (double t = 0.0; t <= 1.0; t += 0.01) {
+    EXPECT_LE(F1Score(ConfusionAt(labels, scores, t)), best.value + 1e-12);
+  }
+}
+
+TEST(BestThresholdTest, AllNegativePredictionsBaseline) {
+  // When every score ordering is wrong, predicting nothing can win; the
+  // search must consider the +inf baseline without crashing.
+  const std::vector<int> labels = {1, 0};
+  const std::vector<double> scores = {0.1, 0.9};
+  const ThresholdSearchResult best = BestF1Threshold(labels, scores);
+  // F1: threshold 0.1 predicts both positive -> F1 = 2/3; that's best.
+  EXPECT_NEAR(best.value, 2.0 / 3.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace spe

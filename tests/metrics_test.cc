@@ -1,0 +1,182 @@
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "spe/common/rng.h"
+#include "spe/metrics/confusion.h"
+#include "spe/metrics/metrics.h"
+
+namespace spe {
+namespace {
+
+TEST(ConfusionTest, CountsAtThreshold) {
+  const std::vector<int> labels = {1, 1, 0, 0, 1, 0};
+  const std::vector<double> scores = {0.9, 0.4, 0.6, 0.1, 0.5, 0.5};
+  const ConfusionMatrix m = ConfusionAt(labels, scores, 0.5);
+  EXPECT_EQ(m.tp, 2u);  // 0.9, 0.5
+  EXPECT_EQ(m.fn, 1u);  // 0.4
+  EXPECT_EQ(m.fp, 2u);  // 0.6, 0.5
+  EXPECT_EQ(m.tn, 1u);  // 0.1
+  EXPECT_EQ(m.total(), 6u);
+}
+
+TEST(MetricsTest, HandComputedPrecisionRecallF1) {
+  const ConfusionMatrix m{.tp = 8, .fn = 2, .fp = 4, .tn = 86};
+  EXPECT_DOUBLE_EQ(Recall(m), 0.8);
+  EXPECT_DOUBLE_EQ(Precision(m), 8.0 / 12.0);
+  EXPECT_NEAR(F1Score(m), 2 * 0.8 * (2.0 / 3.0) / (0.8 + 2.0 / 3.0), 1e-12);
+}
+
+TEST(MetricsTest, PaperGMeanIsSqrtRecallPrecision) {
+  const ConfusionMatrix m{.tp = 9, .fn = 1, .fp = 9, .tn = 81};
+  EXPECT_NEAR(GMean(m), std::sqrt(0.9 * 0.5), 1e-12);
+  EXPECT_NEAR(GMeanTprTnr(m), std::sqrt(0.9 * 0.9), 1e-12);
+}
+
+TEST(MetricsTest, MccPerfectAndInverted) {
+  const ConfusionMatrix perfect{.tp = 10, .fn = 0, .fp = 0, .tn = 90};
+  EXPECT_DOUBLE_EQ(Mcc(perfect), 1.0);
+  const ConfusionMatrix inverted{.tp = 0, .fn = 10, .fp = 90, .tn = 0};
+  EXPECT_DOUBLE_EQ(Mcc(inverted), -1.0);
+}
+
+TEST(MetricsTest, DegenerateDenominatorsReturnZero) {
+  const ConfusionMatrix no_predictions{.tp = 0, .fn = 5, .fp = 0, .tn = 95};
+  EXPECT_DOUBLE_EQ(Precision(no_predictions), 0.0);
+  EXPECT_DOUBLE_EQ(F1Score(no_predictions), 0.0);
+  EXPECT_DOUBLE_EQ(Mcc(no_predictions), 0.0);
+}
+
+TEST(PrCurveTest, PerfectRankingGivesAucOne) {
+  const std::vector<int> labels = {0, 0, 0, 1, 1};
+  const std::vector<double> scores = {0.1, 0.2, 0.3, 0.8, 0.9};
+  EXPECT_DOUBLE_EQ(AucPrc(labels, scores), 1.0);
+}
+
+TEST(PrCurveTest, WorstRankingGivesLowAuc) {
+  const std::vector<int> labels = {1, 1, 0, 0, 0, 0, 0, 0};
+  const std::vector<double> scores = {0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8};
+  EXPECT_LT(AucPrc(labels, scores), 0.3);
+}
+
+TEST(PrCurveTest, ConstantScoresGivePrevalence) {
+  // All samples tie: the single PR point has precision = prevalence and
+  // recall = 1, so average precision equals the positive rate.
+  const std::vector<int> labels = {1, 0, 0, 0, 1, 0, 0, 0, 0, 0};
+  const std::vector<double> scores(10, 0.5);
+  EXPECT_NEAR(AucPrc(labels, scores), 0.2, 1e-12);
+}
+
+TEST(PrCurveTest, HandComputedAveragePrecision) {
+  // Ranked: 1 (0.9), 0 (0.8), 1 (0.7), 0 (0.6).
+  // AP = 0.5 * 1.0 (first positive) + 0.5 * (2/3) (second positive).
+  const std::vector<int> labels = {1, 0, 1, 0};
+  const std::vector<double> scores = {0.9, 0.8, 0.7, 0.6};
+  EXPECT_NEAR(AucPrc(labels, scores), 0.5 + 0.5 * 2.0 / 3.0, 1e-12);
+}
+
+TEST(PrCurveTest, CurveRecallIsNonDecreasing) {
+  Rng rng(1);
+  std::vector<int> labels(200);
+  std::vector<double> scores(200);
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    labels[i] = rng.Uniform() < 0.2 ? 1 : 0;
+    scores[i] = rng.Uniform();
+  }
+  labels[0] = 1;  // ensure at least one positive
+  const auto curve = PrCurve(labels, scores);
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_GE(curve[i].recall, curve[i - 1].recall);
+  }
+  EXPECT_NEAR(curve.back().recall, 1.0, 1e-12);
+}
+
+TEST(AucRocTest, PerfectAndRandom) {
+  const std::vector<int> labels = {0, 0, 1, 1};
+  EXPECT_DOUBLE_EQ(AucRoc(labels, {0.1, 0.2, 0.8, 0.9}), 1.0);
+  EXPECT_DOUBLE_EQ(AucRoc(labels, {0.9, 0.8, 0.2, 0.1}), 0.0);
+  // All-tied scores: AUC is exactly 0.5 via midranks.
+  EXPECT_DOUBLE_EQ(AucRoc(labels, {0.5, 0.5, 0.5, 0.5}), 0.5);
+}
+
+TEST(AucRocTest, HandComputedWithTie) {
+  // scores: pos {0.8, 0.5}, neg {0.5, 0.2}.
+  // Pairs: (0.8 vs 0.5)=1, (0.8 vs 0.2)=1, (0.5 vs 0.5)=0.5, (0.5 vs 0.2)=1.
+  // AUC = 3.5 / 4.
+  const std::vector<int> labels = {1, 1, 0, 0};
+  const std::vector<double> scores = {0.8, 0.5, 0.5, 0.2};
+  EXPECT_NEAR(AucRoc(labels, scores), 3.5 / 4.0, 1e-12);
+}
+
+TEST(EvaluateTest, BundlesAllFourCriteria) {
+  const std::vector<int> labels = {1, 1, 0, 0, 0, 0};
+  const std::vector<double> scores = {0.9, 0.8, 0.7, 0.2, 0.1, 0.05};
+  const ScoreSummary s = Evaluate(labels, scores);
+  EXPECT_DOUBLE_EQ(s.aucprc, 1.0);
+  const ConfusionMatrix m = ConfusionAt(labels, scores, 0.5);
+  EXPECT_DOUBLE_EQ(s.f1, F1Score(m));
+  EXPECT_DOUBLE_EQ(s.gmean, GMean(m));
+  EXPECT_DOUBLE_EQ(s.mcc, Mcc(m));
+}
+
+// Property sweep: metric invariants must hold for arbitrary score vectors.
+class MetricPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(MetricPropertyTest, AucsAreInUnitIntervalAndMonotoneInvariant) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  const std::size_t n = 50 + rng.Index(150);
+  std::vector<int> labels(n);
+  std::vector<double> scores(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    labels[i] = rng.Uniform() < 0.3 ? 1 : 0;
+    scores[i] = rng.Uniform();
+  }
+  labels[0] = 1;
+  labels[1] = 0;
+
+  const double aucprc = AucPrc(labels, scores);
+  const double aucroc = AucRoc(labels, scores);
+  EXPECT_GE(aucprc, 0.0);
+  EXPECT_LE(aucprc, 1.0);
+  EXPECT_GE(aucroc, 0.0);
+  EXPECT_LE(aucroc, 1.0);
+
+  // Ranking metrics are invariant under strictly monotone transforms.
+  std::vector<double> transformed(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    transformed[i] = std::exp(3.0 * scores[i]) + 7.0;
+  }
+  EXPECT_NEAR(AucPrc(labels, transformed), aucprc, 1e-9);
+  EXPECT_NEAR(AucRoc(labels, transformed), aucroc, 1e-9);
+}
+
+TEST_P(MetricPropertyTest, AucPrcAtLeastPrevalenceForPerfectAndBounded) {
+  // For any scores, swapping labels' sign relationship: just check
+  // threshold metrics stay in range across thresholds.
+  Rng rng(static_cast<std::uint64_t>(GetParam()) + 1000);
+  const std::size_t n = 100;
+  std::vector<int> labels(n);
+  std::vector<double> scores(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    labels[i] = rng.Uniform() < 0.25 ? 1 : 0;
+    scores[i] = rng.Uniform();
+  }
+  labels[0] = 1;
+  for (double t : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+    const ConfusionMatrix m = ConfusionAt(labels, scores, t);
+    EXPECT_EQ(m.total(), n);
+    for (double v : {Recall(m), Precision(m), F1Score(m), GMean(m)}) {
+      EXPECT_GE(v, 0.0);
+      EXPECT_LE(v, 1.0);
+    }
+    EXPECT_GE(Mcc(m), -1.0);
+    EXPECT_LE(Mcc(m), 1.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MetricPropertyTest, ::testing::Range(0, 12));
+
+}  // namespace
+}  // namespace spe

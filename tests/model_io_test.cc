@@ -1,0 +1,170 @@
+#include <cstdio>
+#include <filesystem>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "spe/classifiers/adaboost.h"
+#include "spe/classifiers/bagging.h"
+#include "spe/classifiers/decision_tree.h"
+#include "spe/classifiers/gbdt/gbdt.h"
+#include "spe/classifiers/knn.h"
+#include "spe/classifiers/logistic_regression.h"
+#include "spe/classifiers/random_forest.h"
+#include "spe/core/self_paced_ensemble.h"
+#include "spe/imbalance/balance_cascade.h"
+#include "spe/imbalance/easy_ensemble.h"
+#include "spe/io/model_io.h"
+#include "tests/test_util.h"
+
+namespace spe {
+namespace {
+
+using ::spe::testing::OverlappingBlobs;
+using ::spe::testing::SeparableBlobs;
+using ::spe::testing::XorClusters;
+
+// Saves, reloads, and verifies bit-identical predictions on `test`.
+void ExpectRoundTrip(const Classifier& model, const Dataset& test) {
+  std::stringstream stream;
+  SaveClassifier(model, stream);
+  const std::unique_ptr<Classifier> loaded = LoadClassifier(stream);
+  const std::vector<double> original = model.PredictProba(test);
+  const std::vector<double> restored = loaded->PredictProba(test);
+  ASSERT_EQ(original.size(), restored.size());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    EXPECT_DOUBLE_EQ(original[i], restored[i]) << "row " << i;
+  }
+}
+
+TEST(ModelIoTest, DecisionTreeRoundTrip) {
+  DecisionTree tree;
+  tree.Fit(XorClusters(80, 1));
+  ExpectRoundTrip(tree, XorClusters(40, 2));
+}
+
+TEST(ModelIoTest, GbdtRoundTrip) {
+  GbdtConfig config;
+  config.boost_rounds = 8;
+  Gbdt gbdt(config);
+  gbdt.Fit(OverlappingBlobs(300, 60, 3));
+  ExpectRoundTrip(gbdt, OverlappingBlobs(100, 20, 4));
+}
+
+TEST(ModelIoTest, LogisticRegressionRoundTrip) {
+  LogisticRegression lr;
+  lr.Fit(SeparableBlobs(120, 120, 5));
+  ExpectRoundTrip(lr, SeparableBlobs(40, 40, 6));
+}
+
+TEST(ModelIoTest, AdaBoostRoundTrip) {
+  AdaBoostConfig config;
+  config.n_estimators = 6;
+  config.learning_rate = 0.7;
+  AdaBoost boost(config);
+  boost.Fit(XorClusters(80, 7));
+  ExpectRoundTrip(boost, XorClusters(40, 8));
+}
+
+TEST(ModelIoTest, SelfPacedEnsembleRoundTripsAsVotingModel) {
+  SelfPacedEnsembleConfig config;
+  config.n_estimators = 5;
+  SelfPacedEnsemble spe_model(config);
+  spe_model.Fit(OverlappingBlobs(400, 40, 9));
+
+  std::stringstream stream;
+  SaveClassifier(spe_model, stream);
+  const auto loaded = LoadClassifier(stream);
+  EXPECT_EQ(loaded->Name(), "VotingEnsemble");
+  const Dataset test = OverlappingBlobs(100, 20, 10);
+  const auto a = spe_model.PredictProba(test);
+  const auto b = loaded->PredictProba(test);
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_DOUBLE_EQ(a[i], b[i]);
+}
+
+TEST(ModelIoTest, EasyEnsembleWithAdaBoostMembersRoundTrips) {
+  UnderBaggingConfig config;
+  config.n_estimators = 3;
+  EasyEnsemble easy(config);
+  easy.Fit(OverlappingBlobs(300, 40, 11));
+  ExpectRoundTrip(easy, OverlappingBlobs(80, 20, 12));
+}
+
+TEST(ModelIoTest, CascadeAndBaggingAndForestRoundTrip) {
+  const Dataset train = OverlappingBlobs(300, 40, 13);
+  const Dataset test = OverlappingBlobs(80, 20, 14);
+  {
+    BalanceCascade cascade;
+    cascade.Fit(train);
+    ExpectRoundTrip(cascade, test);
+  }
+  {
+    Bagging bagging;
+    bagging.Fit(train);
+    ExpectRoundTrip(bagging, test);
+  }
+  {
+    RandomForest forest;
+    forest.Fit(train);
+    ExpectRoundTrip(forest, test);
+  }
+}
+
+TEST(ModelIoTest, GbdtOverSpeRoundTrips) {
+  // Ensemble of boosters: nested recursive serialization.
+  GbdtConfig gbdt_config;
+  gbdt_config.boost_rounds = 4;
+  SelfPacedEnsembleConfig config;
+  config.n_estimators = 4;
+  SelfPacedEnsemble model(config, std::make_unique<Gbdt>(gbdt_config));
+  model.Fit(OverlappingBlobs(400, 50, 15));
+  ExpectRoundTrip(model, OverlappingBlobs(100, 20, 16));
+}
+
+TEST(ModelIoTest, FileRoundTrip) {
+  DecisionTree tree;
+  tree.Fit(SeparableBlobs(60, 60, 17));
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "spe_model_test.txt").string();
+  SaveClassifierToFile(tree, path);
+  const auto loaded = LoadClassifierFromFile(path);
+  const Dataset test = SeparableBlobs(20, 20, 18);
+  const auto a = tree.PredictProba(test);
+  const auto b = loaded->PredictProba(test);
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_DOUBLE_EQ(a[i], b[i]);
+  std::remove(path.c_str());
+}
+
+TEST(ModelIoDeathTest, UnsupportedModelAborts) {
+  Knn knn;
+  knn.Fit(SeparableBlobs(20, 20, 19));
+  std::stringstream stream;
+  EXPECT_DEATH(SaveClassifier(knn, stream), "persistence");
+}
+
+TEST(ModelIoDeathTest, UnfittedModelAborts) {
+  DecisionTree tree;
+  std::stringstream stream;
+  EXPECT_DEATH(SaveClassifier(tree, stream), "unfitted");
+}
+
+TEST(ModelIoDeathTest, GarbageStreamAborts) {
+  std::stringstream stream("not a model at all");
+  EXPECT_DEATH(LoadClassifier(stream), "not an spe model");
+}
+
+TEST(ModelIoDeathTest, VotingModelRefusesToRetrain) {
+  SelfPacedEnsembleConfig config;
+  config.n_estimators = 2;
+  SelfPacedEnsemble spe_model(config);
+  const Dataset train = OverlappingBlobs(100, 20, 20);
+  spe_model.Fit(train);
+  std::stringstream stream;
+  SaveClassifier(spe_model, stream);
+  auto loaded = LoadClassifier(stream);
+  EXPECT_DEATH(loaded->Fit(train), "inference-only");
+}
+
+}  // namespace
+}  // namespace spe

@@ -1,0 +1,101 @@
+// Cross-sampler property sweeps: invariants every re-sampling method
+// must satisfy on arbitrary numeric data, parameterized over
+// (sampler, seed). Complements the per-method behavioural tests in
+// sampling_test.cc.
+
+#include <set>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "spe/sampling/sampler_factory.h"
+#include "tests/test_util.h"
+
+namespace spe {
+namespace {
+
+using ::spe::testing::OverlappingBlobs;
+
+class SamplerPropertyTest
+    : public ::testing::TestWithParam<std::tuple<std::string, int>> {
+ protected:
+  static Dataset MakeData(int seed) {
+    return OverlappingBlobs(250, 30, static_cast<std::uint64_t>(seed));
+  }
+};
+
+// Encodes a row (features + label) for set membership checks.
+std::vector<double> RowKey(const Dataset& data, std::size_t i) {
+  std::vector<double> key(data.Row(i).begin(), data.Row(i).end());
+  key.push_back(static_cast<double>(data.Label(i)));
+  return key;
+}
+
+TEST_P(SamplerPropertyTest, OutputIsNonEmptyWithBothClasses) {
+  const auto& [name, seed] = GetParam();
+  const Dataset data = MakeData(seed);
+  Rng rng(static_cast<std::uint64_t>(seed) + 1000);
+  const Dataset out = MakeSampler(name)->Resample(data, rng);
+  EXPECT_GT(out.CountPositives(), 0u) << name;
+  EXPECT_GT(out.CountNegatives(), 0u) << name;
+  EXPECT_EQ(out.num_features(), data.num_features());
+}
+
+TEST_P(SamplerPropertyTest, MinorityClassIsNeverShrunk) {
+  // Every method in this library either keeps or grows the minority.
+  const auto& [name, seed] = GetParam();
+  const Dataset data = MakeData(seed);
+  Rng rng(static_cast<std::uint64_t>(seed) + 2000);
+  const Dataset out = MakeSampler(name)->Resample(data, rng);
+  EXPECT_GE(out.CountPositives(), data.CountPositives()) << name;
+}
+
+TEST_P(SamplerPropertyTest, UnderSamplersOnlySelectExistingRows) {
+  const auto& [name, seed] = GetParam();
+  // ClusterCentroids is the one prototype-*generating* under-sampler:
+  // it replaces the majority with synthetic k-means centroids by design.
+  if (name == "ClusterCentroids") GTEST_SKIP();
+  const Dataset data = MakeData(seed);
+  Rng rng(static_cast<std::uint64_t>(seed) + 3000);
+  const Dataset out = MakeSampler(name)->Resample(data, rng);
+  if (out.num_rows() > data.num_rows()) return;  // over/hybrid sampler
+
+  std::set<std::vector<double>> originals;
+  for (std::size_t i = 0; i < data.num_rows(); ++i) {
+    originals.insert(RowKey(data, i));
+  }
+  for (std::size_t i = 0; i < out.num_rows(); ++i) {
+    EXPECT_TRUE(originals.count(RowKey(out, i)))
+        << name << " fabricated a row";
+  }
+}
+
+TEST_P(SamplerPropertyTest, SyntheticRowsAreAlwaysMinority) {
+  // Over-samplers may invent rows, but only positive ones.
+  // (ClusterCentroids intentionally synthesizes majority prototypes.)
+  const auto& [name, seed] = GetParam();
+  if (name == "ClusterCentroids") GTEST_SKIP();
+  const Dataset data = MakeData(seed);
+  Rng rng(static_cast<std::uint64_t>(seed) + 4000);
+  const Dataset out = MakeSampler(name)->Resample(data, rng);
+
+  std::set<std::vector<double>> originals;
+  for (std::size_t i = 0; i < data.num_rows(); ++i) {
+    originals.insert(RowKey(data, i));
+  }
+  for (std::size_t i = 0; i < out.num_rows(); ++i) {
+    if (!originals.count(RowKey(out, i))) {
+      EXPECT_EQ(out.Label(i), 1) << name << " fabricated a majority row";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSamplersAcrossSeeds, SamplerPropertyTest,
+    ::testing::Combine(::testing::ValuesIn(KnownSamplerNames()),
+                       ::testing::Values(1, 2, 3)));
+
+}  // namespace
+}  // namespace spe

@@ -1,0 +1,243 @@
+// spe_cli — command-line front end for the library.
+//
+//   spe_cli train    --data train.csv [--format csv|libsvm]
+//                    [--label-column K] [--method SPE|Easy|Cascade]
+//                    [--base DT|GBDT10|...] [--n 10] [--bins 20]
+//                    [--hardness AE|SE|CE] [--seed 0] --model out.model
+//   spe_cli predict  --data rows.csv --model in.model [--threshold 0.5]
+//                    [--scores-only]
+//   spe_cli evaluate --data test.csv --model in.model [--threshold 0.5]
+//   spe_cli cv       --data train.csv [--folds 5] [--method ...] [...]
+//
+// CSV input: all columns numeric; the label column (default: last)
+// holds 0/1. LIBSVM input: standard sparse format.
+//
+// Everything the subcommands do is plain public API — the tool exists
+// so a dataset can be tried without writing C++.
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "spe/classifiers/factory.h"
+#include "spe/core/self_paced_ensemble.h"
+#include "spe/data/csv.h"
+#include "spe/data/libsvm.h"
+#include "spe/eval/cross_validation.h"
+#include "spe/imbalance/balance_cascade.h"
+#include "spe/imbalance/under_bagging.h"
+#include "spe/io/model_io.h"
+#include "spe/metrics/metrics.h"
+
+namespace {
+
+struct Options {
+  std::string command;
+  std::map<std::string, std::string> flags;
+
+  std::string Get(const std::string& key, const std::string& fallback) const {
+    const auto it = flags.find(key);
+    return it == flags.end() ? fallback : it->second;
+  }
+  long GetInt(const std::string& key, long fallback) const {
+    const auto it = flags.find(key);
+    return it == flags.end() ? fallback : std::strtol(it->second.c_str(), nullptr, 10);
+  }
+  double GetDouble(const std::string& key, double fallback) const {
+    const auto it = flags.find(key);
+    return it == flags.end() ? fallback : std::strtod(it->second.c_str(), nullptr);
+  }
+};
+
+[[noreturn]] void Usage(const char* message) {
+  if (message != nullptr) std::fprintf(stderr, "error: %s\n\n", message);
+  std::fprintf(stderr,
+               "usage: spe_cli <train|predict|evaluate|cv> --data FILE "
+               "[options]\n"
+               "  common     --format csv|libsvm (default csv), "
+               "--label-column K (csv; default: last)\n"
+               "  train      --method SPE|Easy|Cascade (default SPE), "
+               "--base NAME (default DT),\n"
+               "             --n N (default 10), --bins K (default 20), "
+               "--hardness AE|SE|CE,\n"
+               "             --seed S, --model OUT (required)\n"
+               "  predict    --model IN, --threshold T (default 0.5), "
+               "--scores-only\n"
+               "  evaluate   --model IN, --threshold T (default 0.5)\n"
+               "  cv         --folds F (default 5) + the train options\n");
+  std::exit(2);
+}
+
+Options Parse(int argc, char** argv) {
+  if (argc < 2) Usage("missing command");
+  Options options;
+  options.command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      const std::string message = "unexpected argument: " + arg;
+      Usage(message.c_str());
+    }
+    const std::string key = arg.substr(2);
+    if (key == "scores-only") {
+      options.flags.emplace(key, "1");
+    } else {
+      if (i + 1 >= argc) {
+        const std::string message = "missing value for --" + key;
+        Usage(message.c_str());
+      }
+      options.flags.emplace(key, argv[++i]);
+    }
+  }
+  return options;
+}
+
+spe::Dataset LoadData(const Options& options) {
+  const std::string path = options.Get("data", "");
+  if (path.empty()) Usage("--data is required");
+  if (options.Get("format", "csv") == "libsvm") {
+    return spe::LoadLibsvm(path);
+  }
+  // Default label column: the last one. Peek at the header row width by
+  // loading with column 0 would be wasteful; LoadCsv needs the index up
+  // front, so resolve "last" via a tiny pre-scan.
+  long label_column = options.GetInt("label-column", -1);
+  if (label_column < 0) {
+    std::FILE* f = std::fopen(path.c_str(), "r");
+    if (f == nullptr) {
+      const std::string message = "cannot open " + path;
+      Usage(message.c_str());
+    }
+    int c = 0;
+    long columns = 1;
+    while ((c = std::fgetc(f)) != EOF && c != '\n') columns += (c == ',');
+    std::fclose(f);
+    label_column = columns - 1;
+  }
+  return spe::LoadCsv(path, static_cast<std::size_t>(label_column));
+}
+
+spe::HardnessKind ParseHardness(const std::string& name) {
+  if (name == "AE") return spe::HardnessKind::kAbsoluteError;
+  if (name == "SE") return spe::HardnessKind::kSquaredError;
+  if (name == "CE") return spe::HardnessKind::kCrossEntropy;
+  const std::string message = "unknown hardness: " + name;
+  Usage(message.c_str());
+}
+
+std::unique_ptr<spe::Classifier> BuildMethod(const Options& options) {
+  const std::string method = options.Get("method", "SPE");
+  const std::string base = options.Get("base", "DT");
+  const auto n = static_cast<std::size_t>(options.GetInt("n", 10));
+  const auto seed = static_cast<std::uint64_t>(options.GetInt("seed", 0));
+
+  if (method == "SPE") {
+    spe::SelfPacedEnsembleConfig config;
+    config.n_estimators = n;
+    config.num_bins = static_cast<std::size_t>(options.GetInt("bins", 20));
+    config.hardness = ParseHardness(options.Get("hardness", "AE"));
+    config.seed = seed;
+    return std::make_unique<spe::SelfPacedEnsemble>(
+        config, spe::MakeClassifier(base, seed));
+  }
+  if (method == "Easy") {
+    spe::UnderBaggingConfig config;
+    config.n_estimators = n;
+    config.seed = seed;
+    return std::make_unique<spe::UnderBagging>(config,
+                                               spe::MakeClassifier(base, seed));
+  }
+  if (method == "Cascade") {
+    spe::BalanceCascadeConfig config;
+    config.n_estimators = n;
+    config.seed = seed;
+    return std::make_unique<spe::BalanceCascade>(
+        config, spe::MakeClassifier(base, seed));
+  }
+  const std::string message = "unknown method: " + options.Get("method", "");
+  Usage(message.c_str());
+}
+
+void PrintScores(const char* title, const spe::ScoreSummary& s) {
+  std::printf("%s: AUCPRC %.4f  F1 %.4f  G-mean %.4f  MCC %.4f\n", title,
+              s.aucprc, s.f1, s.gmean, s.mcc);
+}
+
+int Train(const Options& options) {
+  const std::string model_path = options.Get("model", "");
+  if (model_path.empty()) Usage("train requires --model");
+  const spe::Dataset data = LoadData(options);
+  std::fprintf(stderr, "training on %s\n", data.Summary().c_str());
+  auto model = BuildMethod(options);
+  model->Fit(data);
+  spe::SaveClassifierToFile(*model, model_path);
+  std::fprintf(stderr, "model written to %s\n", model_path.c_str());
+  return 0;
+}
+
+int Predict(const Options& options) {
+  const std::string model_path = options.Get("model", "");
+  if (model_path.empty()) Usage("predict requires --model");
+  const spe::Dataset data = LoadData(options);
+  const auto model = spe::LoadClassifierFromFile(model_path);
+  const std::vector<double> probs = model->PredictProba(data);
+  const bool scores_only = options.flags.count("scores-only") > 0;
+  const double threshold = options.GetDouble("threshold", 0.5);
+  for (double p : probs) {
+    if (scores_only) {
+      std::printf("%.6f\n", p);
+    } else {
+      std::printf("%d,%.6f\n", p >= threshold ? 1 : 0, p);
+    }
+  }
+  return 0;
+}
+
+int EvaluateCommand(const Options& options) {
+  const std::string model_path = options.Get("model", "");
+  if (model_path.empty()) Usage("evaluate requires --model");
+  const spe::Dataset data = LoadData(options);
+  const auto model = spe::LoadClassifierFromFile(model_path);
+  const std::vector<double> probs = model->PredictProba(data);
+  PrintScores("test", spe::Evaluate(data.labels(), probs,
+                                    options.GetDouble("threshold", 0.5)));
+  const spe::ThresholdSearchResult best =
+      spe::BestF1Threshold(data.labels(), probs);
+  std::printf("best F1 threshold on this data: %.4f (F1 %.4f)\n",
+              best.threshold, best.value);
+  return 0;
+}
+
+int CrossValidateCommand(const Options& options) {
+  const spe::Dataset data = LoadData(options);
+  const auto folds = static_cast<std::size_t>(options.GetInt("folds", 5));
+  const auto model = BuildMethod(options);
+  spe::Rng rng(static_cast<std::uint64_t>(options.GetInt("seed", 0)) + 1);
+  const spe::CrossValidationResult result =
+      spe::CrossValidate(*model, data, folds, rng);
+  for (std::size_t f = 0; f < result.folds.size(); ++f) {
+    std::printf("fold %zu", f);
+    PrintScores("", result.folds[f]);
+  }
+  const spe::AggregateScores agg = result.aggregate();
+  std::printf("mean: AUCPRC %.4f±%.4f  F1 %.4f±%.4f  G-mean %.4f±%.4f  "
+              "MCC %.4f±%.4f\n",
+              agg.aucprc.mean, agg.aucprc.std, agg.f1.mean, agg.f1.std,
+              agg.gmean.mean, agg.gmean.std, agg.mcc.mean, agg.mcc.std);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options options = Parse(argc, argv);
+  if (options.command == "train") return Train(options);
+  if (options.command == "predict") return Predict(options);
+  if (options.command == "evaluate") return EvaluateCommand(options);
+  if (options.command == "cv") return CrossValidateCommand(options);
+  const std::string message = "unknown command: " + options.command;
+  Usage(message.c_str());
+}
