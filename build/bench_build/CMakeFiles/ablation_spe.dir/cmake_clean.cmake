@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_spe"
+  "../bench/ablation_spe.pdb"
+  "CMakeFiles/ablation_spe.dir/ablation_spe.cc.o"
+  "CMakeFiles/ablation_spe.dir/ablation_spe.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_spe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig2_hardness_dist"
+  "../bench/fig2_hardness_dist.pdb"
+  "CMakeFiles/fig2_hardness_dist.dir/fig2_hardness_dist.cc.o"
+  "CMakeFiles/fig2_hardness_dist.dir/fig2_hardness_dist.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_hardness_dist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig3_self_paced_bins"
+  "../bench/fig3_self_paced_bins.pdb"
+  "CMakeFiles/fig3_self_paced_bins.dir/fig3_self_paced_bins.cc.o"
+  "CMakeFiles/fig3_self_paced_bins.dir/fig3_self_paced_bins.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_self_paced_bins.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

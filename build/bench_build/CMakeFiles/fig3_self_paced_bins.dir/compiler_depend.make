@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig3_self_paced_bins.
+# This may be replaced when dependencies are built.

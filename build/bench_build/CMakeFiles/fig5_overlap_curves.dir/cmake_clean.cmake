@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig5_overlap_curves"
+  "../bench/fig5_overlap_curves.pdb"
+  "CMakeFiles/fig5_overlap_curves.dir/fig5_overlap_curves.cc.o"
+  "CMakeFiles/fig5_overlap_curves.dir/fig5_overlap_curves.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_overlap_curves.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

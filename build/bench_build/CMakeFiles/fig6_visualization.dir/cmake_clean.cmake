@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig6_visualization"
+  "../bench/fig6_visualization.pdb"
+  "CMakeFiles/fig6_visualization.dir/fig6_visualization.cc.o"
+  "CMakeFiles/fig6_visualization.dir/fig6_visualization.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_visualization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

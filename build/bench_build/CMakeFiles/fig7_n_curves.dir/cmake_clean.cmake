@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig7_n_curves"
+  "../bench/fig7_n_curves.pdb"
+  "CMakeFiles/fig7_n_curves.dir/fig7_n_curves.cc.o"
+  "CMakeFiles/fig7_n_curves.dir/fig7_n_curves.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_n_curves.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

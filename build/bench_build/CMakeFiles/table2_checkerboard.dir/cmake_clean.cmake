@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table2_checkerboard"
+  "../bench/table2_checkerboard.pdb"
+  "CMakeFiles/table2_checkerboard.dir/table2_checkerboard.cc.o"
+  "CMakeFiles/table2_checkerboard.dir/table2_checkerboard.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_checkerboard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

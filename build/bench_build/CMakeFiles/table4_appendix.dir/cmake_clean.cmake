@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table4_appendix"
+  "../bench/table4_appendix.pdb"
+  "CMakeFiles/table4_appendix.dir/table4_appendix.cc.o"
+  "CMakeFiles/table4_appendix.dir/table4_appendix.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_appendix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

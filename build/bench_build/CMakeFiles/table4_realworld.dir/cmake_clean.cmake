@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table4_realworld"
+  "../bench/table4_realworld.pdb"
+  "CMakeFiles/table4_realworld.dir/table4_realworld.cc.o"
+  "CMakeFiles/table4_realworld.dir/table4_realworld.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_realworld.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

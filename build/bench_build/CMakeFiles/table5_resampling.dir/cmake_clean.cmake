@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table5_resampling"
+  "../bench/table5_resampling.pdb"
+  "CMakeFiles/table5_resampling.dir/table5_resampling.cc.o"
+  "CMakeFiles/table5_resampling.dir/table5_resampling.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_resampling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

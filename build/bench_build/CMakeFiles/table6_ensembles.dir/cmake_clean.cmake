@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table6_ensembles"
+  "../bench/table6_ensembles.pdb"
+  "CMakeFiles/table6_ensembles.dir/table6_ensembles.cc.o"
+  "CMakeFiles/table6_ensembles.dir/table6_ensembles.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_ensembles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

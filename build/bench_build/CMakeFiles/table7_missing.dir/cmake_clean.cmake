@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table7_missing"
+  "../bench/table7_missing.pdb"
+  "CMakeFiles/table7_missing.dir/table7_missing.cc.o"
+  "CMakeFiles/table7_missing.dir/table7_missing.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table7_missing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_hardness.dir/custom_hardness.cpp.o"
+  "CMakeFiles/custom_hardness.dir/custom_hardness.cpp.o.d"
+  "custom_hardness"
+  "custom_hardness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_hardness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

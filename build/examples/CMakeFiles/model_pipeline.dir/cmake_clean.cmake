@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_pipeline.dir/model_pipeline.cpp.o"
+  "CMakeFiles/model_pipeline.dir/model_pipeline.cpp.o.d"
+  "model_pipeline"
+  "model_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,82 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/spe/classifiers/adaboost.cc" "src/CMakeFiles/spe.dir/spe/classifiers/adaboost.cc.o" "gcc" "src/CMakeFiles/spe.dir/spe/classifiers/adaboost.cc.o.d"
+  "/root/repo/src/spe/classifiers/bagging.cc" "src/CMakeFiles/spe.dir/spe/classifiers/bagging.cc.o" "gcc" "src/CMakeFiles/spe.dir/spe/classifiers/bagging.cc.o.d"
+  "/root/repo/src/spe/classifiers/classifier.cc" "src/CMakeFiles/spe.dir/spe/classifiers/classifier.cc.o" "gcc" "src/CMakeFiles/spe.dir/spe/classifiers/classifier.cc.o.d"
+  "/root/repo/src/spe/classifiers/decision_tree.cc" "src/CMakeFiles/spe.dir/spe/classifiers/decision_tree.cc.o" "gcc" "src/CMakeFiles/spe.dir/spe/classifiers/decision_tree.cc.o.d"
+  "/root/repo/src/spe/classifiers/factory.cc" "src/CMakeFiles/spe.dir/spe/classifiers/factory.cc.o" "gcc" "src/CMakeFiles/spe.dir/spe/classifiers/factory.cc.o.d"
+  "/root/repo/src/spe/classifiers/gbdt/binning.cc" "src/CMakeFiles/spe.dir/spe/classifiers/gbdt/binning.cc.o" "gcc" "src/CMakeFiles/spe.dir/spe/classifiers/gbdt/binning.cc.o.d"
+  "/root/repo/src/spe/classifiers/gbdt/gbdt.cc" "src/CMakeFiles/spe.dir/spe/classifiers/gbdt/gbdt.cc.o" "gcc" "src/CMakeFiles/spe.dir/spe/classifiers/gbdt/gbdt.cc.o.d"
+  "/root/repo/src/spe/classifiers/gbdt/histogram.cc" "src/CMakeFiles/spe.dir/spe/classifiers/gbdt/histogram.cc.o" "gcc" "src/CMakeFiles/spe.dir/spe/classifiers/gbdt/histogram.cc.o.d"
+  "/root/repo/src/spe/classifiers/gbdt/tree.cc" "src/CMakeFiles/spe.dir/spe/classifiers/gbdt/tree.cc.o" "gcc" "src/CMakeFiles/spe.dir/spe/classifiers/gbdt/tree.cc.o.d"
+  "/root/repo/src/spe/classifiers/knn.cc" "src/CMakeFiles/spe.dir/spe/classifiers/knn.cc.o" "gcc" "src/CMakeFiles/spe.dir/spe/classifiers/knn.cc.o.d"
+  "/root/repo/src/spe/classifiers/lda.cc" "src/CMakeFiles/spe.dir/spe/classifiers/lda.cc.o" "gcc" "src/CMakeFiles/spe.dir/spe/classifiers/lda.cc.o.d"
+  "/root/repo/src/spe/classifiers/linear_svm.cc" "src/CMakeFiles/spe.dir/spe/classifiers/linear_svm.cc.o" "gcc" "src/CMakeFiles/spe.dir/spe/classifiers/linear_svm.cc.o.d"
+  "/root/repo/src/spe/classifiers/logistic_regression.cc" "src/CMakeFiles/spe.dir/spe/classifiers/logistic_regression.cc.o" "gcc" "src/CMakeFiles/spe.dir/spe/classifiers/logistic_regression.cc.o.d"
+  "/root/repo/src/spe/classifiers/mlp.cc" "src/CMakeFiles/spe.dir/spe/classifiers/mlp.cc.o" "gcc" "src/CMakeFiles/spe.dir/spe/classifiers/mlp.cc.o.d"
+  "/root/repo/src/spe/classifiers/naive_bayes.cc" "src/CMakeFiles/spe.dir/spe/classifiers/naive_bayes.cc.o" "gcc" "src/CMakeFiles/spe.dir/spe/classifiers/naive_bayes.cc.o.d"
+  "/root/repo/src/spe/classifiers/random_forest.cc" "src/CMakeFiles/spe.dir/spe/classifiers/random_forest.cc.o" "gcc" "src/CMakeFiles/spe.dir/spe/classifiers/random_forest.cc.o.d"
+  "/root/repo/src/spe/classifiers/rff.cc" "src/CMakeFiles/spe.dir/spe/classifiers/rff.cc.o" "gcc" "src/CMakeFiles/spe.dir/spe/classifiers/rff.cc.o.d"
+  "/root/repo/src/spe/cluster/kmeans.cc" "src/CMakeFiles/spe.dir/spe/cluster/kmeans.cc.o" "gcc" "src/CMakeFiles/spe.dir/spe/cluster/kmeans.cc.o.d"
+  "/root/repo/src/spe/common/check.cc" "src/CMakeFiles/spe.dir/spe/common/check.cc.o" "gcc" "src/CMakeFiles/spe.dir/spe/common/check.cc.o.d"
+  "/root/repo/src/spe/common/parallel.cc" "src/CMakeFiles/spe.dir/spe/common/parallel.cc.o" "gcc" "src/CMakeFiles/spe.dir/spe/common/parallel.cc.o.d"
+  "/root/repo/src/spe/core/hardness.cc" "src/CMakeFiles/spe.dir/spe/core/hardness.cc.o" "gcc" "src/CMakeFiles/spe.dir/spe/core/hardness.cc.o.d"
+  "/root/repo/src/spe/core/self_paced_ensemble.cc" "src/CMakeFiles/spe.dir/spe/core/self_paced_ensemble.cc.o" "gcc" "src/CMakeFiles/spe.dir/spe/core/self_paced_ensemble.cc.o.d"
+  "/root/repo/src/spe/core/self_paced_sampler.cc" "src/CMakeFiles/spe.dir/spe/core/self_paced_sampler.cc.o" "gcc" "src/CMakeFiles/spe.dir/spe/core/self_paced_sampler.cc.o.d"
+  "/root/repo/src/spe/data/csv.cc" "src/CMakeFiles/spe.dir/spe/data/csv.cc.o" "gcc" "src/CMakeFiles/spe.dir/spe/data/csv.cc.o.d"
+  "/root/repo/src/spe/data/dataset.cc" "src/CMakeFiles/spe.dir/spe/data/dataset.cc.o" "gcc" "src/CMakeFiles/spe.dir/spe/data/dataset.cc.o.d"
+  "/root/repo/src/spe/data/encoding.cc" "src/CMakeFiles/spe.dir/spe/data/encoding.cc.o" "gcc" "src/CMakeFiles/spe.dir/spe/data/encoding.cc.o.d"
+  "/root/repo/src/spe/data/libsvm.cc" "src/CMakeFiles/spe.dir/spe/data/libsvm.cc.o" "gcc" "src/CMakeFiles/spe.dir/spe/data/libsvm.cc.o.d"
+  "/root/repo/src/spe/data/simulated.cc" "src/CMakeFiles/spe.dir/spe/data/simulated.cc.o" "gcc" "src/CMakeFiles/spe.dir/spe/data/simulated.cc.o.d"
+  "/root/repo/src/spe/data/split.cc" "src/CMakeFiles/spe.dir/spe/data/split.cc.o" "gcc" "src/CMakeFiles/spe.dir/spe/data/split.cc.o.d"
+  "/root/repo/src/spe/data/synthetic.cc" "src/CMakeFiles/spe.dir/spe/data/synthetic.cc.o" "gcc" "src/CMakeFiles/spe.dir/spe/data/synthetic.cc.o.d"
+  "/root/repo/src/spe/eval/cross_validation.cc" "src/CMakeFiles/spe.dir/spe/eval/cross_validation.cc.o" "gcc" "src/CMakeFiles/spe.dir/spe/eval/cross_validation.cc.o.d"
+  "/root/repo/src/spe/eval/experiment.cc" "src/CMakeFiles/spe.dir/spe/eval/experiment.cc.o" "gcc" "src/CMakeFiles/spe.dir/spe/eval/experiment.cc.o.d"
+  "/root/repo/src/spe/eval/learning_curve.cc" "src/CMakeFiles/spe.dir/spe/eval/learning_curve.cc.o" "gcc" "src/CMakeFiles/spe.dir/spe/eval/learning_curve.cc.o.d"
+  "/root/repo/src/spe/eval/table.cc" "src/CMakeFiles/spe.dir/spe/eval/table.cc.o" "gcc" "src/CMakeFiles/spe.dir/spe/eval/table.cc.o.d"
+  "/root/repo/src/spe/imbalance/balance_cascade.cc" "src/CMakeFiles/spe.dir/spe/imbalance/balance_cascade.cc.o" "gcc" "src/CMakeFiles/spe.dir/spe/imbalance/balance_cascade.cc.o.d"
+  "/root/repo/src/spe/imbalance/easy_ensemble.cc" "src/CMakeFiles/spe.dir/spe/imbalance/easy_ensemble.cc.o" "gcc" "src/CMakeFiles/spe.dir/spe/imbalance/easy_ensemble.cc.o.d"
+  "/root/repo/src/spe/imbalance/rus_boost.cc" "src/CMakeFiles/spe.dir/spe/imbalance/rus_boost.cc.o" "gcc" "src/CMakeFiles/spe.dir/spe/imbalance/rus_boost.cc.o.d"
+  "/root/repo/src/spe/imbalance/smote_bagging.cc" "src/CMakeFiles/spe.dir/spe/imbalance/smote_bagging.cc.o" "gcc" "src/CMakeFiles/spe.dir/spe/imbalance/smote_bagging.cc.o.d"
+  "/root/repo/src/spe/imbalance/smote_boost.cc" "src/CMakeFiles/spe.dir/spe/imbalance/smote_boost.cc.o" "gcc" "src/CMakeFiles/spe.dir/spe/imbalance/smote_boost.cc.o.d"
+  "/root/repo/src/spe/imbalance/under_bagging.cc" "src/CMakeFiles/spe.dir/spe/imbalance/under_bagging.cc.o" "gcc" "src/CMakeFiles/spe.dir/spe/imbalance/under_bagging.cc.o.d"
+  "/root/repo/src/spe/io/image.cc" "src/CMakeFiles/spe.dir/spe/io/image.cc.o" "gcc" "src/CMakeFiles/spe.dir/spe/io/image.cc.o.d"
+  "/root/repo/src/spe/io/model_io.cc" "src/CMakeFiles/spe.dir/spe/io/model_io.cc.o" "gcc" "src/CMakeFiles/spe.dir/spe/io/model_io.cc.o.d"
+  "/root/repo/src/spe/metrics/calibration.cc" "src/CMakeFiles/spe.dir/spe/metrics/calibration.cc.o" "gcc" "src/CMakeFiles/spe.dir/spe/metrics/calibration.cc.o.d"
+  "/root/repo/src/spe/metrics/confusion.cc" "src/CMakeFiles/spe.dir/spe/metrics/confusion.cc.o" "gcc" "src/CMakeFiles/spe.dir/spe/metrics/confusion.cc.o.d"
+  "/root/repo/src/spe/metrics/metrics.cc" "src/CMakeFiles/spe.dir/spe/metrics/metrics.cc.o" "gcc" "src/CMakeFiles/spe.dir/spe/metrics/metrics.cc.o.d"
+  "/root/repo/src/spe/sampling/adasyn.cc" "src/CMakeFiles/spe.dir/spe/sampling/adasyn.cc.o" "gcc" "src/CMakeFiles/spe.dir/spe/sampling/adasyn.cc.o.d"
+  "/root/repo/src/spe/sampling/all_knn.cc" "src/CMakeFiles/spe.dir/spe/sampling/all_knn.cc.o" "gcc" "src/CMakeFiles/spe.dir/spe/sampling/all_knn.cc.o.d"
+  "/root/repo/src/spe/sampling/borderline_smote.cc" "src/CMakeFiles/spe.dir/spe/sampling/borderline_smote.cc.o" "gcc" "src/CMakeFiles/spe.dir/spe/sampling/borderline_smote.cc.o.d"
+  "/root/repo/src/spe/sampling/cluster_centroids.cc" "src/CMakeFiles/spe.dir/spe/sampling/cluster_centroids.cc.o" "gcc" "src/CMakeFiles/spe.dir/spe/sampling/cluster_centroids.cc.o.d"
+  "/root/repo/src/spe/sampling/condensed_nn.cc" "src/CMakeFiles/spe.dir/spe/sampling/condensed_nn.cc.o" "gcc" "src/CMakeFiles/spe.dir/spe/sampling/condensed_nn.cc.o.d"
+  "/root/repo/src/spe/sampling/enn.cc" "src/CMakeFiles/spe.dir/spe/sampling/enn.cc.o" "gcc" "src/CMakeFiles/spe.dir/spe/sampling/enn.cc.o.d"
+  "/root/repo/src/spe/sampling/instance_hardness_threshold.cc" "src/CMakeFiles/spe.dir/spe/sampling/instance_hardness_threshold.cc.o" "gcc" "src/CMakeFiles/spe.dir/spe/sampling/instance_hardness_threshold.cc.o.d"
+  "/root/repo/src/spe/sampling/kmeans_smote.cc" "src/CMakeFiles/spe.dir/spe/sampling/kmeans_smote.cc.o" "gcc" "src/CMakeFiles/spe.dir/spe/sampling/kmeans_smote.cc.o.d"
+  "/root/repo/src/spe/sampling/ncr.cc" "src/CMakeFiles/spe.dir/spe/sampling/ncr.cc.o" "gcc" "src/CMakeFiles/spe.dir/spe/sampling/ncr.cc.o.d"
+  "/root/repo/src/spe/sampling/near_miss.cc" "src/CMakeFiles/spe.dir/spe/sampling/near_miss.cc.o" "gcc" "src/CMakeFiles/spe.dir/spe/sampling/near_miss.cc.o.d"
+  "/root/repo/src/spe/sampling/neighbors.cc" "src/CMakeFiles/spe.dir/spe/sampling/neighbors.cc.o" "gcc" "src/CMakeFiles/spe.dir/spe/sampling/neighbors.cc.o.d"
+  "/root/repo/src/spe/sampling/one_side_selection.cc" "src/CMakeFiles/spe.dir/spe/sampling/one_side_selection.cc.o" "gcc" "src/CMakeFiles/spe.dir/spe/sampling/one_side_selection.cc.o.d"
+  "/root/repo/src/spe/sampling/random_over.cc" "src/CMakeFiles/spe.dir/spe/sampling/random_over.cc.o" "gcc" "src/CMakeFiles/spe.dir/spe/sampling/random_over.cc.o.d"
+  "/root/repo/src/spe/sampling/random_under.cc" "src/CMakeFiles/spe.dir/spe/sampling/random_under.cc.o" "gcc" "src/CMakeFiles/spe.dir/spe/sampling/random_under.cc.o.d"
+  "/root/repo/src/spe/sampling/sampler_factory.cc" "src/CMakeFiles/spe.dir/spe/sampling/sampler_factory.cc.o" "gcc" "src/CMakeFiles/spe.dir/spe/sampling/sampler_factory.cc.o.d"
+  "/root/repo/src/spe/sampling/smote.cc" "src/CMakeFiles/spe.dir/spe/sampling/smote.cc.o" "gcc" "src/CMakeFiles/spe.dir/spe/sampling/smote.cc.o.d"
+  "/root/repo/src/spe/sampling/smote_enn.cc" "src/CMakeFiles/spe.dir/spe/sampling/smote_enn.cc.o" "gcc" "src/CMakeFiles/spe.dir/spe/sampling/smote_enn.cc.o.d"
+  "/root/repo/src/spe/sampling/smote_tomek.cc" "src/CMakeFiles/spe.dir/spe/sampling/smote_tomek.cc.o" "gcc" "src/CMakeFiles/spe.dir/spe/sampling/smote_tomek.cc.o.d"
+  "/root/repo/src/spe/sampling/tomek_links.cc" "src/CMakeFiles/spe.dir/spe/sampling/tomek_links.cc.o" "gcc" "src/CMakeFiles/spe.dir/spe/sampling/tomek_links.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

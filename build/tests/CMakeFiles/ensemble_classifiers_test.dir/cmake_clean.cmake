@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ensemble_classifiers_test.dir/ensemble_classifiers_test.cc.o"
+  "CMakeFiles/ensemble_classifiers_test.dir/ensemble_classifiers_test.cc.o.d"
+  "ensemble_classifiers_test"
+  "ensemble_classifiers_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ensemble_classifiers_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

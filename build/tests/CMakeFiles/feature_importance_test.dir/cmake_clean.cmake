@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/feature_importance_test.dir/feature_importance_test.cc.o"
+  "CMakeFiles/feature_importance_test.dir/feature_importance_test.cc.o.d"
+  "feature_importance_test"
+  "feature_importance_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/feature_importance_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

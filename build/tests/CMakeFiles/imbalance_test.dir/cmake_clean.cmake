@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/imbalance_test.dir/imbalance_test.cc.o"
+  "CMakeFiles/imbalance_test.dir/imbalance_test.cc.o.d"
+  "imbalance_test"
+  "imbalance_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/imbalance_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

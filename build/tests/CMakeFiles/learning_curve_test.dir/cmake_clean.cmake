@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/learning_curve_test.dir/learning_curve_test.cc.o"
+  "CMakeFiles/learning_curve_test.dir/learning_curve_test.cc.o.d"
+  "learning_curve_test"
+  "learning_curve_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/learning_curve_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

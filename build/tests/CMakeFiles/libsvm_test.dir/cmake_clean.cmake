@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/libsvm_test.dir/libsvm_test.cc.o"
+  "CMakeFiles/libsvm_test.dir/libsvm_test.cc.o.d"
+  "libsvm_test"
+  "libsvm_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/libsvm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metrics_extra_test.dir/metrics_extra_test.cc.o"
+  "CMakeFiles/metrics_extra_test.dir/metrics_extra_test.cc.o.d"
+  "metrics_extra_test"
+  "metrics_extra_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metrics_extra_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sampler_property_test.dir/sampler_property_test.cc.o"
+  "CMakeFiles/sampler_property_test.dir/sampler_property_test.cc.o.d"
+  "sampler_property_test"
+  "sampler_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sampler_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

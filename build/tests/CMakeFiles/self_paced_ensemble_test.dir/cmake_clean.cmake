@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/self_paced_ensemble_test.dir/self_paced_ensemble_test.cc.o"
+  "CMakeFiles/self_paced_ensemble_test.dir/self_paced_ensemble_test.cc.o.d"
+  "self_paced_ensemble_test"
+  "self_paced_ensemble_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/self_paced_ensemble_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

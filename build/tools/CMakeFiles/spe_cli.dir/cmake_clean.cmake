@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spe_cli.dir/spe_cli.cc.o"
+  "CMakeFiles/spe_cli.dir/spe_cli.cc.o.d"
+  "spe_cli"
+  "spe_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spe_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
