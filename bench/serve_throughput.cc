@@ -1,0 +1,157 @@
+// serve_throughput — load generator for the spe::serve subsystem.
+//
+// Trains an SPE ensemble on the paper's checkerboard benchmark, stands
+// up a BatchScorer, then replays a held-out test set through it from P
+// producer threads at a target rate (default: as fast as possible), and
+// prints one JSON report: sustained rows/sec plus the engine's latency
+// and batch-size statistics.
+//
+//   serve_throughput [--rows N] [--producers P] [--rate R rows/s, 0=max]
+//                    [--max-batch B] [--max-delay-us U] [--workers W]
+//                    [--queue-capacity C] [--n-estimators E]
+//
+// The acceptance bar for this harness: >= 100k rows/sec on a single
+// machine with default settings.
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <future>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "spe/classifiers/decision_tree.h"
+#include "spe/core/self_paced_ensemble.h"
+#include "spe/data/synthetic.h"
+#include "spe/serve/batch_scorer.h"
+#include "spe/serve/server_stats.h"
+
+namespace {
+
+long FlagValue(int argc, char** argv, const char* name, long fallback) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0) return std::atol(argv[i + 1]);
+  }
+  return fallback;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const long total_rows = FlagValue(argc, argv, "--rows", 500'000);
+  const long producers = FlagValue(argc, argv, "--producers", 4);
+  const long rate = FlagValue(argc, argv, "--rate", 0);
+  const long n_estimators = FlagValue(argc, argv, "--n-estimators", 10);
+
+  spe::BatchScorerConfig config;
+  config.max_batch_size = static_cast<std::size_t>(
+      FlagValue(argc, argv, "--max-batch", 256));
+  config.max_batch_delay_us = static_cast<std::size_t>(
+      FlagValue(argc, argv, "--max-delay-us", 200));
+  config.num_workers =
+      static_cast<std::size_t>(FlagValue(argc, argv, "--workers", 0));
+  config.queue_capacity = static_cast<std::size_t>(
+      FlagValue(argc, argv, "--queue-capacity", 4096));
+
+  // Paper §VI-A setup: 4x4 checkerboard, IR = 10.
+  spe::CheckerboardConfig data_config;
+  spe::Rng rng(42);
+  const spe::Dataset train = spe::MakeCheckerboard(data_config, rng);
+  spe::CheckerboardConfig test_config;
+  test_config.num_minority = 2000;
+  test_config.num_majority = 20000;
+  const spe::Dataset test = spe::MakeCheckerboard(test_config, rng);
+
+  spe::SelfPacedEnsembleConfig spe_config;
+  spe_config.n_estimators = static_cast<std::size_t>(n_estimators);
+  spe_config.seed = 0;
+  auto model = std::make_unique<spe::SelfPacedEnsemble>(
+      spe_config, std::make_unique<spe::DecisionTree>(spe::DecisionTreeConfig{}));
+  std::fprintf(stderr, "training SPE (%ld members) on %s\n", n_estimators,
+               train.Summary().c_str());
+  model->Fit(train);
+
+  spe::BatchScorer scorer(std::move(model), train.num_features(), config);
+
+  const long rows_per_producer = total_rows / producers;
+  const double per_producer_rate =
+      rate > 0 ? static_cast<double>(rate) / static_cast<double>(producers)
+               : 0.0;
+  std::fprintf(stderr,
+               "replaying %ld rows from %ld producers (%s), batch<=%zu, "
+               "delay<=%zuus\n",
+               rows_per_producer * producers, producers,
+               rate > 0 ? (std::to_string(rate) + " rows/s target").c_str()
+                        : "max rate",
+               config.max_batch_size, config.max_batch_delay_us);
+
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  std::atomic<long> failures{0};
+  for (long p = 0; p < producers; ++p) {
+    threads.emplace_back([&, p] {
+      // Wait in windows of in-flight futures so memory stays bounded
+      // without serializing on each request.
+      constexpr std::size_t kWindow = 8192;
+      std::vector<std::future<double>> inflight;
+      inflight.reserve(kWindow);
+      const auto t0 = std::chrono::steady_clock::now();
+      for (long i = 0; i < rows_per_producer; ++i) {
+        if (per_producer_rate > 0) {
+          const auto due =
+              t0 + std::chrono::duration_cast<
+                       std::chrono::steady_clock::duration>(
+                       std::chrono::duration<double>(
+                           static_cast<double>(i) / per_producer_rate));
+          std::this_thread::sleep_until(due);
+        }
+        const std::size_t row =
+            static_cast<std::size_t>((p * rows_per_producer + i)) %
+            test.num_rows();
+        const auto features = test.Row(row);
+        inflight.push_back(scorer.Submit(
+            std::vector<double>(features.begin(), features.end())));
+        if (inflight.size() == kWindow) {
+          for (auto& f : inflight) {
+            try {
+              (void)f.get();
+            } catch (const std::exception&) {
+              ++failures;
+            }
+          }
+          inflight.clear();
+        }
+      }
+      for (auto& f : inflight) {
+        try {
+          (void)f.get();
+        } catch (const std::exception&) {
+          ++failures;
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const auto wall =
+      std::chrono::duration_cast<std::chrono::duration<double>>(
+          std::chrono::steady_clock::now() - start)
+          .count();
+  scorer.Shutdown();
+
+  spe::ServeStatsSnapshot s = scorer.stats().Snapshot();
+  const double throughput =
+      wall > 0 ? static_cast<double>(rows_per_producer * producers) / wall
+               : 0.0;
+  // The engine snapshot reports rows/sec since scorer construction; the
+  // replay window is the honest number, so patch it in for the report.
+  s.rows_per_sec = throughput;
+  s.elapsed_s = wall;
+  std::string json = spe::ToJson(s);
+  json.insert(1, "\"bench\":\"serve_throughput\",\"failures\":" +
+                     std::to_string(failures.load()) + ",");
+  std::printf("%s\n", json.c_str());
+  return failures.load() == 0 ? 0 : 1;
+}

@@ -1,6 +1,8 @@
 #include "spe/common/parallel.h"
 
 #include <cstdlib>
+#include <exception>
+#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -31,15 +33,28 @@ void ParallelFor(std::size_t begin, std::size_t end,
   const std::size_t chunk = (count + threads - 1) / threads;
   std::vector<std::thread> workers;
   workers.reserve(threads);
+  // An exception escaping a std::thread body calls std::terminate, so
+  // each worker parks the first one thrown and the caller rethrows it
+  // after every worker has joined (remaining chunks still run — fn must
+  // already tolerate concurrent calls, so there is no partial-state
+  // contract to preserve by stopping early).
+  std::mutex error_mu;
+  std::exception_ptr first_error;
   for (std::size_t t = 0; t < threads; ++t) {
     const std::size_t lo = begin + t * chunk;
     if (lo >= end) break;
     const std::size_t hi = lo + chunk < end ? lo + chunk : end;
-    workers.emplace_back([lo, hi, &fn] {
-      for (std::size_t i = lo; i < hi; ++i) fn(i);
+    workers.emplace_back([lo, hi, &fn, &error_mu, &first_error] {
+      try {
+        for (std::size_t i = lo; i < hi; ++i) fn(i);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(error_mu);
+        if (!first_error) first_error = std::current_exception();
+      }
     });
   }
   for (auto& w : workers) w.join();
+  if (first_error) std::rethrow_exception(first_error);
 }
 
 }  // namespace spe

@@ -15,6 +15,10 @@ std::size_t NumThreads();
 /// serial loop when the range is small or only one thread is available,
 /// so callers can use it unconditionally. fn must be thread-safe across
 /// distinct indices.
+///
+/// If fn throws, the first exception is rethrown on the calling thread
+/// after all workers finish (in the parallel regime the remaining
+/// indices of other chunks still run before the rethrow).
 void ParallelFor(std::size_t begin, std::size_t end,
                  const std::function<void(std::size_t)>& fn);
 

@@ -25,6 +25,8 @@ namespace {
 
 constexpr char kMagic[] = "spe-model";
 constexpr int kFormatVersion = 1;
+constexpr char kBundleMagic[] = "spe-bundle";
+constexpr int kBundleVersion = 1;
 
 void SaveEnsembleMembers(const VotingEnsemble& members, std::ostream& os) {
   os << "members " << members.size() << "\n";
@@ -123,12 +125,33 @@ void SaveClassifier(const Classifier& model, std::ostream& os) {
   SaveEnsembleMembers(*members, os);
 }
 
-std::unique_ptr<Classifier> LoadClassifier(std::istream& is) {
+namespace {
+
+/// Reads the leading magic word; when it is a bundle header, consumes
+/// the schema fields (reporting the width via `num_features`) and reads
+/// on to the inner model magic.
+std::string ReadMagicSkippingBundle(std::istream& is,
+                                    std::size_t* num_features) {
   std::string magic;
-  int version = 0;
-  std::string tag;
-  is >> magic >> version >> tag;
-  SPE_CHECK(is.good() && magic == kMagic) << "not an spe model stream";
+  is >> magic;
+  if (magic == kBundleMagic) {
+    int version = 0;
+    std::string keyword;
+    std::size_t width = 0;
+    is >> version >> keyword >> width;
+    SPE_CHECK(is.good() && keyword == "num_features")
+        << "malformed bundle header";
+    SPE_CHECK_EQ(version, kBundleVersion);
+    if (num_features != nullptr) *num_features = width;
+    is >> magic;
+  }
+  return magic;
+}
+
+/// Restores a model whose "spe-model VERSION TAG" preamble has already
+/// been consumed (shared by LoadClassifier and LoadModelBundle).
+std::unique_ptr<Classifier> LoadTagged(int version, const std::string& tag,
+                                       std::istream& is) {
   SPE_CHECK_EQ(version, kFormatVersion);
 
   if (tag == "DecisionTree") {
@@ -164,6 +187,17 @@ std::unique_ptr<Classifier> LoadClassifier(std::istream& is) {
   return nullptr;  // unreachable
 }
 
+}  // namespace
+
+std::unique_ptr<Classifier> LoadClassifier(std::istream& is) {
+  const std::string magic = ReadMagicSkippingBundle(is, nullptr);
+  int version = 0;
+  std::string tag;
+  is >> version >> tag;
+  SPE_CHECK(is.good() && magic == kMagic) << "not an spe model stream";
+  return LoadTagged(version, tag, is);
+}
+
 void SaveClassifierToFile(const Classifier& model, const std::string& path) {
   std::ofstream os(path);
   SPE_CHECK(os.good()) << "cannot write " << path;
@@ -175,6 +209,40 @@ std::unique_ptr<Classifier> LoadClassifierFromFile(const std::string& path) {
   std::ifstream is(path);
   SPE_CHECK(is.good()) << "cannot open " << path;
   return LoadClassifier(is);
+}
+
+void SaveModelBundle(const Classifier& model, std::size_t num_features,
+                     std::ostream& os) {
+  SPE_CHECK_GT(num_features, 0u);
+  os << kBundleMagic << " " << kBundleVersion << " num_features "
+     << num_features << "\n";
+  SaveClassifier(model, os);
+}
+
+void SaveModelBundleToFile(const Classifier& model, std::size_t num_features,
+                           const std::string& path) {
+  std::ofstream os(path);
+  SPE_CHECK(os.good()) << "cannot write " << path;
+  SaveModelBundle(model, num_features, os);
+  SPE_CHECK(os.good()) << "write failed: " << path;
+}
+
+ModelBundle LoadModelBundle(std::istream& is) {
+  ModelBundle bundle;
+  const std::string magic = ReadMagicSkippingBundle(is, &bundle.num_features);
+  SPE_CHECK(is.good() && magic == kMagic) << "not an spe model stream";
+  int version = 0;
+  std::string tag;
+  is >> version >> tag;
+  SPE_CHECK(is.good()) << "truncated model stream";
+  bundle.model = LoadTagged(version, tag, is);
+  return bundle;
+}
+
+ModelBundle LoadModelBundleFromFile(const std::string& path) {
+  std::ifstream is(path);
+  SPE_CHECK(is.good()) << "cannot open " << path;
+  return LoadModelBundle(is);
 }
 
 }  // namespace spe

@@ -45,9 +45,32 @@ void SaveClassifier(const Classifier& model, std::ostream& os);
 void SaveClassifierToFile(const Classifier& model, const std::string& path);
 
 /// Restores a classifier persisted by SaveClassifier. The returned
-/// object predicts identically to the saved one.
+/// object predicts identically to the saved one. Also accepts bundle
+/// streams (below), skipping the schema header.
 std::unique_ptr<Classifier> LoadClassifier(std::istream& is);
 std::unique_ptr<Classifier> LoadClassifierFromFile(const std::string& path);
+
+/// A model together with the input schema the serving layer needs to
+/// validate incoming rows. Classifiers do not record their feature
+/// count, so the trainer (which knows the dataset width) supplies it at
+/// save time.
+struct ModelBundle {
+  std::unique_ptr<Classifier> model;
+  std::size_t num_features = 0;  // 0 = unknown (legacy spe-model stream)
+};
+
+/// Persists `model` prefixed with a schema header ("spe-bundle ...").
+/// Readers that only want the classifier (LoadClassifier) skip the
+/// header transparently.
+void SaveModelBundle(const Classifier& model, std::size_t num_features,
+                     std::ostream& os);
+void SaveModelBundleToFile(const Classifier& model, std::size_t num_features,
+                           const std::string& path);
+
+/// Loads either a bundle stream or a bare classifier stream; in the
+/// latter case num_features is 0 and the caller must know the width.
+ModelBundle LoadModelBundle(std::istream& is);
+ModelBundle LoadModelBundleFromFile(const std::string& path);
 
 }  // namespace spe
 

@@ -1,0 +1,111 @@
+#include "spe/serve/batch_scorer.h"
+
+#include <exception>
+#include <utility>
+
+#include "spe/common/check.h"
+#include "spe/common/parallel.h"
+
+namespace spe {
+
+BatchScorer::BatchScorer(std::unique_ptr<Classifier> model,
+                         std::size_t num_features, BatchScorerConfig config)
+    : model_(std::move(model)),
+      num_features_(num_features),
+      config_(config),
+      queue_(config.queue_capacity) {
+  SPE_CHECK(model_ != nullptr);
+  SPE_CHECK_GT(num_features_, 0u);
+  SPE_CHECK_GT(config_.max_batch_size, 0u);
+  const std::size_t n =
+      config_.num_workers > 0 ? config_.num_workers : NumThreads();
+  workers_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+BatchScorer::~BatchScorer() { Shutdown(); }
+
+std::future<double> BatchScorer::Submit(std::vector<double> features) {
+  SPE_CHECK_EQ(features.size(), num_features_)
+      << "submitted row width does not match the model schema";
+  Request req;
+  req.features = std::move(features);
+  req.enqueued = std::chrono::steady_clock::now();
+  std::future<double> future = req.promise.get_future();
+  const bool accepted = config_.overflow == OverflowPolicy::kBlock
+                            ? queue_.Push(std::move(req))
+                            : queue_.TryPush(std::move(req));
+  if (!accepted) {
+    // Push/TryPush moved-from only on success; on failure the request
+    // (and its promise) is destroyed inside the call, so re-create the
+    // rejection here through a fresh promise.
+    const bool closed = queue_.closed();
+    if (!closed) stats_.RecordShed();
+    std::promise<double> rejected;
+    rejected.set_exception(std::make_exception_ptr(ScorerOverloaded(
+        closed ? "scorer is shut down" : "request queue full")));
+    return rejected.get_future();
+  }
+  return future;
+}
+
+double BatchScorer::Score(std::vector<double> features) {
+  return Submit(std::move(features)).get();
+}
+
+std::vector<double> BatchScorer::ScoreBatch(const Dataset& rows) {
+  SPE_CHECK_EQ(rows.num_features(), num_features_);
+  std::vector<std::future<double>> futures;
+  futures.reserve(rows.num_rows());
+  for (std::size_t i = 0; i < rows.num_rows(); ++i) {
+    const auto row = rows.Row(i);
+    Request req;
+    req.features.assign(row.begin(), row.end());
+    req.enqueued = std::chrono::steady_clock::now();
+    futures.push_back(req.promise.get_future());
+    // Offline scoring always blocks: shedding rows out of a file-scoring
+    // run would silently truncate the output.
+    SPE_CHECK(queue_.Push(std::move(req))) << "scorer is shut down";
+  }
+  std::vector<double> probs(futures.size());
+  for (std::size_t i = 0; i < futures.size(); ++i) probs[i] = futures[i].get();
+  return probs;
+}
+
+void BatchScorer::Shutdown() {
+  std::call_once(shutdown_once_, [this] {
+    queue_.Close();
+    for (auto& w : workers_) w.join();
+  });
+}
+
+void BatchScorer::WorkerLoop() {
+  std::vector<Request> batch;
+  const std::chrono::microseconds delay(config_.max_batch_delay_us);
+  while (queue_.PopBatch(batch, config_.max_batch_size, delay) > 0) {
+    Dataset rows(num_features_);
+    rows.Reserve(batch.size());
+    for (const Request& r : batch) rows.AddRow(r.features, /*label=*/0);
+    try {
+      const std::vector<double> probs = model_->PredictProba(rows);
+      const auto done = std::chrono::steady_clock::now();
+      stats_.RecordBatch(batch.size());
+      for (std::size_t i = 0; i < batch.size(); ++i) {
+        const auto waited = done - batch[i].enqueued;
+        stats_.RecordRequest(static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::microseconds>(waited)
+                .count()));
+        batch[i].promise.set_value(probs[i]);
+      }
+    } catch (...) {
+      // A model that throws poisons only the requests in this batch —
+      // the worker and every other queued request keep going.
+      const std::exception_ptr error = std::current_exception();
+      for (Request& r : batch) r.promise.set_exception(error);
+    }
+  }
+}
+
+}  // namespace spe

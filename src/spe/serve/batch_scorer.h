@@ -1,0 +1,114 @@
+#ifndef SPE_SERVE_BATCH_SCORER_H_
+#define SPE_SERVE_BATCH_SCORER_H_
+
+#include <chrono>
+#include <cstddef>
+#include <future>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "spe/classifiers/classifier.h"
+#include "spe/common/mpmc_queue.h"
+#include "spe/serve/server_stats.h"
+
+namespace spe {
+
+/// What a producer experiences when the request queue is full.
+enum class OverflowPolicy {
+  kBlock,  // Submit blocks until a worker frees queue space
+  kShed,   // Submit returns immediately; the future holds ScorerOverloaded
+};
+
+struct BatchScorerConfig {
+  /// Upper bound on rows per model dispatch. Larger batches amortize
+  /// per-call overhead (virtual dispatch, ensemble loop setup) at the
+  /// cost of tail latency for the first row of the batch.
+  std::size_t max_batch_size = 256;
+  /// How long a worker holding a partial batch waits for more rows
+  /// before dispatching what it has. 0 dispatches immediately (lowest
+  /// latency, smallest batches).
+  std::size_t max_batch_delay_us = 200;
+  /// Worker threads running the model. 0 means NumThreads().
+  std::size_t num_workers = 0;
+  /// Bound on queued (accepted but not yet dispatched) requests.
+  std::size_t queue_capacity = 4096;
+  OverflowPolicy overflow = OverflowPolicy::kBlock;
+};
+
+/// Thrown (via the returned future) when a request is shed under
+/// OverflowPolicy::kShed or submitted after Shutdown.
+class ScorerOverloaded : public std::runtime_error {
+ public:
+  explicit ScorerOverloaded(const char* what) : std::runtime_error(what) {}
+};
+
+/// Online scoring engine: accepts single rows from any number of
+/// threads, coalesces them into micro-batches, and dispatches each
+/// batch to a fixed pool of workers that run the wrapped classifier's
+/// PredictProba. Because every classifier in this library computes
+/// probabilities row-independently, the micro-batch boundaries are
+/// invisible in the results: a row served here is bit-identical to the
+/// same row scored in-process via PredictProba.
+///
+/// Lifecycle: construct (workers start immediately), Submit/Score from
+/// any thread, Shutdown (or destroy) to drain. Shutdown refuses new
+/// work but completes every accepted request — no future is ever
+/// abandoned.
+class BatchScorer {
+ public:
+  /// Takes ownership of a *fitted* model. `num_features` is the width
+  /// submitted rows must have (a Dataset schema is reconstructed per
+  /// batch).
+  BatchScorer(std::unique_ptr<Classifier> model, std::size_t num_features,
+              BatchScorerConfig config = {});
+  ~BatchScorer();
+
+  BatchScorer(const BatchScorer&) = delete;
+  BatchScorer& operator=(const BatchScorer&) = delete;
+
+  /// Enqueues one row; the future resolves to P(y=1 | x). Under
+  /// kBlock this blocks while the queue is full; under kShed it returns
+  /// immediately with a ScorerOverloaded future when full. After
+  /// Shutdown the future always holds ScorerOverloaded.
+  std::future<double> Submit(std::vector<double> features);
+
+  /// Convenience: Submit + wait. Propagates ScorerOverloaded.
+  double Score(std::vector<double> features);
+
+  /// Scores every row of `rows` through the batching engine and returns
+  /// probabilities in row order. Always blocks for queue space (even
+  /// under kShed — offline scoring must not drop rows), so the offline
+  /// CLI path and the online path share one dispatch code path.
+  std::vector<double> ScoreBatch(const Dataset& rows);
+
+  /// Refuses new submissions, waits for workers to drain every queued
+  /// request, and joins them. Idempotent; called by the destructor.
+  void Shutdown();
+
+  const Classifier& model() const { return *model_; }
+  std::size_t num_features() const { return num_features_; }
+  const BatchScorerConfig& config() const { return config_; }
+  const ServerStats& stats() const { return stats_; }
+
+ private:
+  struct Request {
+    std::vector<double> features;
+    std::promise<double> promise;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+
+  void WorkerLoop();
+
+  const std::unique_ptr<Classifier> model_;
+  const std::size_t num_features_;
+  const BatchScorerConfig config_;
+  ServerStats stats_;
+  BoundedQueue<Request> queue_;
+  std::vector<std::thread> workers_;
+  std::once_flag shutdown_once_;
+};
+
+}  // namespace spe
+
+#endif  // SPE_SERVE_BATCH_SCORER_H_

@@ -1,0 +1,222 @@
+#include "spe/serve/line_protocol.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+
+namespace spe {
+namespace {
+
+void SkipSpace(std::string_view s, std::size_t& i) {
+  while (i < s.size() && std::isspace(static_cast<unsigned char>(s[i]))) ++i;
+}
+
+bool ParseNumber(std::string_view s, std::size_t& i, double* out) {
+  // strtod needs a NUL-terminated buffer; numbers are short, so copy
+  // the longest prefix that can still be part of a number.
+  char buf[64];
+  std::size_t n = 0;
+  while (i + n < s.size() && n + 1 < sizeof(buf)) {
+    const char c = s[i + n];
+    if (std::isdigit(static_cast<unsigned char>(c)) || c == '+' || c == '-' ||
+        c == '.' || c == 'e' || c == 'E' || c == 'n' || c == 'a' ||
+        c == 'i' || c == 'f' || c == 'N' || c == 'A' || c == 'I' || c == 'F') {
+      buf[n++] = c;
+    } else {
+      break;
+    }
+  }
+  buf[n] = '\0';
+  char* end = nullptr;
+  const double v = std::strtod(buf, &end);
+  if (end == buf) return false;
+  i += static_cast<std::size_t>(end - buf);
+  *out = v;
+  return true;
+}
+
+ServeRequest Invalid(std::string message, bool json) {
+  ServeRequest r;
+  r.kind = RequestKind::kInvalid;
+  r.json = json;
+  r.error = std::move(message);
+  return r;
+}
+
+// Consumes a JSON string literal starting at s[i] == '"', returning the
+// verbatim token (quotes included). Handles backslash escapes only well
+// enough to find the closing quote.
+bool ParseStringToken(std::string_view s, std::size_t& i, std::string* out) {
+  if (i >= s.size() || s[i] != '"') return false;
+  const std::size_t start = i++;
+  while (i < s.size()) {
+    if (s[i] == '\\') {
+      i += 2;
+    } else if (s[i] == '"') {
+      ++i;
+      *out = std::string(s.substr(start, i - start));
+      return true;
+    } else {
+      ++i;
+    }
+  }
+  return false;
+}
+
+ServeRequest ParseJson(std::string_view s) {
+  ServeRequest r;
+  r.kind = RequestKind::kScore;
+  r.json = true;
+  std::size_t i = 0;
+  SkipSpace(s, i);
+  if (i >= s.size() || s[i] != '{') return Invalid("expected '{'", true);
+  ++i;
+  bool have_features = false;
+  while (true) {
+    SkipSpace(s, i);
+    if (i < s.size() && s[i] == '}') break;
+    std::string key;
+    if (!ParseStringToken(s, i, &key)) {
+      return Invalid("expected object key", true);
+    }
+    SkipSpace(s, i);
+    if (i >= s.size() || s[i] != ':') return Invalid("expected ':'", true);
+    ++i;
+    SkipSpace(s, i);
+    if (key == "\"features\"") {
+      if (i >= s.size() || s[i] != '[') {
+        return Invalid("\"features\" must be an array", true);
+      }
+      ++i;
+      SkipSpace(s, i);
+      if (i < s.size() && s[i] == ']') {
+        ++i;
+      } else {
+        while (true) {
+          double v = 0.0;
+          if (!ParseNumber(s, i, &v)) {
+            return Invalid("bad number in \"features\"", true);
+          }
+          r.features.push_back(v);
+          SkipSpace(s, i);
+          if (i < s.size() && s[i] == ',') {
+            ++i;
+            SkipSpace(s, i);
+            continue;
+          }
+          if (i < s.size() && s[i] == ']') {
+            ++i;
+            break;
+          }
+          return Invalid("expected ',' or ']' in \"features\"", true);
+        }
+      }
+      have_features = true;
+    } else {
+      // Any other key (notably "id"): accept a string or number scalar
+      // and, for "id", remember the verbatim token.
+      std::string token;
+      if (i < s.size() && s[i] == '"') {
+        if (!ParseStringToken(s, i, &token)) {
+          return Invalid("unterminated string", true);
+        }
+      } else {
+        double v = 0.0;
+        const std::size_t start = i;
+        if (!ParseNumber(s, i, &v)) {
+          return Invalid("unsupported value for key " + key, true);
+        }
+        token = std::string(s.substr(start, i - start));
+      }
+      if (key == "\"id\"") r.id = std::move(token);
+    }
+    SkipSpace(s, i);
+    if (i < s.size() && s[i] == ',') {
+      ++i;
+      continue;
+    }
+    if (i < s.size() && s[i] == '}') break;
+    return Invalid("expected ',' or '}'", true);
+  }
+  if (!have_features) return Invalid("missing \"features\"", true);
+  return r;
+}
+
+ServeRequest ParseCsv(std::string_view s) {
+  ServeRequest r;
+  r.kind = RequestKind::kScore;
+  r.json = false;
+  std::size_t i = 0;
+  while (true) {
+    SkipSpace(s, i);
+    double v = 0.0;
+    if (!ParseNumber(s, i, &v)) {
+      return Invalid("bad number at column " +
+                         std::to_string(r.features.size() + 1),
+                     false);
+    }
+    r.features.push_back(v);
+    SkipSpace(s, i);
+    if (i >= s.size()) break;
+    if (s[i] != ',') return Invalid("expected ','", false);
+    ++i;
+  }
+  return r;
+}
+
+}  // namespace
+
+ServeRequest ParseRequestLine(std::string_view line) {
+  std::size_t i = 0;
+  SkipSpace(line, i);
+  if (i >= line.size()) {
+    ServeRequest r;
+    r.kind = RequestKind::kEmpty;
+    return r;
+  }
+  if (line.substr(i) == "STATS") {
+    ServeRequest r;
+    r.kind = RequestKind::kStats;
+    return r;
+  }
+  return line[i] == '{' ? ParseJson(line.substr(i)) : ParseCsv(line.substr(i));
+}
+
+std::string FormatScoreResponse(const ServeRequest& request, double proba) {
+  char num[40];
+  std::snprintf(num, sizeof(num), "%.17g", proba);
+  if (!request.json) return num;
+  std::string out = "{";
+  if (!request.id.empty()) {
+    out += "\"id\":";
+    out += request.id;
+    out += ',';
+  }
+  out += "\"proba\":";
+  out += num;
+  out += '}';
+  return out;
+}
+
+std::string FormatErrorResponse(const ServeRequest& request,
+                                std::string_view message) {
+  if (!request.json) return "ERR " + std::string(message);
+  std::string out = "{";
+  if (!request.id.empty()) {
+    out += "\"id\":";
+    out += request.id;
+    out += ',';
+  }
+  out += "\"error\":\"";
+  // The messages this server produces contain no quotes or backslashes,
+  // but escape defensively so a hostile id echoed in `message` cannot
+  // break the JSON framing.
+  for (char c : message) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  out += "\"}";
+  return out;
+}
+
+}  // namespace spe

@@ -1,0 +1,55 @@
+#ifndef SPE_SERVE_LINE_PROTOCOL_H_
+#define SPE_SERVE_LINE_PROTOCOL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace spe {
+
+/// Newline-delimited scoring protocol shared by the TCP and stdio
+/// transports of spe_serve. One request per line, one response line per
+/// request, responses in request order. Two self-describing request
+/// shapes:
+///
+///   CSV:  `0.5,1.25,-3`                 -> `0.08731...`
+///   JSON: `{"id":17,"features":[0.5]}`  -> `{"id":17,"proba":0.08731...}`
+///
+/// A line whose first non-space byte is '{' is JSON; anything else is
+/// CSV. The literal line `STATS` requests a stats snapshot. Errors are
+/// reported in the shape of the request: `ERR <msg>` for CSV,
+/// `{"error":"<msg>"}` for JSON — the connection stays open either way.
+/// Probabilities are printed with 17 significant digits so the decimal
+/// text round-trips to the exact double the model produced.
+
+enum class RequestKind {
+  kScore,    // features parsed, ready to submit
+  kStats,    // STATS command
+  kEmpty,    // blank line — ignore, no response
+  kInvalid,  // malformed — respond with `error`
+};
+
+struct ServeRequest {
+  RequestKind kind = RequestKind::kInvalid;
+  bool json = false;
+  /// Verbatim "id" token from a JSON request (including quotes for
+  /// string ids), echoed back in the response. Empty when absent.
+  std::string id;
+  std::vector<double> features;
+  std::string error;  // human-readable reason when kind == kInvalid
+};
+
+/// Parses one request line (no trailing newline). Never throws; a
+/// malformed line yields kInvalid with `error` set.
+ServeRequest ParseRequestLine(std::string_view line);
+
+/// Response line (no trailing newline) for a scored request.
+std::string FormatScoreResponse(const ServeRequest& request, double proba);
+
+/// Error line (no trailing newline) in the shape of the request.
+std::string FormatErrorResponse(const ServeRequest& request,
+                                std::string_view message);
+
+}  // namespace spe
+
+#endif  // SPE_SERVE_LINE_PROTOCOL_H_

@@ -1,0 +1,115 @@
+#ifndef SPE_SERVE_SERVER_STATS_H_
+#define SPE_SERVE_SERVER_STATS_H_
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace spe {
+
+/// Point-in-time view of a ServerStats. Percentiles are estimated from
+/// the fixed-bucket histogram (geometric buckets, 8 per power of two,
+/// so estimates carry at most ~12.5% relative error); max is exact.
+struct ServeStatsSnapshot {
+  std::uint64_t rows = 0;      // completed single-row requests
+  std::uint64_t batches = 0;   // micro-batches dispatched to the model
+  std::uint64_t shed = 0;      // requests rejected by load shedding
+  double elapsed_s = 0.0;      // since stats creation / last Reset
+  double rows_per_sec = 0.0;   // rows / elapsed_s
+  double p50_us = 0.0;
+  double p95_us = 0.0;
+  double p99_us = 0.0;
+  std::uint64_t max_us = 0;
+  double mean_batch_size = 0.0;
+  std::uint64_t max_batch_size = 0;
+  /// batch_size_hist[i] counts batches with size in [2^i, 2^(i+1)).
+  std::vector<std::uint64_t> batch_size_hist;
+};
+
+/// Renders a snapshot as a single-line JSON object (stable key order,
+/// suitable for log scraping and for the bench report).
+std::string ToJson(const ServeStatsSnapshot& s);
+
+/// Lock-free (atomic counter) request/latency accounting shared by every
+/// worker and producer thread of a BatchScorer. All Record* methods are
+/// safe to call concurrently; Snapshot is safe concurrently with
+/// recording (it reads a consistent-enough view for monitoring — counts
+/// may be mid-update across arrays, which is fine for observability).
+class ServerStats {
+ public:
+  ServerStats();
+
+  /// One completed request with end-to-end (enqueue -> response ready)
+  /// latency in microseconds.
+  void RecordRequest(std::uint64_t latency_us);
+
+  /// One micro-batch of `size` rows dispatched to the model.
+  void RecordBatch(std::uint64_t size);
+
+  /// One request rejected because the queue was full (shed policy).
+  void RecordShed();
+
+  ServeStatsSnapshot Snapshot() const;
+
+  /// Number of latency histogram buckets (geometric; see
+  /// BucketLowerBound). 488 is the largest count whose top bucket's
+  /// lower bound still fits in 64 bits — anything slower lands in the
+  /// last bucket. Exposed for tests.
+  static constexpr std::size_t kLatencyBuckets = 488;
+
+  /// Index of the histogram bucket for a microsecond value, and the
+  /// inclusive lower bound of bucket `index`. Exposed for tests.
+  static std::size_t BucketIndex(std::uint64_t us);
+  static std::uint64_t BucketLowerBound(std::size_t index);
+
+ private:
+  static constexpr std::size_t kBatchBuckets = 24;  // up to 2^23 rows/batch
+
+  double Percentile(const std::array<std::uint64_t, kLatencyBuckets>& counts,
+                    std::uint64_t total, double q) const;
+
+  std::chrono::steady_clock::time_point start_;
+  std::atomic<std::uint64_t> rows_{0};
+  std::atomic<std::uint64_t> batches_{0};
+  std::atomic<std::uint64_t> batch_rows_{0};
+  std::atomic<std::uint64_t> shed_{0};
+  std::atomic<std::uint64_t> max_us_{0};
+  std::atomic<std::uint64_t> max_batch_{0};
+  std::array<std::atomic<std::uint64_t>, kLatencyBuckets> latency_hist_;
+  std::array<std::atomic<std::uint64_t>, kBatchBuckets> batch_hist_;
+};
+
+/// Background thread that prints a one-line JSON snapshot of a
+/// ServerStats to `os` every `interval`. The destructor (or Stop) joins
+/// the thread promptly — it does not wait out the current interval.
+class StatsReporter {
+ public:
+  StatsReporter(const ServerStats& stats, std::ostream& os,
+                std::chrono::milliseconds interval);
+  ~StatsReporter();
+
+  StatsReporter(const StatsReporter&) = delete;
+  StatsReporter& operator=(const StatsReporter&) = delete;
+
+  void Stop();
+
+ private:
+  const ServerStats& stats_;
+  std::ostream& os_;
+  const std::chrono::milliseconds interval_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  std::thread thread_;
+};
+
+}  // namespace spe
+
+#endif  // SPE_SERVE_SERVER_STATS_H_

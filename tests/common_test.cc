@@ -1,6 +1,7 @@
 #include <algorithm>
 #include <atomic>
 #include <set>
+#include <stdexcept>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -149,6 +150,25 @@ TEST(ParallelTest, OffsetRange) {
   std::atomic<long> sum = 0;
   ParallelFor(10, 20, [&](std::size_t i) { sum += static_cast<long>(i); });
   EXPECT_EQ(sum.load(), 145);  // 10 + ... + 19
+}
+
+TEST(ParallelTest, WorkerExceptionPropagatesToCaller) {
+  // Large range so the parallel (multi-thread) regime is exercised; an
+  // uncaught exception there used to std::terminate the process.
+  EXPECT_THROW(
+      ParallelFor(0, 10000,
+                  [](std::size_t i) {
+                    if (i == 5678) throw std::runtime_error("worker boom");
+                  }),
+      std::runtime_error);
+}
+
+TEST(ParallelTest, SerialRegimeExceptionAlsoPropagates) {
+  EXPECT_THROW(ParallelFor(0, 2,
+                           [](std::size_t) {
+                             throw std::invalid_argument("serial boom");
+                           }),
+               std::invalid_argument);
 }
 
 TEST(CheckDeathTest, FailedCheckAborts) {

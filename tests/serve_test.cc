@@ -1,0 +1,374 @@
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <future>
+#include <random>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "spe/classifiers/decision_tree.h"
+#include "spe/common/mpmc_queue.h"
+#include "spe/core/self_paced_ensemble.h"
+#include "spe/data/synthetic.h"
+#include "spe/io/model_io.h"
+#include "spe/serve/batch_scorer.h"
+#include "spe/serve/line_protocol.h"
+#include "spe/serve/server_stats.h"
+
+namespace spe {
+namespace {
+
+Dataset SmallCheckerboard(std::uint64_t seed, std::size_t minority = 150,
+                          std::size_t majority = 1500) {
+  CheckerboardConfig config;
+  config.num_minority = minority;
+  config.num_majority = majority;
+  Rng rng(seed);
+  return MakeCheckerboard(config, rng);
+}
+
+std::unique_ptr<Classifier> TrainedSpe(const Dataset& train) {
+  SelfPacedEnsembleConfig config;
+  config.n_estimators = 5;
+  config.seed = 7;
+  auto model = std::make_unique<SelfPacedEnsemble>(
+      config, std::make_unique<DecisionTree>(DecisionTreeConfig{}));
+  model->Fit(train);
+  return model;
+}
+
+// ---------------------------------------------------------------- queue
+
+TEST(BoundedQueueTest, PopBatchRespectsMaxItems) {
+  BoundedQueue<int> q(16);
+  for (int i = 0; i < 10; ++i) ASSERT_TRUE(q.Push(i));
+  std::vector<int> batch;
+  EXPECT_EQ(q.PopBatch(batch, 4, std::chrono::microseconds(0)), 4u);
+  EXPECT_EQ(batch, (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_EQ(q.size(), 6u);
+}
+
+TEST(BoundedQueueTest, TryPushShedsWhenFull) {
+  BoundedQueue<int> q(2);
+  EXPECT_TRUE(q.TryPush(1));
+  EXPECT_TRUE(q.TryPush(2));
+  EXPECT_FALSE(q.TryPush(3));
+  std::vector<int> batch;
+  q.PopBatch(batch, 8, std::chrono::microseconds(0));
+  EXPECT_EQ(batch.size(), 2u);
+}
+
+TEST(BoundedQueueTest, CloseDrainsRemainingItems) {
+  BoundedQueue<int> q(8);
+  ASSERT_TRUE(q.Push(1));
+  ASSERT_TRUE(q.Push(2));
+  q.Close();
+  EXPECT_FALSE(q.Push(3));
+  std::vector<int> batch;
+  EXPECT_EQ(q.PopBatch(batch, 1, std::chrono::microseconds(0)), 1u);
+  EXPECT_EQ(q.PopBatch(batch, 8, std::chrono::microseconds(0)), 1u);
+  EXPECT_EQ(q.PopBatch(batch, 8, std::chrono::microseconds(0)), 0u);
+}
+
+TEST(BoundedQueueTest, BlockedPushWakesWhenConsumerDrains) {
+  BoundedQueue<int> q(1);
+  ASSERT_TRUE(q.Push(1));
+  std::thread producer([&] { EXPECT_TRUE(q.Push(2)); });
+  std::vector<int> batch;
+  // Eventually both items flow through; the producer unblocks.
+  std::size_t seen = 0;
+  while (seen < 2) {
+    seen += q.PopBatch(batch, 1, std::chrono::microseconds(100));
+  }
+  producer.join();
+}
+
+// ------------------------------------------------------------- scoring
+
+TEST(BatchScorerTest, ServedBitIdenticalToDirectPredictProba) {
+  const Dataset train = SmallCheckerboard(1);
+  const Dataset test = SmallCheckerboard(2, 100, 400);
+  const auto trained = TrainedSpe(train);
+
+  // Round-trip the trained ensemble through the persistence layer, the
+  // way a real deployment ships a model to the server.
+  std::stringstream artifact;
+  SaveModelBundle(*trained, train.num_features(), artifact);
+  ModelBundle bundle = LoadModelBundle(artifact);
+  ASSERT_EQ(bundle.num_features, train.num_features());
+
+  const std::vector<double> direct = bundle.model->PredictProba(test);
+
+  BatchScorerConfig config;
+  config.max_batch_size = 32;  // force many batch boundaries
+  config.max_batch_delay_us = 50;
+  BatchScorer scorer(std::move(bundle.model), bundle.num_features, config);
+  const std::vector<double> served = scorer.ScoreBatch(test);
+
+  ASSERT_EQ(served.size(), direct.size());
+  for (std::size_t i = 0; i < served.size(); ++i) {
+    // Bit-identical, not approximately equal: micro-batch boundaries
+    // must be invisible in the output.
+    EXPECT_EQ(std::memcmp(&served[i], &direct[i], sizeof(double)), 0)
+        << "row " << i << ": " << served[i] << " vs " << direct[i];
+  }
+  EXPECT_EQ(scorer.stats().Snapshot().rows, test.num_rows());
+}
+
+TEST(BatchScorerTest, MultiThreadedProducersRandomizedDelays) {
+  const Dataset train = SmallCheckerboard(3);
+  const Dataset test = SmallCheckerboard(4, 60, 240);
+  const auto model = TrainedSpe(train);
+  const std::vector<double> expected = model->PredictProba(test);
+
+  BatchScorerConfig config;
+  config.max_batch_size = 16;
+  config.max_batch_delay_us = 300;
+  config.num_workers = 4;
+  config.queue_capacity = 64;  // small: exercises producer blocking
+  BatchScorer scorer(TrainedSpe(train), train.num_features(), config);
+
+  constexpr int kProducers = 8;
+  constexpr int kRounds = 5;
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      std::mt19937 rng(static_cast<unsigned>(p));
+      std::uniform_int_distribution<int> jitter_us(0, 200);
+      for (int round = 0; round < kRounds; ++round) {
+        std::vector<std::future<double>> futures;
+        std::vector<std::size_t> rows;
+        for (std::size_t i = static_cast<std::size_t>(p); i < test.num_rows();
+             i += kProducers) {
+          const auto row = test.Row(i);
+          futures.push_back(
+              scorer.Submit(std::vector<double>(row.begin(), row.end())));
+          rows.push_back(i);
+          if (jitter_us(rng) < 20) {
+            std::this_thread::sleep_for(
+                std::chrono::microseconds(jitter_us(rng)));
+          }
+        }
+        for (std::size_t k = 0; k < futures.size(); ++k) {
+          if (futures[k].get() != expected[rows[k]]) ++mismatches;
+        }
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  EXPECT_EQ(mismatches.load(), 0);
+
+  const ServeStatsSnapshot s = scorer.stats().Snapshot();
+  // Each round, the producers partition the test set exactly once.
+  EXPECT_EQ(s.rows, static_cast<std::uint64_t>(kRounds) * test.num_rows());
+  EXPECT_GT(s.batches, 0u);
+  EXPECT_GE(s.mean_batch_size, 1.0);
+  EXPECT_EQ(s.shed, 0u);
+}
+
+TEST(BatchScorerTest, ShutdownDrainsEveryAcceptedRequest) {
+  const Dataset train = SmallCheckerboard(5);
+  const Dataset test = SmallCheckerboard(6, 40, 160);
+
+  BatchScorerConfig config;
+  config.max_batch_size = 8;
+  // Long fill deadline: requests sit in partial batches when Shutdown
+  // lands, which is exactly the drain path under test.
+  config.max_batch_delay_us = 50'000;
+  config.num_workers = 2;
+  BatchScorer scorer(TrainedSpe(train), train.num_features(), config);
+
+  std::vector<std::future<double>> futures;
+  for (std::size_t i = 0; i < test.num_rows(); ++i) {
+    const auto row = test.Row(i);
+    futures.push_back(
+        scorer.Submit(std::vector<double>(row.begin(), row.end())));
+  }
+  scorer.Shutdown();
+
+  for (auto& f : futures) {
+    const double p = f.get();  // must not throw: accepted => completed
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+  }
+  EXPECT_EQ(scorer.stats().Snapshot().rows, test.num_rows());
+
+  // After shutdown, new submissions are refused via the future.
+  auto rejected = scorer.Submit(std::vector<double>(test.num_features(), 0.0));
+  EXPECT_THROW(rejected.get(), ScorerOverloaded);
+}
+
+// A model slow enough to keep the queue backed up, for shedding tests.
+class SlowConstantModel final : public Classifier {
+ public:
+  void Fit(const Dataset&) override {}
+  double PredictRow(std::span<const double>) const override {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    return 0.25;
+  }
+  std::vector<double> PredictProba(const Dataset& data) const override {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    return std::vector<double>(data.num_rows(), 0.25);
+  }
+  std::unique_ptr<Classifier> Clone() const override {
+    return std::make_unique<SlowConstantModel>();
+  }
+  std::string Name() const override { return "SlowConstant"; }
+};
+
+TEST(BatchScorerTest, ShedPolicyRejectsWhenQueueFull) {
+  BatchScorerConfig config;
+  config.max_batch_size = 1;
+  config.max_batch_delay_us = 0;
+  config.num_workers = 1;
+  config.queue_capacity = 2;
+  config.overflow = OverflowPolicy::kShed;
+  BatchScorer scorer(std::make_unique<SlowConstantModel>(), 2, config);
+
+  std::vector<std::future<double>> futures;
+  for (int i = 0; i < 40; ++i) {
+    futures.push_back(scorer.Submit({0.0, 1.0}));
+  }
+  int ok = 0;
+  int shed = 0;
+  for (auto& f : futures) {
+    try {
+      EXPECT_EQ(f.get(), 0.25);
+      ++ok;
+    } catch (const ScorerOverloaded&) {
+      ++shed;
+    }
+  }
+  EXPECT_GT(ok, 0);
+  EXPECT_GT(shed, 0);
+  EXPECT_EQ(static_cast<std::uint64_t>(shed), scorer.stats().Snapshot().shed);
+}
+
+// ------------------------------------------------------------ protocol
+
+TEST(LineProtocolTest, ParsesCsvRow) {
+  const ServeRequest r = ParseRequestLine("0.5, -1.25,3e2");
+  ASSERT_EQ(r.kind, RequestKind::kScore);
+  EXPECT_FALSE(r.json);
+  EXPECT_EQ(r.features, (std::vector<double>{0.5, -1.25, 300.0}));
+}
+
+TEST(LineProtocolTest, ParsesJsonWithId) {
+  const ServeRequest r =
+      ParseRequestLine(R"({"id": "row-9", "features": [1, 2.5, -3]})");
+  ASSERT_EQ(r.kind, RequestKind::kScore);
+  EXPECT_TRUE(r.json);
+  EXPECT_EQ(r.id, "\"row-9\"");
+  EXPECT_EQ(r.features, (std::vector<double>{1.0, 2.5, -3.0}));
+  EXPECT_EQ(FormatScoreResponse(r, 0.5), R"({"id":"row-9","proba":0.5})");
+}
+
+TEST(LineProtocolTest, JsonNumericIdAndKeyOrder) {
+  const ServeRequest r = ParseRequestLine(R"({"features":[4],"id":17})");
+  ASSERT_EQ(r.kind, RequestKind::kScore);
+  EXPECT_EQ(r.id, "17");
+  EXPECT_EQ(r.features, std::vector<double>{4.0});
+}
+
+TEST(LineProtocolTest, SpecialLines) {
+  EXPECT_EQ(ParseRequestLine("").kind, RequestKind::kEmpty);
+  EXPECT_EQ(ParseRequestLine("   ").kind, RequestKind::kEmpty);
+  EXPECT_EQ(ParseRequestLine("STATS").kind, RequestKind::kStats);
+}
+
+TEST(LineProtocolTest, MalformedLinesReportErrors) {
+  EXPECT_EQ(ParseRequestLine("1.0,,2.0").kind, RequestKind::kInvalid);
+  EXPECT_EQ(ParseRequestLine("abc").kind, RequestKind::kInvalid);
+  EXPECT_EQ(ParseRequestLine("{\"features\":}").kind, RequestKind::kInvalid);
+  EXPECT_EQ(ParseRequestLine("{\"id\":1}").kind, RequestKind::kInvalid);
+  const ServeRequest bad = ParseRequestLine("{bad json");
+  EXPECT_EQ(bad.kind, RequestKind::kInvalid);
+  EXPECT_EQ(FormatErrorResponse(bad, bad.error),
+            "{\"error\":\"" + bad.error + "\"}");
+  const ServeRequest bad_csv = ParseRequestLine("x");
+  EXPECT_EQ(FormatErrorResponse(bad_csv, bad_csv.error),
+            "ERR " + bad_csv.error);
+}
+
+TEST(LineProtocolTest, ResponseRoundTripsDoubleExactly) {
+  ServeRequest r;
+  r.json = false;
+  const double p = 0.123456789012345678;  // not representable exactly
+  const std::string text = FormatScoreResponse(r, p);
+  EXPECT_EQ(std::strtod(text.c_str(), nullptr), p);
+}
+
+// --------------------------------------------------------------- stats
+
+TEST(ServerStatsTest, BucketBoundsAreMonotone) {
+  std::uint64_t prev = 0;
+  for (std::size_t i = 1; i < ServerStats::kLatencyBuckets; ++i) {
+    const std::uint64_t lo = ServerStats::BucketLowerBound(i);
+    EXPECT_GT(lo, prev) << "bucket " << i;
+    prev = lo;
+  }
+  // A value always lands in the bucket whose range contains it.
+  for (std::uint64_t v : {0ull, 1ull, 7ull, 8ull, 100ull, 4096ull,
+                          1'000'000ull, 123'456'789ull}) {
+    const std::size_t b = ServerStats::BucketIndex(v);
+    EXPECT_LE(ServerStats::BucketLowerBound(b), v);
+    if (b + 1 < ServerStats::kLatencyBuckets) {
+      EXPECT_GT(ServerStats::BucketLowerBound(b + 1), v);
+    }
+  }
+}
+
+TEST(ServerStatsTest, PercentilesTrackUniformLatencies) {
+  ServerStats stats;
+  for (std::uint64_t us = 1; us <= 1000; ++us) stats.RecordRequest(us);
+  const ServeStatsSnapshot s = stats.Snapshot();
+  EXPECT_EQ(s.rows, 1000u);
+  EXPECT_EQ(s.max_us, 1000u);
+  // Geometric buckets guarantee <= 12.5% relative error.
+  EXPECT_NEAR(s.p50_us, 500.0, 0.15 * 500);
+  EXPECT_NEAR(s.p95_us, 950.0, 0.15 * 950);
+  EXPECT_NEAR(s.p99_us, 990.0, 0.15 * 990);
+  EXPECT_GE(s.p95_us, s.p50_us);
+  EXPECT_GE(s.p99_us, s.p95_us);
+}
+
+TEST(ServerStatsTest, BatchHistogramAndJson) {
+  ServerStats stats;
+  stats.RecordBatch(1);
+  stats.RecordBatch(3);
+  stats.RecordBatch(200);
+  stats.RecordShed();
+  const ServeStatsSnapshot s = stats.Snapshot();
+  EXPECT_EQ(s.batches, 3u);
+  EXPECT_EQ(s.shed, 1u);
+  EXPECT_EQ(s.max_batch_size, 200u);
+  EXPECT_NEAR(s.mean_batch_size, 68.0, 1e-9);
+  ASSERT_EQ(s.batch_size_hist.size(), 8u);  // 200 -> bucket 7
+  EXPECT_EQ(s.batch_size_hist[0], 1u);
+  EXPECT_EQ(s.batch_size_hist[1], 1u);
+  EXPECT_EQ(s.batch_size_hist[7], 1u);
+  const std::string json = ToJson(s);
+  EXPECT_NE(json.find("\"rows\":0"), std::string::npos);
+  EXPECT_NE(json.find("\"shed\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"batch_size_hist\":[1,1,0,0,0,0,0,1]"),
+            std::string::npos);
+}
+
+TEST(StatsReporterTest, EmitsSnapshotsAndStopsPromptly) {
+  ServerStats stats;
+  stats.RecordRequest(10);
+  std::ostringstream os;
+  {
+    StatsReporter reporter(stats, os, std::chrono::milliseconds(20));
+    std::this_thread::sleep_for(std::chrono::milliseconds(120));
+  }  // destructor must not wait out a full interval
+  const std::string out = os.str();
+  EXPECT_NE(out.find("\"rows\":1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace spe

@@ -31,6 +31,7 @@
 #include "spe/imbalance/under_bagging.h"
 #include "spe/io/model_io.h"
 #include "spe/metrics/metrics.h"
+#include "spe/serve/batch_scorer.h"
 
 namespace {
 
@@ -173,7 +174,7 @@ int Train(const Options& options) {
   std::fprintf(stderr, "training on %s\n", data.Summary().c_str());
   auto model = BuildMethod(options);
   model->Fit(data);
-  spe::SaveClassifierToFile(*model, model_path);
+  spe::SaveModelBundleToFile(*model, data.num_features(), model_path);
   std::fprintf(stderr, "model written to %s\n", model_path.c_str());
   return 0;
 }
@@ -182,8 +183,11 @@ int Predict(const Options& options) {
   const std::string model_path = options.Get("model", "");
   if (model_path.empty()) Usage("predict requires --model");
   const spe::Dataset data = LoadData(options);
-  const auto model = spe::LoadClassifierFromFile(model_path);
-  const std::vector<double> probs = model->PredictProba(data);
+  auto model = spe::LoadClassifierFromFile(model_path);
+  // Offline scoring goes through the same batching engine as spe_serve,
+  // so there is exactly one dispatch path to keep bit-identical.
+  spe::BatchScorer scorer(std::move(model), data.num_features());
+  const std::vector<double> probs = scorer.ScoreBatch(data);
   const bool scores_only = options.flags.count("scores-only") > 0;
   const double threshold = options.GetDouble("threshold", 0.5);
   for (double p : probs) {

@@ -1,0 +1,298 @@
+// spe_serve — online scoring server over a saved model.
+//
+//   spe_serve --model FILE [--stdio | --port P] [--host ADDR]
+//             [--max-batch N] [--max-delay-us U] [--workers W]
+//             [--queue-capacity C] [--overflow block|shed]
+//             [--stats-interval-ms MS]
+//
+// Speaks the newline-delimited CSV/JSON protocol of spe/serve/
+// line_protocol.h. --stdio serves exactly one "connection" on
+// stdin/stdout (what tests and shell pipelines use); --port accepts any
+// number of concurrent TCP connections, each handled by a reader thread
+// (parse + submit) and a writer thread (responses in request order), all
+// funneling into one shared BatchScorer so cross-connection traffic
+// coalesces into common micro-batches.
+//
+// Shutdown drains: on SIGINT/SIGTERM (or stdin EOF) the listener closes,
+// connections stop reading, every accepted request is still scored and
+// written, and a final stats snapshot goes to stderr.
+
+#include <atomic>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <deque>
+#include <future>
+#include <iostream>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "spe/io/model_io.h"
+#include "spe/serve/batch_scorer.h"
+#include "spe/serve/line_protocol.h"
+#include "spe/serve/server_stats.h"
+
+namespace {
+
+[[noreturn]] void Usage(const char* message) {
+  if (message != nullptr) std::fprintf(stderr, "error: %s\n\n", message);
+  std::fprintf(
+      stderr,
+      "usage: spe_serve --model FILE [--stdio | --port P] [options]\n"
+      "  --model FILE          saved model (spe_cli train --model FILE)\n"
+      "  --stdio               serve one session on stdin/stdout\n"
+      "  --port P              listen for TCP connections on port P\n"
+      "  --host ADDR           bind address (default 127.0.0.1)\n"
+      "  --max-batch N         rows per model dispatch (default 256)\n"
+      "  --max-delay-us U      micro-batch fill deadline (default 200)\n"
+      "  --workers W           scoring threads (default: hardware)\n"
+      "  --queue-capacity C    pending-request bound (default 4096)\n"
+      "  --overflow block|shed backpressure policy (default block)\n"
+      "  --stats-interval-ms M periodic stats line to stderr (0 = off,\n"
+      "                        default 10000 for --port, 0 for --stdio)\n"
+      "protocol: one request per line — CSV features (`0.2,1.5`) or JSON\n"
+      "(`{\"id\":1,\"features\":[0.2,1.5]}`); `STATS` returns a stats\n"
+      "snapshot; responses come back one line each, in request order.\n");
+  std::exit(2);
+}
+
+std::atomic<int> g_listen_fd{-1};
+
+void HandleStopSignal(int /*sig*/) {
+  // close() is async-signal-safe; closing the listener pops accept()
+  // out with an error, which the accept loop treats as "stop".
+  const int fd = g_listen_fd.exchange(-1);
+  if (fd >= 0) close(fd);
+}
+
+/// One protocol session on a FILE* pair. The calling thread reads,
+/// parses and submits; a writer thread emits responses in request
+/// order. Returns when `in` hits EOF and every response is written.
+void ServeSession(std::FILE* in, std::FILE* out, spe::BatchScorer& scorer) {
+  struct Pending {
+    spe::ServeRequest request;
+    std::future<double> future;  // valid only for kScore
+  };
+  std::deque<Pending> pending;
+  std::mutex mu;
+  std::condition_variable cv;
+  bool done_reading = false;
+
+  std::thread writer([&] {
+    for (;;) {
+      Pending item;
+      {
+        std::unique_lock<std::mutex> lock(mu);
+        cv.wait(lock, [&] { return !pending.empty() || done_reading; });
+        if (pending.empty()) break;
+        item = std::move(pending.front());
+        pending.pop_front();
+      }
+      cv.notify_all();  // reader may be waiting on the backlog bound
+      std::string response;
+      switch (item.request.kind) {
+        case spe::RequestKind::kScore:
+          try {
+            response = spe::FormatScoreResponse(item.request,
+                                                item.future.get());
+          } catch (const std::exception& e) {
+            response = spe::FormatErrorResponse(item.request, e.what());
+          }
+          break;
+        case spe::RequestKind::kStats:
+          response = spe::ToJson(scorer.stats().Snapshot());
+          break;
+        case spe::RequestKind::kInvalid:
+          response = spe::FormatErrorResponse(item.request,
+                                              item.request.error);
+          break;
+        case spe::RequestKind::kEmpty:
+          continue;  // never queued
+      }
+      std::fputs(response.c_str(), out);
+      std::fputc('\n', out);
+      std::fflush(out);
+    }
+  });
+
+  char* line = nullptr;
+  std::size_t cap = 0;
+  ssize_t len = 0;
+  while ((len = getline(&line, &cap, in)) != -1) {
+    while (len > 0 && (line[len - 1] == '\n' || line[len - 1] == '\r')) {
+      line[--len] = '\0';
+    }
+    Pending item;
+    item.request =
+        spe::ParseRequestLine(std::string_view(line, static_cast<size_t>(len)));
+    if (item.request.kind == spe::RequestKind::kEmpty) continue;
+    if (item.request.kind == spe::RequestKind::kScore) {
+      if (item.request.features.size() != scorer.num_features()) {
+        item.request.kind = spe::RequestKind::kInvalid;
+        item.request.error =
+            "expected " + std::to_string(scorer.num_features()) +
+            " features, got " + std::to_string(item.request.features.size());
+      } else {
+        item.future = scorer.Submit(std::move(item.request.features));
+      }
+    }
+    {
+      std::unique_lock<std::mutex> lock(mu);
+      // Bound the per-session response backlog so a client that writes
+      // but never reads cannot grow memory without limit.
+      cv.wait(lock, [&] { return pending.size() < 16384; });
+      pending.push_back(std::move(item));
+    }
+    cv.notify_all();
+  }
+  std::free(line);
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    done_reading = true;
+  }
+  cv.notify_all();
+  writer.join();
+}
+
+int RunStdio(spe::BatchScorer& scorer) {
+  ServeSession(stdin, stdout, scorer);
+  scorer.Shutdown();
+  std::fprintf(stderr, "%s\n", spe::ToJson(scorer.stats().Snapshot()).c_str());
+  return 0;
+}
+
+int RunTcp(spe::BatchScorer& scorer, const std::string& host, int port) {
+  const int listen_fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd < 0) {
+    std::perror("socket");
+    return 1;
+  }
+  const int one = 1;
+  setsockopt(listen_fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    std::fprintf(stderr, "error: bad --host %s\n", host.c_str());
+    return 1;
+  }
+  if (bind(listen_fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0 ||
+      listen(listen_fd, 64) < 0) {
+    std::perror("bind/listen");
+    close(listen_fd);
+    return 1;
+  }
+  g_listen_fd.store(listen_fd);
+  std::signal(SIGINT, HandleStopSignal);
+  std::signal(SIGTERM, HandleStopSignal);
+  std::signal(SIGPIPE, SIG_IGN);
+  std::fprintf(stderr, "spe_serve: listening on %s:%d\n", host.c_str(), port);
+
+  std::mutex conn_mu;
+  std::set<int> open_fds;
+  std::vector<std::thread> sessions;
+  for (;;) {
+    const int fd = accept(listen_fd, nullptr, nullptr);
+    if (fd < 0) break;  // listener closed by the signal handler
+    {
+      const std::lock_guard<std::mutex> lock(conn_mu);
+      open_fds.insert(fd);
+    }
+    sessions.emplace_back([fd, &scorer, &conn_mu, &open_fds] {
+      // Separate FILE streams for the two directions; each owns a dup
+      // so fclose of one cannot yank the fd from under the other.
+      std::FILE* in = fdopen(fd, "r");
+      std::FILE* out = fdopen(dup(fd), "w");
+      if (in != nullptr && out != nullptr) ServeSession(in, out, scorer);
+      if (in != nullptr) std::fclose(in);
+      if (out != nullptr) std::fclose(out);
+      const std::lock_guard<std::mutex> lock(conn_mu);
+      open_fds.erase(fd);
+    });
+  }
+  std::fprintf(stderr, "spe_serve: draining...\n");
+  {
+    // Stop the readers: half-close every open connection so getline
+    // sees EOF; in-flight requests still get their responses.
+    const std::lock_guard<std::mutex> lock(conn_mu);
+    for (int fd : open_fds) shutdown(fd, SHUT_RD);
+  }
+  for (auto& s : sessions) s.join();
+  scorer.Shutdown();
+  std::fprintf(stderr, "%s\n", spe::ToJson(scorer.stats().Snapshot()).c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::map<std::string, std::string> flags;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) Usage(("unexpected argument: " + arg).c_str());
+    const std::string key = arg.substr(2);
+    if (key == "stdio") {
+      flags.emplace(key, "1");
+    } else {
+      if (i + 1 >= argc) Usage(("missing value for --" + key).c_str());
+      flags.emplace(key, argv[++i]);
+    }
+  }
+  const auto get = [&](const std::string& k, const std::string& fallback) {
+    const auto it = flags.find(k);
+    return it == flags.end() ? fallback : it->second;
+  };
+
+  const std::string model_path = get("model", "");
+  if (model_path.empty()) Usage("--model is required");
+  const bool use_stdio = flags.count("stdio") > 0;
+  const int port = std::atoi(get("port", "0").c_str());
+  if (use_stdio == (port > 0)) Usage("pass exactly one of --stdio / --port");
+
+  spe::BatchScorerConfig config;
+  config.max_batch_size =
+      static_cast<std::size_t>(std::atol(get("max-batch", "256").c_str()));
+  config.max_batch_delay_us =
+      static_cast<std::size_t>(std::atol(get("max-delay-us", "200").c_str()));
+  config.num_workers =
+      static_cast<std::size_t>(std::atol(get("workers", "0").c_str()));
+  config.queue_capacity = static_cast<std::size_t>(
+      std::atol(get("queue-capacity", "4096").c_str()));
+  const std::string overflow = get("overflow", "block");
+  if (overflow == "shed") {
+    config.overflow = spe::OverflowPolicy::kShed;
+  } else if (overflow != "block") {
+    Usage("--overflow must be block or shed");
+  }
+
+  spe::ModelBundle bundle = spe::LoadModelBundleFromFile(model_path);
+  // Bundles (spe_cli train output) record the row width; bare spe-model
+  // artifacts predate the header and need --num-features.
+  long num_features = std::atol(get("num-features", "0").c_str());
+  if (num_features <= 0) num_features = static_cast<long>(bundle.num_features);
+  if (num_features <= 0) {
+    Usage("model artifact has no schema header; pass --num-features");
+  }
+
+  spe::BatchScorer scorer(std::move(bundle.model),
+                          static_cast<std::size_t>(num_features), config);
+  const long interval_ms = std::atol(
+      get("stats-interval-ms", use_stdio ? "0" : "10000").c_str());
+  std::unique_ptr<spe::StatsReporter> reporter;
+  if (interval_ms > 0) {
+    reporter = std::make_unique<spe::StatsReporter>(
+        scorer.stats(), std::cerr, std::chrono::milliseconds(interval_ms));
+  }
+  return use_stdio ? RunStdio(scorer) : RunTcp(scorer, get("host", "127.0.0.1"), port);
+}
