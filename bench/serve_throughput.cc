@@ -96,7 +96,7 @@ int main(int argc, char** argv) {
       // Wait in windows of in-flight futures so memory stays bounded
       // without serializing on each request.
       constexpr std::size_t kWindow = 8192;
-      std::vector<std::future<double>> inflight;
+      std::vector<std::future<spe::ScoreResult>> inflight;
       inflight.reserve(kWindow);
       const auto t0 = std::chrono::steady_clock::now();
       for (long i = 0; i < rows_per_producer; ++i) {

@@ -27,13 +27,20 @@ void VotingEnsemble::Truncate(std::size_t size) {
 }
 
 std::vector<double> VotingEnsemble::PredictProba(const Dataset& data) const {
+  return PredictProbaPrefix(data, members_.size());
+}
+
+std::vector<double> VotingEnsemble::PredictProbaPrefix(const Dataset& data,
+                                                       std::size_t k) const {
   SPE_CHECK(!members_.empty());
+  SPE_CHECK_GT(k, 0u);
+  const std::size_t n = k < members_.size() ? k : members_.size();
   std::vector<double> sum(data.num_rows(), 0.0);
-  for (const auto& m : members_) {
-    const std::vector<double> p = m->PredictProba(data);
+  for (std::size_t m = 0; m < n; ++m) {
+    const std::vector<double> p = members_[m]->PredictProba(data);
     for (std::size_t i = 0; i < sum.size(); ++i) sum[i] += p[i];
   }
-  const double inv = 1.0 / static_cast<double>(members_.size());
+  const double inv = 1.0 / static_cast<double>(n);
   for (double& v : sum) v *= inv;
   return sum;
 }

@@ -73,11 +73,37 @@ class VotingEnsemble {
   /// Mean member probability for each row. Requires at least one member.
   std::vector<double> PredictProba(const Dataset& data) const;
 
+  /// Mean probability over only the first min(k, size()) members —
+  /// the full hypothesis truncated to an ensemble prefix. Because the
+  /// combination rule is a plain average, the prefix is itself a valid
+  /// (coarser) SPE hypothesis, which makes it a principled
+  /// graceful-degradation knob: an overloaded server can score with
+  /// k < n members and pay proportionally less compute. Requires k >= 1.
+  std::vector<double> PredictProbaPrefix(const Dataset& data,
+                                         std::size_t k) const;
+
   /// Mean member probability for a single row.
   double PredictRow(std::span<const double> x) const;
 
  private:
   std::vector<std::unique_ptr<Classifier>> members_;
+};
+
+/// Implemented by models whose hypothesis is an average over ordered
+/// members and which can therefore answer with a member prefix (see
+/// VotingEnsemble::PredictProbaPrefix). The serving layer discovers the
+/// capability via dynamic_cast; plain classifiers simply don't have it.
+class PrefixVoter {
+ public:
+  virtual ~PrefixVoter() = default;
+
+  /// Members available for prefix scoring (the full-ensemble size).
+  virtual std::size_t NumPrefixMembers() const = 0;
+
+  /// Probabilities from the first min(k, NumPrefixMembers()) members.
+  /// Requires k >= 1 and a fitted model.
+  virtual std::vector<double> PredictProbaPrefix(const Dataset& data,
+                                                 std::size_t k) const = 0;
 };
 
 }  // namespace spe

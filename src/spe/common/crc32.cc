@@ -1,0 +1,33 @@
+#include "spe/common/crc32.h"
+
+#include <array>
+
+namespace spe {
+namespace {
+
+std::array<std::uint32_t, 256> BuildTable() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+}  // namespace
+
+std::uint32_t Crc32Update(std::uint32_t crc, std::string_view data) {
+  static const std::array<std::uint32_t, 256> table = BuildTable();
+  std::uint32_t c = crc ^ 0xFFFFFFFFu;
+  for (const char ch : data) {
+    c = table[(c ^ static_cast<unsigned char>(ch)) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+std::uint32_t Crc32(std::string_view data) { return Crc32Update(0, data); }
+
+}  // namespace spe

@@ -1,0 +1,21 @@
+#ifndef SPE_COMMON_CRC32_H_
+#define SPE_COMMON_CRC32_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace spe {
+
+/// CRC-32 (IEEE 802.3, the zlib/PNG polynomial 0xEDB88320, reflected,
+/// initial and final XOR 0xFFFFFFFF). Used by the model-artifact format
+/// to detect truncation and bit rot; check value: Crc32("123456789") ==
+/// 0xCBF43926.
+std::uint32_t Crc32(std::string_view data);
+
+/// Incremental form: feed `crc` the running value (start with 0) and
+/// chain calls over chunks. Crc32(a+b) == Crc32Update(Crc32(a), b).
+std::uint32_t Crc32Update(std::uint32_t crc, std::string_view data);
+
+}  // namespace spe
+
+#endif  // SPE_COMMON_CRC32_H_

@@ -1,0 +1,91 @@
+#ifndef SPE_COMMON_FAULT_H_
+#define SPE_COMMON_FAULT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <random>
+#include <string>
+#include <string_view>
+
+namespace spe {
+
+/// What the fault-injection registry can do. All faults default to off;
+/// a default-constructed config is a no-op registry.
+struct FaultConfig {
+  /// Sleep this long in the scoring worker after popping a batch,
+  /// before deadline triage and model dispatch. Simulates a slow or
+  /// stalled model so queueing-delay paths (deadline expiry, watermark
+  /// degradation) are reachable deterministically in tests.
+  std::uint64_t score_delay_ms = 0;
+  /// Probability in [0, 1] that a model artifact file operation
+  /// (SaveModelBundleToFile before the atomic rename,
+  /// LoadModelBundleFromFile before the read) fails. 1.0 fails every
+  /// operation; intermediate rates draw from a seeded deterministic
+  /// stream.
+  double model_io_fail_rate = 0.0;
+  /// Seed for the probabilistic faults above. Same seed, same spec =>
+  /// same fault sequence.
+  std::uint64_t seed = 0;
+};
+
+/// Process-wide fault-injection registry.
+///
+/// Production code never branches on "is testing": it calls the
+/// injection points below unconditionally, and with the default (empty)
+/// config every point is a no-op costing one relaxed atomic load. Tests
+/// and harnesses turn faults on either programmatically (Configure) or
+/// via the SPE_FAULTS environment variable, read once at first use:
+///
+///   SPE_FAULTS="score_delay_ms=50,model_io_fail_rate=0.25,seed=7"
+///
+/// A malformed SPE_FAULTS aborts at startup with the offending token —
+/// a fault plan that silently half-applies would defeat the point.
+class FaultRegistry {
+ public:
+  /// The process-wide instance. First call reads SPE_FAULTS.
+  static FaultRegistry& Instance();
+
+  /// Replaces the active config (tests). Resets the fault RNG stream to
+  /// config.seed so every Configure starts an identical sequence.
+  void Configure(const FaultConfig& config);
+
+  /// Turns every fault off (equivalent to Configure({})).
+  void Reset();
+
+  /// Parses a "key=value,key=value" spec into `config`. Returns false
+  /// and sets `error` on an unknown key, bad number, or out-of-range
+  /// value. Does not modify the registry.
+  static bool ParseSpec(std::string_view spec, FaultConfig* config,
+                        std::string* error);
+
+  FaultConfig config() const;
+
+  /// True when any fault is active (cheap; callers may use it to skip
+  /// building failure-path-only state).
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  // ---- injection points ----------------------------------------------
+
+  /// Worker-loop injection point: sleeps score_delay_ms (no-op when 0).
+  void InjectScoreDelay() const;
+
+  /// Model-IO injection point: one deterministic Bernoulli draw against
+  /// model_io_fail_rate. True means the caller must fail the operation.
+  bool ShouldFailModelIo();
+
+ private:
+  FaultRegistry();
+
+  mutable std::mutex mu_;
+  FaultConfig config_;
+  std::mt19937_64 engine_{0};
+  std::atomic<bool> enabled_{false};
+};
+
+/// Shorthand for FaultRegistry::Instance().
+FaultRegistry& Faults();
+
+}  // namespace spe
+
+#endif  // SPE_COMMON_FAULT_H_

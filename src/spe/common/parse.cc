@@ -1,0 +1,51 @@
+#include "spe/common/parse.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+#include <string>
+
+namespace spe {
+namespace {
+
+/// Trims ASCII whitespace and returns the trimmed copy (strto* needs a
+/// NUL-terminated buffer anyway, so the copy is free).
+std::string Trimmed(std::string_view text) {
+  std::size_t begin = 0;
+  std::size_t end = text.size();
+  while (begin < end && std::isspace(static_cast<unsigned char>(text[begin]))) {
+    ++begin;
+  }
+  while (end > begin && std::isspace(static_cast<unsigned char>(text[end - 1]))) {
+    --end;
+  }
+  return std::string(text.substr(begin, end - begin));
+}
+
+}  // namespace
+
+std::optional<long long> ParseInt64(std::string_view text) {
+  const std::string s = Trimmed(text);
+  if (s.empty()) return std::nullopt;
+  errno = 0;
+  char* end = nullptr;
+  // Base 10 only: "0x10" as a flag value is far more likely a typo than
+  // intentional hex.
+  const long long v = std::strtoll(s.c_str(), &end, 10);
+  if (errno == ERANGE || end != s.c_str() + s.size()) return std::nullopt;
+  return v;
+}
+
+std::optional<double> ParseFiniteDouble(std::string_view text) {
+  const std::string s = Trimmed(text);
+  if (s.empty()) return std::nullopt;
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  if (end != s.c_str() + s.size()) return std::nullopt;
+  if (errno == ERANGE || !std::isfinite(v)) return std::nullopt;
+  return v;
+}
+
+}  // namespace spe

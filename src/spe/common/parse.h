@@ -1,0 +1,27 @@
+#ifndef SPE_COMMON_PARSE_H_
+#define SPE_COMMON_PARSE_H_
+
+#include <optional>
+#include <string_view>
+
+namespace spe {
+
+/// Strict numeric parsing for untrusted text (command-line flags, env
+/// specs). Unlike atoi/atol/strtod-with-defaults, these reject partial
+/// parses ("12abc"), empty strings, surrounding garbage, and values the
+/// target type cannot represent — nullopt means "not a number", so the
+/// caller owns the error message. Leading/trailing ASCII whitespace is
+/// accepted; anything else is not.
+
+/// Whole-string signed integer. Rejects overflow (beyond long long),
+/// hex/octal prefixes, and trailing junk.
+std::optional<long long> ParseInt64(std::string_view text);
+
+/// Whole-string finite double. Rejects "nan"/"inf" (a flag or fault
+/// rate is never usefully non-finite), overflow to infinity, and
+/// trailing junk.
+std::optional<double> ParseFiniteDouble(std::string_view text);
+
+}  // namespace spe
+
+#endif  // SPE_COMMON_PARSE_H_

@@ -181,6 +181,11 @@ std::vector<double> SelfPacedEnsemble::PredictProba(const Dataset& data) const {
   return ensemble_.PredictProba(data);
 }
 
+std::vector<double> SelfPacedEnsemble::PredictProbaPrefix(const Dataset& data,
+                                                          std::size_t k) const {
+  return ensemble_.PredictProbaPrefix(data, k);
+}
+
 std::unique_ptr<Classifier> SelfPacedEnsemble::Clone() const {
   return std::make_unique<SelfPacedEnsemble>(config_, base_prototype_->Clone());
 }

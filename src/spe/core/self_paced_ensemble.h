@@ -53,7 +53,7 @@ struct SelfPacedEnsembleConfig {
 /// Works with any base classifier (KNN, DT, MLP, SVM, boosted trees, ...)
 /// because hardness is defined w.r.t. the model being built — no distance
 /// metric is ever needed.
-class SelfPacedEnsemble final : public Classifier {
+class SelfPacedEnsemble final : public Classifier, public PrefixVoter {
  public:
   /// Default base model: a depth-10 decision tree.
   explicit SelfPacedEnsemble(const SelfPacedEnsembleConfig& config = {});
@@ -71,6 +71,14 @@ class SelfPacedEnsemble final : public Classifier {
 
   double PredictRow(std::span<const double> x) const override;
   std::vector<double> PredictProba(const Dataset& data) const override;
+
+  /// PrefixVoter: score with only the first min(k, n) members — the
+  /// serving layer's overload-degradation knob (the prefix average is
+  /// itself a valid SPE hypothesis, just a coarser one).
+  std::size_t NumPrefixMembers() const override { return ensemble_.size(); }
+  std::vector<double> PredictProbaPrefix(const Dataset& data,
+                                         std::size_t k) const override;
+
   std::unique_ptr<Classifier> Clone() const override;
   void Reseed(std::uint64_t seed) override { config_.seed = seed; }
   std::string Name() const override;

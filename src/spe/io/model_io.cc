@@ -1,9 +1,12 @@
 #include "spe/io/model_io.h"
 
+#include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <istream>
 #include <limits>
 #include <ostream>
+#include <sstream>
 #include <string>
 #include <utility>
 #include <vector>
@@ -15,6 +18,8 @@
 #include "spe/classifiers/logistic_regression.h"
 #include "spe/classifiers/random_forest.h"
 #include "spe/common/check.h"
+#include "spe/common/crc32.h"
+#include "spe/common/fault.h"
 #include "spe/core/self_paced_ensemble.h"
 #include "spe/imbalance/balance_cascade.h"
 #include "spe/imbalance/smote_bagging.h"
@@ -26,7 +31,17 @@ namespace {
 constexpr char kMagic[] = "spe-model";
 constexpr int kFormatVersion = 1;
 constexpr char kBundleMagic[] = "spe-bundle";
-constexpr int kBundleVersion = 1;
+// Version 2 added "payload_bytes B crc32 HHHHHHHH" to the header so
+// loaders detect truncated / bit-flipped artifacts. Version 1 (schema
+// only) and bare spe-model streams still load, with a warning.
+constexpr int kBundleVersion = 2;
+
+void WarnLegacyArtifact(const char* kind) {
+  std::fprintf(stderr,
+               "warning: loading %s without an integrity checksum; re-save "
+               "with spe_cli train (or SaveModelBundle) to upgrade\n",
+               kind);
+}
 
 void SaveEnsembleMembers(const VotingEnsemble& members, std::ostream& os) {
   os << "members " << members.size() << "\n";
@@ -65,6 +80,11 @@ double VotingEnsembleModel::PredictRow(std::span<const double> x) const {
 
 std::vector<double> VotingEnsembleModel::PredictProba(const Dataset& data) const {
   return members_.PredictProba(data);
+}
+
+std::vector<double> VotingEnsembleModel::PredictProbaPrefix(
+    const Dataset& data, std::size_t k) const {
+  return members_.PredictProbaPrefix(data, k);
 }
 
 std::unique_ptr<Classifier> VotingEnsembleModel::Clone() const {
@@ -127,9 +147,11 @@ void SaveClassifier(const Classifier& model, std::ostream& os) {
 
 namespace {
 
-/// Reads the leading magic word; when it is a bundle header, consumes
-/// the schema fields (reporting the width via `num_features`) and reads
-/// on to the inner model magic.
+/// Reads the leading magic word; when it is a bundle header (version 1
+/// or 2), consumes the header fields (reporting the width via
+/// `num_features`) and reads on to the inner model magic. Does NOT
+/// verify integrity — that is LoadModelBundle's job; this path exists
+/// for LoadClassifier callers that only want the model.
 std::string ReadMagicSkippingBundle(std::istream& is,
                                     std::size_t* num_features) {
   std::string magic;
@@ -141,7 +163,17 @@ std::string ReadMagicSkippingBundle(std::istream& is,
     is >> version >> keyword >> width;
     SPE_CHECK(is.good() && keyword == "num_features")
         << "malformed bundle header";
-    SPE_CHECK_EQ(version, kBundleVersion);
+    if (version == kBundleVersion) {
+      std::size_t payload_bytes = 0;
+      std::string crc_hex;
+      is >> keyword >> payload_bytes;
+      SPE_CHECK(is.good() && keyword == "payload_bytes")
+          << "malformed bundle header";
+      is >> keyword >> crc_hex;
+      SPE_CHECK(is.good() && keyword == "crc32") << "malformed bundle header";
+    } else {
+      SPE_CHECK_EQ(version, 1) << "unsupported bundle version";
+    }
     if (num_features != nullptr) *num_features = width;
     is >> magic;
   }
@@ -214,32 +246,122 @@ std::unique_ptr<Classifier> LoadClassifierFromFile(const std::string& path) {
 void SaveModelBundle(const Classifier& model, std::size_t num_features,
                      std::ostream& os) {
   SPE_CHECK_GT(num_features, 0u);
+  // Serialize the model first so the header can promise the exact
+  // payload size and checksum the loader will verify.
+  std::ostringstream payload_stream;
+  SaveClassifier(model, payload_stream);
+  const std::string payload = payload_stream.str();
+  char crc_hex[16];
+  std::snprintf(crc_hex, sizeof(crc_hex), "%08x", Crc32(payload));
   os << kBundleMagic << " " << kBundleVersion << " num_features "
-     << num_features << "\n";
-  SaveClassifier(model, os);
+     << num_features << " payload_bytes " << payload.size() << " crc32 "
+     << crc_hex << "\n";
+  os.write(payload.data(), static_cast<std::streamsize>(payload.size()));
 }
 
 void SaveModelBundleToFile(const Classifier& model, std::size_t num_features,
                            const std::string& path) {
-  std::ofstream os(path);
-  SPE_CHECK(os.good()) << "cannot write " << path;
-  SaveModelBundle(model, num_features, os);
-  SPE_CHECK(os.good()) << "write failed: " << path;
+  // Crash safety: write the whole bundle to a sibling tmp file, then
+  // rename(2) it over `path`. rename on the same filesystem is atomic,
+  // so a reader of `path` only ever sees the complete old artifact or
+  // the complete new one — never a torn half-write.
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream os(tmp, std::ios::trunc);
+    SPE_CHECK(os.good()) << "cannot write " << tmp;
+    SaveModelBundle(model, num_features, os);
+    os.flush();
+    SPE_CHECK(os.good()) << "write failed: " << tmp;
+  }
+  // Fault point: an injected failure here models a crash mid-save. The
+  // tmp file may be left behind (harmless; overwritten next save), but
+  // `path` keeps its previous, intact content.
+  SPE_CHECK(!Faults().ShouldFailModelIo())
+      << "injected fault: model artifact write failed before publishing "
+      << path;
+  SPE_CHECK(std::rename(tmp.c_str(), path.c_str()) == 0)
+      << "cannot rename " << tmp << " over " << path;
 }
 
 ModelBundle LoadModelBundle(std::istream& is) {
   ModelBundle bundle;
-  const std::string magic = ReadMagicSkippingBundle(is, &bundle.num_features);
-  SPE_CHECK(is.good() && magic == kMagic) << "not an spe model stream";
+  std::string magic;
+  is >> magic;
+  SPE_CHECK(is.good()) << "empty or unreadable model stream";
+
+  if (magic != kBundleMagic) {
+    // Bare classifier stream (pre-bundle era): no schema, no checksum.
+    SPE_CHECK(magic == kMagic) << "not an spe model stream";
+    WarnLegacyArtifact("a bare spe-model artifact (no schema header)");
+    int version = 0;
+    std::string tag;
+    is >> version >> tag;
+    SPE_CHECK(is.good()) << "truncated model stream";
+    bundle.model = LoadTagged(version, tag, is);
+    return bundle;
+  }
+
   int version = 0;
+  std::string keyword;
+  is >> version >> keyword >> bundle.num_features;
+  SPE_CHECK(is.good() && keyword == "num_features")
+      << "malformed bundle header";
+
+  if (version == 1) {
+    // Legacy bundle: schema header but no integrity fields.
+    WarnLegacyArtifact("a version-1 model bundle (schema only)");
+    int model_version = 0;
+    std::string tag;
+    is >> magic >> model_version >> tag;
+    SPE_CHECK(is.good() && magic == kMagic) << "not an spe model stream";
+    bundle.model = LoadTagged(model_version, tag, is);
+    return bundle;
+  }
+  SPE_CHECK_EQ(version, kBundleVersion) << "unsupported bundle version";
+
+  std::size_t payload_bytes = 0;
+  std::string crc_hex;
+  is >> keyword >> payload_bytes;
+  SPE_CHECK(is.good() && keyword == "payload_bytes")
+      << "malformed bundle header";
+  is >> keyword >> crc_hex;
+  SPE_CHECK(is.good() && keyword == "crc32") << "malformed bundle header";
+  SPE_CHECK(is.get() == '\n') << "malformed bundle header";
+
+  // Read exactly the promised payload, then verify before parsing a
+  // single byte of it: a short read is truncation, a checksum mismatch
+  // is corruption, and both fail with the artifact left untouched by
+  // the parser (so the error names the real problem, not a downstream
+  // parse confusion).
+  std::string payload(payload_bytes, '\0');
+  is.read(payload.data(), static_cast<std::streamsize>(payload_bytes));
+  const std::size_t got = static_cast<std::size_t>(is.gcount());
+  SPE_CHECK(got == payload_bytes)
+      << "model artifact truncated: header promises " << payload_bytes
+      << " payload bytes but only " << got << " are present";
+  const std::uint32_t expected =
+      static_cast<std::uint32_t>(std::strtoul(crc_hex.c_str(), nullptr, 16));
+  const std::uint32_t actual = Crc32(payload);
+  char actual_hex[16];
+  std::snprintf(actual_hex, sizeof(actual_hex), "%08x", actual);
+  SPE_CHECK(actual == expected)
+      << "model artifact corrupted: payload crc32 " << actual_hex
+      << " does not match header crc32 " << crc_hex;
+
+  std::istringstream payload_is(payload);
+  int model_version = 0;
   std::string tag;
-  is >> version >> tag;
-  SPE_CHECK(is.good()) << "truncated model stream";
-  bundle.model = LoadTagged(version, tag, is);
+  payload_is >> magic >> model_version >> tag;
+  SPE_CHECK(payload_is.good() && magic == kMagic) << "not an spe model stream";
+  bundle.model = LoadTagged(model_version, tag, payload_is);
   return bundle;
 }
 
 ModelBundle LoadModelBundleFromFile(const std::string& path) {
+  // Fault point: simulates an unreadable artifact (bad disk, lost
+  // mount) so server startup failure paths are testable.
+  SPE_CHECK(!Faults().ShouldFailModelIo())
+      << "injected fault: model artifact read failed for " << path;
   std::ifstream is(path);
   SPE_CHECK(is.good()) << "cannot open " << path;
   return LoadModelBundle(is);

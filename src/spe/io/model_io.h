@@ -13,13 +13,18 @@ namespace spe {
 /// members: predicts the mean member probability (the combination rule
 /// of SPE and every bagging-style method in this library). Fit / Clone
 /// abort — retraining requires the original trainer, not the artifact.
-class VotingEnsembleModel final : public Classifier {
+/// Supports prefix scoring (PrefixVoter), so a served artifact keeps the
+/// ensemble-truncation degradation knob of the live trainer.
+class VotingEnsembleModel final : public Classifier, public PrefixVoter {
  public:
   explicit VotingEnsembleModel(VotingEnsemble members);
 
   void Fit(const Dataset& train) override;
   double PredictRow(std::span<const double> x) const override;
   std::vector<double> PredictProba(const Dataset& data) const override;
+  std::size_t NumPrefixMembers() const override { return members_.size(); }
+  std::vector<double> PredictProbaPrefix(const Dataset& data,
+                                         std::size_t k) const override;
   std::unique_ptr<Classifier> Clone() const override;
   std::string Name() const override { return "VotingEnsemble"; }
 
@@ -59,16 +64,27 @@ struct ModelBundle {
   std::size_t num_features = 0;  // 0 = unknown (legacy spe-model stream)
 };
 
-/// Persists `model` prefixed with a schema header ("spe-bundle ...").
-/// Readers that only want the classifier (LoadClassifier) skip the
-/// header transparently.
+/// Persists `model` prefixed with a schema-and-integrity header
+/// ("spe-bundle 2 num_features N payload_bytes B crc32 HHHHHHHH"): the
+/// header records the payload size and its CRC-32, so loaders detect
+/// truncation and bit rot instead of parsing garbage. Readers that only
+/// want the classifier (LoadClassifier) skip the header transparently.
 void SaveModelBundle(const Classifier& model, std::size_t num_features,
                      std::ostream& os);
+
+/// File variant is crash-safe: the bundle is written to a temporary
+/// file in the same directory and rename(2)d over `path`, so a crash or
+/// injected fault mid-write never leaves a torn artifact at `path` —
+/// either the old file survives intact or the new one is complete.
 void SaveModelBundleToFile(const Classifier& model, std::size_t num_features,
                            const std::string& path);
 
-/// Loads either a bundle stream or a bare classifier stream; in the
-/// latter case num_features is 0 and the caller must know the width.
+/// Loads a bundle stream or a bare classifier stream. Version-2 bundle
+/// headers are verified: a payload shorter than advertised aborts with
+/// a truncation message, a CRC mismatch with a corruption message.
+/// Legacy artifacts (bare "spe-model" streams and version-1 bundles)
+/// still load, with a stderr warning that they carry no checksum; for
+/// bare streams num_features is 0 and the caller must know the width.
 ModelBundle LoadModelBundle(std::istream& is);
 ModelBundle LoadModelBundleFromFile(const std::string& path);
 

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "spe/common/check.h"
+#include "spe/common/fault.h"
 #include "spe/common/parallel.h"
 
 namespace spe {
@@ -11,12 +12,22 @@ namespace spe {
 BatchScorer::BatchScorer(std::unique_ptr<Classifier> model,
                          std::size_t num_features, BatchScorerConfig config)
     : model_(std::move(model)),
+      prefix_model_(dynamic_cast<const PrefixVoter*>(model_.get())),
       num_features_(num_features),
       config_(config),
       queue_(config.queue_capacity) {
   SPE_CHECK(model_ != nullptr);
   SPE_CHECK_GT(num_features_, 0u);
   SPE_CHECK_GT(config_.max_batch_size, 0u);
+  if (config_.degrade_high_watermark > 0) {
+    SPE_CHECK(prefix_model_ != nullptr)
+        << "degradation watermarks require an ensemble model that supports "
+           "prefix scoring (PrefixVoter); "
+        << model_->Name() << " does not";
+    SPE_CHECK_GT(config_.degrade_prefix, 0u);
+    SPE_CHECK_LT(config_.degrade_low_watermark, config_.degrade_high_watermark)
+        << "degrade_low_watermark must be below degrade_high_watermark";
+  }
   const std::size_t n =
       config_.num_workers > 0 ? config_.num_workers : NumThreads();
   workers_.reserve(n);
@@ -27,13 +38,16 @@ BatchScorer::BatchScorer(std::unique_ptr<Classifier> model,
 
 BatchScorer::~BatchScorer() { Shutdown(); }
 
-std::future<double> BatchScorer::Submit(std::vector<double> features) {
+std::future<ScoreResult> BatchScorer::Submit(
+    std::vector<double> features,
+    std::chrono::steady_clock::time_point deadline) {
   SPE_CHECK_EQ(features.size(), num_features_)
       << "submitted row width does not match the model schema";
   Request req;
   req.features = std::move(features);
   req.enqueued = std::chrono::steady_clock::now();
-  std::future<double> future = req.promise.get_future();
+  req.deadline = deadline;
+  std::future<ScoreResult> future = req.promise.get_future();
   const bool accepted = config_.overflow == OverflowPolicy::kBlock
                             ? queue_.Push(std::move(req))
                             : queue_.TryPush(std::move(req));
@@ -43,7 +57,7 @@ std::future<double> BatchScorer::Submit(std::vector<double> features) {
     // rejection here through a fresh promise.
     const bool closed = queue_.closed();
     if (!closed) stats_.RecordShed();
-    std::promise<double> rejected;
+    std::promise<ScoreResult> rejected;
     rejected.set_exception(std::make_exception_ptr(ScorerOverloaded(
         closed ? "scorer is shut down" : "request queue full")));
     return rejected.get_future();
@@ -52,12 +66,12 @@ std::future<double> BatchScorer::Submit(std::vector<double> features) {
 }
 
 double BatchScorer::Score(std::vector<double> features) {
-  return Submit(std::move(features)).get();
+  return Submit(std::move(features)).get().proba;
 }
 
 std::vector<double> BatchScorer::ScoreBatch(const Dataset& rows) {
   SPE_CHECK_EQ(rows.num_features(), num_features_);
-  std::vector<std::future<double>> futures;
+  std::vector<std::future<ScoreResult>> futures;
   futures.reserve(rows.num_rows());
   for (std::size_t i = 0; i < rows.num_rows(); ++i) {
     const auto row = rows.Row(i);
@@ -70,7 +84,9 @@ std::vector<double> BatchScorer::ScoreBatch(const Dataset& rows) {
     SPE_CHECK(queue_.Push(std::move(req))) << "scorer is shut down";
   }
   std::vector<double> probs(futures.size());
-  for (std::size_t i = 0; i < futures.size(); ++i) probs[i] = futures[i].get();
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    probs[i] = futures[i].get().proba;
+  }
   return probs;
 }
 
@@ -83,27 +99,67 @@ void BatchScorer::Shutdown() {
 
 void BatchScorer::WorkerLoop() {
   std::vector<Request> batch;
+  std::vector<Request*> live;  // batch members still worth scoring
   const std::chrono::microseconds delay(config_.max_batch_delay_us);
   while (queue_.PopBatch(batch, config_.max_batch_size, delay) > 0) {
+    // Fault point: simulate a slow model *before* deadline triage, so a
+    // fault-injected run deterministically expires queued deadlines.
+    Faults().InjectScoreDelay();
+
+    // Watermark controller. The signal is the backlog left behind this
+    // pop — what the *next* request will sit behind. Shared mode with
+    // hysteresis: all workers degrade together, which keeps the
+    // "degraded" marking consistent with what clients experience.
+    bool degraded = false;
+    if (config_.degrade_high_watermark > 0) {
+      const std::size_t backlog = queue_.size();
+      bool mode = degraded_.load(std::memory_order_relaxed);
+      if (!mode && backlog >= config_.degrade_high_watermark) {
+        mode = true;
+      } else if (mode && backlog <= config_.degrade_low_watermark) {
+        mode = false;
+      }
+      degraded_.store(mode, std::memory_order_relaxed);
+      degraded = mode;
+    }
+
+    // Deadline triage: a request whose deadline passed while queued is
+    // failed fast and never reaches the model.
+    const auto now = std::chrono::steady_clock::now();
+    live.clear();
+    live.reserve(batch.size());
+    for (Request& r : batch) {
+      if (r.deadline != kNoDeadline && r.deadline < now) {
+        stats_.RecordDeadlineExpired();
+        r.promise.set_exception(std::make_exception_ptr(DeadlineExceeded()));
+      } else {
+        live.push_back(&r);
+      }
+    }
+    if (live.empty()) continue;
+
     Dataset rows(num_features_);
-    rows.Reserve(batch.size());
-    for (const Request& r : batch) rows.AddRow(r.features, /*label=*/0);
+    rows.Reserve(live.size());
+    for (const Request* r : live) rows.AddRow(r->features, /*label=*/0);
     try {
-      const std::vector<double> probs = model_->PredictProba(rows);
+      const std::vector<double> probs =
+          degraded ? prefix_model_->PredictProbaPrefix(rows,
+                                                       config_.degrade_prefix)
+                   : model_->PredictProba(rows);
       const auto done = std::chrono::steady_clock::now();
-      stats_.RecordBatch(batch.size());
-      for (std::size_t i = 0; i < batch.size(); ++i) {
-        const auto waited = done - batch[i].enqueued;
+      stats_.RecordBatch(live.size(), degraded);
+      for (std::size_t i = 0; i < live.size(); ++i) {
+        const auto waited = done - live[i]->enqueued;
         stats_.RecordRequest(static_cast<std::uint64_t>(
             std::chrono::duration_cast<std::chrono::microseconds>(waited)
                 .count()));
-        batch[i].promise.set_value(probs[i]);
+        live[i]->promise.set_value({probs[i], degraded});
       }
     } catch (...) {
       // A model that throws poisons only the requests in this batch —
       // the worker and every other queued request keep going.
       const std::exception_ptr error = std::current_exception();
-      for (Request& r : batch) r.promise.set_exception(error);
+      for (Request* r : live) r->promise.set_exception(error);
     }
   }
 }

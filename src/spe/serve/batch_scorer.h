@@ -1,10 +1,12 @@
 #ifndef SPE_SERVE_BATCH_SCORER_H_
 #define SPE_SERVE_BATCH_SCORER_H_
 
+#include <atomic>
 #include <chrono>
 #include <cstddef>
 #include <future>
 #include <memory>
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
@@ -34,6 +36,17 @@ struct BatchScorerConfig {
   /// Bound on queued (accepted but not yet dispatched) requests.
   std::size_t queue_capacity = 4096;
   OverflowPolicy overflow = OverflowPolicy::kBlock;
+  /// Overload degradation (0 disables): once the backlog at dispatch
+  /// time reaches `degrade_high_watermark`, batches are scored with only
+  /// the first `degrade_prefix` members of the ensemble
+  /// (PrefixVoter::PredictProbaPrefix) — a cheaper but still valid SPE
+  /// hypothesis — until the backlog falls to `degrade_low_watermark`
+  /// (hysteresis, so the mode does not flap around one threshold).
+  /// Requires the model to implement PrefixVoter when enabled.
+  std::size_t degrade_high_watermark = 0;
+  std::size_t degrade_low_watermark = 0;
+  /// Ensemble members used while degraded. Clamped to the ensemble size.
+  std::size_t degrade_prefix = 1;
 };
 
 /// Thrown (via the returned future) when a request is shed under
@@ -41,6 +54,22 @@ struct BatchScorerConfig {
 class ScorerOverloaded : public std::runtime_error {
  public:
   explicit ScorerOverloaded(const char* what) : std::runtime_error(what) {}
+};
+
+/// Thrown (via the returned future) when a request's deadline expired
+/// while it was still queued. The request was never scored. what() is
+/// the wire-stable token clients match on.
+class DeadlineExceeded : public std::runtime_error {
+ public:
+  DeadlineExceeded() : std::runtime_error("DEADLINE_EXCEEDED") {}
+};
+
+/// What a completed request resolves to: the probability plus whether it
+/// was produced by a degraded (ensemble-prefix) dispatch, so transports
+/// can mark the response.
+struct ScoreResult {
+  double proba = 0.0;
+  bool degraded = false;
 };
 
 /// Online scoring engine: accepts single rows from any number of
@@ -51,12 +80,22 @@ class ScorerOverloaded : public std::runtime_error {
 /// invisible in the results: a row served here is bit-identical to the
 /// same row scored in-process via PredictProba.
 ///
+/// Robustness contract: a request may carry a deadline — if it expires
+/// while the request is still queued, the future fails fast with
+/// DeadlineExceeded and the model never sees the row. Under sustained
+/// overload (see BatchScorerConfig watermarks) batches are scored with
+/// an ensemble prefix and their results are marked `degraded`.
+///
 /// Lifecycle: construct (workers start immediately), Submit/Score from
 /// any thread, Shutdown (or destroy) to drain. Shutdown refuses new
 /// work but completes every accepted request — no future is ever
 /// abandoned.
 class BatchScorer {
  public:
+  /// Sentinel for "no deadline".
+  static constexpr std::chrono::steady_clock::time_point kNoDeadline =
+      std::chrono::steady_clock::time_point::max();
+
   /// Takes ownership of a *fitted* model. `num_features` is the width
   /// submitted rows must have (a Dataset schema is reconstructed per
   /// batch).
@@ -67,13 +106,18 @@ class BatchScorer {
   BatchScorer(const BatchScorer&) = delete;
   BatchScorer& operator=(const BatchScorer&) = delete;
 
-  /// Enqueues one row; the future resolves to P(y=1 | x). Under
-  /// kBlock this blocks while the queue is full; under kShed it returns
-  /// immediately with a ScorerOverloaded future when full. After
-  /// Shutdown the future always holds ScorerOverloaded.
-  std::future<double> Submit(std::vector<double> features);
+  /// Enqueues one row; the future resolves to {P(y=1 | x), degraded}.
+  /// Under kBlock this blocks while the queue is full; under kShed it
+  /// returns immediately with a ScorerOverloaded future when full. After
+  /// Shutdown the future always holds ScorerOverloaded. A `deadline`
+  /// other than kNoDeadline fails the future with DeadlineExceeded if it
+  /// passes before the request is dispatched.
+  std::future<ScoreResult> Submit(
+      std::vector<double> features,
+      std::chrono::steady_clock::time_point deadline = kNoDeadline);
 
-  /// Convenience: Submit + wait. Propagates ScorerOverloaded.
+  /// Convenience: Submit + wait, probability only. Propagates
+  /// ScorerOverloaded / DeadlineExceeded.
   double Score(std::vector<double> features);
 
   /// Scores every row of `rows` through the batching engine and returns
@@ -86,6 +130,9 @@ class BatchScorer {
   /// request, and joins them. Idempotent; called by the destructor.
   void Shutdown();
 
+  /// True while the watermark controller has degradation engaged.
+  bool degraded() const { return degraded_.load(std::memory_order_relaxed); }
+
   const Classifier& model() const { return *model_; }
   std::size_t num_features() const { return num_features_; }
   const BatchScorerConfig& config() const { return config_; }
@@ -94,17 +141,22 @@ class BatchScorer {
  private:
   struct Request {
     std::vector<double> features;
-    std::promise<double> promise;
+    std::promise<ScoreResult> promise;
     std::chrono::steady_clock::time_point enqueued;
+    std::chrono::steady_clock::time_point deadline = kNoDeadline;
   };
 
   void WorkerLoop();
 
   const std::unique_ptr<Classifier> model_;
+  /// Non-null iff the model supports ensemble-prefix scoring; required
+  /// when degradation watermarks are configured.
+  const PrefixVoter* const prefix_model_;
   const std::size_t num_features_;
   const BatchScorerConfig config_;
   ServerStats stats_;
   BoundedQueue<Request> queue_;
+  std::atomic<bool> degraded_{false};
   std::vector<std::thread> workers_;
   std::once_flag shutdown_once_;
 };

@@ -1,6 +1,7 @@
 #include "spe/serve/line_protocol.h"
 
 #include <cctype>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 
@@ -97,6 +98,9 @@ ServeRequest ParseJson(std::string_view s) {
           if (!ParseNumber(s, i, &v)) {
             return Invalid("bad number in \"features\"", true);
           }
+          if (!std::isfinite(v)) {
+            return Invalid("non-finite value in \"features\"", true);
+          }
           r.features.push_back(v);
           SkipSpace(s, i);
           if (i < s.size() && s[i] == ',') {
@@ -112,6 +116,12 @@ ServeRequest ParseJson(std::string_view s) {
         }
       }
       have_features = true;
+    } else if (key == "\"deadline_ms\"") {
+      double v = 0.0;
+      if (!ParseNumber(s, i, &v) || !std::isfinite(v) || v < 0.0) {
+        return Invalid("\"deadline_ms\" must be a non-negative number", true);
+      }
+      r.deadline_ms = v;
     } else {
       // Any other key (notably "id"): accept a string or number scalar
       // and, for "id", remember the verbatim token.
@@ -128,7 +138,14 @@ ServeRequest ParseJson(std::string_view s) {
         }
         token = std::string(s.substr(start, i - start));
       }
-      if (key == "\"id\"") r.id = std::move(token);
+      if (key == "\"id\"") {
+        if (token.size() > kMaxIdBytes) {
+          return Invalid("\"id\" longer than " +
+                             std::to_string(kMaxIdBytes) + " bytes",
+                         true);
+        }
+        r.id = std::move(token);
+      }
     }
     SkipSpace(s, i);
     if (i < s.size() && s[i] == ',') {
@@ -155,6 +172,11 @@ ServeRequest ParseCsv(std::string_view s) {
                          std::to_string(r.features.size() + 1),
                      false);
     }
+    if (!std::isfinite(v)) {
+      return Invalid("non-finite value at column " +
+                         std::to_string(r.features.size() + 1),
+                     false);
+    }
     r.features.push_back(v);
     SkipSpace(s, i);
     if (i >= s.size()) break;
@@ -167,6 +189,13 @@ ServeRequest ParseCsv(std::string_view s) {
 }  // namespace
 
 ServeRequest ParseRequestLine(std::string_view line) {
+  if (line.size() > kMaxRequestLineBytes) {
+    // Shape unknown (we refuse to scan a hostile line); answer in CSV
+    // shape, the protocol's default.
+    return Invalid("request line exceeds " +
+                       std::to_string(kMaxRequestLineBytes) + " bytes",
+                   false);
+  }
   std::size_t i = 0;
   SkipSpace(line, i);
   if (i >= line.size()) {
@@ -182,7 +211,8 @@ ServeRequest ParseRequestLine(std::string_view line) {
   return line[i] == '{' ? ParseJson(line.substr(i)) : ParseCsv(line.substr(i));
 }
 
-std::string FormatScoreResponse(const ServeRequest& request, double proba) {
+std::string FormatScoreResponse(const ServeRequest& request, double proba,
+                                bool degraded) {
   char num[40];
   std::snprintf(num, sizeof(num), "%.17g", proba);
   if (!request.json) return num;
@@ -194,6 +224,7 @@ std::string FormatScoreResponse(const ServeRequest& request, double proba) {
   }
   out += "\"proba\":";
   out += num;
+  if (degraded) out += ",\"degraded\":true";
   out += '}';
   return out;
 }

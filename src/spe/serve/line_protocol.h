@@ -1,6 +1,7 @@
 #ifndef SPE_SERVE_LINE_PROTOCOL_H_
 #define SPE_SERVE_LINE_PROTOCOL_H_
 
+#include <cstddef>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -21,6 +22,21 @@ namespace spe {
 /// `{"error":"<msg>"}` for JSON — the connection stays open either way.
 /// Probabilities are printed with 17 significant digits so the decimal
 /// text round-trips to the exact double the model produced.
+///
+/// Hardening: feature values must be finite (NaN/Inf are rejected — a
+/// non-finite feature scores to garbage silently), ids longer than
+/// kMaxIdBytes and lines longer than kMaxRequestLineBytes are rejected,
+/// and a JSON request may carry `"deadline_ms": D` — the server fails
+/// the request with DEADLINE_EXCEEDED instead of scoring it if it is
+/// still queued D milliseconds after parsing. Responses produced by a
+/// degraded (ensemble-prefix) dispatch carry `"degraded":true`.
+
+/// Hard cap on one request line. Longer lines are answered with an
+/// error and discarded without being buffered whole.
+inline constexpr std::size_t kMaxRequestLineBytes = 1 << 20;  // 1 MiB
+
+/// Cap on the verbatim JSON "id" token echoed back in responses.
+inline constexpr std::size_t kMaxIdBytes = 256;
 
 enum class RequestKind {
   kScore,    // features parsed, ready to submit
@@ -36,6 +52,11 @@ struct ServeRequest {
   /// string ids), echoed back in the response. Empty when absent.
   std::string id;
   std::vector<double> features;
+  /// Relative deadline in milliseconds from the JSON "deadline_ms" key;
+  /// negative when the request did not set one (the server default, if
+  /// any, applies). 0 is valid and means "already due" — useful for
+  /// probing the deadline path deterministically.
+  double deadline_ms = -1.0;
   std::string error;  // human-readable reason when kind == kInvalid
 };
 
@@ -43,8 +64,11 @@ struct ServeRequest {
 /// malformed line yields kInvalid with `error` set.
 ServeRequest ParseRequestLine(std::string_view line);
 
-/// Response line (no trailing newline) for a scored request.
-std::string FormatScoreResponse(const ServeRequest& request, double proba);
+/// Response line (no trailing newline) for a scored request. Degraded
+/// results are marked with `"degraded":true` in JSON responses; CSV
+/// responses stay a bare number (degradation is visible via STATS).
+std::string FormatScoreResponse(const ServeRequest& request, double proba,
+                                bool degraded = false);
 
 /// Error line (no trailing newline) in the shape of the request.
 std::string FormatErrorResponse(const ServeRequest& request,

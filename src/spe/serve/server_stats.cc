@@ -52,9 +52,13 @@ void ServerStats::RecordRequest(std::uint64_t latency_us) {
   UpdateMax(max_us_, latency_us);
 }
 
-void ServerStats::RecordBatch(std::uint64_t size) {
+void ServerStats::RecordBatch(std::uint64_t size, bool degraded) {
   batches_.fetch_add(1, std::memory_order_relaxed);
   batch_rows_.fetch_add(size, std::memory_order_relaxed);
+  if (degraded) {
+    degraded_batches_.fetch_add(1, std::memory_order_relaxed);
+    degraded_rows_.fetch_add(size, std::memory_order_relaxed);
+  }
   const std::size_t bucket = size == 0 ? 0 : std::bit_width(size) - 1;
   batch_hist_[bucket < kBatchBuckets ? bucket : kBatchBuckets - 1].fetch_add(
       1, std::memory_order_relaxed);
@@ -63,6 +67,10 @@ void ServerStats::RecordBatch(std::uint64_t size) {
 
 void ServerStats::RecordShed() {
   shed_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void ServerStats::RecordDeadlineExpired() {
+  deadline_expired_.fetch_add(1, std::memory_order_relaxed);
 }
 
 double ServerStats::Percentile(
@@ -105,6 +113,9 @@ ServeStatsSnapshot ServerStats::Snapshot() const {
   s.rows = rows_.load(std::memory_order_relaxed);
   s.batches = batches_.load(std::memory_order_relaxed);
   s.shed = shed_.load(std::memory_order_relaxed);
+  s.deadline_expired = deadline_expired_.load(std::memory_order_relaxed);
+  s.degraded_batches = degraded_batches_.load(std::memory_order_relaxed);
+  s.degraded_rows = degraded_rows_.load(std::memory_order_relaxed);
   s.max_us = max_us_.load(std::memory_order_relaxed);
   s.max_batch_size = max_batch_.load(std::memory_order_relaxed);
   const auto elapsed = std::chrono::steady_clock::now() - start_;
@@ -134,16 +145,18 @@ ServeStatsSnapshot ServerStats::Snapshot() const {
 }
 
 std::string ToJson(const ServeStatsSnapshot& s) {
-  char buf[512];
+  char buf[640];
   std::snprintf(buf, sizeof(buf),
                 "{\"rows\":%" PRIu64 ",\"rows_per_sec\":%.1f,\"batches\":%" PRIu64
                 ",\"mean_batch_size\":%.2f,\"max_batch_size\":%" PRIu64
-                ",\"shed\":%" PRIu64
+                ",\"shed\":%" PRIu64 ",\"deadline_expired\":%" PRIu64
+                ",\"degraded_batches\":%" PRIu64 ",\"degraded_rows\":%" PRIu64
                 ",\"latency_us\":{\"p50\":%.1f,\"p95\":%.1f,\"p99\":%.1f,"
                 "\"max\":%" PRIu64 "},\"elapsed_s\":%.3f",
                 s.rows, s.rows_per_sec, s.batches, s.mean_batch_size,
-                s.max_batch_size, s.shed, s.p50_us, s.p95_us, s.p99_us,
-                s.max_us, s.elapsed_s);
+                s.max_batch_size, s.shed, s.deadline_expired,
+                s.degraded_batches, s.degraded_rows, s.p50_us, s.p95_us,
+                s.p99_us, s.max_us, s.elapsed_s);
   std::string out(buf);
   out += ",\"batch_size_hist\":[";
   for (std::size_t i = 0; i < s.batch_size_hist.size(); ++i) {

@@ -21,6 +21,9 @@ struct ServeStatsSnapshot {
   std::uint64_t rows = 0;      // completed single-row requests
   std::uint64_t batches = 0;   // micro-batches dispatched to the model
   std::uint64_t shed = 0;      // requests rejected by load shedding
+  std::uint64_t deadline_expired = 0;  // failed while queued, never scored
+  std::uint64_t degraded_batches = 0;  // scored with an ensemble prefix
+  std::uint64_t degraded_rows = 0;     // rows inside those batches
   double elapsed_s = 0.0;      // since stats creation / last Reset
   double rows_per_sec = 0.0;   // rows / elapsed_s
   double p50_us = 0.0;
@@ -51,10 +54,16 @@ class ServerStats {
   void RecordRequest(std::uint64_t latency_us);
 
   /// One micro-batch of `size` rows dispatched to the model.
-  void RecordBatch(std::uint64_t size);
+  /// `degraded` marks batches scored with an ensemble prefix under
+  /// overload degradation.
+  void RecordBatch(std::uint64_t size, bool degraded = false);
 
   /// One request rejected because the queue was full (shed policy).
   void RecordShed();
+
+  /// One request whose deadline expired while queued (failed without
+  /// being scored).
+  void RecordDeadlineExpired();
 
   ServeStatsSnapshot Snapshot() const;
 
@@ -80,6 +89,9 @@ class ServerStats {
   std::atomic<std::uint64_t> batches_{0};
   std::atomic<std::uint64_t> batch_rows_{0};
   std::atomic<std::uint64_t> shed_{0};
+  std::atomic<std::uint64_t> deadline_expired_{0};
+  std::atomic<std::uint64_t> degraded_batches_{0};
+  std::atomic<std::uint64_t> degraded_rows_{0};
   std::atomic<std::uint64_t> max_us_{0};
   std::atomic<std::uint64_t> max_batch_{0};
   std::array<std::atomic<std::uint64_t>, kLatencyBuckets> latency_hist_;

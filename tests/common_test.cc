@@ -7,8 +7,11 @@
 #include <gtest/gtest.h>
 
 #include "spe/common/check.h"
+#include "spe/common/crc32.h"
+#include "spe/common/fault.h"
 #include "spe/common/math.h"
 #include "spe/common/parallel.h"
+#include "spe/common/parse.h"
 #include "spe/common/rng.h"
 #include "spe/common/stats.h"
 
@@ -183,6 +186,98 @@ TEST(CheckTest, PassingCheckDoesNothing) {
   SPE_CHECK(true);
   SPE_CHECK_LE(1, 1);
   SPE_CHECK_GT(2, 1);
+}
+
+TEST(ParseTest, Int64AcceptsWholeNumbersOnly) {
+  EXPECT_EQ(ParseInt64("42"), 42);
+  EXPECT_EQ(ParseInt64("-7"), -7);
+  EXPECT_EQ(ParseInt64("  123  "), 123);  // surrounding whitespace ok
+  EXPECT_EQ(ParseInt64("0"), 0);
+  EXPECT_EQ(ParseInt64("9223372036854775807"), 9223372036854775807LL);
+
+  EXPECT_FALSE(ParseInt64(""));
+  EXPECT_FALSE(ParseInt64("   "));
+  EXPECT_FALSE(ParseInt64("12abc"));  // what atoi silently truncates
+  EXPECT_FALSE(ParseInt64("abc"));
+  EXPECT_FALSE(ParseInt64("1 2"));
+  EXPECT_FALSE(ParseInt64("1.5"));
+  EXPECT_FALSE(ParseInt64("0x10"));
+  EXPECT_FALSE(ParseInt64("9223372036854775808"));  // overflow
+  EXPECT_FALSE(ParseInt64("--3"));
+}
+
+TEST(ParseTest, FiniteDoubleRejectsJunkAndNonFinite) {
+  EXPECT_EQ(ParseFiniteDouble("0.25"), 0.25);
+  EXPECT_EQ(ParseFiniteDouble("-1e3"), -1000.0);
+  EXPECT_EQ(ParseFiniteDouble(" 2.5 "), 2.5);
+
+  EXPECT_FALSE(ParseFiniteDouble(""));
+  EXPECT_FALSE(ParseFiniteDouble("1.5x"));
+  EXPECT_FALSE(ParseFiniteDouble("nan"));
+  EXPECT_FALSE(ParseFiniteDouble("inf"));
+  EXPECT_FALSE(ParseFiniteDouble("-inf"));
+  EXPECT_FALSE(ParseFiniteDouble("1e999"));  // overflows to infinity
+}
+
+TEST(Crc32Test, MatchesIeeeCheckValueAndComposes) {
+  // The canonical CRC-32 (IEEE 802.3) check value.
+  EXPECT_EQ(Crc32("123456789"), 0xCBF43926u);
+  EXPECT_EQ(Crc32(""), 0x00000000u);
+  // Incremental updates must equal one-shot computation.
+  std::uint32_t crc = Crc32Update(Crc32("12345"), "6789");
+  EXPECT_EQ(crc, Crc32("123456789"));
+  // Sensitive to a single bit flip.
+  EXPECT_NE(Crc32("123456788"), Crc32("123456789"));
+}
+
+TEST(FaultTest, ParseSpecRoundTripsAndRejectsGarbage) {
+  FaultConfig config;
+  std::string error;
+  EXPECT_TRUE(FaultRegistry::ParseSpec(
+      "score_delay_ms=50,model_io_fail_rate=0.25,seed=7", &config, &error))
+      << error;
+  EXPECT_EQ(config.score_delay_ms, 50u);
+  EXPECT_EQ(config.model_io_fail_rate, 0.25);
+  EXPECT_EQ(config.seed, 7u);
+
+  // Empty spec and stray commas are fine (everything stays off).
+  EXPECT_TRUE(FaultRegistry::ParseSpec("", &config, &error));
+  EXPECT_TRUE(FaultRegistry::ParseSpec(",score_delay_ms=1,", &config, &error));
+
+  EXPECT_FALSE(FaultRegistry::ParseSpec("bogus_fault=1", &config, &error));
+  EXPECT_NE(error.find("bogus_fault"), std::string::npos);
+  EXPECT_FALSE(
+      FaultRegistry::ParseSpec("score_delay_ms=soon", &config, &error));
+  EXPECT_FALSE(
+      FaultRegistry::ParseSpec("model_io_fail_rate=1.5", &config, &error));
+  EXPECT_FALSE(FaultRegistry::ParseSpec("score_delay_ms", &config, &error));
+}
+
+TEST(FaultTest, ModelIoFaultsAreDeterministicPerSeed) {
+  FaultConfig config;
+  config.model_io_fail_rate = 0.5;
+  config.seed = 17;
+  auto draw_sequence = [&] {
+    FaultRegistry::Instance().Configure(config);
+    std::vector<bool> draws;
+    for (int i = 0; i < 64; ++i) {
+      draws.push_back(FaultRegistry::Instance().ShouldFailModelIo());
+    }
+    return draws;
+  };
+  const std::vector<bool> first = draw_sequence();
+  const std::vector<bool> second = draw_sequence();
+  EXPECT_EQ(first, second) << "same seed must give the same fault stream";
+  EXPECT_NE(std::count(first.begin(), first.end(), true), 0);
+  EXPECT_NE(std::count(first.begin(), first.end(), false), 0);
+
+  config.seed = 18;
+  const std::vector<bool> other = draw_sequence();
+  EXPECT_NE(first, other) << "different seeds must differ";
+
+  FaultRegistry::Instance().Reset();
+  EXPECT_FALSE(FaultRegistry::Instance().enabled());
+  EXPECT_FALSE(FaultRegistry::Instance().ShouldFailModelIo());
 }
 
 }  // namespace

@@ -12,6 +12,7 @@
 #include "spe/classifiers/knn.h"
 #include "spe/classifiers/logistic_regression.h"
 #include "spe/classifiers/random_forest.h"
+#include "spe/common/fault.h"
 #include "spe/core/self_paced_ensemble.h"
 #include "spe/imbalance/balance_cascade.h"
 #include "spe/imbalance/easy_ensemble.h"
@@ -152,6 +153,146 @@ TEST(ModelIoDeathTest, UnfittedModelAborts) {
 TEST(ModelIoDeathTest, GarbageStreamAborts) {
   std::stringstream stream("not a model at all");
   EXPECT_DEATH(LoadClassifier(stream), "not an spe model");
+}
+
+// ---------------------------------------------------- bundles/integrity
+
+DecisionTree TrainedTree(std::uint64_t seed) {
+  DecisionTree tree;
+  tree.Fit(SeparableBlobs(60, 60, seed));
+  return tree;
+}
+
+std::string BundleText(const Classifier& model, std::size_t num_features) {
+  std::stringstream stream;
+  SaveModelBundle(model, num_features, stream);
+  return stream.str();
+}
+
+TEST(ModelBundleTest, V2HeaderCarriesSizeAndChecksum) {
+  const DecisionTree tree = TrainedTree(21);
+  const std::string text = BundleText(tree, 2);
+  EXPECT_EQ(text.rfind("spe-bundle 2 num_features 2 payload_bytes ", 0), 0u);
+  EXPECT_NE(text.find(" crc32 "), std::string::npos);
+
+  std::stringstream stream(text);
+  ModelBundle bundle = LoadModelBundle(stream);
+  EXPECT_EQ(bundle.num_features, 2u);
+  const Dataset test = SeparableBlobs(20, 20, 22);
+  const auto a = tree.PredictProba(test);
+  const auto b = bundle.model->PredictProba(test);
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_DOUBLE_EQ(a[i], b[i]);
+}
+
+TEST(ModelBundleTest, FileRoundTripAndNoTmpLeftBehind) {
+  const DecisionTree tree = TrainedTree(23);
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "spe_bundle_test.txt")
+          .string();
+  SaveModelBundleToFile(tree, 2, path);
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"))
+      << "publish must consume the tmp file";
+  ModelBundle bundle = LoadModelBundleFromFile(path);
+  EXPECT_EQ(bundle.num_features, 2u);
+  const Dataset test = SeparableBlobs(20, 20, 24);
+  const auto a = tree.PredictProba(test);
+  const auto b = bundle.model->PredictProba(test);
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_DOUBLE_EQ(a[i], b[i]);
+  std::remove(path.c_str());
+}
+
+TEST(ModelBundleTest, LegacyBareModelLoadsWithDefaultSchema) {
+  const DecisionTree tree = TrainedTree(25);
+  std::stringstream stream;
+  SaveClassifier(tree, stream);  // pre-bundle artifact: no header at all
+  ModelBundle bundle = LoadModelBundle(stream);
+  EXPECT_EQ(bundle.num_features, 0u);  // unknown; caller must supply
+  ASSERT_NE(bundle.model, nullptr);
+}
+
+TEST(ModelBundleTest, LegacyV1BundleLoadsWithoutChecksum) {
+  const DecisionTree tree = TrainedTree(26);
+  std::stringstream payload;
+  SaveClassifier(tree, payload);
+  std::stringstream stream("spe-bundle 1 num_features 2 " + payload.str());
+  ModelBundle bundle = LoadModelBundle(stream);
+  EXPECT_EQ(bundle.num_features, 2u);
+  ASSERT_NE(bundle.model, nullptr);
+  // LoadClassifier must also skip a v1 header.
+  std::stringstream again("spe-bundle 1 num_features 2 " + payload.str());
+  EXPECT_NE(LoadClassifier(again), nullptr);
+}
+
+TEST(ModelBundleTest, LoadClassifierSkipsV2Header) {
+  const DecisionTree tree = TrainedTree(27);
+  std::stringstream stream(BundleText(tree, 2));
+  EXPECT_NE(LoadClassifier(stream), nullptr);
+}
+
+TEST(ModelBundleDeathTest, TruncatedPayloadIsRejected) {
+  const std::string text = BundleText(TrainedTree(28), 2);
+  // Drop the tail of the payload: the header's byte count catches it
+  // before any parsing happens.
+  std::stringstream truncated(text.substr(0, text.size() - 10));
+  EXPECT_DEATH(LoadModelBundle(truncated), "model artifact truncated");
+}
+
+TEST(ModelBundleDeathTest, BitFlippedPayloadIsRejected) {
+  std::string text = BundleText(TrainedTree(29), 2);
+  // Flip one bit in the middle of the payload; the length still
+  // matches, so only the checksum can catch it.
+  text[text.size() - text.size() / 4] ^= 0x01;
+  std::stringstream corrupted(text);
+  EXPECT_DEATH(LoadModelBundle(corrupted), "model artifact corrupted");
+}
+
+TEST(ModelBundleDeathTest, InjectedWriteFaultLeavesArtifactIntact) {
+  const DecisionTree tree = TrainedTree(30);
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "spe_bundle_fault_test.txt")
+          .string();
+  SaveModelBundleToFile(tree, 2, path);
+  const auto published = std::filesystem::last_write_time(path);
+
+  // The fault is configured inside the death statement, so only the
+  // forked child fails its save; this process's registry stays clean.
+  const DecisionTree replacement = TrainedTree(31);
+  EXPECT_DEATH(
+      {
+        FaultConfig faulty;
+        faulty.model_io_fail_rate = 1.0;
+        FaultRegistry::Instance().Configure(faulty);
+        SaveModelBundleToFile(replacement, 2, path);
+      },
+      "injected fault: model artifact write failed");
+
+  // Crash-safety contract: the published artifact is byte-for-byte the
+  // old one and still loads cleanly.
+  EXPECT_EQ(std::filesystem::last_write_time(path), published);
+  ModelBundle bundle = LoadModelBundleFromFile(path);
+  const Dataset test = SeparableBlobs(20, 20, 32);
+  const auto a = tree.PredictProba(test);
+  const auto b = bundle.model->PredictProba(test);
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_DOUBLE_EQ(a[i], b[i]);
+  std::remove(path.c_str());
+  std::remove((path + ".tmp").c_str());
+}
+
+TEST(ModelBundleDeathTest, InjectedReadFaultFailsLoad) {
+  const DecisionTree tree = TrainedTree(33);
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "spe_bundle_read_fault.txt")
+          .string();
+  SaveModelBundleToFile(tree, 2, path);
+  EXPECT_DEATH(
+      {
+        FaultConfig faulty;
+        faulty.model_io_fail_rate = 1.0;
+        FaultRegistry::Instance().Configure(faulty);
+        LoadModelBundleFromFile(path);
+      },
+      "injected fault: model artifact read failed");
+  std::remove(path.c_str());
 }
 
 TEST(ModelIoDeathTest, VotingModelRefusesToRetrain) {

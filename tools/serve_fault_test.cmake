@@ -1,0 +1,187 @@
+# Fault-injected end-to-end checks of the serving robustness features,
+# run by ctest (`cmake -P`, no shell needed):
+#   1. train a tiny model bundle with spe_cli
+#   2. corrupted / truncated artifacts must be rejected with a clear error
+#   3. a legacy (headerless) artifact still serves, with a warning,
+#      given --num-features
+#   4. SPE_FAULTS=score_delay_ms + --default-deadline-ms: every request
+#      expires in the queue and comes back DEADLINE_EXCEEDED, unscored
+#   5. SPE_FAULTS=score_delay_ms + watermark flags: backlog builds behind
+#      the slowed worker and responses are marked "degraded":true
+#   6. flag-parsing hardening: duplicate flags and garbage values are
+#      usage errors, not silently misread config
+
+foreach(var SPE_CLI SPE_SERVE WORK_DIR)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "${var} must be passed with -D${var}=...")
+  endif()
+endforeach()
+
+set(dir ${WORK_DIR}/serve_fault_test)
+file(MAKE_DIRECTORY ${dir})
+
+# ---- 1. train a model bundle ------------------------------------------
+set(csv "")
+foreach(i RANGE 0 39)
+  math(EXPR parity "${i} % 5")
+  math(EXPR a "${i} % 7")
+  math(EXPR b "${i} % 3")
+  if(parity EQUAL 0)
+    string(APPEND csv "${a}.5,${b}.25,1\n")
+  else()
+    string(APPEND csv "-${a}.5,-${b}.75,0\n")
+  endif()
+endforeach()
+file(WRITE ${dir}/train.csv "${csv}")
+
+execute_process(
+  COMMAND ${SPE_CLI} train --data ${dir}/train.csv --n 5 --model ${dir}/m.model
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "spe_cli train failed (${rc}): ${out} ${err}")
+endif()
+
+file(READ ${dir}/m.model artifact)
+file(WRITE ${dir}/one_row.txt "1.5,0.25\n")
+
+# ---- 2a. bit-flipped payload is rejected ------------------------------
+# The bundle is text; swapping the final payload byte keeps the length
+# (so only the checksum can notice) and must trip the CRC verification.
+string(LENGTH "${artifact}" len)
+math(EXPR head_len "${len} - 1")
+string(SUBSTRING "${artifact}" 0 ${head_len} head)
+string(SUBSTRING "${artifact}" ${head_len} 1 last_char)
+if(last_char STREQUAL "0")
+  file(WRITE ${dir}/corrupt.model "${head}1")
+else()
+  file(WRITE ${dir}/corrupt.model "${head}0")
+endif()
+
+execute_process(
+  COMMAND ${SPE_SERVE} --model ${dir}/corrupt.model --stdio
+  INPUT_FILE ${dir}/one_row.txt
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(rc EQUAL 0)
+  message(FATAL_ERROR "corrupted artifact was accepted: ${out}")
+endif()
+if(NOT err MATCHES "model artifact corrupted")
+  message(FATAL_ERROR "corruption not reported clearly: ${err}")
+endif()
+
+# ---- 2b. truncated payload is rejected --------------------------------
+math(EXPR trunc_len "${len} - 20")
+string(SUBSTRING "${artifact}" 0 ${trunc_len} truncated)
+file(WRITE ${dir}/truncated.model "${truncated}")
+
+execute_process(
+  COMMAND ${SPE_SERVE} --model ${dir}/truncated.model --stdio
+  INPUT_FILE ${dir}/one_row.txt
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(rc EQUAL 0)
+  message(FATAL_ERROR "truncated artifact was accepted: ${out}")
+endif()
+if(NOT err MATCHES "model artifact truncated")
+  message(FATAL_ERROR "truncation not reported clearly: ${err}")
+endif()
+
+# ---- 3. legacy headerless artifact loads with a warning ---------------
+# Stripping the first line (the bundle header) leaves a bare spe-model
+# stream, the pre-bundle artifact shape.
+string(FIND "${artifact}" "\n" eol)
+math(EXPR payload_start "${eol} + 1")
+string(SUBSTRING "${artifact}" ${payload_start} -1 legacy)
+file(WRITE ${dir}/legacy.model "${legacy}")
+
+execute_process(
+  COMMAND ${SPE_SERVE} --model ${dir}/legacy.model --num-features 2 --stdio
+  INPUT_FILE ${dir}/one_row.txt
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "legacy artifact failed to serve (${rc}): ${err}")
+endif()
+if(NOT out MATCHES "^[0-9.eE+-]+")
+  message(FATAL_ERROR "legacy artifact gave no score: ${out}")
+endif()
+if(NOT err MATCHES "without an integrity checksum")
+  message(FATAL_ERROR "legacy load did not warn: ${err}")
+endif()
+
+# ---- 4. injected scoring delay expires queued deadlines ---------------
+# The worker sleeps 200ms after popping each batch (before deadline
+# triage), so a 20ms default deadline is guaranteed to have expired by
+# the time the request is triaged — no timing luck involved.
+file(WRITE ${dir}/deadline_requests.txt
+  "1.5,0.25\n-2.5,-1.75\n{\"id\":9,\"features\":[1.5,0.25]}\n")
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E env SPE_FAULTS=score_delay_ms=200
+    ${SPE_SERVE} --model ${dir}/m.model --stdio --default-deadline-ms 20
+  INPUT_FILE ${dir}/deadline_requests.txt
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "deadline run failed (${rc}): ${err}")
+endif()
+string(REGEX REPLACE "\n$" "" trimmed "${out}")
+string(REPLACE "\n" ";" lines "${trimmed}")
+foreach(line IN LISTS lines)
+  if(NOT line MATCHES "DEADLINE_EXCEEDED")
+    message(FATAL_ERROR "expected every response to expire, got: ${line}")
+  endif()
+endforeach()
+list(LENGTH lines n)
+if(NOT n EQUAL 3)
+  message(FATAL_ERROR "expected 3 responses, got ${n}: ${out}")
+endif()
+if(NOT err MATCHES "\"deadline_expired\":3")
+  message(FATAL_ERROR "stats did not count expirations: ${err}")
+endif()
+
+# ---- 5. backlog behind a slowed worker engages degradation ------------
+# One worker, one row per batch, 50ms injected delay per batch: the
+# remaining requests are all queued before the first sleep ends, so
+# every pop after the first sees a backlog over the high watermark.
+set(json_requests "")
+foreach(i RANGE 0 9)
+  string(APPEND json_requests "{\"id\":${i},\"features\":[1.5,0.25]}\n")
+endforeach()
+file(WRITE ${dir}/degrade_requests.txt "${json_requests}")
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E env SPE_FAULTS=score_delay_ms=50
+    ${SPE_SERVE} --model ${dir}/m.model --stdio
+    --workers 1 --max-batch 1 --max-delay-us 0
+    --degrade-high 2 --degrade-low 1 --degrade-prefix 1
+  INPUT_FILE ${dir}/degrade_requests.txt
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "degrade run failed (${rc}): ${err}")
+endif()
+if(NOT out MATCHES "\"degraded\":true")
+  message(FATAL_ERROR "no response was marked degraded: ${out}")
+endif()
+if(NOT err MATCHES "\"degraded_batches\":[1-9]")
+  message(FATAL_ERROR "stats did not count degraded batches: ${err}")
+endif()
+
+# ---- 6. flag-parsing hardening ----------------------------------------
+execute_process(
+  COMMAND ${SPE_SERVE} --model ${dir}/m.model --model ${dir}/m.model --stdio
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(rc EQUAL 0 OR NOT err MATCHES "duplicate flag --model")
+  message(FATAL_ERROR "duplicate flag not rejected: rc=${rc} ${err}")
+endif()
+
+execute_process(
+  COMMAND ${SPE_SERVE} --model ${dir}/m.model --port banana
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(rc EQUAL 0 OR NOT err MATCHES "--port expects an integer")
+  message(FATAL_ERROR "garbage --port not rejected: rc=${rc} ${err}")
+endif()
+
+execute_process(
+  COMMAND ${SPE_CLI} train --data ${dir}/train.csv --n 10abc
+    --model ${dir}/ignored.model
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(rc EQUAL 0 OR NOT err MATCHES "--n expects an integer")
+  message(FATAL_ERROR "garbage --n not rejected: rc=${rc} ${err}")
+endif()
+
+message(STATUS "serve fault-injection pipeline ok")

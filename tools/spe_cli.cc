@@ -17,12 +17,14 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <limits>
 #include <map>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "spe/classifiers/factory.h"
+#include "spe/common/parse.h"
 #include "spe/core/self_paced_ensemble.h"
 #include "spe/data/csv.h"
 #include "spe/data/libsvm.h"
@@ -35,6 +37,8 @@
 
 namespace {
 
+[[noreturn]] void Usage(const char* message);
+
 struct Options {
   std::string command;
   std::map<std::string, std::string> flags;
@@ -43,13 +47,30 @@ struct Options {
     const auto it = flags.find(key);
     return it == flags.end() ? fallback : it->second;
   }
+  // Numeric accessors reject what strtol/strtod used to swallow: a
+  // `--seed banana` or `--n 10abc` is a usage error, not a silent 0.
   long GetInt(const std::string& key, long fallback) const {
     const auto it = flags.find(key);
-    return it == flags.end() ? fallback : std::strtol(it->second.c_str(), nullptr, 10);
+    if (it == flags.end()) return fallback;
+    const auto v = spe::ParseInt64(it->second);
+    if (!v || *v < std::numeric_limits<long>::min() ||
+        *v > std::numeric_limits<long>::max()) {
+      const std::string message =
+          "--" + key + " expects an integer, got '" + it->second + "'";
+      Usage(message.c_str());
+    }
+    return static_cast<long>(*v);
   }
   double GetDouble(const std::string& key, double fallback) const {
     const auto it = flags.find(key);
-    return it == flags.end() ? fallback : std::strtod(it->second.c_str(), nullptr);
+    if (it == flags.end()) return fallback;
+    const auto v = spe::ParseFiniteDouble(it->second);
+    if (!v) {
+      const std::string message =
+          "--" + key + " expects a finite number, got '" + it->second + "'";
+      Usage(message.c_str());
+    }
+    return *v;
   }
 };
 
@@ -83,14 +104,17 @@ Options Parse(int argc, char** argv) {
       Usage(message.c_str());
     }
     const std::string key = arg.substr(2);
-    if (key == "scores-only") {
-      options.flags.emplace(key, "1");
-    } else {
+    std::string value = "1";
+    if (key != "scores-only") {
       if (i + 1 >= argc) {
         const std::string message = "missing value for --" + key;
         Usage(message.c_str());
       }
-      options.flags.emplace(key, argv[++i]);
+      value = argv[++i];
+    }
+    if (!options.flags.emplace(key, value).second) {
+      const std::string message = "duplicate flag --" + key;
+      Usage(message.c_str());
     }
   }
   return options;

@@ -1,23 +1,33 @@
 // spe_serve — online scoring server over a saved model.
 //
 //   spe_serve --model FILE [--stdio | --port P] [--host ADDR]
-//             [--max-batch N] [--max-delay-us U] [--workers W]
-//             [--queue-capacity C] [--overflow block|shed]
+//             [--num-features F] [--max-batch N] [--max-delay-us U]
+//             [--workers W] [--queue-capacity C] [--overflow block|shed]
+//             [--default-deadline-ms D] [--degrade-high H --degrade-low L
+//              --degrade-prefix K] [--max-connections M]
 //             [--stats-interval-ms MS]
 //
 // Speaks the newline-delimited CSV/JSON protocol of spe/serve/
 // line_protocol.h. --stdio serves exactly one "connection" on
-// stdin/stdout (what tests and shell pipelines use); --port accepts any
-// number of concurrent TCP connections, each handled by a reader thread
-// (parse + submit) and a writer thread (responses in request order), all
-// funneling into one shared BatchScorer so cross-connection traffic
-// coalesces into common micro-batches.
+// stdin/stdout (what tests and shell pipelines use); --port accepts
+// concurrent TCP connections (up to --max-connections), each handled by
+// a reader thread (parse + submit) and a writer thread (responses in
+// request order), all funneling into one shared BatchScorer so
+// cross-connection traffic coalesces into common micro-batches.
+//
+// Robustness: requests may carry "deadline_ms" (JSON) or inherit
+// --default-deadline-ms; a request that is still queued past its
+// deadline is answered DEADLINE_EXCEEDED without being scored. Under
+// backlog past --degrade-high, batches are scored with only the first
+// --degrade-prefix ensemble members (responses marked "degraded":true)
+// until the backlog drains to --degrade-low.
 //
 // Shutdown drains: on SIGINT/SIGTERM (or stdin EOF) the listener closes,
 // connections stop reading, every accepted request is still scored and
 // written, and a final stats snapshot goes to stderr.
 
 #include <atomic>
+#include <condition_variable>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
@@ -38,6 +48,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include "spe/common/parse.h"
 #include "spe/io/model_io.h"
 #include "spe/serve/batch_scorer.h"
 #include "spe/serve/line_protocol.h"
@@ -54,17 +65,68 @@ namespace {
       "  --stdio               serve one session on stdin/stdout\n"
       "  --port P              listen for TCP connections on port P\n"
       "  --host ADDR           bind address (default 127.0.0.1)\n"
+      "  --num-features F      row width for legacy artifacts whose file\n"
+      "                        has no schema header (bundles carry it)\n"
       "  --max-batch N         rows per model dispatch (default 256)\n"
       "  --max-delay-us U      micro-batch fill deadline (default 200)\n"
       "  --workers W           scoring threads (default: hardware)\n"
       "  --queue-capacity C    pending-request bound (default 4096)\n"
       "  --overflow block|shed backpressure policy (default block)\n"
+      "  --default-deadline-ms D\n"
+      "                        deadline for requests that do not carry\n"
+      "                        \"deadline_ms\"; expired-in-queue requests\n"
+      "                        get DEADLINE_EXCEEDED (0 = none, default)\n"
+      "  --degrade-high H      backlog at which scoring degrades to an\n"
+      "                        ensemble prefix (0 = never, default)\n"
+      "  --degrade-low L       backlog at which full scoring resumes\n"
+      "                        (default 0; must be < H)\n"
+      "  --degrade-prefix K    ensemble members used while degraded\n"
+      "                        (default 1)\n"
+      "  --max-connections M   concurrent TCP connections; further\n"
+      "                        connects are refused with an error line\n"
+      "                        (default 256, 0 = unlimited)\n"
       "  --stats-interval-ms M periodic stats line to stderr (0 = off,\n"
       "                        default 10000 for --port, 0 for --stdio)\n"
       "protocol: one request per line — CSV features (`0.2,1.5`) or JSON\n"
-      "(`{\"id\":1,\"features\":[0.2,1.5]}`); `STATS` returns a stats\n"
-      "snapshot; responses come back one line each, in request order.\n");
+      "(`{\"id\":1,\"features\":[0.2,1.5],\"deadline_ms\":50}`); `STATS`\n"
+      "returns a stats snapshot; responses come back one line each, in\n"
+      "request order. Degraded-mode JSON responses carry "
+      "\"degraded\":true.\n"
+      "fault injection: set SPE_FAULTS=score_delay_ms=..,"
+      "model_io_fail_rate=..,seed=.. (docs/serving.md)\n");
   std::exit(2);
+}
+
+/// Checked flag accessor: missing -> fallback; present but not an
+/// integer in [min, max] -> usage error (atoi-style silent garbage is
+/// exactly what this replaces).
+long GetIntFlag(const std::map<std::string, std::string>& flags,
+                const std::string& key, long fallback, long min, long max) {
+  const auto it = flags.find(key);
+  if (it == flags.end()) return fallback;
+  const auto v = spe::ParseInt64(it->second);
+  if (!v || *v < min || *v > max) {
+    const std::string message = "--" + key + " expects an integer in [" +
+                                std::to_string(min) + ", " +
+                                std::to_string(max) + "], got '" + it->second +
+                                "'";
+    Usage(message.c_str());
+  }
+  return static_cast<long>(*v);
+}
+
+double GetDoubleFlag(const std::map<std::string, std::string>& flags,
+                     const std::string& key, double fallback, double min) {
+  const auto it = flags.find(key);
+  if (it == flags.end()) return fallback;
+  const auto v = spe::ParseFiniteDouble(it->second);
+  if (!v || *v < min) {
+    const std::string message = "--" + key + " expects a number >= " +
+                                std::to_string(min) + ", got '" + it->second +
+                                "'";
+    Usage(message.c_str());
+  }
+  return *v;
 }
 
 std::atomic<int> g_listen_fd{-1};
@@ -76,13 +138,41 @@ void HandleStopSignal(int /*sig*/) {
   if (fd >= 0) close(fd);
 }
 
+/// Reads one newline-terminated request line into `line`, enforcing the
+/// protocol's line-length cap without ever buffering an oversized line
+/// whole: the overflow is consumed and discarded in fixed-size chunks.
+/// Returns false on EOF with nothing read; sets `oversized` when the
+/// line exceeded the cap (its content is then meaningless).
+bool ReadBoundedLine(std::FILE* in, std::string& line, bool& oversized) {
+  line.clear();
+  oversized = false;
+  char chunk[4096];
+  while (std::fgets(chunk, sizeof(chunk), in) != nullptr) {
+    const std::size_t len = std::strlen(chunk);
+    const bool eol = len > 0 && chunk[len - 1] == '\n';
+    if (!oversized) {
+      line.append(chunk, len);
+      if (line.size() > spe::kMaxRequestLineBytes + 2) {
+        // +2: allow the CR/LF of a line exactly at the cap.
+        oversized = true;
+        line.clear();
+      }
+    }
+    if (eol) return true;
+  }
+  return oversized || !line.empty();
+}
+
 /// One protocol session on a FILE* pair. The calling thread reads,
 /// parses and submits; a writer thread emits responses in request
 /// order. Returns when `in` hits EOF and every response is written.
-void ServeSession(std::FILE* in, std::FILE* out, spe::BatchScorer& scorer) {
+/// `default_deadline_ms` <= 0 means "no deadline unless the request
+/// sets one".
+void ServeSession(std::FILE* in, std::FILE* out, spe::BatchScorer& scorer,
+                  double default_deadline_ms) {
   struct Pending {
     spe::ServeRequest request;
-    std::future<double> future;  // valid only for kScore
+    std::future<spe::ScoreResult> future;  // valid only for kScore
   };
   std::deque<Pending> pending;
   std::mutex mu;
@@ -104,8 +194,9 @@ void ServeSession(std::FILE* in, std::FILE* out, spe::BatchScorer& scorer) {
       switch (item.request.kind) {
         case spe::RequestKind::kScore:
           try {
-            response = spe::FormatScoreResponse(item.request,
-                                                item.future.get());
+            const spe::ScoreResult result = item.future.get();
+            response = spe::FormatScoreResponse(item.request, result.proba,
+                                                result.degraded);
           } catch (const std::exception& e) {
             response = spe::FormatErrorResponse(item.request, e.what());
           }
@@ -126,16 +217,21 @@ void ServeSession(std::FILE* in, std::FILE* out, spe::BatchScorer& scorer) {
     }
   });
 
-  char* line = nullptr;
-  std::size_t cap = 0;
-  ssize_t len = 0;
-  while ((len = getline(&line, &cap, in)) != -1) {
-    while (len > 0 && (line[len - 1] == '\n' || line[len - 1] == '\r')) {
-      line[--len] = '\0';
+  std::string line;
+  bool oversized = false;
+  while (ReadBoundedLine(in, line, oversized)) {
+    while (!line.empty() && (line.back() == '\n' || line.back() == '\r')) {
+      line.pop_back();
     }
     Pending item;
-    item.request =
-        spe::ParseRequestLine(std::string_view(line, static_cast<size_t>(len)));
+    if (oversized) {
+      item.request.kind = spe::RequestKind::kInvalid;
+      item.request.error = "request line exceeds " +
+                           std::to_string(spe::kMaxRequestLineBytes) +
+                           " bytes";
+    } else {
+      item.request = spe::ParseRequestLine(line);
+    }
     if (item.request.kind == spe::RequestKind::kEmpty) continue;
     if (item.request.kind == spe::RequestKind::kScore) {
       if (item.request.features.size() != scorer.num_features()) {
@@ -144,7 +240,19 @@ void ServeSession(std::FILE* in, std::FILE* out, spe::BatchScorer& scorer) {
             "expected " + std::to_string(scorer.num_features()) +
             " features, got " + std::to_string(item.request.features.size());
       } else {
-        item.future = scorer.Submit(std::move(item.request.features));
+        const double deadline_ms = item.request.deadline_ms >= 0
+                                       ? item.request.deadline_ms
+                                       : default_deadline_ms;
+        auto deadline = spe::BatchScorer::kNoDeadline;
+        if (item.request.deadline_ms >= 0 || default_deadline_ms > 0) {
+          deadline = std::chrono::steady_clock::now() +
+                     std::chrono::duration_cast<
+                         std::chrono::steady_clock::duration>(
+                         std::chrono::duration<double, std::milli>(
+                             deadline_ms));
+        }
+        item.future =
+            scorer.Submit(std::move(item.request.features), deadline);
       }
     }
     {
@@ -156,7 +264,6 @@ void ServeSession(std::FILE* in, std::FILE* out, spe::BatchScorer& scorer) {
     }
     cv.notify_all();
   }
-  std::free(line);
   {
     std::lock_guard<std::mutex> lock(mu);
     done_reading = true;
@@ -165,14 +272,15 @@ void ServeSession(std::FILE* in, std::FILE* out, spe::BatchScorer& scorer) {
   writer.join();
 }
 
-int RunStdio(spe::BatchScorer& scorer) {
-  ServeSession(stdin, stdout, scorer);
+int RunStdio(spe::BatchScorer& scorer, double default_deadline_ms) {
+  ServeSession(stdin, stdout, scorer, default_deadline_ms);
   scorer.Shutdown();
   std::fprintf(stderr, "%s\n", spe::ToJson(scorer.stats().Snapshot()).c_str());
   return 0;
 }
 
-int RunTcp(spe::BatchScorer& scorer, const std::string& host, int port) {
+int RunTcp(spe::BatchScorer& scorer, const std::string& host, int port,
+           double default_deadline_ms, std::size_t max_connections) {
   const int listen_fd = socket(AF_INET, SOCK_STREAM, 0);
   if (listen_fd < 0) {
     std::perror("socket");
@@ -199,36 +307,65 @@ int RunTcp(spe::BatchScorer& scorer, const std::string& host, int port) {
   std::signal(SIGPIPE, SIG_IGN);
   std::fprintf(stderr, "spe_serve: listening on %s:%d\n", host.c_str(), port);
 
-  std::mutex conn_mu;
-  std::set<int> open_fds;
-  std::vector<std::thread> sessions;
+  // Session bookkeeping: `active` counts live session threads, which
+  // run detached so a finished connection costs nothing (the previous
+  // design kept every joinable std::thread for the process lifetime).
+  // Shutdown half-closes the open sockets and waits for active == 0 —
+  // the same drain guarantee, without the unbounded vector.
+  struct Sessions {
+    std::mutex mu;
+    std::condition_variable all_done;
+    std::set<int> open_fds;
+    std::size_t active = 0;
+    std::uint64_t refused = 0;
+  } sessions;
+
   for (;;) {
     const int fd = accept(listen_fd, nullptr, nullptr);
     if (fd < 0) break;  // listener closed by the signal handler
     {
-      const std::lock_guard<std::mutex> lock(conn_mu);
-      open_fds.insert(fd);
+      std::lock_guard<std::mutex> lock(sessions.mu);
+      if (max_connections > 0 && sessions.active >= max_connections) {
+        ++sessions.refused;
+        const char refusal[] = "ERR server at connection capacity\n";
+        // Best-effort courtesy line; the refusal is the close() either way.
+        (void)!write(fd, refusal, sizeof(refusal) - 1);
+        close(fd);
+        continue;
+      }
+      ++sessions.active;
+      sessions.open_fds.insert(fd);
     }
-    sessions.emplace_back([fd, &scorer, &conn_mu, &open_fds] {
+    std::thread([fd, &scorer, &sessions, default_deadline_ms] {
       // Separate FILE streams for the two directions; each owns a dup
       // so fclose of one cannot yank the fd from under the other.
       std::FILE* in = fdopen(fd, "r");
       std::FILE* out = fdopen(dup(fd), "w");
-      if (in != nullptr && out != nullptr) ServeSession(in, out, scorer);
+      if (in != nullptr && out != nullptr) {
+        ServeSession(in, out, scorer, default_deadline_ms);
+      }
       if (in != nullptr) std::fclose(in);
       if (out != nullptr) std::fclose(out);
-      const std::lock_guard<std::mutex> lock(conn_mu);
-      open_fds.erase(fd);
-    });
+      {
+        std::lock_guard<std::mutex> lock(sessions.mu);
+        sessions.open_fds.erase(fd);
+        --sessions.active;
+      }
+      sessions.all_done.notify_all();
+    }).detach();
   }
   std::fprintf(stderr, "spe_serve: draining...\n");
   {
-    // Stop the readers: half-close every open connection so getline
+    // Stop the readers: half-close every open connection so the reader
     // sees EOF; in-flight requests still get their responses.
-    const std::lock_guard<std::mutex> lock(conn_mu);
-    for (int fd : open_fds) shutdown(fd, SHUT_RD);
+    std::unique_lock<std::mutex> lock(sessions.mu);
+    for (int fd : sessions.open_fds) shutdown(fd, SHUT_RD);
+    sessions.all_done.wait(lock, [&] { return sessions.active == 0; });
+    if (sessions.refused > 0) {
+      std::fprintf(stderr, "spe_serve: refused %llu connections at capacity\n",
+                   static_cast<unsigned long long>(sessions.refused));
+    }
   }
-  for (auto& s : sessions) s.join();
   scorer.Shutdown();
   std::fprintf(stderr, "%s\n", spe::ToJson(scorer.stats().Snapshot()).c_str());
   return 0;
@@ -242,11 +379,15 @@ int main(int argc, char** argv) {
     const std::string arg = argv[i];
     if (arg.rfind("--", 0) != 0) Usage(("unexpected argument: " + arg).c_str());
     const std::string key = arg.substr(2);
-    if (key == "stdio") {
-      flags.emplace(key, "1");
-    } else {
+    std::string value = "1";
+    if (key != "stdio") {
       if (i + 1 >= argc) Usage(("missing value for --" + key).c_str());
-      flags.emplace(key, argv[++i]);
+      value = argv[++i];
+    }
+    // A silently ignored repeat is how a fat-fingered restart script
+    // serves yesterday's queue capacity; make duplicates loud.
+    if (!flags.emplace(key, value).second) {
+      Usage(("duplicate flag --" + key).c_str());
     }
   }
   const auto get = [&](const std::string& k, const std::string& fallback) {
@@ -257,29 +398,43 @@ int main(int argc, char** argv) {
   const std::string model_path = get("model", "");
   if (model_path.empty()) Usage("--model is required");
   const bool use_stdio = flags.count("stdio") > 0;
-  const int port = std::atoi(get("port", "0").c_str());
+  const int port = static_cast<int>(GetIntFlag(flags, "port", 0, 1, 65535));
   if (use_stdio == (port > 0)) Usage("pass exactly one of --stdio / --port");
 
   spe::BatchScorerConfig config;
-  config.max_batch_size =
-      static_cast<std::size_t>(std::atol(get("max-batch", "256").c_str()));
-  config.max_batch_delay_us =
-      static_cast<std::size_t>(std::atol(get("max-delay-us", "200").c_str()));
+  config.max_batch_size = static_cast<std::size_t>(
+      GetIntFlag(flags, "max-batch", 256, 1, 1 << 20));
+  config.max_batch_delay_us = static_cast<std::size_t>(
+      GetIntFlag(flags, "max-delay-us", 200, 0, 60'000'000));
   config.num_workers =
-      static_cast<std::size_t>(std::atol(get("workers", "0").c_str()));
+      static_cast<std::size_t>(GetIntFlag(flags, "workers", 0, 0, 4096));
   config.queue_capacity = static_cast<std::size_t>(
-      std::atol(get("queue-capacity", "4096").c_str()));
+      GetIntFlag(flags, "queue-capacity", 4096, 1, 1 << 26));
   const std::string overflow = get("overflow", "block");
   if (overflow == "shed") {
     config.overflow = spe::OverflowPolicy::kShed;
   } else if (overflow != "block") {
     Usage("--overflow must be block or shed");
   }
+  config.degrade_high_watermark = static_cast<std::size_t>(
+      GetIntFlag(flags, "degrade-high", 0, 0, 1 << 26));
+  config.degrade_low_watermark = static_cast<std::size_t>(
+      GetIntFlag(flags, "degrade-low", 0, 0, 1 << 26));
+  config.degrade_prefix = static_cast<std::size_t>(
+      GetIntFlag(flags, "degrade-prefix", 1, 1, 1 << 20));
+  if (config.degrade_high_watermark > 0 &&
+      config.degrade_low_watermark >= config.degrade_high_watermark) {
+    Usage("--degrade-low must be below --degrade-high");
+  }
+  const double default_deadline_ms =
+      GetDoubleFlag(flags, "default-deadline-ms", 0.0, 0.0);
+  const std::size_t max_connections = static_cast<std::size_t>(
+      GetIntFlag(flags, "max-connections", 256, 0, 1 << 20));
 
   spe::ModelBundle bundle = spe::LoadModelBundleFromFile(model_path);
   // Bundles (spe_cli train output) record the row width; bare spe-model
   // artifacts predate the header and need --num-features.
-  long num_features = std::atol(get("num-features", "0").c_str());
+  long num_features = GetIntFlag(flags, "num-features", 0, 1, 1 << 24);
   if (num_features <= 0) num_features = static_cast<long>(bundle.num_features);
   if (num_features <= 0) {
     Usage("model artifact has no schema header; pass --num-features");
@@ -287,12 +442,16 @@ int main(int argc, char** argv) {
 
   spe::BatchScorer scorer(std::move(bundle.model),
                           static_cast<std::size_t>(num_features), config);
-  const long interval_ms = std::atol(
-      get("stats-interval-ms", use_stdio ? "0" : "10000").c_str());
+  const long interval_ms =
+      GetIntFlag(flags, "stats-interval-ms", use_stdio ? 0 : 10000, 0,
+                 86'400'000);
   std::unique_ptr<spe::StatsReporter> reporter;
   if (interval_ms > 0) {
     reporter = std::make_unique<spe::StatsReporter>(
         scorer.stats(), std::cerr, std::chrono::milliseconds(interval_ms));
   }
-  return use_stdio ? RunStdio(scorer) : RunTcp(scorer, get("host", "127.0.0.1"), port);
+  return use_stdio
+             ? RunStdio(scorer, default_deadline_ms)
+             : RunTcp(scorer, get("host", "127.0.0.1"), port,
+                      default_deadline_ms, max_connections);
 }
