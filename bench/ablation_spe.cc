@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "bench/cell_runner.h"
 #include "spe/classifiers/decision_tree.h"
 #include "spe/core/self_paced_ensemble.h"
 #include "spe/data/simulated.h"
@@ -53,21 +54,52 @@ int main() {
     tests.push_back(std::move(parts.test));
   }
 
+  // Every SPE variant the sections below quote, evaluated as one
+  // parallel grid of cells (the duplicated tan/f0-excluded/depth-10
+  // baseline is computed once and reused).
+  struct Variant {
+    spe::AlphaSchedule schedule;
+    bool include_f0;
+    int depth;
+  };
+  const std::vector<Variant> variants = {
+      {spe::AlphaSchedule::kTan, false, 10},     // 0: the paper baseline
+      {spe::AlphaSchedule::kZero, false, 10},    // 1
+      {spe::AlphaSchedule::kInfinity, false, 10},  // 2
+      {spe::AlphaSchedule::kLinear, false, 10},  // 3
+      {spe::AlphaSchedule::kTan, true, 10},      // 4: f0 included
+      {spe::AlphaSchedule::kTan, false, 1},      // 5: stumps
+      {spe::AlphaSchedule::kTan, false, 5},      // 6: depth-5
+  };
+  const std::vector<spe::MeanStd> variant_scores =
+      spe::bench::RunCells<spe::MeanStd>(
+          variants.size(), /*base_seed=*/600,
+          [&](std::size_t cell, std::uint64_t /*cell_seed*/) {
+            const Variant& v = variants[cell];
+            std::vector<double> values;
+            for (std::size_t r = 0; r < runs; ++r) {
+              spe::SelfPacedEnsembleConfig config;
+              config.n_estimators = 10;
+              config.schedule = v.schedule;
+              config.include_bootstrap_model = v.include_f0;
+              config.seed = r;
+              spe::SelfPacedEnsemble model(config, Tree(v.depth, r));
+              model.Fit(trains[r]);
+              values.push_back(
+                  spe::AucPrc(tests[r].labels(), model.PredictProba(tests[r])));
+            }
+            return spe::Aggregate(values);
+          });
   const auto run_spe = [&](spe::AlphaSchedule schedule, bool include_f0,
                            int depth) {
-    std::vector<double> values;
-    for (std::size_t r = 0; r < runs; ++r) {
-      spe::SelfPacedEnsembleConfig config;
-      config.n_estimators = 10;
-      config.schedule = schedule;
-      config.include_bootstrap_model = include_f0;
-      config.seed = r;
-      spe::SelfPacedEnsemble model(config, Tree(depth, r));
-      model.Fit(trains[r]);
-      values.push_back(
-          spe::AucPrc(tests[r].labels(), model.PredictProba(tests[r])));
+    for (std::size_t v = 0; v < variants.size(); ++v) {
+      if (variants[v].schedule == schedule &&
+          variants[v].include_f0 == include_f0 &&
+          variants[v].depth == depth) {
+        return variant_scores[v];
+      }
     }
-    return spe::Aggregate(values);
+    return spe::MeanStd{};
   };
 
   std::printf("A. alpha schedule (depth-10 base, f0 excluded)\n");

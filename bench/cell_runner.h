@@ -1,0 +1,52 @@
+#ifndef SPE_BENCH_CELL_RUNNER_H_
+#define SPE_BENCH_CELL_RUNNER_H_
+
+// Shared parallel cell-runner for the table / figure harnesses. A paper
+// table is a grid of independent (method x dataset x seed) cells — CLIMB
+// -style benchmark grids run to hundreds of them — so the harnesses
+// evaluate cells concurrently with ParallelForTasks and collect results
+// into a vector indexed like the grid; printing happens afterwards in
+// the usual fixed order no matter how cells interleaved.
+//
+// Determinism: each cell derives its base seed with CellSeed, a
+// SplitMix64 hash of (base_seed, cell index). The seed depends only on
+// the grid layout, never on scheduling, so a table is reproducible for
+// any SPE_THREADS — and cells are decorrelated instead of all replaying
+// seeds 1..runs.
+
+#include <cstdint>
+#include <cstddef>
+#include <vector>
+
+#include "spe/common/parallel.h"
+
+namespace spe {
+namespace bench {
+
+/// Deterministic, scheduling-independent per-cell seed.
+inline std::uint64_t CellSeed(std::uint64_t base_seed, std::size_t cell) {
+  std::uint64_t z = base_seed + 0x9E3779B97F4A7C15ull * (cell + 1);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+/// Evaluates fn(cell, CellSeed(base_seed, cell)) for every cell in
+/// [0, num_cells), cells in parallel, and returns results in cell order.
+/// fn must not touch shared mutable state (datasets may be shared
+/// read-only); timing-sensitive harnesses should keep their stopwatch
+/// cells serial instead of using this.
+template <typename R, typename Fn>
+std::vector<R> RunCells(std::size_t num_cells, std::uint64_t base_seed,
+                        Fn&& fn) {
+  std::vector<R> results(num_cells);
+  ParallelForTasks(0, num_cells, [&](std::size_t cell) {
+    results[cell] = fn(cell, CellSeed(base_seed, cell));
+  });
+  return results;
+}
+
+}  // namespace bench
+}  // namespace spe
+
+#endif  // SPE_BENCH_CELL_RUNNER_H_

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "bench/cell_runner.h"
 #include "spe/data/synthetic.h"
 #include "spe/eval/experiment.h"
 #include "spe/eval/table.h"
@@ -48,26 +49,37 @@ int main() {
   spe::TextTable table({"Model", "RandUnder", "Clean", "SMOTE", "Easy10",
                         "Cascade10", "SPE10"});
 
-  for (const std::string& classifier : classifiers) {
-    std::vector<std::string> row = {classifier};
+  // One cell per (classifier, method); the whole grid runs in parallel
+  // with scheduling-independent per-cell seeds, then prints in order.
+  const std::size_t num_cells = classifiers.size() * methods.size();
+  const std::vector<spe::AggregateScores> cells =
+      spe::bench::RunCells<spe::AggregateScores>(
+          num_cells, /*base_seed=*/1,
+          [&](std::size_t cell, std::uint64_t cell_seed) {
+            const std::string& classifier = classifiers[cell / methods.size()];
+            const std::string& method = methods[cell % methods.size()];
+            return spe::Repeat(
+                [&](std::uint64_t seed) {
+                  // Train / test independently sampled from the same
+                  // distribution, fresh per run (§VI-A).
+                  spe::Rng rng(seed);
+                  spe::CheckerboardConfig config;
+                  const spe::Dataset train = spe::MakeCheckerboard(config, rng);
+                  const spe::Dataset test = spe::MakeCheckerboard(config, rng);
+                  return *RunMethodOnce(method, classifier, train, test,
+                                        /*n=*/10, seed);
+                },
+                runs, /*base_seed=*/cell_seed);
+          });
+
+  for (std::size_t c = 0; c < classifiers.size(); ++c) {
+    std::vector<std::string> row = {classifiers[c]};
     for (std::size_t m = 0; m < methods.size(); ++m) {
-      const spe::AggregateScores agg = spe::Repeat(
-          [&](std::uint64_t seed) {
-            // Train / test independently sampled from the same
-            // distribution, fresh per run (§VI-A).
-            spe::Rng rng(seed);
-            spe::CheckerboardConfig config;
-            const spe::Dataset train = spe::MakeCheckerboard(config, rng);
-            const spe::Dataset test = spe::MakeCheckerboard(config, rng);
-            return *RunMethodOnce(methods[m], classifier, train, test,
-                                  /*n=*/10, seed);
-          },
-          runs, /*base_seed=*/1);
+      const spe::AggregateScores& agg = cells[c * methods.size() + m];
       row.push_back(spe::FormatMeanStd(agg.aucprc) + " (paper=" +
-                    spe::FormatNumber(kPaperRows.at(classifier)[m]) + ")");
+                    spe::FormatNumber(kPaperRows.at(classifiers[c])[m]) + ")");
     }
     table.AddRow(std::move(row));
-    std::fflush(stdout);
   }
   table.Print(std::cout);
   return 0;

@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "bench/cell_runner.h"
 #include "spe/classifiers/factory.h"
 #include "spe/core/self_paced_ensemble.h"
 #include "spe/data/simulated.h"
@@ -135,13 +136,24 @@ int main() {
   spe::TextTable table(
       {"n", "Metric", "RUSBoost", "SMOTEBoost", "UnderBagging", "SMOTEBagging",
        "Cascade", "SPE"});
+  // The (n x method) grid is embarrassingly parallel: every cell reads
+  // the shared per-run splits and derives its model seeds from the run
+  // index, so the cell-runner changes wall clock, not results.
+  const std::vector<MethodResult> all_results =
+      spe::bench::RunCells<MethodResult>(
+          sizes.size() * methods.size(), /*base_seed=*/1,
+          [&](std::size_t cell, std::uint64_t /*cell_seed*/) {
+            return RunMethod(methods[cell % methods.size()],
+                             sizes[cell / methods.size()], trains, tests);
+          });
+
   for (std::size_t size_index = 0; size_index < sizes.size(); ++size_index) {
     const std::size_t n = sizes[size_index];
-    std::vector<MethodResult> results;
-    for (const std::string& method : methods) {
-      results.push_back(RunMethod(method, n, trains, tests));
-      std::fflush(stdout);
-    }
+    const std::vector<MethodResult> results(
+        all_results.begin() +
+            static_cast<std::ptrdiff_t>(size_index * methods.size()),
+        all_results.begin() +
+            static_cast<std::ptrdiff_t>((size_index + 1) * methods.size()));
     const auto add_row = [&](const std::string& metric, auto extract) {
       std::vector<std::string> row = {"n=" + std::to_string(n), metric};
       for (const MethodResult& r : results) row.push_back(extract(r));

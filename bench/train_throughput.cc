@@ -1,0 +1,205 @@
+// train_throughput — training / batch-scoring throughput at 1 vs N
+// threads, plus an inline check of the determinism contract.
+//
+// Trains SPE / Bagging / RandomForest on an enlarged checkerboard
+// (paper §VI-A geometry), once with the thread pool pinned to a single
+// thread and once at --threads (default 8), and reports fit and batch-
+// scoring rows/sec for both. Before reporting, it byte-compares the
+// predictions and the serialized artifacts across the two runs: the
+// speedup is only admissible if the results are bit-identical, so a
+// mismatch exits nonzero and poisons the report with "identical":false.
+//
+//   train_throughput [--threads N] [--minority P] [--majority M]
+//                    [--score-rows S] [--n-estimators E] [--out FILE]
+//
+// Writes the JSON report to stdout and to --out (default
+// BENCH_train.json in the working directory).
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "spe/classifiers/bagging.h"
+#include "spe/classifiers/decision_tree.h"
+#include "spe/classifiers/random_forest.h"
+#include "spe/common/parallel.h"
+#include "spe/core/self_paced_ensemble.h"
+#include "spe/data/synthetic.h"
+#include "spe/io/model_io.h"
+
+namespace {
+
+long FlagValue(int argc, char** argv, const char* name, long fallback) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0) return std::atol(argv[i + 1]);
+  }
+  return fallback;
+}
+
+const char* StringFlag(int argc, char** argv, const char* name,
+                       const char* fallback) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0) return argv[i + 1];
+  }
+  return fallback;
+}
+
+double Seconds(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration_cast<std::chrono::duration<double>>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+struct RunResult {
+  double fit_s = 0.0;
+  double score_s = 0.0;
+  std::vector<double> probs;  // batch predictions on the score set
+  std::string artifact;       // SaveClassifier text
+};
+
+// Fits a fresh model, times fit + one batch PredictProba over `score`,
+// and captures the evidence needed for the bit-identity comparison.
+template <typename MakeModel>
+RunResult RunOnce(MakeModel&& make_model, const spe::Dataset& train,
+                  const spe::Dataset& score) {
+  RunResult result;
+  auto model = make_model();
+  const auto fit_start = std::chrono::steady_clock::now();
+  model->Fit(train);
+  result.fit_s = Seconds(fit_start);
+  const auto score_start = std::chrono::steady_clock::now();
+  result.probs = model->PredictProba(score);
+  result.score_s = Seconds(score_start);
+  std::ostringstream os;
+  spe::SaveClassifier(*model, os);
+  result.artifact = os.str();
+  return result;
+}
+
+bool BitIdentical(const RunResult& a, const RunResult& b) {
+  if (a.artifact != b.artifact) return false;
+  if (a.probs.size() != b.probs.size()) return false;
+  return a.probs.empty() ||
+         std::memcmp(a.probs.data(), b.probs.data(),
+                     a.probs.size() * sizeof(double)) == 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const long threads = FlagValue(argc, argv, "--threads", 8);
+  const long minority = FlagValue(argc, argv, "--minority", 2'000);
+  const long majority = FlagValue(argc, argv, "--majority", 40'000);
+  const long score_rows = FlagValue(argc, argv, "--score-rows", 200'000);
+  const long n_estimators = FlagValue(argc, argv, "--n-estimators", 10);
+  const std::string out_path =
+      StringFlag(argc, argv, "--out", "BENCH_train.json");
+
+  // Paper §VI-A checkerboard geometry, enlarged so fit takes long
+  // enough to time; a separate large batch exercises scoring.
+  spe::CheckerboardConfig train_config;
+  train_config.num_minority = static_cast<std::size_t>(minority);
+  train_config.num_majority = static_cast<std::size_t>(majority);
+  spe::Rng rng(42);
+  const spe::Dataset train = spe::MakeCheckerboard(train_config, rng);
+  spe::CheckerboardConfig score_config;
+  score_config.num_minority = static_cast<std::size_t>(score_rows / 11);
+  score_config.num_majority =
+      static_cast<std::size_t>(score_rows) - score_config.num_minority;
+  const spe::Dataset score = spe::MakeCheckerboard(score_config, rng);
+  std::fprintf(stderr, "train=%s score=%s threads=1 vs %ld\n",
+               train.Summary().c_str(), score.Summary().c_str(), threads);
+
+  struct Workload {
+    const char* name;
+    std::unique_ptr<spe::Classifier> (*make)(std::size_t);
+  };
+  const Workload workloads[] = {
+      {"spe",
+       [](std::size_t n) -> std::unique_ptr<spe::Classifier> {
+         spe::SelfPacedEnsembleConfig config;
+         config.n_estimators = n;
+         config.seed = 7;
+         return std::make_unique<spe::SelfPacedEnsemble>(
+             config, std::make_unique<spe::DecisionTree>(
+                         spe::DecisionTreeConfig{}));
+       }},
+      {"bagging",
+       [](std::size_t n) -> std::unique_ptr<spe::Classifier> {
+         spe::BaggingConfig config;
+         config.n_estimators = n;
+         config.seed = 7;
+         return std::make_unique<spe::Bagging>(config);
+       }},
+      {"random_forest",
+       [](std::size_t n) -> std::unique_ptr<spe::Classifier> {
+         spe::RandomForestConfig config;
+         config.n_estimators = n;
+         config.seed = 7;
+         return std::make_unique<spe::RandomForest>(config);
+       }},
+  };
+
+  bool all_identical = true;
+  std::ostringstream json;
+  json << "{\"bench\":\"train_throughput\",\"threads\":" << threads
+       << ",\"train_rows\":" << train.num_rows()
+       << ",\"score_rows\":" << score.num_rows()
+       << ",\"n_estimators\":" << n_estimators << ",\"workloads\":[";
+  const double train_rows = static_cast<double>(train.num_rows());
+  const double batch_rows = static_cast<double>(score.num_rows());
+  bool first = true;
+  for (const Workload& w : workloads) {
+    const auto make = [&] {
+      return w.make(static_cast<std::size_t>(n_estimators));
+    };
+    spe::SetNumThreads(1);
+    const RunResult serial = RunOnce(make, train, score);
+    spe::SetNumThreads(static_cast<std::size_t>(threads));
+    const RunResult parallel = RunOnce(make, train, score);
+    spe::SetNumThreads(0);  // back to SPE_THREADS / hardware default
+
+    const bool identical = BitIdentical(serial, parallel);
+    all_identical = all_identical && identical;
+    std::fprintf(stderr,
+                 "%-14s fit %.3fs -> %.3fs (%.2fx)  score %.3fs -> %.3fs "
+                 "(%.2fx)  identical=%s\n",
+                 w.name, serial.fit_s, parallel.fit_s,
+                 parallel.fit_s > 0 ? serial.fit_s / parallel.fit_s : 0.0,
+                 serial.score_s, parallel.score_s,
+                 parallel.score_s > 0 ? serial.score_s / parallel.score_s : 0.0,
+                 identical ? "yes" : "NO");
+    json << (first ? "" : ",") << "{\"name\":\"" << w.name << "\""
+         << ",\"fit_rows_per_sec_1t\":"
+         << (serial.fit_s > 0 ? train_rows / serial.fit_s : 0.0)
+         << ",\"fit_rows_per_sec_nt\":"
+         << (parallel.fit_s > 0 ? train_rows / parallel.fit_s : 0.0)
+         << ",\"fit_speedup\":"
+         << (parallel.fit_s > 0 ? serial.fit_s / parallel.fit_s : 0.0)
+         << ",\"score_rows_per_sec_1t\":"
+         << (serial.score_s > 0 ? batch_rows / serial.score_s : 0.0)
+         << ",\"score_rows_per_sec_nt\":"
+         << (parallel.score_s > 0 ? batch_rows / parallel.score_s : 0.0)
+         << ",\"score_speedup\":"
+         << (parallel.score_s > 0 ? serial.score_s / parallel.score_s : 0.0)
+         << ",\"identical\":" << (identical ? "true" : "false") << "}";
+    first = false;
+  }
+  json << "],\"identical\":" << (all_identical ? "true" : "false") << "}";
+
+  const std::string report = json.str();
+  std::printf("%s\n", report.c_str());
+  if (std::FILE* f = std::fopen(out_path.c_str(), "w")) {
+    std::fprintf(f, "%s\n", report.c_str());
+    std::fclose(f);
+  } else {
+    std::fprintf(stderr, "could not write %s\n", out_path.c_str());
+    return 1;
+  }
+  return all_identical ? 0 : 1;
+}

@@ -5,6 +5,7 @@
 
 #include "spe/classifiers/decision_tree.h"
 #include "spe/common/check.h"
+#include "spe/common/parallel.h"
 #include "spe/common/rng.h"
 
 namespace spe {
@@ -26,9 +27,17 @@ void Bagging::Fit(const Dataset& train) {
   const auto bag_size = std::max<std::size_t>(
       1, static_cast<std::size_t>(config_.max_samples *
                                   static_cast<double>(train.num_rows())));
-  for (std::size_t m = 0; m < config_.n_estimators; ++m) {
-    const std::vector<std::size_t> bag =
-        rng.SampleWithReplacement(train.num_rows(), bag_size);
+  // All bags come from the one config RNG, drawn serially up front so
+  // the stream is identical to the serial trainer's; after that each
+  // member's randomness derives only from its own Reseed value, so the
+  // members are independent and train concurrently with bit-identical
+  // results for any thread count.
+  std::vector<std::vector<std::size_t>> bags(config_.n_estimators);
+  for (auto& bag : bags) {
+    bag = rng.SampleWithReplacement(train.num_rows(), bag_size);
+  }
+  std::vector<std::unique_ptr<Classifier>> members(config_.n_estimators);
+  ParallelForTasks(0, config_.n_estimators, [&](std::size_t m) {
     std::unique_ptr<Classifier> member;
     if (base_prototype_ != nullptr) {
       member = base_prototype_->Clone();
@@ -38,9 +47,10 @@ void Bagging::Fit(const Dataset& train) {
       member = std::make_unique<DecisionTree>(tree_config);
     }
     member->Reseed(config_.seed + 1000003 * (m + 1));
-    member->Fit(train.Subset(bag));
-    ensemble_.Add(std::move(member));
-  }
+    member->Fit(train.Subset(bags[m]));
+    members[m] = std::move(member);
+  });
+  for (auto& member : members) ensemble_.Add(std::move(member));
 }
 
 double Bagging::PredictRow(std::span<const double> x) const {

@@ -1,8 +1,17 @@
 #include "spe/classifiers/classifier.h"
 
 #include "spe/common/check.h"
+#include "spe/common/parallel.h"
 
 namespace spe {
+namespace {
+
+// Rows per worker below which batch scoring stays serial: per-row
+// prediction is cheap for most models, and serving-sized batches
+// (hundreds of rows) must not pay fan-out latency on the hot path.
+constexpr std::size_t kScoreGrain = 256;
+
+}  // namespace
 
 Classifier::~Classifier() = default;
 
@@ -13,7 +22,10 @@ void Classifier::FitWeighted(const Dataset& /*train*/,
 
 std::vector<double> Classifier::PredictProba(const Dataset& data) const {
   std::vector<double> out(data.num_rows());
-  for (std::size_t i = 0; i < data.num_rows(); ++i) out[i] = PredictRow(data.Row(i));
+  // Each row writes only its own slot, so chunking cannot change the
+  // result: PredictProba is bit-identical for any SPE_THREADS.
+  ParallelForGrain(0, data.num_rows(), kScoreGrain,
+                   [&](std::size_t i) { out[i] = PredictRow(data.Row(i)); });
   return out;
 }
 
@@ -36,6 +48,10 @@ std::vector<double> VotingEnsemble::PredictProbaPrefix(const Dataset& data,
   SPE_CHECK_GT(k, 0u);
   const std::size_t n = k < members_.size() ? k : members_.size();
   std::vector<double> sum(data.num_rows(), 0.0);
+  // Determinism contract: the reduction visits members in index order,
+  // so each element accumulates contributions in one fixed sequence and
+  // the float result is bit-identical for any thread count. Parallelism
+  // lives inside each member's row-chunked PredictProba.
   for (std::size_t m = 0; m < n; ++m) {
     const std::vector<double> p = members_[m]->PredictProba(data);
     for (std::size_t i = 0; i < sum.size(); ++i) sum[i] += p[i];

@@ -5,6 +5,7 @@
 
 #include "spe/classifiers/decision_tree.h"
 #include "spe/common/check.h"
+#include "spe/common/parallel.h"
 #include "spe/common/rng.h"
 
 namespace spe {
@@ -27,14 +28,23 @@ void RandomForest::Fit(const Dataset& train) {
           : static_cast<std::size_t>(
                 std::floor(std::sqrt(static_cast<double>(train.num_features()))));
 
-  for (std::size_t m = 0; m < config_.n_estimators; ++m) {
-    const std::vector<std::size_t> bag =
-        rng.SampleWithReplacement(train.num_rows(), train.num_rows());
-    tree_config.seed = config_.seed + 7919 * (m + 1);
-    auto tree = std::make_unique<DecisionTree>(tree_config);
-    tree->Fit(train.Subset(bag));
-    ensemble_.Add(std::move(tree));
+  // Bootstrap bags are drawn serially from the shared RNG (same stream
+  // as the serial trainer), then the trees — whose only randomness is
+  // their per-member seed — grow concurrently. Fixed-order Add keeps the
+  // forest identical for any thread count.
+  std::vector<std::vector<std::size_t>> bags(config_.n_estimators);
+  for (auto& bag : bags) {
+    bag = rng.SampleWithReplacement(train.num_rows(), train.num_rows());
   }
+  std::vector<std::unique_ptr<Classifier>> trees(config_.n_estimators);
+  ParallelForTasks(0, config_.n_estimators, [&](std::size_t m) {
+    DecisionTreeConfig member_config = tree_config;
+    member_config.seed = config_.seed + 7919 * (m + 1);
+    auto tree = std::make_unique<DecisionTree>(member_config);
+    tree->Fit(train.Subset(bags[m]));
+    trees[m] = std::move(tree);
+  });
+  for (auto& tree : trees) ensemble_.Add(std::move(tree));
 }
 
 double RandomForest::PredictRow(std::span<const double> x) const {

@@ -1,14 +1,161 @@
 #include "spe/common/parallel.h"
 
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
 #include <cstdlib>
+#include <deque>
 #include <exception>
+#include <memory>
 #include <mutex>
 #include <thread>
-#include <vector>
 
 namespace spe {
+namespace {
+
+std::atomic<std::size_t> g_thread_override{0};
+
+// One chunked loop submitted to the worker pool. Chunks are claimed with
+// an atomic cursor, so scheduling is dynamic, but every index writes only
+// its own outputs — which thread executes a chunk can never change the
+// result, only the wall clock. That is the whole determinism contract.
+struct Job {
+  const std::function<void(std::size_t)>* fn = nullptr;
+  std::size_t begin = 0;
+  std::size_t end = 0;
+  std::size_t chunk = 0;
+  std::size_t num_chunks = 0;
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> done{0};
+  std::mutex mu;
+  std::condition_variable all_done;
+  std::exception_ptr first_error;  // guarded by mu
+
+  // Claims and runs one chunk; false when none are left. Safe to call on
+  // a finished job whose fn has gone out of scope: the cursor check
+  // precedes any dereference.
+  bool RunOneChunk() {
+    const std::size_t c = next.fetch_add(1);
+    if (c >= num_chunks) return false;
+    const std::size_t lo = begin + c * chunk;
+    const std::size_t hi = std::min(end, lo + chunk);
+    try {
+      for (std::size_t i = lo; i < hi; ++i) (*fn)(i);
+    } catch (...) {
+      const std::lock_guard<std::mutex> lock(mu);
+      if (!first_error) first_error = std::current_exception();
+    }
+    if (done.fetch_add(1) + 1 == num_chunks) {
+      // Lock pairs with the waiter so the notify cannot slip between its
+      // predicate check and its wait.
+      const std::lock_guard<std::mutex> lock(mu);
+      all_done.notify_all();
+    }
+    return true;
+  }
+};
+
+// Lazily grown pool of detached workers shared by every parallel loop in
+// the process. Jobs stay at the queue front until their chunk cursor is
+// exhausted, so any number of workers can help with the same loop. The
+// pool is deliberately leaked: workers park on the condition variable
+// forever and process teardown never races a joining destructor.
+class Pool {
+ public:
+  static Pool& Instance() {
+    static Pool* pool = new Pool;
+    return *pool;
+  }
+
+  // True while the current thread is a pool worker: nested parallel
+  // loops run serially inline instead of re-entering the pool, which
+  // keeps results identical and makes worker-side deadlock impossible.
+  static thread_local bool in_worker;
+
+  // Runs `job` to completion using up to `helpers` pool workers plus the
+  // calling thread, then rethrows the first parked exception.
+  void Run(const std::shared_ptr<Job>& job, std::size_t helpers) {
+    EnsureWorkers(helpers);
+    {
+      const std::lock_guard<std::mutex> lock(queue_mu_);
+      queue_.push_back(job);
+    }
+    queue_cv_.notify_all();
+    while (job->RunOneChunk()) {
+    }
+    {
+      std::unique_lock<std::mutex> lock(job->mu);
+      job->all_done.wait(
+          lock, [&] { return job->done.load() == job->num_chunks; });
+    }
+    {
+      // The job may still sit in the queue if the caller claimed every
+      // chunk before a worker woke; retire it so it cannot pile up.
+      const std::lock_guard<std::mutex> lock(queue_mu_);
+      const auto it = std::find(queue_.begin(), queue_.end(), job);
+      if (it != queue_.end()) queue_.erase(it);
+    }
+    if (job->first_error) std::rethrow_exception(job->first_error);
+  }
+
+ private:
+  void EnsureWorkers(std::size_t target) {
+    const std::lock_guard<std::mutex> lock(spawn_mu_);
+    while (spawned_ < target) {
+      std::thread([this] { WorkerLoop(); }).detach();
+      ++spawned_;
+    }
+  }
+
+  void WorkerLoop() {
+    in_worker = true;
+    for (;;) {
+      std::shared_ptr<Job> job;
+      {
+        std::unique_lock<std::mutex> lock(queue_mu_);
+        queue_cv_.wait(lock, [&] { return !queue_.empty(); });
+        job = queue_.front();
+      }
+      if (!job->RunOneChunk()) {
+        const std::lock_guard<std::mutex> lock(queue_mu_);
+        if (!queue_.empty() && queue_.front() == job) queue_.pop_front();
+      }
+    }
+  }
+
+  std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::deque<std::shared_ptr<Job>> queue_;
+  std::mutex spawn_mu_;
+  std::size_t spawned_ = 0;
+};
+
+thread_local bool Pool::in_worker = false;
+
+void RunSerial(std::size_t begin, std::size_t end,
+               const std::function<void(std::size_t)>& fn) {
+  for (std::size_t i = begin; i < end; ++i) fn(i);
+}
+
+// Shared parallel path: splits [begin, end) into `workers` contiguous
+// chunks and runs them on the pool with the caller participating.
+void RunChunked(std::size_t begin, std::size_t end, std::size_t workers,
+                const std::function<void(std::size_t)>& fn) {
+  const std::size_t count = end - begin;
+  auto job = std::make_shared<Job>();
+  job->fn = &fn;
+  job->begin = begin;
+  job->end = end;
+  job->chunk = (count + workers - 1) / workers;
+  job->num_chunks = (count + job->chunk - 1) / job->chunk;
+  Pool::Instance().Run(job, workers - 1);
+}
+
+}  // namespace
 
 std::size_t NumThreads() {
+  const std::size_t override = g_thread_override.load(std::memory_order_relaxed);
+  if (override > 0) return override;
   static const std::size_t n = [] {
     if (const char* env = std::getenv("SPE_THREADS")) {
       long v = std::strtol(env, nullptr, 10);
@@ -20,41 +167,40 @@ std::size_t NumThreads() {
   return n;
 }
 
+void SetNumThreads(std::size_t n) {
+  g_thread_override.store(n, std::memory_order_relaxed);
+}
+
 void ParallelFor(std::size_t begin, std::size_t end,
                  const std::function<void(std::size_t)>& fn) {
   if (end <= begin) return;
   const std::size_t count = end - begin;
   const std::size_t threads = NumThreads();
-  // Thread spawn overhead dominates on tiny ranges; run serially.
-  if (threads <= 1 || count < 2 * threads) {
-    for (std::size_t i = begin; i < end; ++i) fn(i);
+  // Fan-out overhead dominates on tiny ranges; run serially.
+  if (threads <= 1 || count < 2 * threads || Pool::in_worker) {
+    RunSerial(begin, end, fn);
     return;
   }
-  const std::size_t chunk = (count + threads - 1) / threads;
-  std::vector<std::thread> workers;
-  workers.reserve(threads);
-  // An exception escaping a std::thread body calls std::terminate, so
-  // each worker parks the first one thrown and the caller rethrows it
-  // after every worker has joined (remaining chunks still run — fn must
-  // already tolerate concurrent calls, so there is no partial-state
-  // contract to preserve by stopping early).
-  std::mutex error_mu;
-  std::exception_ptr first_error;
-  for (std::size_t t = 0; t < threads; ++t) {
-    const std::size_t lo = begin + t * chunk;
-    if (lo >= end) break;
-    const std::size_t hi = lo + chunk < end ? lo + chunk : end;
-    workers.emplace_back([lo, hi, &fn, &error_mu, &first_error] {
-      try {
-        for (std::size_t i = lo; i < hi; ++i) fn(i);
-      } catch (...) {
-        const std::lock_guard<std::mutex> lock(error_mu);
-        if (!first_error) first_error = std::current_exception();
-      }
-    });
+  RunChunked(begin, end, threads, fn);
+}
+
+void ParallelForGrain(std::size_t begin, std::size_t end,
+                      std::size_t min_grain,
+                      const std::function<void(std::size_t)>& fn) {
+  if (end <= begin) return;
+  const std::size_t count = end - begin;
+  const std::size_t grain = std::max<std::size_t>(1, min_grain);
+  const std::size_t workers = std::min(NumThreads(), count / grain);
+  if (workers <= 1 || Pool::in_worker) {
+    RunSerial(begin, end, fn);
+    return;
   }
-  for (auto& w : workers) w.join();
-  if (first_error) std::rethrow_exception(first_error);
+  RunChunked(begin, end, workers, fn);
+}
+
+void ParallelForTasks(std::size_t begin, std::size_t end,
+                      const std::function<void(std::size_t)>& fn) {
+  ParallelForGrain(begin, end, 1, fn);
 }
 
 }  // namespace spe

@@ -6,21 +6,45 @@
 
 namespace spe {
 
-/// Number of worker threads used by ParallelFor. Defaults to the hardware
-/// concurrency; the SPE_THREADS environment variable overrides it.
+/// Number of worker threads used by the ParallelFor family. Defaults to
+/// the hardware concurrency; the SPE_THREADS environment variable
+/// overrides the default and SetNumThreads() overrides both.
 std::size_t NumThreads();
 
+/// Process-wide thread-count override; 0 restores the SPE_THREADS /
+/// hardware default. Safe to flip between operations because of the
+/// library's determinism contract (docs/performance.md): every parallel
+/// loop produces bit-identical results for any thread count, so this
+/// knob only changes speed. Benchmarks use it to measure scaling within
+/// one process.
+void SetNumThreads(std::size_t n);
+
 /// Runs fn(i) for every i in [begin, end), splitting the range into
-/// contiguous chunks across NumThreads() workers. Falls back to a plain
-/// serial loop when the range is small or only one thread is available,
-/// so callers can use it unconditionally. fn must be thread-safe across
-/// distinct indices.
+/// contiguous chunks across NumThreads() workers drawn from a shared
+/// lazily-started pool. Falls back to a plain serial loop when the range
+/// is small, only one thread is configured, or the caller is itself a
+/// pool worker (nested parallel loops run inline), so callers can use it
+/// unconditionally. fn must be thread-safe across distinct indices.
 ///
 /// If fn throws, the first exception is rethrown on the calling thread
-/// after all workers finish (in the parallel regime the remaining
+/// after the loop finishes (in the parallel regime the remaining
 /// indices of other chunks still run before the rethrow).
 void ParallelFor(std::size_t begin, std::size_t end,
                  const std::function<void(std::size_t)>& fn);
+
+/// ParallelFor with an explicit minimum chunk size: no worker receives
+/// fewer than `min_grain` indices, so ranges shorter than 2 * min_grain
+/// run serially. Use for cheap per-index bodies (per-row scoring) where
+/// fan-out only pays for itself above a known batch size.
+void ParallelForGrain(std::size_t begin, std::size_t end,
+                      std::size_t min_grain,
+                      const std::function<void(std::size_t)>& fn);
+
+/// ParallelFor for coarse independent tasks (training one ensemble
+/// member, running one benchmark cell): parallelizes any range with at
+/// least two indices instead of requiring 2 * NumThreads() of them.
+void ParallelForTasks(std::size_t begin, std::size_t end,
+                      const std::function<void(std::size_t)>& fn);
 
 }  // namespace spe
 

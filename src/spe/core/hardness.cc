@@ -57,8 +57,15 @@ HardnessBins ComputeHardnessBins(std::span<const double> hardness,
 
   double min_h = hardness[0];
   double max_h = hardness[0];
-  for (double h : hardness) {
-    SPE_CHECK_GE(h, 0.0) << "hardness must be non-negative";
+  for (std::size_t i = 0; i < hardness.size(); ++i) {
+    const double h = hardness[i];
+    // NaN fails h >= 0 too, but "must be non-negative" sends whoever
+    // debugs it hunting for a sign bug; name the real failure and where.
+    SPE_CHECK(!std::isnan(h))
+        << "hardness is NaN for sample " << i
+        << " (a base learner emitted a NaN probability?)";
+    SPE_CHECK_GE(h, 0.0) << "hardness must be non-negative, got " << h
+                         << " for sample " << i;
     min_h = std::min(min_h, h);
     max_h = std::max(max_h, h);
   }

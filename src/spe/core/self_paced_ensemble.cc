@@ -8,11 +8,32 @@
 
 #include "spe/classifiers/decision_tree.h"
 #include "spe/common/check.h"
+#include "spe/common/parallel.h"
 #include "spe/common/rng.h"
 #include "spe/core/self_paced_sampler.h"
 #include "spe/metrics/metrics.h"
 
 namespace spe {
+namespace {
+
+// Rows per worker for the element-wise hardness / probability-sum
+// updates: memory-bound loops only pay for fan-out on large majorities.
+constexpr std::size_t kUpdateGrain = 4096;
+
+// A NaN probability would silently poison every later hardness update
+// (prob_sum is cumulative), and the eventual "hardness must be
+// non-negative" abort points nowhere near the culprit. Fail here, naming
+// the member that produced it.
+void CheckProbsAreNotNan(const std::vector<double>& probs,
+                         std::size_t member_index) {
+  for (std::size_t m = 0; m < probs.size(); ++m) {
+    SPE_CHECK(!std::isnan(probs[m]))
+        << "base learner member " << member_index
+        << " produced NaN probability for majority row " << m;
+  }
+}
+
+}  // namespace
 
 SelfPacedEnsemble::SelfPacedEnsemble(const SelfPacedEnsembleConfig& config)
     : config_(config) {
@@ -77,11 +98,15 @@ void SelfPacedEnsemble::Fit(const Dataset& train) {
     member->Reseed(config_.seed + 7919 * (index + 1));
     return member;
   };
-  auto balanced_subset = [&](const std::vector<std::size_t>& majority_pick) {
-    Dataset subset = minority;
-    subset.Reserve(minority.num_rows() + majority_pick.size());
+  // Reusable balanced-subset buffer: the minority block is copied once
+  // and survives as a fixed prefix; every iteration truncates back to it
+  // and appends the fresh majority pick. The old per-iteration deep copy
+  // of the minority set was the dominant allocation in this loop.
+  Dataset subset = minority;
+  subset.Reserve(2 * minority.num_rows());  // picks never exceed |P|
+  auto rebuild_subset = [&](const std::vector<std::size_t>& majority_pick) {
+    subset.TruncateRows(minority.num_rows());
     for (std::size_t i : majority_pick) subset.AddRow(majority.Row(i), 0);
-    return subset;
   };
 
   // Line 2: bootstrap model f0 on a random balanced subset. It seeds the
@@ -94,14 +119,16 @@ void SelfPacedEnsemble::Fit(const Dataset& train) {
     for (std::size_t i = 0; i < neg.size(); ++i) initial_pick[i] = i;
   }
   std::unique_ptr<Classifier> bootstrap = make_member(0);
-  {
-    const Dataset subset = balanced_subset(initial_pick);
-    bootstrap->Fit(subset);
-  }
+  rebuild_subset(initial_pick);
+  bootstrap->Fit(subset);
 
   // Running sum of member probabilities over the majority set: F_i is the
-  // average of f_0 .. f_{i-1} (Algorithm 1 line 4).
+  // average of f_0 .. f_{i-1} (Algorithm 1 line 4). PredictProba chunks
+  // the majority rows across threads; the element-wise loops below do the
+  // same, and both are bit-identical for any thread count because each
+  // element is touched by exactly one fixed computation.
   std::vector<double> prob_sum = bootstrap->PredictProba(majority);
+  CheckProbsAreNotNan(prob_sum, 0);
   std::size_t prob_count = 1;
   std::vector<double> hardness(majority.num_rows());
 
@@ -110,10 +137,10 @@ void SelfPacedEnsemble::Fit(const Dataset& train) {
   const std::size_t n = config_.n_estimators;
   for (std::size_t i = 1; i <= n; ++i) {
     // Lines 4-6: hardness of each majority sample w.r.t. the ensemble.
-    for (std::size_t m = 0; m < majority.num_rows(); ++m) {
+    ParallelForGrain(0, majority.num_rows(), kUpdateGrain, [&](std::size_t m) {
       hardness[m] =
           hardness_fn(prob_sum[m] / static_cast<double>(prob_count), 0);
-    }
+    });
     // Lines 7-9: self-paced under-sampling with alpha_i.
     const double alpha = AlphaAt(config_.schedule, i, n);
     const std::vector<std::size_t> pick = SelfPacedUnderSample(
@@ -121,13 +148,14 @@ void SelfPacedEnsemble::Fit(const Dataset& train) {
 
     // Line 10: train f_i on the balanced subset.
     std::unique_ptr<Classifier> member = make_member(i);
-    const Dataset subset = balanced_subset(pick);
+    rebuild_subset(pick);
     member->Fit(subset);
 
     const std::vector<double> member_probs = member->PredictProba(majority);
-    for (std::size_t m = 0; m < prob_sum.size(); ++m) {
+    CheckProbsAreNotNan(member_probs, i);
+    ParallelForGrain(0, prob_sum.size(), kUpdateGrain, [&](std::size_t m) {
       prob_sum[m] += member_probs[m];
-    }
+    });
     ++prob_count;
 
     ensemble_.Add(std::move(member));
@@ -147,11 +175,31 @@ std::size_t SelfPacedEnsemble::FitWithValidation(const Dataset& train,
   std::vector<double> prob_sum(validation.num_rows(), 0.0);
   double best_auc = -1.0;
   std::size_t best_size = 0;
+  std::size_t scored_members = 0;  // ensemble prefix already in prob_sum
   const IterationCallback user_callback = callback_;
+
+  // If a base learner throws out of Fit, callback_ must not keep the
+  // wrapper below — its captured locals die with this frame and the next
+  // Fit would invoke a dangling closure. Scope guard restores the user
+  // callback on every exit path.
+  struct CallbackGuard {
+    SelfPacedEnsemble* self;
+    const IterationCallback* user;
+    ~CallbackGuard() { self->callback_ = *user; }
+  } guard{this, &user_callback};
+
   callback_ = [&](const IterationInfo& info) {
-    const Classifier& newest = info.ensemble.member(info.ensemble.size() - 1);
-    const std::vector<double> p = newest.PredictProba(validation);
-    for (std::size_t i = 0; i < prob_sum.size(); ++i) prob_sum[i] += p[i];
+    // Fold in every member not yet scored, in ensemble order. With
+    // include_bootstrap_model the first callback sees two new members
+    // (f0 joined before f1's callback fired); walking the gap is what
+    // keeps the bootstrap's probabilities from being skipped — the old
+    // newest-member-only update silently disabled truncation for that
+    // ablation.
+    for (; scored_members < info.ensemble.size(); ++scored_members) {
+      const std::vector<double> p =
+          info.ensemble.member(scored_members).PredictProba(validation);
+      for (std::size_t i = 0; i < prob_sum.size(); ++i) prob_sum[i] += p[i];
+    }
     std::vector<double> average(prob_sum);
     const double inv = 1.0 / static_cast<double>(info.ensemble.size());
     for (double& v : average) v *= inv;
@@ -163,11 +211,7 @@ std::size_t SelfPacedEnsemble::FitWithValidation(const Dataset& train,
     if (user_callback) user_callback(info);
   };
   Fit(train);
-  callback_ = user_callback;
 
-  // NOTE: with include_bootstrap_model the bootstrap member joins before
-  // the first callback, so prob_sum would miss it; rebuild defensively.
-  if (config_.include_bootstrap_model) return ensemble_.size();
   SPE_CHECK_GT(best_size, 0u);
   ensemble_.Truncate(best_size);
   return best_size;

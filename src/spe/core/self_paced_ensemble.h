@@ -66,7 +66,9 @@ class SelfPacedEnsemble final : public Classifier, public PrefixVoter {
   /// AUCPRC on `validation` (which must keep its natural imbalanced
   /// distribution, like the paper's Ddev). Guards against the rare
   /// late-iteration degradation that Fig. 5 shows for noisy data.
-  /// Returns the chosen prefix length.
+  /// Applies with include_bootstrap_model too: f0 counts as the first
+  /// prefix member there, so both §VI-C ablation settings run the same
+  /// truncation procedure. Returns the chosen prefix length.
   std::size_t FitWithValidation(const Dataset& train, const Dataset& validation);
 
   double PredictRow(std::span<const double> x) const override;

@@ -38,6 +38,12 @@ void Dataset::Append(const Dataset& other) {
   labels_.insert(labels_.end(), other.labels_.begin(), other.labels_.end());
 }
 
+void Dataset::TruncateRows(std::size_t rows) {
+  if (rows >= num_rows()) return;
+  x_.resize(rows * num_features_);
+  labels_.resize(rows);
+}
+
 Dataset Dataset::Subset(std::span<const std::size_t> indices) const {
   Dataset out(num_features_);
   out.kinds_ = kinds_;

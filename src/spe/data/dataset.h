@@ -76,6 +76,13 @@ class Dataset {
   /// Appends every row of `other` (same schema required).
   void Append(const Dataset& other);
 
+  /// Drops every row past the first `rows` (no-op when rows >= num_rows).
+  /// Capacity is kept, which is what makes a reusable subset buffer
+  /// possible: ensemble trainers truncate back to a fixed prefix and
+  /// re-append fresh picks instead of deep-copying the prefix each
+  /// iteration.
+  void TruncateRows(std::size_t rows);
+
   /// New dataset holding rows at `indices`, in order (duplicates allowed,
   /// which is how bootstrap sampling is expressed).
   Dataset Subset(std::span<const std::size_t> indices) const;

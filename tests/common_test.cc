@@ -2,6 +2,7 @@
 #include <atomic>
 #include <set>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -172,6 +173,82 @@ TEST(ParallelTest, SerialRegimeExceptionAlsoPropagates) {
                              throw std::invalid_argument("serial boom");
                            }),
                std::invalid_argument);
+}
+
+TEST(ParallelGrainTest, CoversEveryIndexExactlyOnce) {
+  std::vector<std::atomic<int>> hits(20000);
+  for (auto& h : hits) h = 0;
+  ParallelForGrain(0, hits.size(), 256, [&](std::size_t i) { ++hits[i]; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelGrainTest, RangeBelowGrainRunsOnCallingThread) {
+  // 100 indices with a 256 grain: zero workers qualify, so the loop must
+  // stay inline — this is what keeps serving-sized batches off the pool.
+  const auto caller = std::this_thread::get_id();
+  std::atomic<int> off_thread{0};
+  ParallelForGrain(0, 100, 256, [&](std::size_t) {
+    if (std::this_thread::get_id() != caller) ++off_thread;
+  });
+  EXPECT_EQ(off_thread.load(), 0);
+}
+
+TEST(ParallelGrainTest, ExceptionPropagates) {
+  EXPECT_THROW(ParallelForGrain(0, 100000, 256,
+                                [](std::size_t i) {
+                                  if (i == 54321) {
+                                    throw std::runtime_error("grain boom");
+                                  }
+                                }),
+               std::runtime_error);
+}
+
+TEST(ParallelTasksTest, RunsTinyTaskCounts) {
+  // Unlike ParallelFor, a task range of 2 is already eligible for
+  // fan-out (that is its purpose: a 10-member ensemble on 8 threads).
+  std::vector<std::atomic<int>> hits(2);
+  for (auto& h : hits) h = 0;
+  ParallelForTasks(0, hits.size(), [&](std::size_t i) { ++hits[i]; });
+  EXPECT_EQ(hits[0].load(), 1);
+  EXPECT_EQ(hits[1].load(), 1);
+}
+
+TEST(ParallelTasksTest, NestedParallelCallsComplete) {
+  // A task that itself calls a parallel loop must not deadlock: inside a
+  // pool worker, nested calls run serially inline.
+  std::vector<std::atomic<int>> hits(8 * 1000);
+  for (auto& h : hits) h = 0;
+  ParallelForTasks(0, 8, [&](std::size_t t) {
+    ParallelFor(0, 1000, [&](std::size_t i) { ++hits[t * 1000 + i]; });
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelTasksTest, ExceptionPropagates) {
+  EXPECT_THROW(ParallelForTasks(0, 16,
+                                [](std::size_t i) {
+                                  if (i == 7) {
+                                    throw std::invalid_argument("task boom");
+                                  }
+                                }),
+               std::invalid_argument);
+}
+
+TEST(SetNumThreadsTest, OverridePinsToOneThreadAndRestores) {
+  SetNumThreads(1);
+  const auto caller = std::this_thread::get_id();
+  std::atomic<int> off_thread{0};
+  ParallelForTasks(0, 8, [&](std::size_t) {
+    if (std::this_thread::get_id() != caller) ++off_thread;
+  });
+  EXPECT_EQ(off_thread.load(), 0);
+
+  SetNumThreads(4);
+  std::vector<std::atomic<int>> hits(5000);
+  for (auto& h : hits) h = 0;
+  ParallelFor(0, hits.size(), [&](std::size_t i) { ++hits[i]; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  SetNumThreads(0);  // back to SPE_THREADS / hardware default
 }
 
 TEST(CheckDeathTest, FailedCheckAborts) {

@@ -112,6 +112,16 @@ TEST(HardnessBinsTest, MeanHardnessPerBin) {
   EXPECT_NEAR(bins.mean_hardness[1], 0.9, 1e-12);
 }
 
+TEST(HardnessBinsDeathTest, NanHardnessNamesTheSample) {
+  // A NaN would otherwise surface as the misleading "must be
+  // non-negative" abort; the message must point at the actual defect
+  // and the offending index.
+  const std::vector<double> hardness = {
+      0.1, 0.2, std::numeric_limits<double>::quiet_NaN(), 0.4};
+  EXPECT_DEATH(ComputeHardnessBins(hardness, 4),
+               "hardness is NaN for sample 2");
+}
+
 // ------------------------------------------------ Self-paced sampling --
 
 TEST(SelfPacedSamplerTest, ReturnsExactTargetCount) {

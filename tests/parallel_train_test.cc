@@ -1,0 +1,154 @@
+// The determinism contract of the parallel training engine: training
+// and scoring are bit-identical for any thread count. Verified by
+// running every parallelized trainer at SetNumThreads(1) and (8) and
+// byte-comparing predictions and serialized model artifacts.
+//
+// These tests are also the TSan workload: a `cmake -DSPE_SANITIZE=thread`
+// build instruments this binary like every other test, and the 8-thread
+// runs here drive the pool through member-parallel training, row-chunked
+// scoring, and nested parallel regions.
+
+#include <cstring>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "spe/classifiers/bagging.h"
+#include "spe/classifiers/random_forest.h"
+#include "spe/common/parallel.h"
+#include "spe/core/self_paced_ensemble.h"
+#include "spe/io/model_io.h"
+#include "tests/test_util.h"
+
+namespace spe {
+namespace {
+
+using ::spe::testing::OverlappingBlobs;
+
+// Serialized-artifact text for a trained model; SaveClassifier prints
+// doubles at max_digits10, so equal strings mean equal bits.
+std::string Artifact(const Classifier& model) {
+  std::ostringstream os;
+  SaveClassifier(model, os);
+  return os.str();
+}
+
+bool SameBits(const std::vector<double>& a, const std::vector<double>& b) {
+  return a.size() == b.size() &&
+         (a.empty() || std::memcmp(a.data(), b.data(),
+                                   a.size() * sizeof(double)) == 0);
+}
+
+// Trains a fresh model at each thread count and requires bit-identical
+// predictions and artifacts. The train set is big enough (> 2 * 256
+// rows) that scoring actually fans out at 8 threads.
+template <typename MakeModel>
+void ExpectThreadCountInvariant(MakeModel make_model) {
+  const Dataset train = OverlappingBlobs(1200, 80, 50);
+  const Dataset test = OverlappingBlobs(900, 45, 51);
+
+  SetNumThreads(1);
+  auto serial = make_model();
+  serial->Fit(train);
+  const std::vector<double> serial_probs = serial->PredictProba(test);
+  const std::string serial_artifact = Artifact(*serial);
+
+  SetNumThreads(8);
+  auto parallel = make_model();
+  parallel->Fit(train);
+  const std::vector<double> parallel_probs = parallel->PredictProba(test);
+  const std::string parallel_artifact = Artifact(*parallel);
+  SetNumThreads(0);
+
+  EXPECT_TRUE(SameBits(serial_probs, parallel_probs));
+  EXPECT_EQ(serial_artifact, parallel_artifact);
+}
+
+TEST(ParallelTrainTest, SelfPacedEnsembleIsThreadCountInvariant) {
+  ExpectThreadCountInvariant([] {
+    SelfPacedEnsembleConfig config;
+    config.n_estimators = 6;
+    config.seed = 21;
+    return std::make_unique<SelfPacedEnsemble>(config);
+  });
+}
+
+TEST(ParallelTrainTest, SpeWithBootstrapIsThreadCountInvariant) {
+  ExpectThreadCountInvariant([] {
+    SelfPacedEnsembleConfig config;
+    config.n_estimators = 5;
+    config.include_bootstrap_model = true;
+    config.seed = 22;
+    return std::make_unique<SelfPacedEnsemble>(config);
+  });
+}
+
+TEST(ParallelTrainTest, BaggingIsThreadCountInvariant) {
+  ExpectThreadCountInvariant([] {
+    BaggingConfig config;
+    config.n_estimators = 6;
+    config.seed = 23;
+    return std::make_unique<Bagging>(config);
+  });
+}
+
+TEST(ParallelTrainTest, RandomForestIsThreadCountInvariant) {
+  ExpectThreadCountInvariant([] {
+    RandomForestConfig config;
+    config.n_estimators = 6;
+    config.seed = 24;
+    return std::make_unique<RandomForest>(config);
+  });
+}
+
+TEST(ParallelTrainTest, PrefixScoringIsThreadCountInvariant) {
+  // The serving layer's degradation knob must honor the same contract:
+  // every prefix length scores bit-identically at 1 and 8 threads.
+  const Dataset train = OverlappingBlobs(1000, 60, 52);
+  const Dataset test = OverlappingBlobs(800, 40, 53);
+  SelfPacedEnsembleConfig config;
+  config.n_estimators = 5;
+  config.seed = 25;
+
+  SetNumThreads(1);
+  SelfPacedEnsemble model(config);
+  model.Fit(train);
+  std::vector<std::vector<double>> serial;
+  for (std::size_t k = 1; k <= model.NumMembers(); ++k) {
+    serial.push_back(model.PredictProbaPrefix(test, k));
+  }
+  SetNumThreads(8);
+  for (std::size_t k = 1; k <= model.NumMembers(); ++k) {
+    EXPECT_TRUE(SameBits(serial[k - 1], model.PredictProbaPrefix(test, k)))
+        << "prefix " << k;
+  }
+  SetNumThreads(0);
+}
+
+TEST(ParallelTrainTest, FitWithValidationKeepsSamePrefixAcrossThreadCounts) {
+  // The early-stop decision rides on float comparisons of validation
+  // scores, so it inherits the bit-identity contract end to end.
+  const Dataset train = OverlappingBlobs(900, 45, 54);
+  const Dataset validation = OverlappingBlobs(400, 25, 55);
+  SelfPacedEnsembleConfig config;
+  config.n_estimators = 8;
+  config.seed = 26;
+
+  SetNumThreads(1);
+  SelfPacedEnsemble serial(config);
+  const std::size_t kept_serial = serial.FitWithValidation(train, validation);
+  SetNumThreads(8);
+  SelfPacedEnsemble parallel(config);
+  const std::size_t kept_parallel =
+      parallel.FitWithValidation(train, validation);
+  SetNumThreads(0);
+
+  EXPECT_EQ(kept_serial, kept_parallel);
+  EXPECT_EQ(Artifact(serial), Artifact(parallel));
+}
+
+}  // namespace
+}  // namespace spe

@@ -3,6 +3,8 @@
 // (sampler, seed). Complements the per-method behavioural tests in
 // sampling_test.cc.
 
+#include <algorithm>
+#include <limits>
 #include <set>
 #include <string>
 #include <tuple>
@@ -10,6 +12,8 @@
 
 #include <gtest/gtest.h>
 
+#include "spe/core/hardness.h"
+#include "spe/core/self_paced_sampler.h"
 #include "spe/sampling/sampler_factory.h"
 #include "tests/test_util.h"
 
@@ -96,6 +100,70 @@ INSTANTIATE_TEST_SUITE_P(
     AllSamplersAcrossSeeds, SamplerPropertyTest,
     ::testing::Combine(::testing::ValuesIn(KnownSamplerNames()),
                        ::testing::Values(1, 2, 3)));
+
+// ------------------- SelfPacedUnderSample quota properties -------------
+//
+// The bin quotas of Algorithm 1 lines 7-9 must account for every
+// requested sample: exactly target_count distinct indices come back, and
+// no bin is asked for more rows than it holds (the deficit of a
+// saturated bin is redrawn from the remaining pool instead).
+
+struct QuotaCase {
+  std::uint64_t seed;
+  std::size_t n;            // majority pool size
+  std::size_t num_bins;
+  std::size_t target;
+  double alpha;
+  bool all_trivial;  // hardness identically zero (degenerate bin weights)
+};
+
+class SelfPacedQuotaPropertyTest
+    : public ::testing::TestWithParam<QuotaCase> {};
+
+TEST_P(SelfPacedQuotaPropertyTest, QuotasSumExactlyAndStayWithinBins) {
+  const QuotaCase& c = GetParam();
+  std::vector<double> hardness(c.n, 0.0);
+  if (!c.all_trivial) {
+    Rng gen(c.seed);
+    // Skewed mixture so some bins are tiny and saturate.
+    for (double& h : hardness) {
+      h = gen.Uniform() < 0.9 ? gen.Uniform(0.0, 0.1) : gen.Uniform(0.1, 1.0);
+    }
+  }
+
+  Rng rng(c.seed + 100);
+  const auto pick =
+      SelfPacedUnderSample(hardness, c.alpha, c.num_bins, c.target, rng);
+
+  // Exactly min(target, n) distinct, in-range indices.
+  EXPECT_EQ(pick.size(), std::min(c.target, c.n));
+  std::set<std::size_t> unique(pick.begin(), pick.end());
+  EXPECT_EQ(unique.size(), pick.size());
+  for (std::size_t i : pick) EXPECT_LT(i, c.n);
+
+  // Per-bin draw never exceeds the bin's population (recomputed through
+  // the same binning the sampler uses).
+  const HardnessBins bins = ComputeHardnessBins(hardness, c.num_bins);
+  std::vector<std::size_t> drawn(c.num_bins, 0);
+  for (std::size_t i : pick) ++drawn[bins.bin_of_sample[i]];
+  for (std::size_t b = 0; b < c.num_bins; ++b) {
+    EXPECT_LE(drawn[b], bins.population[b]) << "bin " << b;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomizedCases, SelfPacedQuotaPropertyTest,
+    ::testing::Values(
+        QuotaCase{1, 1000, 20, 137, 0.0, false},
+        QuotaCase{2, 1000, 20, 137, 1.3, false},
+        QuotaCase{3, 777, 10, 700, 5.0, false},   // near-full draw
+        QuotaCase{4, 333, 50, 333, 0.0, false},   // target == pool
+        QuotaCase{5, 512, 5, 40, 1e9, false},     // quasi-infinite alpha
+        QuotaCase{6, 512, 5, 40,
+                  std::numeric_limits<double>::infinity(), false},
+        QuotaCase{7, 400, 20, 100, 0.0, true},    // alpha=0, all-zero
+        QuotaCase{8, 400, 20, 100, 2.0, true},    // hardness: degenerate
+        QuotaCase{9, 64, 20, 200, 0.7, false}));  // target > pool
 
 }  // namespace
 }  // namespace spe

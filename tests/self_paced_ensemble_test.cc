@@ -1,6 +1,7 @@
 #include <cmath>
 #include <limits>
 #include <memory>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -177,6 +178,121 @@ TEST(SelfPacedEnsembleTest, FitWithValidationChainsUserCallback) {
   model.FitWithValidation(OverlappingBlobs(300, 30, 32),
                           OverlappingBlobs(150, 15, 33));
   EXPECT_EQ(calls, 4u);
+}
+
+// FitWithValidation must keep exactly the argmax prefix of the full
+// ensemble, under both include_bootstrap_model settings. Fit is
+// deterministic given the seed, and the incremental validation score
+// inside FitWithValidation accumulates member probabilities in the same
+// fixed order (and divides the same way) as PredictProbaPrefix, so the
+// two curves are bit-identical and the argmax must agree exactly —
+// first-best wins ties in both.
+class SpeValidationTruncationTest : public ::testing::TestWithParam<bool> {};
+
+TEST_P(SpeValidationTruncationTest, KeepsArgmaxPrefixOfFullEnsemble) {
+  const Dataset train = OverlappingBlobs(900, 45, 40);
+  const Dataset validation = OverlappingBlobs(450, 25, 41);
+  SelfPacedEnsembleConfig config;
+  config.n_estimators = 8;
+  config.include_bootstrap_model = GetParam();
+  config.seed = 9;
+
+  SelfPacedEnsemble full(config);
+  full.Fit(train);
+  EXPECT_EQ(full.NumMembers(), GetParam() ? 9u : 8u);
+  std::size_t expected = 0;
+  double best = -1.0;
+  for (std::size_t k = 1; k <= full.NumMembers(); ++k) {
+    const double auc =
+        AucPrc(validation.labels(), full.PredictProbaPrefix(validation, k));
+    if (auc > best) {
+      best = auc;
+      expected = k;
+    }
+  }
+
+  // The regression this guards: with the bootstrap model included, the
+  // old code skipped truncation entirely and returned the full ensemble
+  // no matter what the validation curve said.
+  SelfPacedEnsemble model(config);
+  const std::size_t kept = model.FitWithValidation(train, validation);
+  EXPECT_EQ(kept, expected);
+  EXPECT_EQ(model.NumMembers(), kept);
+  const auto expected_probs = full.PredictProbaPrefix(validation, kept);
+  const auto actual_probs = model.PredictProba(validation);
+  for (std::size_t i = 0; i < actual_probs.size(); ++i) {
+    EXPECT_EQ(actual_probs[i], expected_probs[i]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(BootstrapAblation, SpeValidationTruncationTest,
+                         ::testing::Bool());
+
+// Base learner that throws on its Nth Fit across all clones — lets a
+// test blow up ensemble training partway through.
+class ThrowingBase final : public Classifier {
+ public:
+  ThrowingBase(std::shared_ptr<std::size_t> fits, std::size_t throw_on)
+      : fits_(std::move(fits)), throw_on_(throw_on) {}
+  void Fit(const Dataset& train) override {
+    if (++*fits_ == throw_on_) throw std::runtime_error("injected fit failure");
+    tree_.Fit(train);
+  }
+  double PredictRow(std::span<const double> x) const override {
+    return tree_.PredictRow(x);
+  }
+  std::unique_ptr<Classifier> Clone() const override {
+    return std::make_unique<ThrowingBase>(fits_, throw_on_);
+  }
+  std::string Name() const override { return "ThrowingBase"; }
+
+ private:
+  std::shared_ptr<std::size_t> fits_;
+  std::size_t throw_on_;
+  DecisionTree tree_{DecisionTreeConfig{}};
+};
+
+TEST(SelfPacedEnsembleTest, FitWithValidationRestoresCallbackAfterThrow) {
+  const Dataset train = OverlappingBlobs(400, 40, 42);
+  const Dataset validation = OverlappingBlobs(200, 20, 43);
+  SelfPacedEnsembleConfig config;
+  config.n_estimators = 4;
+  // Throw inside the third Fit (bootstrap + f1 succeed): the validation
+  // wrapper is installed and has already fired once when Fit unwinds.
+  auto fits = std::make_shared<std::size_t>(0);
+  SelfPacedEnsemble model(config, std::make_unique<ThrowingBase>(fits, 3));
+  std::size_t user_calls = 0;
+  model.set_iteration_callback([&](const IterationInfo&) { ++user_calls; });
+  EXPECT_THROW(model.FitWithValidation(train, validation), std::runtime_error);
+
+  // The wrapper captured locals of the FitWithValidation frame that just
+  // died; if it were still installed, this Fit would invoke a dangling
+  // closure (ASan flags it). The scope guard must have put the user
+  // callback back.
+  const std::size_t calls_before_refit = user_calls;
+  model.Fit(train);
+  EXPECT_EQ(user_calls, calls_before_refit + 4);
+}
+
+// Base learner whose probabilities are NaN: Fit must abort naming the
+// offending member instead of letting NaN poison the hardness updates.
+class NanBase final : public Classifier {
+ public:
+  void Fit(const Dataset&) override {}
+  double PredictRow(std::span<const double>) const override {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
+  std::unique_ptr<Classifier> Clone() const override {
+    return std::make_unique<NanBase>();
+  }
+  std::string Name() const override { return "NanBase"; }
+};
+
+TEST(SelfPacedEnsembleDeathTest, NanProbabilityNamesTheMember) {
+  SelfPacedEnsemble model(SelfPacedEnsembleConfig{},
+                          std::make_unique<NanBase>());
+  EXPECT_DEATH(model.Fit(OverlappingBlobs(200, 20, 44)),
+               "member 0 produced NaN probability");
 }
 
 TEST(SelfPacedEnsembleDeathTest, FitWithValidationNeedsPositives) {
