@@ -26,6 +26,7 @@
 #include "spe/classifiers/decision_tree.h"
 #include "spe/core/self_paced_ensemble.h"
 #include "spe/data/synthetic.h"
+#include "spe/obs/trace.h"
 #include "spe/serve/batch_scorer.h"
 #include "spe/serve/server_stats.h"
 
@@ -151,7 +152,8 @@ int main(int argc, char** argv) {
   s.elapsed_s = wall;
   std::string json = spe::ToJson(s);
   json.insert(1, "\"bench\":\"serve_throughput\",\"failures\":" +
-                     std::to_string(failures.load()) + ",");
+                     std::to_string(failures.load()) + ",\"spans\":" +
+                     spe::obs::SpanSummariesJson() + ",");
   std::printf("%s\n", json.c_str());
   return failures.load() == 0 ? 0 : 1;
 }

@@ -11,6 +11,11 @@
 //
 //   train_throughput [--threads N] [--minority P] [--majority M]
 //                    [--score-rows S] [--n-estimators E] [--out FILE]
+//                    [--no-obs]
+//
+// --no-obs disables the obs instrumentation (spans + fit gauges) for
+// the run, which is how docs/performance.md measures its overhead:
+// run once with and once without and compare fit throughput.
 //
 // Writes the JSON report to stdout and to --out (default
 // BENCH_train.json in the working directory).
@@ -29,6 +34,8 @@
 #include "spe/classifiers/random_forest.h"
 #include "spe/common/parallel.h"
 #include "spe/core/self_paced_ensemble.h"
+#include "spe/obs/metrics.h"
+#include "spe/obs/trace.h"
 #include "spe/data/synthetic.h"
 #include "spe/io/model_io.h"
 
@@ -99,6 +106,9 @@ int main(int argc, char** argv) {
   const long n_estimators = FlagValue(argc, argv, "--n-estimators", 10);
   const std::string out_path =
       StringFlag(argc, argv, "--out", "BENCH_train.json");
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--no-obs") == 0) spe::obs::SetEnabled(false);
+  }
 
   // Paper §VI-A checkerboard geometry, enlarged so fit takes long
   // enough to time; a separate large batch exercises scoring.
@@ -190,7 +200,9 @@ int main(int argc, char** argv) {
          << ",\"identical\":" << (identical ? "true" : "false") << "}";
     first = false;
   }
-  json << "],\"identical\":" << (all_identical ? "true" : "false") << "}";
+  json << "],\"identical\":" << (all_identical ? "true" : "false")
+       << ",\"obs_enabled\":" << (spe::obs::Enabled() ? "true" : "false")
+       << ",\"spans\":" << spe::obs::SpanSummariesJson() << "}";
 
   const std::string report = json.str();
   std::printf("%s\n", report.c_str());

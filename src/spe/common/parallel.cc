@@ -15,6 +15,18 @@ namespace {
 
 std::atomic<std::size_t> g_thread_override{0};
 
+// Scheduling counters behind GetParallelCounters(). Bumped per loop or
+// per chunk, so the cost is noise next to the work being scheduled.
+struct AtomicParallelCounters {
+  std::atomic<std::uint64_t> parallel_loops{0};
+  std::atomic<std::uint64_t> serial_loops{0};
+  std::atomic<std::uint64_t> nested_inline_loops{0};
+  std::atomic<std::uint64_t> chunks{0};
+  std::atomic<std::uint64_t> workers_spawned{0};
+};
+
+AtomicParallelCounters g_counters;
+
 // One chunked loop submitted to the worker pool. Chunks are claimed with
 // an atomic cursor, so scheduling is dynamic, but every index writes only
 // its own outputs — which thread executes a chunk can never change the
@@ -37,6 +49,7 @@ struct Job {
   bool RunOneChunk() {
     const std::size_t c = next.fetch_add(1);
     if (c >= num_chunks) return false;
+    g_counters.chunks.fetch_add(1, std::memory_order_relaxed);
     const std::size_t lo = begin + c * chunk;
     const std::size_t hi = std::min(end, lo + chunk);
     try {
@@ -104,6 +117,7 @@ class Pool {
     while (spawned_ < target) {
       std::thread([this] { WorkerLoop(); }).detach();
       ++spawned_;
+      g_counters.workers_spawned.fetch_add(1, std::memory_order_relaxed);
     }
   }
 
@@ -148,7 +162,19 @@ void RunChunked(std::size_t begin, std::size_t end, std::size_t workers,
   job->end = end;
   job->chunk = (count + workers - 1) / workers;
   job->num_chunks = (count + job->chunk - 1) / job->chunk;
+  g_counters.parallel_loops.fetch_add(1, std::memory_order_relaxed);
   Pool::Instance().Run(job, workers - 1);
+}
+
+// Serial fallbacks are counted by cause: nested loops inlined inside a
+// pool worker are a scheduling event worth watching separately from
+// loops that were simply too small to fan out.
+void CountSerial() {
+  if (Pool::in_worker) {
+    g_counters.nested_inline_loops.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    g_counters.serial_loops.fetch_add(1, std::memory_order_relaxed);
+  }
 }
 
 }  // namespace
@@ -178,6 +204,7 @@ void ParallelFor(std::size_t begin, std::size_t end,
   const std::size_t threads = NumThreads();
   // Fan-out overhead dominates on tiny ranges; run serially.
   if (threads <= 1 || count < 2 * threads || Pool::in_worker) {
+    CountSerial();
     RunSerial(begin, end, fn);
     return;
   }
@@ -192,6 +219,7 @@ void ParallelForGrain(std::size_t begin, std::size_t end,
   const std::size_t grain = std::max<std::size_t>(1, min_grain);
   const std::size_t workers = std::min(NumThreads(), count / grain);
   if (workers <= 1 || Pool::in_worker) {
+    CountSerial();
     RunSerial(begin, end, fn);
     return;
   }
@@ -201,6 +229,18 @@ void ParallelForGrain(std::size_t begin, std::size_t end,
 void ParallelForTasks(std::size_t begin, std::size_t end,
                       const std::function<void(std::size_t)>& fn) {
   ParallelForGrain(begin, end, 1, fn);
+}
+
+ParallelCounters GetParallelCounters() {
+  ParallelCounters out;
+  out.parallel_loops = g_counters.parallel_loops.load(std::memory_order_relaxed);
+  out.serial_loops = g_counters.serial_loops.load(std::memory_order_relaxed);
+  out.nested_inline_loops =
+      g_counters.nested_inline_loops.load(std::memory_order_relaxed);
+  out.chunks = g_counters.chunks.load(std::memory_order_relaxed);
+  out.workers_spawned =
+      g_counters.workers_spawned.load(std::memory_order_relaxed);
+  return out;
 }
 
 }  // namespace spe

@@ -2,9 +2,26 @@
 #define SPE_COMMON_PARALLEL_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 
 namespace spe {
+
+/// Cumulative scheduling counters kept by the parallel runtime since
+/// process start. Counted per loop / per chunk — never per index — so
+/// the accounting stays out of hot inner loops. Rendered by the obs
+/// metrics exposition (common/ cannot depend on obs/, so the runtime
+/// owns the counters and obs pulls a snapshot).
+struct ParallelCounters {
+  std::uint64_t parallel_loops = 0;       ///< loops fanned out to the pool
+  std::uint64_t serial_loops = 0;         ///< loops run serially (small range / 1 thread)
+  std::uint64_t nested_inline_loops = 0;  ///< loops inlined inside a pool worker
+  std::uint64_t chunks = 0;               ///< chunks claimed and executed
+  std::uint64_t workers_spawned = 0;      ///< pool threads ever created
+};
+
+/// Relaxed-atomic snapshot of the counters above. Non-empty loops only.
+ParallelCounters GetParallelCounters();
 
 /// Number of worker threads used by the ParallelFor family. Defaults to
 /// the hardware concurrency; the SPE_THREADS environment variable

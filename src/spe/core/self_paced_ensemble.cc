@@ -12,6 +12,8 @@
 #include "spe/common/rng.h"
 #include "spe/core/self_paced_sampler.h"
 #include "spe/metrics/metrics.h"
+#include "spe/obs/metrics.h"
+#include "spe/obs/trace.h"
 
 namespace spe {
 namespace {
@@ -80,6 +82,10 @@ double SelfPacedEnsemble::AlphaAt(AlphaSchedule schedule, std::size_t i,
 }
 
 void SelfPacedEnsemble::Fit(const Dataset& train) {
+  // Spans read the steady clock only — never the Rng — and gauges are
+  // pure reporting, so instrumentation cannot perturb the bit-identical
+  // determinism contract (docs/performance.md).
+  const obs::TraceSpan fit_span("spe.fit");
   const std::vector<std::size_t> pos = train.PositiveIndices();
   const std::vector<std::size_t> neg = train.NegativeIndices();
   SPE_CHECK(!pos.empty()) << "SPE needs at least one minority sample";
@@ -120,14 +126,21 @@ void SelfPacedEnsemble::Fit(const Dataset& train) {
   }
   std::unique_ptr<Classifier> bootstrap = make_member(0);
   rebuild_subset(initial_pick);
-  bootstrap->Fit(subset);
+  {
+    const obs::TraceSpan span("spe.fit.member_fit");
+    bootstrap->Fit(subset);
+  }
 
   // Running sum of member probabilities over the majority set: F_i is the
   // average of f_0 .. f_{i-1} (Algorithm 1 line 4). PredictProba chunks
   // the majority rows across threads; the element-wise loops below do the
   // same, and both are bit-identical for any thread count because each
   // element is touched by exactly one fixed computation.
-  std::vector<double> prob_sum = bootstrap->PredictProba(majority);
+  std::vector<double> prob_sum;
+  {
+    const obs::TraceSpan span("spe.fit.member_predict");
+    prob_sum = bootstrap->PredictProba(majority);
+  }
   CheckProbsAreNotNan(prob_sum, 0);
   std::size_t prob_count = 1;
   std::vector<double> hardness(majority.num_rows());
@@ -135,23 +148,52 @@ void SelfPacedEnsemble::Fit(const Dataset& train) {
   if (config_.include_bootstrap_model) ensemble_.Add(std::move(bootstrap));
 
   const std::size_t n = config_.n_estimators;
+  const bool instrumented = obs::Enabled();
+  std::vector<std::size_t> bin_population;
   for (std::size_t i = 1; i <= n; ++i) {
     // Lines 4-6: hardness of each majority sample w.r.t. the ensemble.
-    ParallelForGrain(0, majority.num_rows(), kUpdateGrain, [&](std::size_t m) {
-      hardness[m] =
-          hardness_fn(prob_sum[m] / static_cast<double>(prob_count), 0);
-    });
+    {
+      const obs::TraceSpan span("spe.fit.hardness");
+      ParallelForGrain(0, majority.num_rows(), kUpdateGrain,
+                       [&](std::size_t m) {
+                         hardness[m] = hardness_fn(
+                             prob_sum[m] / static_cast<double>(prob_count), 0);
+                       });
+    }
     // Lines 7-9: self-paced under-sampling with alpha_i.
     const double alpha = AlphaAt(config_.schedule, i, n);
-    const std::vector<std::size_t> pick = SelfPacedUnderSample(
-        hardness, alpha, config_.num_bins, minority.num_rows(), rng);
+    std::vector<std::size_t> pick;
+    {
+      const obs::TraceSpan span("spe.fit.under_sample");
+      pick = SelfPacedUnderSample(hardness, alpha, config_.num_bins,
+                                  minority.num_rows(), rng,
+                                  instrumented ? &bin_population : nullptr);
+    }
+    if (instrumented) {
+      auto& registry = obs::MetricsRegistry::Global();
+      registry.GetCounter("spe_fit_iterations_total").Add(1);
+      registry.GetGauge("spe_fit_alpha").Set(alpha);
+      for (std::size_t b = 0; b < bin_population.size(); ++b) {
+        registry
+            .GetGauge("spe_fit_bin_population{bin=\"" + std::to_string(b) +
+                      "\"}")
+            .Set(static_cast<double>(bin_population[b]));
+      }
+    }
 
     // Line 10: train f_i on the balanced subset.
     std::unique_ptr<Classifier> member = make_member(i);
     rebuild_subset(pick);
-    member->Fit(subset);
+    {
+      const obs::TraceSpan span("spe.fit.member_fit");
+      member->Fit(subset);
+    }
 
-    const std::vector<double> member_probs = member->PredictProba(majority);
+    std::vector<double> member_probs;
+    {
+      const obs::TraceSpan span("spe.fit.member_predict");
+      member_probs = member->PredictProba(majority);
+    }
     CheckProbsAreNotNan(member_probs, i);
     ParallelForGrain(0, prob_sum.size(), kUpdateGrain, [&](std::size_t m) {
       prob_sum[m] += member_probs[m];

@@ -5,13 +5,16 @@
 #include <limits>
 
 #include "spe/common/check.h"
+#include "spe/obs/trace.h"
 
 namespace spe {
 
 std::vector<std::size_t> SelfPacedUnderSample(
     std::span<const double> majority_hardness, double alpha,
-    std::size_t num_bins, std::size_t target_count, Rng& rng) {
+    std::size_t num_bins, std::size_t target_count, Rng& rng,
+    std::vector<std::size_t>* bin_population_out) {
   SPE_CHECK_GE(alpha, 0.0);
+  if (bin_population_out != nullptr) bin_population_out->clear();
   const std::size_t n = majority_hardness.size();
   SPE_CHECK_GT(n, 0u);
   if (target_count >= n) {
@@ -21,7 +24,10 @@ std::vector<std::size_t> SelfPacedUnderSample(
     return all;
   }
 
-  const HardnessBins bins = ComputeHardnessBins(majority_hardness, num_bins);
+  const HardnessBins bins = [&] {
+    const obs::TraceSpan span("spe.fit.bin_harmonize");
+    return ComputeHardnessBins(majority_hardness, num_bins);
+  }();
 
   // Membership lists per bin.
   std::vector<std::vector<std::size_t>> members(num_bins);
@@ -90,6 +96,9 @@ std::vector<std::size_t> SelfPacedUnderSample(
     SPE_CHECK(progressed) << "apportionment stuck";  // implies target > n
   }
 
+  if (bin_population_out != nullptr) {
+    bin_population_out->assign(quota.begin(), quota.end());
+  }
   std::vector<std::size_t> selected;
   selected.reserve(target_count);
   for (std::size_t b = 0; b < num_bins; ++b) {

@@ -28,9 +28,16 @@ namespace spe {
 /// implementation's behaviour of always returning |P| samples).
 ///
 /// Returns indices into `majority_hardness`.
+///
+/// `bin_population_out`, when non-null, reports how many samples were
+/// drawn from each hardness bin (the Fig. 3 distribution): resized to
+/// `num_bins` on the harmonized path, cleared on the degenerate paths
+/// (take-everything, all-trivial random fallback). Pure reporting — it
+/// never changes which samples are drawn or how the Rng advances.
 std::vector<std::size_t> SelfPacedUnderSample(
     std::span<const double> majority_hardness, double alpha,
-    std::size_t num_bins, std::size_t target_count, Rng& rng);
+    std::size_t num_bins, std::size_t target_count, Rng& rng,
+    std::vector<std::size_t>* bin_population_out = nullptr);
 
 }  // namespace spe
 

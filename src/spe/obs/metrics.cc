@@ -1,0 +1,236 @@
+#include "spe/obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "spe/common/check.h"
+#include "spe/common/parallel.h"
+#include "spe/obs/trace.h"
+
+namespace spe {
+namespace obs {
+namespace {
+
+bool InitEnabledFromEnv() {
+  const char* env = std::getenv("SPE_OBS");
+  if (env == nullptr) return true;
+  return std::strcmp(env, "0") != 0 && std::strcmp(env, "off") != 0 &&
+         std::strcmp(env, "false") != 0;
+}
+
+std::atomic<bool>& EnabledFlag() {
+  static std::atomic<bool> flag{InitEnabledFromEnv()};
+  return flag;
+}
+
+// Family name for the "# TYPE" line: the metric name with any inline
+// label set stripped.
+std::string BareName(const std::string& name) {
+  const std::size_t brace = name.find('{');
+  return brace == std::string::npos ? name : name.substr(0, brace);
+}
+
+// Labeled metrics share one family; the registry map is sorted, so
+// members of a family are adjacent and one "last family" cursor
+// suffices to emit each TYPE line exactly once.
+void AppendTypeOnce(std::string& out, std::string& last_family,
+                    const std::string& name, const char* type) {
+  std::string family = BareName(name);
+  if (family == last_family) return;
+  out += "# TYPE ";
+  out += family;
+  out += ' ';
+  out += type;
+  out += '\n';
+  last_family = std::move(family);
+}
+
+void AppendLine(std::string& out, const std::string& name,
+                const std::string& value) {
+  out += name;
+  out += ' ';
+  out += value;
+  out += '\n';
+}
+
+}  // namespace
+
+bool Enabled() { return EnabledFlag().load(std::memory_order_relaxed); }
+
+void SetEnabled(bool enabled) {
+  EnabledFlag().store(enabled, std::memory_order_relaxed);
+}
+
+CollectorHandle::CollectorHandle(CollectorHandle&& other) noexcept
+    : registry_(other.registry_), id_(other.id_) {
+  other.registry_ = nullptr;
+  other.id_ = 0;
+}
+
+CollectorHandle& CollectorHandle::operator=(CollectorHandle&& other) noexcept {
+  if (this != &other) {
+    if (registry_ != nullptr) registry_->RemoveCollector(id_);
+    registry_ = other.registry_;
+    id_ = other.id_;
+    other.registry_ = nullptr;
+    other.id_ = 0;
+  }
+  return *this;
+}
+
+CollectorHandle::~CollectorHandle() {
+  if (registry_ != nullptr) registry_->RemoveCollector(id_);
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  // Leaked so instrumented statics destroyed after main can still
+  // resolve their metrics safely.
+  static MetricsRegistry* registry = new MetricsRegistry;
+  return *registry;
+}
+
+Counter& MetricsRegistry::GetCounter(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::GetGauge(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+GeometricHistogram& MetricsRegistry::GetHistogram(const std::string& name,
+                                                  int sub_bits,
+                                                  std::size_t num_buckets) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) {
+    slot = std::make_unique<GeometricHistogram>(sub_bits, num_buckets);
+  } else {
+    SPE_CHECK_EQ(slot->sub_bits(), sub_bits)
+        << "histogram \"" << name << "\" re-registered with new geometry";
+    SPE_CHECK_EQ(slot->num_buckets(), num_buckets)
+        << "histogram \"" << name << "\" re-registered with new geometry";
+  }
+  return *slot;
+}
+
+CollectorHandle MetricsRegistry::AddCollector(
+    std::function<void(std::string&)> collector) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const std::uint64_t id = next_collector_id_++;
+  collectors_.emplace_back(id, std::move(collector));
+  return CollectorHandle(this, id);
+}
+
+void MetricsRegistry::RemoveCollector(std::uint64_t id) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = collectors_.begin(); it != collectors_.end(); ++it) {
+    if (it->first == id) {
+      collectors_.erase(it);
+      return;
+    }
+  }
+}
+
+std::string MetricsRegistry::RenderText() const {
+  std::string out;
+  out.reserve(4096);
+  const std::lock_guard<std::mutex> lock(mu_);
+
+  std::string last_family;
+  for (const auto& [name, counter] : counters_) {
+    AppendTypeOnce(out, last_family, name, "counter");
+    AppendLine(out, name, std::to_string(counter->value()));
+  }
+  last_family.clear();
+  for (const auto& [name, gauge] : gauges_) {
+    AppendTypeOnce(out, last_family, name, "gauge");
+    AppendLine(out, name, FormatMetricValue(gauge->value()));
+  }
+  last_family.clear();
+  for (const auto& [name, hist] : histograms_) {
+    AppendTypeOnce(out, last_family, name, "histogram");
+    AppendHistogramExposition(out, name, *hist);
+  }
+
+  // Process family: thread configuration plus the scheduling counters
+  // kept by the parallel runtime (obs cannot be a dependency of
+  // common/, so the runtime owns its counters and we render them here).
+  out += "# TYPE spe_threads gauge\n";
+  AppendLine(out, "spe_threads", std::to_string(NumThreads()));
+  const ParallelCounters pc = GetParallelCounters();
+  out += "# TYPE spe_parallel_loops_total counter\n";
+  AppendLine(out, "spe_parallel_loops_total{mode=\"parallel\"}",
+             std::to_string(pc.parallel_loops));
+  AppendLine(out, "spe_parallel_loops_total{mode=\"serial\"}",
+             std::to_string(pc.serial_loops));
+  AppendLine(out, "spe_parallel_loops_total{mode=\"nested_inline\"}",
+             std::to_string(pc.nested_inline_loops));
+  out += "# TYPE spe_parallel_chunks_total counter\n";
+  AppendLine(out, "spe_parallel_chunks_total", std::to_string(pc.chunks));
+  out += "# TYPE spe_parallel_workers_spawned counter\n";
+  AppendLine(out, "spe_parallel_workers_spawned",
+             std::to_string(pc.workers_spawned));
+
+  AppendSpanExposition(out);
+
+  for (const auto& [id, collector] : collectors_) collector(out);
+
+  out += "# EOF\n";
+  return out;
+}
+
+std::string FormatMetricValue(double value) {
+  if (std::isnan(value)) return "NaN";
+  if (std::isinf(value)) return value > 0 ? "+Inf" : "-Inf";
+  // Integral values (counters exposed through gauges, bin populations)
+  // read better without an exponent or fraction.
+  if (value == std::floor(value) && std::fabs(value) < 1e15) {
+    return std::to_string(static_cast<long long>(value));
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.10g", value);
+  return buf;
+}
+
+void AppendHistogramExposition(std::string& out, const std::string& name,
+                               const GeometricHistogram& hist) {
+  const std::size_t n = hist.num_buckets();
+  std::vector<std::uint64_t> counts(n);
+  std::size_t populated = 0;  // one past the last non-empty bucket
+  for (std::size_t i = 0; i < n; ++i) {
+    counts[i] = hist.bucket_count(i);
+    if (counts[i] != 0) populated = i + 1;
+  }
+  // Trailing all-empty buckets are elided; cumulative semantics survive
+  // because the "+Inf" bucket always carries the total.
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < populated && i + 1 < n; ++i) {
+    cumulative += counts[i];
+    out += name;
+    out += "_bucket{le=\"";
+    // Values are integers, so the inclusive upper bound of bucket i is
+    // one below the next bucket's lower bound.
+    out += std::to_string(hist.BucketLowerBound(i + 1) - 1);
+    out += "\"} ";
+    out += std::to_string(cumulative);
+    out += '\n';
+  }
+  out += name;
+  out += "_bucket{le=\"+Inf\"} ";
+  out += std::to_string(hist.count());
+  out += '\n';
+  AppendLine(out, name + "_sum", std::to_string(hist.sum()));
+  AppendLine(out, name + "_count", std::to_string(hist.count()));
+}
+
+}  // namespace obs
+}  // namespace spe

@@ -1,0 +1,139 @@
+#ifndef SPE_OBS_METRICS_H_
+#define SPE_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "spe/obs/histogram.h"
+
+namespace spe {
+namespace obs {
+
+/// Process-wide instrumentation kill switch. Defaults to on; the
+/// environment variable SPE_OBS=0|off|false disables it at startup, and
+/// tests/benches can flip it at runtime. When disabled, TraceSpan is a
+/// no-op and instrumented call sites are expected to skip metric
+/// updates; the registry itself keeps working (RenderText still
+/// answers) so an admin query never fails.
+bool Enabled();
+void SetEnabled(bool enabled);
+
+/// Monotonic counter. Add is one relaxed atomic; call sites should
+/// resolve the registry lookup once and cache the reference.
+class Counter {
+ public:
+  void Add(std::uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-write-wins instantaneous value.
+class Gauge {
+ public:
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+class MetricsRegistry;
+
+/// RAII registration of a collector callback (see AddCollector).
+/// Movable; unregisters on destruction. A moved-from handle is inert.
+class CollectorHandle {
+ public:
+  CollectorHandle() = default;
+  CollectorHandle(CollectorHandle&& other) noexcept;
+  CollectorHandle& operator=(CollectorHandle&& other) noexcept;
+  ~CollectorHandle();
+
+  CollectorHandle(const CollectorHandle&) = delete;
+  CollectorHandle& operator=(const CollectorHandle&) = delete;
+
+ private:
+  friend class MetricsRegistry;
+  CollectorHandle(MetricsRegistry* registry, std::uint64_t id)
+      : registry_(registry), id_(id) {}
+
+  MetricsRegistry* registry_ = nullptr;
+  std::uint64_t id_ = 0;
+};
+
+/// Named metrics plus a text exposition over them. Lookup takes a
+/// mutex; the returned references are stable for the registry's
+/// lifetime, so steady-state updates are lock-free.
+///
+/// Names follow Prometheus conventions: snake_case, counters end in
+/// `_total`, and a name may carry labels inline —
+/// `spe_fit_bin_population{bin="3"}` is simply a distinct metric whose
+/// name embeds its label set.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// The process-wide registry that `spe_serve`'s "!stats" command and
+  /// --metrics-dump render.
+  static MetricsRegistry& Global();
+
+  Counter& GetCounter(const std::string& name);
+  Gauge& GetGauge(const std::string& name);
+  /// Find-or-create; if the histogram already exists its geometry must
+  /// match (checked).
+  GeometricHistogram& GetHistogram(const std::string& name, int sub_bits,
+                                   std::size_t num_buckets);
+
+  /// Registers a callback that appends already-formatted exposition
+  /// lines during RenderText. Collectors let a component with its own
+  /// instance state (e.g. a BatchScorer's ServerStats) expose metrics
+  /// without copying them into the registry on every update. The
+  /// callback runs under the registry mutex: it must not touch the
+  /// registry and must not block.
+  [[nodiscard]] CollectorHandle AddCollector(
+      std::function<void(std::string&)> collector);
+
+  /// Prometheus-style text exposition: owned counters, gauges and
+  /// histograms (sorted by name, `# TYPE` once per metric family),
+  /// then the process family (spe_threads, spe_parallel_*), the span
+  /// family, then collector output, terminated by "# EOF\n".
+  std::string RenderText() const;
+
+ private:
+  friend class CollectorHandle;
+  void RemoveCollector(std::uint64_t id);
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<GeometricHistogram>> histograms_;
+  std::vector<std::pair<std::uint64_t, std::function<void(std::string&)>>>
+      collectors_;
+  std::uint64_t next_collector_id_ = 1;
+};
+
+/// Renders a double the way the exposition format expects ("+Inf",
+/// "-Inf", "NaN", integers without a fraction part).
+std::string FormatMetricValue(double value);
+
+/// Appends a histogram in exposition form: cumulative
+/// `<name>_bucket{le="..."}` lines (trailing all-empty buckets are
+/// elided; the "+Inf" bucket always closes the series), then
+/// `<name>_sum` and `<name>_count`. Bucket upper bounds are inclusive
+/// integer bounds derived from the geometric layout.
+void AppendHistogramExposition(std::string& out, const std::string& name,
+                               const GeometricHistogram& hist);
+
+}  // namespace obs
+}  // namespace spe
+
+#endif  // SPE_OBS_METRICS_H_

@@ -1,0 +1,182 @@
+#include "spe/obs/trace.h"
+
+#include <atomic>
+#include <chrono>
+
+#include "spe/obs/metrics.h"
+
+namespace spe {
+namespace obs {
+namespace {
+
+std::chrono::steady_clock::time_point TraceEpoch() {
+  static const std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+  return epoch;
+}
+
+std::uint64_t NowMicros() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - TraceEpoch())
+          .count());
+}
+
+// Per-name aggregates survive ring overwrites, so the exposition keeps
+// full counts even after the flight recorder wraps.
+struct Aggregates {
+  std::mutex mu;
+  std::map<std::string, SpanStats> by_name;  // guarded by mu
+};
+
+Aggregates& GlobalAggregates() {
+  static Aggregates* aggregates = new Aggregates;
+  return *aggregates;
+}
+
+thread_local std::uint32_t t_depth = 0;
+thread_local std::uint32_t t_thread_id = UINT32_MAX;
+std::atomic<std::uint32_t> g_next_thread_id{0};
+
+std::uint32_t ThreadId() {
+  if (t_thread_id == UINT32_MAX) {
+    t_thread_id = g_next_thread_id.fetch_add(1, std::memory_order_relaxed);
+  }
+  return t_thread_id;
+}
+
+}  // namespace
+
+TraceRing::TraceRing(std::size_t capacity) : capacity_(capacity) {
+  ring_.reserve(capacity_);
+}
+
+TraceRing& TraceRing::Global() {
+  static TraceRing* ring = new TraceRing(4096);
+  return *ring;
+}
+
+void TraceRing::Record(const SpanRecord& span) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (ring_.size() < capacity_) {
+    ring_.push_back(span);
+  } else {
+    ring_[total_ % capacity_] = span;
+  }
+  ++total_;
+}
+
+std::vector<SpanRecord> TraceRing::Snapshot() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (total_ <= capacity_) return ring_;
+  std::vector<SpanRecord> out;
+  out.reserve(capacity_);
+  const std::size_t start = total_ % capacity_;  // oldest retained record
+  for (std::size_t i = 0; i < capacity_; ++i) {
+    out.push_back(ring_[(start + i) % capacity_]);
+  }
+  return out;
+}
+
+std::uint64_t TraceRing::total() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return total_;
+}
+
+std::uint64_t TraceRing::dropped() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return total_ > capacity_ ? total_ - capacity_ : 0;
+}
+
+void TraceRing::Clear() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  ring_.clear();
+  total_ = 0;
+}
+
+TraceSpan::TraceSpan(const char* name) : name_(name) {
+  if (!Enabled()) return;
+  active_ = true;
+  ++t_depth;
+  start_us_ = NowMicros();
+}
+
+TraceSpan::~TraceSpan() {
+  // active_, not Enabled(): a span that observed the switch on at
+  // construction completes normally even if it flips mid-flight.
+  if (!active_) return;
+  const std::uint64_t end_us = NowMicros();
+  --t_depth;
+  SpanRecord record;
+  record.name = name_;
+  record.start_us = start_us_;
+  record.duration_us = end_us - start_us_;
+  record.depth = t_depth;
+  record.thread = ThreadId();
+  TraceRing::Global().Record(record);
+  Aggregates& aggregates = GlobalAggregates();
+  const std::lock_guard<std::mutex> lock(aggregates.mu);
+  SpanStats& stats = aggregates.by_name[name_];
+  ++stats.count;
+  stats.total_us += record.duration_us;
+  if (record.duration_us > stats.max_us) stats.max_us = record.duration_us;
+}
+
+std::size_t TraceSpan::CurrentDepth() { return t_depth; }
+
+std::map<std::string, SpanStats> SpanAggregates() {
+  Aggregates& aggregates = GlobalAggregates();
+  const std::lock_guard<std::mutex> lock(aggregates.mu);
+  return aggregates.by_name;
+}
+
+void AppendSpanExposition(std::string& out) {
+  TraceRing& ring = TraceRing::Global();
+  out += "# TYPE spe_spans_total counter\nspe_spans_total ";
+  out += std::to_string(ring.total());
+  out += "\n# TYPE spe_spans_dropped counter\nspe_spans_dropped ";
+  out += std::to_string(ring.dropped());
+  out += '\n';
+  const std::map<std::string, SpanStats> aggregates = SpanAggregates();
+  if (aggregates.empty()) return;
+  out += "# TYPE spe_span_count counter\n";
+  for (const auto& [name, stats] : aggregates) {
+    out += "spe_span_count{span=\"" + name + "\"} " +
+           std::to_string(stats.count) + "\n";
+  }
+  out += "# TYPE spe_span_total_us counter\n";
+  for (const auto& [name, stats] : aggregates) {
+    out += "spe_span_total_us{span=\"" + name + "\"} " +
+           std::to_string(stats.total_us) + "\n";
+  }
+  out += "# TYPE spe_span_max_us gauge\n";
+  for (const auto& [name, stats] : aggregates) {
+    out += "spe_span_max_us{span=\"" + name + "\"} " +
+           std::to_string(stats.max_us) + "\n";
+  }
+}
+
+std::string SpanSummariesJson() {
+  const std::map<std::string, SpanStats> aggregates = SpanAggregates();
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [name, stats] : aggregates) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + name + "\":{\"count\":" + std::to_string(stats.count) +
+           ",\"total_us\":" + std::to_string(stats.total_us) +
+           ",\"max_us\":" + std::to_string(stats.max_us) + "}";
+  }
+  out += "}";
+  return out;
+}
+
+void ResetSpansForTest() {
+  TraceRing::Global().Clear();
+  Aggregates& aggregates = GlobalAggregates();
+  const std::lock_guard<std::mutex> lock(aggregates.mu);
+  aggregates.by_name.clear();
+}
+
+}  // namespace obs
+}  // namespace spe

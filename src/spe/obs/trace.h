@@ -1,0 +1,109 @@
+#ifndef SPE_OBS_TRACE_H_
+#define SPE_OBS_TRACE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace spe {
+namespace obs {
+
+/// One completed span. `name` must be a string with static storage
+/// duration (span call sites pass literals), so records are 32 bytes and
+/// recording never allocates.
+struct SpanRecord {
+  const char* name = "";
+  std::uint64_t start_us = 0;     ///< since the process trace epoch
+  std::uint64_t duration_us = 0;
+  std::uint32_t depth = 0;        ///< nesting level on the owning thread
+  std::uint32_t thread = 0;       ///< small per-thread id, assigned lazily
+};
+
+/// Bounded in-memory ring of completed spans. When full, the oldest
+/// record is overwritten — tracing is a flight recorder, not a log.
+/// Thread-safe; spans complete at chunk granularity (an iteration, a
+/// batch), so a mutex is far below contention levels that would matter.
+class TraceRing {
+ public:
+  explicit TraceRing(std::size_t capacity);
+
+  TraceRing(const TraceRing&) = delete;
+  TraceRing& operator=(const TraceRing&) = delete;
+
+  /// Process-wide ring used by TraceSpan (capacity 4096).
+  static TraceRing& Global();
+
+  void Record(const SpanRecord& span);
+
+  /// Retained records, oldest first.
+  std::vector<SpanRecord> Snapshot() const;
+
+  /// Spans ever recorded / overwritten because the ring was full.
+  std::uint64_t total() const;
+  std::uint64_t dropped() const;
+
+  void Clear();
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<SpanRecord> ring_;  // guarded by mu_
+  const std::size_t capacity_;
+  std::uint64_t total_ = 0;  // guarded by mu_
+};
+
+/// RAII trace scope: construction stamps a start time, destruction
+/// records a SpanRecord into TraceRing::Global() and folds the duration
+/// into the per-name aggregates rendered by the metrics exposition.
+/// Depth is tracked with a thread-local counter, so nested spans carry
+/// their nesting level without a heap-allocated stack.
+///
+/// Determinism contract: spans read the steady clock and nothing else —
+/// never an Rng — so instrumented training produces bit-identical
+/// artifacts with tracing on, off, or at any thread count. When
+/// obs::Enabled() is false, construction and destruction are no-ops
+/// (not even a clock read).
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name);
+  ~TraceSpan();
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  /// Number of open spans on the calling thread.
+  static std::size_t CurrentDepth();
+
+ private:
+  const char* name_;
+  std::uint64_t start_us_ = 0;
+  bool active_ = false;
+};
+
+/// Cumulative per-name span statistics since process start.
+struct SpanStats {
+  std::uint64_t count = 0;
+  std::uint64_t total_us = 0;
+  std::uint64_t max_us = 0;
+};
+
+/// Copy of the per-name aggregates, keyed by span name.
+std::map<std::string, SpanStats> SpanAggregates();
+
+/// Appends the span exposition family (spe_spans_total,
+/// spe_spans_dropped, spe_span_{count,total_us,max_us}{span="..."}).
+void AppendSpanExposition(std::string& out);
+
+/// Span aggregates as one JSON object, for bench reports:
+/// {"name":{"count":N,"total_us":T,"max_us":M},...}.
+std::string SpanSummariesJson();
+
+/// Clears the global ring and the aggregates. Test seam.
+void ResetSpansForTest();
+
+}  // namespace obs
+}  // namespace spe
+
+#endif  // SPE_OBS_TRACE_H_

@@ -6,6 +6,7 @@
 #include "spe/common/check.h"
 #include "spe/common/fault.h"
 #include "spe/common/parallel.h"
+#include "spe/obs/trace.h"
 
 namespace spe {
 
@@ -34,6 +35,17 @@ BatchScorer::BatchScorer(std::unique_ptr<Classifier> model,
   for (std::size_t i = 0; i < n; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });
   }
+  metrics_collector_ =
+      obs::MetricsRegistry::Global().AddCollector([this](std::string& out) {
+        stats_.AppendExposition(out);
+        out += "# TYPE spe_serve_queue_depth gauge\nspe_serve_queue_depth ";
+        out += std::to_string(queue_.size());
+        out += "\n# TYPE spe_serve_degraded gauge\nspe_serve_degraded ";
+        out += degraded_.load(std::memory_order_relaxed) ? "1\n" : "0\n";
+        out += "# TYPE spe_serve_workers gauge\nspe_serve_workers ";
+        out += std::to_string(workers_.size());
+        out += '\n';
+      });
 }
 
 BatchScorer::~BatchScorer() { Shutdown(); }
@@ -138,14 +150,21 @@ void BatchScorer::WorkerLoop() {
     }
     if (live.empty()) continue;
 
-    Dataset rows(num_features_);
-    rows.Reserve(live.size());
-    for (const Request* r : live) rows.AddRow(r->features, /*label=*/0);
     try {
-      const std::vector<double> probs =
-          degraded ? prefix_model_->PredictProbaPrefix(rows,
-                                                       config_.degrade_prefix)
-                   : model_->PredictProba(rows);
+      // Batch granularity keeps tracing out of the per-row path. The
+      // span closes before any promise is fulfilled, so a client that
+      // has seen its response (and then scrapes !stats) also sees the
+      // span that scored it.
+      std::vector<double> probs;
+      {
+        const obs::TraceSpan span("serve.score_batch");
+        Dataset rows(num_features_);
+        rows.Reserve(live.size());
+        for (const Request* r : live) rows.AddRow(r->features, /*label=*/0);
+        probs = degraded ? prefix_model_->PredictProbaPrefix(
+                               rows, config_.degrade_prefix)
+                         : model_->PredictProba(rows);
+      }
       const auto done = std::chrono::steady_clock::now();
       stats_.RecordBatch(live.size(), degraded);
       for (std::size_t i = 0; i < live.size(); ++i) {

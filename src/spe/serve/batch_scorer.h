@@ -12,6 +12,7 @@
 
 #include "spe/classifiers/classifier.h"
 #include "spe/common/mpmc_queue.h"
+#include "spe/obs/metrics.h"
 #include "spe/serve/server_stats.h"
 
 namespace spe {
@@ -159,6 +160,10 @@ class BatchScorer {
   std::atomic<bool> degraded_{false};
   std::vector<std::thread> workers_;
   std::once_flag shutdown_once_;
+  /// Publishes this scorer's stats on the global metrics registry
+  /// ("!stats" / --metrics-dump). Declared last so it unregisters
+  /// before any member it reads is destroyed.
+  obs::CollectorHandle metrics_collector_;
 };
 
 }  // namespace spe

@@ -208,6 +208,11 @@ ServeRequest ParseRequestLine(std::string_view line) {
     r.kind = RequestKind::kStats;
     return r;
   }
+  if (line.substr(i) == "!stats") {
+    ServeRequest r;
+    r.kind = RequestKind::kMetrics;
+    return r;
+  }
   return line[i] == '{' ? ParseJson(line.substr(i)) : ParseCsv(line.substr(i));
 }
 

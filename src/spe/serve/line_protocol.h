@@ -17,7 +17,9 @@ namespace spe {
 ///   JSON: `{"id":17,"features":[0.5]}`  -> `{"id":17,"proba":0.08731...}`
 ///
 /// A line whose first non-space byte is '{' is JSON; anything else is
-/// CSV. The literal line `STATS` requests a stats snapshot. Errors are
+/// CSV. The literal line `STATS` requests a stats snapshot; the literal
+/// line `!stats` requests the full metrics exposition (multi-line,
+/// Prometheus text format, terminated by `# EOF`). Errors are
 /// reported in the shape of the request: `ERR <msg>` for CSV,
 /// `{"error":"<msg>"}` for JSON — the connection stays open either way.
 /// Probabilities are printed with 17 significant digits so the decimal
@@ -40,7 +42,8 @@ inline constexpr std::size_t kMaxIdBytes = 256;
 
 enum class RequestKind {
   kScore,    // features parsed, ready to submit
-  kStats,    // STATS command
+  kStats,    // STATS command — one-line JSON snapshot
+  kMetrics,  // !stats command — multi-line metrics exposition
   kEmpty,    // blank line — ignore, no response
   kInvalid,  // malformed — respond with `error`
 };

@@ -1,68 +1,57 @@
 #include "spe/serve/server_stats.h"
 
-#include <bit>
 #include <cinttypes>
 #include <cstdio>
 #include <ostream>
+
+#include "spe/obs/metrics.h"
 
 namespace spe {
 namespace {
 
 // 8 sub-buckets per power of two: values below 8us get exact buckets,
 // larger values share the top three significant bits. This bounds the
-// relative error of any percentile estimate at 1/8 = 12.5% while the
-// whole histogram stays a fixed 512-slot array of atomics.
-constexpr int kSubBits = 3;
-constexpr std::uint64_t kSub = 1u << kSubBits;
+// relative error of any percentile estimate at 1/8 = 12.5%.
+constexpr int kLatencySubBits = 3;
 
-void UpdateMax(std::atomic<std::uint64_t>& slot, std::uint64_t value) {
-  std::uint64_t seen = slot.load(std::memory_order_relaxed);
-  while (seen < value &&
-         !slot.compare_exchange_weak(seen, value, std::memory_order_relaxed)) {
-  }
+void AppendCounter(std::string& out, const char* name, std::uint64_t value) {
+  out += "# TYPE ";
+  out += name;
+  out += " counter\n";
+  out += name;
+  out += ' ';
+  out += std::to_string(value);
+  out += '\n';
 }
 
 }  // namespace
 
 std::size_t ServerStats::BucketIndex(std::uint64_t us) {
-  if (us < kSub) return static_cast<std::size_t>(us);
-  const int msb = std::bit_width(us) - 1;  // >= kSubBits
-  const std::uint64_t sub = (us >> (msb - kSubBits)) & (kSub - 1);
-  const std::size_t index =
-      static_cast<std::size_t>(msb - kSubBits + 1) * kSub + sub;
+  const std::size_t index = obs::GeometricHistogram::IndexFor(kLatencySubBits, us);
   return index < kLatencyBuckets ? index : kLatencyBuckets - 1;
 }
 
 std::uint64_t ServerStats::BucketLowerBound(std::size_t index) {
-  if (index < kSub) return index;
-  const std::uint64_t octave = index / kSub - 1;
-  const std::uint64_t sub = index % kSub;
-  return (kSub + sub) << octave;
+  return obs::GeometricHistogram::LowerBoundFor(kLatencySubBits, index);
 }
 
-ServerStats::ServerStats() : start_(std::chrono::steady_clock::now()) {
-  for (auto& b : latency_hist_) b.store(0, std::memory_order_relaxed);
-  for (auto& b : batch_hist_) b.store(0, std::memory_order_relaxed);
-}
+ServerStats::ServerStats()
+    : start_(std::chrono::steady_clock::now()),
+      latency_(kLatencySubBits, kLatencyBuckets),
+      // sub_bits=0 gives size 0 its own bucket, so the power-of-two
+      // buckets the snapshot exposes start one slot later.
+      batch_(0, kBatchBuckets + 1) {}
 
 void ServerStats::RecordRequest(std::uint64_t latency_us) {
-  rows_.fetch_add(1, std::memory_order_relaxed);
-  latency_hist_[BucketIndex(latency_us)].fetch_add(1,
-                                                   std::memory_order_relaxed);
-  UpdateMax(max_us_, latency_us);
+  latency_.Record(latency_us);
 }
 
 void ServerStats::RecordBatch(std::uint64_t size, bool degraded) {
-  batches_.fetch_add(1, std::memory_order_relaxed);
-  batch_rows_.fetch_add(size, std::memory_order_relaxed);
+  batch_.Record(size);
   if (degraded) {
     degraded_batches_.fetch_add(1, std::memory_order_relaxed);
     degraded_rows_.fetch_add(size, std::memory_order_relaxed);
   }
-  const std::size_t bucket = size == 0 ? 0 : std::bit_width(size) - 1;
-  batch_hist_[bucket < kBatchBuckets ? bucket : kBatchBuckets - 1].fetch_add(
-      1, std::memory_order_relaxed);
-  UpdateMax(max_batch_, size);
 }
 
 void ServerStats::RecordShed() {
@@ -73,75 +62,62 @@ void ServerStats::RecordDeadlineExpired() {
   deadline_expired_.fetch_add(1, std::memory_order_relaxed);
 }
 
-double ServerStats::Percentile(
-    const std::array<std::uint64_t, kLatencyBuckets>& counts,
-    std::uint64_t total, double q) const {
-  if (total == 0) return 0.0;
-  // Rank of the q-th sample (1-based); walk buckets until reached, then
-  // interpolate linearly inside the bucket.
-  const double rank = q * static_cast<double>(total);
-  std::uint64_t cumulative = 0;
-  for (std::size_t i = 0; i < kLatencyBuckets; ++i) {
-    if (counts[i] == 0) continue;
-    const std::uint64_t next = cumulative + counts[i];
-    if (static_cast<double>(next) >= rank) {
-      const double lo = static_cast<double>(BucketLowerBound(i));
-      const double hi = static_cast<double>(
-          i + 1 < kLatencyBuckets ? BucketLowerBound(i + 1) : max_us_.load());
-      const double frac = (rank - static_cast<double>(cumulative)) /
-                          static_cast<double>(counts[i]);
-      const double estimate = lo + (hi > lo ? (hi - lo) * frac : 0.0);
-      // Interpolation works on bucket bounds, which can exceed the
-      // largest latency actually seen; the exact max caps it.
-      const double exact_max =
-          static_cast<double>(max_us_.load(std::memory_order_relaxed));
-      return estimate < exact_max ? estimate : exact_max;
-    }
-    cumulative = next;
-  }
-  return static_cast<double>(max_us_.load(std::memory_order_relaxed));
-}
-
 ServeStatsSnapshot ServerStats::Snapshot() const {
   ServeStatsSnapshot s;
-  std::array<std::uint64_t, kLatencyBuckets> lat;
-  std::uint64_t total = 0;
-  for (std::size_t i = 0; i < kLatencyBuckets; ++i) {
-    lat[i] = latency_hist_[i].load(std::memory_order_relaxed);
-    total += lat[i];
-  }
-  s.rows = rows_.load(std::memory_order_relaxed);
-  s.batches = batches_.load(std::memory_order_relaxed);
+  s.rows = latency_.count();
+  s.batches = batch_.count();
   s.shed = shed_.load(std::memory_order_relaxed);
   s.deadline_expired = deadline_expired_.load(std::memory_order_relaxed);
   s.degraded_batches = degraded_batches_.load(std::memory_order_relaxed);
   s.degraded_rows = degraded_rows_.load(std::memory_order_relaxed);
-  s.max_us = max_us_.load(std::memory_order_relaxed);
-  s.max_batch_size = max_batch_.load(std::memory_order_relaxed);
+  s.max_us = latency_.max();
+  s.max_batch_size = batch_.max();
   const auto elapsed = std::chrono::steady_clock::now() - start_;
   s.elapsed_s =
       std::chrono::duration_cast<std::chrono::duration<double>>(elapsed)
           .count();
   s.rows_per_sec =
       s.elapsed_s > 0 ? static_cast<double>(s.rows) / s.elapsed_s : 0.0;
-  s.p50_us = Percentile(lat, total, 0.50);
-  s.p95_us = Percentile(lat, total, 0.95);
-  s.p99_us = Percentile(lat, total, 0.99);
-  const std::uint64_t batch_rows = batch_rows_.load(std::memory_order_relaxed);
+  s.p50_us = latency_.Percentile(0.50);
+  s.p95_us = latency_.Percentile(0.95);
+  s.p99_us = latency_.Percentile(0.99);
+  const std::uint64_t batch_rows = batch_.sum();
   s.mean_batch_size =
       s.batches > 0 ? static_cast<double>(batch_rows) /
                           static_cast<double>(s.batches)
                     : 0.0;
-  // Trim trailing empty buckets so the JSON stays short.
+  // The snapshot's bucket i is [2^i, 2^(i+1)), which is the backing
+  // histogram's bucket i+1; fold the histogram's size-0 bucket into
+  // slot 0 so no batch ever goes unreported. Trim trailing empty
+  // buckets so the JSON stays short.
   std::size_t top = 0;
   std::vector<std::uint64_t> batch_hist(kBatchBuckets);
   for (std::size_t i = 0; i < kBatchBuckets; ++i) {
-    batch_hist[i] = batch_hist_[i].load(std::memory_order_relaxed);
+    batch_hist[i] = batch_.bucket_count(i + 1);
+    if (i == 0) batch_hist[i] += batch_.bucket_count(0);
     if (batch_hist[i] != 0) top = i + 1;
   }
   batch_hist.resize(top);
   s.batch_size_hist = std::move(batch_hist);
   return s;
+}
+
+void ServerStats::AppendExposition(std::string& out) const {
+  AppendCounter(out, "spe_serve_requests_total", latency_.count());
+  AppendCounter(out, "spe_serve_batches_total", batch_.count());
+  AppendCounter(out, "spe_serve_batch_rows_total", batch_.sum());
+  AppendCounter(out, "spe_serve_shed_total",
+                shed_.load(std::memory_order_relaxed));
+  AppendCounter(out, "spe_serve_deadline_expired_total",
+                deadline_expired_.load(std::memory_order_relaxed));
+  AppendCounter(out, "spe_serve_degraded_batches_total",
+                degraded_batches_.load(std::memory_order_relaxed));
+  AppendCounter(out, "spe_serve_degraded_rows_total",
+                degraded_rows_.load(std::memory_order_relaxed));
+  out += "# TYPE spe_serve_latency_us histogram\n";
+  obs::AppendHistogramExposition(out, "spe_serve_latency_us", latency_);
+  out += "# TYPE spe_serve_batch_size histogram\n";
+  obs::AppendHistogramExposition(out, "spe_serve_batch_size", batch_);
 }
 
 std::string ToJson(const ServeStatsSnapshot& s) {

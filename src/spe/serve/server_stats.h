@@ -1,7 +1,6 @@
 #ifndef SPE_SERVE_SERVER_STATS_H_
 #define SPE_SERVE_SERVER_STATS_H_
 
-#include <array>
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
@@ -11,6 +10,8 @@
 #include <string>
 #include <thread>
 #include <vector>
+
+#include "spe/obs/histogram.h"
 
 namespace spe {
 
@@ -41,10 +42,11 @@ struct ServeStatsSnapshot {
 std::string ToJson(const ServeStatsSnapshot& s);
 
 /// Lock-free (atomic counter) request/latency accounting shared by every
-/// worker and producer thread of a BatchScorer. All Record* methods are
-/// safe to call concurrently; Snapshot is safe concurrently with
-/// recording (it reads a consistent-enough view for monitoring — counts
-/// may be mid-update across arrays, which is fine for observability).
+/// worker and producer thread of a BatchScorer, built on the shared
+/// obs::GeometricHistogram geometry. All Record* methods are safe to
+/// call concurrently; Snapshot is safe concurrently with recording (it
+/// reads a consistent-enough view for monitoring — counts may be
+/// mid-update across histograms, which is fine for observability).
 class ServerStats {
  public:
   ServerStats();
@@ -67,6 +69,11 @@ class ServerStats {
 
   ServeStatsSnapshot Snapshot() const;
 
+  /// Appends this instance's metrics in exposition format: the
+  /// spe_serve_* counter family plus the spe_serve_latency_us and
+  /// spe_serve_batch_size histograms (docs/observability.md).
+  void AppendExposition(std::string& out) const;
+
   /// Number of latency histogram buckets (geometric; see
   /// BucketLowerBound). 488 is the largest count whose top bucket's
   /// lower bound still fits in 64 bits — anything slower lands in the
@@ -74,28 +81,24 @@ class ServerStats {
   static constexpr std::size_t kLatencyBuckets = 488;
 
   /// Index of the histogram bucket for a microsecond value, and the
-  /// inclusive lower bound of bucket `index`. Exposed for tests.
+  /// inclusive lower bound of bucket `index`. Thin wrappers over the
+  /// shared obs::GeometricHistogram geometry; exposed for tests.
   static std::size_t BucketIndex(std::uint64_t us);
   static std::uint64_t BucketLowerBound(std::size_t index);
 
  private:
-  static constexpr std::size_t kBatchBuckets = 24;  // up to 2^23 rows/batch
-
-  double Percentile(const std::array<std::uint64_t, kLatencyBuckets>& counts,
-                    std::uint64_t total, double q) const;
+  // Snapshot exposes batch buckets as [2^i, 2^(i+1)) for i < 24; the
+  // backing histogram needs one extra slot because its sub_bits=0
+  // layout gives size 0 a bucket of its own.
+  static constexpr std::size_t kBatchBuckets = 24;
 
   std::chrono::steady_clock::time_point start_;
-  std::atomic<std::uint64_t> rows_{0};
-  std::atomic<std::uint64_t> batches_{0};
-  std::atomic<std::uint64_t> batch_rows_{0};
+  obs::GeometricHistogram latency_;
+  obs::GeometricHistogram batch_;
   std::atomic<std::uint64_t> shed_{0};
   std::atomic<std::uint64_t> deadline_expired_{0};
   std::atomic<std::uint64_t> degraded_batches_{0};
   std::atomic<std::uint64_t> degraded_rows_{0};
-  std::atomic<std::uint64_t> max_us_{0};
-  std::atomic<std::uint64_t> max_batch_{0};
-  std::array<std::atomic<std::uint64_t>, kLatencyBuckets> latency_hist_;
-  std::array<std::atomic<std::uint64_t>, kBatchBuckets> batch_hist_;
 };
 
 /// Background thread that prints a one-line JSON snapshot of a

@@ -5,7 +5,7 @@
 //             [--workers W] [--queue-capacity C] [--overflow block|shed]
 //             [--default-deadline-ms D] [--degrade-high H --degrade-low L
 //              --degrade-prefix K] [--max-connections M]
-//             [--stats-interval-ms MS]
+//             [--stats-interval-ms MS] [--metrics-dump FILE]
 //
 // Speaks the newline-delimited CSV/JSON protocol of spe/serve/
 // line_protocol.h. --stdio serves exactly one "connection" on
@@ -50,6 +50,7 @@
 
 #include "spe/common/parse.h"
 #include "spe/io/model_io.h"
+#include "spe/obs/metrics.h"
 #include "spe/serve/batch_scorer.h"
 #include "spe/serve/line_protocol.h"
 #include "spe/serve/server_stats.h"
@@ -87,9 +88,12 @@ namespace {
       "                        (default 256, 0 = unlimited)\n"
       "  --stats-interval-ms M periodic stats line to stderr (0 = off,\n"
       "                        default 10000 for --port, 0 for --stdio)\n"
+      "  --metrics-dump FILE   write the final metrics exposition to FILE\n"
+      "                        after the server drains\n"
       "protocol: one request per line — CSV features (`0.2,1.5`) or JSON\n"
       "(`{\"id\":1,\"features\":[0.2,1.5],\"deadline_ms\":50}`); `STATS`\n"
-      "returns a stats snapshot; responses come back one line each, in\n"
+      "returns a one-line stats snapshot; `!stats` returns the metrics\n"
+      "exposition (multi-line, ends with `# EOF`); responses come back in\n"
       "request order. Degraded-mode JSON responses carry "
       "\"degraded\":true.\n"
       "fault injection: set SPE_FAULTS=score_delay_ms=..,"
@@ -203,6 +207,14 @@ void ServeSession(std::FILE* in, std::FILE* out, spe::BatchScorer& scorer,
           break;
         case spe::RequestKind::kStats:
           response = spe::ToJson(scorer.stats().Snapshot());
+          break;
+        case spe::RequestKind::kMetrics:
+          // Multi-line exposition; its "# EOF" line is the framing the
+          // client watches for, the writer adds the final newline.
+          response = spe::obs::MetricsRegistry::Global().RenderText();
+          while (!response.empty() && response.back() == '\n') {
+            response.pop_back();
+          }
           break;
         case spe::RequestKind::kInvalid:
           response = spe::FormatErrorResponse(item.request,
@@ -450,8 +462,22 @@ int main(int argc, char** argv) {
     reporter = std::make_unique<spe::StatsReporter>(
         scorer.stats(), std::cerr, std::chrono::milliseconds(interval_ms));
   }
-  return use_stdio
-             ? RunStdio(scorer, default_deadline_ms)
-             : RunTcp(scorer, get("host", "127.0.0.1"), port,
-                      default_deadline_ms, max_connections);
+  const int rc = use_stdio
+                     ? RunStdio(scorer, default_deadline_ms)
+                     : RunTcp(scorer, get("host", "127.0.0.1"), port,
+                              default_deadline_ms, max_connections);
+  // Drained: every accepted request is counted, so the dump is final.
+  const std::string dump_path = get("metrics-dump", "");
+  if (!dump_path.empty()) {
+    std::FILE* f = std::fopen(dump_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "error: cannot write --metrics-dump %s\n",
+                   dump_path.c_str());
+      return 1;
+    }
+    const std::string text = spe::obs::MetricsRegistry::Global().RenderText();
+    std::fwrite(text.data(), 1, text.size(), f);
+    std::fclose(f);
+  }
+  return rc;
 }
