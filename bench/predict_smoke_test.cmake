@@ -1,0 +1,34 @@
+# Smoke check of the predict benchmark, run by ctest: a tiny
+# configuration must finish quickly, exit 0, and report
+# "identical": true — i.e. the flat kernel reproduced the reference
+# probabilities byte-for-byte on every workload, at 1 thread and at the
+# machine default. Driven with `cmake -P` so it needs no shell.
+
+foreach(var PREDICT_BENCH WORK_DIR)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "${var} must be passed with -D${var}=...")
+  endif()
+endforeach()
+
+set(dir ${WORK_DIR}/predict_smoke_test)
+file(MAKE_DIRECTORY ${dir})
+
+execute_process(
+  COMMAND ${PREDICT_BENCH} --rows 2000 --train-rows 1100 --passes 1
+          --out ${dir}/BENCH_predict.json
+  WORKING_DIRECTORY ${dir}
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "predict_throughput failed (${rc}): ${out} ${err}")
+endif()
+
+file(READ ${dir}/BENCH_predict.json report)
+if(NOT report MATCHES "\"identical\":true")
+  message(FATAL_ERROR "flat kernel diverged from reference: ${report}")
+endif()
+# Every workload here is tree-backed, so all of them must actually have
+# compiled — a silent fallback would make the identity check vacuous.
+if(report MATCHES "\"kernel\":\"reference\"")
+  message(FATAL_ERROR "a workload fell back to the reference path: ${report}")
+endif()
+message(STATUS "predict smoke OK: flat kernel bit-identical")

@@ -1,0 +1,209 @@
+// predict_throughput — flat SoA inference kernel vs the reference
+// scoring path (BENCH_predict.json).
+//
+// Trains the forest workloads the kernel targets — the paper's SPE10
+// (10 depth-10 trees), a 100-tree RandomForest, and an SPE ensemble of
+// GBDT members — then scores one large checkerboard batch through both
+// paths, at 1 thread and at the machine default, and prints one JSON
+// report: rows/sec per path, the flat/reference speedup, and an
+// `identical` flag from byte-comparing every probability vector against
+// the single-threaded reference. The flag is the contract: the fast
+// path must be a pure speed change. Exits nonzero on any mismatch.
+//
+//   predict_throughput [--rows N] [--passes P] [--train-rows R]
+//                      [--out FILE]
+//
+// Writes the JSON report to stdout and to --out (default
+// BENCH_predict.json in the working directory). Acceptance bar: >= 2x
+// single-thread throughput on spe10 and rf100, "identical": true
+// everywhere.
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "spe/classifiers/decision_tree.h"
+#include "spe/classifiers/gbdt/gbdt.h"
+#include "spe/classifiers/random_forest.h"
+#include "spe/common/parallel.h"
+#include "spe/core/self_paced_ensemble.h"
+#include "spe/data/synthetic.h"
+#include "spe/kernels/flat_forest.h"
+#include "spe/obs/metrics.h"
+#include "spe/obs/trace.h"
+
+namespace {
+
+long FlagValue(int argc, char** argv, const char* name, long fallback) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0) return std::atol(argv[i + 1]);
+  }
+  return fallback;
+}
+
+const char* StringFlag(int argc, char** argv, const char* name,
+                       const char* fallback) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0) return argv[i + 1];
+  }
+  return fallback;
+}
+
+struct Run {
+  double rows_per_sec = 0.0;
+  std::vector<double> probs;
+};
+
+// Best-of-`passes` wall-clock scoring of the full batch. The probability
+// vector of the last pass is kept for the identity comparison (every
+// pass must produce the same bytes; the test suite enforces that, here
+// we compare across paths).
+Run Measure(const spe::Classifier& model, const spe::Dataset& data,
+            int passes) {
+  Run run;
+  for (int p = 0; p < passes; ++p) {
+    const auto t0 = std::chrono::steady_clock::now();
+    run.probs = model.PredictProba(data);
+    const double dt = std::chrono::duration_cast<
+                          std::chrono::duration<double>>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count();
+    const double rate =
+        dt > 0 ? static_cast<double>(data.num_rows()) / dt : 0.0;
+    if (rate > run.rows_per_sec) run.rows_per_sec = rate;
+  }
+  return run;
+}
+
+bool SameBytes(const std::vector<double>& a, const std::vector<double>& b) {
+  return a.size() == b.size() &&
+         (a.empty() ||
+          std::memcmp(a.data(), b.data(), a.size() * sizeof(double)) == 0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const long rows = FlagValue(argc, argv, "--rows", 200'000);
+  const int passes =
+      static_cast<int>(FlagValue(argc, argv, "--passes", 3));
+  const long train_rows = FlagValue(argc, argv, "--train-rows", 11'000);
+  const std::string out_path =
+      StringFlag(argc, argv, "--out", "BENCH_predict.json");
+
+  // Span counts in the report need tracing on regardless of SPE_OBS.
+  spe::obs::SetEnabled(true);
+
+  spe::Rng rng(42);
+  spe::CheckerboardConfig train_config;
+  train_config.num_minority = static_cast<std::size_t>(train_rows) / 11;
+  train_config.num_majority =
+      static_cast<std::size_t>(train_rows) - train_config.num_minority;
+  const spe::Dataset train = spe::MakeCheckerboard(train_config, rng);
+
+  spe::CheckerboardConfig score_config;
+  score_config.num_minority = static_cast<std::size_t>(rows) / 11;
+  score_config.num_majority =
+      static_cast<std::size_t>(rows) - score_config.num_minority;
+  const spe::Dataset data = spe::MakeCheckerboard(score_config, rng);
+
+  // The workloads the kernel is built for: the paper's SPE10 forest, a
+  // wide bagged forest, and boosted members inside an SPE vote.
+  std::vector<std::pair<std::string, std::unique_ptr<spe::Classifier>>>
+      workloads;
+  {
+    spe::SelfPacedEnsembleConfig config;
+    config.n_estimators = 10;
+    spe::DecisionTreeConfig tree;
+    tree.max_depth = 10;
+    workloads.emplace_back(
+        "spe10", std::make_unique<spe::SelfPacedEnsemble>(
+                     config, std::make_unique<spe::DecisionTree>(tree)));
+  }
+  {
+    spe::RandomForestConfig config;
+    config.n_estimators = 100;
+    workloads.emplace_back("rf100",
+                           std::make_unique<spe::RandomForest>(config));
+  }
+  {
+    spe::SelfPacedEnsembleConfig config;
+    config.n_estimators = 5;
+    spe::GbdtConfig gbdt;
+    gbdt.boost_rounds = 10;
+    workloads.emplace_back(
+        "spe5_gbdt10", std::make_unique<spe::SelfPacedEnsemble>(
+                           config, std::make_unique<spe::Gbdt>(gbdt)));
+  }
+
+  const std::size_t default_threads = spe::NumThreads();
+  bool all_identical = true;
+  std::string json = "{\"bench\":\"predict_throughput\",\"rows\":" +
+                     std::to_string(data.num_rows()) +
+                     ",\"passes\":" + std::to_string(passes) +
+                     ",\"threads_n\":" + std::to_string(default_threads) +
+                     ",\"workloads\":[";
+  for (std::size_t w = 0; w < workloads.size(); ++w) {
+    const std::string& name = workloads[w].first;
+    spe::Classifier& model = *workloads[w].second;
+    std::fprintf(stderr, "training %s on %s\n", name.c_str(),
+                 train.Summary().c_str());
+    model.Fit(train);
+
+    std::fprintf(stderr, "scoring %zu rows x %d passes (%s)\n",
+                 data.num_rows(), passes, name.c_str());
+    spe::SetNumThreads(1);
+    spe::kernels::SetFlatKernelEnabled(false);
+    const Run ref_1t = Measure(model, data, passes);
+    spe::kernels::SetFlatKernelEnabled(true);
+    const Run flat_1t = Measure(model, data, passes);
+    const char* kernel = spe::kernels::ActiveKernel(model);
+    spe::SetNumThreads(0);  // SPE_THREADS / hardware default
+    spe::kernels::SetFlatKernelEnabled(false);
+    const Run ref_nt = Measure(model, data, passes);
+    spe::kernels::SetFlatKernelEnabled(true);
+    const Run flat_nt = Measure(model, data, passes);
+
+    // Everything must match the single-threaded reference bytes: the
+    // kernel and the thread count are both pure speed knobs.
+    const bool identical = SameBytes(ref_1t.probs, flat_1t.probs) &&
+                           SameBytes(ref_1t.probs, ref_nt.probs) &&
+                           SameBytes(ref_1t.probs, flat_nt.probs);
+    all_identical = all_identical && identical;
+    const double speedup_1t = ref_1t.rows_per_sec > 0
+                                  ? flat_1t.rows_per_sec / ref_1t.rows_per_sec
+                                  : 0.0;
+    char buf[512];
+    std::snprintf(
+        buf, sizeof(buf),
+        "%s{\"name\":\"%s\",\"kernel\":\"%s\","
+        "\"reference_rows_per_sec_1t\":%.0f,\"flat_rows_per_sec_1t\":%.0f,"
+        "\"reference_rows_per_sec_nt\":%.0f,\"flat_rows_per_sec_nt\":%.0f,"
+        "\"speedup_1t\":%.2f,\"identical\":%s}",
+        w == 0 ? "" : ",", name.c_str(), kernel, ref_1t.rows_per_sec,
+        flat_1t.rows_per_sec, ref_nt.rows_per_sec, flat_nt.rows_per_sec,
+        speedup_1t, identical ? "true" : "false");
+    json += buf;
+    std::fprintf(stderr,
+                 "%s: ref %.0f rows/s, flat %.0f rows/s (%.2fx), %s\n",
+                 name.c_str(), ref_1t.rows_per_sec, flat_1t.rows_per_sec,
+                 speedup_1t, identical ? "identical" : "MISMATCH");
+  }
+  json += "],\"identical\":";
+  json += all_identical ? "true" : "false";
+  json += ",\"spans\":" + spe::obs::SpanSummariesJson() + "}";
+  std::printf("%s\n", json.c_str());
+  if (std::FILE* f = std::fopen(out_path.c_str(), "w")) {
+    std::fprintf(f, "%s\n", json.c_str());
+    std::fclose(f);
+  } else {
+    std::fprintf(stderr, "could not write %s\n", out_path.c_str());
+    return 1;
+  }
+  return all_identical ? 0 : 1;
+}

@@ -151,7 +151,8 @@ int main(int argc, char** argv) {
   s.rows_per_sec = throughput;
   s.elapsed_s = wall;
   std::string json = spe::ToJson(s);
-  json.insert(1, "\"bench\":\"serve_throughput\",\"failures\":" +
+  json.insert(1, "\"bench\":\"serve_throughput\",\"kernel\":\"" +
+                     std::string(scorer.kernel()) + "\",\"failures\":" +
                      std::to_string(failures.load()) + ",\"spans\":" +
                      spe::obs::SpanSummariesJson() + ",");
   std::printf("%s\n", json.c_str());

@@ -34,6 +34,7 @@
 #include "spe/classifiers/random_forest.h"
 #include "spe/common/parallel.h"
 #include "spe/core/self_paced_ensemble.h"
+#include "spe/kernels/flat_forest.h"
 #include "spe/obs/metrics.h"
 #include "spe/obs/trace.h"
 #include "spe/data/synthetic.h"
@@ -67,6 +68,7 @@ struct RunResult {
   double score_s = 0.0;
   std::vector<double> probs;  // batch predictions on the score set
   std::string artifact;       // SaveClassifier text
+  const char* kernel = "reference";  // inference path PredictProba used
 };
 
 // Fits a fresh model, times fit + one batch PredictProba over `score`,
@@ -82,6 +84,7 @@ RunResult RunOnce(MakeModel&& make_model, const spe::Dataset& train,
   const auto score_start = std::chrono::steady_clock::now();
   result.probs = model->PredictProba(score);
   result.score_s = Seconds(score_start);
+  result.kernel = spe::kernels::ActiveKernel(*model);
   std::ostringstream os;
   spe::SaveClassifier(*model, os);
   result.artifact = os.str();
@@ -185,6 +188,7 @@ int main(int argc, char** argv) {
                  parallel.score_s > 0 ? serial.score_s / parallel.score_s : 0.0,
                  identical ? "yes" : "NO");
     json << (first ? "" : ",") << "{\"name\":\"" << w.name << "\""
+         << ",\"kernel\":\"" << parallel.kernel << "\""
          << ",\"fit_rows_per_sec_1t\":"
          << (serial.fit_s > 0 ? train_rows / serial.fit_s : 0.0)
          << ",\"fit_rows_per_sec_nt\":"

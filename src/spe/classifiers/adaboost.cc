@@ -104,6 +104,13 @@ std::vector<double> AdaBoost::PredictProba(const Dataset& data) const {
   return score;
 }
 
+void AdaBoost::AccumulateProbaInto(const Dataset& data,
+                                   std::span<double> acc) const {
+  // PredictProba is a staged vote reduction, not a PredictRow loop;
+  // keep that path so the accumulated bits match it.
+  AccumulateViaPredictProba(data, acc);
+}
+
 std::unique_ptr<AdaBoost> AdaBoost::FromTrainedStages(
     const AdaBoostConfig& config,
     std::vector<std::unique_ptr<Classifier>> stages) {

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "spe/classifiers/classifier.h"
+#include "spe/kernels/program.h"
 
 namespace spe {
 
@@ -19,7 +20,9 @@ struct BaggingConfig {
 
 /// Bootstrap aggregating (Breiman, 1996): each member trains on a
 /// bootstrap resample and predictions are averaged probabilities.
-class Bagging final : public Classifier {
+class Bagging final : public Classifier,
+                      public kernels::FlatCompilable,
+                      public kernels::FlatScorable {
  public:
   explicit Bagging(const BaggingConfig& config = {});
   /// Bags clones of `base_prototype` (default: depth-10 decision tree).
@@ -28,9 +31,15 @@ class Bagging final : public Classifier {
   void Fit(const Dataset& train) override;
   double PredictRow(std::span<const double> x) const override;
   std::vector<double> PredictProba(const Dataset& data) const override;
+  void AccumulateProbaInto(const Dataset& data,
+                           std::span<double> acc) const override;
   std::unique_ptr<Classifier> Clone() const override;
   void Reseed(std::uint64_t seed) override { config_.seed = seed; }
   std::string Name() const override;
+
+  bool LowerToFlat(kernels::FlatProgram& program,
+                   kernels::MemberOp& op) const override;
+  const kernels::FlatForest* flat_kernel() const override;
 
   std::size_t NumMembers() const { return ensemble_.size(); }
 

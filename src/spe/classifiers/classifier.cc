@@ -1,7 +1,10 @@
 #include "spe/classifiers/classifier.h"
 
+#include <mutex>
+
 #include "spe/common/check.h"
 #include "spe/common/parallel.h"
+#include "spe/kernels/flat_forest.h"
 
 namespace spe {
 namespace {
@@ -12,6 +15,19 @@ namespace {
 constexpr std::size_t kScoreGrain = 256;
 
 }  // namespace
+
+namespace internal {
+
+// Lazily-compiled flat-inference program for a VotingEnsemble. Held
+// behind a unique_ptr so VotingEnsemble stays movable (the mutex is
+// not); a moved-from ensemble simply has no cache until the next Add.
+struct FlatKernelCache {
+  std::mutex mu;
+  bool attempted = false;  // guarded by mu; avoids re-failing compiles
+  std::unique_ptr<const kernels::FlatForest> forest;  // guarded by mu
+};
+
+}  // namespace internal
 
 Classifier::~Classifier() = default;
 
@@ -29,13 +45,66 @@ std::vector<double> Classifier::PredictProba(const Dataset& data) const {
   return out;
 }
 
+void Classifier::AccumulateProbaInto(const Dataset& data,
+                                     std::span<double> acc) const {
+  SPE_CHECK_EQ(acc.size(), data.num_rows());
+  // Fused form of PredictProba-then-add: each element receives exactly
+  // one addition of the same PredictRow value the reference computed
+  // into a temporary, so the accumulated bits are identical and the
+  // per-member vector is gone.
+  ParallelForGrain(0, data.num_rows(), kScoreGrain,
+                   [&](std::size_t i) { acc[i] += PredictRow(data.Row(i)); });
+}
+
+void Classifier::AccumulateViaPredictProba(const Dataset& data,
+                                           std::span<double> acc) const {
+  SPE_CHECK_EQ(acc.size(), data.num_rows());
+  const std::vector<double> p = PredictProba(data);
+  for (std::size_t i = 0; i < p.size(); ++i) acc[i] += p[i];
+}
+
+VotingEnsemble::VotingEnsemble()
+    : flat_cache_(std::make_unique<internal::FlatKernelCache>()) {}
+
+VotingEnsemble::~VotingEnsemble() = default;
+VotingEnsemble::VotingEnsemble(VotingEnsemble&& other) noexcept = default;
+VotingEnsemble& VotingEnsemble::operator=(VotingEnsemble&& other) noexcept =
+    default;
+
 void VotingEnsemble::Add(std::unique_ptr<Classifier> member) {
   SPE_CHECK(member != nullptr);
   members_.push_back(std::move(member));
+  InvalidateFlatKernel();
 }
 
 void VotingEnsemble::Truncate(std::size_t size) {
-  if (size < members_.size()) members_.resize(size);
+  if (size < members_.size()) {
+    members_.resize(size);
+    InvalidateFlatKernel();
+  }
+}
+
+void VotingEnsemble::InvalidateFlatKernel() {
+  if (flat_cache_ == nullptr) {  // moved-from ensemble being reused
+    flat_cache_ = std::make_unique<internal::FlatKernelCache>();
+    return;
+  }
+  const std::lock_guard<std::mutex> lock(flat_cache_->mu);
+  flat_cache_->attempted = false;
+  flat_cache_->forest.reset();
+}
+
+const kernels::FlatForest* VotingEnsemble::flat_kernel() const {
+  if (!kernels::FlatKernelEnabled() || flat_cache_ == nullptr ||
+      members_.empty()) {
+    return nullptr;
+  }
+  const std::lock_guard<std::mutex> lock(flat_cache_->mu);
+  if (!flat_cache_->attempted) {
+    flat_cache_->attempted = true;
+    flat_cache_->forest = kernels::FlatForest::Compile(*this);
+  }
+  return flat_cache_->forest.get();
 }
 
 std::vector<double> VotingEnsemble::PredictProba(const Dataset& data) const {
@@ -48,13 +117,21 @@ std::vector<double> VotingEnsemble::PredictProbaPrefix(const Dataset& data,
   SPE_CHECK_GT(k, 0u);
   const std::size_t n = k < members_.size() ? k : members_.size();
   std::vector<double> sum(data.num_rows(), 0.0);
+  // Fast path: every member lowered into the flat kernel, which
+  // replays the reduction below — members in index order, one final
+  // multiply by 1/n — with blocked SoA tree walks instead of per-row
+  // pointer chasing. Bits are identical either way.
+  if (const kernels::FlatForest* flat = flat_kernel()) {
+    flat->PredictPrefixInto(data, n, sum);
+    return sum;
+  }
   // Determinism contract: the reduction visits members in index order,
   // so each element accumulates contributions in one fixed sequence and
   // the float result is bit-identical for any thread count. Parallelism
-  // lives inside each member's row-chunked PredictProba.
+  // lives inside each member's row-chunked accumulation. Members add
+  // directly into `sum` — one allocation per batch, not per member.
   for (std::size_t m = 0; m < n; ++m) {
-    const std::vector<double> p = members_[m]->PredictProba(data);
-    for (std::size_t i = 0; i < sum.size(); ++i) sum[i] += p[i];
+    members_[m]->AccumulateProbaInto(data, sum);
   }
   const double inv = 1.0 / static_cast<double>(n);
   for (double& v : sum) v *= inv;

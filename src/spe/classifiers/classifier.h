@@ -11,6 +11,14 @@
 
 namespace spe {
 
+namespace kernels {
+class FlatForest;
+}
+
+namespace internal {
+struct FlatKernelCache;
+}
+
 /// Abstract binary probabilistic classifier.
 ///
 /// This is the "canonical classifier" abstraction of the paper: anything
@@ -42,6 +50,18 @@ class Classifier {
   /// with cheaper batch paths override it.
   virtual std::vector<double> PredictProba(const Dataset& data) const;
 
+  /// Adds this model's batch probabilities element-wise into `acc`
+  /// (acc[i] += p[i], acc.size() == data.num_rows()). This is how
+  /// VotingEnsemble reduces members without materializing a per-member
+  /// probability vector: the default streams PredictRow straight into
+  /// the accumulator, which is the fused form of the reference
+  /// PredictProba-then-add and bit-identical to it. Any class that
+  /// overrides PredictProba with a different batch computation MUST
+  /// also override this (typically via AccumulateViaPredictProba) so
+  /// the accumulated bits keep matching its PredictProba.
+  virtual void AccumulateProbaInto(const Dataset& data,
+                                   std::span<double> acc) const;
+
   /// Fresh untrained copy with identical configuration.
   virtual std::unique_ptr<Classifier> Clone() const = 0;
 
@@ -53,6 +73,13 @@ class Classifier {
 
   /// Short name for tables/logs, e.g. "DT", "GBDT10".
   virtual std::string Name() const = 0;
+
+ protected:
+  /// AccumulateProbaInto implementation for classes with a custom
+  /// PredictProba: scores through the override (one temporary, exactly
+  /// the reference arithmetic) and adds element-wise.
+  void AccumulateViaPredictProba(const Dataset& data,
+                                 std::span<double> acc) const;
 };
 
 /// Averages the probability outputs of an arbitrary set of trained
@@ -60,7 +87,10 @@ class Classifier {
 /// SPE (Algorithm 1 line 12) and the bagging-style baselines.
 class VotingEnsemble {
  public:
-  VotingEnsemble() = default;
+  VotingEnsemble();
+  ~VotingEnsemble();
+  VotingEnsemble(VotingEnsemble&& other) noexcept;
+  VotingEnsemble& operator=(VotingEnsemble&& other) noexcept;
 
   void Add(std::unique_ptr<Classifier> member);
   /// Drops members past the first `size` (prefix selection, e.g. after
@@ -85,8 +115,19 @@ class VotingEnsemble {
   /// Mean member probability for a single row.
   double PredictRow(std::span<const double> x) const;
 
+  /// The flat-inference program compiled from the current member list
+  /// (see spe/kernels/flat_forest.h), or nullptr when any member cannot
+  /// lower (non-tree members) or the kernel is disabled. Compiles
+  /// lazily on first use and caches until the member list changes;
+  /// thread-safe, so concurrent serve workers share one compile.
+  const kernels::FlatForest* flat_kernel() const;
+
  private:
+  /// Drops any compiled program; called whenever members_ changes.
+  void InvalidateFlatKernel();
+
   std::vector<std::unique_ptr<Classifier>> members_;
+  mutable std::unique_ptr<internal::FlatKernelCache> flat_cache_;
 };
 
 /// Implemented by models whose hypothesis is an average over ordered

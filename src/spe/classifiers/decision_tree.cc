@@ -34,6 +34,22 @@ struct SplitCandidate {
 
 }  // namespace
 
+// Split-finding scratch, allocated once per Fit and reused by every
+// node (only the first `count` entries are live at a node; the sort
+// runs on exactly that prefix, so reuse cannot change which split
+// wins). Hoisting this out of Build removes an allocation plus a full
+// re-reserve per node, which dominated deep-tree fits.
+struct DecisionTree::BuildScratch {
+  // (value, weight, label) triples sorted per candidate feature.
+  struct Entry {
+    double value;
+    double weight;
+    int label;
+  };
+  std::vector<Entry> entries;
+  std::vector<int> features;  // candidate features for the current node
+};
+
 DecisionTree::DecisionTree(const DecisionTreeConfig& config) : config_(config) {}
 
 void DecisionTree::Fit(const Dataset& train) { FitWeighted(train, {}); }
@@ -53,14 +69,16 @@ void DecisionTree::FitWeighted(const Dataset& train,
   std::vector<std::size_t> indices(train.num_rows());
   std::iota(indices.begin(), indices.end(), std::size_t{0});
   Rng rng(config_.seed);
-  Build(train, w, indices, 0, indices.size(), /*depth=*/0, rng);
+  BuildScratch scratch;
+  scratch.entries.resize(train.num_rows());
+  Build(train, w, indices, 0, indices.size(), /*depth=*/0, scratch, rng);
 }
 
 std::int32_t DecisionTree::Build(const Dataset& train,
                                  const std::vector<double>& weights,
                                  std::vector<std::size_t>& indices,
                                  std::size_t begin, std::size_t end, int depth,
-                                 Rng& rng) {
+                                 BuildScratch& scratch, Rng& rng) {
   double total = 0.0;
   double positive = 0.0;
   for (std::size_t i = begin; i < end; ++i) {
@@ -83,11 +101,12 @@ std::int32_t DecisionTree::Build(const Dataset& train,
   }
 
   // Choose which features to evaluate at this node.
-  std::vector<int> features;
+  std::vector<int>& features = scratch.features;
+  features.clear();
   const int d = static_cast<int>(train.num_features());
   if (config_.max_features == 0 ||
       config_.max_features >= static_cast<std::size_t>(d)) {
-    features.resize(d);
+    features.resize(static_cast<std::size_t>(d));
     std::iota(features.begin(), features.end(), 0);
   } else {
     for (std::size_t idx :
@@ -97,13 +116,9 @@ std::int32_t DecisionTree::Build(const Dataset& train,
     }
   }
 
-  // Scratch: (value, weight, label) triples sorted per feature.
-  struct Entry {
-    double value;
-    double weight;
-    int label;
-  };
-  std::vector<Entry> entries(count);
+  // Only the first `count` scratch entries are live at this node.
+  using Entry = BuildScratch::Entry;
+  std::vector<Entry>& entries = scratch.entries;
 
   SplitCandidate best;
   for (int feature : features) {
@@ -112,7 +127,8 @@ std::int32_t DecisionTree::Build(const Dataset& train,
       entries[i] = Entry{train.At(row, static_cast<std::size_t>(feature)),
                          weights[row], train.Label(row)};
     }
-    std::sort(entries.begin(), entries.end(),
+    std::sort(entries.begin(),
+              entries.begin() + static_cast<std::ptrdiff_t>(count),
               [](const Entry& a, const Entry& b) { return a.value < b.value; });
 
     double left_total = 0.0;
@@ -164,8 +180,10 @@ std::int32_t DecisionTree::Build(const Dataset& train,
   // Reserve our slot before recursing (children get later indices).
   nodes_.emplace_back();
   const auto self = static_cast<std::int32_t>(nodes_.size() - 1);
-  const std::int32_t left = Build(train, weights, indices, begin, mid, depth + 1, rng);
-  const std::int32_t right = Build(train, weights, indices, mid, end, depth + 1, rng);
+  const std::int32_t left =
+      Build(train, weights, indices, begin, mid, depth + 1, scratch, rng);
+  const std::int32_t right =
+      Build(train, weights, indices, mid, end, depth + 1, scratch, rng);
   nodes_[self].feature = best.feature;
   nodes_[self].threshold = best.threshold;
   nodes_[self].left = left;
@@ -204,6 +222,20 @@ int DecisionTree::Depth() const {
 
 std::unique_ptr<Classifier> DecisionTree::Clone() const {
   return std::make_unique<DecisionTree>(config_);
+}
+
+bool DecisionTree::LowerToFlat(kernels::FlatProgram& program,
+                               kernels::MemberOp& op) const {
+  if (nodes_.empty()) return false;
+  kernels::FlatTreeBuilder builder(program);
+  for (const Node& n : nodes_) {
+    builder.AddNode(n.feature, n.threshold, n.left, n.right, n.value);
+  }
+  const std::int32_t tree = builder.Finish();
+  op.kind = kernels::MemberOp::Kind::kTree;
+  op.tree_begin = tree;
+  op.tree_end = tree + 1;
+  return true;
 }
 
 std::vector<double> DecisionTree::FeatureImportances() const {

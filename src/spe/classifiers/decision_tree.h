@@ -9,6 +9,7 @@
 
 #include "spe/classifiers/classifier.h"
 #include "spe/common/rng.h"
+#include "spe/kernels/program.h"
 
 namespace spe {
 
@@ -37,7 +38,7 @@ struct DecisionTreeConfig {
 /// same `<= threshold` rule as numerical ones (ordinal treatment) — the
 /// standard single-machine simplification, also what LightGBM does when
 /// categorical support is off.
-class DecisionTree final : public Classifier {
+class DecisionTree final : public Classifier, public kernels::FlatCompilable {
  public:
   explicit DecisionTree(const DecisionTreeConfig& config = {});
 
@@ -64,6 +65,12 @@ class DecisionTree final : public Classifier {
   /// tree is a single leaf). Requires a fitted model.
   std::vector<double> FeatureImportances() const;
 
+  /// Lowers the fitted tree into a flat-inference program (false when
+  /// unfitted). The node layout maps 1:1, so the kernel's walk is the
+  /// same comparison sequence as PredictRow.
+  bool LowerToFlat(kernels::FlatProgram& program,
+                   kernels::MemberOp& op) const override;
+
  private:
   struct Node {
     // Internal node when feature >= 0, leaf otherwise.
@@ -74,9 +81,14 @@ class DecisionTree final : public Classifier {
     double value = 0.0;  // positive-class probability at a leaf
   };
 
+  // Per-Fit reusable split-finding buffers (defined in the .cc); Build
+  // used to allocate these per node, which dominated deep-tree fits.
+  struct BuildScratch;
+
   std::int32_t Build(const Dataset& train, const std::vector<double>& weights,
                      std::vector<std::size_t>& indices, std::size_t begin,
-                     std::size_t end, int depth, Rng& rng);
+                     std::size_t end, int depth, BuildScratch& scratch,
+                     Rng& rng);
 
   DecisionTreeConfig config_;
   std::vector<Node> nodes_;

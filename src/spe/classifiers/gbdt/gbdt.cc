@@ -160,6 +160,18 @@ std::unique_ptr<Classifier> Gbdt::Clone() const {
   return std::make_unique<Gbdt>(config_);
 }
 
+bool Gbdt::LowerToFlat(kernels::FlatProgram& program,
+                       kernels::MemberOp& op) const {
+  if (trees_.empty()) return false;
+  op.kind = kernels::MemberOp::Kind::kBoostLogit;
+  op.tree_begin = static_cast<std::int32_t>(program.trees.size());
+  for (const auto& tree : trees_) tree.LowerToFlat(program);
+  op.tree_end = static_cast<std::int32_t>(program.trees.size());
+  op.base_score = base_score_;
+  op.learning_rate = config_.learning_rate;
+  return true;
+}
+
 std::vector<double> Gbdt::FeatureImportances() const {
   SPE_CHECK(!trees_.empty()) << "importances before fit";
   SPE_CHECK(!trees_.front().split_gains().empty())

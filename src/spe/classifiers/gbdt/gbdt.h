@@ -10,6 +10,7 @@
 #include "spe/classifiers/classifier.h"
 #include "spe/classifiers/gbdt/binning.h"
 #include "spe/classifiers/gbdt/tree.h"
+#include "spe/kernels/program.h"
 
 namespace spe {
 
@@ -32,7 +33,7 @@ struct GbdtConfig {
 /// Second-order (Newton) boosting: g = p - y, h = p (1 - p).
 /// Supports per-example weights (weighted gradients), so it can serve as
 /// a base learner anywhere a tree can.
-class Gbdt final : public Classifier {
+class Gbdt final : public Classifier, public kernels::FlatCompilable {
  public:
   explicit Gbdt(const GbdtConfig& config = {});
 
@@ -63,6 +64,12 @@ class Gbdt final : public Classifier {
   /// normalized to sum to 1 (all-zero when no tree found any split).
   /// Requires a model trained in-process (not restored via LoadModel).
   std::vector<double> FeatureImportances() const;
+
+  /// Lowers the fitted booster into a kBoostLogit member op (false
+  /// when unfitted): the kernel replays base_score + lr·leaf per tree
+  /// in order, then the same sigmoid, matching PredictRow bit-for-bit.
+  bool LowerToFlat(kernels::FlatProgram& program,
+                   kernels::MemberOp& op) const override;
 
  private:
   void FitImpl(const Dataset& train, const std::vector<double>& weights,

@@ -9,6 +9,7 @@
 
 #include "spe/classifiers/gbdt/histogram.h"
 #include "spe/common/check.h"
+#include "spe/kernels/program.h"
 
 namespace spe {
 namespace gbdt {
@@ -207,6 +208,15 @@ double RegressionTree::Predict(std::span<const double> x) const {
     node = x[static_cast<std::size_t>(n.feature)] <= n.threshold ? n.left : n.right;
   }
   return nodes_[static_cast<std::size_t>(node)].value;
+}
+
+std::int32_t RegressionTree::LowerToFlat(kernels::FlatProgram& program) const {
+  SPE_CHECK(!nodes_.empty()) << "cannot lower an unfitted tree";
+  kernels::FlatTreeBuilder builder(program);
+  for (const Node& n : nodes_) {
+    builder.AddNode(n.feature, n.threshold, n.left, n.right, n.value);
+  }
+  return builder.Finish();
 }
 
 std::size_t RegressionTree::NumLeaves() const {

@@ -9,6 +9,11 @@
 #include "spe/classifiers/gbdt/binning.h"
 
 namespace spe {
+
+namespace kernels {
+struct FlatProgram;
+}
+
 namespace gbdt {
 
 /// Regularization / growth limits for one boosted tree.
@@ -48,6 +53,12 @@ class RegressionTree {
   /// Total split gain collected per feature during Fit (empty for
   /// loaded trees). Feeds Gbdt::FeatureImportances.
   const std::vector<double>& split_gains() const { return split_gains_; }
+
+  /// Appends the fitted tree to a flat-inference program (see
+  /// spe/kernels/program.h) and returns its tree index. The node layout
+  /// maps 1:1, so the kernel walk is the same comparison sequence as
+  /// Predict. Requires a fitted tree.
+  std::int32_t LowerToFlat(kernels::FlatProgram& program) const;
 
  private:
   struct Node {

@@ -84,6 +84,13 @@ std::vector<double> Knn::PredictProba(const Dataset& data) const {
   return out;
 }
 
+void Knn::AccumulateProbaInto(const Dataset& data,
+                              std::span<double> acc) const {
+  // PredictProba standardizes the whole batch up front; keep that path
+  // so the accumulated bits match it.
+  AccumulateViaPredictProba(data, acc);
+}
+
 std::unique_ptr<Classifier> Knn::Clone() const {
   return std::make_unique<Knn>(config_);
 }

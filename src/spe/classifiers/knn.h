@@ -35,6 +35,8 @@ class Knn final : public Classifier {
   void Fit(const Dataset& train) override;
   double PredictRow(std::span<const double> x) const override;
   std::vector<double> PredictProba(const Dataset& data) const override;
+  void AccumulateProbaInto(const Dataset& data,
+                           std::span<double> acc) const override;
   std::unique_ptr<Classifier> Clone() const override;
   std::string Name() const override { return "KNN"; }
 

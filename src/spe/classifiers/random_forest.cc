@@ -7,6 +7,7 @@
 #include "spe/common/check.h"
 #include "spe/common/parallel.h"
 #include "spe/common/rng.h"
+#include "spe/kernels/flat_forest.h"
 
 namespace spe {
 
@@ -53,6 +54,23 @@ double RandomForest::PredictRow(std::span<const double> x) const {
 
 std::vector<double> RandomForest::PredictProba(const Dataset& data) const {
   return ensemble_.PredictProba(data);
+}
+
+void RandomForest::AccumulateProbaInto(const Dataset& data,
+                                       std::span<double> acc) const {
+  // PredictProba averages the inner ensemble, so the fused default
+  // (PredictRow streaming) would change the bits; go through the batch
+  // path instead.
+  AccumulateViaPredictProba(data, acc);
+}
+
+bool RandomForest::LowerToFlat(kernels::FlatProgram& program,
+                               kernels::MemberOp& op) const {
+  return kernels::FlatForest::LowerEnsemble(ensemble_, program, op);
+}
+
+const kernels::FlatForest* RandomForest::flat_kernel() const {
+  return ensemble_.flat_kernel();
 }
 
 std::unique_ptr<Classifier> RandomForest::Clone() const {

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "spe/classifiers/classifier.h"
+#include "spe/kernels/program.h"
 
 namespace spe {
 
@@ -21,16 +22,24 @@ struct RandomForestConfig {
 
 /// Random forest: bootstrap-resampled, feature-subsampled decision trees
 /// with averaged probability votes.
-class RandomForest final : public Classifier {
+class RandomForest final : public Classifier,
+                           public kernels::FlatCompilable,
+                           public kernels::FlatScorable {
  public:
   explicit RandomForest(const RandomForestConfig& config = {});
 
   void Fit(const Dataset& train) override;
   double PredictRow(std::span<const double> x) const override;
   std::vector<double> PredictProba(const Dataset& data) const override;
+  void AccumulateProbaInto(const Dataset& data,
+                           std::span<double> acc) const override;
   std::unique_ptr<Classifier> Clone() const override;
   void Reseed(std::uint64_t seed) override { config_.seed = seed; }
   std::string Name() const override;
+
+  bool LowerToFlat(kernels::FlatProgram& program,
+                   kernels::MemberOp& op) const override;
+  const kernels::FlatForest* flat_kernel() const override;
 
   /// The trained trees (model persistence / inspection).
   const VotingEnsemble& members() const { return ensemble_; }

@@ -11,6 +11,7 @@
 #include "spe/common/parallel.h"
 #include "spe/common/rng.h"
 #include "spe/core/self_paced_sampler.h"
+#include "spe/kernels/flat_forest.h"
 #include "spe/metrics/metrics.h"
 #include "spe/obs/metrics.h"
 #include "spe/obs/trace.h"
@@ -270,6 +271,23 @@ std::vector<double> SelfPacedEnsemble::PredictProba(const Dataset& data) const {
 std::vector<double> SelfPacedEnsemble::PredictProbaPrefix(const Dataset& data,
                                                           std::size_t k) const {
   return ensemble_.PredictProbaPrefix(data, k);
+}
+
+void SelfPacedEnsemble::AccumulateProbaInto(const Dataset& data,
+                                            std::span<double> acc) const {
+  // PredictProba averages the inner ensemble, so the fused default
+  // (PredictRow streaming) would change the bits; go through the batch
+  // path instead.
+  AccumulateViaPredictProba(data, acc);
+}
+
+bool SelfPacedEnsemble::LowerToFlat(kernels::FlatProgram& program,
+                                    kernels::MemberOp& op) const {
+  return kernels::FlatForest::LowerEnsemble(ensemble_, program, op);
+}
+
+const kernels::FlatForest* SelfPacedEnsemble::flat_kernel() const {
+  return ensemble_.flat_kernel();
 }
 
 std::unique_ptr<Classifier> SelfPacedEnsemble::Clone() const {

@@ -9,6 +9,7 @@
 #include "spe/classifiers/classifier.h"
 #include "spe/classifiers/training_observer.h"
 #include "spe/core/hardness.h"
+#include "spe/kernels/program.h"
 
 namespace spe {
 
@@ -53,7 +54,10 @@ struct SelfPacedEnsembleConfig {
 /// Works with any base classifier (KNN, DT, MLP, SVM, boosted trees, ...)
 /// because hardness is defined w.r.t. the model being built — no distance
 /// metric is ever needed.
-class SelfPacedEnsemble final : public Classifier, public PrefixVoter {
+class SelfPacedEnsemble final : public Classifier,
+                                public PrefixVoter,
+                                public kernels::FlatCompilable,
+                                public kernels::FlatScorable {
  public:
   /// Default base model: a depth-10 decision tree.
   explicit SelfPacedEnsemble(const SelfPacedEnsembleConfig& config = {});
@@ -73,6 +77,8 @@ class SelfPacedEnsemble final : public Classifier, public PrefixVoter {
 
   double PredictRow(std::span<const double> x) const override;
   std::vector<double> PredictProba(const Dataset& data) const override;
+  void AccumulateProbaInto(const Dataset& data,
+                           std::span<double> acc) const override;
 
   /// PrefixVoter: score with only the first min(k, n) members — the
   /// serving layer's overload-degradation knob (the prefix average is
@@ -80,6 +86,10 @@ class SelfPacedEnsemble final : public Classifier, public PrefixVoter {
   std::size_t NumPrefixMembers() const override { return ensemble_.size(); }
   std::vector<double> PredictProbaPrefix(const Dataset& data,
                                          std::size_t k) const override;
+
+  bool LowerToFlat(kernels::FlatProgram& program,
+                   kernels::MemberOp& op) const override;
+  const kernels::FlatForest* flat_kernel() const override;
 
   std::unique_ptr<Classifier> Clone() const override;
   void Reseed(std::uint64_t seed) override { config_.seed = seed; }

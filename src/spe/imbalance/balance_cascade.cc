@@ -8,6 +8,7 @@
 #include "spe/classifiers/decision_tree.h"
 #include "spe/common/check.h"
 #include "spe/common/rng.h"
+#include "spe/kernels/flat_forest.h"
 
 namespace spe {
 
@@ -96,6 +97,23 @@ double BalanceCascade::PredictRow(std::span<const double> x) const {
 
 std::vector<double> BalanceCascade::PredictProba(const Dataset& data) const {
   return ensemble_.PredictProba(data);
+}
+
+void BalanceCascade::AccumulateProbaInto(const Dataset& data,
+                                         std::span<double> acc) const {
+  // PredictProba averages the inner ensemble, so the fused default
+  // (PredictRow streaming) would change the bits; go through the batch
+  // path instead.
+  AccumulateViaPredictProba(data, acc);
+}
+
+bool BalanceCascade::LowerToFlat(kernels::FlatProgram& program,
+                                 kernels::MemberOp& op) const {
+  return kernels::FlatForest::LowerEnsemble(ensemble_, program, op);
+}
+
+const kernels::FlatForest* BalanceCascade::flat_kernel() const {
+  return ensemble_.flat_kernel();
 }
 
 std::unique_ptr<Classifier> BalanceCascade::Clone() const {

@@ -8,6 +8,7 @@
 
 #include "spe/classifiers/classifier.h"
 #include "spe/classifiers/training_observer.h"
+#include "spe/kernels/program.h"
 
 namespace spe {
 
@@ -25,7 +26,9 @@ struct BalanceCascadeConfig {
 /// This is the paper's closest prior art: §III and §VI-A.3 show how
 /// keeping *only* the hard remainder over-weights outliers in late
 /// iterations — the failure mode SPE's trivial-sample "skeleton" avoids.
-class BalanceCascade final : public Classifier {
+class BalanceCascade final : public Classifier,
+                             public kernels::FlatCompilable,
+                             public kernels::FlatScorable {
  public:
   /// Default base model: a depth-10 decision tree.
   explicit BalanceCascade(const BalanceCascadeConfig& config = {});
@@ -35,9 +38,15 @@ class BalanceCascade final : public Classifier {
   void Fit(const Dataset& train) override;
   double PredictRow(std::span<const double> x) const override;
   std::vector<double> PredictProba(const Dataset& data) const override;
+  void AccumulateProbaInto(const Dataset& data,
+                           std::span<double> acc) const override;
   std::unique_ptr<Classifier> Clone() const override;
   void Reseed(std::uint64_t seed) override { config_.seed = seed; }
   std::string Name() const override;
+
+  bool LowerToFlat(kernels::FlatProgram& program,
+                   kernels::MemberOp& op) const override;
+  const kernels::FlatForest* flat_kernel() const override;
 
   void set_iteration_callback(IterationCallback callback) {
     callback_ = std::move(callback);

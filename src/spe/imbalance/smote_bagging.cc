@@ -6,6 +6,7 @@
 #include "spe/classifiers/decision_tree.h"
 #include "spe/common/check.h"
 #include "spe/common/rng.h"
+#include "spe/kernels/flat_forest.h"
 #include "spe/sampling/smote.h"
 
 namespace spe {
@@ -89,6 +90,23 @@ double SmoteBagging::PredictRow(std::span<const double> x) const {
 
 std::vector<double> SmoteBagging::PredictProba(const Dataset& data) const {
   return ensemble_.PredictProba(data);
+}
+
+void SmoteBagging::AccumulateProbaInto(const Dataset& data,
+                                       std::span<double> acc) const {
+  // PredictProba averages the inner ensemble, so the fused default
+  // (PredictRow streaming) would change the bits; go through the batch
+  // path instead.
+  AccumulateViaPredictProba(data, acc);
+}
+
+bool SmoteBagging::LowerToFlat(kernels::FlatProgram& program,
+                               kernels::MemberOp& op) const {
+  return kernels::FlatForest::LowerEnsemble(ensemble_, program, op);
+}
+
+const kernels::FlatForest* SmoteBagging::flat_kernel() const {
+  return ensemble_.flat_kernel();
 }
 
 std::unique_ptr<Classifier> SmoteBagging::Clone() const {

@@ -8,6 +8,7 @@
 
 #include "spe/classifiers/classifier.h"
 #include "spe/classifiers/training_observer.h"
+#include "spe/kernels/program.h"
 
 namespace spe {
 
@@ -24,7 +25,9 @@ struct SmoteBaggingConfig {
 /// before topping up), which is the "each bag's sample quantity varies"
 /// of §VI-C.2 and the source of the method's enormous #Sample column in
 /// Table VI. Distance-based via SMOTE, so numerical features only.
-class SmoteBagging final : public Classifier {
+class SmoteBagging final : public Classifier,
+                           public kernels::FlatCompilable,
+                           public kernels::FlatScorable {
  public:
   /// Default base model: a depth-10 decision tree.
   explicit SmoteBagging(const SmoteBaggingConfig& config = {});
@@ -34,9 +37,15 @@ class SmoteBagging final : public Classifier {
   void Fit(const Dataset& train) override;
   double PredictRow(std::span<const double> x) const override;
   std::vector<double> PredictProba(const Dataset& data) const override;
+  void AccumulateProbaInto(const Dataset& data,
+                           std::span<double> acc) const override;
   std::unique_ptr<Classifier> Clone() const override;
   void Reseed(std::uint64_t seed) override { config_.seed = seed; }
   std::string Name() const override;
+
+  bool LowerToFlat(kernels::FlatProgram& program,
+                   kernels::MemberOp& op) const override;
+  const kernels::FlatForest* flat_kernel() const override;
 
   void set_iteration_callback(IterationCallback callback) {
     callback_ = std::move(callback);

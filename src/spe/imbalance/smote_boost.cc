@@ -98,6 +98,13 @@ std::vector<double> SmoteBoost::PredictProba(const Dataset& data) const {
   return PredictProbaStaged(data, stages_.size());
 }
 
+void SmoteBoost::AccumulateProbaInto(const Dataset& data,
+                                     std::span<double> acc) const {
+  // PredictProba is a staged vote reduction, not a PredictRow loop;
+  // keep that path so the accumulated bits match it.
+  AccumulateViaPredictProba(data, acc);
+}
+
 double SmoteBoost::PredictRow(std::span<const double> x) const {
   SPE_CHECK(!stages_.empty()) << "predict before fit";
   double score = 0.0;

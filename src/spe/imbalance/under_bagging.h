@@ -8,6 +8,7 @@
 
 #include "spe/classifiers/classifier.h"
 #include "spe/classifiers/training_observer.h"
+#include "spe/kernels/program.h"
 
 namespace spe {
 
@@ -20,7 +21,9 @@ struct UnderBaggingConfig {
 /// independently drawn balanced subset (all minority + |P| random
 /// majority) and the ensemble averages probabilities. EasyEnsemble is
 /// exactly this with an AdaBoost base (§VI-C.2 of the paper).
-class UnderBagging : public Classifier {
+class UnderBagging : public Classifier,
+                     public kernels::FlatCompilable,
+                     public kernels::FlatScorable {
  public:
   /// Default base model: a depth-10 decision tree.
   explicit UnderBagging(const UnderBaggingConfig& config = {});
@@ -30,9 +33,15 @@ class UnderBagging : public Classifier {
   void Fit(const Dataset& train) override;
   double PredictRow(std::span<const double> x) const override;
   std::vector<double> PredictProba(const Dataset& data) const override;
+  void AccumulateProbaInto(const Dataset& data,
+                           std::span<double> acc) const override;
   std::unique_ptr<Classifier> Clone() const override;
   void Reseed(std::uint64_t seed) override { config_.seed = seed; }
   std::string Name() const override;
+
+  bool LowerToFlat(kernels::FlatProgram& program,
+                   kernels::MemberOp& op) const override;
+  const kernels::FlatForest* flat_kernel() const override;
 
   void set_iteration_callback(IterationCallback callback) {
     callback_ = std::move(callback);

@@ -22,6 +22,7 @@
 #include "spe/common/fault.h"
 #include "spe/core/self_paced_ensemble.h"
 #include "spe/imbalance/balance_cascade.h"
+#include "spe/kernels/flat_forest.h"
 #include "spe/imbalance/smote_bagging.h"
 #include "spe/imbalance/under_bagging.h"
 
@@ -62,6 +63,17 @@ VotingEnsemble LoadEnsembleMembers(std::istream& is) {
   return members;
 }
 
+// Compile-on-load: ActiveKernel triggers the lazy flat-inference
+// compile, so a serving process pays it at startup rather than on the
+// first scored batch. Models that cannot lower (non-tree members)
+// simply stay on the reference path.
+ModelBundle FinishBundle(ModelBundle bundle) {
+  if (bundle.model != nullptr) {
+    (void)kernels::ActiveKernel(*bundle.model);
+  }
+  return bundle;
+}
+
 }  // namespace
 
 VotingEnsembleModel::VotingEnsembleModel(VotingEnsemble members)
@@ -85,6 +97,23 @@ std::vector<double> VotingEnsembleModel::PredictProba(const Dataset& data) const
 std::vector<double> VotingEnsembleModel::PredictProbaPrefix(
     const Dataset& data, std::size_t k) const {
   return members_.PredictProbaPrefix(data, k);
+}
+
+void VotingEnsembleModel::AccumulateProbaInto(const Dataset& data,
+                                              std::span<double> acc) const {
+  // PredictProba averages the inner ensemble, so the fused default
+  // (PredictRow streaming) would change the bits; go through the batch
+  // path instead.
+  AccumulateViaPredictProba(data, acc);
+}
+
+bool VotingEnsembleModel::LowerToFlat(kernels::FlatProgram& program,
+                                      kernels::MemberOp& op) const {
+  return kernels::FlatForest::LowerEnsemble(members_, program, op);
+}
+
+const kernels::FlatForest* VotingEnsembleModel::flat_kernel() const {
+  return members_.flat_kernel();
 }
 
 std::unique_ptr<Classifier> VotingEnsembleModel::Clone() const {
@@ -298,7 +327,7 @@ ModelBundle LoadModelBundle(std::istream& is) {
     is >> version >> tag;
     SPE_CHECK(is.good()) << "truncated model stream";
     bundle.model = LoadTagged(version, tag, is);
-    return bundle;
+    return FinishBundle(std::move(bundle));
   }
 
   int version = 0;
@@ -315,7 +344,7 @@ ModelBundle LoadModelBundle(std::istream& is) {
     is >> magic >> model_version >> tag;
     SPE_CHECK(is.good() && magic == kMagic) << "not an spe model stream";
     bundle.model = LoadTagged(model_version, tag, is);
-    return bundle;
+    return FinishBundle(std::move(bundle));
   }
   SPE_CHECK_EQ(version, kBundleVersion) << "unsupported bundle version";
 
@@ -354,7 +383,7 @@ ModelBundle LoadModelBundle(std::istream& is) {
   payload_is >> magic >> model_version >> tag;
   SPE_CHECK(payload_is.good() && magic == kMagic) << "not an spe model stream";
   bundle.model = LoadTagged(model_version, tag, payload_is);
-  return bundle;
+  return FinishBundle(std::move(bundle));
 }
 
 ModelBundle LoadModelBundleFromFile(const std::string& path) {

@@ -6,6 +6,7 @@
 #include <string>
 
 #include "spe/classifiers/classifier.h"
+#include "spe/kernels/program.h"
 
 namespace spe {
 
@@ -15,18 +16,27 @@ namespace spe {
 /// abort — retraining requires the original trainer, not the artifact.
 /// Supports prefix scoring (PrefixVoter), so a served artifact keeps the
 /// ensemble-truncation degradation knob of the live trainer.
-class VotingEnsembleModel final : public Classifier, public PrefixVoter {
+class VotingEnsembleModel final : public Classifier,
+                                  public PrefixVoter,
+                                  public kernels::FlatCompilable,
+                                  public kernels::FlatScorable {
  public:
   explicit VotingEnsembleModel(VotingEnsemble members);
 
   void Fit(const Dataset& train) override;
   double PredictRow(std::span<const double> x) const override;
   std::vector<double> PredictProba(const Dataset& data) const override;
+  void AccumulateProbaInto(const Dataset& data,
+                           std::span<double> acc) const override;
   std::size_t NumPrefixMembers() const override { return members_.size(); }
   std::vector<double> PredictProbaPrefix(const Dataset& data,
                                          std::size_t k) const override;
   std::unique_ptr<Classifier> Clone() const override;
   std::string Name() const override { return "VotingEnsemble"; }
+
+  bool LowerToFlat(kernels::FlatProgram& program,
+                   kernels::MemberOp& op) const override;
+  const kernels::FlatForest* flat_kernel() const override;
 
   const VotingEnsemble& members() const { return members_; }
 

@@ -1,0 +1,227 @@
+#include "spe/kernels/flat_forest.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <utility>
+
+#include "spe/classifiers/classifier.h"
+#include "spe/common/check.h"
+#include "spe/common/parallel.h"
+#include "spe/data/dataset.h"
+#include "spe/obs/metrics.h"
+#include "spe/obs/trace.h"
+
+namespace spe {
+namespace kernels {
+namespace {
+
+// Rows walked together through each tree. 64 rows of descent state is
+// one pair of cache lines of indices plus a block of sums — small
+// enough to live in L1 across the whole member program, large enough
+// that the per-tree setup (root broadcast, SoA base pointers) amortizes
+// and the independent per-row steps keep several loads in flight.
+constexpr std::size_t kBlockRows = 64;
+
+// Blocks per worker below which the kernel stays serial. 4 blocks =
+// 256 rows, the same serial threshold as the reference row-chunked
+// scoring (kScoreGrain in classifier.cc), so serving-sized
+// micro-batches keep their latency profile on the calling thread.
+constexpr std::size_t kBlockGrain = 4;
+
+// Byte-for-byte copy of the sigmoid in gbdt.cc. The kernel must
+// reproduce Gbdt::PredictRow bit-for-bit, and that includes taking the
+// same branch (exp(-z) vs exp(z)) for the same score.
+double Sigmoid(double z) {
+  if (z >= 0.0) {
+    const double e = std::exp(-z);
+    return 1.0 / (1.0 + e);
+  }
+  const double e = std::exp(z);
+  return e / (1.0 + e);
+}
+
+bool FlatKernelDefault() {
+  const char* env = std::getenv("SPE_FLAT_KERNEL");
+  if (env == nullptr) return true;
+  return !(std::strcmp(env, "0") == 0 || std::strcmp(env, "off") == 0 ||
+           std::strcmp(env, "false") == 0);
+}
+
+std::atomic<bool>& FlatKernelFlag() {
+  static std::atomic<bool> enabled{FlatKernelDefault()};
+  return enabled;
+}
+
+// Advances `count` rows (x, row-major with `stride` doubles per row)
+// from the tree's root to their leaves, leaving leaf indices in `idx`.
+// The descent runs exactly tree.depth steps with no leaf test: leaves
+// self-loop (program.h), so a row that arrives early just stays put.
+//
+// The child select is deliberately arithmetic, not a ternary. A split
+// comparison is data-dependent and close to a coin flip, so a compare-
+// and-branch (what gcc emits for `cond ? left : right` here) eats a
+// pipeline flush every other node — that is the cost profile of the
+// reference per-row walk, and matching it would make blocking
+// pointless. Materializing the comparison with setcc and selecting via
+// mask keeps the loop branch-free; with no branches, the independent
+// per-row iterations overlap their node fetches and the walk runs at
+// load throughput instead of mispredict latency. NaN compares false
+// (unordered comisd clears the setae result) and takes the right
+// edge — same routing as the reference PredictRow.
+void WalkTree(const NodePool& pool, const TreeRef tree, const double* x,
+              std::size_t stride, std::size_t count, std::int32_t* idx) {
+  for (std::size_t r = 0; r < count; ++r) idx[r] = tree.root;
+  const std::int32_t* const feature = pool.feature.data();
+  const double* const threshold = pool.threshold.data();
+  const std::int32_t* const left = pool.left.data();
+  const std::int32_t* const right = pool.right.data();
+  for (std::int32_t d = 0; d < tree.depth; ++d) {
+    for (std::size_t r = 0; r < count; ++r) {
+      const auto n = static_cast<std::size_t>(idx[r]);
+      const double v = x[r * stride + static_cast<std::size_t>(feature[n])];
+      const auto l = static_cast<std::uint32_t>(left[n]);
+      const auto rt = static_cast<std::uint32_t>(right[n]);
+      const auto go_right = static_cast<std::uint32_t>(!(v <= threshold[n]));
+      idx[r] = static_cast<std::int32_t>(l + ((rt - l) & (0u - go_right)));
+    }
+  }
+}
+
+// One member's probability for each of `count` rows, into val[0..count).
+// Each kind replays the reference arithmetic of the model it was
+// lowered from, in the same order, so the bits match.
+void EvalMember(const FlatProgram& program, const MemberOp& op,
+                const double* x, std::size_t stride, std::size_t count,
+                double* val) {
+  std::int32_t idx[kBlockRows];
+  switch (op.kind) {
+    case MemberOp::Kind::kTree: {
+      // DecisionTree::PredictRow: the leaf value is the probability.
+      WalkTree(program.pool, program.trees[static_cast<std::size_t>(op.tree_begin)],
+               x, stride, count, idx);
+      for (std::size_t r = 0; r < count; ++r) {
+        val[r] = program.pool.value[static_cast<std::size_t>(idx[r])];
+      }
+      break;
+    }
+    case MemberOp::Kind::kBoostLogit: {
+      // Gbdt::PredictRow: score = base; score += lr * leaf per tree in
+      // order; sigmoid(score).
+      double score[kBlockRows];
+      for (std::size_t r = 0; r < count; ++r) score[r] = op.base_score;
+      for (std::int32_t t = op.tree_begin; t < op.tree_end; ++t) {
+        WalkTree(program.pool, program.trees[static_cast<std::size_t>(t)], x,
+                 stride, count, idx);
+        for (std::size_t r = 0; r < count; ++r) {
+          score[r] += op.learning_rate *
+                      program.pool.value[static_cast<std::size_t>(idx[r])];
+        }
+      }
+      for (std::size_t r = 0; r < count; ++r) val[r] = Sigmoid(score[r]);
+      break;
+    }
+    case MemberOp::Kind::kGroup: {
+      // Nested VotingEnsemble: children accumulate in index order, then
+      // one multiply by 1/n — the same reduction PredictProbaPrefix
+      // performs over all members.
+      double child[kBlockRows];
+      for (std::size_t r = 0; r < count; ++r) val[r] = 0.0;
+      for (const MemberOp& c : op.children) {
+        EvalMember(program, c, x, stride, count, child);
+        for (std::size_t r = 0; r < count; ++r) val[r] += child[r];
+      }
+      const double inv = 1.0 / static_cast<double>(op.children.size());
+      for (std::size_t r = 0; r < count; ++r) val[r] *= inv;
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+bool FlatKernelEnabled() {
+  return FlatKernelFlag().load(std::memory_order_relaxed);
+}
+
+void SetFlatKernelEnabled(bool enabled) {
+  FlatKernelFlag().store(enabled, std::memory_order_relaxed);
+}
+
+bool FlatForest::LowerEnsemble(const VotingEnsemble& ensemble,
+                               FlatProgram& program, MemberOp& op) {
+  if (ensemble.empty()) return false;
+  op.kind = MemberOp::Kind::kGroup;
+  op.children.clear();
+  op.children.reserve(ensemble.size());
+  for (std::size_t m = 0; m < ensemble.size(); ++m) {
+    const auto* compilable =
+        dynamic_cast<const FlatCompilable*>(&ensemble.member(m));
+    MemberOp child;
+    if (compilable == nullptr || !compilable->LowerToFlat(program, child)) {
+      return false;
+    }
+    op.children.push_back(std::move(child));
+  }
+  return true;
+}
+
+std::unique_ptr<const FlatForest> FlatForest::Compile(
+    const VotingEnsemble& ensemble) {
+  auto forest = std::unique_ptr<FlatForest>(new FlatForest());
+  MemberOp top;
+  if (!LowerEnsemble(ensemble, forest->program_, top)) return nullptr;
+  // The ensemble's own averaging is applied by PredictPrefixInto (it
+  // depends on the prefix length k), so the compiled program keeps the
+  // members flat rather than wrapped in the top-level group op.
+  forest->program_.members = std::move(top.children);
+  if (obs::Enabled()) {
+    auto& registry = obs::MetricsRegistry::Global();
+    registry.GetGauge("spe_kernels_compiled_trees")
+        .Set(static_cast<double>(forest->program_.trees.size()));
+    registry.GetCounter("spe_kernels_compiles_total").Add();
+  }
+  return forest;
+}
+
+void FlatForest::PredictPrefixInto(const Dataset& data, std::size_t k,
+                                   std::span<double> out) const {
+  SPE_CHECK_GT(k, 0u);
+  SPE_CHECK_EQ(out.size(), data.num_rows());
+  const std::size_t rows = data.num_rows();
+  if (rows == 0) return;
+  const std::size_t n = std::min(k, program_.members.size());
+  const obs::TraceSpan span("kernels.flat_predict");
+  const double* const x = data.Row(0).data();
+  const std::size_t stride = data.num_features();
+  const double inv = 1.0 / static_cast<double>(n);
+  const std::size_t num_blocks = (rows + kBlockRows - 1) / kBlockRows;
+  // Blocks write disjoint output ranges from identical per-row
+  // arithmetic, so chunking cannot change the result: the kernel is
+  // bit-identical for any SPE_THREADS.
+  ParallelForGrain(0, num_blocks, kBlockGrain, [&](std::size_t b) {
+    const std::size_t base = b * kBlockRows;
+    const std::size_t count = std::min(kBlockRows, rows - base);
+    double sum[kBlockRows];
+    double val[kBlockRows];
+    for (std::size_t r = 0; r < count; ++r) sum[r] = 0.0;
+    for (std::size_t m = 0; m < n; ++m) {
+      EvalMember(program_, program_.members[m], x + base * stride, stride,
+                 count, val);
+      for (std::size_t r = 0; r < count; ++r) sum[r] += val[r];
+    }
+    for (std::size_t r = 0; r < count; ++r) out[base + r] = sum[r] * inv;
+  });
+}
+
+const char* ActiveKernel(const Classifier& model) {
+  const auto* scorable = dynamic_cast<const FlatScorable*>(&model);
+  return scorable != nullptr && scorable->flat_kernel() != nullptr
+             ? "flat"
+             : "reference";
+}
+
+}  // namespace kernels
+}  // namespace spe

@@ -1,0 +1,82 @@
+#ifndef SPE_KERNELS_FLAT_FOREST_H_
+#define SPE_KERNELS_FLAT_FOREST_H_
+
+#include <cstddef>
+#include <memory>
+#include <span>
+
+#include "spe/kernels/program.h"
+
+namespace spe {
+
+class Classifier;
+class Dataset;
+class VotingEnsemble;
+
+namespace kernels {
+
+/// Process-wide kernel switch. Defaults to on; the environment variable
+/// SPE_FLAT_KERNEL=0|off|false disables it at startup (same grammar as
+/// SPE_OBS), and benches flip it at runtime to measure the reference
+/// path and the kernel in one process. When off, VotingEnsemble scores
+/// with the reference member loop — results are bit-identical either
+/// way, so this knob only changes speed.
+bool FlatKernelEnabled();
+void SetFlatKernelEnabled(bool enabled);
+
+/// A voting ensemble compiled for batch inference: every member's trees
+/// flattened into one structure-of-arrays node pool plus a member
+/// program (see spe/kernels/program.h), walked by a blocked row×tree
+/// kernel. The kernel reproduces the reference scoring loop
+/// (VotingEnsemble::PredictProbaPrefix) bit-for-bit: members accumulate
+/// in index order, GBDT members replay base + lr·leaf per tree then the
+/// same sigmoid, and NaN feature values take the right edge exactly
+/// like the reference `x <= threshold` comparison. What changes is the
+/// memory traffic: zero per-member temporaries, contiguous node
+/// storage, and ~64-row blocks whose descent steps are independent, so
+/// the CPU overlaps the tree-walk loads instead of serializing on one
+/// row's pointer chase.
+class FlatForest {
+ public:
+  /// Lowers every member of `ensemble` (discovered via FlatCompilable)
+  /// into one program. Returns nullptr when the ensemble is empty or
+  /// any member cannot lower — callers fall back to the reference loop.
+  static std::unique_ptr<const FlatForest> Compile(
+      const VotingEnsemble& ensemble);
+
+  /// Lowers `ensemble` into a kGroup member op of an enclosing program.
+  /// This is how nested tree-backed ensembles (a RandomForest member
+  /// inside an SPE forest) compile: the wrapper's FlatCompilable
+  /// delegates here. Returns false when any member cannot lower; the
+  /// program is then abandoned by the caller.
+  static bool LowerEnsemble(const VotingEnsemble& ensemble,
+                            FlatProgram& program, MemberOp& op);
+
+  /// Mean probability over the first min(k, num_members()) members for
+  /// every row of `data`, written to `out` (size must equal
+  /// data.num_rows()). Bit-identical to the reference
+  /// PredictProbaPrefix for any thread count. Requires k >= 1.
+  void PredictPrefixInto(const Dataset& data, std::size_t k,
+                         std::span<double> out) const;
+
+  std::size_t num_members() const { return program_.members.size(); }
+  std::size_t num_trees() const { return program_.trees.size(); }
+  std::size_t num_nodes() const { return program_.pool.size(); }
+
+ private:
+  FlatForest() = default;
+
+  FlatProgram program_;
+};
+
+/// "flat" or "reference": the batch-scoring path `model` takes right
+/// now. Answers via the FlatScorable capability (compiling lazily if
+/// needed); models without the capability are by definition on the
+/// reference path. Benches and the serving layer stamp this into their
+/// reports so runs are comparable.
+const char* ActiveKernel(const Classifier& model);
+
+}  // namespace kernels
+}  // namespace spe
+
+#endif  // SPE_KERNELS_FLAT_FOREST_H_

@@ -1,0 +1,58 @@
+#include "spe/kernels/program.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "spe/common/check.h"
+
+namespace spe {
+namespace kernels {
+
+FlatTreeBuilder::FlatTreeBuilder(FlatProgram& program)
+    : program_(program), base_(program.pool.size()) {}
+
+void FlatTreeBuilder::AddNode(int feature, double threshold, std::int32_t left,
+                              std::int32_t right, double value) {
+  NodePool& pool = program_.pool;
+  const auto self = static_cast<std::int32_t>(pool.size());
+  if (feature < 0) {
+    // Leaf: park descents here forever. Feature 0 / threshold 0 are
+    // read by the branch-free walk but cannot change the destination.
+    pool.feature.push_back(0);
+    pool.threshold.push_back(0.0);
+    pool.left.push_back(self);
+    pool.right.push_back(self);
+  } else {
+    pool.feature.push_back(feature);
+    pool.threshold.push_back(threshold);
+    pool.left.push_back(static_cast<std::int32_t>(base_) + left);
+    pool.right.push_back(static_cast<std::int32_t>(base_) + right);
+  }
+  pool.value.push_back(value);
+  local_.push_back(LocalNode{left, right, feature < 0});
+}
+
+std::int32_t FlatTreeBuilder::Finish() {
+  SPE_CHECK(!local_.empty()) << "flat tree with no nodes";
+  // Depth = the longest root-to-leaf path in steps; running the kernel
+  // for exactly this many steps lands every row on a leaf.
+  std::int32_t depth = 0;
+  std::vector<std::pair<std::int32_t, std::int32_t>> stack = {{0, 0}};
+  while (!stack.empty()) {
+    const auto [node, d] = stack.back();
+    stack.pop_back();
+    const LocalNode& n = local_[static_cast<std::size_t>(node)];
+    if (n.leaf) {
+      depth = std::max(depth, d);
+    } else {
+      stack.push_back({n.left, d + 1});
+      stack.push_back({n.right, d + 1});
+    }
+  }
+  const auto index = static_cast<std::int32_t>(program_.trees.size());
+  program_.trees.push_back(TreeRef{static_cast<std::int32_t>(base_), depth});
+  return index;
+}
+
+}  // namespace kernels
+}  // namespace spe

@@ -1,0 +1,132 @@
+#ifndef SPE_KERNELS_PROGRAM_H_
+#define SPE_KERNELS_PROGRAM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace spe {
+namespace kernels {
+
+/// Structure-of-arrays node pool shared by every tree of a compiled
+/// forest. One contiguous allocation per field instead of one AoS node
+/// array per tree: the predict kernel streams `feature`/`threshold`/
+/// `left`/`right` with unit-stride loads while a row block descends,
+/// and reads `value` only at the leaves.
+///
+/// Leaves are stored self-looping (left == right == own index, feature
+/// 0, threshold 0): a walk that has reached a leaf stays there under
+/// further descent steps — including for NaN inputs, which take the
+/// `right` edge exactly like the reference `x <= threshold` comparison —
+/// so the kernel can run a fixed, branch-free number of steps per tree.
+struct NodePool {
+  std::vector<std::int32_t> feature;
+  std::vector<double> threshold;
+  std::vector<std::int32_t> left;
+  std::vector<std::int32_t> right;
+  std::vector<double> value;
+
+  std::size_t size() const { return feature.size(); }
+};
+
+/// One compiled tree: its root in the pool and the number of descent
+/// steps that guarantees every input has reached (and parked on) a leaf.
+struct TreeRef {
+  std::int32_t root = 0;
+  std::int32_t depth = 0;
+};
+
+/// One ensemble member lowered to kernel form. The three kinds cover
+/// every tree-backed model in this library; anything else fails to
+/// lower and the ensemble keeps the reference scoring loop.
+struct MemberOp {
+  enum class Kind {
+    kTree,        ///< single decision tree: value = leaf value
+    kBoostLogit,  ///< GBDT: value = sigmoid(base + sum lr * leaf), tree order
+    kGroup,       ///< nested voting ensemble: value = mean of children
+  };
+
+  Kind kind = Kind::kTree;
+  std::int32_t tree_begin = 0;  ///< [tree_begin, tree_end) into FlatProgram::trees
+  std::int32_t tree_end = 0;
+  double base_score = 0.0;     ///< kBoostLogit prior log-odds
+  double learning_rate = 0.0;  ///< kBoostLogit shrinkage
+  std::vector<MemberOp> children;  ///< kGroup only
+};
+
+/// A voting ensemble lowered to one node pool plus a member program.
+/// Members are stored in ensemble index order, which is what lets the
+/// kernel honor the prefix-scoring (graceful degradation) contract: the
+/// first k members of the program are exactly the first k members of
+/// the ensemble.
+struct FlatProgram {
+  NodePool pool;
+  std::vector<TreeRef> trees;
+  std::vector<MemberOp> members;
+};
+
+/// Appends one tree to a program. Callers push nodes in their native
+/// storage order with tree-local child indices (matching the Node
+/// layout of DecisionTree / gbdt::RegressionTree, root at local index
+/// 0); the builder rewrites children to pool-global indices, converts
+/// leaves (feature < 0) to the self-looping form, and computes the
+/// guaranteed-leaf depth on Finish.
+class FlatTreeBuilder {
+ public:
+  explicit FlatTreeBuilder(FlatProgram& program);
+
+  void AddNode(int feature, double threshold, std::int32_t left,
+               std::int32_t right, double value);
+
+  /// Seals the tree and returns its index in FlatProgram::trees.
+  /// Requires at least one node.
+  std::int32_t Finish();
+
+ private:
+  struct LocalNode {
+    std::int32_t left;
+    std::int32_t right;
+    bool leaf;
+  };
+
+  FlatProgram& program_;
+  std::size_t base_;  // pool size when this tree started
+  std::vector<LocalNode> local_;
+};
+
+/// Capability interface for the flat-inference compiler, discovered via
+/// dynamic_cast exactly like PrefixVoter is by the serving layer: a
+/// fitted classifier that can lower itself into a FlatProgram member op
+/// implements it; ensembles compile when every member does and fall
+/// back to the reference loop otherwise.
+class FlatCompilable {
+ public:
+  virtual ~FlatCompilable() = default;
+
+  /// Appends this model's trees to `program` and fills `op` with the
+  /// member program that reproduces PredictProba bit-for-bit. Returns
+  /// false when the current (e.g. unfitted) state has no flat lowering;
+  /// the caller then abandons the whole program.
+  virtual bool LowerToFlat(FlatProgram& program, MemberOp& op) const = 0;
+};
+
+class FlatForest;
+
+/// Implemented by models whose batch scoring can ride a compiled
+/// FlatForest. Purely observational — the kernel dispatch itself lives
+/// inside VotingEnsemble — so the serving layer and benches can report
+/// which path a model actually takes (see kernels::ActiveKernel).
+class FlatScorable {
+ public:
+  virtual ~FlatScorable() = default;
+
+  /// The compiled program this model's batch scoring currently uses, or
+  /// nullptr when it runs the reference loop (a member failed to lower,
+  /// or the kernel is disabled). May compile lazily on first call.
+  virtual const FlatForest* flat_kernel() const = 0;
+};
+
+}  // namespace kernels
+}  // namespace spe
+
+#endif  // SPE_KERNELS_PROGRAM_H_

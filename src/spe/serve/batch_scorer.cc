@@ -6,6 +6,7 @@
 #include "spe/common/check.h"
 #include "spe/common/fault.h"
 #include "spe/common/parallel.h"
+#include "spe/kernels/flat_forest.h"
 #include "spe/obs/trace.h"
 
 namespace spe {
@@ -14,6 +15,10 @@ BatchScorer::BatchScorer(std::unique_ptr<Classifier> model,
                          std::size_t num_features, BatchScorerConfig config)
     : model_(std::move(model)),
       prefix_model_(dynamic_cast<const PrefixVoter*>(model_.get())),
+      // Resolving the kernel here also compiles the flat program (if the
+      // model supports one) before the first request, so no caller pays
+      // the compile inside its latency budget.
+      kernel_(model_ ? kernels::ActiveKernel(*model_) : "reference"),
       num_features_(num_features),
       config_(config),
       queue_(config.queue_capacity) {
@@ -44,7 +49,8 @@ BatchScorer::BatchScorer(std::unique_ptr<Classifier> model,
         out += degraded_.load(std::memory_order_relaxed) ? "1\n" : "0\n";
         out += "# TYPE spe_serve_workers gauge\nspe_serve_workers ";
         out += std::to_string(workers_.size());
-        out += '\n';
+        out += "\n# TYPE spe_serve_kernel_flat gauge\nspe_serve_kernel_flat ";
+        out += kernel_[0] == 'f' ? "1\n" : "0\n";
       });
 }
 

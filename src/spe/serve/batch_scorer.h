@@ -139,6 +139,12 @@ class BatchScorer {
   const BatchScorerConfig& config() const { return config_; }
   const ServerStats& stats() const { return stats_; }
 
+  /// "flat" or "reference": the inference kernel the wrapped model
+  /// scores batches with (kernels::ActiveKernel, resolved — and the
+  /// flat program compiled — once at construction). Exposed on the
+  /// metrics page as spe_serve_kernel_flat and stamped into bench JSON.
+  const char* kernel() const { return kernel_; }
+
  private:
   struct Request {
     std::vector<double> features;
@@ -153,6 +159,7 @@ class BatchScorer {
   /// Non-null iff the model supports ensemble-prefix scoring; required
   /// when degradation watermarks are configured.
   const PrefixVoter* const prefix_model_;
+  const char* const kernel_;  // "flat" | "reference", fixed at construction
   const std::size_t num_features_;
   const BatchScorerConfig config_;
   ServerStats stats_;
