@@ -41,6 +41,19 @@ std::string HardnessName(HardnessKind kind) {
   return "?";
 }
 
+bool HardnessKindFromName(const std::string& name, HardnessKind* kind) {
+  if (name == "AE") {
+    *kind = HardnessKind::kAbsoluteError;
+  } else if (name == "SE") {
+    *kind = HardnessKind::kSquaredError;
+  } else if (name == "CE") {
+    *kind = HardnessKind::kCrossEntropy;
+  } else {
+    return false;
+  }
+  return true;
+}
+
 std::vector<double> ComputeHardness(const HardnessFn& fn,
                                     std::span<const double> probs,
                                     std::span<const int> labels) {
@@ -101,6 +114,18 @@ HardnessBins ComputeHardnessBins(std::span<const double> hardness,
     }
   }
   return bins;
+}
+
+std::size_t HardnessBinIndex(double h, double min, double max,
+                             std::size_t num_bins) {
+  SPE_CHECK_GT(num_bins, 0u);
+  const double range = max - min;
+  if (!(range > 0.0)) return 0;  // degenerate training range: one bin
+  const double normalized = (h - min) / range;
+  if (normalized <= 0.0) return 0;  // below the training range
+  const std::size_t bin =
+      static_cast<std::size_t>(normalized * static_cast<double>(num_bins));
+  return bin >= num_bins ? num_bins - 1 : bin;  // h >= max -> top bin
 }
 
 }  // namespace spe

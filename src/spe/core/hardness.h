@@ -1,6 +1,8 @@
 #ifndef SPE_CORE_HARDNESS_H_
 #define SPE_CORE_HARDNESS_H_
 
+#include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <span>
 #include <string>
@@ -26,6 +28,10 @@ HardnessFn MakeHardness(HardnessKind kind);
 /// Short name used in Fig. 8's legend: "AE", "SE", "CE".
 std::string HardnessName(HardnessKind kind);
 
+/// Inverse of HardnessName. Returns false (leaving *kind untouched) for
+/// an unknown name — artifact headers are data, not trusted input.
+bool HardnessKindFromName(const std::string& name, HardnessKind* kind);
+
 /// Evaluates hardness for every (probability, label) pair.
 std::vector<double> ComputeHardness(const HardnessFn& fn,
                                     std::span<const double> probs,
@@ -45,6 +51,46 @@ struct HardnessBins {
 
 HardnessBins ComputeHardnessBins(std::span<const double> hardness,
                                  std::size_t num_bins);
+
+/// A frozen hardness-bin histogram: the training-time distribution of
+/// hardness over the majority set under the *final* ensemble, pinned at
+/// save time so a serving process can compare live traffic against it
+/// (spe/lifecycle/drift.h). `kind` is the HardnessName short code the
+/// live side rebuilds the hardness function from; min/max are the
+/// observed training range that fixes the bin edges (the same
+/// even-split-of-[min,max] geometry as ComputeHardnessBins, last bin
+/// closed above, out-of-range values clamped into the edge bins).
+struct HardnessHistogram {
+  std::string kind;  // "AE" | "SE" | "CE"
+  double min = 0.0;
+  double max = 0.0;
+  std::vector<std::uint64_t> counts;
+
+  bool empty() const { return counts.empty(); }
+  std::uint64_t total() const {
+    std::uint64_t t = 0;
+    for (std::uint64_t c : counts) t += c;
+    return t;
+  }
+};
+
+/// Bin index of hardness value `h` under a HardnessHistogram's geometry:
+/// ComputeHardnessBins's formula extended with clamping, so live values
+/// outside the training range land in the edge bins instead of aborting.
+std::size_t HardnessBinIndex(double h, double min, double max,
+                             std::size_t num_bins);
+
+/// Capability interface: models that carry a training-time hardness
+/// histogram (SelfPacedEnsemble after Fit; VotingEnsembleModel restored
+/// from a v3 bundle). Discovered via dynamic_cast at bundle-save time.
+class HardnessProfiled {
+ public:
+  virtual ~HardnessProfiled() = default;
+
+  /// The training-time histogram, or nullptr when none was recorded
+  /// (unfitted model, custom hardness function, legacy artifact).
+  virtual const HardnessHistogram* training_hardness() const = 0;
+};
 
 }  // namespace spe
 

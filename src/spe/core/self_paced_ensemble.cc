@@ -1,5 +1,6 @@
 #include "spe/core/self_paced_ensemble.h"
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
 #include <numbers>
@@ -93,6 +94,7 @@ void SelfPacedEnsemble::Fit(const Dataset& train) {
   SPE_CHECK(!neg.empty()) << "SPE needs at least one majority sample";
 
   ensemble_ = VotingEnsemble();
+  training_hardness_ = HardnessHistogram();
   Rng rng(config_.seed);
   const Dataset minority = train.Subset(pos);
   const Dataset majority = train.Subset(neg);
@@ -206,6 +208,41 @@ void SelfPacedEnsemble::Fit(const Dataset& train) {
       callback_(IterationInfo{i, ensemble_, subset});
     }
   }
+
+  RecordHardnessBaseline(majority);
+}
+
+void SelfPacedEnsemble::RecordHardnessBaseline(const Dataset& majority) {
+  // Freeze the drift baseline: hardness of the majority set under the
+  // ensemble exactly as it will serve (PredictProba — not the self-paced
+  // loop's prob_sum, which always includes the bootstrap model f0 even
+  // when include_bootstrap_model leaves f0 out of the final vote; a
+  // baseline binned over a different member set than the serving vote
+  // alerts on in-distribution traffic). Pure reporting — no Rng draw, so
+  // the determinism contract is untouched. Skipped for custom hardness
+  // closures: the artifact could not name them for the live side to
+  // rebuild (training_hardness() docs).
+  training_hardness_ = HardnessHistogram();
+  if (config_.custom_hardness || ensemble_.size() == 0) return;
+  const obs::TraceSpan span("spe.fit.hardness_baseline");
+  const std::vector<double> probs = PredictProba(majority);
+  const HardnessFn hardness_fn = MakeHardness(config_.hardness);
+  std::vector<double> hardness(probs.size());
+  ParallelForGrain(0, probs.size(), kUpdateGrain, [&](std::size_t m) {
+    hardness[m] = hardness_fn(probs[m], 0);
+  });
+  const HardnessBins bins = ComputeHardnessBins(hardness, config_.num_bins);
+  training_hardness_.kind = HardnessName(config_.hardness);
+  double min_h = hardness[0];
+  double max_h = hardness[0];
+  for (const double h : hardness) {
+    min_h = std::min(min_h, h);
+    max_h = std::max(max_h, h);
+  }
+  training_hardness_.min = min_h;
+  training_hardness_.max = max_h;
+  training_hardness_.counts.assign(bins.population.begin(),
+                                   bins.population.end());
 }
 
 std::size_t SelfPacedEnsemble::FitWithValidation(const Dataset& train,
@@ -257,6 +294,9 @@ std::size_t SelfPacedEnsemble::FitWithValidation(const Dataset& train,
 
   SPE_CHECK_GT(best_size, 0u);
   ensemble_.Truncate(best_size);
+  // The baseline Fit recorded covered the full ensemble; the truncated
+  // prefix is what serves, so re-freeze it against that.
+  RecordHardnessBaseline(train.Subset(train.NegativeIndices()));
   return best_size;
 }
 

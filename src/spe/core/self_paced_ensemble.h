@@ -56,6 +56,7 @@ struct SelfPacedEnsembleConfig {
 /// metric is ever needed.
 class SelfPacedEnsemble final : public Classifier,
                                 public PrefixVoter,
+                                public HardnessProfiled,
                                 public kernels::FlatCompilable,
                                 public kernels::FlatScorable {
  public:
@@ -109,11 +110,29 @@ class SelfPacedEnsemble final : public Classifier,
   /// The trained members (model persistence / inspection).
   const VotingEnsemble& members() const { return ensemble_; }
 
+  /// HardnessProfiled: the hardness-bin histogram of the majority set
+  /// under the final ensemble, recorded by Fit. This is the §V-A
+  /// statistic frozen as a drift baseline: SaveModelBundle embeds it in
+  /// v3 artifacts and the serving layer compares live-traffic hardness
+  /// bins against it (docs/lifecycle.md). Empty (nullptr) before Fit or
+  /// when a custom hardness function is set — a custom closure cannot be
+  /// named in the artifact, so the live side could not rebuild it.
+  const HardnessHistogram* training_hardness() const override {
+    return training_hardness_.empty() ? nullptr : &training_hardness_;
+  }
+
  private:
+  /// Re-bins the majority-set hardness under the current ensemble into
+  /// training_hardness_ (the drift baseline of v3 artifacts). Called at
+  /// the end of Fit and again after validation truncation, so the frozen
+  /// distribution always matches the member set that actually votes.
+  void RecordHardnessBaseline(const Dataset& majority);
+
   SelfPacedEnsembleConfig config_;
   std::unique_ptr<Classifier> base_prototype_;
   VotingEnsemble ensemble_;
   IterationCallback callback_;
+  HardnessHistogram training_hardness_;
 };
 
 }  // namespace spe

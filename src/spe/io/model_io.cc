@@ -1,5 +1,6 @@
 #include "spe/io/model_io.h"
 
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -33,9 +34,49 @@ constexpr char kMagic[] = "spe-model";
 constexpr int kFormatVersion = 1;
 constexpr char kBundleMagic[] = "spe-bundle";
 // Version 2 added "payload_bytes B crc32 HHHHHHHH" to the header so
-// loaders detect truncated / bit-flipped artifacts. Version 1 (schema
-// only) and bare spe-model streams still load, with a warning.
-constexpr int kBundleVersion = 2;
+// loaders detect truncated / bit-flipped artifacts. Version 3 added the
+// "hardness_histogram" line — the training-time drift baseline for the
+// lifecycle layer. Version 2 loads unchanged (no histogram); version 1
+// (schema only) and bare spe-model streams load with a warning.
+constexpr int kBundleVersion = 3;
+
+// "hardness_histogram K [KIND MIN MAX C0 .. C(K-1)]". Doubles print
+// with max_digits10 so a parse-and-reprint reproduces the exact bytes.
+void WriteHistogramLine(const HardnessHistogram* histogram, std::ostream& os) {
+  if (histogram == nullptr || histogram->empty()) {
+    os << "hardness_histogram 0\n";
+    return;
+  }
+  char num[40];
+  os << "hardness_histogram " << histogram->counts.size() << " "
+     << histogram->kind;
+  std::snprintf(num, sizeof(num), "%.17g", histogram->min);
+  os << " " << num;
+  std::snprintf(num, sizeof(num), "%.17g", histogram->max);
+  os << " " << num;
+  for (const std::uint64_t c : histogram->counts) os << " " << c;
+  os << "\n";
+}
+
+// Consumes the histogram line's fields (the leading "hardness_histogram"
+// keyword included). Returns false on malformed input.
+bool ReadHistogramFields(std::istream& is, HardnessHistogram* out) {
+  std::string keyword;
+  std::size_t num_bins = 0;
+  is >> keyword >> num_bins;
+  if (!is.good() || keyword != "hardness_histogram") return false;
+  if (num_bins == 0) return true;  // model carries no histogram
+  HardnessHistogram histogram;
+  is >> histogram.kind >> histogram.min >> histogram.max;
+  if (!is.good()) return false;
+  histogram.counts.resize(num_bins);
+  for (std::size_t b = 0; b < num_bins; ++b) {
+    is >> histogram.counts[b];
+    if (is.fail()) return false;
+  }
+  if (out != nullptr) *out = std::move(histogram);
+  return true;
+}
 
 void WarnLegacyArtifact(const char* kind) {
   std::fprintf(stderr,
@@ -176,8 +217,8 @@ void SaveClassifier(const Classifier& model, std::ostream& os) {
 
 namespace {
 
-/// Reads the leading magic word; when it is a bundle header (version 1
-/// or 2), consumes the header fields (reporting the width via
+/// Reads the leading magic word; when it is a bundle header (version 1,
+/// 2 or 3), consumes the header fields (reporting the width via
 /// `num_features`) and reads on to the inner model magic. Does NOT
 /// verify integrity — that is LoadModelBundle's job; this path exists
 /// for LoadClassifier callers that only want the model.
@@ -192,7 +233,8 @@ std::string ReadMagicSkippingBundle(std::istream& is,
     is >> version >> keyword >> width;
     SPE_CHECK(is.good() && keyword == "num_features")
         << "malformed bundle header";
-    if (version == kBundleVersion) {
+    if (version >= 2) {
+      SPE_CHECK_LE(version, kBundleVersion) << "unsupported bundle version";
       std::size_t payload_bytes = 0;
       std::string crc_hex;
       is >> keyword >> payload_bytes;
@@ -200,6 +242,10 @@ std::string ReadMagicSkippingBundle(std::istream& is,
           << "malformed bundle header";
       is >> keyword >> crc_hex;
       SPE_CHECK(is.good() && keyword == "crc32") << "malformed bundle header";
+      if (version >= 3) {
+        SPE_CHECK(ReadHistogramFields(is, nullptr))
+            << "malformed bundle header";
+      }
     } else {
       SPE_CHECK_EQ(version, 1) << "unsupported bundle version";
     }
@@ -273,8 +319,13 @@ std::unique_ptr<Classifier> LoadClassifierFromFile(const std::string& path) {
 }
 
 void SaveModelBundle(const Classifier& model, std::size_t num_features,
-                     std::ostream& os) {
+                     std::ostream& os, const HardnessHistogram* histogram) {
   SPE_CHECK_GT(num_features, 0u);
+  if (histogram == nullptr) {
+    if (const auto* profiled = dynamic_cast<const HardnessProfiled*>(&model)) {
+      histogram = profiled->training_hardness();
+    }
+  }
   // Serialize the model first so the header can promise the exact
   // payload size and checksum the loader will verify.
   std::ostringstream payload_stream;
@@ -285,6 +336,7 @@ void SaveModelBundle(const Classifier& model, std::size_t num_features,
   os << kBundleMagic << " " << kBundleVersion << " num_features "
      << num_features << " payload_bytes " << payload.size() << " crc32 "
      << crc_hex << "\n";
+  WriteHistogramLine(histogram, os);
   os.write(payload.data(), static_cast<std::streamsize>(payload.size()));
 }
 
@@ -335,6 +387,7 @@ ModelBundle LoadModelBundle(std::istream& is) {
   is >> version >> keyword >> bundle.num_features;
   SPE_CHECK(is.good() && keyword == "num_features")
       << "malformed bundle header";
+  bundle.format_version = version;
 
   if (version == 1) {
     // Legacy bundle: schema header but no integrity fields.
@@ -346,7 +399,8 @@ ModelBundle LoadModelBundle(std::istream& is) {
     bundle.model = LoadTagged(model_version, tag, is);
     return FinishBundle(std::move(bundle));
   }
-  SPE_CHECK_EQ(version, kBundleVersion) << "unsupported bundle version";
+  SPE_CHECK(version == 2 || version == kBundleVersion)
+      << "unsupported bundle version";
 
   std::size_t payload_bytes = 0;
   std::string crc_hex;
@@ -355,7 +409,13 @@ ModelBundle LoadModelBundle(std::istream& is) {
       << "malformed bundle header";
   is >> keyword >> crc_hex;
   SPE_CHECK(is.good() && keyword == "crc32") << "malformed bundle header";
+  if (version >= 3) {
+    SPE_CHECK(ReadHistogramFields(is, &bundle.hardness_histogram))
+        << "malformed bundle header";
+  }
   SPE_CHECK(is.get() == '\n') << "malformed bundle header";
+  bundle.payload_bytes = payload_bytes;
+  bundle.crc32_hex = crc_hex;
 
   // Read exactly the promised payload, then verify before parsing a
   // single byte of it: a short read is truncation, a checksum mismatch
@@ -383,7 +443,92 @@ ModelBundle LoadModelBundle(std::istream& is) {
   payload_is >> magic >> model_version >> tag;
   SPE_CHECK(payload_is.good() && magic == kMagic) << "not an spe model stream";
   bundle.model = LoadTagged(model_version, tag, payload_is);
+  if (!bundle.hardness_histogram.empty()) {
+    if (auto* voting = dynamic_cast<VotingEnsembleModel*>(bundle.model.get())) {
+      voting->set_training_hardness(bundle.hardness_histogram);
+    }
+  }
   return FinishBundle(std::move(bundle));
+}
+
+BundleProbe ProbeModelBundleFile(const std::string& path) {
+  BundleProbe probe;
+  std::ifstream is(path);
+  if (!is.good()) {
+    probe.error = "cannot open " + path;
+    return probe;
+  }
+  std::string magic;
+  is >> magic;
+  if (!is.good()) {
+    probe.error = "empty or unreadable model stream";
+    return probe;
+  }
+  if (magic == kMagic) {
+    // Bare classifier stream: nothing to verify, nothing to report.
+    probe.ok = true;
+    return probe;
+  }
+  if (magic != kBundleMagic) {
+    probe.error = "not an spe model stream";
+    return probe;
+  }
+  std::string keyword;
+  is >> probe.format_version >> keyword >> probe.num_features;
+  if (!is.good() || keyword != "num_features") {
+    probe.error = "malformed bundle header";
+    return probe;
+  }
+  if (probe.format_version == 1) {
+    probe.ok = true;  // schema only; no integrity promise to check
+    return probe;
+  }
+  if (probe.format_version != 2 && probe.format_version != kBundleVersion) {
+    probe.error = "unsupported bundle version";
+    return probe;
+  }
+  is >> keyword >> probe.payload_bytes;
+  if (!is.good() || keyword != "payload_bytes") {
+    probe.error = "malformed bundle header";
+    return probe;
+  }
+  is >> keyword >> probe.crc32_hex;
+  if (!is.good() || keyword != "crc32") {
+    probe.error = "malformed bundle header";
+    return probe;
+  }
+  if (probe.format_version >= 3) {
+    HardnessHistogram histogram;
+    if (!ReadHistogramFields(is, &histogram)) {
+      probe.error = "malformed bundle header";
+      return probe;
+    }
+    probe.has_hardness_histogram = !histogram.empty();
+  }
+  if (is.get() != '\n') {
+    probe.error = "malformed bundle header";
+    return probe;
+  }
+  std::string payload(probe.payload_bytes, '\0');
+  is.read(payload.data(), static_cast<std::streamsize>(probe.payload_bytes));
+  const std::size_t got = static_cast<std::size_t>(is.gcount());
+  if (got != probe.payload_bytes) {
+    probe.error = "model artifact truncated: header promises " +
+                  std::to_string(probe.payload_bytes) +
+                  " payload bytes but only " + std::to_string(got) +
+                  " are present";
+    return probe;
+  }
+  const std::uint32_t expected = static_cast<std::uint32_t>(
+      std::strtoul(probe.crc32_hex.c_str(), nullptr, 16));
+  if (Crc32(payload) != expected) {
+    probe.error = "model artifact corrupted: payload crc32 does not match "
+                  "header crc32 " +
+                  probe.crc32_hex;
+    return probe;
+  }
+  probe.ok = true;
+  return probe;
 }
 
 ModelBundle LoadModelBundleFromFile(const std::string& path) {

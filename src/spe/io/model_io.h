@@ -4,8 +4,10 @@
 #include <iosfwd>
 #include <memory>
 #include <string>
+#include <utility>
 
 #include "spe/classifiers/classifier.h"
+#include "spe/core/hardness.h"
 #include "spe/kernels/program.h"
 
 namespace spe {
@@ -18,6 +20,7 @@ namespace spe {
 /// ensemble-truncation degradation knob of the live trainer.
 class VotingEnsembleModel final : public Classifier,
                                   public PrefixVoter,
+                                  public HardnessProfiled,
                                   public kernels::FlatCompilable,
                                   public kernels::FlatScorable {
  public:
@@ -40,8 +43,20 @@ class VotingEnsembleModel final : public Classifier,
 
   const VotingEnsemble& members() const { return members_; }
 
+  /// HardnessProfiled: the training-time histogram restored from a v3
+  /// bundle (LoadModelBundle installs it), nullptr otherwise. Keeping it
+  /// on the model means re-saving a loaded artifact round-trips the
+  /// histogram byte-identically.
+  const HardnessHistogram* training_hardness() const override {
+    return training_hardness_.empty() ? nullptr : &training_hardness_;
+  }
+  void set_training_hardness(HardnessHistogram histogram) {
+    training_hardness_ = std::move(histogram);
+  }
+
  private:
   VotingEnsemble members_;
+  HardnessHistogram training_hardness_;
 };
 
 /// Persists a *fitted* classifier as a self-describing text artifact.
@@ -66,21 +81,43 @@ std::unique_ptr<Classifier> LoadClassifier(std::istream& is);
 std::unique_ptr<Classifier> LoadClassifierFromFile(const std::string& path);
 
 /// A model together with the input schema the serving layer needs to
-/// validate incoming rows. Classifiers do not record their feature
-/// count, so the trainer (which knows the dataset width) supplies it at
-/// save time.
+/// validate incoming rows, plus the manifest fields the model registry
+/// (spe/lifecycle/model_registry.h) records about the artifact it came
+/// from. Classifiers do not record their feature count, so the trainer
+/// (which knows the dataset width) supplies it at save time.
 struct ModelBundle {
   std::unique_ptr<Classifier> model;
   std::size_t num_features = 0;  // 0 = unknown (legacy spe-model stream)
+  /// Artifact provenance, filled by LoadModelBundle: 0 for bare
+  /// spe-model streams, otherwise the "spe-bundle" header version.
+  int format_version = 0;
+  /// Payload size and checksum from the header; 0 / empty for artifacts
+  /// that predate the integrity fields (bare streams, v1 bundles).
+  std::size_t payload_bytes = 0;
+  std::string crc32_hex;
+  /// Training-time hardness histogram from a v3 header; empty otherwise.
+  HardnessHistogram hardness_histogram;
 };
 
-/// Persists `model` prefixed with a schema-and-integrity header
-/// ("spe-bundle 2 num_features N payload_bytes B crc32 HHHHHHHH"): the
-/// header records the payload size and its CRC-32, so loaders detect
-/// truncation and bit rot instead of parsing garbage. Readers that only
-/// want the classifier (LoadClassifier) skip the header transparently.
+/// Persists `model` prefixed with a schema-and-integrity header:
+///
+///   spe-bundle 3 num_features N payload_bytes B crc32 HHHHHHHH
+///   hardness_histogram K [KIND MIN MAX C0 .. C(K-1)]
+///   <payload>
+///
+/// The header records the payload size and its CRC-32, so loaders detect
+/// truncation and bit rot instead of parsing garbage. Version 3 adds the
+/// hardness_histogram line — the training-time hardness-bin distribution
+/// that hot-reload drift detection compares live traffic against; K is 0
+/// (and the bracketed fields absent) when the model carries none. The
+/// histogram is taken from `histogram` when non-null, else from the
+/// model's HardnessProfiled capability when it has one. MIN/MAX print
+/// with 17 significant digits so the line round-trips byte-identically.
+/// Readers that only want the classifier (LoadClassifier) skip the
+/// header transparently.
 void SaveModelBundle(const Classifier& model, std::size_t num_features,
-                     std::ostream& os);
+                     std::ostream& os,
+                     const HardnessHistogram* histogram = nullptr);
 
 /// File variant is crash-safe: the bundle is written to a temporary
 /// file in the same directory and rename(2)d over `path`, so a crash or
@@ -89,14 +126,36 @@ void SaveModelBundle(const Classifier& model, std::size_t num_features,
 void SaveModelBundleToFile(const Classifier& model, std::size_t num_features,
                            const std::string& path);
 
-/// Loads a bundle stream or a bare classifier stream. Version-2 bundle
-/// headers are verified: a payload shorter than advertised aborts with
-/// a truncation message, a CRC mismatch with a corruption message.
+/// Loads a bundle stream or a bare classifier stream. Version-2/3
+/// bundle headers are verified: a payload shorter than advertised aborts
+/// with a truncation message, a CRC mismatch with a corruption message.
 /// Legacy artifacts (bare "spe-model" streams and version-1 bundles)
 /// still load, with a stderr warning that they carry no checksum; for
 /// bare streams num_features is 0 and the caller must know the width.
+/// A v3 hardness histogram is reported on the bundle and, when the model
+/// is a VotingEnsembleModel, installed on it so a re-save round-trips.
 ModelBundle LoadModelBundle(std::istream& is);
 ModelBundle LoadModelBundleFromFile(const std::string& path);
+
+/// Outcome of a non-aborting artifact inspection (ProbeModelBundleFile).
+struct BundleProbe {
+  bool ok = false;
+  std::string error;  // human-readable reason when !ok
+  int format_version = 0;  // 0 = bare spe-model stream
+  std::size_t num_features = 0;
+  std::size_t payload_bytes = 0;
+  std::string crc32_hex;
+  bool has_hardness_histogram = false;
+};
+
+/// Validates an artifact without loading the model and without aborting:
+/// parses the header, checks the payload length against the promise and
+/// the payload CRC against the checksum. The hot-reload path probes
+/// before LoadModelBundleFromFile so a truncated or bit-flipped
+/// candidate is refused with an error response instead of taking the
+/// serving process down with it. Legacy artifacts (bare streams, v1
+/// bundles) probe ok with their limitations reflected in the fields.
+BundleProbe ProbeModelBundleFile(const std::string& path);
 
 }  // namespace spe
 

@@ -1,0 +1,94 @@
+#include "spe/lifecycle/drift.h"
+
+#include <cmath>
+#include <utility>
+
+#include "spe/common/check.h"
+
+namespace spe {
+namespace lifecycle {
+
+HardnessDriftDetector::HardnessDriftDetector(HardnessHistogram baseline,
+                                             DriftConfig config)
+    : baseline_(std::move(baseline)),
+      config_(config),
+      live_(baseline_.counts.size()),
+      psi_gauge_(obs::MetricsRegistry::Global().GetGauge(
+          "spe_lifecycle_drift_psi")),
+      observed_gauge_(obs::MetricsRegistry::Global().GetGauge(
+          "spe_lifecycle_drift_observed")),
+      alert_gauge_(obs::MetricsRegistry::Global().GetGauge(
+          "spe_lifecycle_drift_alert")),
+      alerts_total_(obs::MetricsRegistry::Global().GetCounter(
+          "spe_lifecycle_drift_alerts_total")) {
+  SPE_CHECK(!baseline_.empty()) << "drift baseline histogram is empty";
+  SPE_CHECK_GT(baseline_.total(), 0u) << "drift baseline has no samples";
+  HardnessKind kind{};
+  SPE_CHECK(HardnessKindFromName(baseline_.kind, &kind))
+      << "unknown hardness kind in drift baseline: " << baseline_.kind;
+  hardness_ = MakeHardness(kind);
+  SPE_CHECK_GT(config_.psi_threshold, 0.0);
+}
+
+void HardnessDriftDetector::Observe(double proba) {
+  // A served row has no label; like Fit's majority-set binning, live
+  // hardness is the model's error against the majority label y = 0.
+  const double h = hardness_(proba, /*label=*/0);
+  const std::size_t bin =
+      HardnessBinIndex(h, baseline_.min, baseline_.max, live_.size());
+  live_[bin].fetch_add(1, std::memory_order_relaxed);
+  live_total_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void HardnessDriftDetector::ObserveBatch(std::span<const double> probs) {
+  for (const double p : probs) Observe(p);
+}
+
+double HardnessDriftDetector::Psi() const {
+  const std::uint64_t live_total = live_total_.load(std::memory_order_relaxed);
+  if (live_total == 0) return 0.0;
+  // Additive smoothing: half a pseudo-count per bin keeps a bin that is
+  // empty on one side from driving the sum to infinity while barely
+  // perturbing well-populated bins.
+  constexpr double kEps = 0.5;
+  const std::size_t k = live_.size();
+  const double base_total = static_cast<double>(baseline_.total()) +
+                            kEps * static_cast<double>(k);
+  const double live_denom = static_cast<double>(live_total) +
+                            kEps * static_cast<double>(k);
+  double psi = 0.0;
+  for (std::size_t b = 0; b < k; ++b) {
+    const double g =
+        (static_cast<double>(baseline_.counts[b]) + kEps) / base_total;
+    const double l =
+        (static_cast<double>(live_[b].load(std::memory_order_relaxed)) +
+         kEps) /
+        live_denom;
+    psi += (l - g) * std::log(l / g);
+  }
+  return psi;
+}
+
+bool HardnessDriftDetector::Alerting() const {
+  return live_total() >= config_.min_samples && Psi() > config_.psi_threshold;
+}
+
+void HardnessDriftDetector::Publish() {
+  const double psi = Psi();
+  psi_gauge_.Set(psi);
+  observed_gauge_.Set(static_cast<double>(live_total()));
+  const bool alert =
+      live_total() >= config_.min_samples && psi > config_.psi_threshold;
+  alert_gauge_.Set(alert ? 1.0 : 0.0);
+  if (alert) {
+    // Rising-edge counter: pages fire per episode, not per batch.
+    if (!alerted_.exchange(true, std::memory_order_relaxed)) {
+      alerts_total_.Add();
+    }
+  } else {
+    alerted_.store(false, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace lifecycle
+}  // namespace spe

@@ -1,0 +1,101 @@
+#ifndef SPE_LIFECYCLE_DRIFT_H_
+#define SPE_LIFECYCLE_DRIFT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "spe/core/hardness.h"
+#include "spe/obs/metrics.h"
+
+namespace spe {
+namespace lifecycle {
+
+struct DriftConfig {
+  /// PSI above which the live hardness distribution is declared to have
+  /// drifted from the training baseline. 0.25 is the conventional
+  /// "significant shift" threshold from the credit-scoring literature
+  /// where PSI originates; 0.1–0.25 is "monitor".
+  double psi_threshold = 0.25;
+  /// Minimum live observations before the detector renders a verdict —
+  /// PSI over a handful of rows is noise, not evidence.
+  std::uint64_t min_samples = 512;
+};
+
+/// Hardness-distribution drift detector (docs/lifecycle.md).
+///
+/// The §V-A insight that powers self-paced under-sampling — the
+/// hardness distribution of the majority class summarizes how the data
+/// looks to the model — also yields a natural drift statistic for
+/// serving: freeze the training-time hardness-bin histogram in the
+/// model artifact (v3 bundles), bin live-traffic hardness with the same
+/// geometry, and compare the two distributions. A served score has no
+/// label, so live hardness is evaluated against the majority label
+/// (y = 0), exactly how Fit evaluates the majority set it bins.
+///
+/// The divergence is the Population Stability Index
+///   PSI = sum_b (l_b - g_b) * ln(l_b / g_b)
+/// over bin fractions l (live) and g (training baseline), with additive
+/// smoothing so empty bins on either side stay finite. PSI is a
+/// symmetrized KL divergence; unlike a chi-square statistic it does not
+/// scale with sample count, so one threshold works at any traffic rate.
+///
+/// Thread-safe: Observe is one relaxed atomic add per row; Publish
+/// snapshots the counts and refreshes the spe_lifecycle_drift_* gauges.
+/// One instance belongs to one model version (lifecycle::ModelVersion),
+/// so the live window resets naturally on hot reload.
+class HardnessDriftDetector {
+ public:
+  /// `baseline` must be non-empty and carry a recognized hardness kind
+  /// (checked). Construct via ModelVersion, which skips construction
+  /// entirely for artifacts without a histogram.
+  explicit HardnessDriftDetector(HardnessHistogram baseline,
+                                 DriftConfig config = {});
+
+  HardnessDriftDetector(const HardnessDriftDetector&) = delete;
+  HardnessDriftDetector& operator=(const HardnessDriftDetector&) = delete;
+
+  /// Records one served probability into the live histogram.
+  void Observe(double proba);
+  void ObserveBatch(std::span<const double> probs);
+
+  /// PSI of the current live histogram against the baseline. 0 before
+  /// any observation.
+  double Psi() const;
+
+  /// True when the verdict stands: enough samples and PSI over the
+  /// threshold.
+  bool Alerting() const;
+
+  std::uint64_t live_total() const {
+    return live_total_.load(std::memory_order_relaxed);
+  }
+  const HardnessHistogram& baseline() const { return baseline_; }
+  const DriftConfig& config() const { return config_; }
+
+  /// Refreshes the exposition: spe_lifecycle_drift_psi,
+  /// spe_lifecycle_drift_observed, spe_lifecycle_drift_alert (0/1) and
+  /// — on a 0 -> 1 alert transition only — increments
+  /// spe_lifecycle_drift_alerts_total.
+  void Publish();
+
+ private:
+  const HardnessHistogram baseline_;
+  const DriftConfig config_;
+  HardnessFn hardness_;
+  std::vector<std::atomic<std::uint64_t>> live_;
+  std::atomic<std::uint64_t> live_total_{0};
+  std::atomic<bool> alerted_{false};
+
+  // Resolved once; Publish touches no registry locks after construction.
+  obs::Gauge& psi_gauge_;
+  obs::Gauge& observed_gauge_;
+  obs::Gauge& alert_gauge_;
+  obs::Counter& alerts_total_;
+};
+
+}  // namespace lifecycle
+}  // namespace spe
+
+#endif  // SPE_LIFECYCLE_DRIFT_H_

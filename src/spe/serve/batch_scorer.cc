@@ -1,5 +1,6 @@
 #include "spe/serve/batch_scorer.h"
 
+#include <cmath>
 #include <exception>
 #include <utility>
 
@@ -11,25 +12,53 @@
 
 namespace spe {
 
+namespace {
+
+std::shared_ptr<lifecycle::ModelRegistry> PrivateRegistry(
+    std::unique_ptr<Classifier> model, std::size_t num_features) {
+  SPE_CHECK(model != nullptr);
+  SPE_CHECK_GT(num_features, 0u);
+  auto registry = std::make_shared<lifecycle::ModelRegistry>();
+  const std::string error =
+      registry->Activate(registry->Install(std::move(model), num_features));
+  SPE_CHECK(error.empty()) << error;
+  return registry;
+}
+
+}  // namespace
+
 BatchScorer::BatchScorer(std::unique_ptr<Classifier> model,
                          std::size_t num_features, BatchScorerConfig config)
-    : model_(std::move(model)),
-      prefix_model_(dynamic_cast<const PrefixVoter*>(model_.get())),
-      // Resolving the kernel here also compiles the flat program (if the
-      // model supports one) before the first request, so no caller pays
-      // the compile inside its latency budget.
-      kernel_(model_ ? kernels::ActiveKernel(*model_) : "reference"),
-      num_features_(num_features),
+    : BatchScorer(PrivateRegistry(std::move(model), num_features),
+                  std::move(config)) {}
+
+BatchScorer::BatchScorer(std::shared_ptr<lifecycle::ModelRegistry> registry,
+                         BatchScorerConfig config)
+    : registry_(std::move(registry)),
+      num_features_(registry_ != nullptr && registry_->active() != nullptr
+                        ? registry_->active()->num_features()
+                        : 0),
       config_(config),
-      queue_(config.queue_capacity) {
-  SPE_CHECK(model_ != nullptr);
+      queue_(config.queue_capacity),
+      shadow_batches_total_(obs::MetricsRegistry::Global().GetCounter(
+          "spe_lifecycle_shadow_batches_total")),
+      shadow_rows_total_(obs::MetricsRegistry::Global().GetCounter(
+          "spe_lifecycle_shadow_rows_total")),
+      shadow_disagree_total_(obs::MetricsRegistry::Global().GetCounter(
+          "spe_lifecycle_shadow_disagree_total")),
+      shadow_absdiff_ppm_(obs::MetricsRegistry::Global().GetHistogram(
+          "spe_lifecycle_shadow_absdiff_ppm", /*sub_bits=*/3,
+          obs::GeometricHistogram::IndexFor(3, 1'000'000) + 1)) {
+  SPE_CHECK(registry_ != nullptr);
+  SPE_CHECK(registry_->active() != nullptr)
+      << "the registry must have an active version before serving";
   SPE_CHECK_GT(num_features_, 0u);
   SPE_CHECK_GT(config_.max_batch_size, 0u);
   if (config_.degrade_high_watermark > 0) {
-    SPE_CHECK(prefix_model_ != nullptr)
+    SPE_CHECK(registry_->active()->prefix_voter() != nullptr)
         << "degradation watermarks require an ensemble model that supports "
            "prefix scoring (PrefixVoter); "
-        << model_->Name() << " does not";
+        << registry_->active()->model().Name() << " does not";
     SPE_CHECK_GT(config_.degrade_prefix, 0u);
     SPE_CHECK_LT(config_.degrade_low_watermark, config_.degrade_high_watermark)
         << "degrade_low_watermark must be below degrade_high_watermark";
@@ -50,7 +79,8 @@ BatchScorer::BatchScorer(std::unique_ptr<Classifier> model,
         out += "# TYPE spe_serve_workers gauge\nspe_serve_workers ";
         out += std::to_string(workers_.size());
         out += "\n# TYPE spe_serve_kernel_flat gauge\nspe_serve_kernel_flat ";
-        out += kernel_[0] == 'f' ? "1\n" : "0\n";
+        const auto active = registry_->active();
+        out += active != nullptr && active->kernel()[0] == 'f' ? "1\n" : "0\n";
       });
 }
 
@@ -115,6 +145,31 @@ void BatchScorer::Shutdown() {
   });
 }
 
+void BatchScorer::ShadowScore(const Dataset& rows,
+                              std::span<const double> active_probs,
+                              const lifecycle::ModelVersion& active) {
+  const auto shadow = registry_->shadow();
+  if (shadow == nullptr || &*shadow == &active) return;
+  if (shadow->num_features() != num_features_) return;
+  const std::uint64_t tick =
+      shadow_tick_.fetch_add(1, std::memory_order_relaxed);
+  if (tick % config_.shadow_every != 0) return;
+  const obs::TraceSpan span("serve.shadow_batch");
+  const std::vector<double> shadow_probs = shadow->model().PredictProba(rows);
+  shadow_batches_total_.Add();
+  shadow_rows_total_.Add(rows.num_rows());
+  std::uint64_t disagreements = 0;
+  for (std::size_t i = 0; i < shadow_probs.size(); ++i) {
+    const double diff = std::abs(shadow_probs[i] - active_probs[i]);
+    // Histogram values are integers; parts-per-million keeps three
+    // useful significant digits of a [0, 1] probability delta.
+    shadow_absdiff_ppm_.Record(
+        static_cast<std::uint64_t>(std::lround(diff * 1e6)));
+    if ((shadow_probs[i] >= 0.5) != (active_probs[i] >= 0.5)) ++disagreements;
+  }
+  if (disagreements > 0) shadow_disagree_total_.Add(disagreements);
+}
+
 void BatchScorer::WorkerLoop() {
   std::vector<Request> batch;
   std::vector<Request*> live;  // batch members still worth scoring
@@ -123,6 +178,14 @@ void BatchScorer::WorkerLoop() {
     // Fault point: simulate a slow model *before* deadline triage, so a
     // fault-injected run deterministically expires queued deadlines.
     Faults().InjectScoreDelay();
+
+    // One lock-free snapshot per batch: the whole batch — scoring,
+    // degradation, shadow diffing, drift observation — runs against
+    // this version even if a reload swaps the active pointer mid-batch.
+    // The shared_ptr keeps the version (and its compiled kernel) alive
+    // until the last in-flight batch lets go.
+    const std::shared_ptr<const lifecycle::ModelVersion> version =
+        registry_->active();
 
     // Watermark controller. The signal is the backlog left behind this
     // pop — what the *next* request will sit behind. Shared mode with
@@ -138,7 +201,10 @@ void BatchScorer::WorkerLoop() {
         mode = false;
       }
       degraded_.store(mode, std::memory_order_relaxed);
-      degraded = mode;
+      // A hot-reloaded version might not support prefix scoring even
+      // though the boot-time one did; it serves full ensembles instead
+      // of aborting mid-traffic.
+      degraded = mode && version->prefix_voter() != nullptr;
     }
 
     // Deadline triage: a request whose deadline passed while queued is
@@ -162,14 +228,24 @@ void BatchScorer::WorkerLoop() {
       // has seen its response (and then scrapes !stats) also sees the
       // span that scored it.
       std::vector<double> probs;
+      Dataset rows(num_features_);
       {
         const obs::TraceSpan span("serve.score_batch");
-        Dataset rows(num_features_);
         rows.Reserve(live.size());
         for (const Request* r : live) rows.AddRow(r->features, /*label=*/0);
-        probs = degraded ? prefix_model_->PredictProbaPrefix(
+        probs = degraded ? version->prefix_voter()->PredictProbaPrefix(
                                rows, config_.degrade_prefix)
-                         : model_->PredictProba(rows);
+                         : version->model().PredictProba(rows);
+      }
+      if (!degraded) {
+        // Lifecycle taps see only full-fidelity scores: a degraded
+        // prefix shifts the distribution for reasons that are about
+        // load, not data, and would poison both comparisons.
+        if (config_.shadow_every > 0) ShadowScore(rows, probs, *version);
+        if (auto* drift = version->drift()) {
+          drift->ObserveBatch(probs);
+          drift->Publish();
+        }
       }
       const auto done = std::chrono::steady_clock::now();
       stats_.RecordBatch(live.size(), degraded);

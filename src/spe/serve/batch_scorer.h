@@ -12,6 +12,7 @@
 
 #include "spe/classifiers/classifier.h"
 #include "spe/common/mpmc_queue.h"
+#include "spe/lifecycle/model_registry.h"
 #include "spe/obs/metrics.h"
 #include "spe/serve/server_stats.h"
 
@@ -48,6 +49,12 @@ struct BatchScorerConfig {
   std::size_t degrade_low_watermark = 0;
   /// Ensemble members used while degraded. Clamped to the ensemble size.
   std::size_t degrade_prefix = 1;
+  /// Shadow scoring cadence: when the registry designates a shadow
+  /// version, every `shadow_every`-th non-degraded batch is also scored
+  /// by it and the predictions are diffed (spe_lifecycle_shadow_*
+  /// metrics). The shadow result never reaches a client. 0 disables;
+  /// 1 shadows every batch.
+  std::size_t shadow_every = 8;
 };
 
 /// Thrown (via the returned future) when a request is shed under
@@ -75,11 +82,23 @@ struct ScoreResult {
 
 /// Online scoring engine: accepts single rows from any number of
 /// threads, coalesces them into micro-batches, and dispatches each
-/// batch to a fixed pool of workers that run the wrapped classifier's
+/// batch to a fixed pool of workers that run the active model's
 /// PredictProba. Because every classifier in this library computes
 /// probabilities row-independently, the micro-batch boundaries are
 /// invisible in the results: a row served here is bit-identical to the
 /// same row scored in-process via PredictProba.
+///
+/// Model lifecycle: the scorer reads its model through a
+/// lifecycle::ModelRegistry. Each worker snapshots the active version
+/// once per batch (one lock-free atomic load), so a hot reload
+/// (ModelRegistry::Activate) takes effect at the next batch boundary:
+/// every batch is scored entirely by one version — a response is
+/// bit-identical to that version scored standalone, never a
+/// mid-ensemble blend — and no request is dropped or delayed by the
+/// swap. When a shadow version is designated, a sampled fraction of
+/// batches is re-scored by it and prediction diffs are exported; when
+/// the active version carries a training hardness histogram (v3
+/// bundles), live scores feed its drift detector.
 ///
 /// Robustness contract: a request may carry a deadline — if it expires
 /// while the request is still queued, the future fails fast with
@@ -97,11 +116,20 @@ class BatchScorer {
   static constexpr std::chrono::steady_clock::time_point kNoDeadline =
       std::chrono::steady_clock::time_point::max();
 
-  /// Takes ownership of a *fitted* model. `num_features` is the width
+  /// Takes ownership of a *fitted* model: installs it as version 1 of a
+  /// private registry and activates it. `num_features` is the width
   /// submitted rows must have (a Dataset schema is reconstructed per
   /// batch).
   BatchScorer(std::unique_ptr<Classifier> model, std::size_t num_features,
               BatchScorerConfig config = {});
+
+  /// Serves whatever `registry` designates active (hot reload, shadow
+  /// scoring and drift detection flow through the registry). The
+  /// registry must already have an active version; its feature width
+  /// becomes the scorer's schema. The registry must outlive the scorer.
+  BatchScorer(std::shared_ptr<lifecycle::ModelRegistry> registry,
+              BatchScorerConfig config = {});
+
   ~BatchScorer();
 
   BatchScorer(const BatchScorer&) = delete;
@@ -134,16 +162,21 @@ class BatchScorer {
   /// True while the watermark controller has degradation engaged.
   bool degraded() const { return degraded_.load(std::memory_order_relaxed); }
 
-  const Classifier& model() const { return *model_; }
+  /// The currently active model. The reference stays valid for the
+  /// registry's lifetime (versions are never evicted), but a concurrent
+  /// reload can make it stale — scoring paths snapshot the version
+  /// instead of calling this.
+  const Classifier& model() const { return registry_->active()->model(); }
+  lifecycle::ModelRegistry& registry() { return *registry_; }
   std::size_t num_features() const { return num_features_; }
   const BatchScorerConfig& config() const { return config_; }
   const ServerStats& stats() const { return stats_; }
 
-  /// "flat" or "reference": the inference kernel the wrapped model
-  /// scores batches with (kernels::ActiveKernel, resolved — and the
-  /// flat program compiled — once at construction). Exposed on the
-  /// metrics page as spe_serve_kernel_flat and stamped into bench JSON.
-  const char* kernel() const { return kernel_; }
+  /// "flat" or "reference": the inference kernel of the currently
+  /// active version (resolved — and the flat program compiled — when
+  /// the version was loaded). Exposed on the metrics page as
+  /// spe_serve_kernel_flat and stamped into bench JSON.
+  const char* kernel() const { return registry_->active()->kernel(); }
 
  private:
   struct Request {
@@ -154,19 +187,27 @@ class BatchScorer {
   };
 
   void WorkerLoop();
+  void ShadowScore(const Dataset& rows, std::span<const double> active_probs,
+                   const lifecycle::ModelVersion& active);
 
-  const std::unique_ptr<Classifier> model_;
-  /// Non-null iff the model supports ensemble-prefix scoring; required
-  /// when degradation watermarks are configured.
-  const PrefixVoter* const prefix_model_;
-  const char* const kernel_;  // "flat" | "reference", fixed at construction
+  const std::shared_ptr<lifecycle::ModelRegistry> registry_;
   const std::size_t num_features_;
   const BatchScorerConfig config_;
   ServerStats stats_;
   BoundedQueue<Request> queue_;
   std::atomic<bool> degraded_{false};
+  /// Dispatch counter driving the every-Nth shadow cadence; shared by
+  /// all workers so the sampled fraction holds regardless of how
+  /// batches spread across them.
+  std::atomic<std::uint64_t> shadow_tick_{0};
   std::vector<std::thread> workers_;
   std::once_flag shutdown_once_;
+
+  obs::Counter& shadow_batches_total_;
+  obs::Counter& shadow_rows_total_;
+  obs::Counter& shadow_disagree_total_;
+  obs::GeometricHistogram& shadow_absdiff_ppm_;
+
   /// Publishes this scorer's stats on the global metrics registry
   /// ("!stats" / --metrics-dump). Declared last so it unregisters
   /// before any member it reads is destroyed.

@@ -213,6 +213,19 @@ ServeRequest ParseRequestLine(std::string_view line) {
     r.kind = RequestKind::kMetrics;
     return r;
   }
+  if (line.substr(i) == "!reload" || line.substr(i, 8) == "!reload ") {
+    ServeRequest r;
+    r.kind = RequestKind::kReload;
+    std::size_t p = i + 7;
+    SkipSpace(line, p);
+    std::size_t end = line.size();
+    while (end > p &&
+           std::isspace(static_cast<unsigned char>(line[end - 1]))) {
+      --end;
+    }
+    r.reload_path = std::string(line.substr(p, end - p));
+    return r;
+  }
   return line[i] == '{' ? ParseJson(line.substr(i)) : ParseCsv(line.substr(i));
 }
 

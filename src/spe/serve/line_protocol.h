@@ -19,7 +19,11 @@ namespace spe {
 /// A line whose first non-space byte is '{' is JSON; anything else is
 /// CSV. The literal line `STATS` requests a stats snapshot; the literal
 /// line `!stats` requests the full metrics exposition (multi-line,
-/// Prometheus text format, terminated by `# EOF`). Errors are
+/// Prometheus text format, terminated by `# EOF`); `!reload [PATH]`
+/// asks the server to hot-swap its model to the artifact at PATH (or
+/// re-read the startup artifact when PATH is omitted) — answered with
+/// one `OK ...` or `ERR ...` line once the swap has happened, in
+/// request order like every other response. Errors are
 /// reported in the shape of the request: `ERR <msg>` for CSV,
 /// `{"error":"<msg>"}` for JSON — the connection stays open either way.
 /// Probabilities are printed with 17 significant digits so the decimal
@@ -44,6 +48,7 @@ enum class RequestKind {
   kScore,    // features parsed, ready to submit
   kStats,    // STATS command — one-line JSON snapshot
   kMetrics,  // !stats command — multi-line metrics exposition
+  kReload,   // !reload [PATH] — hot-swap the served model (spe_serve)
   kEmpty,    // blank line — ignore, no response
   kInvalid,  // malformed — respond with `error`
 };
@@ -60,6 +65,9 @@ struct ServeRequest {
   /// any, applies). 0 is valid and means "already due" — useful for
   /// probing the deadline path deterministically.
   double deadline_ms = -1.0;
+  /// Artifact path from a `!reload PATH` command; empty for a bare
+  /// `!reload`, which re-reads the artifact the server was started on.
+  std::string reload_path;
   std::string error;  // human-readable reason when kind == kInvalid
 };
 

@@ -66,6 +66,18 @@ void CheckParseInvariants(std::string_view line) {
       EXPECT_TRUE(request.error.empty());
       EXPECT_TRUE(request.features.empty());
       break;
+    case RequestKind::kReload:
+      EXPECT_TRUE(request.error.empty());
+      EXPECT_TRUE(request.features.empty());
+      // The path is verbatim operator input but never contains the
+      // surrounding whitespace.
+      if (!request.reload_path.empty()) {
+        EXPECT_FALSE(
+            std::isspace(static_cast<unsigned char>(request.reload_path.front())));
+        EXPECT_FALSE(
+            std::isspace(static_cast<unsigned char>(request.reload_path.back())));
+      }
+      break;
     case RequestKind::kInvalid:
       EXPECT_FALSE(request.error.empty());
       EXPECT_TRUE(InTaxonomy(request.error))

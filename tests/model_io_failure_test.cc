@@ -1,0 +1,223 @@
+// Failure-path tests for model_io bundle loading: legacy artifacts load
+// with a warning, integrity violations (truncation, bit rot) abort with
+// messages that name the real problem, the non-aborting probe reports
+// the same conditions as errors, and the v3 hardness-histogram line
+// round-trips byte-identically through save -> load -> re-save.
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "spe/core/self_paced_ensemble.h"
+#include "spe/io/model_io.h"
+#include "tests/test_util.h"
+
+namespace spe {
+namespace {
+
+using ::spe::testing::OverlappingBlobs;
+
+std::unique_ptr<SelfPacedEnsemble> TrainSpe(std::uint64_t seed) {
+  SelfPacedEnsembleConfig config;
+  config.n_estimators = 3;
+  config.seed = seed;
+  auto model = std::make_unique<SelfPacedEnsemble>(config);
+  model->Fit(OverlappingBlobs(200, 30, seed));
+  return model;
+}
+
+std::string TempPath(const char* name) {
+  return (std::filesystem::temp_directory_path() /
+          (std::string("spe_model_io_failure_") + name))
+      .string();
+}
+
+void WriteFile(const std::string& path, const std::string& bytes) {
+  std::ofstream os(path, std::ios::binary);
+  os.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+std::string SaveBundleString(const Classifier& model) {
+  std::ostringstream os;
+  SaveModelBundle(model, 2, os);
+  return os.str();
+}
+
+TEST(ModelIoFailureTest, BareStreamLoadsWithChecksumWarning) {
+  auto model = TrainSpe(1);
+  std::stringstream stream;
+  SaveClassifier(*model, stream);
+
+  ::testing::internal::CaptureStderr();
+  ModelBundle bundle = LoadModelBundle(stream);
+  const std::string warning = ::testing::internal::GetCapturedStderr();
+
+  EXPECT_NE(warning.find("without an integrity checksum"), std::string::npos)
+      << warning;
+  EXPECT_NE(warning.find("bare spe-model artifact"), std::string::npos)
+      << warning;
+  ASSERT_NE(bundle.model, nullptr);
+  EXPECT_EQ(bundle.format_version, 0);
+  EXPECT_EQ(bundle.num_features, 0u);  // bare streams carry no schema
+  EXPECT_TRUE(bundle.crc32_hex.empty());
+  EXPECT_TRUE(bundle.hardness_histogram.empty());
+}
+
+TEST(ModelIoFailureTest, V1BundleLoadsWithWarningAndKeepsSchema) {
+  auto model = TrainSpe(2);
+  std::ostringstream payload;
+  SaveClassifier(*model, payload);
+  std::stringstream stream;
+  stream << "spe-bundle 1 num_features 2\n" << payload.str();
+
+  ::testing::internal::CaptureStderr();
+  ModelBundle bundle = LoadModelBundle(stream);
+  const std::string warning = ::testing::internal::GetCapturedStderr();
+
+  EXPECT_NE(warning.find("version-1 model bundle"), std::string::npos)
+      << warning;
+  ASSERT_NE(bundle.model, nullptr);
+  EXPECT_EQ(bundle.format_version, 1);
+  EXPECT_EQ(bundle.num_features, 2u);
+
+  const Dataset test = OverlappingBlobs(30, 10, 3);
+  const std::vector<double> expected = model->PredictProba(test);
+  const std::vector<double> restored = bundle.model->PredictProba(test);
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_DOUBLE_EQ(expected[i], restored[i]) << "row " << i;
+  }
+}
+
+TEST(ModelIoFailureTest, CrcMismatchAbortsWithCorruptionMessage) {
+  auto model = TrainSpe(4);
+  std::string bytes = SaveBundleString(*model);
+  // Flip one payload byte (past the two header lines) — the artifact
+  // still parses as text, so only the checksum can catch this.
+  const std::size_t payload_start =
+      bytes.find('\n', bytes.find('\n') + 1) + 1;
+  ASSERT_LT(payload_start + 10, bytes.size());
+  bytes[payload_start + 10] ^= 0x01;
+  const std::string path = TempPath("corrupt.model");
+  WriteFile(path, bytes);
+
+  EXPECT_DEATH(LoadModelBundleFromFile(path), "model artifact corrupted");
+  std::filesystem::remove(path);
+}
+
+TEST(ModelIoFailureTest, TruncatedPayloadAbortsWithTruncationMessage) {
+  auto model = TrainSpe(5);
+  const std::string bytes = SaveBundleString(*model);
+  const std::string path = TempPath("truncated.model");
+  WriteFile(path, bytes.substr(0, bytes.size() / 2));
+
+  EXPECT_DEATH(LoadModelBundleFromFile(path), "model artifact truncated");
+  std::filesystem::remove(path);
+}
+
+TEST(ModelIoFailureTest, ProbeReportsEveryFailureWithoutAborting) {
+  auto model = TrainSpe(6);
+  const std::string bytes = SaveBundleString(*model);
+
+  const std::string good = TempPath("probe_good.model");
+  WriteFile(good, bytes);
+  BundleProbe probe = ProbeModelBundleFile(good);
+  EXPECT_TRUE(probe.ok) << probe.error;
+  EXPECT_EQ(probe.format_version, 3);
+  EXPECT_EQ(probe.num_features, 2u);
+  EXPECT_GT(probe.payload_bytes, 0u);
+  EXPECT_EQ(probe.crc32_hex.size(), 8u);
+  EXPECT_TRUE(probe.has_hardness_histogram);
+
+  probe = ProbeModelBundleFile(TempPath("probe_missing.model"));
+  EXPECT_FALSE(probe.ok);
+  EXPECT_NE(probe.error.find("cannot open"), std::string::npos);
+
+  const std::string truncated = TempPath("probe_truncated.model");
+  WriteFile(truncated, bytes.substr(0, bytes.size() - 7));
+  probe = ProbeModelBundleFile(truncated);
+  EXPECT_FALSE(probe.ok);
+  EXPECT_NE(probe.error.find("truncated"), std::string::npos) << probe.error;
+
+  std::string corrupt_bytes = bytes;
+  corrupt_bytes[corrupt_bytes.size() - 2] ^= 0x01;
+  const std::string corrupt = TempPath("probe_corrupt.model");
+  WriteFile(corrupt, corrupt_bytes);
+  probe = ProbeModelBundleFile(corrupt);
+  EXPECT_FALSE(probe.ok);
+  EXPECT_NE(probe.error.find("corrupted"), std::string::npos) << probe.error;
+
+  const std::string garbage = TempPath("probe_garbage.model");
+  WriteFile(garbage, "hello world\n");
+  probe = ProbeModelBundleFile(garbage);
+  EXPECT_FALSE(probe.ok);
+  EXPECT_FALSE(probe.error.empty());
+
+  for (const std::string& p : {good, truncated, corrupt, garbage}) {
+    std::filesystem::remove(p);
+  }
+}
+
+TEST(ModelIoFailureTest, V3HistogramRoundTripsByteIdentically) {
+  auto model = TrainSpe(7);
+  ASSERT_NE(model->training_hardness(), nullptr);
+  const std::string first = SaveBundleString(*model);
+  EXPECT_EQ(first.rfind("spe-bundle 3 num_features 2 payload_bytes ", 0), 0u);
+  EXPECT_NE(first.find("\nhardness_histogram "), std::string::npos);
+
+  std::istringstream is(first);
+  ModelBundle bundle = LoadModelBundle(is);
+  ASSERT_FALSE(bundle.hardness_histogram.empty());
+  EXPECT_EQ(bundle.hardness_histogram.total(),
+            model->training_hardness()->total());
+
+  // Re-saving the loaded model must reproduce the artifact byte for
+  // byte — the histogram (17-significant-digit min/max included)
+  // survives the round trip exactly.
+  const std::string second = SaveBundleString(*bundle.model);
+  EXPECT_EQ(first, second);
+}
+
+TEST(ModelIoFailureTest, HandcraftedV2BundleStillLoads) {
+  auto model = TrainSpe(8);
+  const std::string v3 = SaveBundleString(*model);
+  const std::size_t header_end = v3.find('\n');
+  const std::size_t histogram_end = v3.find('\n', header_end + 1);
+  ASSERT_NE(histogram_end, std::string::npos);
+
+  // Rebuild the header as version 2 (same payload, same integrity
+  // fields, no histogram line) — the pre-lifecycle on-disk format.
+  std::istringstream header(v3.substr(0, header_end));
+  std::string magic, kw_features, kw_payload, kw_crc, crc;
+  int version = 0;
+  std::size_t num_features = 0, payload_bytes = 0;
+  header >> magic >> version >> kw_features >> num_features >> kw_payload >>
+      payload_bytes >> kw_crc >> crc;
+  ASSERT_EQ(version, 3);
+  std::ostringstream v2;
+  v2 << "spe-bundle 2 num_features " << num_features << " payload_bytes "
+     << payload_bytes << " crc32 " << crc << "\n"
+     << v3.substr(histogram_end + 1);
+
+  std::istringstream is(v2.str());
+  ModelBundle bundle = LoadModelBundle(is);
+  ASSERT_NE(bundle.model, nullptr);
+  EXPECT_EQ(bundle.format_version, 2);
+  EXPECT_EQ(bundle.num_features, 2u);
+  EXPECT_TRUE(bundle.hardness_histogram.empty());
+
+  const Dataset test = OverlappingBlobs(30, 10, 9);
+  const std::vector<double> expected = model->PredictProba(test);
+  const std::vector<double> restored = bundle.model->PredictProba(test);
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_DOUBLE_EQ(expected[i], restored[i]) << "row " << i;
+  }
+}
+
+}  // namespace
+}  // namespace spe

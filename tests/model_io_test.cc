@@ -169,11 +169,14 @@ std::string BundleText(const Classifier& model, std::size_t num_features) {
   return stream.str();
 }
 
-TEST(ModelBundleTest, V2HeaderCarriesSizeAndChecksum) {
+TEST(ModelBundleTest, HeaderCarriesSizeAndChecksum) {
   const DecisionTree tree = TrainedTree(21);
   const std::string text = BundleText(tree, 2);
-  EXPECT_EQ(text.rfind("spe-bundle 2 num_features 2 payload_bytes ", 0), 0u);
+  EXPECT_EQ(text.rfind("spe-bundle 3 num_features 2 payload_bytes ", 0), 0u);
   EXPECT_NE(text.find(" crc32 "), std::string::npos);
+  // A plain tree carries no training hardness profile, so the v3
+  // histogram line records an empty histogram.
+  EXPECT_NE(text.find("\nhardness_histogram 0\n"), std::string::npos);
 
   std::stringstream stream(text);
   ModelBundle bundle = LoadModelBundle(stream);

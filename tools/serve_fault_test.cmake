@@ -85,10 +85,14 @@ if(NOT err MATCHES "model artifact truncated")
 endif()
 
 # ---- 3. legacy headerless artifact loads with a warning ---------------
-# Stripping the first line (the bundle header) leaves a bare spe-model
-# stream, the pre-bundle artifact shape.
+# Stripping the header lines (the bundle header plus the v3
+# hardness_histogram line) leaves a bare spe-model stream, the
+# pre-bundle artifact shape.
 string(FIND "${artifact}" "\n" eol)
-math(EXPR payload_start "${eol} + 1")
+math(EXPR after_header "${eol} + 1")
+string(SUBSTRING "${artifact}" ${after_header} -1 tail)
+string(FIND "${tail}" "\n" eol2)
+math(EXPR payload_start "${after_header} + ${eol2} + 1")
 string(SUBSTRING "${artifact}" ${payload_start} -1 legacy)
 file(WRITE ${dir}/legacy.model "${legacy}")
 

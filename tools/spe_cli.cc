@@ -8,6 +8,7 @@
 //                    [--scores-only]
 //   spe_cli evaluate --data test.csv --model in.model [--threshold 0.5]
 //   spe_cli cv       --data train.csv [--folds 5] [--method ...] [...]
+//   spe_cli inspect  --model in.model
 //
 // CSV input: all columns numeric; the label column (default: last)
 // holds 0/1. LIBSVM input: standard sparse format.
@@ -32,6 +33,7 @@
 #include "spe/imbalance/balance_cascade.h"
 #include "spe/imbalance/under_bagging.h"
 #include "spe/io/model_io.h"
+#include "spe/kernels/flat_forest.h"
 #include "spe/metrics/metrics.h"
 #include "spe/serve/batch_scorer.h"
 
@@ -77,8 +79,8 @@ struct Options {
 [[noreturn]] void Usage(const char* message) {
   if (message != nullptr) std::fprintf(stderr, "error: %s\n\n", message);
   std::fprintf(stderr,
-               "usage: spe_cli <train|predict|evaluate|cv> --data FILE "
-               "[options]\n"
+               "usage: spe_cli <train|predict|evaluate|cv|inspect> "
+               "[--data FILE] [options]\n"
                "  common     --format csv|libsvm (default csv), "
                "--label-column K (csv; default: last)\n"
                "  train      --method SPE|Easy|Cascade (default SPE), "
@@ -89,7 +91,11 @@ struct Options {
                "  predict    --model IN, --threshold T (default 0.5), "
                "--scores-only\n"
                "  evaluate   --model IN, --threshold T (default 0.5)\n"
-               "  cv         --folds F (default 5) + the train options\n");
+               "  cv         --folds F (default 5) + the train options\n"
+               "  inspect    --model IN — print the artifact manifest\n"
+               "             (format version, schema width, payload bytes,\n"
+               "             checksum, members, training hardness "
+               "histogram)\n");
   std::exit(2);
 }
 
@@ -258,6 +264,69 @@ int CrossValidateCommand(const Options& options) {
   return 0;
 }
 
+int InspectCommand(const Options& options) {
+  const std::string model_path = options.Get("model", "");
+  if (model_path.empty()) Usage("inspect requires --model");
+  // Probe first: inspect must describe a broken artifact (that is when
+  // an operator reaches for it), not abort on it.
+  const spe::BundleProbe probe = spe::ProbeModelBundleFile(model_path);
+  if (!probe.ok) {
+    std::fprintf(stderr, "error: %s\n", probe.error.c_str());
+    return 1;
+  }
+  spe::ModelBundle bundle = spe::LoadModelBundleFromFile(model_path);
+  std::printf("artifact:      %s\n", model_path.c_str());
+  if (bundle.format_version == 0) {
+    std::printf("format:        spe-model (bare stream, no schema header)\n");
+  } else {
+    std::printf("format:        spe-bundle v%d\n", bundle.format_version);
+  }
+  std::printf("model:         %s\n", bundle.model->Name().c_str());
+  if (bundle.num_features > 0) {
+    std::printf("num_features:  %zu\n", bundle.num_features);
+  } else {
+    std::printf("num_features:  unknown (serve with --num-features)\n");
+  }
+  if (bundle.format_version >= 2) {
+    std::printf("payload_bytes: %zu\n", bundle.payload_bytes);
+    std::printf("crc32:         %s (verified)\n", bundle.crc32_hex.c_str());
+  } else {
+    std::printf("crc32:         none (legacy artifact; re-save to upgrade)\n");
+  }
+  std::printf("kernel:        %s\n", spe::kernels::ActiveKernel(*bundle.model));
+  if (const auto* voting =
+          dynamic_cast<const spe::VotingEnsembleModel*>(bundle.model.get())) {
+    const spe::VotingEnsemble& members = voting->members();
+    std::map<std::string, std::size_t> by_type;
+    for (std::size_t i = 0; i < members.size(); ++i) {
+      ++by_type[members.member(i).Name()];
+    }
+    std::printf("members:       %zu (", members.size());
+    bool first = true;
+    for (const auto& [name, count] : by_type) {
+      std::printf("%s%zu x %s", first ? "" : ", ", count, name.c_str());
+      first = false;
+    }
+    std::printf(")\n");
+  }
+  const spe::HardnessHistogram& histogram = bundle.hardness_histogram;
+  if (histogram.empty()) {
+    std::printf("hardness_histogram: none\n");
+  } else {
+    std::printf("hardness_histogram: %zu bins, kind %s, range [%g, %g], "
+                "%llu samples\n",
+                histogram.counts.size(), histogram.kind.c_str(),
+                histogram.min, histogram.max,
+                static_cast<unsigned long long>(histogram.total()));
+    std::printf("  counts:");
+    for (const std::uint64_t c : histogram.counts) {
+      std::printf(" %llu", static_cast<unsigned long long>(c));
+    }
+    std::printf("\n");
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -266,6 +335,7 @@ int main(int argc, char** argv) {
   if (options.command == "predict") return Predict(options);
   if (options.command == "evaluate") return EvaluateCommand(options);
   if (options.command == "cv") return CrossValidateCommand(options);
+  if (options.command == "inspect") return InspectCommand(options);
   const std::string message = "unknown command: " + options.command;
   Usage(message.c_str());
 }

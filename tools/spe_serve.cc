@@ -6,6 +6,8 @@
 //             [--default-deadline-ms D] [--degrade-high H --degrade-low L
 //              --degrade-prefix K] [--max-connections M]
 //             [--stats-interval-ms MS] [--metrics-dump FILE]
+//             [--shadow FILE] [--shadow-sample N]
+//             [--drift-threshold PSI] [--drift-min-count N]
 //
 // Speaks the newline-delimited CSV/JSON protocol of spe/serve/
 // line_protocol.h. --stdio serves exactly one "connection" on
@@ -21,6 +23,17 @@
 // backlog past --degrade-high, batches are scored with only the first
 // --degrade-prefix ensemble members (responses marked "degraded":true)
 // until the backlog drains to --degrade-low.
+//
+// Model lifecycle: the scorer serves through a versioned model registry
+// (spe/lifecycle/model_registry.h). A `!reload [PATH]` protocol line or
+// a SIGHUP hot-swaps the served model: the candidate artifact is
+// probed, loaded and kernel-compiled on a dedicated lifecycle thread,
+// then atomically activated — in-flight requests finish on the old
+// version, no request is dropped, and a bad candidate is refused with
+// an ERR line while the old model keeps serving. --shadow loads a
+// second version that re-scores a sample of live batches for
+// prediction diffing, and models saved with a training hardness
+// histogram (v3 bundles) get live drift detection (docs/lifecycle.md).
 //
 // Shutdown drains: on SIGINT/SIGTERM (or stdin EOF) the listener closes,
 // connections stop reading, every accepted request is still scored and
@@ -50,6 +63,7 @@
 
 #include "spe/common/parse.h"
 #include "spe/io/model_io.h"
+#include "spe/lifecycle/model_registry.h"
 #include "spe/obs/metrics.h"
 #include "spe/serve/batch_scorer.h"
 #include "spe/serve/line_protocol.h"
@@ -89,12 +103,28 @@ namespace {
       "  --stats-interval-ms M periodic stats line to stderr (0 = off,\n"
       "                        default 10000 for --port, 0 for --stdio)\n"
       "  --metrics-dump FILE   write the final metrics exposition to FILE\n"
-      "                        after the server drains\n"
+      "                        after the server drains (FILE must be\n"
+      "                        writable at startup — fail fast, not after\n"
+      "                        a day of traffic)\n"
+      "  --shadow FILE         also load FILE as a shadow version: it\n"
+      "                        scores a sample of live batches and the\n"
+      "                        prediction diffs are exported as\n"
+      "                        spe_lifecycle_shadow_* metrics\n"
+      "  --shadow-sample N     shadow every Nth batch (default 8,\n"
+      "                        0 disables shadow scoring)\n"
+      "  --drift-threshold P   PSI above which hardness-distribution\n"
+      "                        drift alerts (default 0.25)\n"
+      "  --drift-min-count N   live rows required before a drift verdict\n"
+      "                        (default 512)\n"
       "protocol: one request per line — CSV features (`0.2,1.5`) or JSON\n"
       "(`{\"id\":1,\"features\":[0.2,1.5],\"deadline_ms\":50}`); `STATS`\n"
       "returns a one-line stats snapshot; `!stats` returns the metrics\n"
-      "exposition (multi-line, ends with `# EOF`); responses come back in\n"
-      "request order. Degraded-mode JSON responses carry "
+      "exposition (multi-line, ends with `# EOF`); `!reload [PATH]`\n"
+      "hot-swaps the served model to PATH (default: the --model artifact,\n"
+      "re-read) and answers OK/ERR once the swap happened — in-flight\n"
+      "requests finish on the old version, none are dropped; SIGHUP\n"
+      "triggers the same reload of the --model path; responses come back\n"
+      "in request order. Degraded-mode JSON responses carry "
       "\"degraded\":true.\n"
       "fault injection: set SPE_FAULTS=score_delay_ms=..,"
       "model_io_fail_rate=..,seed=.. (docs/serving.md)\n");
@@ -142,6 +172,126 @@ void HandleStopSignal(int /*sig*/) {
   if (fd >= 0) close(fd);
 }
 
+std::atomic<bool> g_sighup{false};
+
+void HandleHupSignal(int /*sig*/) {
+  // Just a flag flip (async-signal-safe); the lifecycle thread polls it.
+  g_sighup.store(true, std::memory_order_relaxed);
+}
+
+/// Serializes model reloads onto one lifecycle thread. Loading and
+/// kernel compilation happen here — never on a scoring worker and never
+/// on a connection's reader thread — so a reload (even a slow or failing
+/// one) cannot stall scoring. Requests come from `!reload` lines (each
+/// gets a future resolving to its OK/ERR response line) and from SIGHUP
+/// (fire-and-forget; the outcome is logged to stderr).
+class ReloadCoordinator {
+ public:
+  ReloadCoordinator(std::shared_ptr<spe::lifecycle::ModelRegistry> registry,
+                    std::string default_path, std::size_t fallback_width)
+      : registry_(std::move(registry)),
+        default_path_(std::move(default_path)),
+        fallback_width_(fallback_width),
+        reloads_total_(spe::obs::MetricsRegistry::Global().GetCounter(
+            "spe_lifecycle_reloads_total")),
+        reload_failures_total_(spe::obs::MetricsRegistry::Global().GetCounter(
+            "spe_lifecycle_reload_failures_total")),
+        worker_([this] { Loop(); }) {}
+
+  ~ReloadCoordinator() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    worker_.join();
+  }
+
+  /// Enqueues a reload of `path` ("" = the --model artifact). The
+  /// future resolves to the protocol response line.
+  std::future<std::string> Request(std::string path) {
+    Job job;
+    job.path = path.empty() ? default_path_ : std::move(path);
+    std::future<std::string> future = job.done.get_future();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      jobs_.push_back(std::move(job));
+    }
+    cv_.notify_all();
+    return future;
+  }
+
+ private:
+  struct Job {
+    std::string path;
+    std::promise<std::string> done;
+    bool log_only = false;  // SIGHUP jobs have no client to answer
+  };
+
+  void Loop() {
+    for (;;) {
+      Job job;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        // The timeout doubles as the SIGHUP poll interval: the handler
+        // may only flip an atomic, so someone has to look at it.
+        cv_.wait_for(lock, std::chrono::milliseconds(200),
+                     [&] { return stop_ || !jobs_.empty(); });
+        if (g_sighup.exchange(false, std::memory_order_relaxed)) {
+          Job hup;
+          hup.path = default_path_;
+          hup.log_only = true;
+          jobs_.push_back(std::move(hup));
+        }
+        if (jobs_.empty()) {
+          if (stop_) break;
+          continue;
+        }
+        job = std::move(jobs_.front());
+        jobs_.pop_front();
+      }
+      const std::string response = Reload(job.path);
+      if (job.log_only) {
+        std::fprintf(stderr, "spe_serve: SIGHUP reload: %s\n",
+                     response.c_str());
+      } else {
+        job.done.set_value(response);
+      }
+    }
+  }
+
+  std::string Reload(const std::string& path) {
+    spe::lifecycle::ModelRegistry::LoadResult result =
+        registry_->LoadFromFile(path, fallback_width_);
+    if (!result.ok()) {
+      reload_failures_total_.Add();
+      return "ERR reload failed: " + result.error;
+    }
+    const std::string error = registry_->Activate(result.version);
+    if (!error.empty()) {
+      reload_failures_total_.Add();
+      return "ERR reload refused: " + error;
+    }
+    reloads_total_.Add();
+    return "OK reloaded version " +
+           std::to_string(result.version->version()) + " from " + path +
+           " kernel=" + result.version->kernel() +
+           (result.version->drift() != nullptr ? " drift=on" : " drift=off");
+  }
+
+  const std::shared_ptr<spe::lifecycle::ModelRegistry> registry_;
+  const std::string default_path_;
+  const std::size_t fallback_width_;
+  spe::obs::Counter& reloads_total_;
+  spe::obs::Counter& reload_failures_total_;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Job> jobs_;
+  bool stop_ = false;
+  std::thread worker_;
+};
+
 /// Reads one newline-terminated request line into `line`, enforcing the
 /// protocol's line-length cap without ever buffering an oversized line
 /// whole: the overflow is consumed and discarded in fixed-size chunks.
@@ -173,15 +323,21 @@ bool ReadBoundedLine(std::FILE* in, std::string& line, bool& oversized) {
 /// `default_deadline_ms` <= 0 means "no deadline unless the request
 /// sets one".
 void ServeSession(std::FILE* in, std::FILE* out, spe::BatchScorer& scorer,
-                  double default_deadline_ms) {
+                  ReloadCoordinator& reloader, double default_deadline_ms) {
   struct Pending {
     spe::ServeRequest request;
-    std::future<spe::ScoreResult> future;  // valid only for kScore
+    std::future<spe::ScoreResult> future;       // valid only for kScore
+    std::future<std::string> reload_response;   // valid only for kReload
   };
   std::deque<Pending> pending;
   std::mutex mu;
   std::condition_variable cv;
   bool done_reading = false;
+  // Requests read but not yet answered (queued here or being written).
+  // The reload barrier below waits on this, not on pending.empty():
+  // the writer pops an item before resolving its future, so an empty
+  // queue can still have one request in flight inside the scorer.
+  std::size_t inflight = 0;
 
   std::thread writer([&] {
     for (;;) {
@@ -216,6 +372,14 @@ void ServeSession(std::FILE* in, std::FILE* out, spe::BatchScorer& scorer,
             response.pop_back();
           }
           break;
+        case spe::RequestKind::kReload:
+          // Waiting here (the writer thread) is what makes the OK/ERR
+          // line land in request order without ever pausing scoring:
+          // requests already submitted keep flowing through the
+          // workers, and responses queued behind this one are for
+          // requests that were *read* after the reload was requested.
+          response = item.reload_response.get();
+          break;
         case spe::RequestKind::kInvalid:
           response = spe::FormatErrorResponse(item.request,
                                               item.request.error);
@@ -226,6 +390,11 @@ void ServeSession(std::FILE* in, std::FILE* out, spe::BatchScorer& scorer,
       std::fputs(response.c_str(), out);
       std::fputc('\n', out);
       std::fflush(out);
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        --inflight;
+      }
+      cv.notify_all();
     }
   });
 
@@ -245,6 +414,25 @@ void ServeSession(std::FILE* in, std::FILE* out, spe::BatchScorer& scorer,
       item.request = spe::ParseRequestLine(line);
     }
     if (item.request.kind == spe::RequestKind::kEmpty) continue;
+    if (item.request.kind == spe::RequestKind::kReload) {
+      // Barrier semantics within this connection: every request read
+      // *before* the `!reload` line is answered — scored on the
+      // pre-swap version — before the swap is even requested, and
+      // requests after it score on the outcome of the reload (new
+      // version, or old one if it was refused). The drain matters:
+      // rows still queued inside the scorer at swap time would
+      // otherwise score on the new version, making the swap boundary
+      // nondeterministic for the one client that asked for it. Both
+      // waits block only this session's reader — other connections
+      // keep scoring on the version their batches snapshotted, so the
+      // swap still drops nothing.
+      {
+        std::unique_lock<std::mutex> lock(mu);
+        cv.wait(lock, [&] { return inflight == 0; });
+      }
+      item.reload_response = reloader.Request(item.request.reload_path);
+      item.reload_response.wait();
+    }
     if (item.request.kind == spe::RequestKind::kScore) {
       if (item.request.features.size() != scorer.num_features()) {
         item.request.kind = spe::RequestKind::kInvalid;
@@ -273,6 +461,7 @@ void ServeSession(std::FILE* in, std::FILE* out, spe::BatchScorer& scorer,
       // but never reads cannot grow memory without limit.
       cv.wait(lock, [&] { return pending.size() < 16384; });
       pending.push_back(std::move(item));
+      ++inflight;
     }
     cv.notify_all();
   }
@@ -284,15 +473,17 @@ void ServeSession(std::FILE* in, std::FILE* out, spe::BatchScorer& scorer,
   writer.join();
 }
 
-int RunStdio(spe::BatchScorer& scorer, double default_deadline_ms) {
-  ServeSession(stdin, stdout, scorer, default_deadline_ms);
+int RunStdio(spe::BatchScorer& scorer, ReloadCoordinator& reloader,
+             double default_deadline_ms) {
+  ServeSession(stdin, stdout, scorer, reloader, default_deadline_ms);
   scorer.Shutdown();
   std::fprintf(stderr, "%s\n", spe::ToJson(scorer.stats().Snapshot()).c_str());
   return 0;
 }
 
-int RunTcp(spe::BatchScorer& scorer, const std::string& host, int port,
-           double default_deadline_ms, std::size_t max_connections) {
+int RunTcp(spe::BatchScorer& scorer, ReloadCoordinator& reloader,
+           const std::string& host, int port, double default_deadline_ms,
+           std::size_t max_connections) {
   const int listen_fd = socket(AF_INET, SOCK_STREAM, 0);
   if (listen_fd < 0) {
     std::perror("socket");
@@ -348,13 +539,13 @@ int RunTcp(spe::BatchScorer& scorer, const std::string& host, int port,
       ++sessions.active;
       sessions.open_fds.insert(fd);
     }
-    std::thread([fd, &scorer, &sessions, default_deadline_ms] {
+    std::thread([fd, &scorer, &reloader, &sessions, default_deadline_ms] {
       // Separate FILE streams for the two directions; each owns a dup
       // so fclose of one cannot yank the fd from under the other.
       std::FILE* in = fdopen(fd, "r");
       std::FILE* out = fdopen(dup(fd), "w");
       if (in != nullptr && out != nullptr) {
-        ServeSession(in, out, scorer, default_deadline_ms);
+        ServeSession(in, out, scorer, reloader, default_deadline_ms);
       }
       if (in != nullptr) std::fclose(in);
       if (out != nullptr) std::fclose(out);
@@ -442,18 +633,72 @@ int main(int argc, char** argv) {
       GetDoubleFlag(flags, "default-deadline-ms", 0.0, 0.0);
   const std::size_t max_connections = static_cast<std::size_t>(
       GetIntFlag(flags, "max-connections", 256, 0, 1 << 20));
+  config.shadow_every = static_cast<std::size_t>(
+      GetIntFlag(flags, "shadow-sample", 8, 0, 1 << 20));
 
-  spe::ModelBundle bundle = spe::LoadModelBundleFromFile(model_path);
-  // Bundles (spe_cli train output) record the row width; bare spe-model
-  // artifacts predate the header and need --num-features.
-  long num_features = GetIntFlag(flags, "num-features", 0, 1, 1 << 24);
-  if (num_features <= 0) num_features = static_cast<long>(bundle.num_features);
-  if (num_features <= 0) {
-    Usage("model artifact has no schema header; pass --num-features");
+  // Fail fast on an unwritable dump target: discovering it only at
+  // drain time throws away the run's metrics after the fact.
+  const std::string dump_path = get("metrics-dump", "");
+  if (!dump_path.empty()) {
+    std::FILE* probe = std::fopen(dump_path.c_str(), "a");
+    if (probe == nullptr) {
+      Usage(("--metrics-dump path is not writable: " + dump_path).c_str());
+    }
+    std::fclose(probe);
   }
 
-  spe::BatchScorer scorer(std::move(bundle.model),
-                          static_cast<std::size_t>(num_features), config);
+  spe::lifecycle::DriftConfig drift;
+  drift.psi_threshold = GetDoubleFlag(flags, "drift-threshold", 0.25, 1e-9);
+  drift.min_samples = static_cast<std::uint64_t>(
+      GetIntFlag(flags, "drift-min-count", 512, 1, 1L << 40));
+
+  // Bundles (spe_cli train output) record the row width; bare spe-model
+  // artifacts predate the header and need --num-features.
+  const long num_features_flag =
+      GetIntFlag(flags, "num-features", 0, 1, 1 << 24);
+  const std::size_t fallback_width =
+      num_features_flag > 0 ? static_cast<std::size_t>(num_features_flag) : 0;
+
+  auto registry = std::make_shared<spe::lifecycle::ModelRegistry>(drift);
+  {
+    const auto loaded = registry->LoadFromFile(model_path, fallback_width);
+    if (!loaded.ok()) {
+      if (loaded.error.find("no schema header") != std::string::npos) {
+        Usage("model artifact has no schema header; pass --num-features");
+      }
+      std::fprintf(stderr, "error: cannot load --model %s: %s\n",
+                   model_path.c_str(), loaded.error.c_str());
+      return 1;
+    }
+    const std::string error = registry->Activate(loaded.version);
+    if (!error.empty()) {
+      std::fprintf(stderr, "error: %s\n", error.c_str());
+      return 1;
+    }
+  }
+  const std::string shadow_path = get("shadow", "");
+  if (!shadow_path.empty()) {
+    const auto loaded = registry->LoadFromFile(shadow_path, fallback_width);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "error: cannot load --shadow %s: %s\n",
+                   shadow_path.c_str(), loaded.error.c_str());
+      return 1;
+    }
+    if (loaded.version->num_features() !=
+        registry->active()->num_features()) {
+      std::fprintf(stderr,
+                   "error: --shadow feature width %zu does not match the "
+                   "model's %zu\n",
+                   loaded.version->num_features(),
+                   registry->active()->num_features());
+      return 1;
+    }
+    registry->SetShadow(loaded.version);
+  }
+
+  spe::BatchScorer scorer(registry, config);
+  ReloadCoordinator reloader(registry, model_path, fallback_width);
+  std::signal(SIGHUP, HandleHupSignal);
   const long interval_ms =
       GetIntFlag(flags, "stats-interval-ms", use_stdio ? 0 : 10000, 0,
                  86'400'000);
@@ -463,11 +708,10 @@ int main(int argc, char** argv) {
         scorer.stats(), std::cerr, std::chrono::milliseconds(interval_ms));
   }
   const int rc = use_stdio
-                     ? RunStdio(scorer, default_deadline_ms)
-                     : RunTcp(scorer, get("host", "127.0.0.1"), port,
-                              default_deadline_ms, max_connections);
+                     ? RunStdio(scorer, reloader, default_deadline_ms)
+                     : RunTcp(scorer, reloader, get("host", "127.0.0.1"),
+                              port, default_deadline_ms, max_connections);
   // Drained: every accepted request is counted, so the dump is final.
-  const std::string dump_path = get("metrics-dump", "");
   if (!dump_path.empty()) {
     std::FILE* f = std::fopen(dump_path.c_str(), "w");
     if (f == nullptr) {
