@@ -1,7 +1,10 @@
 #include "spe/classifiers/decision_tree.h"
 
 #include <algorithm>
+#include <charconv>
 #include <cmath>
+#include <cstdio>
+#include <cstdint>
 #include <istream>
 #include <limits>
 #include <numeric>
@@ -251,12 +254,36 @@ std::vector<double> DecisionTree::FeatureImportances() const {
 
 void DecisionTree::SaveModel(std::ostream& os) const {
   SPE_CHECK(!nodes_.empty()) << "cannot save an unfitted tree";
-  os.precision(std::numeric_limits<double>::max_digits10);
-  os << "nodes " << nodes_.size() << "\n";
+  // std::to_chars(general, 17) is specified to format exactly as printf
+  // %.17g, which is byte-identical to the old `os << double` at
+  // max_digits10 precision — but ~4x faster, and batching into one
+  // string skips the per-field stream machinery. This path matters:
+  // trees are serialized once per member on every checkpointed training
+  // run, where formatting was the dominant cost (docs/robustness.md).
+  std::string out;
+  out.reserve(64 + nodes_.size() * 64);
+  char line[160];
+  std::snprintf(line, sizeof(line), "nodes %zu\n", nodes_.size());
+  out += line;
   for (const Node& n : nodes_) {
-    os << n.feature << " " << n.threshold << " " << n.left << " " << n.right
-       << " " << n.value << "\n";
+    char* p = line;
+    const auto put_int = [&p](std::int64_t v) {
+      p = std::to_chars(p, p + 24, v).ptr;
+      *p++ = ' ';
+    };
+    const auto put_double = [&p](double v) {
+      p = std::to_chars(p, p + 32, v, std::chars_format::general, 17).ptr;
+      *p++ = ' ';
+    };
+    put_int(n.feature);
+    put_double(n.threshold);
+    put_int(n.left);
+    put_int(n.right);
+    put_double(n.value);
+    p[-1] = '\n';  // the line's last separator becomes its newline
+    out.append(line, static_cast<std::size_t>(p - line));
   }
+  os.write(out.data(), static_cast<std::streamsize>(out.size()));
 }
 
 DecisionTree DecisionTree::LoadModel(std::istream& is) {

@@ -1,0 +1,45 @@
+#ifndef SPE_COMMON_EXIT_CODES_H_
+#define SPE_COMMON_EXIT_CODES_H_
+
+#include <string_view>
+
+namespace spe {
+
+/// Unified exit-code taxonomy for spe_cli and spe_serve, asserted
+/// exactly by the pipeline ctests and documented in docs/robustness.md.
+/// Orchestrators can branch on these: retry a 3, page on a 4, and treat
+/// a 5 as a chaos-harness artifact rather than an incident.
+enum ExitCode : int {
+  kExitOk = 0,
+  /// Unclassified runtime failure (the catch-all it always was).
+  kExitRuntime = 1,
+  /// Bad flags or malformed invocation (pre-existing convention).
+  kExitUsage = 2,
+  /// A file could not be opened/read/written, after bounded retries.
+  kExitIo = 3,
+  /// An artifact or checkpoint failed integrity validation: bad magic,
+  /// CRC mismatch, truncation, parse failure, or a checkpoint written
+  /// by a different run (config/data fingerprint mismatch).
+  kExitCorruptArtifact = 4,
+  /// An SPE_FAULTS-injected failure survived retries. Distinct from
+  /// kExitIo so chaos runs never masquerade as real disk trouble.
+  kExitFault = 5,
+};
+
+/// Maps a probe/load error message onto the taxonomy. The error strings
+/// are produced by spe/io and spe/checkpoint; classifying the message
+/// keeps those modules free of process-exit policy.
+inline int ClassifyArtifactErrorExit(std::string_view error) {
+  if (error.find("injected fault") != std::string_view::npos) {
+    return kExitFault;
+  }
+  if (error.find("cannot open") != std::string_view::npos ||
+      error.find("cannot write") != std::string_view::npos) {
+    return kExitIo;
+  }
+  return kExitCorruptArtifact;
+}
+
+}  // namespace spe
+
+#endif  // SPE_COMMON_EXIT_CODES_H_

@@ -2,6 +2,7 @@
 #define SPE_COMMON_FAULT_H_
 
 #include <atomic>
+#include <cstddef>
 #include <cstdint>
 #include <mutex>
 #include <random>
@@ -24,6 +25,23 @@ struct FaultConfig {
   /// operation; intermediate rates draw from a seeded deterministic
   /// stream.
   double model_io_fail_rate = 0.0;
+  /// Probability in [0, 1] that a model/checkpoint artifact *write*
+  /// fails transiently (TransientIoError before the atomic rename, so
+  /// nothing is ever half-published). Unlike model_io_fail_rate, which
+  /// aborts the process, these rates model recoverable I/O weather and
+  /// compose with spe/common/retry.
+  double artifact_write_fail_rate = 0.0;
+  /// Probability in [0, 1] that a model/checkpoint artifact *read*
+  /// fails transiently (TransientIoError before any bytes are parsed).
+  double artifact_read_fail_rate = 0.0;
+  /// Probability in [0, 1] that loading a training dataset (LoadCsv /
+  /// LoadLibsvm) fails transiently.
+  double data_io_fail_rate = 0.0;
+  /// When nonzero, SIGKILL the process immediately after the
+  /// checkpoint for self-paced iteration N is published — the chaos
+  /// harness's model of preemption/OOM-kill at the worst moment. A
+  /// real SIGKILL, not an abort: no destructors, no atexit, no flush.
+  std::uint64_t crash_at_iteration = 0;
   /// Seed for the probabilistic faults above. Same seed, same spec =>
   /// same fault sequence.
   std::uint64_t seed = 0;
@@ -38,6 +56,10 @@ struct FaultConfig {
 /// via the SPE_FAULTS environment variable, read once at first use:
 ///
 ///   SPE_FAULTS="score_delay_ms=50,model_io_fail_rate=0.25,seed=7"
+///   SPE_FAULTS="crash_at_iteration=3"
+///   SPE_FAULTS="artifact_write_fail_rate=1,data_io_fail_rate=0.5,seed=2"
+///
+/// The full grammar is documented in docs/robustness.md.
 ///
 /// A malformed SPE_FAULTS aborts at startup with the offending token —
 /// a fault plan that silently half-applies would defeat the point.
@@ -74,8 +96,25 @@ class FaultRegistry {
   /// model_io_fail_rate. True means the caller must fail the operation.
   bool ShouldFailModelIo();
 
+  /// Transient-fault injection points: one deterministic Bernoulli draw
+  /// each. True means the caller must throw TransientIoError (the
+  /// callers in spe/io and spe/data do exactly that).
+  bool ShouldFailArtifactWrite();
+  bool ShouldFailArtifactRead();
+  bool ShouldFailDataIo();
+
+  /// Training crash point: SIGKILLs the process when `iteration`
+  /// equals crash_at_iteration. Called by SelfPacedEnsemble::Fit right
+  /// after each iteration's checkpoint publishes; a no-op otherwise.
+  void MaybeCrashAtIteration(std::size_t iteration) const;
+
  private:
   FaultRegistry();
+
+  /// One Bernoulli draw from the shared engine against the given rate
+  /// field. Zero-rate faults never draw, so enabling one fault cannot
+  /// shift another fault's deterministic sequence.
+  bool DrawFailure(double FaultConfig::* rate);
 
   mutable std::mutex mu_;
   FaultConfig config_;

@@ -1,0 +1,69 @@
+#include "spe/common/retry.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <thread>
+
+#include "spe/obs/metrics.h"
+
+namespace spe {
+namespace internal_retry {
+namespace {
+
+// SplitMix64: one multiply-xor round per draw. A full std::mt19937_64
+// would be overkill for jitter, and keeping the state a single word
+// makes BackoffMs trivially testable.
+std::uint64_t NextState(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ull;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+std::uint64_t BackoffMs(const RetryPolicy& policy, std::size_t attempt,
+                        std::uint64_t& jitter_state) {
+  double delay = static_cast<double>(policy.initial_backoff_ms);
+  for (std::size_t i = 1; i < attempt; ++i) delay *= policy.multiplier;
+  delay = std::min(delay, static_cast<double>(policy.max_backoff_ms));
+  const double jitter = std::clamp(policy.jitter, 0.0, 0.999);
+  // Uniform in [1 - jitter, 1]: spreading retries out below the cap
+  // avoids the synchronized-stampede failure mode without ever waiting
+  // longer than the deterministic envelope.
+  const double u = static_cast<double>(NextState(jitter_state) >> 11) /
+                   static_cast<double>(1ull << 53);
+  delay *= 1.0 - jitter * u;
+  return static_cast<std::uint64_t>(std::llround(std::max(delay, 0.0)));
+}
+
+void SleepMs(std::uint64_t ms) {
+  if (ms > 0) std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+}
+
+void LogRetry(std::string_view what, std::size_t attempt,
+              std::size_t max_attempts, std::uint64_t delay_ms,
+              const char* reason) {
+  std::fprintf(stderr,
+               "[spe] transient failure (%s), retrying in %llums "
+               "(attempt %zu/%zu): %s\n",
+               std::string(what).c_str(),
+               static_cast<unsigned long long>(delay_ms), attempt,
+               max_attempts, reason);
+}
+
+void CountRetry() {
+  obs::MetricsRegistry::Global().GetCounter("spe_io_retries_total").Add(1);
+}
+
+void CountExhausted() {
+  obs::MetricsRegistry::Global()
+      .GetCounter("spe_io_retries_exhausted_total")
+      .Add(1);
+}
+
+}  // namespace internal_retry
+}  // namespace spe

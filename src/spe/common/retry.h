@@ -1,0 +1,97 @@
+#ifndef SPE_COMMON_RETRY_H_
+#define SPE_COMMON_RETRY_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace spe {
+
+/// Failure of an I/O operation that a later attempt may succeed at — a
+/// flaky disk, a mount blip, or an injected SPE_FAULTS failure. Thrown
+/// by the transient fault-injection points (data_io_fail_rate,
+/// artifact_write_fail_rate, artifact_read_fail_rate) and by callers
+/// that classify their own errors as retryable. RetryWithBackoff
+/// catches exactly this type; everything else (corrupt artifact, logic
+/// error) propagates immediately, because retrying cannot heal it.
+class TransientIoError : public std::runtime_error {
+ public:
+  explicit TransientIoError(const std::string& what, bool injected = false)
+      : std::runtime_error(what), injected_(injected) {}
+
+  /// True when the failure came from the SPE_FAULTS registry rather
+  /// than the real filesystem. The exit-code taxonomy
+  /// (spe/common/exit_codes.h) reports the two differently so a chaos
+  /// run is distinguishable from a genuinely broken disk.
+  bool injected() const { return injected_; }
+
+ private:
+  bool injected_ = false;
+};
+
+/// Bounded jittered exponential backoff. Attempt k (1-based) sleeps
+///   min(initial_backoff_ms * multiplier^(k-1), max_backoff_ms)
+/// scaled by a uniform draw from [1 - jitter, 1] before retrying. The
+/// jitter stream is seeded (same policy => same delays), so retrying
+/// never perturbs the training determinism contract — backoff touches
+/// the wall clock only, never the model RNG.
+struct RetryPolicy {
+  std::size_t max_attempts = 4;        ///< total tries, including the first
+  std::uint64_t initial_backoff_ms = 5;
+  double multiplier = 2.0;
+  std::uint64_t max_backoff_ms = 2000;
+  double jitter = 0.5;                 ///< fraction shaved off, in [0, 1)
+  std::uint64_t seed = 0;              ///< jitter stream seed
+};
+
+namespace internal_retry {
+
+/// Delay before retry number `attempt` (1 = after the first failure),
+/// with the jitter draw taken from `jitter_state` (advanced in place).
+/// Exposed for tests; callers use RetryWithBackoff.
+std::uint64_t BackoffMs(const RetryPolicy& policy, std::size_t attempt,
+                        std::uint64_t& jitter_state);
+
+void SleepMs(std::uint64_t ms);
+void LogRetry(std::string_view what, std::size_t attempt,
+              std::size_t max_attempts, std::uint64_t delay_ms,
+              const char* reason);
+void CountRetry();
+void CountExhausted();
+
+}  // namespace internal_retry
+
+/// Runs `op()`, retrying on TransientIoError with the policy's jittered
+/// exponential backoff, up to max_attempts total tries. Rethrows the
+/// last error once attempts are exhausted; any other exception type
+/// propagates on the first occurrence. `what` names the operation in
+/// the per-retry stderr log line. Retries are counted in the
+/// spe_io_retries_total / spe_io_retries_exhausted_total metrics.
+template <typename Op>
+auto RetryWithBackoff(const RetryPolicy& policy, std::string_view what,
+                      Op&& op) -> decltype(op()) {
+  std::uint64_t jitter_state = policy.seed + 0x9e3779b97f4a7c15ull;
+  const std::size_t attempts = policy.max_attempts > 0 ? policy.max_attempts : 1;
+  for (std::size_t attempt = 1;; ++attempt) {
+    try {
+      return op();
+    } catch (const TransientIoError& error) {
+      if (attempt >= attempts) {
+        internal_retry::CountExhausted();
+        throw;
+      }
+      internal_retry::CountRetry();
+      const std::uint64_t delay_ms =
+          internal_retry::BackoffMs(policy, attempt, jitter_state);
+      internal_retry::LogRetry(what, attempt, attempts, delay_ms,
+                               error.what());
+      internal_retry::SleepMs(delay_ms);
+    }
+  }
+}
+
+}  // namespace spe
+
+#endif  // SPE_COMMON_RETRY_H_

@@ -8,10 +8,13 @@
 
 #include "spe/classifiers/classifier.h"
 #include "spe/classifiers/training_observer.h"
+#include "spe/checkpoint/checkpoint.h"
 #include "spe/core/hardness.h"
 #include "spe/kernels/program.h"
 
 namespace spe {
+
+class Rng;
 
 /// How the self-paced factor alpha evolves across iterations. kTan is the
 /// paper's schedule; the others are ablations (DESIGN.md §4.1) isolating
@@ -38,6 +41,26 @@ struct SelfPacedEnsembleConfig {
   /// released implementation keeps it).
   bool include_bootstrap_model = false;
   std::uint64_t seed = 0;
+};
+
+/// Crash-safe training knobs (docs/robustness.md). With `directory`
+/// set, Fit publishes an atomically-written, CRC-checked checkpoint of
+/// the full fit state after every `every`-th self-paced iteration, and
+/// with `resume` continues a previous run from it instead of starting
+/// over. The determinism contract extends across the crash: a run
+/// killed at any iteration and resumed produces the same final
+/// artifact, bit for bit, as an uninterrupted run — under any
+/// SPE_THREADS setting, because the checkpoint captures the exact RNG
+/// engine state and resume replays the deterministic probability
+/// accumulation from the restored members.
+struct FitCheckpointOptions {
+  std::string directory;   ///< empty => checkpointing disabled
+  std::size_t every = 1;   ///< checkpoint after every N-th iteration
+  bool resume = false;     ///< continue from an existing checkpoint
+  /// Tests only: return from Fit right after iteration N's checkpoint
+  /// publishes — an in-process stand-in for SIGKILL that keeps the
+  /// determinism matrix runnable inside one gtest binary. 0 = off.
+  std::size_t halt_after_iteration = 0;
 };
 
 /// Self-paced Ensemble (Algorithm 1) — the paper's core contribution.
@@ -101,6 +124,22 @@ class SelfPacedEnsemble final : public Classifier,
     callback_ = std::move(callback);
   }
 
+  /// Installs the crash-safety knobs for subsequent Fit calls.
+  void set_checkpoint_options(FitCheckpointOptions options) {
+    checkpoint_ = std::move(options);
+  }
+  const FitCheckpointOptions& checkpoint_options() const {
+    return checkpoint_;
+  }
+
+  /// Non-aborting resume preflight: "" when no checkpoint exists in the
+  /// configured directory (fresh start) or when the checkpoint is
+  /// usable for `train` under this configuration; otherwise the reason
+  /// it would be refused (corruption, or a config/data fingerprint
+  /// mismatch). spe_cli calls this before Fit so a broken checkpoint
+  /// maps to the corrupt-artifact exit code instead of an abort.
+  std::string CheckResumable(const Dataset& train) const;
+
   /// Alpha used at self-paced iteration i (1-based) of n under `schedule`.
   /// Exposed for tests and for the Fig. 3 bench.
   static double AlphaAt(AlphaSchedule schedule, std::size_t i, std::size_t n);
@@ -122,6 +161,44 @@ class SelfPacedEnsemble final : public Classifier,
   }
 
  private:
+  /// FitWithValidation's early-stop bookkeeping, lifted into a named
+  /// struct so Fit can checkpoint and restore it: prob_sum accumulates
+  /// member probabilities over the validation set, best_* track the
+  /// best-scoring ensemble prefix, and data_fingerprint pins the
+  /// checkpoint to the exact validation set.
+  struct ValidationTracker {
+    std::uint64_t data_fingerprint = 0;
+    /// The validation set itself, for the resume path: checkpoints store
+    /// only scored_members, and resume rebuilds prob_sum by replaying
+    /// that member prefix over this dataset.
+    const Dataset* data = nullptr;
+    std::vector<double> prob_sum;
+    double best_auc = -1.0;
+    std::size_t best_size = 0;
+    std::size_t scored_members = 0;  // ensemble prefix already in prob_sum
+  };
+
+  /// 64-bit digest of every config field that changes what Fit computes.
+  std::uint64_t ConfigFingerprint() const;
+
+  /// "" when `loaded` can seed a resume under the given fingerprints;
+  /// otherwise the refusal reason.
+  std::string ValidateLoadedState(const checkpoint::LoadResult& loaded,
+                                  std::uint64_t config_fp,
+                                  std::uint64_t data_fp) const;
+
+  /// Publishes the current fit state as the checkpoint for resuming at
+  /// `next_iteration`. Only the manifest is framed here (scalars + RNG +
+  /// early-stop state); the member bytes were already staged into the
+  /// publisher's append-only log as they were trained, and the
+  /// probability accumulators are recomputed at resume, never stored.
+  /// `publisher` performs the actual file publish off the training
+  /// thread.
+  void WriteCheckpoint(checkpoint::AsyncCheckpointPublisher& publisher,
+                       std::uint64_t config_fp, std::uint64_t data_fp,
+                       std::size_t next_iteration, std::size_t prob_count,
+                       Rng& rng);
+
   /// Re-bins the majority-set hardness under the current ensemble into
   /// training_hardness_ (the drift baseline of v3 artifacts). Called at
   /// the end of Fit and again after validation truncation, so the frozen
@@ -133,6 +210,10 @@ class SelfPacedEnsemble final : public Classifier,
   VotingEnsemble ensemble_;
   IterationCallback callback_;
   HardnessHistogram training_hardness_;
+  FitCheckpointOptions checkpoint_;
+  /// Non-null only while FitWithValidation's frame is live; Fit uses it
+  /// to include the early-stop state in checkpoints and restores.
+  ValidationTracker* validation_tracker_ = nullptr;
 };
 
 }  // namespace spe

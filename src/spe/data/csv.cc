@@ -6,6 +6,8 @@
 #include <vector>
 
 #include "spe/common/check.h"
+#include "spe/common/fault.h"
+#include "spe/common/retry.h"
 
 namespace spe {
 namespace {
@@ -23,6 +25,13 @@ std::vector<std::string> SplitLine(const std::string& line) {
 }  // namespace
 
 Dataset LoadCsv(const std::string& path, std::size_t label_column, bool has_header) {
+  // Transient fault point: a recoverable read failure before any bytes
+  // are consumed; callers (spe_cli's LoadData) retry with backoff.
+  if (Faults().ShouldFailDataIo()) {
+    throw TransientIoError(
+        "injected fault: transient data read failed for " + path,
+        /*injected=*/true);
+  }
   std::ifstream in(path);
   SPE_CHECK(in.good()) << "cannot open " << path;
 

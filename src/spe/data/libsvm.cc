@@ -7,6 +7,8 @@
 #include <vector>
 
 #include "spe/common/check.h"
+#include "spe/common/fault.h"
+#include "spe/common/retry.h"
 
 namespace spe {
 namespace {
@@ -55,6 +57,12 @@ int MapLabel(int raw, const std::string& path) {
 }  // namespace
 
 Dataset LoadLibsvm(const std::string& path, std::size_t num_features) {
+  // Transient fault point, mirroring LoadCsv.
+  if (Faults().ShouldFailDataIo()) {
+    throw TransientIoError(
+        "injected fault: transient data read failed for " + path,
+        /*injected=*/true);
+  }
   std::ifstream in(path);
   SPE_CHECK(in.good()) << "cannot open " << path;
 

@@ -21,6 +21,7 @@
 #include "spe/common/check.h"
 #include "spe/common/crc32.h"
 #include "spe/common/fault.h"
+#include "spe/common/retry.h"
 #include "spe/core/self_paced_ensemble.h"
 #include "spe/imbalance/balance_cascade.h"
 #include "spe/kernels/flat_forest.h"
@@ -346,6 +347,15 @@ void SaveModelBundleToFile(const Classifier& model, std::size_t num_features,
   // rename(2) it over `path`. rename on the same filesystem is atomic,
   // so a reader of `path` only ever sees the complete old artifact or
   // the complete new one — never a torn half-write.
+  // Transient fault point: a recoverable write failure (disk full, EIO)
+  // before any side effect. Thrown, not aborted, so callers can retry
+  // under spe/common/retry — unlike the model_io_fail_rate point below,
+  // which keeps its historical abort semantics.
+  if (Faults().ShouldFailArtifactWrite()) {
+    throw TransientIoError(
+        "injected fault: transient artifact write failed for " + path,
+        /*injected=*/true);
+  }
   const std::string tmp = path + ".tmp";
   {
     std::ofstream os(tmp, std::ios::trunc);
@@ -532,6 +542,13 @@ BundleProbe ProbeModelBundleFile(const std::string& path) {
 }
 
 ModelBundle LoadModelBundleFromFile(const std::string& path) {
+  // Transient fault point: a recoverable read failure, retryable by the
+  // caller (ModelRegistry::LoadFromFile does exactly that).
+  if (Faults().ShouldFailArtifactRead()) {
+    throw TransientIoError(
+        "injected fault: transient artifact read failed for " + path,
+        /*injected=*/true);
+  }
   // Fault point: simulates an unreadable artifact (bad disk, lost
   // mount) so server startup failure paths are testable.
   SPE_CHECK(!Faults().ShouldFailModelIo())

@@ -55,13 +55,35 @@ ModelRegistry::LoadResult ModelRegistry::LoadFromFile(
   // with aborting checks (correct for startup — a server must not come
   // up on a bad artifact), but a *reload* candidate failing must refuse
   // the candidate, not take down the serving process.
-  const BundleProbe probe = ProbeModelBundleFile(path);
-  if (!probe.ok) {
+  //
+  // Transient failures — "cannot open" from the probe (a mount blip; the
+  // artifact is rename(2)-published, so a file that exists is never
+  // torn) and TransientIoError from the loader (injected read faults) —
+  // retry under load_retry_ before the candidate is refused. Integrity
+  // failures never retry: bits do not heal.
+  ModelBundle bundle;
+  try {
+    const BundleProbe probe =
+        RetryWithBackoff(load_retry_, "artifact probe " + path, [&] {
+          BundleProbe p = ProbeModelBundleFile(path);
+          if (!p.ok &&
+              p.error.find("cannot open") != std::string::npos) {
+            throw TransientIoError(p.error);
+          }
+          return p;
+        });
+    if (!probe.ok) {
+      load_failures_total_.Add();
+      result.error = probe.error;
+      return result;
+    }
+    bundle = RetryWithBackoff(load_retry_, "artifact load " + path,
+                              [&] { return LoadModelBundleFromFile(path); });
+  } catch (const TransientIoError& error) {
     load_failures_total_.Add();
-    result.error = probe.error;
+    result.error = error.what();
     return result;
   }
-  ModelBundle bundle = LoadModelBundleFromFile(path);
   std::size_t num_features = bundle.num_features;
   if (num_features == 0) num_features = fallback_num_features;
   if (num_features == 0) {

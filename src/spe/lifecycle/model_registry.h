@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "spe/classifiers/classifier.h"
+#include "spe/common/retry.h"
 #include "spe/core/hardness.h"
 #include "spe/lifecycle/drift.h"
 #include "spe/obs/metrics.h"
@@ -105,6 +106,12 @@ class ModelRegistry {
   LoadResult LoadFromFile(const std::string& path,
                           std::size_t fallback_num_features = 0);
 
+  /// Backoff for transient load failures ("cannot open" probes,
+  /// injected read faults). Defaults suit serving; tests shrink the
+  /// backoff to keep flaky-artifact scenarios fast.
+  void set_load_retry(const RetryPolicy& policy) { load_retry_ = policy; }
+  const RetryPolicy& load_retry() const { return load_retry_; }
+
   /// Registers an already-constructed model (tests, embedded use) as a
   /// new inactive version.
   std::shared_ptr<const ModelVersion> Install(
@@ -145,6 +152,7 @@ class ModelRegistry {
       std::unique_ptr<Classifier> model, VersionManifest manifest);
 
   const DriftConfig drift_config_;
+  RetryPolicy load_retry_;
   std::atomic<std::shared_ptr<const ModelVersion>> active_{nullptr};
   std::atomic<std::shared_ptr<const ModelVersion>> shadow_{nullptr};
 

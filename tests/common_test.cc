@@ -330,6 +330,46 @@ TEST(FaultTest, ParseSpecRoundTripsAndRejectsGarbage) {
   EXPECT_FALSE(FaultRegistry::ParseSpec("score_delay_ms", &config, &error));
 }
 
+TEST(FaultTest, ParseSpecHandlesTheRobustnessFaultKeys) {
+  FaultConfig config;
+  std::string error;
+  EXPECT_TRUE(FaultRegistry::ParseSpec(
+      "artifact_write_fail_rate=0.25,artifact_read_fail_rate=0.5,"
+      "data_io_fail_rate=1,crash_at_iteration=7",
+      &config, &error))
+      << error;
+  EXPECT_EQ(config.artifact_write_fail_rate, 0.25);
+  EXPECT_EQ(config.artifact_read_fail_rate, 0.5);
+  EXPECT_EQ(config.data_io_fail_rate, 1.0);
+  EXPECT_EQ(config.crash_at_iteration, 7u);
+
+  // Rates outside [0, 1] and non-numeric values are spec errors that
+  // name the offending key.
+  EXPECT_FALSE(FaultRegistry::ParseSpec("artifact_write_fail_rate=1.5",
+                                        &config, &error));
+  EXPECT_NE(error.find("artifact_write_fail_rate"), std::string::npos);
+  EXPECT_FALSE(
+      FaultRegistry::ParseSpec("data_io_fail_rate=often", &config, &error));
+  EXPECT_FALSE(
+      FaultRegistry::ParseSpec("crash_at_iteration=soon", &config, &error));
+
+  // Any single robustness fault arms the registry.
+  FaultRegistry::Instance().Configure(config);
+  EXPECT_TRUE(FaultRegistry::Instance().enabled());
+  FaultRegistry::Instance().Reset();
+
+  // Zero-rate faults never draw from the shared engine, so arming one
+  // fault leaves the others' sequences untouched (determinism contract
+  // for byte-identical kill/resume runs).
+  FaultConfig quiet;
+  quiet.crash_at_iteration = 99;  // armed but never reached here
+  FaultRegistry::Instance().Configure(quiet);
+  EXPECT_FALSE(FaultRegistry::Instance().ShouldFailArtifactWrite());
+  EXPECT_FALSE(FaultRegistry::Instance().ShouldFailArtifactRead());
+  EXPECT_FALSE(FaultRegistry::Instance().ShouldFailDataIo());
+  FaultRegistry::Instance().Reset();
+}
+
 TEST(FaultTest, ModelIoFaultsAreDeterministicPerSeed) {
   FaultConfig config;
   config.model_io_fail_rate = 0.5;

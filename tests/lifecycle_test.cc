@@ -16,6 +16,7 @@
 
 #include <gtest/gtest.h>
 
+#include "spe/common/fault.h"
 #include "spe/core/self_paced_ensemble.h"
 #include "spe/io/model_io.h"
 #include "spe/lifecycle/drift.h"
@@ -123,6 +124,46 @@ TEST(ModelRegistryTest, LoadFromFileRefusesBrokenArtifactsWithoutAborting) {
   EXPECT_EQ(CounterValue("spe_lifecycle_load_failures_total"),
             failures_before + 2);
   std::filesystem::remove(garbage_path);
+}
+
+TEST(ModelRegistryTest, FlakyArtifactReadEventuallyLoadsAndActivates) {
+  // A healthy artifact behind flaky I/O (injected transient read
+  // faults) must load through the retry policy and activate — the
+  // difference between a mount blip and a lost deploy.
+  const std::string path = TempPath("flaky.model");
+  {
+    auto model = TrainSpe(11);
+    SaveModelBundleToFile(*model, 2, path);
+  }
+  ModelRegistry registry;
+  RetryPolicy fast;
+  fast.max_attempts = 8;
+  fast.initial_backoff_ms = 1;
+  registry.set_load_retry(fast);
+
+  // Certain failure first: every attempt faults, the retry budget runs
+  // out, and the load is refused without touching the version list.
+  FaultConfig faults;
+  faults.artifact_read_fail_rate = 1.0;
+  Faults().Configure(faults);
+  auto refused = registry.LoadFromFile(path);
+  EXPECT_FALSE(refused.ok());
+  EXPECT_NE(refused.error.find("injected fault"), std::string::npos)
+      << refused.error;
+  EXPECT_TRUE(registry.Manifests().empty());
+
+  // Flaky-then-healthy: at a 50% deterministic fault rate the retries
+  // get through well inside 8 attempts, and the loaded version
+  // activates normally.
+  faults.artifact_read_fail_rate = 0.5;
+  faults.seed = 3;
+  Faults().Configure(faults);
+  auto loaded = registry.LoadFromFile(path);
+  Faults().Reset();
+  ASSERT_TRUE(loaded.ok()) << loaded.error;
+  EXPECT_TRUE(registry.Activate(loaded.version).empty());
+  EXPECT_EQ(registry.active()->version(), loaded.version->version());
+  std::filesystem::remove(path);
 }
 
 TEST(ModelRegistryTest, LoadFromFileCarriesManifestAndDriftBaseline) {

@@ -14,6 +14,8 @@
 
 #include <gtest/gtest.h>
 
+#include "spe/common/fault.h"
+#include "spe/common/retry.h"
 #include "spe/core/self_paced_ensemble.h"
 #include "spe/io/model_io.h"
 #include "tests/test_util.h"
@@ -161,6 +163,33 @@ TEST(ModelIoFailureTest, ProbeReportsEveryFailureWithoutAborting) {
   for (const std::string& p : {good, truncated, corrupt, garbage}) {
     std::filesystem::remove(p);
   }
+}
+
+TEST(ModelIoFailureTest, TransientWriteFaultThrowsWithoutPublishing) {
+  // artifact_write_fail_rate models recoverable I/O weather: unlike
+  // model_io_fail_rate's abort, it throws TransientIoError *before* the
+  // tmp file is written, so no fault ever leaves a torn artifact.
+  auto model = TrainSpe(9);
+  const std::string path = TempPath("transient_write.model");
+  FaultConfig faults;
+  faults.artifact_write_fail_rate = 1.0;
+  Faults().Configure(faults);
+  EXPECT_THROW(SaveModelBundleToFile(*model, 2, path), TransientIoError);
+  Faults().Reset();
+  EXPECT_FALSE(std::filesystem::exists(path));
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+
+  // With faults off the same call publishes, and a transient *read*
+  // fault on the way back throws without consuming the file.
+  SaveModelBundleToFile(*model, 2, path);
+  faults.artifact_write_fail_rate = 0.0;
+  faults.artifact_read_fail_rate = 1.0;
+  Faults().Configure(faults);
+  EXPECT_THROW(LoadModelBundleFromFile(path), TransientIoError);
+  Faults().Reset();
+  ModelBundle bundle = LoadModelBundleFromFile(path);
+  EXPECT_NE(bundle.model, nullptr);
+  std::filesystem::remove(path);
 }
 
 TEST(ModelIoFailureTest, V3HistogramRoundTripsByteIdentically) {

@@ -183,8 +183,9 @@ execute_process(
     --metrics-dump ${dir}/no_such_dir/metrics.txt
   INPUT_FILE ${dir}/rows.txt
   RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
-if(rc EQUAL 0 OR NOT err MATCHES "--metrics-dump path is not writable")
-  message(FATAL_ERROR "unwritable dump path not rejected: rc=${rc} ${err}")
+if(NOT rc EQUAL 2 OR NOT err MATCHES "--metrics-dump path is not writable")
+  message(FATAL_ERROR
+    "unwritable dump path not rejected with exit 2: rc=${rc} ${err}")
 endif()
 if(out MATCHES "^[0-9]")
   message(FATAL_ERROR "server scored rows despite the usage error: ${out}")

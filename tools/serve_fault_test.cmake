@@ -2,6 +2,7 @@
 # run by ctest (`cmake -P`, no shell needed):
 #   1. train a tiny model bundle with spe_cli
 #   2. corrupted / truncated artifacts must be rejected with a clear error
+#      and the corrupt-artifact exit code (4, spe/common/exit_codes.h)
 #   3. a legacy (headerless) artifact still serves, with a warning,
 #      given --num-features
 #   4. SPE_FAULTS=score_delay_ms + --default-deadline-ms: every request
@@ -61,8 +62,9 @@ execute_process(
   COMMAND ${SPE_SERVE} --model ${dir}/corrupt.model --stdio
   INPUT_FILE ${dir}/one_row.txt
   RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
-if(rc EQUAL 0)
-  message(FATAL_ERROR "corrupted artifact was accepted: ${out}")
+if(NOT rc EQUAL 4)
+  message(FATAL_ERROR
+    "corrupted artifact must exit 4 (corrupt artifact), got ${rc}: ${out}")
 endif()
 if(NOT err MATCHES "model artifact corrupted")
   message(FATAL_ERROR "corruption not reported clearly: ${err}")
@@ -77,8 +79,9 @@ execute_process(
   COMMAND ${SPE_SERVE} --model ${dir}/truncated.model --stdio
   INPUT_FILE ${dir}/one_row.txt
   RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
-if(rc EQUAL 0)
-  message(FATAL_ERROR "truncated artifact was accepted: ${out}")
+if(NOT rc EQUAL 4)
+  message(FATAL_ERROR
+    "truncated artifact must exit 4 (corrupt artifact), got ${rc}: ${out}")
 endif()
 if(NOT err MATCHES "model artifact truncated")
   message(FATAL_ERROR "truncation not reported clearly: ${err}")
@@ -166,26 +169,37 @@ if(NOT err MATCHES "\"degraded_batches\":[1-9]")
 endif()
 
 # ---- 6. flag-parsing hardening ----------------------------------------
+# Usage errors are exit code 2, distinct from I/O (3) and corrupt
+# artifacts (4) so a supervisor can tell a typo from a bad deploy.
 execute_process(
   COMMAND ${SPE_SERVE} --model ${dir}/m.model --model ${dir}/m.model --stdio
   RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
-if(rc EQUAL 0 OR NOT err MATCHES "duplicate flag --model")
-  message(FATAL_ERROR "duplicate flag not rejected: rc=${rc} ${err}")
+if(NOT rc EQUAL 2 OR NOT err MATCHES "duplicate flag --model")
+  message(FATAL_ERROR "duplicate flag not rejected with exit 2: rc=${rc} ${err}")
 endif()
 
 execute_process(
   COMMAND ${SPE_SERVE} --model ${dir}/m.model --port banana
   RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
-if(rc EQUAL 0 OR NOT err MATCHES "--port expects an integer")
-  message(FATAL_ERROR "garbage --port not rejected: rc=${rc} ${err}")
+if(NOT rc EQUAL 2 OR NOT err MATCHES "--port expects an integer")
+  message(FATAL_ERROR "garbage --port not rejected with exit 2: rc=${rc} ${err}")
 endif()
 
 execute_process(
   COMMAND ${SPE_CLI} train --data ${dir}/train.csv --n 10abc
     --model ${dir}/ignored.model
   RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
-if(rc EQUAL 0 OR NOT err MATCHES "--n expects an integer")
-  message(FATAL_ERROR "garbage --n not rejected: rc=${rc} ${err}")
+if(NOT rc EQUAL 2 OR NOT err MATCHES "--n expects an integer")
+  message(FATAL_ERROR "garbage --n not rejected with exit 2: rc=${rc} ${err}")
+endif()
+
+# Missing data file: an I/O failure (3), not a generic crash.
+execute_process(
+  COMMAND ${SPE_CLI} train --data ${dir}/no_such_file.csv --n 5
+    --model ${dir}/ignored.model
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 3 OR NOT err MATCHES "cannot open")
+  message(FATAL_ERROR "missing data must exit 3 (I/O): rc=${rc} ${err}")
 endif()
 
 message(STATUS "serve fault-injection pipeline ok")

@@ -4,6 +4,7 @@
 //                    [--label-column K] [--method SPE|Easy|Cascade]
 //                    [--base DT|GBDT10|...] [--n 10] [--bins 20]
 //                    [--hardness AE|SE|CE] [--seed 0] --model out.model
+//                    [--checkpoint-dir DIR [--checkpoint-every N] [--resume]]
 //   spe_cli predict  --data rows.csv --model in.model [--threshold 0.5]
 //                    [--scores-only]
 //   spe_cli evaluate --data test.csv --model in.model [--threshold 0.5]
@@ -15,6 +16,12 @@
 //
 // Everything the subcommands do is plain public API — the tool exists
 // so a dataset can be tried without writing C++.
+//
+// Exit codes follow spe/common/exit_codes.h: 0 ok, 1 runtime error,
+// 2 usage, 3 I/O failure, 4 corrupt artifact/checkpoint, 5 injected
+// fault (docs/robustness.md).
+
+#include <sys/stat.h>
 
 #include <cstdio>
 #include <cstdlib>
@@ -24,8 +31,11 @@
 #include <string>
 #include <vector>
 
+#include "spe/checkpoint/checkpoint.h"
 #include "spe/classifiers/factory.h"
+#include "spe/common/exit_codes.h"
 #include "spe/common/parse.h"
+#include "spe/common/retry.h"
 #include "spe/core/self_paced_ensemble.h"
 #include "spe/data/csv.h"
 #include "spe/data/libsvm.h"
@@ -87,7 +97,10 @@ struct Options {
                "--base NAME (default DT),\n"
                "             --n N (default 10), --bins K (default 20), "
                "--hardness AE|SE|CE,\n"
-               "             --seed S, --model OUT (required)\n"
+               "             --seed S, --model OUT (required),\n"
+               "             --checkpoint-dir DIR (crash-safe training; "
+               "SPE only),\n"
+               "             --checkpoint-every N (default 1), --resume\n"
                "  predict    --model IN, --threshold T (default 0.5), "
                "--scores-only\n"
                "  evaluate   --model IN, --threshold T (default 0.5)\n"
@@ -111,7 +124,7 @@ Options Parse(int argc, char** argv) {
     }
     const std::string key = arg.substr(2);
     std::string value = "1";
-    if (key != "scores-only") {
+    if (key != "scores-only" && key != "resume") {
       if (i + 1 >= argc) {
         const std::string message = "missing value for --" + key;
         Usage(message.c_str());
@@ -129,8 +142,17 @@ Options Parse(int argc, char** argv) {
 spe::Dataset LoadData(const Options& options) {
   const std::string path = options.Get("data", "");
   if (path.empty()) Usage("--data is required");
+  // An unreadable data file is an I/O failure (exit 3), not a usage
+  // error: the invocation was fine, the filesystem was not. Checked
+  // here, before the loaders, whose missing-file path aborts.
+  {
+    std::FILE* f = std::fopen(path.c_str(), "r");
+    if (f == nullptr) throw spe::TransientIoError("cannot open " + path);
+    std::fclose(f);
+  }
   if (options.Get("format", "csv") == "libsvm") {
-    return spe::LoadLibsvm(path);
+    return spe::RetryWithBackoff(spe::RetryPolicy{}, "load " + path,
+                                 [&] { return spe::LoadLibsvm(path); });
   }
   // Default label column: the last one. Peek at the header row width by
   // loading with column 0 would be wasteful; LoadCsv needs the index up
@@ -138,17 +160,16 @@ spe::Dataset LoadData(const Options& options) {
   long label_column = options.GetInt("label-column", -1);
   if (label_column < 0) {
     std::FILE* f = std::fopen(path.c_str(), "r");
-    if (f == nullptr) {
-      const std::string message = "cannot open " + path;
-      Usage(message.c_str());
-    }
+    if (f == nullptr) throw spe::TransientIoError("cannot open " + path);
     int c = 0;
     long columns = 1;
     while ((c = std::fgetc(f)) != EOF && c != '\n') columns += (c == ',');
     std::fclose(f);
     label_column = columns - 1;
   }
-  return spe::LoadCsv(path, static_cast<std::size_t>(label_column));
+  return spe::RetryWithBackoff(spe::RetryPolicy{}, "load " + path, [&] {
+    return spe::LoadCsv(path, static_cast<std::size_t>(label_column));
+  });
 }
 
 spe::HardnessKind ParseHardness(const std::string& name) {
@@ -203,17 +224,72 @@ int Train(const Options& options) {
   const spe::Dataset data = LoadData(options);
   std::fprintf(stderr, "training on %s\n", data.Summary().c_str());
   auto model = BuildMethod(options);
+
+  // Crash-safe training (docs/robustness.md): --checkpoint-dir makes
+  // Fit publish resumable state every --checkpoint-every iterations;
+  // --resume continues from it after a crash.
+  const std::string checkpoint_dir = options.Get("checkpoint-dir", "");
+  std::string checkpoint_file;
+  if (!checkpoint_dir.empty()) {
+    auto* spe_model = dynamic_cast<spe::SelfPacedEnsemble*>(model.get());
+    if (spe_model == nullptr) {
+      Usage("--checkpoint-dir requires --method SPE");
+    }
+    spe::FitCheckpointOptions checkpoint;
+    checkpoint.directory = checkpoint_dir;
+    const long every = options.GetInt("checkpoint-every", 1);
+    if (every < 1) Usage("--checkpoint-every expects an integer >= 1");
+    checkpoint.every = static_cast<std::size_t>(every);
+    checkpoint.resume = options.flags.count("resume") > 0;
+    ::mkdir(checkpoint_dir.c_str(), 0777);  // EEXIST is the common case
+    spe_model->set_checkpoint_options(checkpoint);
+    checkpoint_file = spe::checkpoint::CheckpointPath(checkpoint_dir);
+    if (checkpoint.resume) {
+      // Preflight so a corrupt or mismatched checkpoint maps onto the
+      // exit taxonomy instead of aborting inside Fit.
+      const std::string reason = spe_model->CheckResumable(data);
+      if (!reason.empty()) {
+        std::fprintf(stderr, "error: cannot resume: %s\n", reason.c_str());
+        return spe::kExitCorruptArtifact;
+      }
+    }
+  } else if (options.flags.count("resume") > 0 ||
+             options.flags.count("checkpoint-every") > 0) {
+    Usage("--resume and --checkpoint-every require --checkpoint-dir");
+  }
+
   model->Fit(data);
-  spe::SaveModelBundleToFile(*model, data.num_features(), model_path);
+  spe::RetryWithBackoff(spe::RetryPolicy{}, "write " + model_path, [&] {
+    spe::SaveModelBundleToFile(*model, data.num_features(), model_path);
+  });
   std::fprintf(stderr, "model written to %s\n", model_path.c_str());
+  if (!checkpoint_file.empty() && std::remove(checkpoint_file.c_str()) == 0) {
+    // The published artifact supersedes the checkpoint; retiring it
+    // (manifest first, then its member log) keeps a later run with the
+    // same directory from resuming stale state after a config change.
+    std::remove(spe::checkpoint::MemberLogPath(checkpoint_file).c_str());
+    std::fprintf(stderr, "checkpoint %s retired\n", checkpoint_file.c_str());
+  }
   return 0;
+}
+
+// Probes `path` and returns the taxonomy exit code for a broken
+// artifact, or 0 when it is loadable. Commands probe before loading so
+// a corrupt file becomes a classified exit instead of an abort.
+int ProbeArtifactOrExitCode(const std::string& path) {
+  const spe::BundleProbe probe = spe::ProbeModelBundleFile(path);
+  if (probe.ok) return 0;
+  std::fprintf(stderr, "error: %s\n", probe.error.c_str());
+  return spe::ClassifyArtifactErrorExit(probe.error);
 }
 
 int Predict(const Options& options) {
   const std::string model_path = options.Get("model", "");
   if (model_path.empty()) Usage("predict requires --model");
+  if (const int rc = ProbeArtifactOrExitCode(model_path)) return rc;
   const spe::Dataset data = LoadData(options);
-  auto model = spe::LoadClassifierFromFile(model_path);
+  auto model = spe::RetryWithBackoff(spe::RetryPolicy{}, "load " + model_path,
+                                     [&] { return spe::LoadClassifierFromFile(model_path); });
   // Offline scoring goes through the same batching engine as spe_serve,
   // so there is exactly one dispatch path to keep bit-identical.
   spe::BatchScorer scorer(std::move(model), data.num_features());
@@ -233,8 +309,11 @@ int Predict(const Options& options) {
 int EvaluateCommand(const Options& options) {
   const std::string model_path = options.Get("model", "");
   if (model_path.empty()) Usage("evaluate requires --model");
+  if (const int rc = ProbeArtifactOrExitCode(model_path)) return rc;
   const spe::Dataset data = LoadData(options);
-  const auto model = spe::LoadClassifierFromFile(model_path);
+  const auto model = spe::RetryWithBackoff(
+      spe::RetryPolicy{}, "load " + model_path,
+      [&] { return spe::LoadClassifierFromFile(model_path); });
   const std::vector<double> probs = model->PredictProba(data);
   PrintScores("test", spe::Evaluate(data.labels(), probs,
                                     options.GetDouble("threshold", 0.5)));
@@ -269,12 +348,11 @@ int InspectCommand(const Options& options) {
   if (model_path.empty()) Usage("inspect requires --model");
   // Probe first: inspect must describe a broken artifact (that is when
   // an operator reaches for it), not abort on it.
-  const spe::BundleProbe probe = spe::ProbeModelBundleFile(model_path);
-  if (!probe.ok) {
-    std::fprintf(stderr, "error: %s\n", probe.error.c_str());
-    return 1;
-  }
-  spe::ModelBundle bundle = spe::LoadModelBundleFromFile(model_path);
+  if (const int rc = ProbeArtifactOrExitCode(model_path)) return rc;
+  spe::ModelBundle bundle =
+      spe::RetryWithBackoff(spe::RetryPolicy{}, "load " + model_path, [&] {
+        return spe::LoadModelBundleFromFile(model_path);
+      });
   std::printf("artifact:      %s\n", model_path.c_str());
   if (bundle.format_version == 0) {
     std::printf("format:        spe-model (bare stream, no schema header)\n");
@@ -331,11 +409,21 @@ int InspectCommand(const Options& options) {
 
 int main(int argc, char** argv) {
   const Options options = Parse(argc, argv);
-  if (options.command == "train") return Train(options);
-  if (options.command == "predict") return Predict(options);
-  if (options.command == "evaluate") return EvaluateCommand(options);
-  if (options.command == "cv") return CrossValidateCommand(options);
-  if (options.command == "inspect") return InspectCommand(options);
+  try {
+    if (options.command == "train") return Train(options);
+    if (options.command == "predict") return Predict(options);
+    if (options.command == "evaluate") return EvaluateCommand(options);
+    if (options.command == "cv") return CrossValidateCommand(options);
+    if (options.command == "inspect") return InspectCommand(options);
+  } catch (const spe::TransientIoError& error) {
+    // Retries already happened (and were logged) wherever the error
+    // arose; reaching main means the condition outlived the backoff.
+    std::fprintf(stderr, "error: %s\n", error.what());
+    return error.injected() ? spe::kExitFault : spe::kExitIo;
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "error: %s\n", error.what());
+    return spe::kExitRuntime;
+  }
   const std::string message = "unknown command: " + options.command;
   Usage(message.c_str());
 }

@@ -35,9 +35,16 @@
 // prediction diffing, and models saved with a training hardness
 // histogram (v3 bundles) get live drift detection (docs/lifecycle.md).
 //
-// Shutdown drains: on SIGINT/SIGTERM (or stdin EOF) the listener closes,
-// connections stop reading, every accepted request is still scored and
-// written, and a final stats snapshot goes to stderr.
+// Shutdown drains: on SIGINT/SIGTERM (or stdin EOF) the listener stops
+// accepting, connections stop reading, every accepted request is still
+// scored and written, and a final stats snapshot goes to stderr. Both
+// signals behave identically in both --stdio and --port mode: they are
+// handled on a dedicated signal thread (sigwait), so a SIGTERM from an
+// orchestrator gets the same graceful drain as an interactive Ctrl-C.
+//
+// Exit codes follow spe/common/exit_codes.h: 0 ok (including a drained
+// shutdown), 1 runtime error, 2 usage, 3 I/O failure, 4 corrupt
+// artifact, 5 injected fault (docs/robustness.md).
 
 #include <atomic>
 #include <condition_variable>
@@ -58,9 +65,11 @@
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
+#include <pthread.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include "spe/common/exit_codes.h"
 #include "spe/common/parse.h"
 #include "spe/io/model_io.h"
 #include "spe/lifecycle/model_registry.h"
@@ -163,20 +172,61 @@ double GetDoubleFlag(const std::map<std::string, std::string>& flags,
   return *v;
 }
 
+// Signal plumbing. SIGINT/SIGTERM/SIGHUP are blocked in every thread
+// (pthread_sigmask before any thread is spawned) and consumed by one
+// dedicated signal thread via sigwait — no async-signal-safety puzzles,
+// and SIGTERM gets the exact same graceful drain as SIGINT in both
+// serving modes. SIGUSR1 keeps a handler, deliberately installed
+// *without* SA_RESTART: its only job is to make the stdio reader's
+// blocked read(2) return EINTR so fgets gives up.
 std::atomic<int> g_listen_fd{-1};
-
-void HandleStopSignal(int /*sig*/) {
-  // close() is async-signal-safe; closing the listener pops accept()
-  // out with an error, which the accept loop treats as "stop".
-  const int fd = g_listen_fd.exchange(-1);
-  if (fd >= 0) close(fd);
-}
-
+std::atomic<bool> g_draining{false};
 std::atomic<bool> g_sighup{false};
 
-void HandleHupSignal(int /*sig*/) {
-  // Just a flag flip (async-signal-safe); the lifecycle thread polls it.
-  g_sighup.store(true, std::memory_order_relaxed);
+// The stdio reader registers itself so the signal thread can poke it.
+pthread_t g_stdio_reader;
+std::atomic<bool> g_stdio_reader_set{false};
+std::atomic<bool> g_stdio_done{false};
+
+void HandleWakeSignal(int /*sig*/) {
+  // No-op by design: delivery alone interrupts the reader's read(2).
+}
+
+void SignalWaitLoop() {
+  sigset_t set;
+  sigemptyset(&set);
+  sigaddset(&set, SIGINT);
+  sigaddset(&set, SIGTERM);
+  sigaddset(&set, SIGHUP);
+  for (;;) {
+    int sig = 0;
+    if (sigwait(&set, &sig) != 0) continue;
+    if (sig == SIGHUP) {
+      // Just a flag flip; the lifecycle thread polls it.
+      g_sighup.store(true, std::memory_order_relaxed);
+      continue;
+    }
+    // SIGINT / SIGTERM: one graceful drain. A repeat signal is ignored —
+    // the drain already answers everything accepted, and exiting early
+    // would drop those responses.
+    if (g_draining.exchange(true)) continue;
+    std::fprintf(stderr, "spe_serve: received %s, draining...\n",
+                 sig == SIGTERM ? "SIGTERM" : "SIGINT");
+    // TCP mode: shutdown (not close) pops the blocked accept() with an
+    // error while keeping the fd valid for main to close; close() alone
+    // would not wake a blocked accept on Linux.
+    const int fd = g_listen_fd.load(std::memory_order_acquire);
+    if (fd >= 0) shutdown(fd, SHUT_RDWR);
+    // stdio mode: fgets(stdin) watches no flag, so poke the reader with
+    // SIGUSR1 until it reports done. The retry loop closes the race
+    // where a poke lands between the reader's drain-check and its next
+    // read(2) — the next poke interrupts that read.
+    while (g_stdio_reader_set.load(std::memory_order_acquire) &&
+           !g_stdio_done.load(std::memory_order_acquire)) {
+      pthread_kill(g_stdio_reader, SIGUSR1);
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+  }
 }
 
 /// Serializes model reloads onto one lifecycle thread. Loading and
@@ -400,7 +450,16 @@ void ServeSession(std::FILE* in, std::FILE* out, spe::BatchScorer& scorer,
 
   std::string line;
   bool oversized = false;
-  while (ReadBoundedLine(in, line, oversized)) {
+  for (;;) {
+    if (g_draining.load(std::memory_order_acquire)) break;
+    if (!ReadBoundedLine(in, line, oversized)) break;
+    // A drain signal may interrupt fgets mid-line (SIGUSR1 → EINTR);
+    // scoring that truncated request would answer garbage, so a line
+    // without its newline is dropped once draining. Outside a drain a
+    // final unterminated line (EOF without '\n') still counts.
+    const bool complete =
+        oversized || (!line.empty() && line.back() == '\n');
+    if (!complete && g_draining.load(std::memory_order_acquire)) break;
     while (!line.empty() && (line.back() == '\n' || line.back() == '\r')) {
       line.pop_back();
     }
@@ -475,7 +534,15 @@ void ServeSession(std::FILE* in, std::FILE* out, spe::BatchScorer& scorer,
 
 int RunStdio(spe::BatchScorer& scorer, ReloadCoordinator& reloader,
              double default_deadline_ms) {
-  ServeSession(stdin, stdout, scorer, reloader, default_deadline_ms);
+  // Register with the signal thread before reading, and re-check the
+  // drain flag after: a signal that fired in between was handled by a
+  // poke loop that saw no reader, so the check is what honors it.
+  g_stdio_reader = pthread_self();
+  g_stdio_reader_set.store(true, std::memory_order_release);
+  if (!g_draining.load(std::memory_order_acquire)) {
+    ServeSession(stdin, stdout, scorer, reloader, default_deadline_ms);
+  }
+  g_stdio_done.store(true, std::memory_order_release);
   scorer.Shutdown();
   std::fprintf(stderr, "%s\n", spe::ToJson(scorer.stats().Snapshot()).c_str());
   return 0;
@@ -504,10 +571,12 @@ int RunTcp(spe::BatchScorer& scorer, ReloadCoordinator& reloader,
     close(listen_fd);
     return 1;
   }
-  g_listen_fd.store(listen_fd);
-  std::signal(SIGINT, HandleStopSignal);
-  std::signal(SIGTERM, HandleStopSignal);
-  std::signal(SIGPIPE, SIG_IGN);
+  g_listen_fd.store(listen_fd, std::memory_order_release);
+  // A signal that landed before the store found no fd to shut down;
+  // honor it now rather than blocking in accept() forever.
+  if (g_draining.load(std::memory_order_acquire)) {
+    shutdown(listen_fd, SHUT_RDWR);
+  }
   std::fprintf(stderr, "spe_serve: listening on %s:%d\n", host.c_str(), port);
 
   // Session bookkeeping: `active` counts live session threads, which
@@ -525,7 +594,7 @@ int RunTcp(spe::BatchScorer& scorer, ReloadCoordinator& reloader,
 
   for (;;) {
     const int fd = accept(listen_fd, nullptr, nullptr);
-    if (fd < 0) break;  // listener closed by the signal handler
+    if (fd < 0) break;  // listener shut down by the signal thread
     {
       std::lock_guard<std::mutex> lock(sessions.mu);
       if (max_connections > 0 && sessions.active >= max_connections) {
@@ -557,6 +626,8 @@ int RunTcp(spe::BatchScorer& scorer, ReloadCoordinator& reloader,
       sessions.all_done.notify_all();
     }).detach();
   }
+  g_listen_fd.store(-1, std::memory_order_release);
+  close(listen_fd);
   std::fprintf(stderr, "spe_serve: draining...\n");
   {
     // Stop the readers: half-close every open connection so the reader
@@ -577,6 +648,28 @@ int RunTcp(spe::BatchScorer& scorer, ReloadCoordinator& reloader,
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Signal setup must precede every thread spawn (scorer workers, the
+  // reload coordinator, the stats reporter, session threads) so they
+  // all inherit the blocked mask and only the signal thread ever sees
+  // SIGINT/SIGTERM/SIGHUP. The thread is detached: at a signal-free
+  // shutdown (stdin EOF) it is still parked in sigwait, and process
+  // exit reaps it — it touches only globals, never the stack.
+  sigset_t blocked;
+  sigemptyset(&blocked);
+  sigaddset(&blocked, SIGINT);
+  sigaddset(&blocked, SIGTERM);
+  sigaddset(&blocked, SIGHUP);
+  pthread_sigmask(SIG_BLOCK, &blocked, nullptr);
+  {
+    struct sigaction wake {};
+    wake.sa_handler = HandleWakeSignal;
+    sigemptyset(&wake.sa_mask);
+    wake.sa_flags = 0;  // no SA_RESTART: the EINTR is the whole point
+    sigaction(SIGUSR1, &wake, nullptr);
+  }
+  std::signal(SIGPIPE, SIG_IGN);
+  std::thread(SignalWaitLoop).detach();
+
   std::map<std::string, std::string> flags;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -668,12 +761,12 @@ int main(int argc, char** argv) {
       }
       std::fprintf(stderr, "error: cannot load --model %s: %s\n",
                    model_path.c_str(), loaded.error.c_str());
-      return 1;
+      return spe::ClassifyArtifactErrorExit(loaded.error);
     }
     const std::string error = registry->Activate(loaded.version);
     if (!error.empty()) {
       std::fprintf(stderr, "error: %s\n", error.c_str());
-      return 1;
+      return spe::kExitRuntime;
     }
   }
   const std::string shadow_path = get("shadow", "");
@@ -682,7 +775,7 @@ int main(int argc, char** argv) {
     if (!loaded.ok()) {
       std::fprintf(stderr, "error: cannot load --shadow %s: %s\n",
                    shadow_path.c_str(), loaded.error.c_str());
-      return 1;
+      return spe::ClassifyArtifactErrorExit(loaded.error);
     }
     if (loaded.version->num_features() !=
         registry->active()->num_features()) {
@@ -698,7 +791,6 @@ int main(int argc, char** argv) {
 
   spe::BatchScorer scorer(registry, config);
   ReloadCoordinator reloader(registry, model_path, fallback_width);
-  std::signal(SIGHUP, HandleHupSignal);
   const long interval_ms =
       GetIntFlag(flags, "stats-interval-ms", use_stdio ? 0 : 10000, 0,
                  86'400'000);
@@ -717,7 +809,7 @@ int main(int argc, char** argv) {
     if (f == nullptr) {
       std::fprintf(stderr, "error: cannot write --metrics-dump %s\n",
                    dump_path.c_str());
-      return 1;
+      return spe::kExitIo;
     }
     const std::string text = spe::obs::MetricsRegistry::Global().RenderText();
     std::fwrite(text.data(), 1, text.size(), f);
