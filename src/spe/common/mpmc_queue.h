@@ -63,6 +63,30 @@ class BoundedQueue {
     return true;
   }
 
+  /// Like Push, but leaves `item` intact when the queue refuses it, so
+  /// callers can recover move-only payloads (completion callbacks,
+  /// pooled buffers) instead of losing them inside the call.
+  bool PushKeep(T& item) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_full_.wait(lock, [&] { return items_.size() < capacity_ || closed_; });
+    if (closed_) return false;
+    items_.push_back(std::move(item));
+    lock.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Like TryPush, but leaves `item` intact on refusal.
+  bool TryPushKeep(T& item) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (closed_ || items_.size() >= capacity_) return false;
+      items_.push_back(std::move(item));
+    }
+    not_empty_.notify_one();
+    return true;
+  }
+
   /// Pops up to `max_items` into `out` (cleared first). Blocks until at
   /// least one item is available; once the first item is in hand, waits
   /// at most `max_delay` for the batch to fill before returning what it

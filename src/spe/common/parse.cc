@@ -2,6 +2,7 @@
 
 #include <cctype>
 #include <cerrno>
+#include <charconv>
 #include <cmath>
 #include <cstdlib>
 #include <string>
@@ -9,8 +10,8 @@
 namespace spe {
 namespace {
 
-/// Trims ASCII whitespace and returns the trimmed copy (strto* needs a
-/// NUL-terminated buffer anyway, so the copy is free).
+/// Trims ASCII whitespace. strtoll still needs a NUL-terminated buffer
+/// for the integer path, so the copy stays.
 std::string Trimmed(std::string_view text) {
   std::size_t begin = 0;
   std::size_t end = text.size();
@@ -21,6 +22,45 @@ std::string Trimmed(std::string_view text) {
     --end;
   }
   return std::string(text.substr(begin, end - begin));
+}
+
+/// For a number token from_chars flagged out-of-range: true when its
+/// decimal exponent says overflow (|x| > DBL_MAX), false for underflow.
+/// Out-of-range only happens past ~1e±308, so the sign of the decimal
+/// exponent of the leading significant digit is decisive.
+bool OutOfRangeIsOverflow(std::string_view token) {
+  std::size_t j = 0;
+  if (j < token.size() && (token[j] == '+' || token[j] == '-')) ++j;
+  long long digit_index = 0;   // digits seen, '.' excluded
+  long long point = -1;        // digit_index at which '.' appeared
+  long long first_sig = -1;    // digit_index of the first nonzero digit
+  for (; j < token.size(); ++j) {
+    const char c = token[j];
+    if (c == '.') {
+      point = digit_index;
+      continue;
+    }
+    if (c < '0' || c > '9') break;  // exponent marker (or token end)
+    if (first_sig < 0 && c != '0') first_sig = digit_index;
+    ++digit_index;
+  }
+  if (first_sig < 0) return false;  // 0e±huge is representable anyway
+  if (point < 0) point = digit_index;
+  long long exp10 = 0;
+  if (j < token.size() && (token[j] == 'e' || token[j] == 'E')) {
+    ++j;
+    bool negative = false;
+    if (j < token.size() && (token[j] == '+' || token[j] == '-')) {
+      negative = token[j] == '-';
+      ++j;
+    }
+    for (; j < token.size() && token[j] >= '0' && token[j] <= '9'; ++j) {
+      if (exp10 < 1'000'000) exp10 = exp10 * 10 + (token[j] - '0');
+    }
+    if (negative) exp10 = -exp10;
+  }
+  // Value ~= d.ddd * 10^(point - first_sig - 1 + exp10).
+  return point - first_sig - 1 + exp10 >= 0;
 }
 
 }  // namespace
@@ -40,12 +80,35 @@ std::optional<long long> ParseInt64(std::string_view text) {
 std::optional<double> ParseFiniteDouble(std::string_view text) {
   const std::string s = Trimmed(text);
   if (s.empty()) return std::nullopt;
-  errno = 0;
-  char* end = nullptr;
-  const double v = std::strtod(s.c_str(), &end);
-  if (end != s.c_str() + s.size()) return std::nullopt;
-  if (errno == ERANGE || !std::isfinite(v)) return std::nullopt;
+  std::size_t i = 0;
+  double v = 0.0;
+  if (!ParseDoublePrefix(s, i, &v) || i != s.size()) return std::nullopt;
+  if (!std::isfinite(v)) return std::nullopt;
   return v;
+}
+
+bool ParseDoublePrefix(std::string_view s, std::size_t& i, double* out) {
+  if (i >= s.size()) return false;
+  const char* const end = s.data() + s.size();
+  // from_chars rejects a leading '+' that strtod accepted; skip it and
+  // let from_chars refuse whatever follows ("+-1" stays one refusal).
+  const char* begin = s.data() + i;
+  if (*begin == '+') ++begin;
+  double v = 0.0;
+  const std::from_chars_result r =
+      std::from_chars(begin, end, v, std::chars_format::general);
+  if (r.ec == std::errc::result_out_of_range) {
+    // from_chars leaves `v` unmodified here; reconstruct strtod's
+    // answer from the token it consumed.
+    const std::string_view token(begin, static_cast<std::size_t>(r.ptr - begin));
+    const double magnitude = OutOfRangeIsOverflow(token) ? HUGE_VAL : 0.0;
+    v = !token.empty() && token.front() == '-' ? -magnitude : magnitude;
+  } else if (r.ec != std::errc()) {
+    return false;
+  }
+  i = static_cast<std::size_t>(r.ptr - s.data());
+  *out = v;
+  return true;
 }
 
 }  // namespace spe

@@ -22,6 +22,19 @@ std::optional<long long> ParseInt64(std::string_view text);
 /// trailing junk.
 std::optional<double> ParseFiniteDouble(std::string_view text);
 
+/// Parses the longest strtod-style number starting at s[i] — optional
+/// sign, decimal or scientific notation, "inf"/"nan" spellings; no hex
+/// floats — and advances i past it. Built on std::from_chars, so the
+/// result is identical under every locale (strtod honors the locale's
+/// decimal separator, which breaks the wire protocol under a
+/// decimal-comma locale). strtod's range semantics are preserved:
+/// overflow yields ±infinity, underflow ±0.0, so callers keep their
+/// existing finite-value policing. Returns false (i untouched) when no
+/// number starts at i. Non-finite results are deliberately NOT
+/// rejected here — the serve protocol wants to distinguish "not a
+/// number" from "a non-finite number" in its error taxonomy.
+bool ParseDoublePrefix(std::string_view s, std::size_t& i, double* out);
+
 }  // namespace spe
 
 #endif  // SPE_COMMON_PARSE_H_

@@ -95,7 +95,7 @@ std::future<ScoreResult> BatchScorer::Submit(
   req.features = std::move(features);
   req.enqueued = std::chrono::steady_clock::now();
   req.deadline = deadline;
-  std::future<ScoreResult> future = req.promise.get_future();
+  std::future<ScoreResult> future = req.promise.emplace().get_future();
   const bool accepted = config_.overflow == OverflowPolicy::kBlock
                             ? queue_.Push(std::move(req))
                             : queue_.TryPush(std::move(req));
@@ -113,6 +113,43 @@ std::future<ScoreResult> BatchScorer::Submit(
   return future;
 }
 
+void BatchScorer::SubmitCallback(std::vector<double> features,
+                                 std::chrono::steady_clock::time_point deadline,
+                                 ScoreCallback done) {
+  SPE_CHECK_EQ(features.size(), num_features_)
+      << "submitted row width does not match the model schema";
+  SPE_CHECK(done != nullptr);
+  Request req;
+  req.features = std::move(features);
+  req.done = std::move(done);
+  req.enqueued = std::chrono::steady_clock::now();
+  req.deadline = deadline;
+  // The Keep variants leave `req` intact on refusal, so the rejection
+  // can travel through the caller's own callback with its pooled
+  // feature buffer attached — nothing is lost inside the queue.
+  const bool accepted = config_.overflow == OverflowPolicy::kBlock
+                            ? queue_.PushKeep(req)
+                            : queue_.TryPushKeep(req);
+  if (!accepted) {
+    const bool closed = queue_.closed();
+    if (!closed) stats_.RecordShed();
+    req.done({}, std::make_exception_ptr(ScorerOverloaded(
+                  closed ? "scorer is shut down" : "request queue full")),
+             std::move(req.features));
+  }
+}
+
+void BatchScorer::Complete(Request& r, ScoreResult result,
+                           std::exception_ptr error) {
+  if (r.done) {
+    r.done(result, std::move(error), std::move(r.features));
+  } else if (error != nullptr) {
+    r.promise->set_exception(std::move(error));
+  } else {
+    r.promise->set_value(result);
+  }
+}
+
 double BatchScorer::Score(std::vector<double> features) {
   return Submit(std::move(features)).get().proba;
 }
@@ -126,7 +163,7 @@ std::vector<double> BatchScorer::ScoreBatch(const Dataset& rows) {
     Request req;
     req.features.assign(row.begin(), row.end());
     req.enqueued = std::chrono::steady_clock::now();
-    futures.push_back(req.promise.get_future());
+    futures.push_back(req.promise.emplace().get_future());
     // Offline scoring always blocks: shedding rows out of a file-scoring
     // run would silently truncate the output.
     SPE_CHECK(queue_.Push(std::move(req))) << "scorer is shut down";
@@ -215,7 +252,7 @@ void BatchScorer::WorkerLoop() {
     for (Request& r : batch) {
       if (r.deadline != kNoDeadline && r.deadline < now) {
         stats_.RecordDeadlineExpired();
-        r.promise.set_exception(std::make_exception_ptr(DeadlineExceeded()));
+        Complete(r, {}, std::make_exception_ptr(DeadlineExceeded()));
       } else {
         live.push_back(&r);
       }
@@ -254,13 +291,13 @@ void BatchScorer::WorkerLoop() {
         stats_.RecordRequest(static_cast<std::uint64_t>(
             std::chrono::duration_cast<std::chrono::microseconds>(waited)
                 .count()));
-        live[i]->promise.set_value({probs[i], degraded});
+        Complete(*live[i], {probs[i], degraded}, nullptr);
       }
     } catch (...) {
       // A model that throws poisons only the requests in this batch —
       // the worker and every other queued request keep going.
       const std::exception_ptr error = std::current_exception();
-      for (Request* r : live) r->promise.set_exception(error);
+      for (Request* r : live) Complete(*r, {}, error);
     }
   }
 }

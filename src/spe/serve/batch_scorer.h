@@ -4,8 +4,10 @@
 #include <atomic>
 #include <chrono>
 #include <cstddef>
+#include <functional>
 #include <future>
 #include <memory>
+#include <optional>
 #include <stdexcept>
 #include <thread>
 #include <vector>
@@ -145,6 +147,28 @@ class BatchScorer {
       std::vector<double> features,
       std::chrono::steady_clock::time_point deadline = kNoDeadline);
 
+  /// Completion signature for SubmitCallback. Exactly one of
+  /// result/error is meaningful: `error` is null on success, else it
+  /// holds what the future path would have thrown (ScorerOverloaded,
+  /// DeadlineExceeded, or a model exception). `features` is the
+  /// submitted vector handed back so the caller can pool it — its
+  /// contents are unspecified, its capacity is intact.
+  using ScoreCallback = std::function<void(
+      ScoreResult result, std::exception_ptr error,
+      std::vector<double> features)>;
+
+  /// Future-free submission for event-loop transports: instead of
+  /// parking a thread on a future, `done` is invoked exactly once when
+  /// the request completes — on a worker thread normally, or inline on
+  /// the submitting thread when the request is shed (queue full under
+  /// kShed, or after Shutdown). Same queueing, batching, deadline and
+  /// degradation semantics as Submit; the two paths differ only in how
+  /// the result leaves the scorer. `done` must not block: it runs on
+  /// the scoring workers, so a slow callback stalls batch dispatch.
+  void SubmitCallback(std::vector<double> features,
+                      std::chrono::steady_clock::time_point deadline,
+                      ScoreCallback done);
+
   /// Convenience: Submit + wait, probability only. Propagates
   /// ScorerOverloaded / DeadlineExceeded.
   double Score(std::vector<double> features);
@@ -181,10 +205,18 @@ class BatchScorer {
  private:
   struct Request {
     std::vector<double> features;
-    std::promise<ScoreResult> promise;
+    /// Engaged on the future path only; the callback path skips the
+    /// promise's shared-state allocation entirely.
+    std::optional<std::promise<ScoreResult>> promise;
+    ScoreCallback done;  // engaged on the callback path only
     std::chrono::steady_clock::time_point enqueued;
     std::chrono::steady_clock::time_point deadline = kNoDeadline;
   };
+
+  /// Resolves `r` through whichever channel it carries (promise or
+  /// callback). `error` null means success.
+  static void Complete(Request& r, ScoreResult result,
+                       std::exception_ptr error);
 
   void WorkerLoop();
   void ShadowScore(const Dataset& rows, std::span<const double> active_probs,

@@ -3,7 +3,8 @@
 #include <cctype>
 #include <cmath>
 #include <cstdio>
-#include <cstdlib>
+
+#include "spe/common/parse.h"
 
 namespace spe {
 namespace {
@@ -13,27 +14,12 @@ void SkipSpace(std::string_view s, std::size_t& i) {
 }
 
 bool ParseNumber(std::string_view s, std::size_t& i, double* out) {
-  // strtod needs a NUL-terminated buffer; numbers are short, so copy
-  // the longest prefix that can still be part of a number.
-  char buf[64];
-  std::size_t n = 0;
-  while (i + n < s.size() && n + 1 < sizeof(buf)) {
-    const char c = s[i + n];
-    if (std::isdigit(static_cast<unsigned char>(c)) || c == '+' || c == '-' ||
-        c == '.' || c == 'e' || c == 'E' || c == 'n' || c == 'a' ||
-        c == 'i' || c == 'f' || c == 'N' || c == 'A' || c == 'I' || c == 'F') {
-      buf[n++] = c;
-    } else {
-      break;
-    }
-  }
-  buf[n] = '\0';
-  char* end = nullptr;
-  const double v = std::strtod(buf, &end);
-  if (end == buf) return false;
-  i += static_cast<std::size_t>(end - buf);
-  *out = v;
-  return true;
+  // ParseDoublePrefix parses in place (no NUL-terminated copy) and is
+  // locale-independent — strtod here would read "0,5" as 0.5 under a
+  // decimal-comma locale and desynchronize the whole CSV line.
+  // Non-finite values still parse; the callers reject them with the
+  // dedicated taxonomy message.
+  return ParseDoublePrefix(s, i, out);
 }
 
 ServeRequest Invalid(std::string message, bool json) {

@@ -1,0 +1,335 @@
+// Live-socket tests for the epoll serving loop (spe/serve/event_loop.h):
+// protocol negotiation, response bit-identity against the scorer's own
+// future path, slow clients that force partial writes, the capacity
+// refusal line, !reload ordering, and drain. Everything runs against
+// 127.0.0.1 on an ephemeral port; no test sleeps for correctness —
+// sockets block with generous timeouts instead.
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include "spe/classifiers/decision_tree.h"
+#include "spe/serve/batch_scorer.h"
+#include "spe/serve/event_loop.h"
+#include "spe/serve/line_protocol.h"
+#include "spe/serve/wire.h"
+#include "test_util.h"
+
+namespace spe {
+namespace {
+
+std::unique_ptr<Classifier> TinyModel() {
+  auto tree = std::make_unique<DecisionTree>(DecisionTreeConfig{});
+  tree->Fit(testing::SeparableBlobs(200, 40, 11));
+  return tree;
+}
+
+/// Scorer + loop on an ephemeral port, with the loop on its own thread.
+class LoopHarness {
+ public:
+  explicit LoopHarness(serve::EventLoopConfig config = {},
+                       serve::ReloadRequestFn reload_fn = {}) {
+    BatchScorerConfig scorer_config;
+    scorer_config.num_workers = 2;
+    scorer_ = std::make_unique<BatchScorer>(TinyModel(), 2, scorer_config);
+    loop_ = std::make_unique<serve::EventLoop>(*scorer_, config,
+                                               std::move(reload_fn));
+    const std::string error = loop_->Listen("127.0.0.1", 0);
+    EXPECT_TRUE(error.empty()) << error;
+    thread_ = std::thread([this] { loop_->Run(); });
+  }
+
+  ~LoopHarness() {
+    loop_->RequestDrain();
+    thread_.join();
+    scorer_->Shutdown();
+  }
+
+  BatchScorer& scorer() { return *scorer_; }
+  serve::EventLoop& loop() { return *loop_; }
+
+  int Connect(int rcvbuf_bytes = 0) {
+    const int fd = socket(AF_INET, SOCK_STREAM, 0);
+    EXPECT_GE(fd, 0);
+    if (rcvbuf_bytes > 0) {
+      // Must be set before connect so the window scale is negotiated
+      // small — this is what turns the peer into a slow reader the
+      // server can overrun.
+      setsockopt(fd, SOL_SOCKET, SO_RCVBUF, &rcvbuf_bytes,
+                 sizeof(rcvbuf_bytes));
+    }
+    const timeval timeout{.tv_sec = 30, .tv_usec = 0};
+    setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<uint16_t>(loop_->port()));
+    inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    EXPECT_EQ(connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+              0)
+        << std::strerror(errno);
+    return fd;
+  }
+
+ private:
+  std::unique_ptr<BatchScorer> scorer_;
+  std::unique_ptr<serve::EventLoop> loop_;
+  std::thread thread_;
+};
+
+void SendAll(int fd, std::string_view bytes) {
+  std::size_t put = 0;
+  while (put < bytes.size()) {
+    const ssize_t n = send(fd, bytes.data() + put, bytes.size() - put, 0);
+    ASSERT_GT(n, 0) << std::strerror(errno);
+    put += static_cast<std::size_t>(n);
+  }
+}
+
+/// Reads until `count` newline-terminated lines arrived (or EOF/timeout
+/// fails the test). Returns the lines without their newlines.
+std::vector<std::string> RecvLines(int fd, std::size_t count) {
+  std::vector<std::string> lines;
+  std::string buffer;
+  char chunk[4096];
+  while (lines.size() < count) {
+    const ssize_t n = recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) {
+      ADD_FAILURE() << "connection ended after " << lines.size() << "/"
+                    << count << " lines: " << std::strerror(errno);
+      return lines;
+    }
+    buffer.append(chunk, static_cast<std::size_t>(n));
+    std::size_t nl;
+    while (lines.size() < count &&
+           (nl = buffer.find('\n')) != std::string::npos) {
+      lines.push_back(buffer.substr(0, nl));
+      buffer.erase(0, nl + 1);
+    }
+  }
+  return lines;
+}
+
+/// Reads exactly one binary response frame.
+wire::DecodedResponse RecvFrame(int fd) {
+  unsigned char raw[wire::kHeaderBytes];
+  auto read_full = [&](unsigned char* dst, std::size_t n) {
+    std::size_t at = 0;
+    while (at < n) {
+      const ssize_t r = recv(fd, dst + at, n - at, 0);
+      if (r <= 0) return false;
+      at += static_cast<std::size_t>(r);
+    }
+    return true;
+  };
+  wire::DecodedResponse response;
+  if (!read_full(raw, sizeof(raw))) {
+    ADD_FAILURE() << "no response frame header";
+    return response;
+  }
+  const wire::FrameHeader header = wire::DecodeHeader(raw);
+  EXPECT_EQ(header.magic, wire::kMagic);
+  EXPECT_LE(header.payload_len, wire::kMaxPayloadBytes);
+  std::vector<unsigned char> payload(header.payload_len);
+  if (!read_full(payload.data(), payload.size())) {
+    ADD_FAILURE() << "truncated response frame";
+    return response;
+  }
+  EXPECT_EQ(wire::DecodeResponse(header, payload.data(), response), "");
+  return response;
+}
+
+TEST(EventLoopTest, TextResponsesAreBitIdenticalToTheScorer) {
+  LoopHarness harness;
+  const std::vector<std::vector<double>> rows = {
+      {0.5, 1.5}, {4.0, 4.0}, {-1.0, 2.0}};
+  const int fd = harness.Connect();
+  std::string request_text;
+  for (const auto& row : rows) {
+    request_text += std::to_string(row[0]) + "," + std::to_string(row[1]);
+    request_text += '\n';
+  }
+  request_text += "{\"id\":9,\"features\":[4.0,4.0]}\n";
+  SendAll(fd, request_text);
+  const std::vector<std::string> lines = RecvLines(fd, rows.size() + 1);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const ScoreResult truth = harness.scorer().Submit(rows[i]).get();
+    ServeRequest csv;
+    csv.json = false;
+    EXPECT_EQ(lines[i], FormatScoreResponse(csv, truth.proba, truth.degraded));
+  }
+  const ScoreResult truth = harness.scorer().Submit({4.0, 4.0}).get();
+  ServeRequest json;
+  json.json = true;
+  json.id = "9";
+  EXPECT_EQ(lines[rows.size()],
+            FormatScoreResponse(json, truth.proba, truth.degraded));
+  close(fd);
+}
+
+TEST(EventLoopTest, BinaryScoresMatchTextScoresBitForBit) {
+  LoopHarness harness;
+  const std::vector<std::vector<double>> rows = {
+      {0.25, -1.5}, {3.75, 4.25}, {0.0, 0.0}};
+  // Text connection.
+  const int text_fd = harness.Connect();
+  std::string text;
+  for (const auto& row : rows) {
+    char line[64];
+    std::snprintf(line, sizeof(line), "%.17g,%.17g\n", row[0], row[1]);
+    text += line;
+  }
+  SendAll(text_fd, text);
+  const std::vector<std::string> text_lines = RecvLines(text_fd, rows.size());
+  // Binary connection, same rows.
+  const int bin_fd = harness.Connect();
+  std::string frames;
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    wire::AppendScoreRequest(frames, i + 1, rows[i].data(), rows[i].size());
+  }
+  SendAll(bin_fd, frames);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const wire::DecodedResponse response = RecvFrame(bin_fd);
+    EXPECT_EQ(response.type, wire::FrameType::kScoreOk);
+    EXPECT_EQ(response.id, i + 1);
+    char formatted[40];
+    std::snprintf(formatted, sizeof(formatted), "%.17g", response.proba);
+    EXPECT_EQ(text_lines[i], formatted)
+        << "binary and text scores diverge for row " << i;
+  }
+  close(text_fd);
+  close(bin_fd);
+}
+
+TEST(EventLoopTest, SlowClientGetsEveryResponseDespitePartialWrites) {
+  LoopHarness harness;
+  // A tiny receive window plus a reader that does not read until all
+  // requests are sent: the server's writes hit EAGAIN and must finish
+  // through EPOLLOUT without dropping or reordering anything.
+  const int fd = harness.Connect(/*rcvbuf_bytes=*/2048);
+  constexpr int kRequests = 400;
+  // Fat ids make fat JSON responses — more bytes than the client's
+  // receive window can hold, guaranteeing backpressure.
+  const std::string padding(180, 'x');
+  std::string requests;
+  for (int i = 0; i < kRequests; ++i) {
+    requests += "{\"id\":\"" + std::to_string(i) + "-" + padding +
+                "\",\"features\":[1.5,2.5]}\n";
+  }
+  SendAll(fd, requests);
+  const std::vector<std::string> lines = RecvLines(fd, kRequests);
+  ASSERT_EQ(lines.size(), static_cast<std::size_t>(kRequests));
+  for (int i = 0; i < kRequests; ++i) {
+    const std::string expected_prefix =
+        "{\"id\":\"" + std::to_string(i) + "-";
+    EXPECT_EQ(lines[i].rfind(expected_prefix, 0), 0u)
+        << "response " << i << " out of order: " << lines[i];
+  }
+  close(fd);
+}
+
+TEST(EventLoopTest, CapacityRefusalLineArrivesWhole) {
+  serve::EventLoopConfig config;
+  config.max_connections = 1;
+  LoopHarness harness(config);
+  const int first = harness.Connect();
+  SendAll(first, "1.0,2.0\n");
+  RecvLines(first, 1);  // session established and answered
+  const int second = harness.Connect();
+  const std::vector<std::string> refusal = RecvLines(second, 1);
+  ASSERT_EQ(refusal.size(), 1u);
+  EXPECT_EQ(refusal[0], "ERR server at connection capacity");
+  // The refused socket is closed by the server.
+  char byte;
+  EXPECT_EQ(recv(second, &byte, 1, 0), 0);
+  close(second);
+  close(first);
+  EXPECT_GE(harness.loop().counters().refused.load(), 1u);
+}
+
+TEST(EventLoopTest, ReloadAnswersInOrderAndLaterRequestsWaitForIt) {
+  std::atomic<int> reloads{0};
+  serve::EventLoopConfig config;
+  LoopHarness harness(
+      config, [&reloads](std::string path,
+                         std::function<void(std::string)> done) {
+        // Answer from another thread after a delay, like the real
+        // lifecycle coordinator: requests after the !reload must not
+        // be answered before this resolves.
+        std::thread([&reloads, path = std::move(path),
+                     done = std::move(done)] {
+          std::this_thread::sleep_for(std::chrono::milliseconds(50));
+          reloads.fetch_add(1);
+          done("OK fake reload of " + path);
+        }).detach();
+      });
+  const int fd = harness.Connect();
+  SendAll(fd, "1.0,2.0\n!reload candidate.model\n3.0,4.0\n");
+  const std::vector<std::string> lines = RecvLines(fd, 3);
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_NE(lines[0], "");
+  EXPECT_EQ(lines[1], "OK fake reload of candidate.model");
+  // The request read after the !reload must still be scored (a bare
+  // number, not an error line).
+  EXPECT_EQ(lines[2].rfind("ERR", 0), std::string::npos);
+  EXPECT_FALSE(lines[2].empty());
+  EXPECT_EQ(reloads.load(), 1);
+  close(fd);
+}
+
+TEST(EventLoopTest, DrainAnswersAcceptedRequestsThenCloses) {
+  auto harness = std::make_unique<LoopHarness>();
+  const int fd = harness->Connect();
+  SendAll(fd, "1.0,2.0\n2.0,3.0\n");
+  const std::vector<std::string> before = RecvLines(fd, 2);
+  ASSERT_EQ(before.size(), 2u);
+  harness->loop().RequestDrain();
+  // After the drain the connection must reach EOF (server closed it)
+  // without garbage in between.
+  char byte;
+  ssize_t n;
+  while ((n = recv(fd, &byte, 1, 0)) > 0) {
+  }
+  EXPECT_EQ(n, 0) << std::strerror(errno);
+  close(fd);
+  harness.reset();  // Run() must have returned; ~LoopHarness joins
+}
+
+TEST(EventLoopTest, MixedProtocolConnectionsCoexist) {
+  LoopHarness harness;
+  const int text_fd = harness.Connect();
+  const int bin_fd = harness.Connect();
+  std::string frame;
+  const double row[] = {1.0, 2.0};
+  wire::AppendScoreRequest(frame, 42, row, 2);
+  SendAll(bin_fd, frame);
+  SendAll(text_fd, "1.0,2.0\n");
+  const wire::DecodedResponse bin = RecvFrame(bin_fd);
+  const std::vector<std::string> text = RecvLines(text_fd, 1);
+  EXPECT_EQ(bin.type, wire::FrameType::kScoreOk);
+  EXPECT_EQ(bin.id, 42u);
+  ASSERT_EQ(text.size(), 1u);
+  char formatted[40];
+  std::snprintf(formatted, sizeof(formatted), "%.17g", bin.proba);
+  EXPECT_EQ(text[0], formatted);
+  close(text_fd);
+  close(bin_fd);
+}
+
+}  // namespace
+}  // namespace spe

@@ -10,11 +10,13 @@
 //             [--drift-threshold PSI] [--drift-min-count N]
 //
 // Speaks the newline-delimited CSV/JSON protocol of spe/serve/
-// line_protocol.h. --stdio serves exactly one "connection" on
-// stdin/stdout (what tests and shell pipelines use); --port accepts
-// concurrent TCP connections (up to --max-connections), each handled by
-// a reader thread (parse + submit) and a writer thread (responses in
-// request order), all funneling into one shared BatchScorer so
+// line_protocol.h and the length-prefixed binary frame protocol of
+// spe/serve/wire.h, negotiated per connection by the first byte (0xA6
+// selects binary). --stdio serves exactly one text "connection" on
+// stdin/stdout (what tests and shell pipelines use); --port serves
+// concurrent TCP connections (up to --max-connections) on a
+// single-threaded epoll event loop (spe/serve/event_loop.h) that
+// funnels every connection into one shared BatchScorer, so
 // cross-connection traffic coalesces into common micro-batches.
 //
 // Robustness: requests may carry "deadline_ms" (JSON) or inherit
@@ -58,7 +60,6 @@
 #include <map>
 #include <memory>
 #include <mutex>
-#include <set>
 #include <string>
 #include <thread>
 #include <vector>
@@ -75,6 +76,7 @@
 #include "spe/lifecycle/model_registry.h"
 #include "spe/obs/metrics.h"
 #include "spe/serve/batch_scorer.h"
+#include "spe/serve/event_loop.h"
 #include "spe/serve/line_protocol.h"
 #include "spe/serve/server_stats.h"
 
@@ -271,10 +273,24 @@ class ReloadCoordinator {
     return future;
   }
 
+  /// Callback flavor for the event loop: `done` is invoked with the
+  /// response line on the lifecycle thread once the swap happened.
+  void RequestAsync(std::string path, std::function<void(std::string)> done) {
+    Job job;
+    job.path = path.empty() ? default_path_ : std::move(path);
+    job.callback = std::move(done);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      jobs_.push_back(std::move(job));
+    }
+    cv_.notify_all();
+  }
+
  private:
   struct Job {
     std::string path;
     std::promise<std::string> done;
+    std::function<void(std::string)> callback;  // event-loop jobs
     bool log_only = false;  // SIGHUP jobs have no client to answer
   };
 
@@ -304,6 +320,8 @@ class ReloadCoordinator {
       if (job.log_only) {
         std::fprintf(stderr, "spe_serve: SIGHUP reload: %s\n",
                      response.c_str());
+      } else if (job.callback) {
+        job.callback(response);
       } else {
         job.done.set_value(response);
       }
@@ -551,94 +569,37 @@ int RunStdio(spe::BatchScorer& scorer, ReloadCoordinator& reloader,
 int RunTcp(spe::BatchScorer& scorer, ReloadCoordinator& reloader,
            const std::string& host, int port, double default_deadline_ms,
            std::size_t max_connections) {
-  const int listen_fd = socket(AF_INET, SOCK_STREAM, 0);
-  if (listen_fd < 0) {
-    std::perror("socket");
+  spe::serve::EventLoopConfig config;
+  config.max_connections = max_connections;
+  config.default_deadline_ms = default_deadline_ms;
+  spe::serve::EventLoop loop(
+      scorer, config,
+      [&reloader](std::string path, std::function<void(std::string)> done) {
+        reloader.RequestAsync(std::move(path), std::move(done));
+      });
+  const std::string error = loop.Listen(host, port);
+  if (!error.empty()) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
     return 1;
   }
-  const int one = 1;
-  setsockopt(listen_fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(static_cast<uint16_t>(port));
-  if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
-    std::fprintf(stderr, "error: bad --host %s\n", host.c_str());
-    return 1;
-  }
-  if (bind(listen_fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0 ||
-      listen(listen_fd, 64) < 0) {
-    std::perror("bind/listen");
-    close(listen_fd);
-    return 1;
-  }
-  g_listen_fd.store(listen_fd, std::memory_order_release);
+  g_listen_fd.store(loop.listen_fd(), std::memory_order_release);
   // A signal that landed before the store found no fd to shut down;
-  // honor it now rather than blocking in accept() forever.
-  if (g_draining.load(std::memory_order_acquire)) {
-    shutdown(listen_fd, SHUT_RDWR);
-  }
-  std::fprintf(stderr, "spe_serve: listening on %s:%d\n", host.c_str(), port);
-
-  // Session bookkeeping: `active` counts live session threads, which
-  // run detached so a finished connection costs nothing (the previous
-  // design kept every joinable std::thread for the process lifetime).
-  // Shutdown half-closes the open sockets and waits for active == 0 —
-  // the same drain guarantee, without the unbounded vector.
-  struct Sessions {
-    std::mutex mu;
-    std::condition_variable all_done;
-    std::set<int> open_fds;
-    std::size_t active = 0;
-    std::uint64_t refused = 0;
-  } sessions;
-
-  for (;;) {
-    const int fd = accept(listen_fd, nullptr, nullptr);
-    if (fd < 0) break;  // listener shut down by the signal thread
-    {
-      std::lock_guard<std::mutex> lock(sessions.mu);
-      if (max_connections > 0 && sessions.active >= max_connections) {
-        ++sessions.refused;
-        const char refusal[] = "ERR server at connection capacity\n";
-        // Best-effort courtesy line; the refusal is the close() either way.
-        (void)!write(fd, refusal, sizeof(refusal) - 1);
-        close(fd);
-        continue;
-      }
-      ++sessions.active;
-      sessions.open_fds.insert(fd);
-    }
-    std::thread([fd, &scorer, &reloader, &sessions, default_deadline_ms] {
-      // Separate FILE streams for the two directions; each owns a dup
-      // so fclose of one cannot yank the fd from under the other.
-      std::FILE* in = fdopen(fd, "r");
-      std::FILE* out = fdopen(dup(fd), "w");
-      if (in != nullptr && out != nullptr) {
-        ServeSession(in, out, scorer, reloader, default_deadline_ms);
-      }
-      if (in != nullptr) std::fclose(in);
-      if (out != nullptr) std::fclose(out);
-      {
-        std::lock_guard<std::mutex> lock(sessions.mu);
-        sessions.open_fds.erase(fd);
-        --sessions.active;
-      }
-      sessions.all_done.notify_all();
-    }).detach();
-  }
+  // honor it now rather than serving forever.
+  if (g_draining.load(std::memory_order_acquire)) loop.RequestDrain();
+  std::fprintf(stderr, "spe_serve: listening on %s:%d\n", host.c_str(),
+               loop.port());
+  // The signal thread drains the loop the same way it drained the old
+  // blocking accept(2): shutdown(2) on the listener, which the loop
+  // observes as a failing accept. Run() returns once every accepted
+  // request is answered and every connection closed.
+  loop.Run();
   g_listen_fd.store(-1, std::memory_order_release);
-  close(listen_fd);
   std::fprintf(stderr, "spe_serve: draining...\n");
-  {
-    // Stop the readers: half-close every open connection so the reader
-    // sees EOF; in-flight requests still get their responses.
-    std::unique_lock<std::mutex> lock(sessions.mu);
-    for (int fd : sessions.open_fds) shutdown(fd, SHUT_RD);
-    sessions.all_done.wait(lock, [&] { return sessions.active == 0; });
-    if (sessions.refused > 0) {
-      std::fprintf(stderr, "spe_serve: refused %llu connections at capacity\n",
-                   static_cast<unsigned long long>(sessions.refused));
-    }
+  const auto& counters = loop.counters();
+  if (counters.refused.load(std::memory_order_relaxed) > 0) {
+    std::fprintf(stderr, "spe_serve: refused %llu connections at capacity\n",
+                 static_cast<unsigned long long>(
+                     counters.refused.load(std::memory_order_relaxed)));
   }
   scorer.Shutdown();
   std::fprintf(stderr, "%s\n", spe::ToJson(scorer.stats().Snapshot()).c_str());
