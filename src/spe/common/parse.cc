@@ -82,12 +82,20 @@ std::optional<double> ParseFiniteDouble(std::string_view text) {
   if (s.empty()) return std::nullopt;
   std::size_t i = 0;
   double v = 0.0;
-  if (!ParseDoublePrefix(s, i, &v) || i != s.size()) return std::nullopt;
-  if (!std::isfinite(v)) return std::nullopt;
+  bool out_of_range = false;
+  if (!ParseDoublePrefix(s, i, &v, &out_of_range) || i != s.size()) {
+    return std::nullopt;
+  }
+  // The strtod path this replaced rejected ERANGE in both directions:
+  // overflow (non-finite anyway) and underflow — "1e-400" is not a
+  // representable flag value, not zero.
+  if (out_of_range || !std::isfinite(v)) return std::nullopt;
   return v;
 }
 
-bool ParseDoublePrefix(std::string_view s, std::size_t& i, double* out) {
+bool ParseDoublePrefix(std::string_view s, std::size_t& i, double* out,
+                       bool* out_of_range) {
+  if (out_of_range != nullptr) *out_of_range = false;
   if (i >= s.size()) return false;
   const char* const end = s.data() + s.size();
   // from_chars rejects a leading '+' that strtod accepted; skip it and
@@ -103,6 +111,7 @@ bool ParseDoublePrefix(std::string_view s, std::size_t& i, double* out) {
     const std::string_view token(begin, static_cast<std::size_t>(r.ptr - begin));
     const double magnitude = OutOfRangeIsOverflow(token) ? HUGE_VAL : 0.0;
     v = !token.empty() && token.front() == '-' ? -magnitude : magnitude;
+    if (out_of_range != nullptr) *out_of_range = true;
   } else if (r.ec != std::errc()) {
     return false;
   }

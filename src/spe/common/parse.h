@@ -18,8 +18,9 @@ namespace spe {
 std::optional<long long> ParseInt64(std::string_view text);
 
 /// Whole-string finite double. Rejects "nan"/"inf" (a flag or fault
-/// rate is never usefully non-finite), overflow to infinity, and
-/// trailing junk.
+/// rate is never usefully non-finite), values outside double's range in
+/// either direction ("1e999" and "1e-400" alike, matching strtod's
+/// ERANGE policing), and trailing junk.
 std::optional<double> ParseFiniteDouble(std::string_view text);
 
 /// Parses the longest strtod-style number starting at s[i] — optional
@@ -29,11 +30,14 @@ std::optional<double> ParseFiniteDouble(std::string_view text);
 /// decimal separator, which breaks the wire protocol under a
 /// decimal-comma locale). strtod's range semantics are preserved:
 /// overflow yields ±infinity, underflow ±0.0, so callers keep their
-/// existing finite-value policing. Returns false (i untouched) when no
-/// number starts at i. Non-finite results are deliberately NOT
-/// rejected here — the serve protocol wants to distinguish "not a
-/// number" from "a non-finite number" in its error taxonomy.
-bool ParseDoublePrefix(std::string_view s, std::size_t& i, double* out);
+/// existing finite-value policing; `out_of_range`, when non-null, is
+/// set when either happened (strtod's ERANGE) for callers that also
+/// policed errno. Returns false (i untouched) when no number starts at
+/// i. Non-finite results are deliberately NOT rejected here — the
+/// serve protocol wants to distinguish "not a number" from "a
+/// non-finite number" in its error taxonomy.
+bool ParseDoublePrefix(std::string_view s, std::size_t& i, double* out,
+                       bool* out_of_range = nullptr);
 
 }  // namespace spe
 

@@ -36,8 +36,9 @@ std::string Errno(const char* what) {
 /// order per connection; a slot is written once `ready` (kScore and
 /// kReload resolve asynchronously) or, for the snapshot kinds, rendered
 /// lazily the moment the slot reaches the head — after every earlier
-/// response is on the wire, which is exactly when the old writer thread
-/// rendered them.
+/// response has been formatted into the output buffer, so the snapshot
+/// covers the same completed requests the old writer thread's
+/// render-at-write saw.
 struct EventLoop::Pending {
   enum class Kind : unsigned char {
     kImmediate,  // response already formatted (parse errors, width errors)
@@ -436,6 +437,10 @@ void EventLoop::ParseText(Conn& c) {
     while (!line.empty() && (line.back() == '\r' || line.back() == '\n')) {
       line.remove_suffix(1);
     }
+    // A too-long line whose '\n' was already buffered (it can exceed
+    // the no-newline check above by at most one read chunk) is refused
+    // inside ParseRequestLine, which checks the cap before scanning and
+    // answers the same "request line exceeds N bytes" error.
     EnqueueTextRequest(c, line);
   }
 }
@@ -632,87 +637,118 @@ void EventLoop::SubmitScore(Conn& c, const std::shared_ptr<Pending>& pending,
 }
 
 void EventLoop::PumpPending(Conn& c) {
-  while (!c.pending.empty()) {
-    Pending& head = *c.pending.front();
-    switch (head.kind) {
-      case Pending::Kind::kImmediate:
-      case Pending::Kind::kScore:
-        if (!head.ready.load(std::memory_order_acquire)) return;
-        break;
-      case Pending::Kind::kStats: {
-        // Rendered only now — at the head, with every earlier response
-        // already appended — so the snapshot reflects them, exactly as
-        // the old writer thread saw it when it popped the item.
-        std::string text = ToJson(scorer_.stats().Snapshot());
-        if (head.binary) {
-          wire::AppendTextResponse(head.response, text);
-        } else {
-          head.response = std::move(text) + '\n';
-        }
-        head.kind = Pending::Kind::kImmediate;
-        break;
-      }
-      case Pending::Kind::kMetrics: {
-        std::string text = obs::MetricsRegistry::Global().RenderText();
-        while (!text.empty() && text.back() == '\n') text.pop_back();
-        if (head.binary) {
-          wire::AppendTextResponse(head.response, text);
-        } else {
-          head.response = std::move(text) + '\n';
-        }
-        head.kind = Pending::Kind::kImmediate;
-        break;
-      }
-      case Pending::Kind::kReload: {
-        if (head.fired) {
-          if (!head.ready.load(std::memory_order_acquire)) return;
+  for (;;) {
+    bool waiting = false;  // head slot exists but its response is not ready
+    while (!c.pending.empty()) {
+      Pending& head = *c.pending.front();
+      switch (head.kind) {
+        case Pending::Kind::kImmediate:
+        case Pending::Kind::kScore:
+          waiting = !head.ready.load(std::memory_order_acquire);
           break;
-        }
-        // The reload barrier: fire only when every response for a
-        // request read before the !reload is on the wire. Pending
-        // being the head covers "answered"; the empty output buffer
-        // covers "written" — together, the old inflight==0 condition.
-        if (c.out.size() != c.out_pos) {
-          if (!TryFlush(c)) return;  // connection closed on write error
-          if (c.out.size() != c.out_pos) return;  // wait for EPOLLOUT
-        }
-        head.fired = true;
-        if (!reload_fn_) {
+        case Pending::Kind::kStats: {
+          // Rendered only now — at the head, with every earlier
+          // response already formatted into c.out — so the snapshot
+          // reflects the same completed requests the old writer thread
+          // saw when it popped the item.
+          std::string text = ToJson(scorer_.stats().Snapshot());
           if (head.binary) {
-            wire::AppendTextResponse(head.response,
-                                     "ERR reload is not available");
+            wire::AppendTextResponse(head.response, text);
           } else {
-            head.response = "ERR reload is not available\n";
+            head.response = std::move(text) + '\n';
           }
-          head.ready.store(true, std::memory_order_release);
+          head.kind = Pending::Kind::kImmediate;
           break;
         }
-        std::shared_ptr<Shared> shared = shared_;
-        std::shared_ptr<Pending> slot = c.pending.front();
-        const std::uint64_t token = c.token;
-        reload_fn_(slot->reload_path,
-                   [shared, slot, token](std::string response) {
-                     if (slot->binary) {
-                       wire::AppendTextResponse(slot->response, response);
-                     } else {
-                       slot->response = std::move(response) + '\n';
-                     }
-                     slot->ready.store(true, std::memory_order_release);
-                     shared->Post(token);
-                   });
-        if (!head.ready.load(std::memory_order_acquire)) return;
-        break;
+        case Pending::Kind::kMetrics: {
+          std::string text = obs::MetricsRegistry::Global().RenderText();
+          while (!text.empty() && text.back() == '\n') text.pop_back();
+          if (head.binary) {
+            wire::AppendTextResponse(head.response, text);
+          } else {
+            head.response = std::move(text) + '\n';
+          }
+          head.kind = Pending::Kind::kImmediate;
+          break;
+        }
+        case Pending::Kind::kReload: {
+          if (head.fired) {
+            waiting = !head.ready.load(std::memory_order_acquire);
+            break;
+          }
+          // The reload barrier: fire only when every response for a
+          // request read before the !reload is on the wire. Pending
+          // being the head covers "answered"; the empty output buffer
+          // covers "written" — together, the old inflight==0 condition.
+          if (c.out.size() != c.out_pos) {
+            if (!TryFlush(c)) return;  // connection closed on write error
+            if (c.out.size() != c.out_pos) {
+              waiting = true;  // wait for EPOLLOUT
+              break;
+            }
+          }
+          head.fired = true;
+          if (!reload_fn_) {
+            if (head.binary) {
+              wire::AppendTextResponse(head.response,
+                                       "ERR reload is not available");
+            } else {
+              head.response = "ERR reload is not available\n";
+            }
+            head.ready.store(true, std::memory_order_release);
+            break;
+          }
+          std::shared_ptr<Shared> shared = shared_;
+          std::shared_ptr<Pending> slot = c.pending.front();
+          const std::uint64_t token = c.token;
+          reload_fn_(slot->reload_path,
+                     [shared, slot, token](std::string response) {
+                       if (slot->binary) {
+                         wire::AppendTextResponse(slot->response, response);
+                       } else {
+                         slot->response = std::move(response) + '\n';
+                       }
+                       slot->ready.store(true, std::memory_order_release);
+                       shared->Post(token);
+                     });
+          waiting = !head.ready.load(std::memory_order_acquire);
+          break;
+        }
       }
+      if (waiting) break;
+      c.out += c.pending.front()->response;
+      const bool was_reload =
+          c.pending.front()->kind == Pending::Kind::kReload;
+      c.pending.pop_front();
+      // Requests sent after a !reload parse (and score) only from here
+      // on — against the post-swap model, or the old one if the swap
+      // was refused; the resume step below picks them up.
+      if (was_reload) c.blocked = false;
     }
-    c.out += c.pending.front()->response;
-    const bool was_reload = c.pending.front()->kind == Pending::Kind::kReload;
-    c.pending.pop_front();
-    if (was_reload) {
-      // Requests sent after the !reload parse (and score) only now —
-      // on the post-swap model, or the old one if the swap was refused.
-      c.blocked = false;
-      ParseInput(c);
-      if (conns_.find(c.token) == conns_.end()) return;
+    // Resume parsing input that was buffered while the pending queue
+    // sat at its cap or a !reload blocked the parser. The kernel buffer
+    // may already be drained (a pipelining client can put everything in
+    // one burst), so no EPOLLIN is coming to do this for us — the slots
+    // freed above are the only wakeup this input will ever get.
+    if (waiting || c.blocked || c.close_after_flush ||
+        c.in_pos >= c.in.size() ||
+        c.pending.size() >= config_.max_pending_per_conn) {
+      break;
+    }
+    const std::size_t queued = c.pending.size();
+    ParseInput(c);
+    if (conns_.find(c.token) == conns_.end()) return;
+    if (c.pending.size() == queued) {
+      // No request came out: the remainder is an incomplete line or
+      // frame. Once the peer has half-closed it can never complete —
+      // drop it (a partial binary frame has no id to answer) so the
+      // connection does not idle forever on input that cannot progress.
+      if (!c.read_open && c.in_pos < c.in.size()) {
+        c.in.clear();
+        c.in_pos = 0;
+        c.skip_bytes = 0;
+      }
+      break;
     }
   }
   if (!c.pending.empty() || c.out.size() != c.out_pos) TryFlush(c);
@@ -744,9 +780,14 @@ bool EventLoop::TryFlush(Conn& c) {
 }
 
 void EventLoop::UpdateConn(Conn& c) {
-  // Done when nothing can arrive and nothing is owed.
+  // Done when nothing can arrive and nothing is owed. Buffered input
+  // the parser has not consumed yet is owed work too — PumpPending
+  // resumes it when backpressure lifts and drops what can never
+  // complete once the peer half-closes, so it cannot pin the
+  // connection indefinitely.
   const bool has_output = c.out.size() != c.out_pos;
-  if (!has_output && c.pending.empty() &&
+  const bool has_input = c.in_pos < c.in.size();
+  if (!has_output && !has_input && c.pending.empty() &&
       (!c.read_open || c.close_after_flush || draining_)) {
     CloseConn(c.token);
     return;

@@ -79,8 +79,11 @@ struct EventLoopCounters {
 /// Ordering and lifecycle semantics are inherited bit-for-bit from the
 /// thread-per-connection server:
 ///   - responses per connection come back in request order;
-///   - STATS / !stats snapshots are rendered only when every earlier
-///     response has been written;
+///   - STATS / !stats snapshots are rendered only after every earlier
+///     response on the connection has been formatted (appended to its
+///     output buffer) — observably the snapshot the old server rendered
+///     after writing them, since those requests have completed either
+///     way; the write to the wire itself may still be pending;
 ///   - !reload fires only after every request read before it has been
 ///     answered *and written* (the old inflight==0 barrier), parsing
 ///     resumes when the reload's OK/ERR is on the wire;

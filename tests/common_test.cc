@@ -294,6 +294,24 @@ TEST(ParseTest, FiniteDoubleRejectsJunkAndNonFinite) {
   EXPECT_FALSE(ParseFiniteDouble("inf"));
   EXPECT_FALSE(ParseFiniteDouble("-inf"));
   EXPECT_FALSE(ParseFiniteDouble("1e999"));  // overflows to infinity
+  // Underflow is ERANGE too: strtod rejected "1e-400", so we do.
+  EXPECT_FALSE(ParseFiniteDouble("1e-400"));
+  EXPECT_FALSE(ParseFiniteDouble("-1e-400"));
+
+  // The prefix parser keeps strtod's value semantics (underflow is
+  // ±0.0 on the wire) but reports the range condition to callers that
+  // want strtod's errno policing.
+  std::size_t i = 0;
+  double v = 1.0;
+  bool out_of_range = false;
+  EXPECT_TRUE(ParseDoublePrefix("1e-400", i, &v, &out_of_range));
+  EXPECT_EQ(v, 0.0);
+  EXPECT_TRUE(out_of_range);
+  i = 0;
+  out_of_range = true;
+  EXPECT_TRUE(ParseDoublePrefix("0.5", i, &v, &out_of_range));
+  EXPECT_EQ(v, 0.5);
+  EXPECT_FALSE(out_of_range);
 }
 
 TEST(Crc32Test, MatchesIeeeCheckValueAndComposes) {

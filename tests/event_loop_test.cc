@@ -243,6 +243,79 @@ TEST(EventLoopTest, SlowClientGetsEveryResponseDespitePartialWrites) {
   close(fd);
 }
 
+TEST(EventLoopTest, PipelinedBacklogBeyondPendingCapIsFullyAnswered) {
+  // Regression: a client that pipelines more requests than
+  // max_pending_per_conn in one burst puts everything into the server's
+  // input buffer before the cap is hit, so no further EPOLLIN arrives.
+  // Parsing must resume as pending slots drain, and the half-close must
+  // not drop buffered-but-unparsed requests.
+  serve::EventLoopConfig config;
+  config.max_pending_per_conn = 4;
+  LoopHarness harness(config);
+  const int fd = harness.Connect();
+  constexpr int kRequests = 64;
+  std::string requests;
+  for (int i = 0; i < kRequests; ++i) {
+    requests += "{\"id\":" + std::to_string(i) + ",\"features\":[1.5,2.5]}\n";
+  }
+  SendAll(fd, requests);
+  shutdown(fd, SHUT_WR);  // half-close: every accepted request still owed
+  const std::vector<std::string> lines = RecvLines(fd, kRequests);
+  ASSERT_EQ(lines.size(), static_cast<std::size_t>(kRequests));
+  for (int i = 0; i < kRequests; ++i) {
+    const std::string expected_prefix = "{\"id\":" + std::to_string(i) + ",";
+    EXPECT_EQ(lines[i].rfind(expected_prefix, 0), 0u)
+        << "response " << i << " missing or out of order: " << lines[i];
+  }
+  // Everything answered, nothing more coming: the server closes.
+  char byte;
+  EXPECT_EQ(recv(fd, &byte, 1, 0), 0);
+  close(fd);
+}
+
+TEST(EventLoopTest, OversizedTerminatedLineIsRefusedAndSessionContinues) {
+  // A line over the cap whose '\n' is already buffered when the parser
+  // runs must get the same refusal as the no-newline discard path, and
+  // the connection must keep serving afterwards.
+  LoopHarness harness;
+  const int fd = harness.Connect();
+  std::string oversized(kMaxRequestLineBytes + 1, 'x');
+  oversized += "\n1.0,2.0\n";
+  SendAll(fd, oversized);
+  const std::vector<std::string> lines = RecvLines(fd, 2);
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[0], "ERR request line exceeds " +
+                          std::to_string(kMaxRequestLineBytes) + " bytes");
+  EXPECT_EQ(lines[1].rfind("ERR", 0), std::string::npos) << lines[1];
+  EXPECT_FALSE(lines[1].empty());
+  close(fd);
+}
+
+TEST(EventLoopTest, PartialTrailingBinaryFrameIsDroppedAtEof) {
+  // Complete frames before a truncated one are answered; the truncated
+  // tail has no id to answer, so after half-close the server drops it
+  // and closes instead of waiting forever for the rest of the frame.
+  LoopHarness harness;
+  const int fd = harness.Connect();
+  std::string frames;
+  const double row[] = {1.0, 2.0};
+  wire::AppendScoreRequest(frames, 7, row, 2);
+  wire::AppendScoreRequest(frames, 8, row, 2);
+  std::string truncated;
+  wire::AppendScoreRequest(truncated, 9, row, 2);
+  frames += truncated.substr(0, wire::kHeaderBytes + 3);
+  SendAll(fd, frames);
+  shutdown(fd, SHUT_WR);
+  for (std::uint64_t id = 7; id <= 8; ++id) {
+    const wire::DecodedResponse response = RecvFrame(fd);
+    EXPECT_EQ(response.type, wire::FrameType::kScoreOk);
+    EXPECT_EQ(response.id, id);
+  }
+  char byte;
+  EXPECT_EQ(recv(fd, &byte, 1, 0), 0);  // EOF, not a stall
+  close(fd);
+}
+
 TEST(EventLoopTest, CapacityRefusalLineArrivesWhole) {
   serve::EventLoopConfig config;
   config.max_connections = 1;
