@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <limits>
+#include <utility>
 
 #include "spe/common/check.h"
 
@@ -54,6 +55,21 @@ void FeatureBinner::Fit(const Dataset& data, int max_bins) {
     // A constant feature ends up with zero cuts => a single bin, which
     // the split finder naturally ignores.
   }
+}
+
+FeatureBinner FeatureBinner::FromBoundaries(
+    std::vector<std::vector<double>> boundaries) {
+  for (const std::vector<double>& cuts : boundaries) {
+    SPE_CHECK_LE(cuts.size(), 255u) << "bin indices must fit uint8";
+    SPE_CHECK(std::is_sorted(cuts.begin(), cuts.end()));
+  }
+  FeatureBinner binner;
+  binner.boundaries_ = std::move(boundaries);
+  return binner;
+}
+
+std::span<const double> FeatureBinner::Boundaries(std::size_t feature) const {
+  return boundaries_[feature];
 }
 
 int FeatureBinner::NumBins(std::size_t feature) const {

@@ -1,6 +1,7 @@
 #include "spe/kernels/program.h"
 
 #include <algorithm>
+#include <cmath>
 #include <utility>
 
 #include "spe/common/check.h"
@@ -52,6 +53,148 @@ std::int32_t FlatTreeBuilder::Finish() {
   const auto index = static_cast<std::int32_t>(program_.trees.size());
   program_.trees.push_back(TreeRef{static_cast<std::int32_t>(base_), depth});
   return index;
+}
+
+F32Program BuildF32Program(const FlatProgram& program) {
+  const NodePool& pool = program.pool;
+  F32Program out;
+  out.threshold.reserve(pool.size());
+  out.value.reserve(pool.size());
+  for (std::size_t i = 0; i < pool.size(); ++i) {
+    out.threshold.push_back(static_cast<float>(pool.threshold[i]));
+    out.value.push_back(static_cast<float>(pool.value[i]));
+  }
+  return out;
+}
+
+namespace {
+
+// Self-looping leaves (program.h) are the only nodes whose children
+// point back at themselves, so this is an exact leaf test.
+bool IsLeaf(const NodePool& pool, std::size_t i) {
+  const auto self = static_cast<std::int32_t>(i);
+  return pool.left[i] == self && pool.right[i] == self;
+}
+
+}  // namespace
+
+BinnedProgram BuildBinnedProgram(const FlatProgram& program) {
+  const NodePool& pool = program.pool;
+  BinnedProgram out;
+
+  std::int32_t max_feature = -1;
+  for (std::size_t i = 0; i < pool.size(); ++i) {
+    if (IsLeaf(pool, i)) continue;
+    // A NaN threshold has no rank in the feature's order (every
+    // comparison with it is false), so such a program cannot lower.
+    // Tree learners never record one; this guards hand-built programs.
+    if (std::isnan(pool.threshold[i])) return out;
+    max_feature = std::max(max_feature, pool.feature[i]);
+  }
+
+  std::vector<std::vector<double>> cuts(
+      static_cast<std::size_t>(max_feature + 1));
+  for (std::size_t i = 0; i < pool.size(); ++i) {
+    if (IsLeaf(pool, i)) continue;
+    cuts[static_cast<std::size_t>(pool.feature[i])].push_back(
+        pool.threshold[i]);
+  }
+  for (std::vector<double>& c : cuts) {
+    std::sort(c.begin(), c.end());
+    c.erase(std::unique(c.begin(), c.end()), c.end());
+    if (c.size() > kBinnedMaxCuts) return out;  // bins would reach the sentinel
+  }
+
+  out.cut.assign(pool.size(), 0);
+  for (std::size_t i = 0; i < pool.size(); ++i) {
+    if (IsLeaf(pool, i)) continue;
+    const std::vector<double>& c =
+        cuts[static_cast<std::size_t>(pool.feature[i])];
+    const auto it = std::lower_bound(c.begin(), c.end(), pool.threshold[i]);
+    // The cut list was built from exactly these thresholds, so the
+    // lookup is an exact hit and the rank fits uint8 (<= 253).
+    SPE_CHECK(it != c.end() && *it == pool.threshold[i]);
+    out.cut[i] = static_cast<std::uint8_t>(it - c.begin());
+  }
+  out.binner = gbdt::FeatureBinner::FromBoundaries(std::move(cuts));
+  out.ok = true;
+  return out;
+}
+
+namespace {
+
+// Real node count of the tree rooted at `node` — leaves count once
+// (they self-loop, so recursion must not follow their edges).
+std::size_t CountNodes(const NodePool& pool, std::int32_t node) {
+  const auto n = static_cast<std::size_t>(node);
+  if (IsLeaf(pool, n)) return 1;
+  return 1 + CountNodes(pool, pool.left[n]) + CountNodes(pool, pool.right[n]);
+}
+
+// Copies the subtree rooted at `node` into complete slot `c` at `level`.
+// A leaf met above the bottom becomes a don't-care split whose entire
+// subtree carries the leaf forward, so either routing direction —
+// including the NaN right edge — reaches the same pool node at the
+// bottom level.
+void FillComplete(const NodePool& pool, std::int32_t node, std::size_t c,
+                  std::int32_t level, std::int32_t depth, std::int32_t* feature,
+                  double* threshold, double* value) {
+  const auto n = static_cast<std::size_t>(node);
+  const bool is_leaf = IsLeaf(pool, n);
+  if (level == depth) {
+    // Finish() guarantees every path parks on a leaf within `depth`
+    // steps, so whatever arrives at the bottom level is one.
+    SPE_CHECK(is_leaf);
+    value[c - ((std::size_t(1) << depth) - 1)] = pool.value[n];
+    return;
+  }
+  if (is_leaf) {
+    feature[c] = 0;
+    threshold[c] = 0.0;
+    FillComplete(pool, node, 2 * c + 1, level + 1, depth, feature, threshold,
+                 value);
+    FillComplete(pool, node, 2 * c + 2, level + 1, depth, feature, threshold,
+                 value);
+    return;
+  }
+  feature[c] = pool.feature[n];
+  threshold[c] = pool.threshold[n];
+  FillComplete(pool, pool.left[n], 2 * c + 1, level + 1, depth, feature,
+               threshold, value);
+  FillComplete(pool, pool.right[n], 2 * c + 2, level + 1, depth, feature,
+               threshold, value);
+}
+
+}  // namespace
+
+CompleteProgram BuildCompleteProgram(const FlatProgram& program) {
+  CompleteProgram out;
+  out.trees.resize(program.trees.size());
+  for (std::size_t t = 0; t < program.trees.size(); ++t) {
+    const TreeRef& ref = program.trees[t];
+    CompleteTree& tree = out.trees[t];
+    tree.depth = ref.depth;
+    if (ref.depth > kCompleteMaxDepth) continue;
+    const std::size_t slots =
+        (std::size_t(2) << static_cast<std::size_t>(ref.depth)) - 1;
+    if (slots > kCompleteMaxExpansion * CountNodes(program.pool, ref.root)) {
+      continue;  // sparse: padding would dwarf the tree
+    }
+    const std::size_t interior =
+        (std::size_t(1) << static_cast<std::size_t>(ref.depth)) - 1;
+    tree.node_base = out.feature.size();
+    tree.leaf_base = out.value.size();
+    out.feature.resize(tree.node_base + interior);
+    out.threshold.resize(tree.node_base + interior);
+    out.value.resize(tree.leaf_base + (slots - interior));
+    FillComplete(program.pool, ref.root, 0, 0, ref.depth,
+                 out.feature.data() + tree.node_base,
+                 out.threshold.data() + tree.node_base,
+                 out.value.data() + tree.leaf_base);
+    tree.ok = true;
+    out.any = true;
+  }
+  return out;
 }
 
 }  // namespace kernels

@@ -1,0 +1,232 @@
+#ifndef SPE_KERNELS_SIMD_H_
+#define SPE_KERNELS_SIMD_H_
+
+#include <cstddef>
+#include <cstdint>
+
+// Portable intrinsic wrappers for the flat kernel's vectorized descent.
+//
+// Dispatch is compile-time: whichever ISA the kernel translation unit is
+// built for selects one backend, and a build without vector extensions
+// (the portable default) selects none — `kHasSimd` is then false and
+// flat_forest.cc keeps every walk on its scalar loop, so the default
+// build's bit-identity contract is trivially untouched. With
+// `-DSPE_SIMD=ON` (adds -mavx2 to this TU only) or `-DSPE_NATIVE=ON`
+// (-march=native) the AVX2 backend activates; on aarch64 the NEON
+// backend is active in every build because NEON is part of the base ISA.
+//
+// The wrappers deliberately expose only what a mask-select tree descent
+// needs: broadcast/iota index vectors, gathers keyed by an index vector,
+// and a fused "descend" step that turns an IEEE `!(v <= t)` comparison
+// into a child select. All index math is int32 (node ids and row offsets
+// both fit — the pool is bounded far below 2^31 nodes) and every
+// floating-point operation is an exact comparison or lane-independent
+// move, so a vectorized walk computes bit-for-bit the same leaf indices
+// as the scalar walk. That is what lets the SIMD f64 path stay inside
+// the default path's byte-identity contract instead of needing its own
+// tolerance.
+//
+// Two lane geometries per backend:
+//   F64Lanes — double descent (4 lanes on AVX2, 2 on NEON)
+//   F32Lanes — float descent for the opt-in f32 mode (8 / 4 lanes)
+// The binned (uint8) descent is not vectorized: byte gathers have no
+// hardware support on either ISA, and the scalar byte walk is already
+// load-bound on the row-binned block.
+
+#if defined(__AVX2__)
+#define SPE_KERNELS_SIMD_AVX2 1
+#include <immintrin.h>
+#elif defined(__ARM_NEON) || defined(__ARM_NEON__)
+#define SPE_KERNELS_SIMD_NEON 1
+#include <arm_neon.h>
+#endif
+
+namespace spe {
+namespace kernels {
+namespace simd {
+
+#if defined(SPE_KERNELS_SIMD_AVX2)
+
+inline constexpr bool kHasSimd = true;
+inline constexpr const char* kIsa = "avx2";
+// x86 gathers issue one load uop per lane plus several cycles of setup
+// (a 4-lane vgatherdpd is ~5 uops at ~4-cycle throughput on Skylake-
+// through-Zen3 cores), and tree descent is load-bound either way — so
+// four lanes of gathers cost MORE than the four scalar iterations the
+// out-of-order core already overlaps in the blocked walk. Measured on
+// the reference bench: the gather descent is ~2-4x slower than the
+// scalar walk. The wrappers stay for conformance (machine-checked
+// bit-identity of the mask-select descent) and for cores with
+// single-cycle gathers; the runtime default leaves them off
+// (SPE_SIMD=1 forces them on — see SimdEnabled in flat_forest.h).
+inline constexpr bool kGatherDescentProfitable = false;
+
+/// 4 rows of f64 descent per step; node/row indices ride an __m128i.
+struct F64Lanes {
+  static constexpr std::size_t kLanes = 4;
+  using Value = __m256d;
+  using Index = __m128i;
+
+  static Index BroadcastIndex(std::int32_t v) { return _mm_set1_epi32(v); }
+  /// {0, step, 2*step, 3*step} — the per-lane row offsets of a block.
+  static Index IotaTimes(std::int32_t step) {
+    return _mm_setr_epi32(0, step, 2 * step, 3 * step);
+  }
+  static Index AddIndex(Index a, Index b) { return _mm_add_epi32(a, b); }
+  // Masked gathers with an explicit zero source and all-ones mask: the
+  // same vgatherd instruction as the plain form, but without the
+  // _mm256_undefined_* seed that trips gcc's -Wmaybe-uninitialized.
+  static Index GatherIndex(const std::int32_t* base, Index idx) {
+    return _mm_mask_i32gather_epi32(_mm_setzero_si128(), base, idx,
+                                    _mm_set1_epi32(-1), 4);
+  }
+  static Value GatherValue(const double* base, Index idx) {
+    return _mm256_mask_i32gather_pd(
+        _mm256_setzero_pd(), base, idx,
+        _mm256_castsi256_pd(_mm256_set1_epi64x(-1)), 8);
+  }
+  /// One descent step: next = left + ((right - left) & mask(!(v <= t))).
+  /// _CMP_NLE_UQ is exactly the scalar `!(v <= t)` — true for v > t and
+  /// for unordered (NaN) operands, so NaN takes the right edge here too.
+  static Index Descend(Index left, Index right, Value v, Value t) {
+    const __m256d go_right = _mm256_cmp_pd(v, t, _CMP_NLE_UQ);
+    // The 4x64-bit lane masks carry their value in both 32-bit halves;
+    // vpermd the even halves down into one __m128i of 4x32-bit masks.
+    const __m256i wide = _mm256_castpd_si256(go_right);
+    const __m128i mask = _mm256_castsi256_si128(_mm256_permutevar8x32_epi32(
+        wide, _mm256_setr_epi32(0, 2, 4, 6, 0, 2, 4, 6)));
+    return _mm_add_epi32(left,
+                         _mm_and_si128(_mm_sub_epi32(right, left), mask));
+  }
+  static void StoreIndex(std::int32_t* dst, Index idx) {
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst), idx);
+  }
+};
+
+/// 8 rows of f32 descent per step; indices ride an __m256i.
+struct F32Lanes {
+  static constexpr std::size_t kLanes = 8;
+  using Value = __m256;
+  using Index = __m256i;
+
+  static Index BroadcastIndex(std::int32_t v) { return _mm256_set1_epi32(v); }
+  static Index IotaTimes(std::int32_t step) {
+    return _mm256_setr_epi32(0, step, 2 * step, 3 * step, 4 * step, 5 * step,
+                             6 * step, 7 * step);
+  }
+  static Index AddIndex(Index a, Index b) { return _mm256_add_epi32(a, b); }
+  static Index GatherIndex(const std::int32_t* base, Index idx) {
+    return _mm256_mask_i32gather_epi32(_mm256_setzero_si256(), base, idx,
+                                       _mm256_set1_epi32(-1), 4);
+  }
+  static Value GatherValue(const float* base, Index idx) {
+    return _mm256_mask_i32gather_ps(
+        _mm256_setzero_ps(), base, idx,
+        _mm256_castsi256_ps(_mm256_set1_epi32(-1)), 4);
+  }
+  static Index Descend(Index left, Index right, Value v, Value t) {
+    // f32 lane masks are already 32-bit — no repack needed.
+    const __m256i mask =
+        _mm256_castps_si256(_mm256_cmp_ps(v, t, _CMP_NLE_UQ));
+    return _mm256_add_epi32(
+        left, _mm256_and_si256(_mm256_sub_epi32(right, left), mask));
+  }
+  static void StoreIndex(std::int32_t* dst, Index idx) {
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst), idx);
+  }
+};
+
+#elif defined(SPE_KERNELS_SIMD_NEON)
+
+inline constexpr bool kHasSimd = true;
+inline constexpr const char* kIsa = "neon";
+// NEON has no gather hardware: GatherIndex/GatherValue are the same
+// scalar loads the scalar walk would issue, so the vector descent adds
+// nothing to the load bill and halves the compare/select ALU work —
+// profitable by construction.
+inline constexpr bool kGatherDescentProfitable = true;
+
+/// 2 rows of f64 descent per step. NEON has no gather instruction, so
+/// gathers are lane inserts — the win over the scalar walk is the
+/// branch-free compare/select and the two descent chains per register.
+struct F64Lanes {
+  static constexpr std::size_t kLanes = 2;
+  using Value = float64x2_t;
+  using Index = int32x2_t;
+
+  static Index BroadcastIndex(std::int32_t v) { return vdup_n_s32(v); }
+  static Index IotaTimes(std::int32_t step) {
+    const std::int32_t lanes[2] = {0, step};
+    return vld1_s32(lanes);
+  }
+  static Index AddIndex(Index a, Index b) { return vadd_s32(a, b); }
+  static Index GatherIndex(const std::int32_t* base, Index idx) {
+    const std::int32_t lanes[2] = {base[vget_lane_s32(idx, 0)],
+                                   base[vget_lane_s32(idx, 1)]};
+    return vld1_s32(lanes);
+  }
+  static Value GatherValue(const double* base, Index idx) {
+    const double lanes[2] = {base[vget_lane_s32(idx, 0)],
+                             base[vget_lane_s32(idx, 1)]};
+    return vld1q_f64(lanes);
+  }
+  static Index Descend(Index left, Index right, Value v, Value t) {
+    // vcleq is the ordered v <= t (false on NaN); its negation is the
+    // scalar `!(v <= t)` including the NaN-right routing. vmovn keeps
+    // the low 32 bits of each all-ones/all-zeros 64-bit lane mask.
+    const uint32x2_t mask = vmvn_u32(vmovn_u64(vcleq_f64(v, t)));
+    return vadd_s32(left,
+                    vand_s32(vsub_s32(right, left),
+                             vreinterpret_s32_u32(mask)));
+  }
+  static void StoreIndex(std::int32_t* dst, Index idx) { vst1_s32(dst, idx); }
+};
+
+/// 4 rows of f32 descent per step.
+struct F32Lanes {
+  static constexpr std::size_t kLanes = 4;
+  using Value = float32x4_t;
+  using Index = int32x4_t;
+
+  static Index BroadcastIndex(std::int32_t v) { return vdupq_n_s32(v); }
+  static Index IotaTimes(std::int32_t step) {
+    const std::int32_t lanes[4] = {0, step, 2 * step, 3 * step};
+    return vld1q_s32(lanes);
+  }
+  static Index AddIndex(Index a, Index b) { return vaddq_s32(a, b); }
+  static Index GatherIndex(const std::int32_t* base, Index idx) {
+    const std::int32_t lanes[4] = {
+        base[vgetq_lane_s32(idx, 0)], base[vgetq_lane_s32(idx, 1)],
+        base[vgetq_lane_s32(idx, 2)], base[vgetq_lane_s32(idx, 3)]};
+    return vld1q_s32(lanes);
+  }
+  static Value GatherValue(const float* base, Index idx) {
+    const float lanes[4] = {
+        base[vgetq_lane_s32(idx, 0)], base[vgetq_lane_s32(idx, 1)],
+        base[vgetq_lane_s32(idx, 2)], base[vgetq_lane_s32(idx, 3)]};
+    return vld1q_f32(lanes);
+  }
+  static Index Descend(Index left, Index right, Value v, Value t) {
+    const uint32x4_t mask = vmvnq_u32(vcleq_f32(v, t));
+    return vaddq_s32(left,
+                     vandq_s32(vsubq_s32(right, left),
+                               vreinterpretq_s32_u32(mask)));
+  }
+  static void StoreIndex(std::int32_t* dst, Index idx) {
+    vst1q_s32(dst, idx);
+  }
+};
+
+#else
+
+inline constexpr bool kHasSimd = false;
+inline constexpr const char* kIsa = "scalar";
+inline constexpr bool kGatherDescentProfitable = false;
+
+#endif
+
+}  // namespace simd
+}  // namespace kernels
+}  // namespace spe
+
+#endif  // SPE_KERNELS_SIMD_H_

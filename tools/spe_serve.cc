@@ -8,6 +8,7 @@
 //             [--stats-interval-ms MS] [--metrics-dump FILE]
 //             [--shadow FILE] [--shadow-sample N]
 //             [--drift-threshold PSI] [--drift-min-count N]
+//             [--kernel-mode f64|f32|binned]
 //
 // Speaks the newline-delimited CSV/JSON protocol of spe/serve/
 // line_protocol.h and the length-prefixed binary frame protocol of
@@ -73,6 +74,7 @@
 #include "spe/common/exit_codes.h"
 #include "spe/common/parse.h"
 #include "spe/io/model_io.h"
+#include "spe/kernels/flat_forest.h"
 #include "spe/lifecycle/model_registry.h"
 #include "spe/obs/metrics.h"
 #include "spe/serve/batch_scorer.h"
@@ -127,6 +129,14 @@ namespace {
       "                        drift alerts (default 0.25)\n"
       "  --drift-min-count N   live rows required before a drift verdict\n"
       "                        (default 512)\n"
+      "  --kernel-mode M       flat-kernel scoring representation: f64\n"
+      "                        (default, bit-identical), f32 (float\n"
+      "                        scoring, AUC-parity — stamped flat_f32 in\n"
+      "                        !stats), or binned (uint8 quantized,\n"
+      "                        bit-identical; falls back to f64 when the\n"
+      "                        model cannot lower). Ignored when\n"
+      "                        SPE_FLAT_KERNEL=0 disables the kernel\n"
+      "                        (docs/performance.md)\n"
       "protocol: one request per line — CSV features (`0.2,1.5`) or JSON\n"
       "(`{\"id\":1,\"features\":[0.2,1.5],\"deadline_ms\":50}`); `STATS`\n"
       "returns a one-line stats snapshot; `!stats` returns the metrics\n"
@@ -712,6 +722,18 @@ int main(int argc, char** argv) {
       GetIntFlag(flags, "num-features", 0, 1, 1 << 24);
   const std::size_t fallback_width =
       num_features_flag > 0 ? static_cast<std::size_t>(num_features_flag) : 0;
+
+  // Mode before load: ModelVersion resolves its kernel label (what
+  // !stats and reload logs report) once at load time, so the scoring
+  // representation must be active when the registry compiles the model.
+  const std::string kernel_mode = get("kernel-mode", "f64");
+  {
+    spe::kernels::ScoreMode mode;
+    if (!spe::kernels::ParseScoreMode(kernel_mode, &mode)) {
+      Usage("--kernel-mode must be f64, f32 or binned");
+    }
+    spe::kernels::SetScoreMode(mode);
+  }
 
   auto registry = std::make_shared<spe::lifecycle::ModelRegistry>(drift);
   {
