@@ -5,6 +5,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "spe/classifiers/classifier.h"
 #include "spe/classifiers/factory.h"
@@ -80,8 +81,15 @@ inline std::optional<ScoreSummary> RunMethodOnce(const std::string& method,
     return std::nullopt;
   }
   Rng rng(seed);
-  const Dataset resampled = sampler->Resample(train, rng);
-  base->Fit(resampled);
+  std::vector<std::size_t> keep;
+  if (sampler->SelectIndices(train, rng, &keep)) {
+    // Pure under-sampler: fit through an indexed view — the resampled
+    // "copy" is just this keep-list, no feature bytes move.
+    base->Fit(DatasetView(train, keep));
+  } else {
+    const Dataset resampled = sampler->Resample(train, rng);
+    base->Fit(resampled);
+  }
   return Evaluate(test.labels(), base->PredictProba(test));
 }
 

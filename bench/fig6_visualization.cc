@@ -64,7 +64,7 @@ std::string Slugify(const std::string& title) {
 
 // ASCII density map of a training set: majority '#', minority '+',
 // both 'o'.
-void RenderTrainingSet(const std::string& title, const spe::Dataset& data) {
+void RenderTrainingSet(const std::string& title, const spe::DatasetView& data) {
   std::vector<int> majority(kGrid * kGrid, 0);
   std::vector<int> minority(kGrid * kGrid, 0);
   for (std::size_t i = 0; i < data.num_rows(); ++i) {

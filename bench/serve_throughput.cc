@@ -185,7 +185,8 @@ double DriveConnections(int port, long num_conns, long total_rows,
     ClientConn& c = conns[static_cast<std::size_t>(i)];
     c.expected = rows_per_conn;
     for (long r = 0; r < rows_per_conn; ++r) {
-      const auto row = test.Row(next_row++ % test.num_rows());
+      std::vector<double> row(test.num_features());
+      test.CopyRowTo(next_row++ % test.num_rows(), row);
       if (binary) {
         spe::wire::AppendScoreRequest(c.request,
                                       static_cast<std::uint64_t>(r + 1),
@@ -469,9 +470,9 @@ int main(int argc, char** argv) {
         const std::size_t row =
             static_cast<std::size_t>((p * rows_per_producer + i)) %
             test.num_rows();
-        const auto features = test.Row(row);
-        inflight.push_back(scorer.Submit(
-            std::vector<double>(features.begin(), features.end())));
+        std::vector<double> features(test.num_features());
+        test.CopyRowTo(row, features);
+        inflight.push_back(scorer.Submit(std::move(features)));
         if (inflight.size() == kWindow) {
           for (auto& f : inflight) {
             try {

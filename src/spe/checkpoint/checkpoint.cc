@@ -564,16 +564,32 @@ std::uint64_t FoldBytes(std::uint64_t h, const void* data, std::size_t size) {
 
 }  // namespace
 
-std::uint64_t DatasetFingerprint(const Dataset& data) {
+std::uint64_t DatasetFingerprint(const DatasetView& data) {
+  data.CheckAlive();
   std::uint64_t h = HashCombine(0x7370652d64617461ull, data.num_rows());
   h = HashCombine(h, data.num_features());
   if (data.num_rows() > 0) {
-    // Rows are row-major adjacent, so one pass over the whole block
-    // covers every feature byte.
-    const std::span<const double> first = data.Row(0);
-    h = FoldBytes(h, first.data(), data.num_rows() * first.size_bytes());
+    // Columnar fold: identity views hash each feature's contiguous
+    // slice directly; indexed and row-major views gather the column
+    // into scratch first so equal contents hash equal regardless of
+    // the view's mode.
+    const DataMatrix* parent = data.identity() ? data.parent() : nullptr;
+    std::vector<double> col_scratch;
+    for (std::size_t j = 0; j < data.num_features(); ++j) {
+      if (parent != nullptr) {
+        const std::span<const double> col = parent->Column(j);
+        h = FoldBytes(h, col.data(), col.size_bytes());
+      } else {
+        col_scratch.resize(data.num_rows());
+        for (std::size_t i = 0; i < data.num_rows(); ++i) {
+          col_scratch[i] = data.At(i, j);
+        }
+        h = FoldBytes(h, col_scratch.data(),
+                      col_scratch.size() * sizeof(double));
+      }
+    }
   }
-  const std::vector<int>& labels = data.labels();
+  const std::vector<int> labels = data.LabelsVector();
   h = FoldBytes(h, labels.data(), labels.size() * sizeof(int));
   return h;
 }

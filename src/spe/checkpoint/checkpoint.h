@@ -235,7 +235,7 @@ std::uint64_t HashCombine(std::uint64_t seed, std::uint64_t value);
 /// construction — any change that could alter training invalidates the
 /// checkpoint. (Only ever compared against itself, so the algorithm is
 /// chosen for speed: it runs once per checkpointed Fit.)
-std::uint64_t DatasetFingerprint(const Dataset& data);
+std::uint64_t DatasetFingerprint(const DatasetView& data);
 
 }  // namespace checkpoint
 }  // namespace spe

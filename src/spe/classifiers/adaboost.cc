@@ -41,10 +41,11 @@ AdaBoost::AdaBoost(const AdaBoostConfig& config,
       << "AdaBoost base learner must support sample weights";
 }
 
-void AdaBoost::Fit(const Dataset& train) { FitWeighted(train, {}); }
+void AdaBoost::Fit(const DatasetView& train) { FitWeighted(train, {}); }
 
-void AdaBoost::FitWeighted(const Dataset& train,
+void AdaBoost::FitWeighted(const DatasetView& train,
                            const std::vector<double>& initial_weights) {
+  train.CheckAlive();
   SPE_CHECK_GT(train.num_rows(), 0u);
   const std::size_t n = train.num_rows();
   std::vector<double> w = initial_weights;
@@ -93,7 +94,7 @@ double AdaBoost::PredictRow(std::span<const double> x) const {
   return Sigmoid(2.0 * config_.learning_rate * score);
 }
 
-std::vector<double> AdaBoost::PredictProba(const Dataset& data) const {
+std::vector<double> AdaBoost::PredictProba(const DatasetView& data) const {
   SPE_CHECK(!stages_.empty()) << "predict before fit";
   std::vector<double> score(data.num_rows(), 0.0);
   for (const auto& stage : stages_) {
@@ -104,7 +105,7 @@ std::vector<double> AdaBoost::PredictProba(const Dataset& data) const {
   return score;
 }
 
-void AdaBoost::AccumulateProbaInto(const Dataset& data,
+void AdaBoost::AccumulateProbaInto(const DatasetView& data,
                                    std::span<double> acc) const {
   // PredictProba is a staged vote reduction, not a PredictRow loop;
   // keep that path so the accumulated bits match it.

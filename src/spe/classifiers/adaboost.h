@@ -31,12 +31,13 @@ class AdaBoost final : public Classifier {
   /// Boosts clones of `base_prototype` (must support sample weights).
   AdaBoost(const AdaBoostConfig& config, std::unique_ptr<Classifier> base_prototype);
 
-  void Fit(const Dataset& train) override;
-  void FitWeighted(const Dataset& train, const std::vector<double>& weights) override;
+  void Fit(const DatasetView& train) override;
+  void FitWeighted(const DatasetView& train,
+                   const std::vector<double>& weights) override;
   bool SupportsSampleWeights() const override { return true; }
   double PredictRow(std::span<const double> x) const override;
-  std::vector<double> PredictProba(const Dataset& data) const override;
-  void AccumulateProbaInto(const Dataset& data,
+  std::vector<double> PredictProba(const DatasetView& data) const override;
+  void AccumulateProbaInto(const DatasetView& data,
                            std::span<double> acc) const override;
   std::unique_ptr<Classifier> Clone() const override;
   void Reseed(std::uint64_t seed) override { config_.seed = seed; }

@@ -21,7 +21,8 @@ Bagging::Bagging(const BaggingConfig& config,
   SPE_CHECK_GT(config.n_estimators, 0u);
 }
 
-void Bagging::Fit(const Dataset& train) {
+void Bagging::Fit(const DatasetView& train) {
+  train.CheckAlive();
   SPE_CHECK_GT(train.num_rows(), 0u);
   ensemble_ = VotingEnsemble();
   Rng rng(config_.seed);
@@ -37,6 +38,20 @@ void Bagging::Fit(const Dataset& train) {
   for (auto& bag : bags) {
     bag = rng.SampleWithReplacement(train.num_rows(), bag_size);
   }
+  // Members fit through indexed views: each bag is rewritten to
+  // parent-absolute rows and stacked on the incoming view, so a
+  // bootstrap moves zero feature bytes. A row-major (external block)
+  // view has no parent to index into — materialize once, bag over that.
+  Dataset owned;
+  DatasetView base = train;
+  if (train.row_major()) {
+    owned = train.Materialize();
+    base = DatasetView(owned);
+  } else {
+    for (auto& bag : bags) {
+      for (auto& r : bag) r = train.RowIndex(r);
+    }
+  }
   std::vector<std::unique_ptr<Classifier>> members(config_.n_estimators);
   ParallelForTasks(0, config_.n_estimators, [&](std::size_t m) {
     std::unique_ptr<Classifier> member;
@@ -48,7 +63,7 @@ void Bagging::Fit(const Dataset& train) {
       member = std::make_unique<DecisionTree>(tree_config);
     }
     member->Reseed(config_.seed + 1000003 * (m + 1));
-    member->Fit(train.Subset(bags[m]));
+    member->Fit(base.WithIndices(bags[m]));
     members[m] = std::move(member);
   });
   for (auto& member : members) ensemble_.Add(std::move(member));
@@ -58,11 +73,11 @@ double Bagging::PredictRow(std::span<const double> x) const {
   return ensemble_.PredictRow(x);
 }
 
-std::vector<double> Bagging::PredictProba(const Dataset& data) const {
+std::vector<double> Bagging::PredictProba(const DatasetView& data) const {
   return ensemble_.PredictProba(data);
 }
 
-void Bagging::AccumulateProbaInto(const Dataset& data,
+void Bagging::AccumulateProbaInto(const DatasetView& data,
                                   std::span<double> acc) const {
   // PredictProba averages the inner ensemble, so the fused default
   // (PredictRow streaming) would change the bits; go through the batch

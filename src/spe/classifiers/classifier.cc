@@ -31,32 +31,51 @@ struct FlatKernelCache {
 
 Classifier::~Classifier() = default;
 
-void Classifier::FitWeighted(const Dataset& /*train*/,
+void Classifier::FitWeighted(const DatasetView& /*train*/,
                              const std::vector<double>& /*weights*/) {
   SPE_CHECK(false) << Name() << " does not support sample weights";
 }
 
-std::vector<double> Classifier::PredictProba(const Dataset& data) const {
+double Classifier::PredictViewRow(const DatasetView& data,
+                                  std::size_t row) const {
+  // Row-major views (the serve batch path) already hold a contiguous
+  // row — feed it straight through.
+  if (data.row_major()) {
+    return PredictRow(
+        {data.rows_data() + row * data.num_features(), data.num_features()});
+  }
+  // Columnar views: gather into per-thread scratch. Same values in the
+  // same order as the historical contiguous-row call, so bit-identical.
+  thread_local std::vector<double> scratch;
+  const std::size_t d = data.num_features();
+  scratch.resize(d);
+  for (std::size_t j = 0; j < d; ++j) scratch[j] = data.At(row, j);
+  return PredictRow(scratch);
+}
+
+std::vector<double> Classifier::PredictProba(const DatasetView& data) const {
+  data.CheckAlive();
   std::vector<double> out(data.num_rows());
   // Each row writes only its own slot, so chunking cannot change the
   // result: PredictProba is bit-identical for any SPE_THREADS.
   ParallelForGrain(0, data.num_rows(), kScoreGrain,
-                   [&](std::size_t i) { out[i] = PredictRow(data.Row(i)); });
+                   [&](std::size_t i) { out[i] = PredictViewRow(data, i); });
   return out;
 }
 
-void Classifier::AccumulateProbaInto(const Dataset& data,
+void Classifier::AccumulateProbaInto(const DatasetView& data,
                                      std::span<double> acc) const {
+  data.CheckAlive();
   SPE_CHECK_EQ(acc.size(), data.num_rows());
   // Fused form of PredictProba-then-add: each element receives exactly
-  // one addition of the same PredictRow value the reference computed
+  // one addition of the same PredictViewRow value the reference computed
   // into a temporary, so the accumulated bits are identical and the
   // per-member vector is gone.
   ParallelForGrain(0, data.num_rows(), kScoreGrain,
-                   [&](std::size_t i) { acc[i] += PredictRow(data.Row(i)); });
+                   [&](std::size_t i) { acc[i] += PredictViewRow(data, i); });
 }
 
-void Classifier::AccumulateViaPredictProba(const Dataset& data,
+void Classifier::AccumulateViaPredictProba(const DatasetView& data,
                                            std::span<double> acc) const {
   SPE_CHECK_EQ(acc.size(), data.num_rows());
   const std::vector<double> p = PredictProba(data);
@@ -107,14 +126,15 @@ const kernels::FlatForest* VotingEnsemble::flat_kernel() const {
   return flat_cache_->forest.get();
 }
 
-std::vector<double> VotingEnsemble::PredictProba(const Dataset& data) const {
+std::vector<double> VotingEnsemble::PredictProba(const DatasetView& data) const {
   return PredictProbaPrefix(data, members_.size());
 }
 
-std::vector<double> VotingEnsemble::PredictProbaPrefix(const Dataset& data,
+std::vector<double> VotingEnsemble::PredictProbaPrefix(const DatasetView& data,
                                                        std::size_t k) const {
   SPE_CHECK(!members_.empty());
   SPE_CHECK_GT(k, 0u);
+  data.CheckAlive();
   const std::size_t n = k < members_.size() ? k : members_.size();
   std::vector<double> sum(data.num_rows(), 0.0);
   // Fast path: every member lowered into the flat kernel, which

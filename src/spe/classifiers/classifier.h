@@ -32,34 +32,44 @@ class Classifier {
  public:
   virtual ~Classifier();
 
-  /// Trains on `train`, replacing any previous model.
-  virtual void Fit(const Dataset& train) = 0;
+  /// Trains on the viewed rows, replacing any previous model. Dataset
+  /// converts implicitly, so `clf.Fit(data)` keeps reading naturally;
+  /// ensemble trainers pass index views and train with zero row copies.
+  virtual void Fit(const DatasetView& train) = 0;
 
   /// Trains with per-example weights (same length as `train`). Only
   /// meaningful for implementations where SupportsSampleWeights() is
   /// true; the default aborts, because silently ignoring the weights
   /// would corrupt boosting algorithms built on top.
-  virtual void FitWeighted(const Dataset& train, const std::vector<double>& weights);
+  virtual void FitWeighted(const DatasetView& train,
+                           const std::vector<double>& weights);
   virtual bool SupportsSampleWeights() const { return false; }
 
   /// Probability that `x` belongs to the positive (minority) class.
   /// Must be in [0, 1]. Only valid after Fit.
   virtual double PredictRow(std::span<const double> x) const = 0;
 
-  /// Batched prediction; the default loops over PredictRow, classifiers
-  /// with cheaper batch paths override it.
-  virtual std::vector<double> PredictProba(const Dataset& data) const;
+  /// PredictRow for row `row` of a view. The default gathers the row
+  /// into per-thread scratch and calls PredictRow (bit-identical: same
+  /// values, same arithmetic); models that can walk columnar storage
+  /// directly — tree descent touches a handful of features per row —
+  /// override it to skip the gather entirely.
+  virtual double PredictViewRow(const DatasetView& data, std::size_t row) const;
+
+  /// Batched prediction; the default loops over PredictViewRow,
+  /// classifiers with cheaper batch paths override it.
+  virtual std::vector<double> PredictProba(const DatasetView& data) const;
 
   /// Adds this model's batch probabilities element-wise into `acc`
   /// (acc[i] += p[i], acc.size() == data.num_rows()). This is how
   /// VotingEnsemble reduces members without materializing a per-member
-  /// probability vector: the default streams PredictRow straight into
-  /// the accumulator, which is the fused form of the reference
+  /// probability vector: the default streams PredictViewRow straight
+  /// into the accumulator, which is the fused form of the reference
   /// PredictProba-then-add and bit-identical to it. Any class that
   /// overrides PredictProba with a different batch computation MUST
   /// also override this (typically via AccumulateViaPredictProba) so
   /// the accumulated bits keep matching its PredictProba.
-  virtual void AccumulateProbaInto(const Dataset& data,
+  virtual void AccumulateProbaInto(const DatasetView& data,
                                    std::span<double> acc) const;
 
   /// Fresh untrained copy with identical configuration.
@@ -78,7 +88,7 @@ class Classifier {
   /// AccumulateProbaInto implementation for classes with a custom
   /// PredictProba: scores through the override (one temporary, exactly
   /// the reference arithmetic) and adds element-wise.
-  void AccumulateViaPredictProba(const Dataset& data,
+  void AccumulateViaPredictProba(const DatasetView& data,
                                  std::span<double> acc) const;
 };
 
@@ -101,7 +111,7 @@ class VotingEnsemble {
   const Classifier& member(std::size_t i) const { return *members_[i]; }
 
   /// Mean member probability for each row. Requires at least one member.
-  std::vector<double> PredictProba(const Dataset& data) const;
+  std::vector<double> PredictProba(const DatasetView& data) const;
 
   /// Mean probability over only the first min(k, size()) members —
   /// the full hypothesis truncated to an ensemble prefix. Because the
@@ -109,7 +119,7 @@ class VotingEnsemble {
   /// (coarser) SPE hypothesis, which makes it a principled
   /// graceful-degradation knob: an overloaded server can score with
   /// k < n members and pay proportionally less compute. Requires k >= 1.
-  std::vector<double> PredictProbaPrefix(const Dataset& data,
+  std::vector<double> PredictProbaPrefix(const DatasetView& data,
                                          std::size_t k) const;
 
   /// Mean member probability for a single row.
@@ -143,7 +153,7 @@ class PrefixVoter {
 
   /// Probabilities from the first min(k, NumPrefixMembers()) members.
   /// Requires k >= 1 and a fitted model.
-  virtual std::vector<double> PredictProbaPrefix(const Dataset& data,
+  virtual std::vector<double> PredictProbaPrefix(const DatasetView& data,
                                                  std::size_t k) const = 0;
 };
 

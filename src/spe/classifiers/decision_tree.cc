@@ -55,10 +55,11 @@ struct DecisionTree::BuildScratch {
 
 DecisionTree::DecisionTree(const DecisionTreeConfig& config) : config_(config) {}
 
-void DecisionTree::Fit(const Dataset& train) { FitWeighted(train, {}); }
+void DecisionTree::Fit(const DatasetView& train) { FitWeighted(train, {}); }
 
-void DecisionTree::FitWeighted(const Dataset& train,
+void DecisionTree::FitWeighted(const DatasetView& train,
                                const std::vector<double>& weights) {
+  train.CheckAlive();
   SPE_CHECK_GT(train.num_rows(), 0u);
   std::vector<double> w = weights;
   if (w.empty()) {
@@ -77,7 +78,7 @@ void DecisionTree::FitWeighted(const Dataset& train,
   Build(train, w, indices, 0, indices.size(), /*depth=*/0, scratch, rng);
 }
 
-std::int32_t DecisionTree::Build(const Dataset& train,
+std::int32_t DecisionTree::Build(const DatasetView& train,
                                  const std::vector<double>& weights,
                                  std::vector<std::size_t>& indices,
                                  std::size_t begin, std::size_t end, int depth,
@@ -201,6 +202,19 @@ double DecisionTree::PredictRow(std::span<const double> x) const {
   while (nodes_[static_cast<std::size_t>(node)].feature >= 0) {
     const Node& n = nodes_[static_cast<std::size_t>(node)];
     node = x[static_cast<std::size_t>(n.feature)] <= n.threshold ? n.left : n.right;
+  }
+  return nodes_[static_cast<std::size_t>(node)].value;
+}
+
+double DecisionTree::PredictViewRow(const DatasetView& data,
+                                    std::size_t row) const {
+  SPE_CHECK(!nodes_.empty()) << "predict before fit";
+  std::int32_t node = 0;
+  while (nodes_[static_cast<std::size_t>(node)].feature >= 0) {
+    const Node& n = nodes_[static_cast<std::size_t>(node)];
+    node = data.At(row, static_cast<std::size_t>(n.feature)) <= n.threshold
+               ? n.left
+               : n.right;
   }
   return nodes_[static_cast<std::size_t>(node)].value;
 }

@@ -42,10 +42,14 @@ class DecisionTree final : public Classifier, public kernels::FlatCompilable {
  public:
   explicit DecisionTree(const DecisionTreeConfig& config = {});
 
-  void Fit(const Dataset& train) override;
-  void FitWeighted(const Dataset& train, const std::vector<double>& weights) override;
+  void Fit(const DatasetView& train) override;
+  void FitWeighted(const DatasetView& train,
+                   const std::vector<double>& weights) override;
   bool SupportsSampleWeights() const override { return true; }
   double PredictRow(std::span<const double> x) const override;
+  /// Columnar-aware descent: reads only the features the walk touches
+  /// (no row gather). Same comparisons as PredictRow, so bit-identical.
+  double PredictViewRow(const DatasetView& data, std::size_t row) const override;
   std::unique_ptr<Classifier> Clone() const override;
   void Reseed(std::uint64_t seed) override { config_.seed = seed; }
   std::string Name() const override { return "DT"; }
@@ -85,7 +89,8 @@ class DecisionTree final : public Classifier, public kernels::FlatCompilable {
   // used to allocate these per node, which dominated deep-tree fits.
   struct BuildScratch;
 
-  std::int32_t Build(const Dataset& train, const std::vector<double>& weights,
+  std::int32_t Build(const DatasetView& train,
+                     const std::vector<double>& weights,
                      std::vector<std::size_t>& indices, std::size_t begin,
                      std::size_t end, int depth, BuildScratch& scratch,
                      Rng& rng);

@@ -9,7 +9,8 @@
 namespace spe {
 namespace gbdt {
 
-void FeatureBinner::Fit(const Dataset& data, int max_bins) {
+void FeatureBinner::Fit(const DatasetView& data, int max_bins) {
+  data.CheckAlive();
   SPE_CHECK_GE(max_bins, 2);
   SPE_CHECK_LE(max_bins, 256);
   SPE_CHECK_GT(data.num_rows(), 0u);
@@ -17,9 +18,22 @@ void FeatureBinner::Fit(const Dataset& data, int max_bins) {
   const std::size_t d = data.num_features();
   boundaries_.assign(d, {});
   std::vector<double> values(data.num_rows());
+  // Identity views expose each feature as one contiguous columnar
+  // slice, so seeding the sort buffer is a straight memcpy; indexed and
+  // row-major views gather per element. Either way the multiset of
+  // values — and therefore the sorted order and the learned cuts — is
+  // identical.
+  const DataMatrix* parent = data.identity() ? data.parent() : nullptr;
 
   for (std::size_t f = 0; f < d; ++f) {
-    for (std::size_t i = 0; i < data.num_rows(); ++i) values[i] = data.At(i, f);
+    if (parent != nullptr) {
+      std::span<const double> col = parent->Column(f);
+      std::copy(col.begin(), col.end(), values.begin());
+    } else {
+      for (std::size_t i = 0; i < data.num_rows(); ++i) {
+        values[i] = data.At(i, f);
+      }
+    }
     std::sort(values.begin(), values.end());
     std::vector<double>& cuts = boundaries_[f];
     const std::size_t n = values.size();
@@ -91,7 +105,8 @@ double FeatureBinner::UpperEdge(std::size_t feature, int bin) const {
   return std::numeric_limits<double>::infinity();
 }
 
-BinnedMatrix FeatureBinner::Transform(const Dataset& data) const {
+BinnedMatrix FeatureBinner::Transform(const DatasetView& data) const {
+  data.CheckAlive();
   SPE_CHECK(fitted());
   SPE_CHECK_EQ(data.num_features(), boundaries_.size());
   BinnedMatrix out;

@@ -31,7 +31,7 @@ struct BinnedMatrix {
 class FeatureBinner {
  public:
   /// Learns bin boundaries. max_bins must be in [2, 256].
-  void Fit(const Dataset& data, int max_bins = 64);
+  void Fit(const DatasetView& data, int max_bins = 64);
 
   /// Binner over externally chosen cut points — one sorted list per
   /// feature, at most 255 cuts each (so bin indices fit uint8). This is
@@ -59,7 +59,7 @@ class FeatureBinner {
   /// [0, bin]. Used to translate a bin split back to a raw threshold.
   double UpperEdge(std::size_t feature, int bin) const;
 
-  BinnedMatrix Transform(const Dataset& data) const;
+  BinnedMatrix Transform(const DatasetView& data) const;
 
  private:
   // boundaries_[f] is a sorted list of cut values; bin b holds values in

@@ -40,18 +40,22 @@ Gbdt::Gbdt(const GbdtConfig& config) : config_(config) {
   SPE_CHECK_GT(config.boost_rounds, 0u);
 }
 
-void Gbdt::Fit(const Dataset& train) { FitImpl(train, {}, nullptr); }
+void Gbdt::Fit(const DatasetView& train) { FitImpl(train, {}, nullptr); }
 
-void Gbdt::FitWeighted(const Dataset& train, const std::vector<double>& weights) {
+void Gbdt::FitWeighted(const DatasetView& train,
+                       const std::vector<double>& weights) {
   FitImpl(train, weights, nullptr);
 }
 
-void Gbdt::FitWithValidation(const Dataset& train, const Dataset& validation) {
+void Gbdt::FitWithValidation(const DatasetView& train,
+                             const DatasetView& validation) {
   FitImpl(train, {}, &validation);
 }
 
-void Gbdt::FitImpl(const Dataset& train, const std::vector<double>& weights,
-                   const Dataset* validation) {
+void Gbdt::FitImpl(const DatasetView& train, const std::vector<double>& weights,
+                   const DatasetView* validation) {
+  train.CheckAlive();
+  if (validation != nullptr) validation->CheckAlive();
   SPE_CHECK_GT(train.num_rows(), 0u);
   const std::size_t n = train.num_rows();
   std::vector<double> w = weights;
@@ -86,10 +90,13 @@ void Gbdt::FitImpl(const Dataset& train, const std::vector<double>& weights,
   // Validation-side running scores for early stopping.
   std::vector<double> val_scores;
   std::vector<double> val_probs;
+  std::vector<int> val_labels;
   if (validation != nullptr) {
     val_scores.assign(validation->num_rows(), base_score_);
     val_probs.resize(validation->num_rows());
+    val_labels = validation->LabelsVector();
   }
+  std::vector<double> row_scratch(train.num_features());
   double best_val_loss = std::numeric_limits<double>::infinity();
   std::size_t best_round = 0;
   std::size_t rounds_since_best = 0;
@@ -114,7 +121,8 @@ void Gbdt::FitImpl(const Dataset& train, const std::vector<double>& weights,
       rows = subsample_rng.SampleWithoutReplacement(n, take);
       tree.Fit(binned, binner_, grads, hess, rows, config_.tree, tree_outputs);
       for (std::size_t i = 0; i < n; ++i) {
-        scores[i] += config_.learning_rate * tree.Predict(train.Row(i));
+        train.CopyRowTo(i, row_scratch);
+        scores[i] += config_.learning_rate * tree.Predict(row_scratch);
       }
     } else {
       rows.resize(n);
@@ -128,11 +136,12 @@ void Gbdt::FitImpl(const Dataset& train, const std::vector<double>& weights,
 
     if (validation != nullptr && config_.early_stopping_rounds > 0) {
       for (std::size_t i = 0; i < validation->num_rows(); ++i) {
+        validation->CopyRowTo(i, row_scratch);
         val_scores[i] += config_.learning_rate *
-                         trees_.back().Predict(validation->Row(i));
+                         trees_.back().Predict(row_scratch);
         val_probs[i] = Sigmoid(val_scores[i]);
       }
-      const double loss = LogLoss(validation->labels(), val_probs);
+      const double loss = LogLoss(val_labels, val_probs);
       if (loss < best_val_loss - 1e-9) {
         best_val_loss = loss;
         best_round = trees_.size();

@@ -37,14 +37,14 @@ class Gbdt final : public Classifier, public kernels::FlatCompilable {
  public:
   explicit Gbdt(const GbdtConfig& config = {});
 
-  void Fit(const Dataset& train) override;
-  void FitWeighted(const Dataset& train, const std::vector<double>& weights) override;
+  void Fit(const DatasetView& train) override;
+  void FitWeighted(const DatasetView& train, const std::vector<double>& weights) override;
   bool SupportsSampleWeights() const override { return true; }
 
   /// Fits with early stopping monitored on `validation` (kept at its
   /// natural distribution, per the paper's protocol §VI-B.1). The model
   /// keeps only the best round count.
-  void FitWithValidation(const Dataset& train, const Dataset& validation);
+  void FitWithValidation(const DatasetView& train, const DatasetView& validation);
 
   double PredictRow(std::span<const double> x) const override;
   std::unique_ptr<Classifier> Clone() const override;
@@ -72,8 +72,8 @@ class Gbdt final : public Classifier, public kernels::FlatCompilable {
                    kernels::MemberOp& op) const override;
 
  private:
-  void FitImpl(const Dataset& train, const std::vector<double>& weights,
-               const Dataset* validation);
+  void FitImpl(const DatasetView& train, const std::vector<double>& weights,
+               const DatasetView* validation);
 
   GbdtConfig config_;
   gbdt::FeatureBinner binner_;

@@ -13,36 +13,38 @@ Knn::Knn(const KnnConfig& config) : config_(config) {
   SPE_CHECK_GT(config.k, 0u);
 }
 
-void Knn::Fit(const Dataset& train) {
+void Knn::Fit(const DatasetView& train) {
+  train.CheckAlive();
   SPE_CHECK_GT(train.num_rows(), 0u);
   if (config_.standardize) {
     scaler_.Fit(train);
-    train_ = scaler_.Transform(train);
+    scaler_.TransformToRows(train, train_rows_);
   } else {
-    train_ = train;
+    train_rows_.GatherFrom(train);
   }
+  labels_ = train.LabelsVector();
 }
 
 double Knn::PredictScaledRow(std::span<const double> x) const {
-  const std::size_t n = train_.num_rows();
+  const std::size_t n = train_rows_.num_rows();
   const std::size_t k = std::min(config_.k, n);
 
   // Keep the k smallest distances with a max-heap over (distance, label).
   std::vector<std::pair<double, int>> heap;
   heap.reserve(k + 1);
   for (std::size_t i = 0; i < n; ++i) {
-    auto row = train_.Row(i);
+    auto row = train_rows_.Row(i);
     double dist = 0.0;
     for (std::size_t j = 0; j < row.size(); ++j) {
       const double d = row[j] - x[j];
       dist += d * d;
     }
     if (heap.size() < k) {
-      heap.emplace_back(dist, train_.Label(i));
+      heap.emplace_back(dist, labels_[i]);
       std::push_heap(heap.begin(), heap.end());
     } else if (dist < heap.front().first) {
       std::pop_heap(heap.begin(), heap.end());
-      heap.back() = {dist, train_.Label(i)};
+      heap.back() = {dist, labels_[i]};
       std::push_heap(heap.begin(), heap.end());
     }
   }
@@ -67,24 +69,29 @@ double Knn::PredictScaledRow(std::span<const double> x) const {
 }
 
 double Knn::PredictRow(std::span<const double> x) const {
-  SPE_CHECK(!train_.empty()) << "predict before fit";
+  SPE_CHECK(train_rows_.num_rows() > 0) << "predict before fit";
   if (!config_.standardize) return PredictScaledRow(x);
   std::vector<double> scaled(x.size());
   scaler_.TransformRow(x, scaled);
   return PredictScaledRow(scaled);
 }
 
-std::vector<double> Knn::PredictProba(const Dataset& data) const {
-  SPE_CHECK(!train_.empty()) << "predict before fit";
-  const Dataset queries =
-      config_.standardize ? scaler_.Transform(data) : data;
+std::vector<double> Knn::PredictProba(const DatasetView& data) const {
+  SPE_CHECK(train_rows_.num_rows() > 0) << "predict before fit";
+  data.CheckAlive();
+  RowMatrix queries;
+  if (config_.standardize) {
+    scaler_.TransformToRows(data, queries);
+  } else {
+    queries.GatherFrom(data);
+  }
   std::vector<double> out(queries.num_rows());
   ParallelFor(0, queries.num_rows(),
               [&](std::size_t i) { out[i] = PredictScaledRow(queries.Row(i)); });
   return out;
 }
 
-void Knn::AccumulateProbaInto(const Dataset& data,
+void Knn::AccumulateProbaInto(const DatasetView& data,
                               std::span<double> acc) const {
   // PredictProba standardizes the whole batch up front; keep that path
   // so the accumulated bits match it.

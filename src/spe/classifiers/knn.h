@@ -32,10 +32,10 @@ class Knn final : public Classifier {
  public:
   explicit Knn(const KnnConfig& config = {});
 
-  void Fit(const Dataset& train) override;
+  void Fit(const DatasetView& train) override;
   double PredictRow(std::span<const double> x) const override;
-  std::vector<double> PredictProba(const Dataset& data) const override;
-  void AccumulateProbaInto(const Dataset& data,
+  std::vector<double> PredictProba(const DatasetView& data) const override;
+  void AccumulateProbaInto(const DatasetView& data,
                            std::span<double> acc) const override;
   std::unique_ptr<Classifier> Clone() const override;
   std::string Name() const override { return "KNN"; }
@@ -45,7 +45,8 @@ class Knn final : public Classifier {
 
   KnnConfig config_;
   FeatureScaler scaler_;
-  Dataset train_;  // standardized copy of the training data
+  RowMatrix train_rows_;     // standardized training rows (row-major scratch)
+  std::vector<int> labels_;  // labels parallel to train_rows_
 };
 
 }  // namespace spe

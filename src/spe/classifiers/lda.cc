@@ -49,7 +49,8 @@ LinearDiscriminant::LinearDiscriminant(const LdaConfig& config)
   SPE_CHECK_GE(config.shrinkage, 0.0);
 }
 
-void LinearDiscriminant::Fit(const Dataset& train) {
+void LinearDiscriminant::Fit(const DatasetView& train) {
+  train.CheckAlive();
   const std::size_t n = train.num_rows();
   const std::size_t d = train.num_features();
   SPE_CHECK_GT(n, 1u);
@@ -61,8 +62,9 @@ void LinearDiscriminant::Fit(const Dataset& train) {
   // Class means.
   std::vector<double> mean[2] = {std::vector<double>(d, 0.0),
                                  std::vector<double>(d, 0.0)};
+  std::vector<double> row(d);
   for (std::size_t i = 0; i < n; ++i) {
-    const auto row = train.Row(i);
+    train.CopyRowTo(i, row);
     auto& m = mean[train.Label(i)];
     for (std::size_t j = 0; j < d; ++j) m[j] += row[j];
   }
@@ -75,7 +77,7 @@ void LinearDiscriminant::Fit(const Dataset& train) {
   std::vector<double> cov(d * d, 0.0);
   std::vector<double> centered(d);
   for (std::size_t i = 0; i < n; ++i) {
-    const auto row = train.Row(i);
+    train.CopyRowTo(i, row);
     const auto& m = mean[train.Label(i)];
     for (std::size_t j = 0; j < d; ++j) centered[j] = row[j] - m[j];
     for (std::size_t j = 0; j < d; ++j) {

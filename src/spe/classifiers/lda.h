@@ -24,7 +24,7 @@ class LinearDiscriminant final : public Classifier {
  public:
   explicit LinearDiscriminant(const LdaConfig& config = {});
 
-  void Fit(const Dataset& train) override;
+  void Fit(const DatasetView& train) override;
   double PredictRow(std::span<const double> x) const override;
   std::unique_ptr<Classifier> Clone() const override;
   std::string Name() const override { return "LDA"; }

@@ -25,7 +25,7 @@ LinearSvm::LinearSvm(const SvmConfig& config) : config_(config) {
   SPE_CHECK_GT(config.c, 0.0);
 }
 
-void LinearSvm::Fit(const Dataset& train) { FitWeighted(train, {}); }
+void LinearSvm::Fit(const DatasetView& train) { FitWeighted(train, {}); }
 
 std::vector<double> LinearSvm::MapRow(std::span<const double> x) const {
   std::vector<double> scaled(x.size());
@@ -36,8 +36,9 @@ std::vector<double> LinearSvm::MapRow(std::span<const double> x) const {
   return scaled;
 }
 
-void LinearSvm::FitWeighted(const Dataset& train,
+void LinearSvm::FitWeighted(const DatasetView& train,
                             const std::vector<double>& weights) {
+  train.CheckAlive();
   SPE_CHECK_GT(train.num_rows(), 0u);
   std::vector<double> sample_weight = weights;
   if (sample_weight.empty()) {
@@ -47,11 +48,16 @@ void LinearSvm::FitWeighted(const Dataset& train,
   }
 
   scaler_.Fit(train);
-  Dataset x = scaler_.Transform(train);
+  // Standardize (and optionally Fourier-map) into row-major scratch;
+  // the fit no longer materializes intermediate datasets.
+  RowMatrix x;
+  scaler_.TransformToRows(train, x);
   if (config_.kernel == SvmConfig::Kernel::kRbfApprox) {
     rff_.Init(train.num_features(), config_.rff_dim, config_.gamma,
               config_.seed + 0x9e3779b9ULL);
-    x = rff_.Transform(x);
+    RowMatrix mapped;
+    rff_.TransformToRows(x, mapped);
+    x = std::move(mapped);
   }
 
   const std::size_t n = x.num_rows();

@@ -28,10 +28,11 @@ double Sigmoid(double z) {
 LogisticRegression::LogisticRegression(const LogisticRegressionConfig& config)
     : config_(config) {}
 
-void LogisticRegression::Fit(const Dataset& train) { FitWeighted(train, {}); }
+void LogisticRegression::Fit(const DatasetView& train) { FitWeighted(train, {}); }
 
-void LogisticRegression::FitWeighted(const Dataset& train,
+void LogisticRegression::FitWeighted(const DatasetView& train,
                                      const std::vector<double>& weights) {
+  train.CheckAlive();
   SPE_CHECK_GT(train.num_rows(), 0u);
   std::vector<double> sample_weight = weights;
   if (sample_weight.empty()) {
@@ -41,7 +42,10 @@ void LogisticRegression::FitWeighted(const Dataset& train,
   }
 
   scaler_.Fit(train);
-  const Dataset x = scaler_.Transform(train);
+  // Standardize into row-major scratch: SGD reads contiguous rows, and
+  // the fit no longer materializes a second full dataset.
+  RowMatrix x;
+  scaler_.TransformToRows(train, x);
   const std::size_t n = x.num_rows();
   const std::size_t d = x.num_features();
   w_.assign(d, 0.0);
@@ -67,7 +71,8 @@ void LogisticRegression::FitWeighted(const Dataset& train,
         double z = bias_;
         for (std::size_t j = 0; j < d; ++j) z += w_[j] * features[j];
         const double err =
-            (Sigmoid(z) - static_cast<double>(x.Label(row))) * sample_weight[row];
+            (Sigmoid(z) - static_cast<double>(train.Label(row))) *
+            sample_weight[row];
         for (std::size_t j = 0; j < d; ++j) grad[j] += err * features[j];
         grad_bias += err;
         batch_weight += sample_weight[row];

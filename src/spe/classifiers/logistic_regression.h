@@ -28,8 +28,9 @@ class LogisticRegression final : public Classifier {
  public:
   explicit LogisticRegression(const LogisticRegressionConfig& config = {});
 
-  void Fit(const Dataset& train) override;
-  void FitWeighted(const Dataset& train, const std::vector<double>& weights) override;
+  void Fit(const DatasetView& train) override;
+  void FitWeighted(const DatasetView& train,
+                   const std::vector<double>& weights) override;
   bool SupportsSampleWeights() const override { return true; }
   double PredictRow(std::span<const double> x) const override;
   std::unique_ptr<Classifier> Clone() const override;

@@ -62,10 +62,12 @@ double Mlp::Forward(std::span<const double> scaled,
   return Sigmoid(out);
 }
 
-void Mlp::Fit(const Dataset& train) {
+void Mlp::Fit(const DatasetView& train) {
+  train.CheckAlive();
   SPE_CHECK_GT(train.num_rows(), 0u);
   scaler_.Fit(train);
-  const Dataset x = scaler_.Transform(train);
+  RowMatrix x;
+  scaler_.TransformToRows(train, x);
   const std::size_t n = x.num_rows();
   input_dim_ = x.num_features();
   const std::size_t h = config_.hidden_units;
@@ -110,7 +112,7 @@ void Mlp::Fit(const Dataset& train) {
         auto features = x.Row(row);
         const double p = Forward(features, hidden);
         // dL/dz_out for BCE + sigmoid is simply (p - y).
-        const double delta_out = p - static_cast<double>(x.Label(row));
+        const double delta_out = p - static_cast<double>(train.Label(row));
         grad_b2[0] += delta_out;
         for (std::size_t u = 0; u < h; ++u) {
           grad_w2[u] += delta_out * hidden[u];

@@ -29,7 +29,7 @@ class Mlp final : public Classifier {
  public:
   explicit Mlp(const MlpConfig& config = {});
 
-  void Fit(const Dataset& train) override;
+  void Fit(const DatasetView& train) override;
   double PredictRow(std::span<const double> x) const override;
   std::unique_ptr<Classifier> Clone() const override;
   void Reseed(std::uint64_t seed) override { config_.seed = seed; }

@@ -14,10 +14,11 @@ GaussianNaiveBayes::GaussianNaiveBayes(const NaiveBayesConfig& config)
   SPE_CHECK_GE(config.var_smoothing, 0.0);
 }
 
-void GaussianNaiveBayes::Fit(const Dataset& train) { FitWeighted(train, {}); }
+void GaussianNaiveBayes::Fit(const DatasetView& train) { FitWeighted(train, {}); }
 
-void GaussianNaiveBayes::FitWeighted(const Dataset& train,
+void GaussianNaiveBayes::FitWeighted(const DatasetView& train,
                                      const std::vector<double>& weights) {
+  train.CheckAlive();
   SPE_CHECK_GT(train.num_rows(), 0u);
   std::vector<double> w = weights;
   if (w.empty()) {
@@ -33,10 +34,11 @@ void GaussianNaiveBayes::FitWeighted(const Dataset& train,
     var_[c].assign(d, 0.0);
   }
 
+  std::vector<double> row(d);
   for (std::size_t i = 0; i < train.num_rows(); ++i) {
     const int c = train.Label(i);
     class_weight[c] += w[i];
-    const auto row = train.Row(i);
+    train.CopyRowTo(i, row);
     for (std::size_t j = 0; j < d; ++j) mean_[c][j] += w[i] * row[j];
   }
   SPE_CHECK_GT(class_weight[0] + class_weight[1], 0.0);
@@ -48,7 +50,7 @@ void GaussianNaiveBayes::FitWeighted(const Dataset& train,
   }
   for (std::size_t i = 0; i < train.num_rows(); ++i) {
     const int c = train.Label(i);
-    const auto row = train.Row(i);
+    train.CopyRowTo(i, row);
     for (std::size_t j = 0; j < d; ++j) {
       const double delta = row[j] - mean_[c][j];
       var_[c][j] += w[i] * delta * delta;

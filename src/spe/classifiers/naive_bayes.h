@@ -24,8 +24,9 @@ class GaussianNaiveBayes final : public Classifier {
  public:
   explicit GaussianNaiveBayes(const NaiveBayesConfig& config = {});
 
-  void Fit(const Dataset& train) override;
-  void FitWeighted(const Dataset& train, const std::vector<double>& weights) override;
+  void Fit(const DatasetView& train) override;
+  void FitWeighted(const DatasetView& train,
+                   const std::vector<double>& weights) override;
   bool SupportsSampleWeights() const override { return true; }
   double PredictRow(std::span<const double> x) const override;
   std::unique_ptr<Classifier> Clone() const override;

@@ -15,7 +15,8 @@ RandomForest::RandomForest(const RandomForestConfig& config) : config_(config) {
   SPE_CHECK_GT(config.n_estimators, 0u);
 }
 
-void RandomForest::Fit(const Dataset& train) {
+void RandomForest::Fit(const DatasetView& train) {
+  train.CheckAlive();
   SPE_CHECK_GT(train.num_rows(), 0u);
   ensemble_ = VotingEnsemble();
   Rng rng(config_.seed);
@@ -37,12 +38,25 @@ void RandomForest::Fit(const Dataset& train) {
   for (auto& bag : bags) {
     bag = rng.SampleWithReplacement(train.num_rows(), train.num_rows());
   }
+  // Trees fit through indexed views (bags rewritten to parent-absolute
+  // rows), so a bootstrap moves zero feature bytes; row-major views are
+  // materialized once first since they have no parent to index into.
+  Dataset owned;
+  DatasetView base = train;
+  if (train.row_major()) {
+    owned = train.Materialize();
+    base = DatasetView(owned);
+  } else {
+    for (auto& bag : bags) {
+      for (auto& r : bag) r = train.RowIndex(r);
+    }
+  }
   std::vector<std::unique_ptr<Classifier>> trees(config_.n_estimators);
   ParallelForTasks(0, config_.n_estimators, [&](std::size_t m) {
     DecisionTreeConfig member_config = tree_config;
     member_config.seed = config_.seed + 7919 * (m + 1);
     auto tree = std::make_unique<DecisionTree>(member_config);
-    tree->Fit(train.Subset(bags[m]));
+    tree->Fit(base.WithIndices(bags[m]));
     trees[m] = std::move(tree);
   });
   for (auto& tree : trees) ensemble_.Add(std::move(tree));
@@ -52,11 +66,11 @@ double RandomForest::PredictRow(std::span<const double> x) const {
   return ensemble_.PredictRow(x);
 }
 
-std::vector<double> RandomForest::PredictProba(const Dataset& data) const {
+std::vector<double> RandomForest::PredictProba(const DatasetView& data) const {
   return ensemble_.PredictProba(data);
 }
 
-void RandomForest::AccumulateProbaInto(const Dataset& data,
+void RandomForest::AccumulateProbaInto(const DatasetView& data,
                                        std::span<double> acc) const {
   // PredictProba averages the inner ensemble, so the fused default
   // (PredictRow streaming) would change the bits; go through the batch

@@ -39,13 +39,25 @@ std::vector<double> RandomFourierFeatures::TransformRow(
   return z;
 }
 
-Dataset RandomFourierFeatures::Transform(const Dataset& data) const {
+Dataset RandomFourierFeatures::Transform(const DatasetView& data) const {
   Dataset out(output_dim());
   out.Reserve(data.num_rows());
+  std::vector<double> row(data.num_features());
   for (std::size_t i = 0; i < data.num_rows(); ++i) {
-    out.AddRow(TransformRow(data.Row(i)), data.Label(i));
+    data.CopyRowTo(i, row);
+    out.AddRow(TransformRow(row), data.Label(i));
   }
   return out;
+}
+
+void RandomFourierFeatures::TransformToRows(const RowMatrix& in,
+                                            RowMatrix& out) const {
+  out.Reset(in.num_rows(), output_dim());
+  for (std::size_t i = 0; i < in.num_rows(); ++i) {
+    const std::vector<double> z = TransformRow(in.Row(i));
+    auto dst = out.Row(i);
+    for (std::size_t j = 0; j < z.size(); ++j) dst[j] = z[j];
+  }
 }
 
 }  // namespace spe

@@ -30,8 +30,12 @@ class RandomFourierFeatures {
   /// Maps one input row to the Fourier feature space.
   std::vector<double> TransformRow(std::span<const double> x) const;
 
-  /// Maps a whole dataset (labels preserved).
-  Dataset Transform(const Dataset& data) const;
+  /// Maps a whole dataset (labels preserved; counted materialization).
+  Dataset Transform(const DatasetView& data) const;
+
+  /// Maps row-major scratch to row-major scratch — the copy-free path
+  /// LinearSvm's RBF mode fits through.
+  void TransformToRows(const RowMatrix& in, RowMatrix& out) const;
 
  private:
   std::size_t input_dim_ = 0;

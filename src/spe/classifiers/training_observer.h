@@ -18,8 +18,10 @@ struct IterationInfo {
   std::size_t iteration = 0;
   /// The members that would participate in the final prediction so far.
   const VotingEnsemble& ensemble;
-  /// The re-sampled subset the newest member was fitted on.
-  const Dataset& training_subset;
+  /// The re-sampled subset the newest member was fitted on. A view
+  /// (by value — views are two pointers) valid only for the duration of
+  /// the callback: the trainer reuses its subset buffers afterwards.
+  DatasetView training_subset;
 };
 
 using IterationCallback = std::function<void(const IterationInfo&)>;

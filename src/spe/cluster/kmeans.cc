@@ -32,7 +32,8 @@ void KMeans::Fit(const Dataset& data) {
   const std::size_t d = data.num_features();
 
   scaler_.Fit(data);
-  const Dataset x = scaler_.Transform(data);
+  RowMatrix x;
+  scaler_.TransformToRows(data, x);
   Rng rng(config_.seed);
 
   // k-means++ seeding: first centroid uniform, then proportional to the

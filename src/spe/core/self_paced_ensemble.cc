@@ -87,11 +87,12 @@ double SelfPacedEnsemble::AlphaAt(AlphaSchedule schedule, std::size_t i,
   return 0.0;
 }
 
-void SelfPacedEnsemble::Fit(const Dataset& train) {
+void SelfPacedEnsemble::Fit(const DatasetView& train) {
   // Spans read the steady clock only — never the Rng — and gauges are
   // pure reporting, so instrumentation cannot perturb the bit-identical
   // determinism contract (docs/performance.md).
   const obs::TraceSpan fit_span("spe.fit");
+  train.CheckAlive();
   const std::vector<std::size_t> pos = train.PositiveIndices();
   const std::vector<std::size_t> neg = train.NegativeIndices();
   SPE_CHECK(!pos.empty()) << "SPE needs at least one minority sample";
@@ -100,8 +101,21 @@ void SelfPacedEnsemble::Fit(const Dataset& train) {
   ensemble_ = VotingEnsemble();
   training_hardness_ = HardnessHistogram();
   Rng rng(config_.seed);
-  const Dataset minority = train.Subset(pos);
-  const Dataset majority = train.Subset(neg);
+  // The whole self-paced loop runs on index arithmetic: the minority
+  // prefix and every per-iteration majority pick are parent-absolute
+  // row indices stacked into views — no row is ever copied. Row-major
+  // views have no parent matrix to index into; materialize those once.
+  Dataset owned;
+  DatasetView base = train;
+  if (train.row_major()) {
+    owned = train.Materialize();
+    base = DatasetView(owned);
+  }
+  std::vector<std::size_t> pos_abs(pos.size());
+  for (std::size_t i = 0; i < pos.size(); ++i) pos_abs[i] = base.RowIndex(pos[i]);
+  std::vector<std::size_t> neg_abs(neg.size());
+  for (std::size_t i = 0; i < neg.size(); ++i) neg_abs[i] = base.RowIndex(neg[i]);
+  const DatasetView majority = base.WithIndices(neg_abs);
   const HardnessFn hardness_fn = config_.custom_hardness
                                      ? config_.custom_hardness
                                      : MakeHardness(config_.hardness);
@@ -111,15 +125,17 @@ void SelfPacedEnsemble::Fit(const Dataset& train) {
     member->Reseed(config_.seed + 7919 * (index + 1));
     return member;
   };
-  // Reusable balanced-subset buffer: the minority block is copied once
-  // and survives as a fixed prefix; every iteration truncates back to it
-  // and appends the fresh majority pick. The old per-iteration deep copy
-  // of the minority set was the dominant allocation in this loop.
-  Dataset subset = minority;
-  subset.Reserve(2 * minority.num_rows());  // picks never exceed |P|
+  // Reusable balanced-subset index buffer: the minority indices survive
+  // as a fixed prefix; every iteration truncates back to them and
+  // appends the fresh majority pick. The members fit through a view
+  // over this buffer, so the per-iteration subset costs zero feature
+  // copies (it used to be the dominant allocation in this loop).
+  std::vector<std::size_t> subset_abs = pos_abs;
+  subset_abs.reserve(2 * pos_abs.size());  // picks never exceed |P|
   auto rebuild_subset = [&](const std::vector<std::size_t>& majority_pick) {
-    subset.TruncateRows(minority.num_rows());
-    for (std::size_t i : majority_pick) subset.AddRow(majority.Row(i), 0);
+    subset_abs.resize(pos_abs.size());
+    for (std::size_t i : majority_pick) subset_abs.push_back(neg_abs[i]);
+    return base.WithIndices(subset_abs);
   };
 
   const std::size_t n = config_.n_estimators;
@@ -258,7 +274,7 @@ void SelfPacedEnsemble::Fit(const Dataset& train) {
       for (std::size_t i = 0; i < neg.size(); ++i) initial_pick[i] = i;
     }
     std::unique_ptr<Classifier> bootstrap = make_member(0);
-    rebuild_subset(initial_pick);
+    const DatasetView subset = rebuild_subset(initial_pick);
     {
       const obs::TraceSpan span("spe.fit.member_fit");
       bootstrap->Fit(subset);
@@ -306,7 +322,7 @@ void SelfPacedEnsemble::Fit(const Dataset& train) {
     {
       const obs::TraceSpan span("spe.fit.under_sample");
       pick = SelfPacedUnderSample(hardness, alpha, config_.num_bins,
-                                  minority.num_rows(), rng,
+                                  pos_abs.size(), rng,
                                   instrumented ? &bin_population : nullptr);
     }
     if (instrumented) {
@@ -323,7 +339,7 @@ void SelfPacedEnsemble::Fit(const Dataset& train) {
 
     // Line 10: train f_i on the balanced subset.
     std::unique_ptr<Classifier> member = make_member(i);
-    rebuild_subset(pick);
+    const DatasetView subset = rebuild_subset(pick);
     {
       const obs::TraceSpan span("spe.fit.member_fit");
       member->Fit(subset);
@@ -435,7 +451,7 @@ std::string SelfPacedEnsemble::ValidateLoadedState(
   return "";
 }
 
-std::string SelfPacedEnsemble::CheckResumable(const Dataset& train) const {
+std::string SelfPacedEnsemble::CheckResumable(const DatasetView& train) const {
   if (checkpoint_.directory.empty()) return "";
   const checkpoint::LoadResult loaded = checkpoint::LoadTrainerStateFromFile(
       checkpoint::CheckpointPath(checkpoint_.directory));
@@ -479,7 +495,7 @@ void SelfPacedEnsemble::WriteCheckpoint(
   }
 }
 
-void SelfPacedEnsemble::RecordHardnessBaseline(const Dataset& majority) {
+void SelfPacedEnsemble::RecordHardnessBaseline(const DatasetView& majority) {
   // Freeze the drift baseline: hardness of the majority set under the
   // ensemble exactly as it will serve (PredictProba — not the self-paced
   // loop's prob_sum, which always includes the bootstrap model f0 even
@@ -512,10 +528,13 @@ void SelfPacedEnsemble::RecordHardnessBaseline(const Dataset& majority) {
                                    bins.population.end());
 }
 
-std::size_t SelfPacedEnsemble::FitWithValidation(const Dataset& train,
-                                                 const Dataset& validation) {
+std::size_t SelfPacedEnsemble::FitWithValidation(const DatasetView& train,
+                                                 const DatasetView& validation) {
+  train.CheckAlive();
+  validation.CheckAlive();
   SPE_CHECK_GT(validation.CountPositives(), 0u)
       << "validation set needs positives to score AUCPRC";
+  const std::vector<int> validation_labels = validation.LabelsVector();
 
   // Track the running validation score incrementally: each new member
   // contributes its probabilities once. Lives in a ValidationTracker so
@@ -562,7 +581,7 @@ std::size_t SelfPacedEnsemble::FitWithValidation(const Dataset& train,
     std::vector<double> average(tracker.prob_sum);
     const double inv = 1.0 / static_cast<double>(info.ensemble.size());
     for (double& v : average) v *= inv;
-    const double auc = AucPrc(validation.labels(), average);
+    const double auc = AucPrc(validation_labels, average);
     if (auc > tracker.best_auc) {
       tracker.best_auc = auc;
       tracker.best_size = info.ensemble.size();
@@ -575,8 +594,17 @@ std::size_t SelfPacedEnsemble::FitWithValidation(const Dataset& train,
   const std::size_t best_size = tracker.best_size;
   ensemble_.Truncate(best_size);
   // The baseline Fit recorded covered the full ensemble; the truncated
-  // prefix is what serves, so re-freeze it against that.
-  RecordHardnessBaseline(train.Subset(train.NegativeIndices()));
+  // prefix is what serves, so re-freeze it against that. Row-major
+  // views are materialized first — they cannot stack an index view.
+  Dataset owned;
+  DatasetView base = train;
+  if (train.row_major()) {
+    owned = train.Materialize();
+    base = DatasetView(owned);
+  }
+  std::vector<std::size_t> neg = base.NegativeIndices();
+  for (auto& r : neg) r = base.RowIndex(r);
+  RecordHardnessBaseline(base.WithIndices(neg));
   return best_size;
 }
 
@@ -584,16 +612,16 @@ double SelfPacedEnsemble::PredictRow(std::span<const double> x) const {
   return ensemble_.PredictRow(x);
 }
 
-std::vector<double> SelfPacedEnsemble::PredictProba(const Dataset& data) const {
+std::vector<double> SelfPacedEnsemble::PredictProba(const DatasetView& data) const {
   return ensemble_.PredictProba(data);
 }
 
-std::vector<double> SelfPacedEnsemble::PredictProbaPrefix(const Dataset& data,
+std::vector<double> SelfPacedEnsemble::PredictProbaPrefix(const DatasetView& data,
                                                           std::size_t k) const {
   return ensemble_.PredictProbaPrefix(data, k);
 }
 
-void SelfPacedEnsemble::AccumulateProbaInto(const Dataset& data,
+void SelfPacedEnsemble::AccumulateProbaInto(const DatasetView& data,
                                             std::span<double> acc) const {
   // PredictProba averages the inner ensemble, so the fused default
   // (PredictRow streaming) would change the bits; go through the batch

@@ -88,7 +88,7 @@ class SelfPacedEnsemble final : public Classifier,
   SelfPacedEnsemble(const SelfPacedEnsembleConfig& config,
                     std::unique_ptr<Classifier> base_prototype);
 
-  void Fit(const Dataset& train) override;
+  void Fit(const DatasetView& train) override;
 
   /// Fits like Fit, then keeps only the member prefix with the best
   /// AUCPRC on `validation` (which must keep its natural imbalanced
@@ -97,18 +97,18 @@ class SelfPacedEnsemble final : public Classifier,
   /// Applies with include_bootstrap_model too: f0 counts as the first
   /// prefix member there, so both §VI-C ablation settings run the same
   /// truncation procedure. Returns the chosen prefix length.
-  std::size_t FitWithValidation(const Dataset& train, const Dataset& validation);
+  std::size_t FitWithValidation(const DatasetView& train, const DatasetView& validation);
 
   double PredictRow(std::span<const double> x) const override;
-  std::vector<double> PredictProba(const Dataset& data) const override;
-  void AccumulateProbaInto(const Dataset& data,
+  std::vector<double> PredictProba(const DatasetView& data) const override;
+  void AccumulateProbaInto(const DatasetView& data,
                            std::span<double> acc) const override;
 
   /// PrefixVoter: score with only the first min(k, n) members — the
   /// serving layer's overload-degradation knob (the prefix average is
   /// itself a valid SPE hypothesis, just a coarser one).
   std::size_t NumPrefixMembers() const override { return ensemble_.size(); }
-  std::vector<double> PredictProbaPrefix(const Dataset& data,
+  std::vector<double> PredictProbaPrefix(const DatasetView& data,
                                          std::size_t k) const override;
 
   bool LowerToFlat(kernels::FlatProgram& program,
@@ -138,7 +138,7 @@ class SelfPacedEnsemble final : public Classifier,
   /// it would be refused (corruption, or a config/data fingerprint
   /// mismatch). spe_cli calls this before Fit so a broken checkpoint
   /// maps to the corrupt-artifact exit code instead of an abort.
-  std::string CheckResumable(const Dataset& train) const;
+  std::string CheckResumable(const DatasetView& train) const;
 
   /// Alpha used at self-paced iteration i (1-based) of n under `schedule`.
   /// Exposed for tests and for the Fig. 3 bench.
@@ -170,8 +170,8 @@ class SelfPacedEnsemble final : public Classifier,
     std::uint64_t data_fingerprint = 0;
     /// The validation set itself, for the resume path: checkpoints store
     /// only scored_members, and resume rebuilds prob_sum by replaying
-    /// that member prefix over this dataset.
-    const Dataset* data = nullptr;
+    /// that member prefix over this view.
+    const DatasetView* data = nullptr;
     std::vector<double> prob_sum;
     double best_auc = -1.0;
     std::size_t best_size = 0;
@@ -203,7 +203,7 @@ class SelfPacedEnsemble final : public Classifier,
   /// training_hardness_ (the drift baseline of v3 artifacts). Called at
   /// the end of Fit and again after validation truncation, so the frozen
   /// distribution always matches the member set that actually votes.
-  void RecordHardnessBaseline(const Dataset& majority);
+  void RecordHardnessBaseline(const DatasetView& majority);
 
   SelfPacedEnsembleConfig config_;
   std::unique_ptr<Classifier> base_prototype_;

@@ -76,8 +76,9 @@ void SaveCsv(const Dataset& data, const std::string& path) {
   out.precision(std::numeric_limits<double>::max_digits10);
   for (std::size_t j = 0; j < data.num_features(); ++j) out << "f" << j << ",";
   out << "label\n";
+  std::vector<double> row(data.num_features());
   for (std::size_t i = 0; i < data.num_rows(); ++i) {
-    auto row = data.Row(i);
+    data.CopyRowTo(i, row);
     for (double v : row) out << v << ",";
     out << data.Label(i) << "\n";
   }

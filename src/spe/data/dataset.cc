@@ -10,55 +10,21 @@
 
 namespace spe {
 
-Dataset::Dataset(std::size_t num_features)
-    : num_features_(num_features), kinds_(num_features, FeatureKind::kNumerical) {}
-
 bool Dataset::HasCategoricalFeatures() const {
-  for (FeatureKind k : kinds_) {
+  for (FeatureKind k : m_.kinds()) {
     if (k == FeatureKind::kCategorical) return true;
   }
   return false;
 }
 
-void Dataset::Reserve(std::size_t rows) {
-  x_.reserve(rows * num_features_);
-  labels_.reserve(rows);
-}
-
-void Dataset::AddRow(std::span<const double> features, int label) {
-  SPE_CHECK_EQ(features.size(), num_features_);
-  SPE_CHECK(label == 0 || label == 1) << "labels must be binary, got " << label;
-  x_.insert(x_.end(), features.begin(), features.end());
-  labels_.push_back(label);
-}
-
-void Dataset::Append(const Dataset& other) {
-  SPE_CHECK_EQ(other.num_features(), num_features_);
-  x_.insert(x_.end(), other.x_.begin(), other.x_.end());
-  labels_.insert(labels_.end(), other.labels_.begin(), other.labels_.end());
-}
-
-void Dataset::TruncateRows(std::size_t rows) {
-  if (rows >= num_rows()) return;
-  x_.resize(rows * num_features_);
-  labels_.resize(rows);
-}
-
 Dataset Dataset::Subset(std::span<const std::size_t> indices) const {
-  Dataset out(num_features_);
-  out.kinds_ = kinds_;
-  out.Reserve(indices.size());
-  for (std::size_t idx : indices) {
-    SPE_CHECK_LT(idx, num_rows());
-    out.AddRow(Row(idx), Label(idx));
-  }
-  return out;
+  return DatasetView(*this, indices).Materialize();
 }
 
 std::vector<std::size_t> Dataset::PositiveIndices() const {
   std::vector<std::size_t> out;
   for (std::size_t i = 0; i < num_rows(); ++i) {
-    if (labels_[i] == 1) out.push_back(i);
+    if (Label(i) == 1) out.push_back(i);
   }
   return out;
 }
@@ -66,14 +32,14 @@ std::vector<std::size_t> Dataset::PositiveIndices() const {
 std::vector<std::size_t> Dataset::NegativeIndices() const {
   std::vector<std::size_t> out;
   for (std::size_t i = 0; i < num_rows(); ++i) {
-    if (labels_[i] == 0) out.push_back(i);
+    if (Label(i) == 0) out.push_back(i);
   }
   return out;
 }
 
 std::size_t Dataset::CountPositives() const {
   std::size_t count = 0;
-  for (int y : labels_) count += static_cast<std::size_t>(y);
+  for (int y : labels()) count += static_cast<std::size_t>(y);
   return count;
 }
 
@@ -85,7 +51,7 @@ double Dataset::ImbalanceRatio() const {
 
 std::string Dataset::Summary() const {
   std::ostringstream os;
-  os << num_rows() << " rows x " << num_features_ << " features, "
+  os << num_rows() << " rows x " << num_features() << " features, "
      << CountPositives() << " positives";
   if (CountPositives() > 0 && CountPositives() < num_rows()) {
     os << " (IR " << ImbalanceRatio() << ":1)";
@@ -93,7 +59,126 @@ std::string Dataset::Summary() const {
   return os.str();
 }
 
-void FeatureScaler::Fit(const Dataset& data) {
+DatasetView DatasetView::FromRows(const double* rows, std::size_t num_rows,
+                                  std::size_t num_features, const int* labels,
+                                  std::span<const FeatureKind> kinds) {
+  SPE_CHECK(rows != nullptr || num_rows == 0);
+  DatasetView v;
+  v.rows_ = rows;
+  v.row_labels_ = labels;
+  v.row_kinds_ = kinds;
+  v.row_features_ = num_features;
+  v.num_rows_ = num_rows;
+  return v;
+}
+
+DatasetView DatasetView::WithIndices(std::span<const std::size_t> abs) const {
+  SPE_CHECK(matrix_ != nullptr)
+      << "WithIndices needs a columnar parent; materialize row-major "
+         "views before re-indexing them";
+  DatasetView v;
+  v.matrix_ = matrix_;
+  v.indices_ = abs;
+  v.num_rows_ = abs.size();
+  v.version_ = version_;
+  return v;
+}
+
+bool DatasetView::HasCategoricalFeatures() const {
+  for (std::size_t j = 0; j < num_features(); ++j) {
+    if (feature_kind(j) == FeatureKind::kCategorical) return true;
+  }
+  return false;
+}
+
+void DatasetView::CopyRowTo(std::size_t row, std::span<double> out) const {
+  CheckAlive();
+  SPE_CHECK_EQ(out.size(), num_features());
+  if (rows_ != nullptr) {
+    const double* src = rows_ + row * row_features_;
+    for (std::size_t j = 0; j < row_features_; ++j) out[j] = src[j];
+    AddScratchBytes(row_features_ * sizeof(double));
+    return;
+  }
+  matrix_->CopyRowTo(RowIndex(row), out);
+}
+
+std::size_t DatasetView::CountPositives() const {
+  CheckAlive();
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < num_rows_; ++i) {
+    count += static_cast<std::size_t>(Label(i));
+  }
+  return count;
+}
+
+std::vector<std::size_t> DatasetView::PositiveIndices() const {
+  CheckAlive();
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < num_rows_; ++i) {
+    if (Label(i) == 1) out.push_back(i);
+  }
+  return out;
+}
+
+std::vector<std::size_t> DatasetView::NegativeIndices() const {
+  CheckAlive();
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < num_rows_; ++i) {
+    if (Label(i) == 0) out.push_back(i);
+  }
+  return out;
+}
+
+std::vector<int> DatasetView::LabelsVector() const {
+  CheckAlive();
+  std::vector<int> out(num_rows_);
+  for (std::size_t i = 0; i < num_rows_; ++i) out[i] = Label(i);
+  return out;
+}
+
+double DatasetView::ImbalanceRatio() const {
+  const std::size_t pos = CountPositives();
+  SPE_CHECK_GT(pos, 0u) << "imbalance ratio undefined without positives";
+  return static_cast<double>(num_rows_ - pos) / static_cast<double>(pos);
+}
+
+Dataset DatasetView::Materialize() const {
+  CheckAlive();
+  const std::size_t d = num_features();
+  Dataset out(d);
+  for (std::size_t j = 0; j < d; ++j) out.set_feature_kind(j, feature_kind(j));
+  out.Reserve(num_rows_);
+  if (rows_ != nullptr) {
+    for (std::size_t i = 0; i < num_rows_; ++i) {
+      out.AddRow({rows_ + i * row_features_, row_features_}, Label(i));
+    }
+    return out;
+  }
+  // Columnar gather: column-by-column, so the copy itself streams.
+  std::vector<double> scratch(d);
+  for (std::size_t i = 0; i < num_rows_; ++i) {
+    const std::size_t src = RowIndex(i);
+    SPE_CHECK_LT(src, matrix_->num_rows());
+    for (std::size_t j = 0; j < d; ++j) scratch[j] = matrix_->At(src, j);
+    out.AddRow(scratch, matrix_->Label(src));
+  }
+  return out;
+}
+
+void RowMatrix::Reset(std::size_t rows, std::size_t features) {
+  rows_ = rows;
+  features_ = features;
+  x_.resize(rows * features);
+}
+
+void RowMatrix::GatherFrom(const DatasetView& view) {
+  Reset(view.num_rows(), view.num_features());
+  for (std::size_t i = 0; i < rows_; ++i) view.CopyRowTo(i, Row(i));
+}
+
+void FeatureScaler::Fit(const DatasetView& data) {
+  data.CheckAlive();
   SPE_CHECK_GT(data.num_rows(), 0u);
   const std::size_t d = data.num_features();
   means_.assign(d, 0.0);
@@ -101,21 +186,22 @@ void FeatureScaler::Fit(const Dataset& data) {
   kinds_.resize(d);
   for (std::size_t j = 0; j < d; ++j) kinds_[j] = data.feature_kind(j);
 
+  // Per-feature accumulators, rows in view order: the same additions in
+  // the same order as the historical row-outer loop, so fitted moments
+  // are bit-identical regardless of storage layout.
   const double n = static_cast<double>(data.num_rows());
-  for (std::size_t i = 0; i < data.num_rows(); ++i) {
-    auto row = data.Row(i);
-    for (std::size_t j = 0; j < d; ++j) means_[j] += row[j];
-  }
-  for (std::size_t j = 0; j < d; ++j) means_[j] /= n;
-  for (std::size_t i = 0; i < data.num_rows(); ++i) {
-    auto row = data.Row(i);
-    for (std::size_t j = 0; j < d; ++j) {
-      const double delta = row[j] - means_[j];
-      stds_[j] += delta * delta;
-    }
+  for (std::size_t j = 0; j < d; ++j) {
+    double sum = 0.0;
+    for (std::size_t i = 0; i < data.num_rows(); ++i) sum += data.At(i, j);
+    means_[j] = sum / n;
   }
   for (std::size_t j = 0; j < d; ++j) {
-    stds_[j] = std::sqrt(stds_[j] / n);
+    double acc = 0.0;
+    for (std::size_t i = 0; i < data.num_rows(); ++i) {
+      const double delta = data.At(i, j) - means_[j];
+      acc += delta * delta;
+    }
+    stds_[j] = std::sqrt(acc / n);
     // Constant columns carry no information; map them to 0 rather than
     // dividing by zero.
     if (stds_[j] < 1e-12) stds_[j] = 1.0;
@@ -161,17 +247,34 @@ FeatureScaler FeatureScaler::Load(std::istream& is) {
   return scaler;
 }
 
-Dataset FeatureScaler::Transform(const Dataset& data) const {
+Dataset FeatureScaler::Transform(const DatasetView& data) const {
   SPE_CHECK_EQ(data.num_features(), means_.size());
-  Dataset out = data;
-  for (std::size_t i = 0; i < out.num_rows(); ++i) {
-    auto row = out.MutableRow(i);
-    for (std::size_t j = 0; j < row.size(); ++j) {
-      if (kinds_[j] == FeatureKind::kCategorical) continue;
-      row[j] = (row[j] - means_[j]) / stds_[j];
+  Dataset out = data.Materialize();
+  TransformInPlace(out);
+  return out;
+}
+
+void FeatureScaler::TransformInPlace(Dataset& data) const {
+  SPE_CHECK_EQ(data.num_features(), means_.size());
+  for (std::size_t j = 0; j < data.num_features(); ++j) {
+    if (kinds_[j] == FeatureKind::kCategorical) continue;
+    const double mean = means_[j];
+    const double std = stds_[j];
+    for (std::size_t i = 0; i < data.num_rows(); ++i) {
+      data.Set(i, j, (data.At(i, j) - mean) / std);
     }
   }
-  return out;
+}
+
+void FeatureScaler::TransformToRows(const DatasetView& data,
+                                    RowMatrix& out) const {
+  SPE_CHECK_EQ(data.num_features(), means_.size());
+  out.Reset(data.num_rows(), data.num_features());
+  std::vector<double> scratch(data.num_features());
+  for (std::size_t i = 0; i < data.num_rows(); ++i) {
+    data.CopyRowTo(i, scratch);
+    TransformRow(scratch, out.Row(i));
+  }
 }
 
 }  // namespace spe

@@ -39,9 +39,10 @@ Dataset OneHotEncoder::Transform(const Dataset& data) const {
   Dataset out(num_output_features_);
   out.Reserve(data.num_rows());
   std::vector<double> row(num_output_features_);
+  std::vector<double> in(data.num_features());
   for (std::size_t i = 0; i < data.num_rows(); ++i) {
     std::fill(row.begin(), row.end(), 0.0);
-    const auto in = data.Row(i);
+    data.CopyRowTo(i, in);
     for (std::size_t j = 0; j < layout_.size(); ++j) {
       const Column& column = layout_[j];
       if (!column.categorical) {

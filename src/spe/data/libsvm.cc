@@ -108,9 +108,10 @@ void SaveLibsvm(const Dataset& data, const std::string& path) {
   std::ofstream out(path);
   SPE_CHECK(out.good()) << "cannot write " << path;
   out.precision(std::numeric_limits<double>::max_digits10);
+  std::vector<double> row(data.num_features());
   for (std::size_t i = 0; i < data.num_rows(); ++i) {
     out << data.Label(i);
-    const auto row = data.Row(i);
+    data.CopyRowTo(i, row);
     for (std::size_t j = 0; j < row.size(); ++j) {
       if (row[j] != 0.0) out << " " << (j + 1) << ":" << row[j];
     }

@@ -58,13 +58,16 @@ CrossValidationResult CrossValidate(const Classifier& prototype,
     for (std::size_t i = 0; i < data.num_rows(); ++i) {
       (fold_of[i] == fold ? test_rows : train_rows).push_back(i);
     }
-    const Dataset train = data.Subset(train_rows);
-    const Dataset test = data.Subset(test_rows);
+    // Folds are index views over the one dataset: the k-way split never
+    // copies a row.
+    const DatasetView train(data, train_rows);
+    const DatasetView test(data, test_rows);
 
     std::unique_ptr<Classifier> model = prototype.Clone();
     model->Reseed(rng.engine()());
     model->Fit(train);
-    result.folds.push_back(Evaluate(test.labels(), model->PredictProba(test)));
+    result.folds.push_back(
+        Evaluate(test.LabelsVector(), model->PredictProba(test)));
   }
   return result;
 }

@@ -28,10 +28,10 @@ AggregateScores Repeat(const RunFn& fn, std::size_t runs, std::uint64_t base_see
                          Aggregate(mcc)};
 }
 
-ScoreSummary TrainAndEvaluate(Classifier& model, const Dataset& train,
-                              const Dataset& test) {
+ScoreSummary TrainAndEvaluate(Classifier& model, const DatasetView& train,
+                              const DatasetView& test) {
   model.Fit(train);
-  return Evaluate(test.labels(), model.PredictProba(test));
+  return Evaluate(test.LabelsVector(), model.PredictProba(test));
 }
 
 std::size_t BenchRuns() {

@@ -31,9 +31,11 @@ AggregateScores Repeat(const RunFn& fn, std::size_t runs,
                        std::uint64_t base_seed = 0);
 
 /// Fits `model` on `train` and scores it on `test` with the fixed 0.5
-/// threshold for the threshold metrics.
-ScoreSummary TrainAndEvaluate(Classifier& model, const Dataset& train,
-                              const Dataset& test);
+/// threshold for the threshold metrics. Accepts views (a Dataset
+/// converts implicitly), so fold splits and resamples can stay index
+/// views all the way into the fit.
+ScoreSummary TrainAndEvaluate(Classifier& model, const DatasetView& train,
+                              const DatasetView& test);
 
 /// Number of repetitions benches should run: SPE_RUNS env var, default 5.
 /// (The paper uses 10; 5 keeps the default single-machine suite fast and

@@ -34,7 +34,9 @@ std::vector<LearningCurvePoint> LearningCurve(
     for (std::size_t i : rng.SampleWithoutReplacement(neg.size(), take_neg)) {
       rows.push_back(neg[i]);
     }
-    const Dataset subset = train.Subset(rows);
+    // The stratified subset is just an index view — no rows copied per
+    // curve point.
+    const DatasetView subset(train, rows);
 
     std::unique_ptr<Classifier> model = prototype.Clone();
     model->Reseed(rng.engine()());

@@ -27,7 +27,8 @@ BalanceCascade::BalanceCascade(const BalanceCascadeConfig& config,
   SPE_CHECK(base_prototype_ != nullptr);
 }
 
-void BalanceCascade::Fit(const Dataset& train) {
+void BalanceCascade::Fit(const DatasetView& train) {
+  train.CheckAlive();
   const std::vector<std::size_t> pos = train.PositiveIndices();
   const std::vector<std::size_t> neg = train.NegativeIndices();
   SPE_CHECK(!pos.empty());
@@ -35,8 +36,20 @@ void BalanceCascade::Fit(const Dataset& train) {
 
   ensemble_ = VotingEnsemble();
   Rng rng(config_.seed);
-  const Dataset minority = train.Subset(pos);
-  const Dataset majority = train.Subset(neg);
+  // Row-major views have no parent matrix to index into; materialize
+  // once and run the cascade of index selections against the copy.
+  Dataset owned;
+  DatasetView base = train;
+  if (train.row_major()) {
+    owned = train.Materialize();
+    base = DatasetView(owned);
+  }
+  // Parent-absolute rows of each class; the cascade only ever shuffles
+  // and prunes these index sets — no row is copied again.
+  std::vector<std::size_t> pos_abs(pos.size());
+  for (std::size_t i = 0; i < pos.size(); ++i) pos_abs[i] = base.RowIndex(pos[i]);
+  std::vector<std::size_t> neg_abs(neg.size());
+  for (std::size_t i = 0; i < neg.size(); ++i) neg_abs[i] = base.RowIndex(neg[i]);
 
   // Per-iteration pool keep ratio so the pool lands at ~|P| when the
   // last member trains.
@@ -47,18 +60,22 @@ void BalanceCascade::Fit(const Dataset& train) {
                          static_cast<double>(neg.size()),
                      1.0 / static_cast<double>(config_.n_estimators - 1));
 
-  // pool holds indices into `majority` that are still candidates.
-  std::vector<std::size_t> pool(majority.num_rows());
+  // pool holds positions into `neg_abs` that are still candidates.
+  std::vector<std::size_t> pool(neg_abs.size());
   std::iota(pool.begin(), pool.end(), std::size_t{0});
 
+  std::vector<std::size_t> subset_abs;
+  std::vector<std::size_t> pool_abs;
   for (std::size_t m = 0; m < config_.n_estimators; ++m) {
-    // Balanced subset: all minority + |P| samples from the current pool.
+    // Balanced subset: all minority + |P| samples from the current pool,
+    // expressed as an indexed view (zero feature bytes moved).
     const std::size_t take = std::min(pool.size(), pos.size());
-    Dataset subset = minority;
-    subset.Reserve(minority.num_rows() + take);
+    subset_abs.assign(pos_abs.begin(), pos_abs.end());
+    subset_abs.reserve(pos_abs.size() + take);
     for (std::size_t i : rng.SampleWithoutReplacement(pool.size(), take)) {
-      subset.AddRow(majority.Row(pool[i]), 0);
+      subset_abs.push_back(neg_abs[pool[i]]);
     }
+    const DatasetView subset = base.WithIndices(subset_abs);
 
     std::unique_ptr<Classifier> member = base_prototype_->Clone();
     member->Reseed(config_.seed + 104729 * (m + 1));
@@ -74,8 +91,10 @@ void BalanceCascade::Fit(const Dataset& train) {
                         std::ceil(static_cast<double>(pool.size()) * keep_ratio)));
     if (target_size >= pool.size()) continue;
 
-    const Dataset pool_data = majority.Subset(pool);
-    const std::vector<double> probs = ensemble_.PredictProba(pool_data);
+    pool_abs.resize(pool.size());
+    for (std::size_t i = 0; i < pool.size(); ++i) pool_abs[i] = neg_abs[pool[i]];
+    const std::vector<double> probs =
+        ensemble_.PredictProba(base.WithIndices(pool_abs));
     std::vector<std::size_t> order(pool.size());
     std::iota(order.begin(), order.end(), std::size_t{0});
     // Hardest (highest probability of being positive) first.
@@ -95,11 +114,11 @@ double BalanceCascade::PredictRow(std::span<const double> x) const {
   return ensemble_.PredictRow(x);
 }
 
-std::vector<double> BalanceCascade::PredictProba(const Dataset& data) const {
+std::vector<double> BalanceCascade::PredictProba(const DatasetView& data) const {
   return ensemble_.PredictProba(data);
 }
 
-void BalanceCascade::AccumulateProbaInto(const Dataset& data,
+void BalanceCascade::AccumulateProbaInto(const DatasetView& data,
                                          std::span<double> acc) const {
   // PredictProba averages the inner ensemble, so the fused default
   // (PredictRow streaming) would change the bits; go through the batch

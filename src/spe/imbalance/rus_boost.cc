@@ -26,7 +26,8 @@ RusBoost::RusBoost(const RusBoostConfig& config,
       << "RUSBoost base learner must support sample weights";
 }
 
-void RusBoost::Fit(const Dataset& train) {
+void RusBoost::Fit(const DatasetView& train) {
+  train.CheckAlive();
   const std::vector<std::size_t> pos = train.PositiveIndices();
   const std::vector<std::size_t> neg = train.NegativeIndices();
   SPE_CHECK(!pos.empty());
@@ -36,6 +37,15 @@ void RusBoost::Fit(const Dataset& train) {
   std::vector<double> weights(n, 1.0 / static_cast<double>(n));
   stages_.clear();
   Rng rng(config_.seed);
+  // Row-major views have no parent matrix to index into; materialize
+  // once and run every per-stage selection against the copy.
+  Dataset owned;
+  DatasetView base = train;
+  if (train.row_major()) {
+    owned = train.Materialize();
+    base = DatasetView(owned);
+  }
+  std::vector<std::size_t> subset_abs;
 
   for (std::size_t m = 0; m < config_.n_estimators; ++m) {
     // Random under-sampling: all minority + |P| uniform majority.
@@ -44,7 +54,6 @@ void RusBoost::Fit(const Dataset& train) {
     for (std::size_t i : rng.SampleWithoutReplacement(neg.size(), take)) {
       subset_rows.push_back(neg[i]);
     }
-    const Dataset subset = train.Subset(subset_rows);
     std::vector<double> subset_weights(subset_rows.size());
     double weight_sum = 0.0;
     for (std::size_t i = 0; i < subset_rows.size(); ++i) {
@@ -54,9 +63,15 @@ void RusBoost::Fit(const Dataset& train) {
     SPE_CHECK_GT(weight_sum, 0.0);
     for (double& w : subset_weights) w /= weight_sum;
 
+    // The stage fits through an indexed view over the same rows the old
+    // materializing Subset() copied.
+    subset_abs.resize(subset_rows.size());
+    for (std::size_t i = 0; i < subset_rows.size(); ++i) {
+      subset_abs[i] = base.RowIndex(subset_rows[i]);
+    }
     std::unique_ptr<Classifier> stage = base_prototype_->Clone();
     stage->Reseed(config_.seed + 104729 * (m + 1));
-    stage->FitWeighted(subset, subset_weights);
+    stage->FitWeighted(base.WithIndices(subset_abs), subset_weights);
 
     // Real-boosting update on the full training set.
     const std::vector<double> probs = stage->PredictProba(train);
@@ -73,7 +88,7 @@ void RusBoost::Fit(const Dataset& train) {
   }
 }
 
-std::vector<double> RusBoost::PredictProbaStaged(const Dataset& data,
+std::vector<double> RusBoost::PredictProbaStaged(const DatasetView& data,
                                                  std::size_t stages) const {
   SPE_CHECK(!stages_.empty()) << "predict before fit";
   const std::size_t use = std::min(stages, stages_.size());
@@ -87,11 +102,11 @@ std::vector<double> RusBoost::PredictProbaStaged(const Dataset& data,
   return score;
 }
 
-std::vector<double> RusBoost::PredictProba(const Dataset& data) const {
+std::vector<double> RusBoost::PredictProba(const DatasetView& data) const {
   return PredictProbaStaged(data, stages_.size());
 }
 
-void RusBoost::AccumulateProbaInto(const Dataset& data,
+void RusBoost::AccumulateProbaInto(const DatasetView& data,
                                    std::span<double> acc) const {
   // PredictProba is a staged vote reduction, not a PredictRow loop;
   // keep that path so the accumulated bits match it.

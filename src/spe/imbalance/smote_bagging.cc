@@ -25,7 +25,8 @@ SmoteBagging::SmoteBagging(const SmoteBaggingConfig& config,
   SPE_CHECK(base_prototype_ != nullptr);
 }
 
-void SmoteBagging::Fit(const Dataset& train) {
+void SmoteBagging::Fit(const DatasetView& train) {
+  train.CheckAlive();
   const std::vector<std::size_t> pos = train.PositiveIndices();
   const std::vector<std::size_t> neg = train.NegativeIndices();
   SPE_CHECK_GT(pos.size(), 1u);
@@ -51,8 +52,10 @@ void SmoteBagging::Fit(const Dataset& train) {
       bag.set_feature_kind(f, train.feature_kind(f));
     }
     bag.Reserve(2 * neg.size());
+    std::vector<double> row(train.num_features());
     for (std::size_t i : rng.SampleWithReplacement(neg.size(), neg.size())) {
-      bag.AddRow(train.Row(neg[i]), 0);
+      train.CopyRowTo(neg[i], row);
+      bag.AddRow(row, 0);
     }
 
     // Minority side: bootstrap `rate * |N|` rows, SMOTE the remainder.
@@ -63,7 +66,8 @@ void SmoteBagging::Fit(const Dataset& train) {
     for (std::size_t i :
          rng.SampleWithReplacement(pos.size(), bootstrap_quota)) {
       bag_pos_rows.push_back(bag.num_rows());
-      bag.AddRow(train.Row(pos[i]), 1);
+      train.CopyRowTo(pos[i], row);
+      bag.AddRow(row, 1);
     }
     const std::size_t synthetic_quota = neg.size() - bootstrap_quota;
     if (synthetic_quota > 0) {
@@ -88,11 +92,11 @@ double SmoteBagging::PredictRow(std::span<const double> x) const {
   return ensemble_.PredictRow(x);
 }
 
-std::vector<double> SmoteBagging::PredictProba(const Dataset& data) const {
+std::vector<double> SmoteBagging::PredictProba(const DatasetView& data) const {
   return ensemble_.PredictProba(data);
 }
 
-void SmoteBagging::AccumulateProbaInto(const Dataset& data,
+void SmoteBagging::AccumulateProbaInto(const DatasetView& data,
                                        std::span<double> acc) const {
   // PredictProba averages the inner ensemble, so the fused default
   // (PredictRow streaming) would change the bits; go through the batch

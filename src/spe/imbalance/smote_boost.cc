@@ -27,7 +27,8 @@ SmoteBoost::SmoteBoost(const SmoteBoostConfig& config,
       << "SMOTEBoost base learner must support sample weights";
 }
 
-void SmoteBoost::Fit(const Dataset& train) {
+void SmoteBoost::Fit(const DatasetView& train) {
+  train.CheckAlive();
   const std::vector<std::size_t> pos = train.PositiveIndices();
   SPE_CHECK_GT(pos.size(), 1u);
 
@@ -80,7 +81,7 @@ void SmoteBoost::Fit(const Dataset& train) {
   }
 }
 
-std::vector<double> SmoteBoost::PredictProbaStaged(const Dataset& data,
+std::vector<double> SmoteBoost::PredictProbaStaged(const DatasetView& data,
                                                    std::size_t stages) const {
   SPE_CHECK(!stages_.empty()) << "predict before fit";
   const std::size_t use = std::min(stages, stages_.size());
@@ -94,11 +95,11 @@ std::vector<double> SmoteBoost::PredictProbaStaged(const Dataset& data,
   return score;
 }
 
-std::vector<double> SmoteBoost::PredictProba(const Dataset& data) const {
+std::vector<double> SmoteBoost::PredictProba(const DatasetView& data) const {
   return PredictProbaStaged(data, stages_.size());
 }
 
-void SmoteBoost::AccumulateProbaInto(const Dataset& data,
+void SmoteBoost::AccumulateProbaInto(const DatasetView& data,
                                      std::span<double> acc) const {
   // PredictProba is a staged vote reduction, not a PredictRow loop;
   // keep that path so the accumulated bits match it.

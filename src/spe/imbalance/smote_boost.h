@@ -30,17 +30,17 @@ class SmoteBoost final : public Classifier {
   SmoteBoost(const SmoteBoostConfig& config,
              std::unique_ptr<Classifier> base_prototype);
 
-  void Fit(const Dataset& train) override;
+  void Fit(const DatasetView& train) override;
   double PredictRow(std::span<const double> x) const override;
-  std::vector<double> PredictProba(const Dataset& data) const override;
-  void AccumulateProbaInto(const Dataset& data,
+  std::vector<double> PredictProba(const DatasetView& data) const override;
+  void AccumulateProbaInto(const DatasetView& data,
                            std::span<double> acc) const override;
   std::unique_ptr<Classifier> Clone() const override;
   void Reseed(std::uint64_t seed) override { config_.seed = seed; }
   std::string Name() const override;
 
   /// Prediction with only the first `stages` stages (Fig. 7 tracing).
-  std::vector<double> PredictProbaStaged(const Dataset& data,
+  std::vector<double> PredictProbaStaged(const DatasetView& data,
                                          std::size_t stages) const;
   std::size_t NumStages() const { return stages_.size(); }
 

@@ -23,7 +23,8 @@ UnderBagging::UnderBagging(const UnderBaggingConfig& config,
   SPE_CHECK(base_prototype_ != nullptr);
 }
 
-void UnderBagging::Fit(const Dataset& train) {
+void UnderBagging::Fit(const DatasetView& train) {
+  train.CheckAlive();
   const std::vector<std::size_t> pos = train.PositiveIndices();
   const std::vector<std::size_t> neg = train.NegativeIndices();
   SPE_CHECK(!pos.empty());
@@ -31,15 +32,28 @@ void UnderBagging::Fit(const Dataset& train) {
 
   ensemble_ = VotingEnsemble();
   Rng rng(config_.seed);
-  const Dataset minority = train.Subset(pos);
+  // Row-major views have no parent matrix to index into; materialize
+  // once and run every per-member selection against the copy.
+  Dataset owned;
+  DatasetView base = train;
+  if (train.row_major()) {
+    owned = train.Materialize();
+    base = DatasetView(owned);
+  }
   const std::size_t bag_majority = std::min(pos.size(), neg.size());
 
+  // Each member fits through an indexed view: all minority rows, then
+  // the drawn majority rows — the same subset the materializing path
+  // used to build, with zero feature bytes moved.
+  std::vector<std::size_t> subset_abs;
+  subset_abs.reserve(pos.size() + bag_majority);
   for (std::size_t m = 0; m < config_.n_estimators; ++m) {
-    Dataset subset = minority;
-    subset.Reserve(minority.num_rows() + bag_majority);
+    subset_abs.clear();
+    for (std::size_t p : pos) subset_abs.push_back(base.RowIndex(p));
     for (std::size_t i : rng.SampleWithoutReplacement(neg.size(), bag_majority)) {
-      subset.AddRow(train.Row(neg[i]), 0);
+      subset_abs.push_back(base.RowIndex(neg[i]));
     }
+    const DatasetView subset = base.WithIndices(subset_abs);
     std::unique_ptr<Classifier> member = base_prototype_->Clone();
     member->Reseed(config_.seed + 104729 * (m + 1));
     member->Fit(subset);
@@ -52,11 +66,11 @@ double UnderBagging::PredictRow(std::span<const double> x) const {
   return ensemble_.PredictRow(x);
 }
 
-std::vector<double> UnderBagging::PredictProba(const Dataset& data) const {
+std::vector<double> UnderBagging::PredictProba(const DatasetView& data) const {
   return ensemble_.PredictProba(data);
 }
 
-void UnderBagging::AccumulateProbaInto(const Dataset& data,
+void UnderBagging::AccumulateProbaInto(const DatasetView& data,
                                        std::span<double> acc) const {
   // PredictProba averages the inner ensemble, so the fused default
   // (PredictRow streaming) would change the bits; go through the batch

@@ -63,7 +63,7 @@ GrayscaleImage RenderPredictionSurface(const Classifier& model,
   return image;
 }
 
-GrayscaleImage RenderScatter(const Dataset& data, const ViewPort& view,
+GrayscaleImage RenderScatter(const DatasetView& data, const ViewPort& view,
                              std::size_t resolution) {
   SPE_CHECK_GT(resolution, 0u);
   SPE_CHECK_EQ(data.num_features(), 2u);

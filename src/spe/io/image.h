@@ -56,7 +56,7 @@ GrayscaleImage RenderPredictionSurface(const Classifier& model,
 
 /// Renders a 2-feature dataset scatter: minority samples paint black
 /// (0), majority mid-gray (160), empty cells stay white.
-GrayscaleImage RenderScatter(const Dataset& data, const ViewPort& view,
+GrayscaleImage RenderScatter(const DatasetView& data, const ViewPort& view,
                              std::size_t resolution = 200);
 
 }  // namespace spe

@@ -123,7 +123,7 @@ VotingEnsembleModel::VotingEnsembleModel(VotingEnsemble members)
   SPE_CHECK(!members_.empty());
 }
 
-void VotingEnsembleModel::Fit(const Dataset& /*train*/) {
+void VotingEnsembleModel::Fit(const DatasetView& /*train*/) {
   SPE_CHECK(false) << "VotingEnsembleModel is an inference-only artifact; "
                       "retrain with the original ensemble trainer";
 }
@@ -132,16 +132,16 @@ double VotingEnsembleModel::PredictRow(std::span<const double> x) const {
   return members_.PredictRow(x);
 }
 
-std::vector<double> VotingEnsembleModel::PredictProba(const Dataset& data) const {
+std::vector<double> VotingEnsembleModel::PredictProba(const DatasetView& data) const {
   return members_.PredictProba(data);
 }
 
 std::vector<double> VotingEnsembleModel::PredictProbaPrefix(
-    const Dataset& data, std::size_t k) const {
+    const DatasetView& data, std::size_t k) const {
   return members_.PredictProbaPrefix(data, k);
 }
 
-void VotingEnsembleModel::AccumulateProbaInto(const Dataset& data,
+void VotingEnsembleModel::AccumulateProbaInto(const DatasetView& data,
                                               std::span<double> acc) const {
   // PredictProba averages the inner ensemble, so the fused default
   // (PredictRow streaming) would change the bits; go through the batch

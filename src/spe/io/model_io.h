@@ -26,13 +26,13 @@ class VotingEnsembleModel final : public Classifier,
  public:
   explicit VotingEnsembleModel(VotingEnsemble members);
 
-  void Fit(const Dataset& train) override;
+  void Fit(const DatasetView& train) override;
   double PredictRow(std::span<const double> x) const override;
-  std::vector<double> PredictProba(const Dataset& data) const override;
-  void AccumulateProbaInto(const Dataset& data,
+  std::vector<double> PredictProba(const DatasetView& data) const override;
+  void AccumulateProbaInto(const DatasetView& data,
                            std::span<double> acc) const override;
   std::size_t NumPrefixMembers() const override { return members_.size(); }
-  std::vector<double> PredictProbaPrefix(const Dataset& data,
+  std::vector<double> PredictProbaPrefix(const DatasetView& data,
                                          std::size_t k) const override;
   std::unique_ptr<Classifier> Clone() const override;
   std::string Name() const override { return "VotingEnsemble"; }

@@ -588,16 +588,20 @@ const CompleteProgram& FlatForest::Complete() const {
 
 bool FlatForest::BinnedAvailable() const { return Binned().ok; }
 
-void FlatForest::PredictPrefixInto(const Dataset& data, std::size_t k,
+void FlatForest::PredictPrefixInto(const DatasetView& data, std::size_t k,
                                    std::span<double> out) const {
   SPE_CHECK_GT(k, 0u);
   SPE_CHECK_EQ(out.size(), data.num_rows());
+  data.CheckAlive();
   const std::size_t rows = data.num_rows();
   if (rows == 0) return;
   const std::size_t n = std::min(k, program_.members.size());
   const obs::TraceSpan span("kernels.flat_predict");
-  const double* const x = data.Row(0).data();
   const std::size_t stride = data.num_features();
+  // Row-major views walk in place; columnar views stage each ~64-row
+  // block into per-thread scratch below. `x` is null in the latter case
+  // and must not be dereferenced outside a feeder.
+  const double* const x = data.row_major() ? data.rows_data() : nullptr;
   const bool use_simd = SimdEnabled();
 
   ScoreMode mode = ActiveScoreMode();
@@ -619,9 +623,18 @@ void FlatForest::PredictPrefixInto(const Dataset& data, std::size_t k,
                   [&](std::size_t base, std::size_t count) {
                     thread_local std::vector<float> buf;
                     buf.resize(count * stride);
-                    const double* src = x + base * stride;
-                    for (std::size_t i = 0; i < count * stride; ++i) {
-                      buf[i] = static_cast<float>(src[i]);
+                    if (x != nullptr) {
+                      const double* src = x + base * stride;
+                      for (std::size_t i = 0; i < count * stride; ++i) {
+                        buf[i] = static_cast<float>(src[i]);
+                      }
+                    } else {
+                      for (std::size_t r = 0; r < count; ++r) {
+                        for (std::size_t j = 0; j < stride; ++j) {
+                          buf[r * stride + j] =
+                              static_cast<float>(data.At(base + r, j));
+                        }
+                      }
                     }
                     return std::pair<const float*, std::size_t>{buf.data(),
                                                                 stride};
@@ -647,11 +660,13 @@ void FlatForest::PredictPrefixInto(const Dataset& data, std::size_t k,
                     thread_local std::vector<std::uint8_t> buf;
                     buf.resize(count * width);
                     for (std::size_t r = 0; r < count; ++r) {
-                      const double* src = x + (base + r) * stride;
                       for (std::size_t f = 0; f < width; ++f) {
+                        const double v = x != nullptr
+                                             ? x[(base + r) * stride + f]
+                                             : data.At(base + r, f);
                         buf[r * width + f] =
-                            std::isnan(src[f]) ? kBinnedNaN
-                                               : binned.binner.BinOf(f, src[f]);
+                            std::isnan(v) ? kBinnedNaN
+                                          : binned.binner.BinOf(f, v);
                       }
                     }
                     return std::pair<const std::uint8_t*, std::size_t>{
@@ -669,9 +684,24 @@ void FlatForest::PredictPrefixInto(const Dataset& data, std::size_t k,
                                     use_simd,
                                     complete.any ? &complete : nullptr};
       ScoreBlocks(program_, rep, rows, n, out,
-                  [&](std::size_t base, std::size_t /*count*/) {
-                    return std::pair<const double*, std::size_t>{
-                        x + base * stride, stride};
+                  [&](std::size_t base, std::size_t count) {
+                    if (x != nullptr) {
+                      return std::pair<const double*, std::size_t>{
+                          x + base * stride, stride};
+                    }
+                    // Columnar feed: stage the block row-major in reused
+                    // per-thread scratch. A verbatim value copy, so the
+                    // descent reads identical bits to the direct path.
+                    thread_local std::vector<double> buf;
+                    buf.resize(count * stride);
+                    for (std::size_t r = 0; r < count; ++r) {
+                      for (std::size_t j = 0; j < stride; ++j) {
+                        buf[r * stride + j] = data.At(base + r, j);
+                      }
+                    }
+                    AddScratchBytes(count * stride * sizeof(double));
+                    return std::pair<const double*, std::size_t>{buf.data(),
+                                                                 stride};
                   });
       break;
     }

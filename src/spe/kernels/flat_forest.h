@@ -12,7 +12,7 @@
 namespace spe {
 
 class Classifier;
-class Dataset;
+class DatasetView;
 class VotingEnsemble;
 
 namespace kernels {
@@ -113,7 +113,14 @@ class FlatForest {
   /// reference PredictProbaPrefix for any thread count and either
   /// descent (SIMD or scalar); the f32 path is AUC-parity only.
   /// Requires k >= 1.
-  void PredictPrefixInto(const Dataset& data, std::size_t k,
+  ///
+  /// Row-major views (the serve batch path) feed the descent loops a
+  /// direct pointer, exactly as before the columnar refactor; columnar
+  /// views are staged block-by-block into a reused per-thread row-major
+  /// buffer (L1-resident, counted as scratch traffic) so the four
+  /// descent paths stay untouched. Staging copies values verbatim, so
+  /// both feeds are bit-identical.
+  void PredictPrefixInto(const DatasetView& data, std::size_t k,
                          std::span<double> out) const;
 
   /// Whether this program has a binned lowering (false when a feature

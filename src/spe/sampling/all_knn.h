@@ -17,6 +17,8 @@ class AllKnnSampler final : public Sampler {
   explicit AllKnnSampler(std::size_t max_k = 3);
 
   Dataset Resample(const Dataset& data, Rng& rng) const override;
+  bool SelectIndices(const Dataset& data, Rng& rng,
+                     std::vector<std::size_t>* keep) const override;
   bool RequiresNumericalFeatures() const override { return true; }
   std::string Name() const override { return "AllKNN"; }
 

@@ -8,7 +8,8 @@
 
 namespace spe {
 
-Dataset CondensedNnSampler::Resample(const Dataset& data, Rng& rng) const {
+bool CondensedNnSampler::SelectIndices(const Dataset& data, Rng& rng,
+                                       std::vector<std::size_t>* keep) const {
   const std::vector<std::size_t> pos = data.PositiveIndices();
   std::vector<std::size_t> neg = data.NegativeIndices();
   SPE_CHECK(!pos.empty());
@@ -32,7 +33,14 @@ Dataset CondensedNnSampler::Resample(const Dataset& data, Rng& rng) const {
     }
   }
   std::sort(store.begin(), store.end());
-  return data.Subset(store);
+  *keep = std::move(store);
+  return true;
+}
+
+Dataset CondensedNnSampler::Resample(const Dataset& data, Rng& rng) const {
+  std::vector<std::size_t> keep;
+  SelectIndices(data, rng, &keep);
+  return data.Subset(keep);
 }
 
 }  // namespace spe

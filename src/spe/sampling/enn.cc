@@ -30,9 +30,17 @@ EnnSampler::EnnSampler(std::size_t k, bool majority_only)
   SPE_CHECK_GT(k, 0u);
 }
 
-Dataset EnnSampler::Resample(const Dataset& data, Rng& /*rng*/) const {
+bool EnnSampler::SelectIndices(const Dataset& data, Rng& /*rng*/,
+                               std::vector<std::size_t>* keep) const {
   const NeighborIndex index(data);
-  return data.Subset(EnnKeptIndices(index, k_, majority_only_));
+  *keep = EnnKeptIndices(index, k_, majority_only_);
+  return true;
+}
+
+Dataset EnnSampler::Resample(const Dataset& data, Rng& rng) const {
+  std::vector<std::size_t> keep;
+  SelectIndices(data, rng, &keep);
+  return data.Subset(keep);
 }
 
 }  // namespace spe

@@ -24,6 +24,8 @@ class EnnSampler final : public Sampler {
   explicit EnnSampler(std::size_t k = 3, bool majority_only = true);
 
   Dataset Resample(const Dataset& data, Rng& rng) const override;
+  bool SelectIndices(const Dataset& data, Rng& rng,
+                     std::vector<std::size_t>* keep) const override;
   bool RequiresNumericalFeatures() const override { return true; }
   std::string Name() const override { return "ENN"; }
 

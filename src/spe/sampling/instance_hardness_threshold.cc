@@ -20,12 +20,16 @@ InstanceHardnessThresholdSampler::InstanceHardnessThresholdSampler(
   }
 }
 
-Dataset InstanceHardnessThresholdSampler::Resample(const Dataset& data,
-                                                   Rng& rng) const {
+bool InstanceHardnessThresholdSampler::SelectIndices(
+    const Dataset& data, Rng& rng, std::vector<std::size_t>* keep) const {
   const std::vector<std::size_t> pos = data.PositiveIndices();
   const std::vector<std::size_t> neg = data.NegativeIndices();
   SPE_CHECK(!pos.empty());
-  if (neg.size() <= pos.size()) return data;
+  if (neg.size() <= pos.size()) {
+    keep->resize(data.num_rows());
+    std::iota(keep->begin(), keep->end(), std::size_t{0});
+    return true;
+  }
 
   // Out-of-fold positive-class probability for every row.
   std::vector<std::size_t> fold_of(data.num_rows());
@@ -46,8 +50,13 @@ Dataset InstanceHardnessThresholdSampler::Resample(const Dataset& data,
     }
     std::unique_ptr<Classifier> model = probe_->Clone();
     model->Reseed(rng.engine()());
-    model->Fit(data.Subset(train_rows));
-    for (std::size_t i : score_rows) prob[i] = model->PredictRow(data.Row(i));
+    // Fit through an indexed view — the fold split copies no rows.
+    model->Fit(DatasetView(data, train_rows));
+    std::vector<double> row(data.num_features());
+    for (std::size_t i : score_rows) {
+      data.CopyRowTo(i, row);
+      prob[i] = model->PredictRow(row);
+    }
   }
 
   // Keep the |P| majority samples the probe classifies *best* (lowest
@@ -57,9 +66,16 @@ Dataset InstanceHardnessThresholdSampler::Resample(const Dataset& data,
   std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
     return prob[neg[a]] < prob[neg[b]];
   });
-  std::vector<std::size_t> keep = pos;
-  for (std::size_t i = 0; i < pos.size(); ++i) keep.push_back(neg[order[i]]);
-  std::sort(keep.begin(), keep.end());
+  *keep = pos;
+  for (std::size_t i = 0; i < pos.size(); ++i) keep->push_back(neg[order[i]]);
+  std::sort(keep->begin(), keep->end());
+  return true;
+}
+
+Dataset InstanceHardnessThresholdSampler::Resample(const Dataset& data,
+                                                   Rng& rng) const {
+  std::vector<std::size_t> keep;
+  SelectIndices(data, rng, &keep);
   return data.Subset(keep);
 }
 

@@ -74,9 +74,11 @@ Dataset KMeansSmoteSampler::Resample(const Dataset& data, Rng& rng) const {
     }
     const Dataset augmented = WithSyntheticMinority(
         cluster_data, seeds, counts, std::min(k_, cluster.size() - 1), rng);
+    std::vector<double> row(augmented.num_features());
     for (std::size_t i = cluster_data.num_rows(); i < augmented.num_rows();
          ++i) {
-      out.AddRow(augmented.Row(i), 1);
+      augmented.CopyRowTo(i, row);
+      out.AddRow(row, 1);
     }
   }
   return out;

@@ -9,7 +9,8 @@ namespace spe {
 
 NcrSampler::NcrSampler(std::size_t k) : k_(k) { SPE_CHECK_GT(k, 0u); }
 
-Dataset NcrSampler::Resample(const Dataset& data, Rng& /*rng*/) const {
+bool NcrSampler::SelectIndices(const Dataset& data, Rng& /*rng*/,
+                               std::vector<std::size_t>* keep) const {
   const NeighborIndex index(data);
   const std::vector<std::vector<std::size_t>> neighbors = index.AllNearest(k_);
 
@@ -32,11 +33,17 @@ Dataset NcrSampler::Resample(const Dataset& data, Rng& /*rng*/) const {
     }
   }
 
-  std::vector<std::size_t> keep;
-  keep.reserve(data.num_rows());
+  keep->clear();
+  keep->reserve(data.num_rows());
   for (std::size_t i = 0; i < data.num_rows(); ++i) {
-    if (!drop[i]) keep.push_back(i);
+    if (!drop[i]) keep->push_back(i);
   }
+  return true;
+}
+
+Dataset NcrSampler::Resample(const Dataset& data, Rng& rng) const {
+  std::vector<std::size_t> keep;
+  SelectIndices(data, rng, &keep);
   return data.Subset(keep);
 }
 

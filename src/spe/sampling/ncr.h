@@ -20,6 +20,8 @@ class NcrSampler final : public Sampler {
   explicit NcrSampler(std::size_t k = 3);
 
   Dataset Resample(const Dataset& data, Rng& rng) const override;
+  bool SelectIndices(const Dataset& data, Rng& rng,
+                     std::vector<std::size_t>* keep) const override;
   bool RequiresNumericalFeatures() const override { return true; }
   std::string Name() const override { return "Clean"; }
 

@@ -13,7 +13,8 @@ NearMissSampler::NearMissSampler(std::size_t k) : k_(k) {
   SPE_CHECK_GT(k, 0u);
 }
 
-Dataset NearMissSampler::Resample(const Dataset& data, Rng& rng) const {
+bool NearMissSampler::SelectIndices(const Dataset& data, Rng& rng,
+                                    std::vector<std::size_t>* keep) const {
   const std::vector<std::size_t> pos = data.PositiveIndices();
   const std::vector<std::size_t> neg = data.NegativeIndices();
   SPE_CHECK(!pos.empty());
@@ -35,10 +36,16 @@ Dataset NearMissSampler::Resample(const Dataset& data, Rng& rng) const {
     return mean_distance[a] < mean_distance[b];
   });
 
-  std::vector<std::size_t> keep = pos;
+  *keep = pos;
   const std::size_t target = std::min(neg.size(), pos.size());
-  for (std::size_t i = 0; i < target; ++i) keep.push_back(neg[order[i]]);
-  rng.Shuffle(keep);
+  for (std::size_t i = 0; i < target; ++i) keep->push_back(neg[order[i]]);
+  rng.Shuffle(*keep);
+  return true;
+}
+
+Dataset NearMissSampler::Resample(const Dataset& data, Rng& rng) const {
+  std::vector<std::size_t> keep;
+  SelectIndices(data, rng, &keep);
   return data.Subset(keep);
 }
 

@@ -49,27 +49,29 @@ class TopK {
 
 }  // namespace
 
-NeighborIndex::NeighborIndex(const Dataset& data) {
+NeighborIndex::NeighborIndex(const DatasetView& data) {
+  data.CheckAlive();
   SPE_CHECK(!data.HasCategoricalFeatures())
       << "distance-based methods need a numeric feature space "
          "(the paper's 'no appropriate distance metric' case)";
   SPE_CHECK_GT(data.num_rows(), 0u);
   FeatureScaler scaler;
   scaler.Fit(data);
-  data_ = scaler.Transform(data);
+  scaler.TransformToRows(data, rows_);
+  labels_ = data.LabelsVector();
 }
 
 double NeighborIndex::Distance(std::size_t a, std::size_t b) const {
-  return std::sqrt(SquaredDistance(data_.Row(a), data_.Row(b)));
+  return std::sqrt(SquaredDistance(rows_.Row(a), rows_.Row(b)));
 }
 
 std::vector<std::size_t> NeighborIndex::Nearest(std::size_t query,
                                                 std::size_t k) const {
   TopK top(k);
-  const auto q = data_.Row(query);
-  for (std::size_t i = 0; i < data_.num_rows(); ++i) {
+  const auto q = rows_.Row(query);
+  for (std::size_t i = 0; i < rows_.num_rows(); ++i) {
     if (i == query) continue;
-    top.Offer(SquaredDistance(q, data_.Row(i)), i);
+    top.Offer(SquaredDistance(q, rows_.Row(i)), i);
   }
   return top.Sorted();
 }
@@ -78,18 +80,18 @@ std::vector<std::size_t> NeighborIndex::NearestAmong(
     std::size_t query, std::span<const std::size_t> candidates,
     std::size_t k) const {
   TopK top(k);
-  const auto q = data_.Row(query);
+  const auto q = rows_.Row(query);
   for (std::size_t i : candidates) {
     if (i == query) continue;
-    top.Offer(SquaredDistance(q, data_.Row(i)), i);
+    top.Offer(SquaredDistance(q, rows_.Row(i)), i);
   }
   return top.Sorted();
 }
 
 std::vector<std::vector<std::size_t>> NeighborIndex::AllNearest(
     std::size_t k) const {
-  std::vector<std::vector<std::size_t>> out(data_.num_rows());
-  ParallelFor(0, data_.num_rows(),
+  std::vector<std::vector<std::size_t>> out(rows_.num_rows());
+  ParallelFor(0, rows_.num_rows(),
               [&](std::size_t i) { out[i] = Nearest(i, k); });
   return out;
 }

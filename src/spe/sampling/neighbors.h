@@ -21,10 +21,10 @@ class NeighborIndex {
   /// Builds the index. Aborts on categorical features — Euclidean
   /// distance over category codes is meaningless, which is the paper's
   /// "no appropriate distance metric" case.
-  explicit NeighborIndex(const Dataset& data);
+  explicit NeighborIndex(const DatasetView& data);
 
-  std::size_t size() const { return data_.num_rows(); }
-  int LabelOf(std::size_t row) const { return data_.Label(row); }
+  std::size_t size() const { return rows_.num_rows(); }
+  int LabelOf(std::size_t row) const { return labels_[row]; }
 
   /// Euclidean distance between two indexed rows (standardized space).
   double Distance(std::size_t a, std::size_t b) const;
@@ -44,7 +44,8 @@ class NeighborIndex {
   std::vector<std::vector<std::size_t>> AllNearest(std::size_t k) const;
 
  private:
-  Dataset data_;  // standardized copy
+  RowMatrix rows_;           // standardized rows (scratch, not a Dataset)
+  std::vector<int> labels_;  // labels parallel to rows_
 };
 
 }  // namespace spe

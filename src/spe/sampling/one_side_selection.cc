@@ -14,7 +14,8 @@ OneSideSelectionSampler::OneSideSelectionSampler(std::size_t seeds)
   SPE_CHECK_GT(seeds, 0u);
 }
 
-Dataset OneSideSelectionSampler::Resample(const Dataset& data, Rng& rng) const {
+bool OneSideSelectionSampler::SelectIndices(const Dataset& data, Rng& rng,
+                                            std::vector<std::size_t>* keep) const {
   const std::vector<std::size_t> pos = data.PositiveIndices();
   const std::vector<std::size_t> neg = data.NegativeIndices();
   SPE_CHECK(!pos.empty());
@@ -48,17 +49,25 @@ Dataset OneSideSelectionSampler::Resample(const Dataset& data, Rng& rng) const {
   }
   std::sort(kept.begin(), kept.end());
 
-  // Final cleaning: drop Tomek-link majority members from the kept set.
-  Dataset candidate = data.Subset(kept);
+  // Final cleaning: drop Tomek-link majority members from the kept set,
+  // indexing a view over it rather than materializing a candidate copy.
+  const DatasetView candidate(data, kept);
   const NeighborIndex kept_index(candidate);
   const std::vector<std::size_t> drop = TomekLinkMajorityMembers(kept_index);
-  std::vector<char> dropped(candidate.num_rows(), 0);
+  std::vector<char> dropped(kept.size(), 0);
   for (std::size_t i : drop) dropped[i] = 1;
-  std::vector<std::size_t> final_keep;
-  for (std::size_t i = 0; i < candidate.num_rows(); ++i) {
-    if (!dropped[i]) final_keep.push_back(i);
+  keep->clear();
+  keep->reserve(kept.size());
+  for (std::size_t i = 0; i < kept.size(); ++i) {
+    if (!dropped[i]) keep->push_back(kept[i]);
   }
-  return candidate.Subset(final_keep);
+  return true;
+}
+
+Dataset OneSideSelectionSampler::Resample(const Dataset& data, Rng& rng) const {
+  std::vector<std::size_t> keep;
+  SelectIndices(data, rng, &keep);
+  return data.Subset(keep);
 }
 
 }  // namespace spe

@@ -17,9 +17,11 @@ Dataset RandomOverSampler::Resample(const Dataset& data, Rng& rng) const {
       static_cast<std::size_t>(ratio_ * static_cast<double>(neg.size()) + 0.5);
   Dataset out = data;
   out.Reserve(data.num_rows() + (target > pos.size() ? target - pos.size() : 0));
+  std::vector<double> row(data.num_features());
   for (std::size_t extra = pos.size(); extra < target; ++extra) {
     const std::size_t source = pos[rng.Index(pos.size())];
-    out.AddRow(data.Row(source), 1);
+    data.CopyRowTo(source, row);
+    out.AddRow(row, 1);
   }
   return out;
 }

@@ -10,7 +10,8 @@ RandomUnderSampler::RandomUnderSampler(double ratio) : ratio_(ratio) {
   SPE_CHECK_GT(ratio, 0.0);
 }
 
-Dataset RandomUnderSampler::Resample(const Dataset& data, Rng& rng) const {
+bool RandomUnderSampler::SelectIndices(const Dataset& data, Rng& rng,
+                                       std::vector<std::size_t>* keep) const {
   const std::vector<std::size_t> pos = data.PositiveIndices();
   const std::vector<std::size_t> neg = data.NegativeIndices();
   SPE_CHECK(!pos.empty());
@@ -18,11 +19,17 @@ Dataset RandomUnderSampler::Resample(const Dataset& data, Rng& rng) const {
   const auto target = std::min(
       neg.size(), static_cast<std::size_t>(
                       ratio_ * static_cast<double>(pos.size()) + 0.5));
-  std::vector<std::size_t> keep = pos;
+  *keep = pos;
   for (std::size_t i : rng.SampleWithoutReplacement(neg.size(), target)) {
-    keep.push_back(neg[i]);
+    keep->push_back(neg[i]);
   }
-  rng.Shuffle(keep);
+  rng.Shuffle(*keep);
+  return true;
+}
+
+Dataset RandomUnderSampler::Resample(const Dataset& data, Rng& rng) const {
+  std::vector<std::size_t> keep;
+  SelectIndices(data, rng, &keep);
   return data.Subset(keep);
 }
 

@@ -2,6 +2,7 @@
 #define SPE_SAMPLING_SAMPLER_H_
 
 #include <string>
+#include <vector>
 
 #include "spe/common/rng.h"
 #include "spe/data/dataset.h"
@@ -21,6 +22,22 @@ class Sampler {
   /// exact inapplicability the paper marks with "- -" in Table IV; use
   /// RequiresNumericalFeatures() to pre-check.
   virtual Dataset Resample(const Dataset& data, Rng& rng) const = 0;
+
+  /// Zero-copy fast path for pure under-samplers: when the resampled set
+  /// is exactly a row subset of `data`, fills `keep` with the selected
+  /// row indices — in the same order Resample would emit them, consuming
+  /// the same RNG stream — and returns true. Callers then fit through
+  /// `DatasetView(data, keep)` instead of materializing a copy. Samplers
+  /// that synthesize rows (SMOTE family, cluster centroids) keep the
+  /// default and return false, in which case `keep` is untouched and the
+  /// caller falls back to Resample.
+  virtual bool SelectIndices(const Dataset& data, Rng& rng,
+                             std::vector<std::size_t>* keep) const {
+    (void)data;
+    (void)rng;
+    (void)keep;
+    return false;
+  }
 
   /// True for k-NN-based methods that need a meaningful numeric distance.
   virtual bool RequiresNumericalFeatures() const { return false; }

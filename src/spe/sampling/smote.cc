@@ -7,24 +7,36 @@
 
 namespace spe {
 
-Dataset WithSyntheticMinority(const Dataset& data,
+Dataset WithSyntheticMinority(const DatasetView& data,
                               std::span<const std::size_t> seeds,
                               std::span<const std::size_t> counts, std::size_t k,
                               Rng& rng) {
+  data.CheckAlive();
   SPE_CHECK_EQ(seeds.size(), counts.size());
   const std::vector<std::size_t> pos = data.PositiveIndices();
   SPE_CHECK_GT(pos.size(), 1u) << "SMOTE needs at least two minority samples";
 
-  // Neighbour structure over the minority class only.
-  const Dataset minority = data.Subset(pos);
-  const NeighborIndex index(minority);
+  // Neighbour structure over the minority class only: gather the raw
+  // minority rows once (this is also the interpolation space) and index
+  // a row-major view over them.
+  const std::size_t d = data.num_features();
+  std::vector<FeatureKind> kinds(d);
+  for (std::size_t j = 0; j < d; ++j) kinds[j] = data.feature_kind(j);
+  RowMatrix minority;
+  minority.Reset(pos.size(), d);
+  std::vector<int> minority_labels(pos.size(), 1);
+  for (std::size_t m = 0; m < pos.size(); ++m) {
+    data.CopyRowTo(pos[m], minority.Row(m));
+  }
+  const NeighborIndex index(DatasetView::FromRows(
+      minority.data(), pos.size(), d, minority_labels.data(), kinds));
   std::unordered_map<std::size_t, std::size_t> row_to_minority;
   row_to_minority.reserve(pos.size());
   for (std::size_t m = 0; m < pos.size(); ++m) row_to_minority[pos[m]] = m;
 
   std::size_t total = 0;
   for (std::size_t c : counts) total += c;
-  Dataset out = data;
+  Dataset out = data.Materialize();
   out.Reserve(data.num_rows() + total);
 
   std::vector<double> synthetic(data.num_features());

@@ -16,7 +16,7 @@ namespace spe {
 ///   x_new = x_seed + u * (x_neighbor - x_seed),  u ~ U[0, 1).
 /// Neighbour search runs in standardized space; interpolation in raw
 /// feature space. Seeds are row indices into `data` and must be minority.
-Dataset WithSyntheticMinority(const Dataset& data,
+Dataset WithSyntheticMinority(const DatasetView& data,
                               std::span<const std::size_t> seeds,
                               std::span<const std::size_t> counts, std::size_t k,
                               Rng& rng);

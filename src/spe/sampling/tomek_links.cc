@@ -24,19 +24,26 @@ std::vector<std::size_t> TomekLinkMajorityMembers(const NeighborIndex& index) {
   return majority_members;
 }
 
-Dataset TomekLinksSampler::Resample(const Dataset& data, Rng& /*rng*/) const {
+bool TomekLinksSampler::SelectIndices(const Dataset& data, Rng& /*rng*/,
+                                      std::vector<std::size_t>* keep) const {
   const NeighborIndex index(data);
   const std::vector<std::size_t> drop = TomekLinkMajorityMembers(index);
-  std::vector<std::size_t> keep;
-  keep.reserve(data.num_rows() - drop.size());
+  keep->clear();
+  keep->reserve(data.num_rows() - drop.size());
   std::size_t next_drop = 0;
   for (std::size_t i = 0; i < data.num_rows(); ++i) {
     if (next_drop < drop.size() && drop[next_drop] == i) {
       ++next_drop;
       continue;
     }
-    keep.push_back(i);
+    keep->push_back(i);
   }
+  return true;
+}
+
+Dataset TomekLinksSampler::Resample(const Dataset& data, Rng& rng) const {
+  std::vector<std::size_t> keep;
+  SelectIndices(data, rng, &keep);
   return data.Subset(keep);
 }
 

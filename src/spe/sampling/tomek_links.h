@@ -23,6 +23,8 @@ class TomekLinksSampler final : public Sampler {
   TomekLinksSampler() = default;
 
   Dataset Resample(const Dataset& data, Rng& rng) const override;
+  bool SelectIndices(const Dataset& data, Rng& rng,
+                     std::vector<std::size_t>* keep) const override;
   bool RequiresNumericalFeatures() const override { return true; }
   std::string Name() const override { return "TomekLink"; }
 };

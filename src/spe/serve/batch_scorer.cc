@@ -1,5 +1,6 @@
 #include "spe/serve/batch_scorer.h"
 
+#include <algorithm>
 #include <cmath>
 #include <exception>
 #include <utility>
@@ -163,14 +164,15 @@ double BatchScorer::Score(std::vector<double> features) {
   return Submit(std::move(features)).get().proba;
 }
 
-std::vector<double> BatchScorer::ScoreBatch(const Dataset& rows) {
+std::vector<double> BatchScorer::ScoreBatch(const DatasetView& rows) {
   SPE_CHECK_EQ(rows.num_features(), num_features_);
+  rows.CheckAlive();
   std::vector<std::future<ScoreResult>> futures;
   futures.reserve(rows.num_rows());
   for (std::size_t i = 0; i < rows.num_rows(); ++i) {
-    const auto row = rows.Row(i);
     Request req;
-    req.features.assign(row.begin(), row.end());
+    req.features.resize(num_features_);
+    rows.CopyRowTo(i, req.features);
     req.enqueued = std::chrono::steady_clock::now();
     futures.push_back(req.promise.emplace().get_future());
     // Offline scoring always blocks: shedding rows out of a file-scoring
@@ -191,7 +193,7 @@ void BatchScorer::Shutdown() {
   });
 }
 
-void BatchScorer::ShadowScore(const Dataset& rows,
+void BatchScorer::ShadowScore(const DatasetView& rows,
                               std::span<const double> active_probs,
                               const lifecycle::ModelVersion& active) {
   const auto shadow = registry_->shadow();
@@ -219,6 +221,12 @@ void BatchScorer::ShadowScore(const Dataset& rows,
 void BatchScorer::WorkerLoop() {
   std::vector<Request> batch;
   std::vector<Request*> live;  // batch members still worth scoring
+  // Per-worker staging reused across batches: requests land in a flat
+  // row-major block served to the model through a borrowed view, so the
+  // dispatch path never builds a columnar Dataset per batch.
+  std::vector<double> row_block;
+  std::vector<int> row_labels;
+  const std::vector<FeatureKind> kinds(num_features_, FeatureKind::kNumerical);
   const std::chrono::microseconds delay(config_.max_batch_delay_us);
   while (queue_.PopBatch(batch, config_.max_batch_size, delay) > 0) {
     // Fault point: simulate a slow model *before* deadline triage, so a
@@ -274,11 +282,19 @@ void BatchScorer::WorkerLoop() {
       // has seen its response (and then scrapes !stats) also sees the
       // span that scored it.
       std::vector<double> probs;
-      Dataset rows(num_features_);
+      row_block.resize(live.size() * num_features_);
+      row_labels.assign(live.size(), 0);
+      for (std::size_t i = 0; i < live.size(); ++i) {
+        const std::vector<double>& src = live[i]->features;
+        std::copy(src.begin(), src.end(),
+                  row_block.begin() +
+                      static_cast<std::ptrdiff_t>(i * num_features_));
+      }
+      const DatasetView rows = DatasetView::FromRows(
+          row_block.data(), live.size(), num_features_, row_labels.data(),
+          kinds);
       {
         const obs::TraceSpan span("serve.score_batch");
-        rows.Reserve(live.size());
-        for (const Request* r : live) rows.AddRow(r->features, /*label=*/0);
         probs = degraded ? version->prefix_voter()->PredictProbaPrefix(
                                rows, config_.degrade_prefix)
                          : version->model().PredictProba(rows);

@@ -177,7 +177,7 @@ class BatchScorer {
   /// probabilities in row order. Always blocks for queue space (even
   /// under kShed — offline scoring must not drop rows), so the offline
   /// CLI path and the online path share one dispatch code path.
-  std::vector<double> ScoreBatch(const Dataset& rows);
+  std::vector<double> ScoreBatch(const DatasetView& rows);
 
   /// Refuses new submissions, waits for workers to drain every queued
   /// request, and joins them. Idempotent; called by the destructor.
@@ -219,7 +219,7 @@ class BatchScorer {
                        std::exception_ptr error);
 
   void WorkerLoop();
-  void ShadowScore(const Dataset& rows, std::span<const double> active_probs,
+  void ShadowScore(const DatasetView& rows, std::span<const double> active_probs,
                    const lifecycle::ModelVersion& active);
 
   const std::shared_ptr<lifecycle::ModelRegistry> registry_;

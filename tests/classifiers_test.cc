@@ -44,8 +44,10 @@ TEST(KnnTest, BatchMatchesSingleRow) {
   Knn knn;
   knn.Fit(train);
   const std::vector<double> batch = knn.PredictProba(test);
+  std::vector<double> row(test.num_features());
   for (std::size_t i = 0; i < test.num_rows(); ++i) {
-    EXPECT_DOUBLE_EQ(batch[i], knn.PredictRow(test.Row(i)));
+    test.CopyRowTo(i, row);
+    EXPECT_DOUBLE_EQ(batch[i], knn.PredictRow(row));
   }
 }
 

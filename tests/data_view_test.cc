@@ -1,0 +1,216 @@
+// View semantics for the columnar data layer: zero-copy selection must
+// be observationally identical to the Subset() copies it replaced, view
+// composition must resolve to parent-absolute rows, and lifetime
+// violations (reading through a view after the parent mutated) must die
+// loudly instead of reading reallocated memory.
+
+#include <cstring>
+#include <span>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "spe/common/rng.h"
+#include "spe/data/dataset.h"
+#include "tests/test_util.h"
+
+namespace spe {
+namespace {
+
+using ::spe::testing::OverlappingBlobs;
+
+Dataset SmallData() {
+  Dataset data(2);
+  data.AddRow(std::vector<double>{1.0, 2.0}, 0);
+  data.AddRow(std::vector<double>{3.0, 4.0}, 1);
+  data.AddRow(std::vector<double>{5.0, 6.0}, 0);
+  data.AddRow(std::vector<double>{7.0, 8.0}, 0);
+  return data;
+}
+
+// Bit-exact equality, column by column — the bar the zero-copy paths
+// are held to (== would excuse -0.0 vs +0.0 and NaN differences).
+void ExpectBitIdentical(const Dataset& a, const Dataset& b) {
+  ASSERT_EQ(a.num_rows(), b.num_rows());
+  ASSERT_EQ(a.num_features(), b.num_features());
+  for (std::size_t j = 0; j < a.num_features(); ++j) {
+    const std::span<const double> ca = a.Column(j).values;
+    const std::span<const double> cb = b.Column(j).values;
+    EXPECT_EQ(std::memcmp(ca.data(), cb.data(), ca.size() * sizeof(double)),
+              0)
+        << "column " << j;
+    EXPECT_EQ(a.Column(j).kind, b.Column(j).kind) << "column " << j;
+  }
+  for (std::size_t i = 0; i < a.num_rows(); ++i) {
+    EXPECT_EQ(a.Label(i), b.Label(i)) << "row " << i;
+  }
+}
+
+TEST(DatasetViewTest, IdentityViewReadsThrough) {
+  const Dataset data = SmallData();
+  const DatasetView view = data;  // implicit identity conversion
+  EXPECT_TRUE(view.identity());
+  EXPECT_FALSE(view.row_major());
+  ASSERT_EQ(view.num_rows(), data.num_rows());
+  ASSERT_EQ(view.num_features(), data.num_features());
+  for (std::size_t i = 0; i < data.num_rows(); ++i) {
+    EXPECT_EQ(view.Label(i), data.Label(i));
+    for (std::size_t j = 0; j < data.num_features(); ++j) {
+      EXPECT_DOUBLE_EQ(view.At(i, j), data.At(i, j));
+    }
+  }
+}
+
+TEST(DatasetViewTest, IndexedViewSelectsRowsInOrderWithDuplicates) {
+  const Dataset data = SmallData();
+  const std::vector<std::size_t> idx = {2, 0, 2};
+  const DatasetView view(data, idx);
+  EXPECT_FALSE(view.identity());
+  ASSERT_EQ(view.num_rows(), 3u);
+  EXPECT_DOUBLE_EQ(view.At(0, 0), 5.0);
+  EXPECT_DOUBLE_EQ(view.At(1, 0), 1.0);
+  EXPECT_DOUBLE_EQ(view.At(2, 1), 6.0);
+  EXPECT_EQ(view.RowIndex(1), 0u);
+  EXPECT_EQ(view.LabelsVector(), (std::vector<int>{0, 0, 0}));
+}
+
+TEST(DatasetViewTest, ClassCountsAndIndicesMatchMaterialized) {
+  const Dataset data = OverlappingBlobs(60, 15, 11);
+  std::vector<std::size_t> idx;
+  for (std::size_t i = 0; i < data.num_rows(); i += 3) idx.push_back(i);
+  const DatasetView view(data, idx);
+  const Dataset copy = data.Subset(idx);
+  EXPECT_EQ(view.CountPositives(), copy.CountPositives());
+  EXPECT_EQ(view.CountNegatives(), copy.CountNegatives());
+  EXPECT_EQ(view.PositiveIndices(), copy.PositiveIndices());
+  EXPECT_EQ(view.NegativeIndices(), copy.NegativeIndices());
+  EXPECT_DOUBLE_EQ(view.ImbalanceRatio(), copy.ImbalanceRatio());
+}
+
+// The determinism contract of the refactor: selecting rows through a
+// view and materializing must produce the same bytes as the Subset()
+// copy path it replaced, for random index sets with duplicates.
+TEST(DatasetViewTest, MaterializeIsByteIdenticalToSubset) {
+  const Dataset data = OverlappingBlobs(200, 40, 7);
+  Rng rng(99);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t n = 1 + rng.Index(data.num_rows());
+    std::vector<std::size_t> idx(n);
+    for (auto& v : idx) v = rng.Index(data.num_rows());
+    const Dataset by_copy = data.Subset(idx);
+    const Dataset by_view = DatasetView(data, idx).Materialize();
+    ExpectBitIdentical(by_copy, by_view);
+  }
+}
+
+TEST(DatasetViewTest, WithIndicesComposesToParentAbsoluteRows) {
+  const Dataset data = SmallData();
+  // Fold view over rows {3, 1, 0}; pick view-relative rows {2, 0}.
+  const std::vector<std::size_t> fold = {3, 1, 0};
+  const DatasetView fold_view(data, fold);
+  std::vector<std::size_t> abs;
+  for (std::size_t pick : {std::size_t{2}, std::size_t{0}}) {
+    abs.push_back(fold_view.RowIndex(pick));
+  }
+  const DatasetView nested = fold_view.WithIndices(abs);
+  ASSERT_EQ(nested.num_rows(), 2u);
+  EXPECT_DOUBLE_EQ(nested.At(0, 0), 1.0);  // parent row 0
+  EXPECT_DOUBLE_EQ(nested.At(1, 0), 7.0);  // parent row 3
+  EXPECT_EQ(nested.Label(1), 0);
+}
+
+TEST(DatasetViewTest, FromRowsReadsExternalBlock) {
+  const double block[6] = {1.0, 2.0, 3.0, 4.0, 5.0, 6.0};
+  const int labels[3] = {0, 1, 0};
+  const DatasetView view = DatasetView::FromRows(block, 3, 2, labels);
+  EXPECT_TRUE(view.row_major());
+  EXPECT_EQ(view.parent(), nullptr);
+  EXPECT_DOUBLE_EQ(view.At(1, 1), 4.0);
+  EXPECT_EQ(view.Label(1), 1);
+  EXPECT_EQ(view.feature_kind(0), FeatureKind::kNumerical);
+  std::vector<double> row(2);
+  view.CopyRowTo(2, row);
+  EXPECT_DOUBLE_EQ(row[0], 5.0);
+  EXPECT_DOUBLE_EQ(row[1], 6.0);
+}
+
+TEST(DatasetViewDeathTest, LabelOnUnlabeledRowViewDies) {
+  const double block[2] = {1.0, 2.0};
+  const DatasetView view = DatasetView::FromRows(block, 1, 2);
+  EXPECT_DEATH((void)view.Label(0), "unlabeled");
+}
+
+TEST(DatasetViewDeathTest, StaleViewAfterAddRowIsCaught) {
+  Dataset data = SmallData();
+  const DatasetView view = data;
+  data.AddRow(std::vector<double>{9.0, 9.0}, 1);
+  EXPECT_DEATH((void)view.Materialize(), "stale DatasetView");
+}
+
+TEST(DatasetViewDeathTest, StaleViewAfterTruncateIsCaught) {
+  Dataset data = SmallData();
+  const std::vector<std::size_t> idx = {0, 1};
+  const DatasetView view(data, idx);
+  data.TruncateRows(2);
+  EXPECT_DEATH((void)view.Materialize(), "stale DatasetView");
+}
+
+TEST(DatasetViewTest, SetDoesNotInvalidateViews) {
+  // Value mutation keeps the geometry: views stay valid and see the new
+  // value (they are views, not snapshots).
+  Dataset data = SmallData();
+  const DatasetView view = data;
+  data.Set(0, 0, 42.0);
+  EXPECT_DOUBLE_EQ(view.At(0, 0), 42.0);
+}
+
+TEST(DatasetAppendTest, MatchingKindsConcatenate) {
+  Dataset a = SmallData();
+  Dataset b = SmallData();
+  a.set_feature_kind(1, FeatureKind::kCategorical);
+  b.set_feature_kind(1, FeatureKind::kCategorical);
+  a.Append(b);
+  EXPECT_EQ(a.num_rows(), 8u);
+  EXPECT_EQ(a.feature_kind(1), FeatureKind::kCategorical);
+}
+
+TEST(DatasetAppendDeathTest, KindMismatchIsAHardError) {
+  Dataset a = SmallData();
+  Dataset b = SmallData();
+  b.set_feature_kind(1, FeatureKind::kCategorical);
+  EXPECT_DEATH(a.Append(b), "feature kind mismatch");
+}
+
+TEST(FeatureScalerViewTest, TransformInPlaceMatchesTransform) {
+  const Dataset data = OverlappingBlobs(50, 10, 3);
+  FeatureScaler scaler;
+  scaler.Fit(data);
+  const Dataset expected = scaler.Transform(data);
+  Dataset in_place = data;
+  scaler.TransformInPlace(in_place);
+  ExpectBitIdentical(expected, in_place);
+}
+
+TEST(FeatureScalerViewTest, TransformToRowsMatchesTransformOnIndexedView) {
+  const Dataset data = OverlappingBlobs(50, 10, 4);
+  FeatureScaler scaler;
+  scaler.Fit(data);
+  const std::vector<std::size_t> idx = {5, 1, 5, 30};
+  const DatasetView view(data, idx);
+  const Dataset expected = scaler.Transform(view);
+  RowMatrix rows;
+  scaler.TransformToRows(view, rows);
+  ASSERT_EQ(rows.num_rows(), idx.size());
+  std::vector<double> scratch(data.num_features());
+  for (std::size_t i = 0; i < idx.size(); ++i) {
+    expected.CopyRowTo(i, scratch);
+    const std::span<const double> got = rows.Row(i);
+    EXPECT_EQ(std::memcmp(got.data(), scratch.data(),
+                          scratch.size() * sizeof(double)),
+              0)
+        << "row " << i;
+  }
+}
+
+}  // namespace
+}  // namespace spe

@@ -24,7 +24,9 @@ TEST(DatasetTest, BasicAccessors) {
   EXPECT_DOUBLE_EQ(data.At(1, 0), 3.0);
   EXPECT_DOUBLE_EQ(data.At(2, 1), 6.0);
   EXPECT_EQ(data.Label(1), 1);
-  EXPECT_EQ(data.Row(3)[1], 8.0);
+  std::vector<double> row(2);
+  data.CopyRowTo(3, row);
+  EXPECT_EQ(row[1], 8.0);
 }
 
 TEST(DatasetTest, SetMutates) {
@@ -146,9 +148,11 @@ TEST(FeatureScalerTest, TransformRowMatchesTransform) {
   FeatureScaler scaler;
   scaler.Fit(data);
   const Dataset out = scaler.Transform(data);
+  std::vector<double> in(2);
   std::vector<double> row(2);
   for (std::size_t i = 0; i < data.num_rows(); ++i) {
-    scaler.TransformRow(data.Row(i), row);
+    data.CopyRowTo(i, in);
+    scaler.TransformRow(in, row);
     EXPECT_DOUBLE_EQ(row[0], out.At(i, 0));
     EXPECT_DOUBLE_EQ(row[1], out.At(i, 1));
   }

@@ -62,8 +62,10 @@ TEST(AdaBoostTest, BatchMatchesRowPrediction) {
   boost.Fit(SeparableBlobs(80, 40, 6));
   const Dataset test = SeparableBlobs(20, 20, 7);
   const auto batch = boost.PredictProba(test);
+  std::vector<double> row(test.num_features());
   for (std::size_t i = 0; i < test.num_rows(); ++i) {
-    EXPECT_NEAR(batch[i], boost.PredictRow(test.Row(i)), 1e-12);
+    test.CopyRowTo(i, row);
+    EXPECT_NEAR(batch[i], boost.PredictRow(row), 1e-12);
   }
 }
 

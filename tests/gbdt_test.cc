@@ -140,10 +140,12 @@ TEST(RegressionTreeTest, FitsSignalAndWritesTrainScores) {
   gbdt::RegressionTree tree;
   tree.Fit(binned, binner, grads, hess, rows, params, scores);
 
+  std::vector<double> row(data.num_features());
   for (std::size_t i = 0; i < data.num_rows(); ++i) {
     const double expected = data.At(i, 0) < 0 ? 1.0 : -1.0;
     EXPECT_NEAR(scores[i], expected, 0.1);
-    EXPECT_NEAR(tree.Predict(data.Row(i)), scores[i], 1e-12);
+    data.CopyRowTo(i, row);
+    EXPECT_NEAR(tree.Predict(row), scores[i], 1e-12);
   }
 }
 

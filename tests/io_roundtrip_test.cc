@@ -76,10 +76,12 @@ Dataset RandomDataset(Rng& rng, std::size_t rows, std::size_t cols) {
 void ExpectSameValues(const Dataset& a, const Dataset& b) {
   ASSERT_EQ(a.num_rows(), b.num_rows());
   ASSERT_EQ(a.num_features(), b.num_features());
+  std::vector<double> ra(a.num_features());
+  std::vector<double> rb(b.num_features());
   for (std::size_t i = 0; i < a.num_rows(); ++i) {
     EXPECT_EQ(a.Label(i), b.Label(i)) << "row " << i;
-    const auto ra = a.Row(i);
-    const auto rb = b.Row(i);
+    a.CopyRowTo(i, ra);
+    b.CopyRowTo(i, rb);
     // memcmp, not ==: bit-exact round trip is the contract, and it must
     // hold for -0.0 too where the format preserves it.
     EXPECT_EQ(std::memcmp(ra.data(), rb.data(), ra.size() * sizeof(double)),
@@ -119,7 +121,7 @@ TEST(CsvRoundTripTest, NegativeZeroAndExtremesSurvive) {
   const Dataset loaded = LoadCsv(path, 3);
   ExpectSameValues(data, loaded);
   // CSV preserves the sign of zero (prints "-0").
-  EXPECT_TRUE(std::signbit(loaded.Row(0)[0]));
+  EXPECT_TRUE(std::signbit(loaded.At(0, 0)));
 }
 
 TEST(CsvRoundTripTest, FeatureKindsAreNotPersisted) {
@@ -156,8 +158,8 @@ TEST(LibsvmRoundTripTest, RandomSparseDatasetsSurviveExactly) {
     for (std::size_t i = 0; i < original.num_rows(); ++i) {
       EXPECT_EQ(original.Label(i), loaded.Label(i));
       for (std::size_t j = 0; j < cols; ++j) {
-        const double v = original.Row(i)[j];
-        const double w = loaded.Row(i)[j];
+        const double v = original.At(i, j);
+        const double w = loaded.At(i, j);
         if (v == 0.0) {
           // Sparse convention: any zero (including -0.0) is omitted and
           // reloads as +0.0. Documented lossiness.

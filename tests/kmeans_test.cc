@@ -54,8 +54,10 @@ TEST(KMeansTest, AssignmentsAreConsistentWithAssignRow) {
   config.num_clusters = 4;
   KMeans kmeans(config);
   kmeans.Fit(data);
+  std::vector<double> row(data.num_features());
   for (std::size_t i = 0; i < data.num_rows(); ++i) {
-    EXPECT_EQ(kmeans.AssignRow(data.Row(i)), kmeans.assignments()[i]);
+    data.CopyRowTo(i, row);
+    EXPECT_EQ(kmeans.AssignRow(row), kmeans.assignments()[i]);
   }
 }
 

@@ -1,0 +1,200 @@
+// Sidecar cache (`.spmc`) behaviour: a valid sidecar loads the same
+// bytes the parser would, a stale or corrupt one is detected and falls
+// back to the parser, and the cache never changes observable values —
+// only load speed.
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <span>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "spe/data/csv.h"
+#include "spe/data/dataset.h"
+#include "spe/data/mmap_cache.h"
+#include "tests/test_util.h"
+
+namespace spe {
+namespace {
+
+namespace fs = std::filesystem;
+
+using ::spe::testing::OverlappingBlobs;
+
+class MmapCacheTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("spe_mmap_cache_test_" +
+            std::to_string(::testing::UnitTest::GetInstance()->random_seed()) +
+            "_" + ::testing::UnitTest::GetInstance()
+                      ->current_test_info()
+                      ->name());
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+    csv_path_ = (dir_ / "data.csv").string();
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  std::string WriteBlobsCsv(std::uint64_t seed, std::size_t majority = 40,
+                            std::size_t minority = 10) {
+    const Dataset data = OverlappingBlobs(majority, minority, seed);
+    SaveCsv(data, csv_path_);
+    return csv_path_;
+  }
+
+  fs::path dir_;
+  std::string csv_path_;
+};
+
+void ExpectSameValues(const Dataset& a, const Dataset& b) {
+  ASSERT_EQ(a.num_rows(), b.num_rows());
+  ASSERT_EQ(a.num_features(), b.num_features());
+  for (std::size_t j = 0; j < a.num_features(); ++j) {
+    const std::span<const double> ca = a.Column(j).values;
+    const std::span<const double> cb = b.Column(j).values;
+    EXPECT_EQ(std::memcmp(ca.data(), cb.data(), ca.size() * sizeof(double)),
+              0)
+        << "column " << j;
+  }
+  for (std::size_t i = 0; i < a.num_rows(); ++i) {
+    EXPECT_EQ(a.Label(i), b.Label(i)) << "row " << i;
+  }
+}
+
+TEST_F(MmapCacheTest, SidecarPathAppendsExtension) {
+  EXPECT_EQ(SidecarPathFor("/tmp/x/train.csv"), "/tmp/x/train.csv.spmc");
+}
+
+TEST_F(MmapCacheTest, AbsentBeforeFirstCachedLoad) {
+  WriteBlobsCsv(1);
+  const SidecarInfo info = InspectSidecar(csv_path_, 2);
+  EXPECT_EQ(info.status, SidecarStatus::kAbsent);
+  EXPECT_STREQ(SidecarStatusName(info.status), "absent");
+}
+
+TEST_F(MmapCacheTest, ColdLoadPublishesValidSidecar) {
+  WriteBlobsCsv(2);
+  const Dataset parsed = LoadCsv(csv_path_, 2);
+  const Dataset cold = LoadCsvCached(csv_path_, 2);
+  ExpectSameValues(parsed, cold);
+
+  const SidecarInfo info = InspectSidecar(csv_path_, 2);
+  EXPECT_EQ(info.status, SidecarStatus::kValid);
+  EXPECT_STREQ(SidecarStatusName(info.status), "valid");
+  EXPECT_EQ(info.num_rows, parsed.num_rows());
+  EXPECT_EQ(info.num_features, parsed.num_features());
+  EXPECT_TRUE(fs::exists(info.sidecar_path));
+}
+
+TEST_F(MmapCacheTest, WarmLoadIsValueIdenticalToParse) {
+  WriteBlobsCsv(3);
+  const Dataset cold = LoadCsvCached(csv_path_, 2);
+  ASSERT_EQ(InspectSidecar(csv_path_, 2).status, SidecarStatus::kValid);
+  const Dataset warm = LoadCsvCached(csv_path_, 2);
+  ExpectSameValues(cold, warm);
+  // The warm copy really is backed by the sidecar mapping.
+  EXPECT_TRUE(warm.matrix().mapped());
+}
+
+TEST_F(MmapCacheTest, RewrittenSourceIsDetectedAsStale) {
+  WriteBlobsCsv(4);
+  (void)LoadCsvCached(csv_path_, 2);
+  ASSERT_EQ(InspectSidecar(csv_path_, 2).status, SidecarStatus::kValid);
+
+  // Rewrite the CSV with different content (different row count, so the
+  // size fingerprint must differ even on coarse-mtime filesystems).
+  WriteBlobsCsv(5, 50, 12);
+  EXPECT_EQ(InspectSidecar(csv_path_, 2).status, SidecarStatus::kStale);
+
+  // A cached load falls back to the parser, returns the new data, and
+  // republishes a fresh sidecar.
+  const Dataset parsed = LoadCsv(csv_path_, 2);
+  const Dataset reloaded = LoadCsvCached(csv_path_, 2);
+  ExpectSameValues(parsed, reloaded);
+  EXPECT_EQ(InspectSidecar(csv_path_, 2).status, SidecarStatus::kValid);
+}
+
+TEST_F(MmapCacheTest, MismatchedLabelColumnIsStale) {
+  // Sidecars remember which column was the label; asking for a different
+  // split must not reuse them.
+  const Dataset data = OverlappingBlobs(30, 8, 6);
+  SaveCsv(data, csv_path_);
+  (void)LoadCsvCached(csv_path_, 2);
+  ASSERT_EQ(InspectSidecar(csv_path_, 2).status, SidecarStatus::kValid);
+  EXPECT_EQ(InspectSidecar(csv_path_, 0).status, SidecarStatus::kStale);
+}
+
+TEST_F(MmapCacheTest, CorruptSidecarFallsBackToParser) {
+  WriteBlobsCsv(7);
+  const Dataset parsed = LoadCsv(csv_path_, 2);
+  (void)LoadCsvCached(csv_path_, 2);
+  const std::string sidecar = SidecarPathFor(csv_path_);
+  ASSERT_TRUE(fs::exists(sidecar));
+
+  // Flip one byte in the middle of the column payload: the CRC must
+  // catch it and the load must come from the parser, value-identical.
+  {
+    std::fstream f(sidecar,
+                   std::ios::in | std::ios::out | std::ios::binary);
+    ASSERT_TRUE(f.is_open());
+    f.seekg(0, std::ios::end);
+    const std::streamoff size = f.tellg();
+    ASSERT_GT(size, 64);
+    f.seekp(size / 2);
+    char byte = 0;
+    f.seekg(size / 2);
+    f.read(&byte, 1);
+    byte = static_cast<char>(byte ^ 0x5a);
+    f.seekp(size / 2);
+    f.write(&byte, 1);
+  }
+
+  EXPECT_EQ(InspectSidecar(csv_path_, 2).status, SidecarStatus::kCorrupt);
+  const Dataset loaded = LoadCsvCached(csv_path_, 2);
+  ExpectSameValues(parsed, loaded);
+}
+
+TEST_F(MmapCacheTest, TruncatedSidecarIsCorruptNotFatal) {
+  WriteBlobsCsv(8);
+  (void)LoadCsvCached(csv_path_, 2);
+  const std::string sidecar = SidecarPathFor(csv_path_);
+  fs::resize_file(sidecar, 20);  // shorter than the fixed header
+  EXPECT_EQ(InspectSidecar(csv_path_, 2).status, SidecarStatus::kCorrupt);
+  const Dataset parsed = LoadCsv(csv_path_, 2);
+  const Dataset loaded = LoadCsvCached(csv_path_, 2);
+  ExpectSameValues(parsed, loaded);
+}
+
+TEST_F(MmapCacheTest, MappedDatasetSurvivesSidecarUnlink) {
+  // mmap keeps the pages alive after the file is removed — a dataset
+  // loaded from cache must not depend on the sidecar's directory entry.
+  WriteBlobsCsv(9);
+  (void)LoadCsvCached(csv_path_, 2);
+  const Dataset warm = LoadCsvCached(csv_path_, 2);
+  ASSERT_TRUE(warm.matrix().mapped());
+  fs::remove(SidecarPathFor(csv_path_));
+  double sum = 0.0;
+  for (std::size_t j = 0; j < warm.num_features(); ++j) {
+    for (double v : warm.Column(j).values) sum += v;
+  }
+  EXPECT_TRUE(std::isfinite(sum));
+}
+
+TEST_F(MmapCacheTest, WriteSidecarRoundTripsExplicitly) {
+  const Dataset data = OverlappingBlobs(25, 5, 10);
+  SaveCsv(data, csv_path_);
+  ASSERT_TRUE(WriteSidecar(data, csv_path_, 2));
+  const SidecarInfo info = InspectSidecar(csv_path_, 2);
+  EXPECT_EQ(info.status, SidecarStatus::kValid);
+  const Dataset loaded = LoadCsvCached(csv_path_, 2);
+  ExpectSameValues(data, loaded);
+}
+
+}  // namespace
+}  // namespace spe

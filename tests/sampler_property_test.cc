@@ -6,6 +6,7 @@
 #include <algorithm>
 #include <limits>
 #include <set>
+#include <span>
 #include <string>
 #include <tuple>
 #include <vector>
@@ -32,8 +33,9 @@ class SamplerPropertyTest
 
 // Encodes a row (features + label) for set membership checks.
 std::vector<double> RowKey(const Dataset& data, std::size_t i) {
-  std::vector<double> key(data.Row(i).begin(), data.Row(i).end());
-  key.push_back(static_cast<double>(data.Label(i)));
+  std::vector<double> key(data.num_features() + 1);
+  data.CopyRowTo(i, std::span<double>(key.data(), data.num_features()));
+  key[data.num_features()] = static_cast<double>(data.Label(i));
   return key;
 }
 

@@ -234,7 +234,7 @@ class ThrowingBase final : public Classifier {
  public:
   ThrowingBase(std::shared_ptr<std::size_t> fits, std::size_t throw_on)
       : fits_(std::move(fits)), throw_on_(throw_on) {}
-  void Fit(const Dataset& train) override {
+  void Fit(const DatasetView& train) override {
     if (++*fits_ == throw_on_) throw std::runtime_error("injected fit failure");
     tree_.Fit(train);
   }
@@ -278,7 +278,7 @@ TEST(SelfPacedEnsembleTest, FitWithValidationRestoresCallbackAfterThrow) {
 // offending member instead of letting NaN poison the hardness updates.
 class NanBase final : public Classifier {
  public:
-  void Fit(const Dataset&) override {}
+  void Fit(const DatasetView&) override {}
   double PredictRow(std::span<const double>) const override {
     return std::numeric_limits<double>::quiet_NaN();
   }

@@ -159,9 +159,9 @@ TEST(BatchScorerTest, MultiThreadedProducersRandomizedDelays) {
         std::vector<std::size_t> rows;
         for (std::size_t i = static_cast<std::size_t>(p); i < test.num_rows();
              i += kProducers) {
-          const auto row = test.Row(i);
-          futures.push_back(
-              scorer.Submit(std::vector<double>(row.begin(), row.end())));
+          std::vector<double> row(test.num_features());
+          test.CopyRowTo(i, row);
+          futures.push_back(scorer.Submit(std::move(row)));
           rows.push_back(i);
           if (jitter_us(rng) < 20) {
             std::this_thread::sleep_for(
@@ -199,9 +199,9 @@ TEST(BatchScorerTest, ShutdownDrainsEveryAcceptedRequest) {
 
   std::vector<std::future<ScoreResult>> futures;
   for (std::size_t i = 0; i < test.num_rows(); ++i) {
-    const auto row = test.Row(i);
-    futures.push_back(
-        scorer.Submit(std::vector<double>(row.begin(), row.end())));
+    std::vector<double> row(test.num_features());
+    test.CopyRowTo(i, row);
+    futures.push_back(scorer.Submit(std::move(row)));
   }
   scorer.Shutdown();
 
@@ -220,12 +220,12 @@ TEST(BatchScorerTest, ShutdownDrainsEveryAcceptedRequest) {
 // A model slow enough to keep the queue backed up, for shedding tests.
 class SlowConstantModel final : public Classifier {
  public:
-  void Fit(const Dataset&) override {}
+  void Fit(const DatasetView&) override {}
   double PredictRow(std::span<const double>) const override {
     std::this_thread::sleep_for(std::chrono::milliseconds(20));
     return 0.25;
   }
-  std::vector<double> PredictProba(const Dataset& data) const override {
+  std::vector<double> PredictProba(const DatasetView& data) const override {
     std::this_thread::sleep_for(std::chrono::milliseconds(20));
     return std::vector<double>(data.num_rows(), 0.25);
   }
@@ -298,12 +298,12 @@ TEST(EnsemblePrefixTest, FullPrefixBitIdenticalToPredictProba) {
 /// never reached the model.
 class CountingConstantModel final : public Classifier {
  public:
-  void Fit(const Dataset&) override {}
+  void Fit(const DatasetView&) override {}
   double PredictRow(std::span<const double>) const override {
     ++calls_;
     return 0.5;
   }
-  std::vector<double> PredictProba(const Dataset& data) const override {
+  std::vector<double> PredictProba(const DatasetView& data) const override {
     calls_ += data.num_rows();
     return std::vector<double>(data.num_rows(), 0.5);
   }
@@ -359,22 +359,22 @@ TEST(BatchScorerTest, ExpiredDeadlineFailsFastWithoutScoring) {
 /// returns 0.1 * k — trivially distinguishable.
 class GatePrefixModel final : public Classifier, public PrefixVoter {
  public:
-  void Fit(const Dataset&) override {}
+  void Fit(const DatasetView&) override {}
   double PredictRow(std::span<const double> row) const override {
     MaybeBlock(row[0]);
     return 0.75;
   }
-  std::vector<double> PredictProba(const Dataset& data) const override {
+  std::vector<double> PredictProba(const DatasetView& data) const override {
     for (std::size_t i = 0; i < data.num_rows(); ++i) {
-      MaybeBlock(data.Row(i)[0]);
+      MaybeBlock(data.At(i, 0));
     }
     return std::vector<double>(data.num_rows(), 0.75);
   }
   std::size_t NumPrefixMembers() const override { return 4; }
-  std::vector<double> PredictProbaPrefix(const Dataset& data,
+  std::vector<double> PredictProbaPrefix(const DatasetView& data,
                                          std::size_t k) const override {
     for (std::size_t i = 0; i < data.num_rows(); ++i) {
-      MaybeBlock(data.Row(i)[0]);
+      MaybeBlock(data.At(i, 0));
     }
     return std::vector<double>(data.num_rows(),
                                0.1 * static_cast<double>(k));
@@ -485,9 +485,9 @@ TEST(BatchScorerTest, DegradedResultsBitIdenticalToPrefixScoring) {
   std::vector<std::size_t> rows;
   for (int round = 0; round < 3; ++round) {
     for (std::size_t i = 0; i < test.num_rows(); ++i) {
-      const auto row = test.Row(i);
-      futures.push_back(
-          scorer.Submit(std::vector<double>(row.begin(), row.end())));
+      std::vector<double> row(test.num_features());
+      test.CopyRowTo(i, row);
+      futures.push_back(scorer.Submit(std::move(row)));
       rows.push_back(i);
     }
   }

@@ -39,6 +39,7 @@
 #include "spe/core/self_paced_ensemble.h"
 #include "spe/data/csv.h"
 #include "spe/data/libsvm.h"
+#include "spe/data/mmap_cache.h"
 #include "spe/eval/cross_validation.h"
 #include "spe/imbalance/balance_cascade.h"
 #include "spe/imbalance/under_bagging.h"
@@ -108,7 +109,13 @@ struct Options {
                "  inspect    --model IN — print the artifact manifest\n"
                "             (format version, schema width, payload bytes,\n"
                "             checksum, members, training hardness "
-               "histogram)\n");
+               "histogram);\n"
+               "             --data FILE — report the CSV sidecar cache "
+               "state\n"
+               "             (valid / stale / corrupt / absent)\n"
+               "  csv loads  are cached in a <data>.spmc mmap sidecar; "
+               "--no-cache\n"
+               "             forces a plain parse\n");
   std::exit(2);
 }
 
@@ -124,7 +131,7 @@ Options Parse(int argc, char** argv) {
     }
     const std::string key = arg.substr(2);
     std::string value = "1";
-    if (key != "scores-only" && key != "resume") {
+    if (key != "scores-only" && key != "resume" && key != "no-cache") {
       if (i + 1 >= argc) {
         const std::string message = "missing value for --" + key;
         Usage(message.c_str());
@@ -167,8 +174,16 @@ spe::Dataset LoadData(const Options& options) {
     std::fclose(f);
     label_column = columns - 1;
   }
+  // CSV goes through the sidecar cache: first load parses and publishes
+  // `<path>.spmc`, repeat loads mmap it (same values, no re-parse).
+  // --no-cache forces a plain parse and touches no sidecar.
+  if (options.flags.count("no-cache") > 0) {
+    return spe::RetryWithBackoff(spe::RetryPolicy{}, "load " + path, [&] {
+      return spe::LoadCsv(path, static_cast<std::size_t>(label_column));
+    });
+  }
   return spe::RetryWithBackoff(spe::RetryPolicy{}, "load " + path, [&] {
-    return spe::LoadCsv(path, static_cast<std::size_t>(label_column));
+    return spe::LoadCsvCached(path, static_cast<std::size_t>(label_column));
   });
 }
 
@@ -343,9 +358,39 @@ int CrossValidateCommand(const Options& options) {
   return 0;
 }
 
+// Reports the CSV sidecar cache state for --data: whether `<data>.spmc`
+// is valid (mmap-reusable), stale (source changed), corrupt, or absent.
+int InspectSidecarReport(const Options& options) {
+  const std::string path = options.Get("data", "");
+  long label_column = options.GetInt("label-column", -1);
+  if (label_column < 0) {
+    std::FILE* f = std::fopen(path.c_str(), "r");
+    if (f == nullptr) throw spe::TransientIoError("cannot open " + path);
+    int c = 0;
+    long columns = 1;
+    while ((c = std::fgetc(f)) != EOF && c != '\n') columns += (c == ',');
+    std::fclose(f);
+    label_column = columns - 1;
+  }
+  const spe::SidecarInfo info =
+      spe::InspectSidecar(path, static_cast<std::size_t>(label_column));
+  std::printf("data:          %s\n", path.c_str());
+  std::printf("sidecar:       %s\n", info.sidecar_path.c_str());
+  std::printf("sidecar_state: %s (%s)\n", spe::SidecarStatusName(info.status),
+              info.detail.c_str());
+  if (info.status == spe::SidecarStatus::kValid) {
+    std::printf("sidecar_shape: %zu rows x %zu features\n", info.num_rows,
+                info.num_features);
+  }
+  return 0;
+}
+
 int InspectCommand(const Options& options) {
   const std::string model_path = options.Get("model", "");
-  if (model_path.empty()) Usage("inspect requires --model");
+  if (model_path.empty() && options.flags.count("data") > 0) {
+    return InspectSidecarReport(options);
+  }
+  if (model_path.empty()) Usage("inspect requires --model or --data");
   // Probe first: inspect must describe a broken artifact (that is when
   // an operator reaches for it), not abort on it.
   if (const int rc = ProbeArtifactOrExitCode(model_path)) return rc;
@@ -402,6 +447,7 @@ int InspectCommand(const Options& options) {
     }
     std::printf("\n");
   }
+  if (options.flags.count("data") > 0) return InspectSidecarReport(options);
   return 0;
 }
 
